@@ -1,0 +1,82 @@
+// Ablation — learned aspect-preference opinion vectors (§4.2.3's future
+// direction, implemented via the EFM-lite model in src/recsys/): Table
+// 4-style ROUGE-L comparison of the binary opinion definition against
+// the learned-preference definition, plus the EFM fit diagnostics.
+
+#include "bench_common.h"
+#include "recsys/efm.h"
+
+using namespace comparesets;
+using namespace comparesets::bench;
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  if (args.help) return 0;
+
+  PrintTitle(
+      "Ablation: learned aspect-preference opinions (EFM-lite) vs binary "
+      "(Cellphone, m=3, ROUGE-L x100)");
+
+  // Build the corpus once; derive both opinion models from it.
+  SyntheticConfig synth =
+      DefaultConfig("Cellphone", args.products).ValueOrDie();
+  synth.seed = args.seed;
+  Corpus corpus = GenerateCorpus(synth).ValueOrDie();
+
+  ExplicitFactorModel efm = ExplicitFactorModel::Train(corpus).ValueOrDie();
+  std::printf("EFM fit: quality RMSE %.4f, attention RMSE %.4f (%zu users, "
+              "%zu items, %zu aspects)\n\n",
+              efm.quality_rmse(), efm.attention_rmse(), efm.num_users(),
+              efm.num_items(), efm.num_aspects());
+  auto table = BuildReviewPreferenceTable(corpus, efm).ValueOrDie();
+
+  std::vector<ProblemInstance> instances = corpus.BuildInstances();
+  if (instances.size() > args.instances) instances.resize(args.instances);
+
+  struct ModelEntry {
+    const char* name;
+    OpinionModel model;
+  };
+  std::vector<ModelEntry> models = {
+      {"binary", OpinionModel::Binary(corpus.num_aspects())},
+      {"learned-preference",
+       OpinionModel::LearnedPreference(corpus.num_aspects(), table)},
+  };
+
+  std::printf("%-20s %22s %22s\n", "Algorithm", "binary R-L",
+              "learned-pref R-L");
+  PrintRule(70);
+  std::vector<CsvRow> csv = {{"algorithm", "binary", "learned_preference"}};
+
+  for (const char* name : {"Random", "Crs", "CompaReSetS", "CompaReSetS+"}) {
+    auto selector = MakeSelector(name).ValueOrDie();
+    CsvRow row = {name};
+    std::printf("%-20s ", name);
+    for (const ModelEntry& entry : models) {
+      SelectorOptions options;
+      options.m = 3;
+      options.seed = args.seed;
+      RougeTriple mean;
+      size_t counted = 0;
+      for (const ProblemInstance& instance : instances) {
+        InstanceVectors vectors =
+            BuildInstanceVectors(entry.model, instance);
+        auto result = selector->Select(vectors, options).ValueOrDie();
+        AlignmentScores scores =
+            MeasureAlignment(instance, result.selections);
+        if (scores.target_pairs == 0) continue;
+        mean += scores.target_vs_comparative;
+        ++counted;
+      }
+      if (counted > 0) mean /= static_cast<double>(counted);
+      std::printf("%22s ", Pct(mean.rougeL.f1).c_str());
+      row.push_back(Pct(mean.rougeL.f1));
+    }
+    std::printf("\n");
+    csv.push_back(row);
+  }
+
+  ExportCsv(args, "ablation_learned_opinions.csv", csv);
+  return 0;
+}

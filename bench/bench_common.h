@@ -1,0 +1,124 @@
+// Shared infrastructure for the table/figure benchmark binaries: flag
+// parsing, workload construction, table formatting, and CSV export.
+//
+// Every bench accepts:
+//   --products N    synthetic corpus size per category (default 240)
+//   --instances N   evaluated problem instances per category (default 60)
+//   --seed S        base RNG seed (default 42)
+//   --outdir DIR    where CSVs are written (default "results")
+//
+// Paper-scale runs (10k+ products) are a flag change away; defaults are
+// sized so the full bench suite completes in minutes on a laptop.
+
+#pragma once
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/runner.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace comparesets {
+namespace bench {
+
+/// The three paper datasets, in Table 2 order.
+inline const std::vector<std::string>& Categories() {
+  static const std::vector<std::string>* kCategories =
+      new std::vector<std::string>{"Cellphone", "Toy", "Clothing"};
+  return *kCategories;
+}
+
+struct BenchArgs {
+  size_t products = 240;
+  size_t instances = 40;
+  uint64_t seed = 42;
+  std::string outdir = "results";
+  bool help = false;
+};
+
+/// Parses common flags; callers may register extra flags via `extend`.
+inline BenchArgs ParseBenchArgs(
+    int argc, char** argv,
+    const std::function<void(FlagParser*)>& extend = nullptr,
+    FlagParser* out_parser = nullptr) {
+  static FlagParser local_parser;
+  FlagParser& flags = out_parser != nullptr ? *out_parser : local_parser;
+  flags.AddInt("products", 240, "synthetic products per category");
+  flags.AddInt("instances", 40, "problem instances evaluated per category");
+  flags.AddInt("seed", 42, "base RNG seed");
+  flags.AddString("outdir", "results", "directory for CSV exports");
+  if (extend) extend(&flags);
+  Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    std::exit(2);
+  }
+  BenchArgs args;
+  args.products = static_cast<size_t>(flags.GetInt("products"));
+  args.instances = static_cast<size_t>(flags.GetInt("instances"));
+  args.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  args.outdir = flags.GetString("outdir");
+  args.help = flags.help_requested();
+  return args;
+}
+
+/// Builds the workload for one category under the common args.
+inline Workload BuildWorkload(const BenchArgs& args,
+                              const std::string& category,
+                              OpinionDefinition opinion =
+                                  OpinionDefinition::kBinary,
+                              size_t max_comparative_items = 0) {
+  RunnerConfig config;
+  config.category = category;
+  config.num_products = args.products;
+  config.max_instances = args.instances;
+  config.max_comparative_items = max_comparative_items;
+  config.opinion = opinion;
+  config.seed = args.seed;
+  auto workload = Workload::BuildSynthetic(config);
+  workload.status().CheckOK();
+  return std::move(workload).ValueOrDie();
+}
+
+/// Writes a CSV into args.outdir (best effort; logs on failure).
+inline void ExportCsv(const BenchArgs& args, const std::string& filename,
+                      const std::vector<CsvRow>& rows) {
+  ::mkdir(args.outdir.c_str(), 0755);  // Existing dir is fine.
+  std::string path = args.outdir + "/" + filename;
+  Status status = WriteCsvFile(path, rows);
+  if (!status.ok()) {
+    LOG_WARNING("could not export " << path << ": " << status);
+  } else {
+    std::printf("[csv written to %s]\n", path.c_str());
+  }
+}
+
+/// Formats a 0-1 ROUGE F1 the way the paper prints it (x100, 2 dp).
+inline std::string Pct(double f1) { return FormatDouble(100.0 * f1, 2); }
+
+/// Significance star per Table 3's footnote.
+inline const char* Star(bool significant) { return significant ? "*" : ""; }
+
+inline void PrintRule(int width = 96) {
+  std::string rule(static_cast<size_t>(width), '-');
+  std::printf("%s\n", rule.c_str());
+}
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n");
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+}  // namespace bench
+}  // namespace comparesets

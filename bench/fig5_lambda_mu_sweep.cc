@@ -1,0 +1,69 @@
+// Figure 5 — Hyperparameter sweeps (ROUGE-L x100, target vs
+// comparative, m = 3):
+//   (a) CompaReSetS with λ ∈ {0.01, 0.1, 1, 10, 100};
+//   (b) CompaReSetS+ with λ = 1 and μ ∈ {0.01, 0.1, 1, 10, 100}.
+// The paper finds λ = 1 and μ = 0.1 best, consistently across datasets.
+
+#include "bench_common.h"
+
+using namespace comparesets;
+using namespace comparesets::bench;
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  if (args.help) return 0;
+
+  const double kSweep[] = {0.01, 0.1, 1.0, 10.0, 100.0};
+
+  PrintTitle("Figure 5: ROUGE-L (x100) under varying lambda / mu (m=3)");
+  std::vector<CsvRow> csv = {
+      {"dataset", "series", "parameter", "rougeL_target", "rougeL_among"}};
+
+  for (const std::string& category : Categories()) {
+    Workload workload = BuildWorkload(args, category);
+    std::printf("\nDataset: %s\n", category.c_str());
+
+    std::printf("  (a) CompaReSetS, varying lambda\n");
+    std::printf("      %-10s %14s %14s\n", "lambda", "R-L (target)",
+                "R-L (among)");
+    for (double lambda : kSweep) {
+      auto selector = MakeSelector("CompaReSetS").ValueOrDie();
+      SelectorOptions options;
+      options.m = 3;
+      options.lambda = lambda;
+      options.seed = args.seed;
+      SelectorRun run =
+          RunSelector(*selector, workload, options).ValueOrDie();
+      std::string target = Pct(run.MeanTarget().rougeL.f1);
+      std::string among = Pct(run.MeanAmong().rougeL.f1);
+      std::printf("      %-10s %14s %14s\n",
+                  FormatDouble(lambda, 2).c_str(), target.c_str(),
+                  among.c_str());
+      csv.push_back({category, "lambda", FormatDouble(lambda, 2), target,
+                     among});
+    }
+
+    std::printf("  (b) CompaReSetS+, lambda=1, varying mu\n");
+    std::printf("      %-10s %14s %14s\n", "mu", "R-L (target)",
+                "R-L (among)");
+    for (double mu : kSweep) {
+      auto selector = MakeSelector("CompaReSetS+").ValueOrDie();
+      SelectorOptions options;
+      options.m = 3;
+      options.lambda = 1.0;
+      options.mu = mu;
+      options.seed = args.seed;
+      SelectorRun run =
+          RunSelector(*selector, workload, options).ValueOrDie();
+      std::string target = Pct(run.MeanTarget().rougeL.f1);
+      std::string among = Pct(run.MeanAmong().rougeL.f1);
+      std::printf("      %-10s %14s %14s\n", FormatDouble(mu, 2).c_str(),
+                  target.c_str(), among.c_str());
+      csv.push_back({category, "mu", FormatDouble(mu, 2), target, among});
+    }
+  }
+
+  ExportCsv(args, "fig5_lambda_mu_sweep.csv", csv);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 7 — Average runtime per problem instance as the number of
+// comparative items grows (Cellphone, m ∈ {3, 5, 10}). The paper's
+// observations to reproduce: Crs and CompaReSetS are flat and fast;
+// CompaReSetS+ grows linearly in the number of items.
+
+#include "bench_common.h"
+#include "util/timer.h"
+
+using namespace comparesets;
+using namespace comparesets::bench;
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  if (args.help) return 0;
+
+  PrintTitle(
+      "Figure 7: Average runtime (ms per instance) vs #comparative items "
+      "(Cellphone)");
+
+  const size_t kItemCaps[] = {5, 10, 15, 20, 25};
+  const std::vector<std::string> kAlgorithms = {
+      "Crs", "CompaReSetS", "CompaReSetS+"};
+
+  std::vector<CsvRow> csv = {
+      {"algorithm", "m", "comparative_items", "ms_per_instance"}};
+
+  for (size_t m : {3u, 5u, 10u}) {
+    std::printf("\n  m = %zu\n", m);
+    std::printf("  %-18s", "Algorithm");
+    for (size_t cap : kItemCaps) {
+      std::printf("  n=%-8zu", cap);
+    }
+    std::printf("\n");
+
+    for (const std::string& name : kAlgorithms) {
+      std::printf("  %-18s", name.c_str());
+      for (size_t cap : kItemCaps) {
+        BenchArgs capped = args;
+        capped.instances = std::min<size_t>(args.instances, 20);
+        Workload workload =
+            BuildWorkload(capped, "Cellphone", OpinionDefinition::kBinary,
+                          cap);
+        auto selector = MakeSelector(name).ValueOrDie();
+        SelectorOptions options;
+        options.m = m;
+        options.seed = args.seed;
+        Timer timer;
+        SelectorRun run =
+            RunSelector(*selector, workload, options).ValueOrDie();
+        double ms = 1000.0 * run.total_seconds /
+                    static_cast<double>(workload.num_instances());
+        std::printf("  %-10s", FormatDouble(ms, 2).c_str());
+        csv.push_back({name, std::to_string(m), std::to_string(cap),
+                       FormatDouble(ms, 3)});
+      }
+      std::printf("\n");
+    }
+  }
+
+  ExportCsv(args, "fig7_runtime_scaling.csv", csv);
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Microbenchmarks (google-benchmark) for the hot kernels: least squares,
+// NNLS, NOMP, integer rounding, the end-to-end selectors, TargetHkS
+// solvers, and ROUGE scoring.
+
+#include <benchmark/benchmark.h>
+
+#include "core/compare_sets.h"
+#include "core/compare_sets_plus.h"
+#include "core/integer_regression.h"
+#include "eval/runner.h"
+#include "graph/targethks_exact.h"
+#include "graph/targethks_greedy.h"
+#include "linalg/nnls.h"
+#include "linalg/nomp.h"
+#include "linalg/qr.h"
+#include "text/rouge.h"
+#include "util/rng.h"
+
+namespace comparesets {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m(r, c) = rng->UniformDouble();
+  }
+  return m;
+}
+
+Vector RandomVector(size_t size, Rng* rng) {
+  Vector v(size);
+  for (size_t i = 0; i < size; ++i) v[i] = rng->UniformDouble();
+  return v;
+}
+
+void BM_LeastSquares(benchmark::State& state) {
+  Rng rng(1);
+  size_t rows = static_cast<size_t>(state.range(0));
+  size_t cols = rows / 4 + 2;
+  Matrix a = RandomMatrix(rows, cols, &rng);
+  Vector b = RandomVector(rows, &rng);
+  for (auto _ : state) {
+    auto x = LeastSquares(a, b);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_LeastSquares)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_Nnls(benchmark::State& state) {
+  Rng rng(2);
+  size_t rows = static_cast<size_t>(state.range(0));
+  size_t cols = rows / 4 + 2;
+  Matrix a = RandomMatrix(rows, cols, &rng);
+  Vector b = RandomVector(rows, &rng);
+  for (auto _ : state) {
+    auto result = SolveNnls(a, b);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Nnls)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_Nomp(benchmark::State& state) {
+  Rng rng(3);
+  size_t cols = static_cast<size_t>(state.range(0));
+  Matrix v = RandomMatrix(72, cols, &rng);  // 2z + z rows at z = 24.
+  Vector target = RandomVector(72, &rng);
+  for (auto _ : state) {
+    auto result = SolveNomp(v, target, 10);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Nomp)->Arg(10)->Arg(40)->Arg(160);
+
+void BM_IntegerRounding(benchmark::State& state) {
+  Rng rng(4);
+  size_t groups = static_cast<size_t>(state.range(0));
+  Vector x = RandomVector(groups, &rng);
+  std::vector<int> caps(groups, 3);
+  for (auto _ : state) {
+    auto nu = RoundToIntegerCounts(x, caps, 10);
+    benchmark::DoNotOptimize(nu);
+  }
+}
+BENCHMARK(BM_IntegerRounding)->Arg(8)->Arg(64)->Arg(512);
+
+/// Shared miniature workload for the selector benchmarks.
+const Workload& BenchWorkload() {
+  static const Workload* kWorkload = [] {
+    RunnerConfig config;
+    config.category = "Cellphone";
+    config.num_products = 120;
+    config.max_instances = 4;
+    config.seed = 42;
+    return new Workload(Workload::BuildSynthetic(config).ValueOrDie());
+  }();
+  return *kWorkload;
+}
+
+void BM_CompareSetsInstance(benchmark::State& state) {
+  const InstanceVectors& vectors = BenchWorkload().vectors()[0];
+  CompareSetsSelector selector;
+  SelectorOptions options;
+  options.m = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = selector.Select(vectors, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_CompareSetsInstance)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_CompareSetsPlusInstance(benchmark::State& state) {
+  const InstanceVectors& vectors = BenchWorkload().vectors()[0];
+  CompareSetsPlusSelector selector;
+  SelectorOptions options;
+  options.m = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = selector.Select(vectors, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_CompareSetsPlusInstance)->Arg(3)->Arg(5)->Arg(10);
+
+SimilarityGraph RandomGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  SimilarityGraph graph(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      graph.set_weight(i, j, rng.UniformDouble(0.0, 10.0));
+    }
+  }
+  return graph;
+}
+
+void BM_TargetHksExact(benchmark::State& state) {
+  SimilarityGraph graph =
+      RandomGraph(static_cast<size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    auto result = SolveTargetHksExact(graph, 5);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TargetHksExact)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_TargetHksGreedy(benchmark::State& state) {
+  SimilarityGraph graph =
+      RandomGraph(static_cast<size_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    auto result = SolveTargetHksGreedy(graph, 5);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TargetHksGreedy)->Arg(10)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_RougePair(benchmark::State& state) {
+  const Product& product = *BenchWorkload().instances()[0].items[0];
+  RougeDocument a(product.reviews[0].text);
+  RougeDocument b(product.reviews[1].text);
+  for (auto _ : state) {
+    RougeTriple scores = a.ScoreAgainst(b);
+    benchmark::DoNotOptimize(scores);
+  }
+}
+BENCHMARK(BM_RougePair);
+
+void BM_RougeDocumentConstruction(benchmark::State& state) {
+  const Product& product = *BenchWorkload().instances()[0].items[0];
+  const std::string& text = product.reviews[0].text;
+  for (auto _ : state) {
+    RougeDocument doc(text);
+    benchmark::DoNotOptimize(doc);
+  }
+}
+BENCHMARK(BM_RougeDocumentConstruction);
+
+void BM_BuildInstanceVectors(benchmark::State& state) {
+  const Workload& workload = BenchWorkload();
+  OpinionModel model = OpinionModel::Binary(workload.corpus().num_aspects());
+  for (auto _ : state) {
+    InstanceVectors vectors =
+        BuildInstanceVectors(model, workload.instances()[0]);
+    benchmark::DoNotOptimize(vectors);
+  }
+}
+BENCHMARK(BM_BuildInstanceVectors);
+
+}  // namespace
+}  // namespace comparesets
+
+BENCHMARK_MAIN();

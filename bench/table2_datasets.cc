@@ -1,0 +1,75 @@
+// Table 2 — Data statistics. Prints the per-category statistics of the
+// synthetic corpora (which stand in for the Amazon datasets; see
+// DESIGN.md §2) in the paper's row layout.
+
+#include "bench_common.h"
+#include "data/statistics.h"
+#include "data/synthetic.h"
+
+using namespace comparesets;
+using namespace comparesets::bench;
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  if (args.help) return 0;
+
+  PrintTitle("Table 2: Data statistics (synthetic stand-ins, " +
+             std::to_string(args.products) + " products per category)");
+
+  std::vector<DatasetStatistics> stats;
+  for (const std::string& category : Categories()) {
+    SyntheticConfig config =
+        DefaultConfig(category, args.products).ValueOrDie();
+    config.seed = args.seed + stats.size();
+    Corpus corpus = GenerateCorpus(config).ValueOrDie();
+    stats.push_back(ComputeStatistics(corpus));
+  }
+
+  std::printf("%-28s", "");
+  for (const DatasetStatistics& s : stats) {
+    std::printf("%14s", s.name.c_str());
+  }
+  std::printf("\n");
+  PrintRule(70);
+
+  auto row_int = [&](const char* label, auto getter) {
+    std::printf("%-28s", label);
+    for (const DatasetStatistics& s : stats) {
+      std::printf("%14s",
+                  FormatWithCommas(static_cast<int64_t>(getter(s))).c_str());
+    }
+    std::printf("\n");
+  };
+  auto row_double = [&](const char* label, auto getter) {
+    std::printf("%-28s", label);
+    for (const DatasetStatistics& s : stats) {
+      std::printf("%14s", FormatDouble(getter(s), 2).c_str());
+    }
+    std::printf("\n");
+  };
+
+  row_int("#Product", [](const auto& s) { return s.num_products; });
+  row_int("#Reviewer", [](const auto& s) { return s.num_reviewers; });
+  row_int("#Review", [](const auto& s) { return s.num_reviews; });
+  row_int("#Target Product",
+          [](const auto& s) { return s.num_target_products; });
+  row_double("Avg. #Comparison Product",
+             [](const auto& s) { return s.avg_comparison_products; });
+  row_double("Avg. #Review per Product",
+             [](const auto& s) { return s.avg_reviews_per_product; });
+
+  std::vector<CsvRow> csv = {{"dataset", "products", "reviewers", "reviews",
+                              "target_products", "avg_comparison_products",
+                              "avg_reviews_per_product"}};
+  for (const DatasetStatistics& s : stats) {
+    csv.push_back({s.name, std::to_string(s.num_products),
+                   std::to_string(s.num_reviewers),
+                   std::to_string(s.num_reviews),
+                   std::to_string(s.num_target_products),
+                   FormatDouble(s.avg_comparison_products, 2),
+                   FormatDouble(s.avg_reviews_per_product, 2)});
+  }
+  ExportCsv(args, "table2_datasets.csv", csv);
+  return 0;
+}

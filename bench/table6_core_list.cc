@@ -1,0 +1,125 @@
+// Table 6 — Review alignment for the core list of comparative items
+// (k = m ∈ {3, 5, 10}): the same CompaReSetS+ selections, restricted to
+// the core items chosen by Random / Top-k similarity / TargetHkS greedy
+// / TargetHkS exact (§4.3.2).
+
+#include <map>
+
+#include "bench_common.h"
+#include "graph/targethks_baselines.h"
+#include "graph/targethks_exact.h"
+#include "graph/targethks_greedy.h"
+
+using namespace comparesets;
+using namespace comparesets::bench;
+
+namespace {
+
+const std::vector<std::string>& Methods() {
+  static const std::vector<std::string>* kMethods =
+      new std::vector<std::string>{"Random", "Top-k similarity",
+                                   "TargetHkSGreedy", "TargetHkSExact"};
+  return *kMethods;
+}
+
+CoreList SolveCoreList(const std::string& method,
+                       const SimilarityGraph& graph, size_t k,
+                       uint64_t seed) {
+  if (method == "Random") {
+    return SolveTargetHksRandom(graph, k, seed).ValueOrDie();
+  }
+  if (method == "Top-k similarity") {
+    return SolveTopKSimilarity(graph, k).ValueOrDie();
+  }
+  if (method == "TargetHkSGreedy") {
+    return SolveTargetHksGreedy(graph, k).ValueOrDie();
+  }
+  ExactSolverOptions options;
+  options.time_limit_seconds = 5.0;
+  return SolveTargetHksExact(graph, k, options).ValueOrDie();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  if (args.help) return 0;
+
+  PrintTitle(
+      "Table 6: Review alignment for core list of comparative items "
+      "(ROUGE F1 x100, reviews from CompaReSetS+, k = m)");
+
+  std::vector<CsvRow> csv = {{"dataset", "view", "method", "k", "rouge1",
+                              "rouge2", "rougeL"}};
+
+  for (const std::string& category : Categories()) {
+    Workload workload = BuildWorkload(args, category);
+    std::printf("\nDataset: %s (%zu instances)\n", category.c_str(),
+                workload.num_instances());
+
+    // One CompaReSetS+ run per review budget k = m, shared by all
+    // core-list methods and both views.
+    std::map<size_t, SelectorRun> runs;
+    for (size_t k : {3u, 5u, 10u}) {
+      auto selector = MakeSelector("CompaReSetS+").ValueOrDie();
+      SelectorOptions options;
+      options.m = k;
+      options.seed = args.seed;
+      runs.emplace(k,
+                   RunSelector(*selector, workload, options).ValueOrDie());
+    }
+
+    for (const char* view : {"(a) Target Item vs Comparative Items",
+                             "(b) Among Items"}) {
+      bool target_view = view[1] == 'a';
+      std::printf("\n  %s\n", view);
+      std::printf("  %-20s", "Method");
+      for (size_t k : {3u, 5u, 10u}) {
+        std::printf("  k=m=%-2zu R-1   R-2   R-L", k);
+      }
+      std::printf("\n");
+
+      for (const std::string& method : Methods()) {
+        std::printf("  %-20s", method.c_str());
+        for (size_t k : {3u, 5u, 10u}) {
+          const SelectorRun& run = runs.at(k);
+          SelectorOptions options;
+          options.m = k;
+
+          RougeTriple mean;
+          size_t counted = 0;
+          for (size_t i = 0; i < workload.num_instances(); ++i) {
+            const InstanceVectors& vectors = workload.vectors()[i];
+            SimilarityGraph graph = BuildSimilarityGraph(
+                vectors, run.results[i].selections, options.lambda,
+                options.mu);
+            if (graph.num_vertices() < k) continue;
+            CoreList core =
+                SolveCoreList(method, graph, k, args.seed + i);
+            AlignmentScores scores = MeasureAlignmentSubset(
+                workload.instances()[i], run.results[i].selections,
+                core.vertices);
+            size_t pairs =
+                target_view ? scores.target_pairs : scores.among_pairs;
+            if (pairs == 0) continue;
+            mean += target_view ? scores.target_vs_comparative
+                                : scores.among_items;
+            ++counted;
+          }
+          if (counted > 0) mean /= static_cast<double>(counted);
+          std::printf("  %6s%6s%6s ", Pct(mean.rouge1.f1).c_str(),
+                      Pct(mean.rouge2.f1).c_str(),
+                      Pct(mean.rougeL.f1).c_str());
+          csv.push_back({category, target_view ? "target" : "among", method,
+                         std::to_string(k), Pct(mean.rouge1.f1),
+                         Pct(mean.rouge2.f1), Pct(mean.rougeL.f1)});
+        }
+        std::printf("\n");
+      }
+    }
+  }
+
+  ExportCsv(args, "table6_core_list.csv", csv);
+  return 0;
+}

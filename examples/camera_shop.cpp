@@ -1,0 +1,156 @@
+// The paper's motivating scenario (Figure 1): a shopper views a DSLR
+// camera and is shown "similar items". This example hand-builds a tiny
+// camera catalog through the public data model — the path an adopter
+// takes with their own structured data — then compares what CompaReSetS
+// (target-aware) and CompaReSetS+ (fully synchronized) select against
+// the independent Crs baseline.
+//
+//   ./build/examples/camera_shop
+
+#include <cstdio>
+
+#include "core/selector.h"
+#include "data/corpus.h"
+#include "eval/objective.h"
+#include "opinion/vectors.h"
+#include "util/logging.h"
+
+using namespace comparesets;
+
+namespace {
+
+Review MakeReview(AspectCatalog* catalog, const std::string& id,
+                  const std::string& text, double rating,
+                  std::initializer_list<std::pair<const char*, Polarity>>
+                      mentions) {
+  Review review;
+  review.id = id;
+  review.text = text;
+  review.rating = rating;
+  for (const auto& [aspect, polarity] : mentions) {
+    review.opinions.push_back({catalog->Intern(aspect), polarity, 1.0});
+  }
+  return review;
+}
+
+constexpr Polarity kPos = Polarity::kPositive;
+constexpr Polarity kNeg = Polarity::kNegative;
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  Corpus corpus("CameraShop");
+  AspectCatalog* catalog = &corpus.catalog();
+
+  Product rebel;
+  rebel.id = "canon-rebel-t7";
+  rebel.title = "Canon EOS Rebel T7 DSLR";
+  rebel.also_bought = {"canon-2000d", "canon-t8i"};
+  rebel.reviews = {
+      MakeReview(catalog, "t7-r1",
+                 "The picture quality is stunning for the price and the "
+                 "autofocus locks on fast.",
+                 5, {{"picture", kPos}, {"autofocus", kPos}}),
+      MakeReview(catalog, "t7-r2",
+                 "Great beginner camera, the menus are simple but the "
+                 "battery drains quicker than I hoped.",
+                 4, {{"beginner", kPos}, {"battery", kNeg}}),
+      MakeReview(catalog, "t7-r3",
+                 "Autofocus hunts in low light and the kit lens is soft at "
+                 "the edges.",
+                 3, {{"autofocus", kNeg}, {"lens", kNeg}}),
+      MakeReview(catalog, "t7-r4",
+                 "Battery lasts a full day of shooting and the picture "
+                 "quality beats my old point and shoot by miles.",
+                 5, {{"battery", kPos}, {"picture", kPos}}),
+      MakeReview(catalog, "t7-r5",
+                 "Perfect for a beginner, picture quality is sharp and the "
+                 "price was right.",
+                 5, {{"beginner", kPos}, {"picture", kPos}, {"price", kPos}}),
+  };
+
+  Product alt2000d;
+  alt2000d.id = "canon-2000d";
+  alt2000d.title = "Canon EOS 2000D (Rebel T7) bundle";
+  alt2000d.reviews = {
+      MakeReview(catalog, "2d-r1",
+                 "Bundle came with everything; the picture quality is crisp "
+                 "outdoors.",
+                 5, {{"picture", kPos}, {"bundle", kPos}}),
+      MakeReview(catalog, "2d-r2",
+                 "The autofocus is slower than advertised and misses moving "
+                 "subjects.",
+                 2, {{"autofocus", kNeg}}),
+      MakeReview(catalog, "2d-r3",
+                 "Battery life is honestly fantastic, shot two events on one "
+                 "charge.",
+                 5, {{"battery", kPos}}),
+      MakeReview(catalog, "2d-r4",
+                 "The tripod in the bundle is flimsy but the camera picture "
+                 "quality is solid.",
+                 4, {{"bundle", kNeg}, {"picture", kPos}}),
+  };
+
+  Product t8i;
+  t8i.id = "canon-t8i";
+  t8i.title = "Canon EOS Rebel T8i";
+  t8i.reviews = {
+      MakeReview(catalog, "t8-r1",
+                 "Autofocus is in another league, tracks eyes during video.",
+                 5, {{"autofocus", kPos}, {"video", kPos}}),
+      MakeReview(catalog, "t8-r2",
+                 "Picture quality is superb but the price is steep for a "
+                 "hobbyist.",
+                 4, {{"picture", kPos}, {"price", kNeg}}),
+      MakeReview(catalog, "t8-r3",
+                 "Video features are great; battery is average at best.",
+                 4, {{"video", kPos}, {"battery", kNeg}}),
+      MakeReview(catalog, "t8-r4",
+                 "As a beginner upgrade it is friendly enough and the "
+                 "picture quality impresses everyone.",
+                 5, {{"beginner", kPos}, {"picture", kPos}}),
+  };
+
+  corpus.AddProduct(std::move(rebel)).CheckOK();
+  corpus.AddProduct(std::move(alt2000d)).CheckOK();
+  corpus.AddProduct(std::move(t8i)).CheckOK();
+  corpus.Finalize();
+
+  std::vector<ProblemInstance> instances = corpus.BuildInstances();
+  const ProblemInstance& instance = instances.front();
+  OpinionModel model = OpinionModel::Binary(corpus.num_aspects());
+  InstanceVectors vectors = BuildInstanceVectors(model, instance);
+
+  SelectorOptions options;
+  options.m = 2;  // Two reviews per camera.
+  options.lambda = 1.0;
+  options.mu = 0.5;  // Small catalog: lean harder on synchronization.
+
+  std::printf("Shopper is viewing: %s\n", instance.target().title.c_str());
+  std::printf("Compared against:   %s | %s\n\n",
+              instance.items[1]->title.c_str(),
+              instance.items[2]->title.c_str());
+
+  for (const char* name : {"Crs", "CompaReSetS", "CompaReSetS+"}) {
+    auto selector = MakeSelector(name).ValueOrDie();
+    SelectionResult result = selector->Select(vectors, options).ValueOrDie();
+    std::printf("=== %s (Eq. 5 objective %.4f) ===\n", name,
+                result.objective);
+    for (size_t i = 0; i < instance.num_items(); ++i) {
+      const Product& product = *instance.items[i];
+      std::printf("  %s\n", product.title.c_str());
+      for (size_t review_index : result.selections[i]) {
+        const Review& review = product.reviews[review_index];
+        std::printf("    (%.0f*) %s\n", review.rating, review.text.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Note how the synchronized selections surface the aspects all three\n"
+      "cameras share (picture quality, autofocus, battery), which is what\n"
+      "makes side-by-side comparison possible.\n");
+  return 0;
+}

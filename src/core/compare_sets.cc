@@ -1,0 +1,27 @@
+#include "core/compare_sets.h"
+
+#include "core/integer_regression.h"
+#include "eval/objective.h"
+
+namespace comparesets {
+
+Result<SelectionResult> CompareSetsSelector::Select(
+    const InstanceVectors& vectors, const SelectorOptions& options) const {
+  SelectionResult out;
+  out.selections.reserve(vectors.num_items());
+  for (size_t i = 0; i < vectors.num_items(); ++i) {
+    DesignSystem system = BuildCompareSetsSystem(vectors, i, options.lambda);
+    auto cost = [&](const Selection& selection) {
+      return ItemCost(vectors, i, selection, options.lambda);
+    };
+    COMPARESETS_ASSIGN_OR_RETURN(
+        IntegerRegressionResult item,
+        SolveIntegerRegression(system, options.m, cost));
+    out.selections.push_back(std::move(item.selection));
+  }
+  out.objective = CompareSetsPlusObjective(vectors, out.selections,
+                                           options.lambda, options.mu);
+  return out;
+}
+
+}  // namespace comparesets

@@ -1,0 +1,70 @@
+#include "core/compare_sets_plus.h"
+
+#include "core/compare_sets.h"
+#include "core/integer_regression.h"
+#include "eval/objective.h"
+
+namespace comparesets {
+
+Result<SelectionResult> CompareSetsPlusSelector::Select(
+    const InstanceVectors& vectors, const SelectorOptions& options) const {
+  // Algorithm 1 input: S_1..S_n from solving CompaReSetS per item.
+  CompareSetsSelector bootstrap;
+  COMPARESETS_ASSIGN_OR_RETURN(SelectionResult state,
+                               bootstrap.Select(vectors, options));
+
+  size_t n = vectors.num_items();
+  double mu2 = options.mu * options.mu;
+
+  // Cache φ(S_i) of the current state; refreshed on accepted updates.
+  std::vector<Vector> phis(n);
+  for (size_t i = 0; i < n; ++i) {
+    phis[i] = vectors.AspectOf(i, state.selections[i]);
+  }
+
+  int sweeps = 1 + std::max(0, options.extra_sync_rounds);
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    for (size_t i = 0; i < n; ++i) {
+      // Target blocks φ(S_1)…φ(S_{i-1}), φ(S_{i+1})…φ(S_n) in item order.
+      std::vector<Vector> other_phis;
+      other_phis.reserve(n - 1);
+      for (size_t j = 0; j < n; ++j) {
+        if (j != i) other_phis.push_back(phis[j]);
+      }
+
+      DesignSystem system = BuildCompareSetsPlusSystem(
+          vectors, i, options.lambda, options.mu, other_phis);
+
+      // Item i's full contribution to Eq. 5 holding the others fixed:
+      // own Eq. 3 cost + μ² Σ_{j≠i} Δ(φ(S̃_i), φ(S_j)). Minimizing this
+      // coordinate-wise minimizes the global objective.
+      auto cost = [&](const Selection& selection) {
+        Vector phi = vectors.AspectOf(i, selection);
+        double total = ItemCost(vectors, i, selection, options.lambda);
+        for (size_t j = 0; j < n; ++j) {
+          if (j != i) total += mu2 * SquaredDistance(phi, phis[j]);
+        }
+        return total;
+      };
+
+      COMPARESETS_ASSIGN_OR_RETURN(
+          IntegerRegressionResult solved,
+          SolveIntegerRegression(system, options.m, cost));
+
+      // Keep the incumbent when the heuristic fails to improve on it, so
+      // the sweep never degrades the objective (Algorithm 1's min_Δ
+      // bookkeeping, extended with the incumbent as a candidate).
+      double incumbent_cost = cost(state.selections[i]);
+      if (solved.cost < incumbent_cost) {
+        state.selections[i] = std::move(solved.selection);
+        phis[i] = vectors.AspectOf(i, state.selections[i]);
+      }
+    }
+  }
+
+  state.objective = CompareSetsPlusObjective(vectors, state.selections,
+                                             options.lambda, options.mu);
+  return state;
+}
+
+}  // namespace comparesets

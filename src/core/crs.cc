@@ -1,0 +1,29 @@
+#include "core/crs.h"
+
+#include "core/integer_regression.h"
+#include "eval/objective.h"
+
+namespace comparesets {
+
+Result<SelectionResult> CrsSelector::Select(
+    const InstanceVectors& vectors, const SelectorOptions& options) const {
+  SelectionResult out;
+  out.selections.reserve(vectors.num_items());
+  for (size_t i = 0; i < vectors.num_items(); ++i) {
+    DesignSystem system = BuildCrsSystem(vectors, i);
+    auto cost = [&](const Selection& selection) {
+      // Pure characteristic objective: match the item's own opinion
+      // distribution only.
+      return SquaredDistance(vectors.tau[i], vectors.OpinionOf(i, selection));
+    };
+    COMPARESETS_ASSIGN_OR_RETURN(
+        IntegerRegressionResult item,
+        SolveIntegerRegression(system, options.m, cost));
+    out.selections.push_back(std::move(item.selection));
+  }
+  out.objective = CompareSetsPlusObjective(vectors, out.selections,
+                                           options.lambda, options.mu);
+  return out;
+}
+
+}  // namespace comparesets

@@ -1,0 +1,102 @@
+#include "core/design_matrix.h"
+
+#include <map>
+
+#include "util/logging.h"
+
+namespace comparesets {
+
+namespace {
+
+/// Deduplicates raw per-review columns into a DesignSystem. Signature
+/// equality is exact double equality, which is correct here: columns are
+/// built from identical integer indicators scaled by the same constants.
+DesignSystem Deduplicate(std::vector<Vector> columns, Vector target) {
+  // Map column payload -> group index (ordered map gives deterministic
+  // group order independent of hashing).
+  std::map<std::vector<double>, size_t> groups;
+  DesignSystem out;
+  out.target = std::move(target);
+
+  std::vector<const Vector*> representatives;
+  for (size_t j = 0; j < columns.size(); ++j) {
+    auto [it, inserted] =
+        groups.emplace(columns[j].data(), representatives.size());
+    if (inserted) {
+      representatives.push_back(&columns[j]);
+      out.dup_counts.push_back(0);
+      out.group_reviews.emplace_back();
+    }
+    ++out.dup_counts[it->second];
+    out.group_reviews[it->second].push_back(j);
+  }
+
+  size_t rows = out.target.size();
+  out.v = Matrix(rows, representatives.size());
+  for (size_t g = 0; g < representatives.size(); ++g) {
+    COMPARESETS_CHECK(representatives[g]->size() == rows)
+        << "design column size mismatch";
+    out.v.SetColumn(g, *representatives[g]);
+  }
+  return out;
+}
+
+}  // namespace
+
+DesignSystem BuildCrsSystem(const InstanceVectors& vectors, size_t item) {
+  COMPARESETS_CHECK(item < vectors.num_items()) << "item out of range";
+  std::vector<Vector> columns;
+  size_t reviews = vectors.num_reviews(item);
+  columns.reserve(reviews);
+  for (size_t j = 0; j < reviews; ++j) {
+    columns.push_back(vectors.opinion_columns[item][j]);
+  }
+  return Deduplicate(std::move(columns), vectors.tau[item]);
+}
+
+DesignSystem BuildCompareSetsSystem(const InstanceVectors& vectors,
+                                    size_t item, double lambda) {
+  COMPARESETS_CHECK(item < vectors.num_items()) << "item out of range";
+  std::vector<Vector> columns;
+  size_t reviews = vectors.num_reviews(item);
+  columns.reserve(reviews);
+  for (size_t j = 0; j < reviews; ++j) {
+    Vector column = vectors.opinion_columns[item][j];
+    column.AppendScaled(lambda, vectors.aspect_columns[item][j]);
+    columns.push_back(std::move(column));
+  }
+  Vector target = vectors.tau[item];
+  target.AppendScaled(lambda, vectors.gamma);
+  return Deduplicate(std::move(columns), std::move(target));
+}
+
+DesignSystem BuildCompareSetsPlusSystem(
+    const InstanceVectors& vectors, size_t item, double lambda, double mu,
+    const std::vector<Vector>& other_phis) {
+  COMPARESETS_CHECK(item < vectors.num_items()) << "item out of range";
+  COMPARESETS_CHECK(other_phis.size() == vectors.num_items() - 1)
+      << "expected one φ per other item";
+
+  std::vector<Vector> columns;
+  size_t reviews = vectors.num_reviews(item);
+  columns.reserve(reviews);
+  for (size_t j = 0; j < reviews; ++j) {
+    Vector column = vectors.opinion_columns[item][j];
+    column.AppendScaled(lambda, vectors.aspect_columns[item][j]);
+    // One μ-scaled aspect block per other item (identical rows; the
+    // corresponding target blocks differ — Algorithm 1 line 4).
+    for (size_t t = 0; t < other_phis.size(); ++t) {
+      column.AppendScaled(mu, vectors.aspect_columns[item][j]);
+    }
+    columns.push_back(std::move(column));
+  }
+
+  Vector target = vectors.tau[item];
+  target.AppendScaled(lambda, vectors.gamma);
+  for (const Vector& phi : other_phis) {
+    target.AppendScaled(mu, phi);
+  }
+  return Deduplicate(std::move(columns), std::move(target));
+}
+
+}  // namespace comparesets

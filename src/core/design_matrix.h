@@ -1,0 +1,50 @@
+// Design-matrix construction for the Integer-Regression algorithm
+// (paper §2.2 and Algorithm 1, Figure 3).
+//
+// For item p_i, each review r_j contributes one column:
+//   CompaReSetS:   [ b(r_j) ; λ·a(r_j) ]               target [τ_i ; λΓ]
+//   CompaReSetS+:  [ b(r_j) ; λ·a(r_j) ; μ·a(r_j) ×(n−1) ]
+//                  target [τ_i ; λΓ ; μφ(S_1) ; … ; μφ(S_n)] (skipping i)
+// where b(r) is the opinion block and a(r) the 0/1 aspect block. Scaling
+// both the rows and the target by λ (resp. μ) realizes the λ²/μ² weights
+// of the squared objective.
+//
+// Identical columns (reviews with the same annotation signature) are
+// deduplicated, keeping multiplicities c_1..c_q (Algorithm 1 line 5).
+
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "opinion/vectors.h"
+
+namespace comparesets {
+
+/// A deduplicated least-squares system for one item.
+struct DesignSystem {
+  /// Deduplicated design matrix Ṽ (rows = target dims, cols = q groups).
+  Matrix v;
+  /// Target vector Υ.
+  Vector target;
+  /// Multiplicity c_g of each deduplicated column group.
+  std::vector<int> dup_counts;
+  /// Review indices (into Product::reviews) in each group.
+  std::vector<std::vector<size_t>> group_reviews;
+};
+
+/// System for the plain CompaReSetS objective on `item` (Eq. 3/4).
+DesignSystem BuildCompareSetsSystem(const InstanceVectors& vectors,
+                                    size_t item, double lambda);
+
+/// System for Crs (single-item characteristic selection: opinion rows
+/// only — the λ = 0, single-item special case the paper reduces to).
+DesignSystem BuildCrsSystem(const InstanceVectors& vectors, size_t item);
+
+/// System for the synchronized CompaReSetS+ objective on `item`
+/// (Algorithm 1 lines 3–4) given the other items' current selections.
+DesignSystem BuildCompareSetsPlusSystem(
+    const InstanceVectors& vectors, size_t item, double lambda, double mu,
+    const std::vector<Vector>& other_phis);
+
+}  // namespace comparesets

@@ -1,0 +1,19 @@
+// CompaReSetSGreedy baseline (§4.1.2): per item, grow the selection one
+// review at a time, always adding the review whose inclusion minimizes
+// the Eq. 3 distance cost; stop at m reviews or when no addition
+// improves the cost.
+
+#pragma once
+
+#include "core/selector.h"
+
+namespace comparesets {
+
+class CompareSetsGreedySelector : public ReviewSelector {
+ public:
+  std::string name() const override { return "CompaReSetSGreedy"; }
+  Result<SelectionResult> Select(const InstanceVectors& vectors,
+                                 const SelectorOptions& options) const override;
+};
+
+}  // namespace comparesets

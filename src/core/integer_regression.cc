@@ -1,0 +1,142 @@
+#include "core/integer_regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "linalg/nomp.h"
+#include "util/logging.h"
+
+namespace comparesets {
+
+namespace {
+
+/// L1 distance between ν/‖ν‖₁ and the normalized continuous solution.
+double NormalizedL1Distance(const std::vector<int>& nu,
+                            const std::vector<double>& x_normalized) {
+  double total_nu = 0.0;
+  for (int v : nu) total_nu += v;
+  if (total_nu == 0.0) return std::numeric_limits<double>::infinity();
+  double dist = 0.0;
+  for (size_t g = 0; g < nu.size(); ++g) {
+    dist += std::fabs(nu[g] / total_nu - x_normalized[g]);
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<int> RoundToIntegerCounts(const Vector& x,
+                                      const std::vector<int>& caps,
+                                      size_t max_total) {
+  COMPARESETS_CHECK(x.size() == caps.size()) << "caps size mismatch";
+  size_t q = x.size();
+  std::vector<int> best(q, 0);
+  double best_dist = std::numeric_limits<double>::infinity();
+
+  double x_sum = 0.0;
+  for (size_t g = 0; g < q; ++g) {
+    COMPARESETS_CHECK(x[g] >= 0.0) << "rounding expects non-negative x";
+    x_sum += x[g];
+  }
+  if (x_sum <= 0.0 || max_total == 0) return best;
+
+  std::vector<double> x_normalized(q);
+  for (size_t g = 0; g < q; ++g) x_normalized[g] = x[g] / x_sum;
+
+  // Try every admissible total t; the normalized L1 criterion is not
+  // monotone in t, so an exhaustive scan over t (m is small) is both
+  // simple and exact given the per-t largest-remainder rounding.
+  for (size_t t = 1; t <= max_total; ++t) {
+    std::vector<int> nu(q, 0);
+    std::vector<std::pair<double, size_t>> remainders;
+    int assigned = 0;
+    for (size_t g = 0; g < q; ++g) {
+      double desired = x_normalized[g] * static_cast<double>(t);
+      int base = std::min(static_cast<int>(std::floor(desired)), caps[g]);
+      nu[g] = base;
+      assigned += base;
+      if (base < caps[g]) {
+        remainders.emplace_back(desired - base, g);
+      }
+    }
+    int remaining = static_cast<int>(t) - assigned;
+    // Distribute leftovers to the largest fractional remainders first,
+    // honoring the per-group caps (stable tie-break by group index).
+    std::stable_sort(remainders.begin(), remainders.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first;
+                     });
+    for (const auto& [remainder, g] : remainders) {
+      if (remaining <= 0) break;
+      int room = caps[g] - nu[g];
+      if (room <= 0) continue;
+      int take = std::min(room, remaining);
+      nu[g] += take;
+      remaining -= take;
+    }
+    double dist = NormalizedL1Distance(nu, x_normalized);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = nu;
+    }
+  }
+  return best;
+}
+
+Result<IntegerRegressionResult> SolveIntegerRegression(
+    const DesignSystem& system, size_t m, const TrueCostFn& true_cost) {
+  if (m == 0) return Status::InvalidArgument("m must be >= 1");
+  if (system.v.cols() == 0) {
+    return Status::InvalidArgument("empty design system");
+  }
+  COMPARESETS_CHECK(system.dup_counts.size() == system.v.cols())
+      << "dedup bookkeeping mismatch";
+
+  IntegerRegressionResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  std::set<Selection> evaluated;
+
+  auto consider = [&](Selection candidate) {
+    if (candidate.empty()) return;
+    std::sort(candidate.begin(), candidate.end());
+    if (!evaluated.insert(candidate).second) return;
+    double cost = true_cost(candidate);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.selection = candidate;
+    }
+  };
+
+  size_t max_ell = std::min(m, system.v.cols());
+  for (size_t ell = 1; ell <= max_ell; ++ell) {
+    auto nomp = SolveNomp(system.v, system.target, ell);
+    if (!nomp.ok()) continue;  // Degenerate system at this ℓ; try others.
+    const Vector& x = nomp.value().x;
+    if (nomp.value().support.empty()) continue;
+
+    std::vector<int> nu = RoundToIntegerCounts(x, system.dup_counts, m);
+    Selection candidate;
+    for (size_t g = 0; g < nu.size(); ++g) {
+      // ν_g copies of group g: any ν_g members are equivalent (identical
+      // annotation signature), take the first ones deterministically.
+      for (int c = 0; c < nu[g]; ++c) {
+        candidate.push_back(system.group_reviews[g][static_cast<size_t>(c)]);
+      }
+    }
+    consider(std::move(candidate));
+  }
+
+  if (!std::isfinite(best.cost)) {
+    // Every relaxation degenerated (e.g. all-zero design rows). Fall back
+    // to the first review so callers always get a non-empty selection.
+    Selection fallback = {system.group_reviews[0][0]};
+    best.cost = true_cost(fallback);
+    best.selection = std::move(fallback);
+  }
+  return best;
+}
+
+}  // namespace comparesets

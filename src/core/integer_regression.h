@@ -1,0 +1,37 @@
+// The Integer-Regression engine (Lappas et al. KDD'12; paper §2.2,
+// Algorithm 1 lines 6–12): solve the continuous sparse non-negative
+// relaxation with NOMP for every sparsity budget ℓ = 1..m, round each
+// continuous solution to the nearest feasible integer selection, and
+// keep the candidate with the lowest *true* set objective.
+
+#pragma once
+
+#include <functional>
+
+#include "core/design_matrix.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+/// Exact objective of a candidate selection (review indices into
+/// Product::reviews). Selectors pass Eq. 3 / Algorithm-1-line-10 costs.
+using TrueCostFn = std::function<double(const Selection&)>;
+
+struct IntegerRegressionResult {
+  Selection selection;  ///< Chosen review indices, sorted ascending.
+  double cost = 0.0;    ///< TrueCostFn value of the winner.
+};
+
+/// Rounds a continuous NOMP solution x to integer group counts ν
+/// minimizing ‖ν/‖ν‖₁ − x/‖x‖₁‖₁ subject to ν_g ≤ caps[g] and
+/// ‖ν‖₁ ≤ max_total (Algorithm 1 line 8). Exposed for testing.
+std::vector<int> RoundToIntegerCounts(const Vector& x,
+                                      const std::vector<int>& caps,
+                                      size_t max_total);
+
+/// Runs the engine on a deduplicated system; selects at most m reviews.
+/// `true_cost` is consulted once per distinct rounded candidate.
+Result<IntegerRegressionResult> SolveIntegerRegression(
+    const DesignSystem& system, size_t m, const TrueCostFn& true_cost);
+
+}  // namespace comparesets

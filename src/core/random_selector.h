@@ -1,0 +1,17 @@
+// Random baseline (§4.1.2): samples min(m, |R_i|) reviews uniformly
+// without replacement, per item. Deterministic given the options seed.
+
+#pragma once
+
+#include "core/selector.h"
+
+namespace comparesets {
+
+class RandomSelector : public ReviewSelector {
+ public:
+  std::string name() const override { return "Random"; }
+  Result<SelectionResult> Select(const InstanceVectors& vectors,
+                                 const SelectorOptions& options) const override;
+};
+
+}  // namespace comparesets

@@ -1,0 +1,33 @@
+#include "core/selector.h"
+
+#include "core/compare_sets.h"
+#include "core/compare_sets_plus.h"
+#include "core/crs.h"
+#include "core/greedy_selector.h"
+#include "core/random_selector.h"
+
+namespace comparesets {
+
+Result<std::unique_ptr<ReviewSelector>> MakeSelector(const std::string& name) {
+  if (name == "Random") return std::unique_ptr<ReviewSelector>(new RandomSelector());
+  if (name == "Crs") return std::unique_ptr<ReviewSelector>(new CrsSelector());
+  if (name == "CompaReSetSGreedy") {
+    return std::unique_ptr<ReviewSelector>(new CompareSetsGreedySelector());
+  }
+  if (name == "CompaReSetS") {
+    return std::unique_ptr<ReviewSelector>(new CompareSetsSelector());
+  }
+  if (name == "CompaReSetS+") {
+    return std::unique_ptr<ReviewSelector>(new CompareSetsPlusSelector());
+  }
+  return Status::NotFound("unknown selector: " + name);
+}
+
+const std::vector<std::string>& AllSelectorNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "Random", "Crs", "CompaReSetSGreedy", "CompaReSetS", "CompaReSetS+",
+  };
+  return *kNames;
+}
+
+}  // namespace comparesets

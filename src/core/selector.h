@@ -1,0 +1,59 @@
+// Common interface for comparative review-set selectors: the paper's
+// CompaReSetS / CompaReSetS+ and the baselines Crs, CompaReSetSGreedy,
+// and Random (§4.1.2).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opinion/vectors.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+struct SelectorOptions {
+  /// Maximum number of reviews to select per item (paper's m).
+  size_t m = 3;
+  /// Opinion-vs-aspect trade-off λ (best value in the paper: 1).
+  double lambda = 1.0;
+  /// Cross-item synchronization weight μ (best value in the paper: 0.1).
+  double mu = 0.1;
+  /// Seed for stochastic selectors (Random).
+  uint64_t seed = 7;
+  /// Extra coordinate-descent sweeps for CompaReSetS+ beyond Algorithm 1's
+  /// single pass (0 reproduces the paper; more sweeps is an extension
+  /// that can only improve the objective).
+  int extra_sync_rounds = 0;
+};
+
+struct SelectionResult {
+  /// One selection (review indices, sorted) per item; index 0 = target.
+  std::vector<Selection> selections;
+  /// The Eq. 5 objective value of the selections (with the options' λ, μ),
+  /// reported uniformly so all algorithms are comparable.
+  double objective = 0.0;
+};
+
+class ReviewSelector {
+ public:
+  virtual ~ReviewSelector() = default;
+
+  /// Stable display name used in benchmark tables.
+  virtual std::string name() const = 0;
+
+  /// Selects at most options.m reviews per item of the instance.
+  virtual Result<SelectionResult> Select(const InstanceVectors& vectors,
+                                         const SelectorOptions& options) const = 0;
+};
+
+/// Factory by table name: "Random", "Crs", "CompaReSetSGreedy",
+/// "CompaReSetS", "CompaReSetS+". Unknown names return an error.
+Result<std::unique_ptr<ReviewSelector>> MakeSelector(const std::string& name);
+
+/// All selector names in the paper's table order.
+const std::vector<std::string>& AllSelectorNames();
+
+}  // namespace comparesets

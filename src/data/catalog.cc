@@ -1,0 +1,27 @@
+#include "data/catalog.h"
+
+#include "util/logging.h"
+
+namespace comparesets {
+
+AspectId AspectCatalog::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  AspectId id = static_cast<AspectId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+AspectId AspectCatalog::Find(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+const std::string& AspectCatalog::Name(AspectId id) const {
+  COMPARESETS_CHECK(id >= 0 && static_cast<size_t>(id) < names_.size())
+      << "aspect id out of range: " << id;
+  return names_[static_cast<size_t>(id)];
+}
+
+}  // namespace comparesets

@@ -1,0 +1,37 @@
+// Aspect catalog: the universal aspect set A = {a_1 .. a_z} of the paper,
+// mapping aspect names to dense ids shared by a whole corpus.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/review.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+class AspectCatalog {
+ public:
+  /// Returns the id for `name`, inserting it if new.
+  AspectId Intern(const std::string& name);
+
+  /// Id lookup without insertion; -1 when absent.
+  AspectId Find(const std::string& name) const;
+
+  /// Name of an aspect id; CHECK-fails when out of range.
+  const std::string& Name(AspectId id) const;
+
+  /// Number of aspects z.
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, AspectId> ids_;
+};
+
+}  // namespace comparesets

@@ -1,0 +1,76 @@
+#include "data/corpus.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace comparesets {
+
+Status Corpus::AddProduct(Product product) {
+  COMPARESETS_CHECK(!finalized_) << "AddProduct after Finalize()";
+  auto [it, inserted] = index_.emplace(product.id, products_.size());
+  if (!inserted) {
+    return Status::AlreadyExists("duplicate product id: " + product.id);
+  }
+  products_.push_back(std::move(product));
+  return Status::OK();
+}
+
+void Corpus::Finalize() {
+  // The id index is maintained incrementally by AddProduct; finalizing
+  // freezes the product vector so pointers handed out stay valid.
+  finalized_ = true;
+}
+
+size_t Corpus::num_reviews() const {
+  size_t total = 0;
+  for (const Product& p : products_) total += p.reviews.size();
+  return total;
+}
+
+size_t Corpus::num_reviewers() const {
+  std::unordered_set<std::string> reviewers;
+  for (const Product& p : products_) {
+    for (const Review& r : p.reviews) {
+      if (!r.reviewer_id.empty()) reviewers.insert(r.reviewer_id);
+    }
+  }
+  return reviewers.size();
+}
+
+const Product* Corpus::Find(const std::string& product_id) const {
+  COMPARESETS_CHECK(finalized_) << "Find before Finalize()";
+  auto it = index_.find(product_id);
+  return it == index_.end() ? nullptr : &products_[it->second];
+}
+
+Product* Corpus::MutableProduct(size_t index) {
+  COMPARESETS_CHECK(index < products_.size()) << "product index out of range";
+  return &products_[index];
+}
+
+std::vector<ProblemInstance> Corpus::BuildInstances(
+    const InstanceOptions& options) const {
+  COMPARESETS_CHECK(finalized_) << "BuildInstances before Finalize()";
+  std::vector<ProblemInstance> instances;
+  for (const Product& target : products_) {
+    if (target.reviews.size() < options.min_reviews_per_item) continue;
+    ProblemInstance instance;
+    instance.items.push_back(&target);
+    for (const std::string& other_id : target.also_bought) {
+      if (options.max_comparative_items > 0 &&
+          instance.items.size() - 1 >= options.max_comparative_items) {
+        break;
+      }
+      const Product* other = Find(other_id);
+      if (other == nullptr || other == &target) continue;
+      if (other->reviews.size() < options.min_reviews_per_item) continue;
+      instance.items.push_back(other);
+    }
+    if (instance.items.size() - 1 < options.min_comparative_items) continue;
+    instances.push_back(std::move(instance));
+  }
+  return instances;
+}
+
+}  // namespace comparesets

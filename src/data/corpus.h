@@ -1,0 +1,89 @@
+// Corpus: a product category's products + aspect catalog, and the
+// machinery to enumerate problem instances (one per target item, as in
+// §4.1.1 — each target with its also-bought comparatives is an
+// independent instance).
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/catalog.h"
+#include "data/review.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+/// One CompaReSetS problem instance: items[0] is the target p1, the rest
+/// are the comparative items p2..pn. Pointers reference Corpus storage
+/// and remain valid for the corpus lifetime (products are never moved
+/// after Finalize()).
+struct ProblemInstance {
+  std::vector<const Product*> items;
+
+  const Product& target() const { return *items[0]; }
+  size_t num_items() const { return items.size(); }
+};
+
+/// Controls which also-bought candidates form instances.
+struct InstanceOptions {
+  /// Items (target or comparative) with fewer reviews are skipped.
+  size_t min_reviews_per_item = 2;
+  /// Instances with fewer than this many comparative items are skipped.
+  size_t min_comparative_items = 2;
+  /// Cap on comparative items per instance (0 = no cap).
+  size_t max_comparative_items = 0;
+};
+
+class Corpus {
+ public:
+  Corpus() = default;
+  explicit Corpus(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  AspectCatalog& catalog() { return catalog_; }
+  const AspectCatalog& catalog() const { return catalog_; }
+
+  /// Number of aspects z.
+  size_t num_aspects() const { return catalog_.size(); }
+
+  /// Adds a product; ids must be unique. Invalidates prior pointers —
+  /// call before Finalize() only.
+  Status AddProduct(Product product);
+
+  /// Freezes product storage (pointers stay valid afterwards) and builds
+  /// the id index. Must be called before Find/BuildInstances.
+  void Finalize();
+
+  const std::vector<Product>& products() const { return products_; }
+  size_t num_products() const { return products_.size(); }
+
+  /// Total reviews across all products.
+  size_t num_reviews() const;
+
+  /// Distinct reviewer ids across all reviews.
+  size_t num_reviewers() const;
+
+  /// Lookup by product id; nullptr when absent. Requires Finalize().
+  const Product* Find(const std::string& product_id) const;
+
+  /// Mutable access for in-place edits (e.g. attaching annotation
+  /// sidecars). Never reallocates, so Find() pointers stay valid.
+  Product* MutableProduct(size_t index);
+
+  /// Builds one instance per eligible target product from the also-bought
+  /// metadata. Requires Finalize().
+  std::vector<ProblemInstance> BuildInstances(
+      const InstanceOptions& options = {}) const;
+
+ private:
+  std::string name_;
+  AspectCatalog catalog_;
+  std::vector<Product> products_;
+  std::unordered_map<std::string, size_t> index_;
+  bool finalized_ = false;
+};
+
+}  // namespace comparesets

@@ -1,0 +1,129 @@
+#include "data/export.h"
+
+#include <unordered_map>
+
+#include "util/csv.h"
+#include "util/jsonl.h"
+
+namespace comparesets {
+
+std::string ExportReviewsJsonl(const Corpus& corpus) {
+  std::string out;
+  for (const Product& product : corpus.products()) {
+    for (const Review& review : product.reviews) {
+      JsonValue::Object row;
+      row.emplace("asin", product.id);
+      row.emplace("reviewID", review.id);
+      row.emplace("reviewerID", review.reviewer_id);
+      row.emplace("reviewText", review.text);
+      row.emplace("overall", review.rating);
+      out += JsonValue(std::move(row)).Dump();
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string ExportMetadataJsonl(const Corpus& corpus) {
+  std::string out;
+  for (const Product& product : corpus.products()) {
+    JsonValue::Object row;
+    row.emplace("asin", product.id);
+    row.emplace("title", product.title);
+    JsonValue::Array also_bought;
+    for (const std::string& other : product.also_bought) {
+      also_bought.emplace_back(other);
+    }
+    JsonValue::Object related;
+    related.emplace("also_bought", std::move(also_bought));
+    row.emplace("related", std::move(related));
+    out += JsonValue(std::move(row)).Dump();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ExportAnnotationsJsonl(const Corpus& corpus) {
+  std::string out;
+  for (const Product& product : corpus.products()) {
+    for (const Review& review : product.reviews) {
+      JsonValue::Object row;
+      row.emplace("review", review.id);
+      JsonValue::Array opinions;
+      for (const OpinionMention& mention : review.opinions) {
+        JsonValue::Object opinion;
+        opinion.emplace("aspect", corpus.catalog().Name(mention.aspect));
+        opinion.emplace("polarity", PolarityName(mention.polarity));
+        opinion.emplace("strength", mention.strength);
+        opinions.push_back(JsonValue(std::move(opinion)));
+      }
+      row.emplace("opinions", std::move(opinions));
+      out += JsonValue(std::move(row)).Dump();
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Status AttachAnnotationsJsonl(const std::string& annotations_jsonl,
+                              Corpus* corpus) {
+  COMPARESETS_ASSIGN_OR_RETURN(std::vector<JsonValue> rows,
+                               ParseJsonLines(annotations_jsonl));
+
+  // Review id -> (product index, review index).
+  std::unordered_map<std::string, std::pair<size_t, size_t>> index;
+  for (size_t p = 0; p < corpus->num_products(); ++p) {
+    const Product& product = corpus->products()[p];
+    for (size_t r = 0; r < product.reviews.size(); ++r) {
+      index.emplace(product.reviews[r].id, std::make_pair(p, r));
+    }
+  }
+
+  for (const JsonValue& row : rows) {
+    std::string review_id = row.GetString("review");
+    auto it = index.find(review_id);
+    if (it == index.end()) {
+      return Status::NotFound("annotation row for unknown review '" +
+                              review_id + "'");
+    }
+    const JsonValue* opinions = row.Find("opinions");
+    if (opinions == nullptr || !opinions->is_array()) {
+      return Status::ParseError("annotation row for '" + review_id +
+                                "' lacks an 'opinions' array");
+    }
+    std::vector<OpinionMention> mentions;
+    for (const JsonValue& entry : opinions->as_array()) {
+      OpinionMention mention;
+      std::string aspect = entry.GetString("aspect");
+      if (aspect.empty()) {
+        return Status::ParseError("opinion without aspect in review '" +
+                                  review_id + "'");
+      }
+      mention.aspect = corpus->catalog().Intern(aspect);
+      std::string polarity = entry.GetString("polarity", "positive");
+      if (polarity == "positive") mention.polarity = Polarity::kPositive;
+      else if (polarity == "negative") mention.polarity = Polarity::kNegative;
+      else if (polarity == "neutral") mention.polarity = Polarity::kNeutral;
+      else {
+        return Status::ParseError("unknown polarity '" + polarity +
+                                  "' in review '" + review_id + "'");
+      }
+      mention.strength = entry.GetNumber("strength", 1.0);
+      mentions.push_back(mention);
+    }
+    Product* product = corpus->MutableProduct(it->second.first);
+    product->reviews[it->second.second].opinions = std::move(mentions);
+  }
+  return Status::OK();
+}
+
+Status ExportCorpusFiles(const Corpus& corpus, const std::string& prefix) {
+  COMPARESETS_RETURN_NOT_OK(WriteStringToFile(prefix + ".reviews.jsonl",
+                                              ExportReviewsJsonl(corpus)));
+  COMPARESETS_RETURN_NOT_OK(WriteStringToFile(prefix + ".metadata.jsonl",
+                                              ExportMetadataJsonl(corpus)));
+  return WriteStringToFile(prefix + ".annotations.jsonl",
+                           ExportAnnotationsJsonl(corpus));
+}
+
+}  // namespace comparesets

@@ -1,0 +1,42 @@
+// Corpus export in the Amazon JSONL layout the loader reads — so
+// synthetic corpora can be persisted, inspected, shared, and reloaded
+// through the exact ingestion path real data takes.
+//
+// Round-trip caveat: the loader re-annotates text via aspect mining, so
+// a reloaded corpus has *mined* annotations, not the generator's ground
+// truth. For a lossless round trip of annotations, export/import the
+// annotations sidecar as well (ExportAnnotationsJsonl /
+// AttachAnnotationsJsonl).
+
+#pragma once
+
+#include <string>
+
+#include "data/corpus.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+/// Review rows: {"asin", "reviewerID", "reviewText", "overall"}.
+std::string ExportReviewsJsonl(const Corpus& corpus);
+
+/// Metadata rows: {"asin", "title", "related": {"also_bought": [...]}}.
+std::string ExportMetadataJsonl(const Corpus& corpus);
+
+/// Ground-truth annotation sidecar, one row per review:
+/// {"review": id, "opinions": [{"aspect": name, "polarity": p,
+///  "strength": s}, ...]}.
+std::string ExportAnnotationsJsonl(const Corpus& corpus);
+
+/// Replaces every review's opinions with the sidecar's ground truth
+/// (aspects are interned into the corpus catalog). Rows referencing
+/// unknown review ids are an error; reviews without a row keep their
+/// current annotations.
+Status AttachAnnotationsJsonl(const std::string& annotations_jsonl,
+                              Corpus* corpus);
+
+/// Convenience: writes reviews/metadata/annotations to
+/// <prefix>.reviews.jsonl / .metadata.jsonl / .annotations.jsonl.
+Status ExportCorpusFiles(const Corpus& corpus, const std::string& prefix);
+
+}  // namespace comparesets

@@ -1,0 +1,113 @@
+#include "data/loader.h"
+
+#include <map>
+#include <vector>
+
+#include "nlp/annotator.h"
+#include "util/csv.h"
+#include "util/jsonl.h"
+
+namespace comparesets {
+
+Result<Corpus> LoadAmazonCorpus(const std::string& name,
+                                const std::string& reviews_jsonl,
+                                const std::string& metadata_jsonl,
+                                const LoaderOptions& options) {
+  COMPARESETS_ASSIGN_OR_RETURN(std::vector<JsonValue> review_rows,
+                               ParseJsonLines(reviews_jsonl));
+  COMPARESETS_ASSIGN_OR_RETURN(std::vector<JsonValue> meta_rows,
+                               ParseJsonLines(metadata_jsonl));
+
+  // Group raw reviews by product id, preserving input order.
+  struct RawReview {
+    std::string id;  // Optional "reviewID" field (kept when present).
+    std::string reviewer;
+    std::string text;
+    double rating;
+  };
+  std::map<std::string, std::vector<RawReview>> by_product;
+  std::vector<RatedText> all_rated;
+  for (const JsonValue& row : review_rows) {
+    std::string asin = row.GetString("asin");
+    if (asin.empty()) {
+      return Status::ParseError("review row missing 'asin'");
+    }
+    RawReview raw;
+    raw.id = row.GetString("reviewID");
+    raw.reviewer = row.GetString("reviewerID");
+    raw.text = row.GetString("reviewText");
+    raw.rating = row.GetNumber("overall", 3.0);
+    all_rated.push_back({raw.text, raw.rating});
+    by_product[asin].push_back(std::move(raw));
+  }
+  if (by_product.empty()) {
+    return Status::InvalidArgument("no reviews in input");
+  }
+
+  // Metadata: titles and also-bought lists.
+  std::map<std::string, std::pair<std::string, std::vector<std::string>>> meta;
+  for (const JsonValue& row : meta_rows) {
+    std::string asin = row.GetString("asin");
+    if (asin.empty()) continue;
+    std::vector<std::string> also_bought;
+    if (const JsonValue* related = row.Find("related")) {
+      if (const JsonValue* ab = related->Find("also_bought")) {
+        if (ab->is_array()) {
+          for (const JsonValue& entry : ab->as_array()) {
+            if (entry.is_string()) also_bought.push_back(entry.as_string());
+          }
+        }
+      }
+    }
+    meta[asin] = {row.GetString("title"), std::move(also_bought)};
+  }
+
+  // Mine the aspect lexicon from the whole corpus, then annotate.
+  COMPARESETS_ASSIGN_OR_RETURN(
+      AspectLexicon lexicon,
+      MineAspectLexicon(all_rated, SentimentLexicon::Default(),
+                        options.mining));
+
+  Corpus corpus(name);
+  ReviewAnnotator annotator(&lexicon, &SentimentLexicon::Default(),
+                            &corpus.catalog());
+
+  for (auto& [asin, raws] : by_product) {
+    if (raws.size() < options.min_reviews_per_product) continue;
+    Product product;
+    product.id = asin;
+    auto meta_it = meta.find(asin);
+    if (meta_it != meta.end()) {
+      product.title = meta_it->second.first;
+      product.also_bought = meta_it->second.second;
+    }
+    size_t counter = 0;
+    for (RawReview& raw : raws) {
+      Review review;
+      review.id = raw.id.empty() ? asin + "-R" + std::to_string(counter)
+                                 : std::move(raw.id);
+      ++counter;
+      review.reviewer_id = std::move(raw.reviewer);
+      review.rating = raw.rating;
+      review.opinions = annotator.Annotate(raw.text);
+      review.text = std::move(raw.text);
+      product.reviews.push_back(std::move(review));
+    }
+    COMPARESETS_RETURN_NOT_OK(corpus.AddProduct(std::move(product)));
+  }
+  corpus.Finalize();
+  return corpus;
+}
+
+Result<Corpus> LoadAmazonCorpusFromFiles(const std::string& name,
+                                         const std::string& reviews_path,
+                                         const std::string& metadata_path,
+                                         const LoaderOptions& options) {
+  COMPARESETS_ASSIGN_OR_RETURN(std::string reviews,
+                               ReadFileToString(reviews_path));
+  COMPARESETS_ASSIGN_OR_RETURN(std::string metadata,
+                               ReadFileToString(metadata_path));
+  return LoadAmazonCorpus(name, reviews, metadata, options);
+}
+
+}  // namespace comparesets

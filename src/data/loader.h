@@ -1,0 +1,42 @@
+// Loaders for external datasets in the Amazon Product Review layout the
+// paper uses (§4.1.1):
+//   * reviews:  JSON lines with {"asin", "reviewerID", "reviewText",
+//               "overall"} fields;
+//   * metadata: JSON lines with {"asin", "title", "related":
+//               {"also_bought": [...]}} fields.
+// Raw text is annotated on the fly with the frequency-based pipeline in
+// src/nlp/ (mined aspect lexicon + default sentiment lexicon), matching
+// the paper's "annotations as given" setup.
+
+#pragma once
+
+#include <string>
+
+#include "data/corpus.h"
+#include "nlp/aspect_extractor.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+struct LoaderOptions {
+  /// Aspect-mining knobs (defaults follow the paper: top-2000 frequent
+  /// terms re-ranked by rating correlation, keep 500).
+  AspectMiningOptions mining;
+  /// Products with fewer reviews than this are dropped entirely.
+  size_t min_reviews_per_product = 2;
+};
+
+/// Loads a corpus from review + metadata JSONL documents (contents, not
+/// paths — callers use util/csv.h ReadFileToString for files).
+Result<Corpus> LoadAmazonCorpus(const std::string& name,
+                                const std::string& reviews_jsonl,
+                                const std::string& metadata_jsonl,
+                                const LoaderOptions& options = {});
+
+/// Loads from files on disk.
+Result<Corpus> LoadAmazonCorpusFromFiles(const std::string& name,
+                                         const std::string& reviews_path,
+                                         const std::string& metadata_path,
+                                         const LoaderOptions& options = {});
+
+}  // namespace comparesets

@@ -1,0 +1,28 @@
+#include "data/review.h"
+
+#include <algorithm>
+
+namespace comparesets {
+
+const char* PolarityName(Polarity polarity) {
+  switch (polarity) {
+    case Polarity::kPositive:
+      return "positive";
+    case Polarity::kNegative:
+      return "negative";
+    case Polarity::kNeutral:
+      return "neutral";
+  }
+  return "?";
+}
+
+std::vector<AspectId> Review::MentionedAspects() const {
+  std::vector<AspectId> out;
+  out.reserve(opinions.size());
+  for (const OpinionMention& mention : opinions) out.push_back(mention.aspect);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace comparesets

@@ -1,0 +1,62 @@
+// Core data model: aspects, opinions, reviews, products.
+//
+// A review carries raw text (scored by ROUGE) plus a list of
+// (aspect, polarity, strength) opinion mentions. Following the paper
+// (§4.1.1), annotations are normally "given" — produced by the synthetic
+// generator or by the frequency-based extractor in src/nlp/.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace comparesets {
+
+/// Index into the corpus-wide aspect catalog (0..z-1).
+using AspectId = int32_t;
+
+/// Sentiment polarity of one opinion mention. kNeutral participates only
+/// in the 3-polarity opinion model; the default binary model treats
+/// neutral mentions as aspect-only occurrences.
+enum class Polarity : uint8_t { kPositive, kNegative, kNeutral };
+
+const char* PolarityName(Polarity polarity);
+
+/// One aspect-opinion mention inside a review, e.g. (battery, +, 1.5).
+struct OpinionMention {
+  AspectId aspect = -1;
+  Polarity polarity = Polarity::kPositive;
+  /// Signed-magnitude sentiment strength (>= 0); used by the unary-scale
+  /// opinion model where aggregated sentiment is squashed by a sigmoid.
+  double strength = 1.0;
+
+  bool operator==(const OpinionMention& other) const {
+    return aspect == other.aspect && polarity == other.polarity &&
+           strength == other.strength;
+  }
+};
+
+/// One product review.
+struct Review {
+  std::string id;
+  std::string reviewer_id;
+  std::string text;
+  double rating = 0.0;  ///< Star rating in [1, 5]; 0 when unknown.
+  std::vector<OpinionMention> opinions;
+
+  /// Distinct aspects mentioned (each aspect reported once, regardless of
+  /// how many opinions hit it). Sorted ascending.
+  std::vector<AspectId> MentionedAspects() const;
+};
+
+/// One product with its full review set and comparative candidates.
+struct Product {
+  std::string id;
+  std::string title;
+  std::vector<Review> reviews;
+  /// Product ids from "also bought" metadata — the comparative candidates.
+  std::vector<std::string> also_bought;
+};
+
+}  // namespace comparesets

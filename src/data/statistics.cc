@@ -1,0 +1,49 @@
+#include "data/statistics.h"
+
+#include "util/string_util.h"
+
+namespace comparesets {
+
+std::string DatasetStatistics::ToString() const {
+  std::string out;
+  out += "Dataset: " + name + "\n";
+  out += "  #Product:                  " +
+         FormatWithCommas(static_cast<int64_t>(num_products)) + "\n";
+  out += "  #Reviewer:                 " +
+         FormatWithCommas(static_cast<int64_t>(num_reviewers)) + "\n";
+  out += "  #Review:                   " +
+         FormatWithCommas(static_cast<int64_t>(num_reviews)) + "\n";
+  out += "  #Target Product:           " +
+         FormatWithCommas(static_cast<int64_t>(num_target_products)) + "\n";
+  out += "  Avg. #Comparison Product:  " +
+         FormatDouble(avg_comparison_products, 2) + "\n";
+  out += "  Avg. #Review per Product:  " +
+         FormatDouble(avg_reviews_per_product, 2) + "\n";
+  return out;
+}
+
+DatasetStatistics ComputeStatistics(const Corpus& corpus,
+                                    const InstanceOptions& options) {
+  DatasetStatistics stats;
+  stats.name = corpus.name();
+  stats.num_products = corpus.num_products();
+  stats.num_reviewers = corpus.num_reviewers();
+  stats.num_reviews = corpus.num_reviews();
+  if (stats.num_products > 0) {
+    stats.avg_reviews_per_product =
+        static_cast<double>(stats.num_reviews) / stats.num_products;
+  }
+  std::vector<ProblemInstance> instances = corpus.BuildInstances(options);
+  stats.num_target_products = instances.size();
+  if (!instances.empty()) {
+    size_t total_comparisons = 0;
+    for (const ProblemInstance& instance : instances) {
+      total_comparisons += instance.num_items() - 1;
+    }
+    stats.avg_comparison_products =
+        static_cast<double>(total_comparisons) / instances.size();
+  }
+  return stats;
+}
+
+}  // namespace comparesets

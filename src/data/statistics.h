@@ -1,0 +1,28 @@
+// Dataset statistics — the quantities of the paper's Table 2.
+
+#pragma once
+
+#include <string>
+
+#include "data/corpus.h"
+
+namespace comparesets {
+
+struct DatasetStatistics {
+  std::string name;
+  size_t num_products = 0;
+  size_t num_reviewers = 0;
+  size_t num_reviews = 0;
+  /// Products that form a valid problem instance (enough comparatives).
+  size_t num_target_products = 0;
+  double avg_comparison_products = 0.0;
+  double avg_reviews_per_product = 0.0;
+
+  /// One formatted line per Table 2 row.
+  std::string ToString() const;
+};
+
+DatasetStatistics ComputeStatistics(const Corpus& corpus,
+                                    const InstanceOptions& options = {});
+
+}  // namespace comparesets

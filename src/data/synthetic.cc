@@ -1,0 +1,545 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace comparesets {
+
+const CategoryVocabulary& CellphoneVocabulary() {
+  static const CategoryVocabulary* kVocab = new CategoryVocabulary{
+      "Cellphone",
+      {"charger", "battery", "cable", "screen", "case", "price", "shipping",
+       "color", "fit", "button", "camera", "sound", "speaker", "plug",
+       "port", "weight", "design", "grip", "signal", "adapter", "holder",
+       "protector", "connector", "packaging"},
+      {"I bought this {c} {t}.",
+       "Arrived quickly and just as described.",
+       "My {p} has been using it every day since it arrived.",
+       "Got this as a present for my {p} and it gets used all the time.",
+       "Ordered it {t} and delivery was on time.",
+       "I keep it in the car in case I need it.",
+       "This is exactly what I expected when I ordered it {t}.",
+       "I have tried a few of these over the years.",
+       "Will update this review if anything changes.",
+       "Seems like the original product, not a copy.",
+       "My old one finally gave out {t} so I needed a replacement.",
+       "I did a fair amount of research before picking this one {c}.",
+       "My {p} has the same model and theirs works too.",
+       "I travel a lot for work so this gets heavy use.",
+       "Customer service answered my question within a day.",
+       "The listing photos match what showed up at my door.",
+       "I picked it up {t} {c}.",
+       "It pairs nicely with the rest of my setup.",
+       "My {p} recommended this brand to me {t}.",
+       "I'll probably grab a second one {c}."},
+  };
+  return *kVocab;
+}
+
+const CategoryVocabulary& ToyVocabulary() {
+  static const CategoryVocabulary* kVocab = new CategoryVocabulary{
+      "Toy",
+      {"puzzle", "pieces", "box", "instructions", "kids", "price", "colors",
+       "size", "material", "assembly", "paint", "battery", "sound", "lights",
+       "wheels", "figures", "cards", "board", "dice", "stickers", "blocks",
+       "picture", "edges", "bag"},
+      {"We bought this for our {p} {t}.",
+       "My {p} and I spend a lot of time playing with it.",
+       "This kept the whole family busy {t}.",
+       "We are always up for a challenge in this house.",
+       "Bought it {c} and it was a big hit.",
+       "The grandkids ask for it every time they visit.",
+       "We put it together {t} over three evenings.",
+       "This was recommended by my {p} {t}.",
+       "It has survived several play dates already.",
+       "We will definitely be buying another one {c}.",
+       "Our {p} opened it before we could wrap it.",
+       "Rainy Saturdays are a lot easier with this around.",
+       "My {p} is obsessed with anything from this brand.",
+       "It stores away neatly on the shelf when we are done.",
+       "The whole class played with it at the party {t}.",
+       "My {p} ordered one for their house as well.",
+       "We have a drawer full of toys and this is the favorite.",
+       "Even the teenagers joined in after dinner {t}.",
+       "It took about an hour before the kids got the hang of it.",
+       "We first tried one at my {p}'s place {t}."},
+  };
+  return *kVocab;
+}
+
+const CategoryVocabulary& ClothingVocabulary() {
+  static const CategoryVocabulary* kVocab = new CategoryVocabulary{
+      "Clothing",
+      {"size", "fit", "color", "fabric", "material", "comfort", "price",
+       "sole", "heel", "strap", "waist", "length", "stitching", "zipper",
+       "pockets", "design", "arch", "width", "lining", "buttons", "collar",
+       "sleeves", "elastic", "laces"},
+      {"I ordered my usual size {t}.",
+       "I wear these to work almost every day now.",
+       "Got lots of compliments from my {p} the first time I wore them.",
+       "I was looking for something {c}.",
+       "I have a few pieces from this brand already.",
+       "They look much better in person than in the photos.",
+       "I wore them all day walking around town {t}.",
+       "Shipping was fast and the packaging was fine.",
+       "I washed them twice already and they held up.",
+       "I would order from this seller again {c}.",
+       "I needed something {c} {t}.",
+       "My {p} borrowed them and didn't want to give them back.",
+       "These replaced a pair I had worn out completely.",
+       "I'm between sizes so I read a lot of reviews first.",
+       "They go with basically everything in my closet.",
+       "I took them on vacation {t} and lived in them for a week.",
+       "The package arrived two days earlier than promised.",
+       "My {p} is picky about clothes but these won them over.",
+       "After a month of regular wear they still look new.",
+       "I bought one in another color {t}."},
+  };
+  return *kVocab;
+}
+
+Result<const CategoryVocabulary*> VocabularyByName(const std::string& name) {
+  std::string lower = ToLower(name);
+  if (lower == "cellphone") return &CellphoneVocabulary();
+  if (lower == "toy") return &ToyVocabulary();
+  if (lower == "clothing") return &ClothingVocabulary();
+  return Status::NotFound("unknown category: " + name +
+                          " (expected Cellphone, Toy, or Clothing)");
+}
+
+Result<SyntheticConfig> DefaultConfig(const std::string& category,
+                                      size_t num_products) {
+  COMPARESETS_ASSIGN_OR_RETURN(const CategoryVocabulary* vocab,
+                               VocabularyByName(category));
+  SyntheticConfig config;
+  config.category = vocab->name;
+  config.num_products = num_products;
+  if (vocab->name == "Cellphone") {
+    config.avg_reviews_per_product = 18.64;
+    config.avg_comparison_products = 25.57;
+    config.seed = 42;
+  } else if (vocab->name == "Toy") {
+    config.avg_reviews_per_product = 14.06;
+    config.avg_comparison_products = 34.33;
+    config.cluster_size = 56;
+    config.seed = 43;
+  } else {
+    config.avg_reviews_per_product = 12.10;
+    config.avg_comparison_products = 12.03;
+    config.cluster_size = 32;
+    config.seed = 44;
+  }
+  return config;
+}
+
+namespace {
+
+// Sentence scaffolding shared across categories; {a} is the aspect noun,
+// adjectives come from the polarity word pools below. The pools overlap
+// with nlp/sentiment_lexicon.cc so the annotator can recover the
+// generated ground truth from the surface text.
+// Mention sentences are generated from a small grammar (opener x verb x
+// adjective x closer ~ 10^3 distinct realizations per polarity) rather
+// than a fixed template list: long multi-aspect reviews would otherwise
+// collide on whole sentence skeletons and inflate pairwise ROUGE with
+// review length, drowning the aspect-alignment signal the paper measures.
+const char* const kOpeners[] = {
+    "Honestly",        "To be fair",      "For what it costs",
+    "In daily use",    "Right off the bat", "After some testing",
+    "I must admit",    "Credit where due", "No exaggeration",
+    "Long story short", "From day one",    "Truth be told",
+};
+
+const char* const kBeWords[] = {
+    "is", "has been", "turned out", "remains",
+    "proved to be", "feels", "looks", "stayed",
+};
+
+const char* const kPosClosers[] = {
+    "{d}",                         "so far",
+    "without a single issue",      "which genuinely surprised me",
+    "no question about it",        "through and through",
+    "every single time",           "better than advertised",
+    "beyond what I hoped",         "and then some",
+    "exactly like it should",      "as promised",
+};
+
+const char* const kNegClosers[] = {
+    "{d}",                         "almost immediately",
+    "despite careful handling",    "which ruined it for me",
+    "no matter what I tried",      "to my frustration",
+    "worse than advertised",       "and support was no help",
+    "after barely any use",        "for no reason at all",
+    "just as others warned",       "sad to say",
+};
+
+// Follow-up clauses repeat the focal aspect noun, as real reviewers do;
+// composed from head x tail pools so long reviews do not collide on
+// whole follow-up skeletons.
+const char* const kFollowUpHeads[] = {
+    "I always pay attention to",   "My {p} immediately asked about",
+    "I specifically compared",     "Most listings barely describe",
+    "I spent a while inspecting",  "The deciding factor for me was",
+    "People underestimate",        "I had doubts about",
+    "You notice",                  "Everything hinges on",
+};
+
+const char* const kFollowUpTails[] = {
+    "on products like this",       "before committing to anything",
+    "when shopping {c}",           "and this one delivers",
+    "{d}",                         "more than anything else",
+    "whenever I order online",     "after a bad experience {t}",
+    "so I looked closely",         "and I was not let down",
+};
+
+const char* const kNeutralTemplates[] = {
+    "The {a} is okay, nothing special.",
+    "The {a} is about what you would expect at this price.",
+    "Not much to say about the {a} either way.",
+    "The {a} is average compared to similar products.",
+    "The {a} does its job, no more and no less.",
+    "I barely notice the {a} one way or the other.",
+};
+
+const char* const kPositiveAdjectives[] = {
+    "great", "excellent", "perfect", "amazing", "sturdy", "reliable",
+    "fantastic", "solid", "impressive", "wonderful", "durable", "superb",
+    "awesome", "brilliant", "premium", "smooth",
+};
+
+const char* const kNegativeAdjectives[] = {
+    "terrible", "flimsy", "poor", "awful", "cheaply made", "disappointing",
+    "defective", "useless", "unreliable", "horrible", "faulty", "weak",
+    "frustrating", "annoying", "fragile", "misleading",
+};
+
+// Slot pools for compositional filler text. Real reviews carry a heavy
+// tail of tokens unique to each reviewer; composing fillers from slots
+// (~10^3 distinct realizations per skeleton) reproduces that tail, so
+// pairwise ROUGE-F1 does not artificially grow with review length.
+const char* const kPeople[] = {
+    "wife",     "husband", "daughter", "son",      "friend",  "coworker",
+    "neighbor", "brother", "sister",   "mom",      "dad",     "roommate",
+    "cousin",   "uncle",   "niece",    "grandson",
+};
+
+const char* const kTimes[] = {
+    "last week",        "last month",        "a few days ago",
+    "over the weekend", "back in march",     "before christmas",
+    "earlier this year", "two weeks ago",    "around easter",
+    "on black friday",  "during the summer", "right before vacation",
+    "on my birthday",   "after thanksgiving", "in early spring",
+    "this past winter",
+};
+
+const char* const kContexts[] = {
+    "for a camping trip",   "for the office",      "for daily errands",
+    "for a long road trip", "as a backup",         "on a whim",
+    "after much research",  "to replace a broken one",
+    "for our new apartment", "for school",         "for the gym",
+    "while traveling",      "for a birthday party", "for the holidays",
+    "on a recommendation",  "after seeing an ad",
+};
+
+const char* const kDetails[] = {
+    "in bright sunlight",      "even after repeated drops",
+    "on the very first day",   "through a full month of abuse",
+    "during my commute",       "in freezing weather",
+    "with heavy daily use",    "right out of the packaging",
+    "under real conditions",   "after the second wash",
+    "on rough pavement",       "through two long trips",
+    "at full volume",          "in the middle of a workout",
+    "by the end of the week",  "with everything plugged in",
+};
+
+std::string FillTemplate(Rng* rng, const std::string& tmpl,
+                         const std::string& aspect,
+                         const std::string& adjective) {
+  std::string out = tmpl;
+  auto replace_all_slots = [&](const char* slot, const std::string& value) {
+    size_t pos;
+    while ((pos = out.find(slot)) != std::string::npos) {
+      out.replace(pos, std::string(slot).size(), value);
+    }
+  };
+  replace_all_slots("{a}", aspect);
+  replace_all_slots("{adj}", adjective);
+  replace_all_slots(
+      "{p}", kPeople[rng->UniformU32(
+                 static_cast<uint32_t>(std::size(kPeople)))]);
+  replace_all_slots(
+      "{t}", kTimes[rng->UniformU32(
+                 static_cast<uint32_t>(std::size(kTimes)))]);
+  replace_all_slots(
+      "{c}", kContexts[rng->UniformU32(
+                 static_cast<uint32_t>(std::size(kContexts)))]);
+  replace_all_slots(
+      "{d}", kDetails[rng->UniformU32(
+                 static_cast<uint32_t>(std::size(kDetails)))]);
+  return out;
+}
+
+template <size_t N>
+const char* Pick(Rng* rng, const char* const (&pool)[N]) {
+  return pool[rng->UniformU32(static_cast<uint32_t>(N))];
+}
+
+/// Generates one opinionated sentence about `aspect` from the grammar.
+std::string MentionSentence(Rng* rng, const std::string& aspect,
+                            bool positive, const std::string& adjective) {
+  std::string out;
+  // Half the sentences carry an opener clause.
+  if (rng->Bernoulli(0.5)) {
+    out += Pick(rng, kOpeners);
+    out += ", ";
+    out += "the ";
+  } else {
+    out += "The ";
+  }
+  out += aspect;
+  out += " ";
+  out += Pick(rng, kBeWords);
+  out += " ";
+  out += adjective;
+  out += " ";
+  out += positive ? Pick(rng, kPosClosers) : Pick(rng, kNegClosers);
+  out += ".";
+  return FillTemplate(rng, out, aspect, adjective);
+}
+
+std::string MakeFiller(Rng* rng, const CategoryVocabulary& vocab) {
+  const std::string& skeleton =
+      vocab.fillers[rng->UniformU32(
+          static_cast<uint32_t>(vocab.fillers.size()))];
+  return FillTemplate(rng, skeleton, "", "");
+}
+
+/// One cluster archetype: the core aspects all member products share.
+struct Cluster {
+  std::vector<size_t> core_aspects;
+  std::vector<size_t> member_products;
+};
+
+/// A product's latent profile: its aspect list (cluster core followed by
+/// product-specific extras), importance weights, and per-aspect quality.
+struct ProductProfile {
+  size_t cluster = 0;
+  std::vector<size_t> aspects;     // Global aspect indices.
+  std::vector<double> importance;  // Normalized; aligned with `aspects`.
+  std::vector<double> quality;     // P(positive opinion); aligned.
+};
+
+}  // namespace
+
+Result<Corpus> GenerateCorpus(const SyntheticConfig& config) {
+  COMPARESETS_ASSIGN_OR_RETURN(const CategoryVocabulary* vocab,
+                               VocabularyByName(config.category));
+  if (config.num_products == 0) {
+    return Status::InvalidArgument("num_products must be positive");
+  }
+  if (config.avg_reviews_per_product < 2.0) {
+    return Status::InvalidArgument("avg_reviews_per_product must be >= 2");
+  }
+  size_t z = vocab->aspects.size();
+  if (config.core_aspects_per_cluster + config.extra_aspects_per_product > z) {
+    return Status::InvalidArgument("aspect budget exceeds catalog size");
+  }
+
+  Rng rng(config.seed, 0x5eed);
+  Corpus corpus(vocab->name);
+  for (const std::string& aspect : vocab->aspects) {
+    corpus.catalog().Intern(aspect);
+  }
+
+  // --- Clusters -------------------------------------------------------------
+  size_t num_clusters =
+      std::max<size_t>(1, (config.num_products + config.cluster_size - 1) /
+                              config.cluster_size);
+  std::vector<Cluster> clusters(num_clusters);
+  for (Cluster& cluster : clusters) {
+    cluster.core_aspects =
+        rng.SampleWithoutReplacement(z, config.core_aspects_per_cluster);
+    std::sort(cluster.core_aspects.begin(), cluster.core_aspects.end());
+  }
+
+  // --- Product profiles -------------------------------------------------------
+  // Each product cares about the cluster core (high importance) plus its
+  // own extras (lower importance). Extras of different products overlap
+  // only by chance — the partial-overlap structure CompaReSetS exploits.
+  std::vector<ProductProfile> profiles(config.num_products);
+  for (size_t p = 0; p < config.num_products; ++p) {
+    size_t c = rng.UniformU32(static_cast<uint32_t>(num_clusters));
+    clusters[c].member_products.push_back(p);
+    ProductProfile& profile = profiles[p];
+    profile.cluster = c;
+    const Cluster& cluster = clusters[c];
+
+    std::vector<bool> used(z, false);
+    for (size_t aspect : cluster.core_aspects) {
+      profile.aspects.push_back(aspect);
+      used[aspect] = true;
+      // Core aspects dominate the discussion.
+      profile.importance.push_back(1.0 + rng.UniformDouble());
+    }
+    size_t extras = config.extra_aspects_per_product;
+    int guard = static_cast<int>(8 * extras) + 32;
+    while (extras > 0 && guard-- > 0) {
+      size_t aspect = rng.UniformU32(static_cast<uint32_t>(z));
+      if (used[aspect]) continue;
+      used[aspect] = true;
+      profile.aspects.push_back(aspect);
+      profile.importance.push_back(0.25 + 0.5 * rng.UniformDouble());
+      --extras;
+    }
+    double total = 0.0;
+    for (double w : profile.importance) total += w;
+    for (double& w : profile.importance) w /= total;
+
+    profile.quality.reserve(profile.aspects.size());
+    for (size_t a = 0; a < profile.aspects.size(); ++a) {
+      // Beta(2.4, 1.6)-ish: review corpora lean positive (mean rating ~4).
+      double g1 = rng.Gamma(2.4);
+      double g2 = rng.Gamma(1.6);
+      profile.quality.push_back(
+          std::clamp(g1 / (g1 + g2), 0.03, 0.97));
+    }
+  }
+
+  // --- Also-bought links ------------------------------------------------------
+  // Mostly intra-cluster, reproducing co-purchase neighborhoods. Ids are
+  // deterministic functions of the index, so links resolve up front.
+  auto product_id = [&](size_t p) {
+    return StringPrintf("%s-P%05zu", ToLower(vocab->name).c_str(), p);
+  };
+  std::vector<std::vector<size_t>> links(config.num_products);
+  for (size_t p = 0; p < config.num_products; ++p) {
+    const Cluster& cluster = clusters[profiles[p].cluster];
+    int want = std::max(2, rng.Poisson(config.avg_comparison_products));
+    std::vector<bool> taken(config.num_products, false);
+    taken[p] = true;
+    int guard = want * 8 + 64;
+    while (static_cast<int>(links[p].size()) < want && guard-- > 0) {
+      size_t candidate;
+      if (rng.Bernoulli(config.intra_cluster_link_prob) &&
+          cluster.member_products.size() > 1) {
+        candidate = cluster.member_products[rng.UniformU32(
+            static_cast<uint32_t>(cluster.member_products.size()))];
+      } else {
+        candidate =
+            rng.UniformU32(static_cast<uint32_t>(config.num_products));
+      }
+      if (taken[candidate]) continue;
+      taken[candidate] = true;
+      links[p].push_back(candidate);
+    }
+  }
+
+  // --- Reviews ----------------------------------------------------------------
+  // Heavy-tailed review counts: 2 + Geometric(mean avg-2), capped.
+  double geo_mean = config.avg_reviews_per_product - 2.0;
+  double geo_p = 1.0 / (geo_mean + 1.0);
+  size_t reviewer_pool =
+      static_cast<size_t>(config.num_products *
+                          config.avg_reviews_per_product * 0.15) +
+      16;
+
+  for (size_t p = 0; p < config.num_products; ++p) {
+    const ProductProfile& profile = profiles[p];
+    Product product;
+    product.id = product_id(p);
+    for (size_t linked : links[p]) {
+      product.also_bought.push_back(product_id(linked));
+    }
+    product.title =
+        StringPrintf("%s product %zu with premium %s", vocab->name.c_str(),
+                     p, vocab->aspects[profile.aspects[0]].c_str());
+
+    int review_count = 2 + std::min(rng.Geometric(geo_p), 160);
+    product.reviews.reserve(static_cast<size_t>(review_count));
+    for (int r = 0; r < review_count; ++r) {
+      Review review;
+      review.id = StringPrintf("%s-R%03d", product.id.c_str(), r);
+      review.reviewer_id = StringPrintf(
+          "U%06u", rng.UniformU32(static_cast<uint32_t>(reviewer_pool)));
+
+      // Aspects mentioned: weighted sample (w/o replacement) from the
+      // product profile.
+      size_t mention_count =
+          1 + std::min<size_t>(static_cast<size_t>(rng.Poisson(1.6)), 4);
+      mention_count = std::min(mention_count, profile.aspects.size());
+      std::vector<size_t> mentioned;
+      {
+        std::vector<double> weights = profile.importance;
+        for (size_t t = 0; t < mention_count; ++t) {
+          size_t pick = rng.Categorical(weights);
+          mentioned.push_back(pick);
+          weights[pick] = 0.0;
+        }
+      }
+
+      std::vector<std::string> sentences;
+      if (rng.Bernoulli(0.7)) {
+        sentences.push_back(MakeFiller(&rng, *vocab));
+      }
+
+      int positive_mentions = 0;
+      for (size_t idx : mentioned) {
+        size_t aspect_global = profile.aspects[idx];
+        const std::string& aspect_word = vocab->aspects[aspect_global];
+        OpinionMention mention;
+        mention.aspect = static_cast<AspectId>(aspect_global);
+        mention.strength = 0.5 + 1.5 * rng.UniformDouble();
+
+        if (rng.Bernoulli(0.08)) {
+          mention.polarity = Polarity::kNeutral;
+          sentences.push_back(
+              FillTemplate(&rng, Pick(&rng, kNeutralTemplates), aspect_word, ""));
+        } else if (rng.Bernoulli(profile.quality[idx])) {
+          mention.polarity = Polarity::kPositive;
+          ++positive_mentions;
+          sentences.push_back(MentionSentence(
+              &rng, aspect_word, true, Pick(&rng, kPositiveAdjectives)));
+        } else {
+          mention.polarity = Polarity::kNegative;
+          sentences.push_back(MentionSentence(
+              &rng, aspect_word, false, Pick(&rng, kNegativeAdjectives)));
+        }
+        if (rng.Bernoulli(0.6)) {
+          std::string follow_up = Pick(&rng, kFollowUpHeads);
+          follow_up += " the ";
+          follow_up += aspect_word;
+          follow_up += " ";
+          follow_up += Pick(&rng, kFollowUpTails);
+          follow_up += ".";
+          sentences.push_back(FillTemplate(&rng, follow_up, aspect_word, ""));
+        }
+        review.opinions.push_back(mention);
+      }
+
+      if (rng.Bernoulli(0.5)) {
+        sentences.push_back(MakeFiller(&rng, *vocab));
+      }
+
+      review.text = Join(sentences, " ");
+      double positive_fraction =
+          review.opinions.empty()
+              ? 0.6
+              : static_cast<double>(positive_mentions) /
+                    static_cast<double>(review.opinions.size());
+      review.rating = std::clamp(
+          std::round(1.0 + 4.0 * positive_fraction + rng.Normal(0.0, 0.35)),
+          1.0, 5.0);
+      product.reviews.push_back(std::move(review));
+    }
+    COMPARESETS_RETURN_NOT_OK(corpus.AddProduct(std::move(product)));
+  }
+  corpus.Finalize();
+  return corpus;
+}
+
+}  // namespace comparesets

@@ -1,0 +1,76 @@
+// Synthetic review-corpus generator — the stand-in for the Amazon
+// Product Review Dataset (see DESIGN.md §2 for the substitution
+// rationale).
+//
+// The generator reproduces the statistical couplings the paper's
+// algorithms depend on:
+//   * products live in similarity clusters; "also bought" lists draw
+//     mostly from the same cluster (like co-purchase neighborhoods);
+//   * every product has a latent aspect-importance profile and a
+//     per-aspect quality, which drive both the (aspect, polarity)
+//     annotations AND the surface text of each review — so ROUGE
+//     alignment genuinely rewards aspect-synchronized selection;
+//   * review counts are heavy-tailed (geometric), giving the per-bucket
+//     spread Figure 6 needs;
+//   * category defaults match Table 2's per-category averages.
+//
+// Everything is deterministic under the config seed.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+/// Per-category wording: aspect nouns plus generic sentence scaffolding.
+struct CategoryVocabulary {
+  std::string name;
+  /// Aspect nouns; each becomes one catalog aspect.
+  std::vector<std::string> aspects;
+  /// Generic opener/filler sentences (no aspect words) that give reviews
+  /// the shared function-word mass real reviews have.
+  std::vector<std::string> fillers;
+};
+
+const CategoryVocabulary& CellphoneVocabulary();
+const CategoryVocabulary& ToyVocabulary();
+const CategoryVocabulary& ClothingVocabulary();
+
+/// Lookup by (case-insensitive) category name.
+Result<const CategoryVocabulary*> VocabularyByName(const std::string& name);
+
+struct SyntheticConfig {
+  std::string category = "Cellphone";
+  size_t num_products = 300;
+  /// Mean reviews per product (Table 2: 18.64 / 14.06 / 12.10).
+  double avg_reviews_per_product = 18.64;
+  /// Mean also-bought list length (Table 2: 25.57 / 34.33 / 12.03).
+  double avg_comparison_products = 25.57;
+  /// Products per similarity cluster (also-bought neighborhoods).
+  size_t cluster_size = 48;
+  /// Core aspects shared by every product of a cluster. The rest of a
+  /// product's profile is product-specific — this partial overlap is
+  /// what separates target-aware selection (CompaReSetS) from purely
+  /// self-representative selection (Crs).
+  size_t core_aspects_per_cluster = 4;
+  /// Product-specific aspects drawn from the whole catalog.
+  size_t extra_aspects_per_product = 5;
+  /// Probability an also-bought link stays inside the cluster.
+  double intra_cluster_link_prob = 0.85;
+  uint64_t seed = 42;
+};
+
+/// Table 2-matched defaults for "Cellphone", "Toy", or "Clothing",
+/// scaled to `num_products`.
+Result<SyntheticConfig> DefaultConfig(const std::string& category,
+                                      size_t num_products);
+
+/// Generates a finalized corpus (catalog populated, instances buildable).
+Result<Corpus> GenerateCorpus(const SyntheticConfig& config);
+
+}  // namespace comparesets

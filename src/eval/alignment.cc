@@ -1,0 +1,82 @@
+#include "eval/alignment.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace comparesets {
+
+namespace {
+
+RougeTriple MeanF1(const std::vector<RougeTriple>& scores) {
+  RougeTriple mean;
+  if (scores.empty()) return mean;
+  for (const RougeTriple& s : scores) mean += s;
+  mean /= static_cast<double>(scores.size());
+  return mean;
+}
+
+/// Symmetrized pair score: averaging F1(a→b) and F1(b→a). F1 of ROUGE-1/L
+/// is already symmetric; ROUGE-2 likewise; the average keeps this robust
+/// to any asymmetric variant added later.
+RougeTriple PairScore(const RougeDocument& a, const RougeDocument& b) {
+  RougeTriple forward = a.ScoreAgainst(b);
+  RougeTriple backward = b.ScoreAgainst(a);
+  forward += backward;
+  forward /= 2.0;
+  return forward;
+}
+
+}  // namespace
+
+AlignmentScores MeasureAlignmentSubset(const ProblemInstance& instance,
+                                       const std::vector<Selection>& selections,
+                                       const std::vector<size_t>& items) {
+  COMPARESETS_CHECK(selections.size() == instance.num_items())
+      << "selection count mismatch";
+
+  // Pre-tokenize every selected review once.
+  std::vector<std::vector<RougeDocument>> docs(items.size());
+  for (size_t t = 0; t < items.size(); ++t) {
+    size_t item = items[t];
+    COMPARESETS_CHECK(item < instance.num_items()) << "item out of range";
+    const Product& product = *instance.items[item];
+    for (size_t review_index : selections[item]) {
+      COMPARESETS_CHECK(review_index < product.reviews.size())
+          << "review index out of range";
+      docs[t].emplace_back(product.reviews[review_index].text);
+    }
+  }
+
+  std::vector<RougeTriple> target_scores;
+  std::vector<RougeTriple> among_scores;
+  for (size_t a = 0; a < items.size(); ++a) {
+    for (size_t b = a + 1; b < items.size(); ++b) {
+      for (const RougeDocument& da : docs[a]) {
+        for (const RougeDocument& db : docs[b]) {
+          RougeTriple score = PairScore(da, db);
+          among_scores.push_back(score);
+          if (items[a] == 0 || items[b] == 0) {
+            target_scores.push_back(score);
+          }
+        }
+      }
+    }
+  }
+
+  AlignmentScores out;
+  out.target_vs_comparative = MeanF1(target_scores);
+  out.among_items = MeanF1(among_scores);
+  out.target_pairs = target_scores.size();
+  out.among_pairs = among_scores.size();
+  return out;
+}
+
+AlignmentScores MeasureAlignment(const ProblemInstance& instance,
+                                 const std::vector<Selection>& selections) {
+  std::vector<size_t> all(instance.num_items());
+  std::iota(all.begin(), all.end(), 0);
+  return MeasureAlignmentSubset(instance, selections, all);
+}
+
+}  // namespace comparesets

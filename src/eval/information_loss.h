@@ -1,0 +1,25 @@
+// Information-loss measurement (§4.6.1, Figure 11): how much of the full
+// review set's opinion distribution the selected subset preserves —
+// squared distance Δ(τ_i, π(S_i)) (Fig. 11a, lower is better) and cosine
+// similarity cos(τ_i, π(S_i)) (Fig. 11b, Eq. 9, higher is better),
+// reported for the target item alone and averaged over all items.
+
+#pragma once
+
+#include <vector>
+
+#include "opinion/vectors.h"
+
+namespace comparesets {
+
+struct InformationLoss {
+  double delta_target = 0.0;  ///< Δ(τ_1, π(S_1)).
+  double cosine_target = 0.0;
+  double delta_all_items = 0.0;  ///< Mean over all items.
+  double cosine_all_items = 0.0;
+};
+
+InformationLoss MeasureInformationLoss(const InstanceVectors& vectors,
+                                       const std::vector<Selection>& selections);
+
+}  // namespace comparesets

@@ -1,0 +1,48 @@
+// Objective functions of the paper, evaluated exactly on candidate
+// selections (the solvers optimize relaxations; these are the ground
+// truth they are scored by).
+//
+//   Eq. 3 item cost:        Δ(τi, π(Si)) + λ² Δ(Γ, φ(Si))
+//   Eq. 1 CompaReSetS:      Σi [Eq. 3]
+//   Eq. 5 CompaReSetS+:     Eq. 1 + μ² Σ_{i<j} Δ(φ(Si), φ(Sj))
+//   §3.1 item distance:     d_ij used to weight the TargetHkS graph.
+
+#pragma once
+
+#include <vector>
+
+#include "opinion/vectors.h"
+
+namespace comparesets {
+
+/// Eq. 3 — the per-item CompaReSetS cost.
+double ItemCost(const InstanceVectors& vectors, size_t item,
+                const Selection& selection, double lambda);
+
+/// Eq. 1 — the CompaReSetS objective over all items.
+double CompareSetsObjective(const InstanceVectors& vectors,
+                            const std::vector<Selection>& selections,
+                            double lambda);
+
+/// Eq. 5 — the synchronized CompaReSetS+ objective.
+double CompareSetsPlusObjective(const InstanceVectors& vectors,
+                                const std::vector<Selection>& selections,
+                                double lambda, double mu);
+
+/// §3.1 — the pairwise item distance after selection:
+///   d_ij = Δ(τi, π(Si)) + Δ(τj, π(Sj))
+///        + λ² Δ(Γ, φ(Si)) + λ² Δ(Γ, φ(Sj)) + μ² Δ(φ(Si), φ(Sj)).
+double ItemPairDistance(const InstanceVectors& vectors,
+                        const std::vector<Selection>& selections, size_t i,
+                        size_t j, double lambda, double mu);
+
+/// Precomputed per-item π(Si)/φ(Si) for repeated objective evaluation.
+struct SelectionVectors {
+  std::vector<Vector> pi;
+  std::vector<Vector> phi;
+};
+
+SelectionVectors BuildSelectionVectors(const InstanceVectors& vectors,
+                                       const std::vector<Selection>& selections);
+
+}  // namespace comparesets

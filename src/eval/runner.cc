@@ -1,0 +1,164 @@
+#include "eval/runner.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace comparesets {
+
+Result<Workload> Workload::BuildSynthetic(const RunnerConfig& config) {
+  COMPARESETS_ASSIGN_OR_RETURN(
+      SyntheticConfig synth,
+      DefaultConfig(config.category, config.num_products));
+  synth.seed = config.seed;
+  COMPARESETS_ASSIGN_OR_RETURN(Corpus corpus, GenerateCorpus(synth));
+  return FromCorpus(std::move(corpus), config);
+}
+
+Result<Workload> Workload::FromCorpus(Corpus corpus,
+                                      const RunnerConfig& config) {
+  Workload workload;
+  workload.corpus_ = std::move(corpus);
+  COMPARESETS_RETURN_NOT_OK(workload.Prepare(config));
+  return workload;
+}
+
+Status Workload::Prepare(const RunnerConfig& config) {
+  InstanceOptions instance_options;
+  instance_options.max_comparative_items = config.max_comparative_items;
+  instances_ = corpus_.BuildInstances(instance_options);
+  if (instances_.empty()) {
+    return Status::InvalidArgument(
+        "corpus yields no problem instances (too few linked products?)");
+  }
+  if (config.max_instances > 0 && instances_.size() > config.max_instances) {
+    instances_.resize(config.max_instances);
+  }
+
+  if (config.opinion == OpinionDefinition::kLearnedPreference) {
+    // Learned-preference vectors need an external table; build those
+    // workloads directly via BuildInstanceVectors with
+    // OpinionModel::LearnedPreference (see bench/ablation_learned).
+    return Status::InvalidArgument(
+        "learned-preference workloads require an explicit review table");
+  }
+  OpinionModel model(config.opinion, corpus_.num_aspects());
+  vectors_.reserve(instances_.size());
+  for (const ProblemInstance& instance : instances_) {
+    vectors_.push_back(BuildInstanceVectors(model, instance));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+RougeTriple MeanOver(const std::vector<AlignmentScores>& alignment,
+                     bool target_view) {
+  RougeTriple mean;
+  size_t counted = 0;
+  for (const AlignmentScores& scores : alignment) {
+    size_t pairs = target_view ? scores.target_pairs : scores.among_pairs;
+    if (pairs == 0) continue;
+    mean += target_view ? scores.target_vs_comparative : scores.among_items;
+    ++counted;
+  }
+  if (counted > 0) mean /= static_cast<double>(counted);
+  return mean;
+}
+
+std::vector<double> SeriesOver(const std::vector<AlignmentScores>& alignment,
+                               bool target_view) {
+  std::vector<double> out;
+  out.reserve(alignment.size());
+  for (const AlignmentScores& scores : alignment) {
+    out.push_back(target_view ? scores.target_vs_comparative.rougeL.f1
+                              : scores.among_items.rougeL.f1);
+  }
+  return out;
+}
+
+}  // namespace
+
+RougeTriple SelectorRun::MeanTarget() const { return MeanOver(alignment, true); }
+RougeTriple SelectorRun::MeanAmong() const { return MeanOver(alignment, false); }
+std::vector<double> SelectorRun::TargetRougeLSeries() const {
+  return SeriesOver(alignment, true);
+}
+std::vector<double> SelectorRun::AmongRougeLSeries() const {
+  return SeriesOver(alignment, false);
+}
+
+Result<SelectorRun> RunSelector(const ReviewSelector& selector,
+                                const Workload& workload,
+                                const SelectorOptions& options) {
+  SelectorRun run;
+  run.selector_name = selector.name();
+  run.results.reserve(workload.num_instances());
+  run.alignment.reserve(workload.num_instances());
+
+  for (size_t i = 0; i < workload.num_instances(); ++i) {
+    const InstanceVectors& vectors = workload.vectors()[i];
+    Timer timer;
+    COMPARESETS_ASSIGN_OR_RETURN(SelectionResult result,
+                                 selector.Select(vectors, options));
+    run.total_seconds += timer.ElapsedSeconds();
+    run.alignment.push_back(
+        MeasureAlignment(workload.instances()[i], result.selections));
+    run.results.push_back(std::move(result));
+  }
+  return run;
+}
+
+Result<SelectorRun> RunSelectorParallel(const ReviewSelector& selector,
+                                        const Workload& workload,
+                                        const SelectorOptions& options,
+                                        size_t threads) {
+  size_t n = workload.num_instances();
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, n);
+  if (threads <= 1) return RunSelector(selector, workload, options);
+
+  SelectorRun run;
+  run.selector_name = selector.name();
+  run.results.resize(n);
+  run.alignment.resize(n);
+  std::vector<double> seconds(n, 0.0);
+
+  std::atomic<size_t> next{0};
+  std::mutex error_mutex;
+  Status first_error = Status::OK();
+
+  auto worker = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      Timer timer;
+      auto result = selector.Select(workload.vectors()[i], options);
+      seconds[i] = timer.ElapsedSeconds();
+      if (!result.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = result.status();
+        return;
+      }
+      run.alignment[i] = MeasureAlignment(workload.instances()[i],
+                                          result.value().selections);
+      run.results[i] = std::move(result).value();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& thread : pool) thread.join();
+
+  if (!first_error.ok()) return first_error;
+  for (double s : seconds) run.total_seconds += s;
+  return run;
+}
+
+}  // namespace comparesets

@@ -1,0 +1,98 @@
+// Experiment runner: the shared harness the benchmark binaries use to
+// regenerate the paper's tables — generate (or load) a corpus, enumerate
+// problem instances, run selectors, and aggregate alignment metrics with
+// per-instance detail retained for significance testing.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/selector.h"
+#include "data/corpus.h"
+#include "data/synthetic.h"
+#include "eval/alignment.h"
+#include "opinion/vectors.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+struct RunnerConfig {
+  std::string category = "Cellphone";
+  /// Synthetic corpus size; benches default to a laptop-scale slice of
+  /// the paper's datasets (--products to change).
+  size_t num_products = 240;
+  /// Cap on evaluated problem instances (0 = all).
+  size_t max_instances = 120;
+  /// Cap on comparative items per instance (0 = no cap). The paper's
+  /// runtime figure sweeps this.
+  size_t max_comparative_items = 0;
+  OpinionDefinition opinion = OpinionDefinition::kBinary;
+  uint64_t seed = 42;
+};
+
+/// A prepared workload: corpus + its instances + per-instance vectors.
+/// Instances reference corpus storage; keep the workload alive while
+/// using them.
+class Workload {
+ public:
+  /// Builds a synthetic workload per config (Table 2 defaults applied,
+  /// then overridden by config fields).
+  static Result<Workload> BuildSynthetic(const RunnerConfig& config);
+
+  /// Wraps an already-loaded corpus.
+  static Result<Workload> FromCorpus(Corpus corpus,
+                                     const RunnerConfig& config);
+
+  const Corpus& corpus() const { return corpus_; }
+  const std::vector<ProblemInstance>& instances() const { return instances_; }
+  const std::vector<InstanceVectors>& vectors() const { return vectors_; }
+  size_t num_instances() const { return instances_.size(); }
+
+ private:
+  Workload() = default;
+  Status Prepare(const RunnerConfig& config);
+
+  Corpus corpus_;
+  std::vector<ProblemInstance> instances_;
+  std::vector<InstanceVectors> vectors_;
+};
+
+/// Per-selector aggregate over a workload.
+struct SelectorRun {
+  std::string selector_name;
+  /// One result per instance (selections retained for downstream core-
+  /// list experiments).
+  std::vector<SelectionResult> results;
+  /// One alignment measurement per instance.
+  std::vector<AlignmentScores> alignment;
+  /// Wall-clock seconds over all instances (selection only).
+  double total_seconds = 0.0;
+
+  /// Mean pairwise F1 triples over instances (instances with zero pairs
+  /// are skipped, as an empty selection pair carries no signal).
+  RougeTriple MeanTarget() const;
+  RougeTriple MeanAmong() const;
+  /// Per-instance ROUGE-L F1 series (target view / among view) for
+  /// paired significance tests.
+  std::vector<double> TargetRougeLSeries() const;
+  std::vector<double> AmongRougeLSeries() const;
+};
+
+/// Runs one selector over every instance of the workload.
+Result<SelectorRun> RunSelector(const ReviewSelector& selector,
+                                const Workload& workload,
+                                const SelectorOptions& options);
+
+/// Multi-threaded variant. Problem instances are fully independent (the
+/// paper notes per-target instances "can be done in parallel", §4.1.1),
+/// so instances are distributed over `threads` workers (0 = hardware
+/// concurrency). Results are identical to RunSelector, in instance
+/// order; total_seconds sums per-instance solve time (the serial-cost
+/// measure), not wall clock.
+Result<SelectorRun> RunSelectorParallel(const ReviewSelector& selector,
+                                        const Workload& workload,
+                                        const SelectorOptions& options,
+                                        size_t threads = 0);
+
+}  // namespace comparesets

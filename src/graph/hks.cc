@@ -1,0 +1,123 @@
+#include "graph/hks.h"
+
+#include <algorithm>
+
+#include "graph/targethks_greedy.h"
+#include "util/timer.h"
+
+namespace comparesets {
+
+namespace {
+
+Status Validate(const SimilarityGraph& graph, size_t k) {
+  if (graph.num_vertices() == 0) return Status::InvalidArgument("empty graph");
+  if (k < 1 || k > graph.num_vertices()) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  return Status::OK();
+}
+
+/// Relabels `graph` so that `target` becomes vertex 0 (swap relabeling).
+SimilarityGraph SwapToFront(const SimilarityGraph& graph, size_t target) {
+  size_t n = graph.num_vertices();
+  SimilarityGraph out(n);
+  auto map = [&](size_t v) {
+    if (v == 0) return target;
+    if (v == target) return size_t{0};
+    return v;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      out.set_weight(i, j, graph.weight(map(i), map(j)));
+    }
+  }
+  return out;
+}
+
+/// Maps a solution on the swapped graph back to original vertex ids.
+void MapBack(size_t target, CoreList* core) {
+  for (size_t& v : core->vertices) {
+    if (v == 0) v = target;
+    else if (v == target) v = 0;
+  }
+  std::sort(core->vertices.begin(), core->vertices.end());
+}
+
+}  // namespace
+
+Result<CoreList> SolveHksExact(const SimilarityGraph& graph, size_t k,
+                               const ExactSolverOptions& options) {
+  COMPARESETS_RETURN_NOT_OK(Validate(graph, k));
+  Deadline deadline(options.time_limit_seconds);
+
+  CoreList best;
+  best.weight = -1.0;
+  bool all_proven = true;
+  // Every k-subset contains *some* vertex; trying each vertex as the
+  // forced target covers the full solution space (with overlap, which
+  // only costs time, not correctness).
+  for (size_t target = 0; target < graph.num_vertices(); ++target) {
+    ExactSolverOptions sub = options;
+    if (options.time_limit_seconds > 0.0) {
+      sub.time_limit_seconds = std::max(0.001, deadline.RemainingSeconds());
+    }
+    SimilarityGraph swapped = SwapToFront(graph, target);
+    COMPARESETS_ASSIGN_OR_RETURN(CoreList core,
+                                 SolveTargetHksExact(swapped, k, sub));
+    all_proven = all_proven && core.proven_optimal;
+    MapBack(target, &core);
+    if (core.weight > best.weight) {
+      best = core;
+    }
+  }
+  best.proven_optimal = all_proven;
+  return best;
+}
+
+Result<CoreList> SolveHksGreedy(const SimilarityGraph& graph, size_t k) {
+  COMPARESETS_RETURN_NOT_OK(Validate(graph, k));
+  CoreList best;
+  best.weight = -1.0;
+  for (size_t target = 0; target < graph.num_vertices(); ++target) {
+    SimilarityGraph swapped = SwapToFront(graph, target);
+    COMPARESETS_ASSIGN_OR_RETURN(CoreList core,
+                                 SolveTargetHksGreedy(swapped, k));
+    MapBack(target, &core);
+    if (core.weight > best.weight) best = core;
+  }
+  best.proven_optimal = false;
+  return best;
+}
+
+Result<CoreList> SolveHksPeel(const SimilarityGraph& graph, size_t k) {
+  COMPARESETS_RETURN_NOT_OK(Validate(graph, k));
+  size_t n = graph.num_vertices();
+  std::vector<bool> alive(n, true);
+  size_t alive_count = n;
+  std::vector<double> degree(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j) degree[i] += graph.weight(i, j);
+    }
+  }
+  while (alive_count > k) {
+    size_t victim = n;
+    for (size_t v = 0; v < n; ++v) {
+      if (!alive[v]) continue;
+      if (victim == n || degree[v] < degree[victim]) victim = v;
+    }
+    alive[victim] = false;
+    --alive_count;
+    for (size_t u = 0; u < n; ++u) {
+      if (alive[u]) degree[u] -= graph.weight(u, victim);
+    }
+  }
+  CoreList out;
+  for (size_t v = 0; v < n; ++v) {
+    if (alive[v]) out.vertices.push_back(v);
+  }
+  out.weight = graph.SubsetWeight(out.vertices);
+  return out;
+}
+
+}  // namespace comparesets

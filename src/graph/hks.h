@@ -1,0 +1,29 @@
+// Unconstrained Heaviest k-Subgraph (HkS), the classic problem the
+// paper's TargetHkS generalizes (§3.1, related work §5.3 [1, 19]).
+//
+// The paper observes that "when we solve TargetHkS with every vertex as
+// the target item, we will eventually find the optimal solution for the
+// HkS problem" — SolveHksExact implements exactly that reduction on top
+// of the branch-and-bound TargetHkS solver. A greedy and an
+// Asahiro-style peel heuristic are provided as cheap alternatives.
+
+#pragma once
+
+#include "graph/targethks_exact.h"
+
+namespace comparesets {
+
+/// Exact HkS via the all-targets reduction. The time limit is shared
+/// across the whole solve (each target solve gets the remaining budget);
+/// proven_optimal is set only if every sub-solve proved optimality.
+Result<CoreList> SolveHksExact(const SimilarityGraph& graph, size_t k,
+                               const ExactSolverOptions& options = {});
+
+/// Greedy HkS: best TargetHkS-greedy solution over all start vertices.
+Result<CoreList> SolveHksGreedy(const SimilarityGraph& graph, size_t k);
+
+/// Asahiro et al. peel: repeatedly remove the minimum-weighted-degree
+/// vertex (no protected target) until k remain.
+Result<CoreList> SolveHksPeel(const SimilarityGraph& graph, size_t k);
+
+}  // namespace comparesets

@@ -1,0 +1,63 @@
+#include "graph/similarity_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace comparesets {
+
+double SimilarityGraph::SubsetWeight(const std::vector<size_t>& subset) const {
+  double total = 0.0;
+  for (size_t a = 0; a < subset.size(); ++a) {
+    for (size_t b = a + 1; b < subset.size(); ++b) {
+      total += weight(subset[a], subset[b]);
+    }
+  }
+  return total;
+}
+
+double SimilarityGraph::WeightToSubset(size_t vertex,
+                                       const std::vector<size_t>& subset) const {
+  double total = 0.0;
+  for (size_t v : subset) {
+    if (v != vertex) total += weight(vertex, v);
+  }
+  return total;
+}
+
+SimilarityGraph BuildSimilarityGraph(const InstanceVectors& vectors,
+                                     const std::vector<Selection>& selections,
+                                     double lambda, double mu) {
+  size_t n = vectors.num_items();
+  COMPARESETS_CHECK(selections.size() == n) << "selection count mismatch";
+  SimilarityGraph graph(n);
+  if (n < 2) return graph;
+
+  // Precompute π/φ once; d_ij decomposes into per-item and pair terms.
+  SelectionVectors sv = BuildSelectionVectors(vectors, selections);
+  std::vector<double> item_cost(n);
+  double lambda2 = lambda * lambda;
+  for (size_t i = 0; i < n; ++i) {
+    item_cost[i] = SquaredDistance(vectors.tau[i], sv.pi[i]) +
+                   lambda2 * SquaredDistance(vectors.gamma, sv.phi[i]);
+  }
+
+  std::vector<double> distances(n * n, 0.0);
+  double max_distance = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double d = item_cost[i] + item_cost[j] +
+                 mu * mu * SquaredDistance(sv.phi[i], sv.phi[j]);
+      distances[i * n + j] = d;
+      max_distance = std::max(max_distance, d);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      graph.set_weight(i, j, max_distance - distances[i * n + j]);
+    }
+  }
+  return graph;
+}
+
+}  // namespace comparesets

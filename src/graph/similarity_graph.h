@@ -1,0 +1,60 @@
+// Item similarity graph for the core-list task (paper §3.1).
+//
+// After CompaReSetS+ selection, every item pair gets a distance d_ij
+// (eval/objective.h) which is converted into a similarity weight
+//   w_ij = max_{i'≠j'} d_{i'j'} − d_ij
+// on a complete graph whose vertex 0 is the target item.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "eval/objective.h"
+#include "opinion/vectors.h"
+
+namespace comparesets {
+
+/// Symmetric complete weighted graph with n >= 1 vertices. Weights are
+/// non-negative by construction (the max-distance shift).
+class SimilarityGraph {
+ public:
+  explicit SimilarityGraph(size_t num_vertices)
+      : n_(num_vertices), weights_(num_vertices * num_vertices, 0.0) {}
+
+  size_t num_vertices() const { return n_; }
+
+  double weight(size_t i, size_t j) const { return weights_[i * n_ + j]; }
+  void set_weight(size_t i, size_t j, double w) {
+    weights_[i * n_ + j] = w;
+    weights_[j * n_ + i] = w;
+  }
+
+  /// Total edge weight of a vertex subset (Σ_{i<j ∈ subset} w_ij) —
+  /// the TargetHkS objective (Eq. 6).
+  double SubsetWeight(const std::vector<size_t>& subset) const;
+
+  /// Sum of weights from `vertex` to every vertex in `subset`.
+  double WeightToSubset(size_t vertex, const std::vector<size_t>& subset) const;
+
+ private:
+  size_t n_;
+  std::vector<double> weights_;
+};
+
+/// Builds the §3.1 graph from an instance's selections (d_ij shifted by
+/// the max pairwise distance). With fewer than two items the graph is
+/// trivially returned with zero weights.
+SimilarityGraph BuildSimilarityGraph(const InstanceVectors& vectors,
+                                     const std::vector<Selection>& selections,
+                                     double lambda, double mu);
+
+/// A solved core list: chosen vertices (always containing vertex 0) and
+/// the objective value.
+struct CoreList {
+  std::vector<size_t> vertices;  ///< Sorted ascending; vertices[0] == 0.
+  double weight = 0.0;           ///< Eq. 6 value.
+  bool proven_optimal = false;   ///< Exact solvers set this on proof.
+};
+
+}  // namespace comparesets

@@ -1,0 +1,91 @@
+#include "graph/targethks_baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace comparesets {
+
+namespace {
+Status Validate(const SimilarityGraph& graph, size_t k) {
+  if (graph.num_vertices() == 0) return Status::InvalidArgument("empty graph");
+  if (k < 1 || k > graph.num_vertices()) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<CoreList> SolveTargetHksRandom(const SimilarityGraph& graph, size_t k,
+                                      uint64_t seed) {
+  COMPARESETS_RETURN_NOT_OK(Validate(graph, k));
+  Rng rng(seed, graph.num_vertices());
+  CoreList out;
+  out.vertices = {0};
+  // Sample k-1 of the n-1 non-target vertices (the target is always in
+  // the solution set, as in the paper's Random baseline).
+  std::vector<size_t> picks =
+      rng.SampleWithoutReplacement(graph.num_vertices() - 1, k - 1);
+  for (size_t p : picks) out.vertices.push_back(p + 1);
+  std::sort(out.vertices.begin(), out.vertices.end());
+  out.weight = graph.SubsetWeight(out.vertices);
+  return out;
+}
+
+Result<CoreList> SolveTopKSimilarity(const SimilarityGraph& graph, size_t k) {
+  COMPARESETS_RETURN_NOT_OK(Validate(graph, k));
+  size_t n = graph.num_vertices();
+  std::vector<size_t> others(n - 1);
+  std::iota(others.begin(), others.end(), 1);
+  std::stable_sort(others.begin(), others.end(), [&](size_t a, size_t b) {
+    return graph.weight(0, a) > graph.weight(0, b);
+  });
+  CoreList out;
+  out.vertices = {0};
+  for (size_t i = 0; i + 1 < k; ++i) out.vertices.push_back(others[i]);
+  std::sort(out.vertices.begin(), out.vertices.end());
+  out.weight = graph.SubsetWeight(out.vertices);
+  return out;
+}
+
+Result<CoreList> SolveTargetHksPeel(const SimilarityGraph& graph, size_t k) {
+  COMPARESETS_RETURN_NOT_OK(Validate(graph, k));
+  size_t n = graph.num_vertices();
+  std::vector<bool> alive(n, true);
+  size_t alive_count = n;
+
+  // Weighted degree within the surviving subgraph, updated on deletion.
+  std::vector<double> degree(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j) degree[i] += graph.weight(i, j);
+    }
+  }
+
+  while (alive_count > k) {
+    double worst = 0.0;
+    size_t victim = n;
+    for (size_t v = 1; v < n; ++v) {  // Never peel the target (vertex 0).
+      if (!alive[v]) continue;
+      if (victim == n || degree[v] < worst) {
+        worst = degree[v];
+        victim = v;
+      }
+    }
+    alive[victim] = false;
+    --alive_count;
+    for (size_t u = 0; u < n; ++u) {
+      if (alive[u] && u != victim) degree[u] -= graph.weight(u, victim);
+    }
+  }
+
+  CoreList out;
+  for (size_t v = 0; v < n; ++v) {
+    if (alive[v]) out.vertices.push_back(v);
+  }
+  out.weight = graph.SubsetWeight(out.vertices);
+  return out;
+}
+
+}  // namespace comparesets

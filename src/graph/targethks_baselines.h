@@ -1,0 +1,24 @@
+// Core-list baselines:
+//   * Random-k (§4.3.1): target + k−1 uniformly random items;
+//   * Top-k similarity (§4.3.2): target + the k−1 items with the largest
+//     edge weight to the target;
+//   * Asahiro peel (related work [1], extension): repeatedly delete the
+//     minimum-weighted-degree non-target vertex until k remain.
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/similarity_graph.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+Result<CoreList> SolveTargetHksRandom(const SimilarityGraph& graph, size_t k,
+                                      uint64_t seed);
+
+Result<CoreList> SolveTopKSimilarity(const SimilarityGraph& graph, size_t k);
+
+Result<CoreList> SolveTargetHksPeel(const SimilarityGraph& graph, size_t k);
+
+}  // namespace comparesets

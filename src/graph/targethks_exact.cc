@@ -1,0 +1,208 @@
+#include "graph/targethks_exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace comparesets {
+
+namespace {
+
+Status ValidateArguments(const SimilarityGraph& graph, size_t k) {
+  if (graph.num_vertices() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  if (k < 1 || k > graph.num_vertices()) {
+    return Status::InvalidArgument(
+        "k must be in [1, n]; got k=" + std::to_string(k) +
+        ", n=" + std::to_string(graph.num_vertices()));
+  }
+  return Status::OK();
+}
+
+/// DFS branch-and-bound state over a fixed candidate ordering.
+class BranchAndBound {
+ public:
+  BranchAndBound(const SimilarityGraph& graph, size_t k, double time_limit)
+      : graph_(graph), k_(k), deadline_(time_limit) {
+    // Candidates are the non-target vertices, ordered by descending
+    // (edge to target + total degree weight): strong vertices first makes
+    // the incumbent good early and the bound tight.
+    size_t n = graph.num_vertices();
+    order_.reserve(n - 1);
+    for (size_t v = 1; v < n; ++v) order_.push_back(v);
+    std::vector<double> score(n, 0.0);
+    for (size_t v = 1; v < n; ++v) {
+      double degree = 0.0;
+      for (size_t u = 0; u < n; ++u) {
+        if (u != v) degree += graph.weight(v, u);
+      }
+      score[v] = graph.weight(0, v) + degree;
+    }
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](size_t a, size_t b) { return score[a] > score[b]; });
+  }
+
+  CoreList Run() {
+    chosen_ = {0};
+    // Seed the incumbent greedily so pruning bites from the start.
+    SeedIncumbent();
+    aborted_ = false;
+    Dfs(0, 0.0);
+    best_.proven_optimal = !aborted_;
+    std::sort(best_.vertices.begin(), best_.vertices.end());
+    return best_;
+  }
+
+ private:
+  void SeedIncumbent() {
+    std::vector<size_t> greedy = {0};
+    std::vector<bool> used(graph_.num_vertices(), false);
+    used[0] = true;
+    double weight = 0.0;
+    while (greedy.size() < k_) {
+      double best_gain = -1.0;
+      size_t best_v = graph_.num_vertices();
+      for (size_t v : order_) {
+        if (used[v]) continue;
+        double gain = graph_.WeightToSubset(v, greedy);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_v = v;
+        }
+      }
+      if (best_v == graph_.num_vertices()) break;
+      used[best_v] = true;
+      weight += best_gain;
+      greedy.push_back(best_v);
+    }
+    best_.vertices = greedy;
+    best_.weight = weight;
+  }
+
+  /// Admissible upper bound on the best completion: current weight plus,
+  /// for the `slots` best remaining candidates, their edge weight into
+  /// the chosen set plus half their largest possible cross edges among
+  /// remaining candidates (each cross edge contributes 0.5 to both of
+  /// its endpoints, so no edge is counted more than once in total).
+  double UpperBound(size_t first_candidate, double current_weight) const {
+    size_t slots = k_ - chosen_.size();
+    if (slots == 0) return current_weight;
+    std::vector<double> potentials;
+    potentials.reserve(order_.size() - first_candidate);
+    for (size_t idx = first_candidate; idx < order_.size(); ++idx) {
+      size_t v = order_[idx];
+      double to_chosen = graph_.WeightToSubset(v, chosen_);
+      // Largest (slots - 1) edges from v to other remaining candidates.
+      std::vector<double> cross;
+      cross.reserve(order_.size() - first_candidate - 1);
+      for (size_t jdx = first_candidate; jdx < order_.size(); ++jdx) {
+        if (jdx == idx) continue;
+        cross.push_back(graph_.weight(v, order_[jdx]));
+      }
+      size_t take = std::min(cross.size(), slots - 1);
+      std::partial_sort(cross.begin(), cross.begin() + take, cross.end(),
+                        std::greater<double>());
+      double cross_sum = 0.0;
+      for (size_t t = 0; t < take; ++t) cross_sum += cross[t];
+      potentials.push_back(to_chosen + 0.5 * cross_sum);
+    }
+    size_t take = std::min(potentials.size(), slots);
+    std::partial_sort(potentials.begin(), potentials.begin() + take,
+                      potentials.end(), std::greater<double>());
+    double bound = current_weight;
+    for (size_t t = 0; t < take; ++t) bound += potentials[t];
+    return bound;
+  }
+
+  void Dfs(size_t first_candidate, double current_weight) {
+    if (aborted_) return;
+    if (chosen_.size() == k_) {
+      if (current_weight > best_.weight + 1e-12 ||
+          best_.vertices.size() != k_) {
+        best_.weight = current_weight;
+        best_.vertices = chosen_;
+      }
+      return;
+    }
+    // Not enough candidates left to fill the subset.
+    size_t remaining = order_.size() - first_candidate;
+    if (remaining < k_ - chosen_.size()) return;
+
+    if ((++node_count_ & 0xFF) == 0 && deadline_.Expired()) {
+      aborted_ = true;
+      return;
+    }
+    if (UpperBound(first_candidate, current_weight) <= best_.weight + 1e-12 &&
+        best_.vertices.size() == k_) {
+      return;
+    }
+
+    size_t v = order_[first_candidate];
+    // Branch 1: include v.
+    double gain = graph_.WeightToSubset(v, chosen_);
+    chosen_.push_back(v);
+    Dfs(first_candidate + 1, current_weight + gain);
+    chosen_.pop_back();
+    // Branch 2: exclude v.
+    Dfs(first_candidate + 1, current_weight);
+  }
+
+  const SimilarityGraph& graph_;
+  size_t k_;
+  Deadline deadline_;
+  std::vector<size_t> order_;
+  std::vector<size_t> chosen_;
+  CoreList best_;
+  bool aborted_ = false;
+  uint64_t node_count_ = 0;
+};
+
+}  // namespace
+
+Result<CoreList> SolveTargetHksExact(const SimilarityGraph& graph, size_t k,
+                                     const ExactSolverOptions& options) {
+  COMPARESETS_RETURN_NOT_OK(ValidateArguments(graph, k));
+  if (k == 1) {
+    return CoreList{{0}, 0.0, true};
+  }
+  if (k == graph.num_vertices()) {
+    std::vector<size_t> all(graph.num_vertices());
+    std::iota(all.begin(), all.end(), 0);
+    double weight = graph.SubsetWeight(all);
+    return CoreList{std::move(all), weight, true};
+  }
+  BranchAndBound solver(graph, k, options.time_limit_seconds);
+  return solver.Run();
+}
+
+Result<CoreList> SolveTargetHksBruteForce(const SimilarityGraph& graph,
+                                          size_t k) {
+  COMPARESETS_RETURN_NOT_OK(ValidateArguments(graph, k));
+  size_t n = graph.num_vertices();
+  COMPARESETS_CHECK(n <= 25) << "brute force limited to small graphs";
+
+  CoreList best;
+  best.weight = -1.0;
+  // Enumerate all (k-1)-subsets of {1..n-1} via bitmask over n-1 bits.
+  uint32_t limit = 1u << (n - 1);
+  for (uint32_t mask = 0; mask < limit; ++mask) {
+    if (static_cast<size_t>(__builtin_popcount(mask)) != k - 1) continue;
+    std::vector<size_t> subset = {0};
+    for (size_t v = 1; v < n; ++v) {
+      if (mask & (1u << (v - 1))) subset.push_back(v);
+    }
+    double weight = graph.SubsetWeight(subset);
+    if (weight > best.weight) {
+      best.weight = weight;
+      best.vertices = std::move(subset);
+    }
+  }
+  best.proven_optimal = true;
+  return best;
+}
+
+}  // namespace comparesets

@@ -1,0 +1,44 @@
+#include "graph/targethks_greedy.h"
+
+#include <algorithm>
+
+namespace comparesets {
+
+Result<CoreList> SolveTargetHksGreedy(const SimilarityGraph& graph, size_t k) {
+  size_t n = graph.num_vertices();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (k < 1 || k > n) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+
+  CoreList out;
+  out.vertices = {0};
+  out.weight = 0.0;
+  std::vector<bool> used(n, false);
+  used[0] = true;
+
+  // Algorithm 2: argmax over remaining vertices of the grown subset's
+  // total weight; since the current subset weight is fixed, this is the
+  // vertex with the largest edge weight into the subset.
+  while (out.vertices.size() < k) {
+    double best_gain = -1.0;
+    size_t best_v = n;
+    for (size_t v = 1; v < n; ++v) {
+      if (used[v]) continue;
+      double gain = graph.WeightToSubset(v, out.vertices);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_v = v;
+      }
+    }
+    if (best_v == n) break;  // Unreachable for k <= n, kept defensive.
+    used[best_v] = true;
+    out.vertices.push_back(best_v);
+    out.weight += best_gain;
+  }
+  std::sort(out.vertices.begin(), out.vertices.end());
+  out.proven_optimal = false;
+  return out;
+}
+
+}  // namespace comparesets

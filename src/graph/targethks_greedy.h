@@ -1,0 +1,14 @@
+// TargetHkS_Greedy (paper Algorithm 2): start from the target vertex,
+// then repeatedly add the vertex maximizing the total weight of the
+// grown subset until k vertices are chosen. O(k·n·k) time.
+
+#pragma once
+
+#include "graph/similarity_graph.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+Result<CoreList> SolveTargetHksGreedy(const SimilarityGraph& graph, size_t k);
+
+}  // namespace comparesets

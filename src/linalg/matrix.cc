@@ -1,0 +1,84 @@
+#include "linalg/matrix.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace comparesets {
+
+Vector Matrix::Column(size_t c) const {
+  COMPARESETS_CHECK(c < cols_) << "column out of range";
+  Vector out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Vector Matrix::Row(size_t r) const {
+  COMPARESETS_CHECK(r < rows_) << "row out of range";
+  Vector out(cols_);
+  for (size_t c = 0; c < cols_; ++c) out[c] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::SetColumn(size_t c, const Vector& values) {
+  COMPARESETS_CHECK(c < cols_) << "column out of range";
+  COMPARESETS_CHECK(values.size() == rows_) << "column size mismatch";
+  for (size_t r = 0; r < rows_; ++r) (*this)(r, c) = values[r];
+}
+
+Vector Matrix::Multiply(const Vector& x) const {
+  COMPARESETS_CHECK(x.size() == cols_)
+      << "Multiply shape mismatch: " << cols_ << " vs " << x.size();
+  Vector y(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double total = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (size_t c = 0; c < cols_; ++c) total += row[c] * x[c];
+    y[r] = total;
+  }
+  return y;
+}
+
+Vector Matrix::MultiplyTranspose(const Vector& x) const {
+  COMPARESETS_CHECK(x.size() == rows_)
+      << "MultiplyTranspose shape mismatch: " << rows_ << " vs " << x.size();
+  Vector y(cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+Matrix Matrix::SelectColumns(const std::vector<size_t>& columns) const {
+  Matrix out(rows_, columns.size());
+  for (size_t j = 0; j < columns.size(); ++j) {
+    COMPARESETS_CHECK(columns[j] < cols_) << "selected column out of range";
+    for (size_t r = 0; r < rows_; ++r) out(r, j) = (*this)(r, columns[j]);
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+std::string Matrix::ToString(int decimals) const {
+  std::string out;
+  for (size_t r = 0; r < rows_; ++r) {
+    out += "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c) out += ", ";
+      out += FormatDouble((*this)(r, c), decimals);
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace comparesets

@@ -1,0 +1,58 @@
+// Dense row-major matrix. Design matrices in this library are tall-thin
+// ((opinion+aspect rows) x (#reviews)), so no blocking/tiling is needed;
+// clarity and correctness win.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace comparesets {
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+
+  /// Copies out column c.
+  Vector Column(size_t c) const;
+  /// Copies out row r.
+  Vector Row(size_t r) const;
+  /// Overwrites column c.
+  void SetColumn(size_t c, const Vector& values);
+
+  /// y = A x.
+  Vector Multiply(const Vector& x) const;
+  /// y = A^T x.
+  Vector MultiplyTranspose(const Vector& x) const;
+
+  /// Returns a new matrix keeping only the listed columns, in order.
+  Matrix SelectColumns(const std::vector<size_t>& columns) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+  std::string ToString(int decimals = 3) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace comparesets

@@ -1,0 +1,114 @@
+#include "linalg/nnls.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "linalg/qr.h"
+
+namespace comparesets {
+
+namespace {
+
+/// Unconstrained least squares restricted to the passive set P; entries
+/// outside P are zero in the returned full-size vector.
+Result<Vector> SolveOnPassiveSet(const Matrix& a, const Vector& b,
+                                 const std::vector<size_t>& passive) {
+  Matrix sub = a.SelectColumns(passive);
+  COMPARESETS_ASSIGN_OR_RETURN(Vector z, LeastSquares(sub, b));
+  Vector full(a.cols());
+  for (size_t j = 0; j < passive.size(); ++j) full[passive[j]] = z[j];
+  return full;
+}
+
+}  // namespace
+
+Result<NnlsResult> SolveNnls(const Matrix& a, const Vector& b,
+                             const NnlsOptions& options) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("NNLS with empty matrix");
+  }
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("NNLS rhs size mismatch");
+  }
+  size_t cols = a.cols();
+  int max_iters =
+      options.max_iterations > 0 ? options.max_iterations : 3 * static_cast<int>(cols) + 10;
+
+  Vector x(cols, 0.0);
+  std::vector<bool> in_passive(cols, false);
+  Vector residual = b;  // b - A x, with x = 0 initially.
+  int iterations = 0;
+
+  for (;;) {
+    // Dual w = A^T (b - A x); pick the most positive inactive coordinate.
+    Vector w = a.MultiplyTranspose(residual);
+    double best = options.tolerance;
+    size_t best_j = cols;
+    for (size_t j = 0; j < cols; ++j) {
+      if (!in_passive[j] && w[j] > best) {
+        best = w[j];
+        best_j = j;
+      }
+    }
+    if (best_j == cols) break;  // KKT conditions hold.
+    if (++iterations > max_iters) break;
+
+    in_passive[best_j] = true;
+
+    for (;;) {
+      std::vector<size_t> passive;
+      for (size_t j = 0; j < cols; ++j) {
+        if (in_passive[j]) passive.push_back(j);
+      }
+      COMPARESETS_ASSIGN_OR_RETURN(Vector z, SolveOnPassiveSet(a, b, passive));
+
+      // If the unconstrained sub-solution is feasible, accept it.
+      bool feasible = true;
+      for (size_t j : passive) {
+        if (z[j] <= 0.0) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) {
+        x = z;
+        break;
+      }
+
+      // Step from x toward z, stopping at the first variable to hit zero,
+      // and move that variable back to the active (zero) set.
+      double alpha = std::numeric_limits<double>::infinity();
+      for (size_t j : passive) {
+        if (z[j] <= 0.0) {
+          double denom = x[j] - z[j];
+          if (denom > 0.0) alpha = std::min(alpha, x[j] / denom);
+        }
+      }
+      if (!std::isfinite(alpha)) alpha = 0.0;
+      for (size_t j : passive) {
+        x[j] += alpha * (z[j] - x[j]);
+        if (x[j] <= options.tolerance) {
+          x[j] = 0.0;
+          in_passive[j] = false;
+        }
+      }
+      // Guard: ensure at least the newly added column survives rounding;
+      // otherwise terminate this inner loop to avoid cycling.
+      bool any_passive = false;
+      for (size_t j = 0; j < cols; ++j) any_passive |= in_passive[j];
+      if (!any_passive) break;
+    }
+
+    residual = b - a.Multiply(x);
+  }
+
+  NnlsResult out;
+  out.residual_norm = (b - a.Multiply(x)).NormL2();
+  out.x = std::move(x);
+  out.iterations = iterations;
+  return out;
+}
+
+}  // namespace comparesets

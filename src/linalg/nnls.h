@@ -1,0 +1,33 @@
+// Non-negative least squares (Lawson–Hanson active-set method):
+//   argmin_x ||Ax - b||_2  s.t.  x >= 0.
+//
+// Used inside NOMP to refit the coefficients of the active column set
+// after each atom is added.
+
+#pragma once
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+struct NnlsOptions {
+  /// Dual-feasibility tolerance for termination.
+  double tolerance = 1e-10;
+  /// Safety cap on outer iterations (the algorithm terminates finitely in
+  /// exact arithmetic; this guards against floating-point cycling).
+  int max_iterations = 0;  // 0 => 3 * cols.
+};
+
+struct NnlsResult {
+  Vector x;              ///< Non-negative solution.
+  double residual_norm;  ///< ||Ax - b||_2 at the solution.
+  int iterations;        ///< Outer-loop iterations used.
+};
+
+/// Solves the NNLS problem. `a` must have rows >= 1 and cols >= 1.
+Result<NnlsResult> SolveNnls(const Matrix& a, const Vector& b,
+                             const NnlsOptions& options = {});
+
+}  // namespace comparesets

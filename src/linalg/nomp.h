@@ -1,0 +1,37 @@
+// NOMP — Non-negative Orthogonal Matching Pursuit.
+//
+// Solves the sparsity-constrained non-negative regression at the heart of
+// the Integer-Regression algorithm (Lappas et al., KDD'12; Algorithm 1 of
+// the CompaReSetS paper):
+//
+//   find x >= 0 with 0 < ||x||_0 <= ell minimizing ||V x - target||_2.
+//
+// Greedy: at each step, add the column most correlated with the current
+// residual, then refit all active coefficients with NNLS. The residual
+// norm is non-increasing over steps (tested as a property).
+
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+struct NompResult {
+  /// Full-size coefficient vector (zeros outside the support).
+  Vector x;
+  /// Chosen column indices in selection order.
+  std::vector<size_t> support;
+  /// ||Vx - target||_2 at the solution.
+  double residual_norm;
+};
+
+/// Runs NOMP with at most `ell` atoms. Stops early when no remaining
+/// column has positive correlation with the residual.
+Result<NompResult> SolveNomp(const Matrix& v, const Vector& target,
+                             size_t ell);
+
+}  // namespace comparesets

@@ -1,0 +1,96 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+
+namespace comparesets {
+
+Result<QrDecomposition> QrDecomposition::Compute(const Matrix& a) {
+  if (a.rows() < a.cols()) {
+    return Status::InvalidArgument("QR requires rows >= cols, got " +
+                                   std::to_string(a.rows()) + "x" +
+                                   std::to_string(a.cols()));
+  }
+  if (a.cols() == 0) {
+    return Status::InvalidArgument("QR of empty matrix");
+  }
+  QrDecomposition out;
+  out.qr_ = a;
+  out.beta_ = Vector(a.cols());
+
+  Matrix& qr = out.qr_;
+  size_t rows = qr.rows();
+  size_t cols = qr.cols();
+  double max_norm = 0.0;
+
+  for (size_t k = 0; k < cols; ++k) {
+    // Householder reflector for column k, rows k..rows-1.
+    double norm = 0.0;
+    for (size_t i = k; i < rows; ++i) norm += qr(i, k) * qr(i, k);
+    norm = std::sqrt(norm);
+    max_norm = std::max(max_norm, norm);
+    if (norm == 0.0) {
+      out.beta_[k] = 0.0;
+      continue;
+    }
+    double alpha = (qr(k, k) > 0) ? -norm : norm;
+    double v0 = qr(k, k) - alpha;
+    // Normalize so v[k] = 1; beta = -v0/alpha gives H = I - beta v v^T.
+    for (size_t i = k + 1; i < rows; ++i) qr(i, k) /= v0;
+    out.beta_[k] = -v0 / alpha;
+    qr(k, k) = alpha;
+
+    // Apply reflector to remaining columns.
+    for (size_t j = k + 1; j < cols; ++j) {
+      double dot = qr(k, j);
+      for (size_t i = k + 1; i < rows; ++i) dot += qr(i, k) * qr(i, j);
+      dot *= out.beta_[k];
+      qr(k, j) -= dot;
+      for (size_t i = k + 1; i < rows; ++i) qr(i, j) -= dot * qr(i, k);
+    }
+  }
+  out.rank_tol_ =
+      max_norm * 1e-12 * static_cast<double>(std::max(rows, cols));
+  return out;
+}
+
+Result<Vector> QrDecomposition::Solve(const Vector& b) const {
+  if (b.size() != qr_.rows()) {
+    return Status::InvalidArgument("QR solve: rhs size mismatch");
+  }
+  size_t rows = qr_.rows();
+  size_t cols = qr_.cols();
+
+  // y = Q^T b, applying the stored reflectors in order.
+  Vector y = b;
+  for (size_t k = 0; k < cols; ++k) {
+    if (beta_[k] == 0.0) continue;
+    double dot = y[k];
+    for (size_t i = k + 1; i < rows; ++i) dot += qr_(i, k) * y[i];
+    dot *= beta_[k];
+    y[k] -= dot;
+    for (size_t i = k + 1; i < rows; ++i) y[i] -= dot * qr_(i, k);
+  }
+
+  // Back-substitute R x = y[0..cols). Zero out free variables when R has
+  // (numerically) zero diagonal entries.
+  Vector x(cols);
+  for (size_t kk = cols; kk > 0; --kk) {
+    size_t k = kk - 1;
+    double diag = qr_(k, k);
+    if (std::fabs(diag) <= rank_tol_) {
+      x[k] = 0.0;
+      continue;
+    }
+    double v = y[k];
+    for (size_t j = k + 1; j < cols; ++j) v -= qr_(k, j) * x[j];
+    x[k] = v / diag;
+  }
+  return x;
+}
+
+Result<Vector> LeastSquares(const Matrix& a, const Vector& b) {
+  COMPARESETS_ASSIGN_OR_RETURN(QrDecomposition qr, QrDecomposition::Compute(a));
+  return qr.Solve(b);
+}
+
+}  // namespace comparesets

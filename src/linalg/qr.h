@@ -1,0 +1,41 @@
+// Householder QR factorization and least-squares solves.
+//
+// The Integer-Regression engine repeatedly solves small least-squares
+// systems restricted to the active columns NOMP has chosen; column counts
+// are bounded by the review budget m (≤ ~20), so an O(r·c²) dense QR is
+// the right tool.
+
+#pragma once
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+/// Householder QR of a rows>=cols matrix (rank-deficient tolerated:
+/// tiny diagonal entries are treated as zero during the back-solve).
+class QrDecomposition {
+ public:
+  /// Factorizes A (copied). Requires rows >= cols.
+  static Result<QrDecomposition> Compute(const Matrix& a);
+
+  /// Minimum-norm-ish least-squares solve: x = argmin ||Ax - b||_2
+  /// (free variables from rank deficiency are set to zero).
+  Result<Vector> Solve(const Vector& b) const;
+
+  size_t rows() const { return qr_.rows(); }
+  size_t cols() const { return qr_.cols(); }
+
+ private:
+  QrDecomposition() = default;
+
+  Matrix qr_;          // Upper triangle holds R; lower holds Householder v's.
+  Vector beta_;        // Householder scalars.
+  double rank_tol_ = 0.0;
+};
+
+/// One-shot least squares: argmin_x ||Ax - b||_2 via QR.
+Result<Vector> LeastSquares(const Matrix& a, const Vector& b);
+
+}  // namespace comparesets

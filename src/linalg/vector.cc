@@ -1,0 +1,123 @@
+#include "linalg/vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace comparesets {
+
+double Vector::Sum() const {
+  double total = 0.0;
+  for (double v : data_) total += v;
+  return total;
+}
+
+double Vector::NormL1() const {
+  double total = 0.0;
+  for (double v : data_) total += std::fabs(v);
+  return total;
+}
+
+double Vector::NormL2() const { return std::sqrt(Dot(*this)); }
+
+double Vector::NormInf() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+double Vector::Max() const {
+  if (data_.empty()) return 0.0;
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Vector::Dot(const Vector& other) const {
+  COMPARESETS_CHECK(size() == other.size())
+      << "Dot size mismatch: " << size() << " vs " << other.size();
+  double total = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) total += data_[i] * other.data_[i];
+  return total;
+}
+
+void Vector::Axpy(double alpha, const Vector& other) {
+  COMPARESETS_CHECK(size() == other.size())
+      << "Axpy size mismatch: " << size() << " vs " << other.size();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Vector::Scale(double alpha) {
+  for (double& v : data_) v *= alpha;
+}
+
+Vector Vector::operator+(const Vector& other) const {
+  Vector out = *this;
+  out.Axpy(1.0, other);
+  return out;
+}
+
+Vector Vector::operator-(const Vector& other) const {
+  Vector out = *this;
+  out.Axpy(-1.0, other);
+  return out;
+}
+
+Vector Vector::operator*(double alpha) const {
+  Vector out = *this;
+  out.Scale(alpha);
+  return out;
+}
+
+void Vector::Append(const Vector& other) {
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+}
+
+void Vector::AppendScaled(double alpha, const Vector& other) {
+  data_.reserve(data_.size() + other.size());
+  for (double v : other.data_) data_.push_back(alpha * v);
+}
+
+bool Vector::AlmostEquals(const Vector& other, double tol) const {
+  if (size() != other.size()) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Vector::ToString(int decimals) const {
+  std::string out = "[";
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (i) out += ", ";
+    out += FormatDouble(data_[i], decimals);
+  }
+  out += "]";
+  return out;
+}
+
+double SquaredDistance(const Vector& x, const Vector& y) {
+  COMPARESETS_CHECK(x.size() == y.size())
+      << "SquaredDistance size mismatch: " << x.size() << " vs " << y.size();
+  double total = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double d = x[i] - y[i];
+    total += d * d;
+  }
+  return total;
+}
+
+double CosineSimilarity(const Vector& x, const Vector& y) {
+  double nx = x.NormL2();
+  double ny = y.NormL2();
+  if (nx == 0.0 || ny == 0.0) return 0.0;
+  return x.Dot(y) / (nx * ny);
+}
+
+Vector Concatenate(const Vector& a, const Vector& b) {
+  Vector out = a;
+  out.Append(b);
+  return out;
+}
+
+}  // namespace comparesets

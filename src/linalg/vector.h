@@ -1,0 +1,82 @@
+// Dense real vector with the operations the selection algorithms need:
+// norms, dot products, axpy, concatenation, and the squared-Euclidean
+// distance Δ(x, y) from Equation 2 of the paper.
+
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace comparesets {
+
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(size_t size, double fill = 0.0) : data_(size, fill) {}
+  Vector(std::initializer_list<double> values) : data_(values) {}
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double operator[](size_t i) const { return data_[i]; }
+  double& operator[](size_t i) { return data_[i]; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  double* raw() { return data_.data(); }
+  const double* raw() const { return data_.data(); }
+
+  /// Sum of elements.
+  double Sum() const;
+  /// L1 norm.
+  double NormL1() const;
+  /// L2 (Euclidean) norm.
+  double NormL2() const;
+  /// Infinity norm (max |x_i|).
+  double NormInf() const;
+  /// Maximum element (not absolute); 0 for empty vectors.
+  double Max() const;
+
+  /// Dot product; sizes must match.
+  double Dot(const Vector& other) const;
+
+  /// this += alpha * other.
+  void Axpy(double alpha, const Vector& other);
+  /// this *= alpha.
+  void Scale(double alpha);
+
+  /// Element-wise operations returning new vectors.
+  Vector operator+(const Vector& other) const;
+  Vector operator-(const Vector& other) const;
+  Vector operator*(double alpha) const;
+
+  bool operator==(const Vector& other) const { return data_ == other.data_; }
+
+  /// Appends all of `other` to this (vector concatenation [a; b]).
+  void Append(const Vector& other);
+  /// Appends `other` scaled by alpha (weighted concatenation [a; λb]).
+  void AppendScaled(double alpha, const Vector& other);
+
+  /// True if every element differs from `other` by at most `tol`.
+  bool AlmostEquals(const Vector& other, double tol = 1e-9) const;
+
+  std::string ToString(int decimals = 4) const;
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Squared Euclidean distance Δ(x, y) = Σ (x_i - y_i)^2 (paper Eq. 2).
+double SquaredDistance(const Vector& x, const Vector& y);
+
+/// Cosine similarity; 0 if either vector is all-zero (paper Eq. 9).
+double CosineSimilarity(const Vector& x, const Vector& y);
+
+/// Concatenation [a; b].
+Vector Concatenate(const Vector& a, const Vector& b);
+
+}  // namespace comparesets

@@ -1,0 +1,60 @@
+#include "nlp/annotator.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace comparesets {
+
+std::vector<OpinionMention> ReviewAnnotator::Annotate(
+    const std::string& text) const {
+  std::vector<OpinionMention> mentions;
+  TokenizerOptions tok;
+  tok.light_stem = true;
+
+  // Deduplicate (aspect, polarity) pairs across the review; keep the
+  // strongest mention of each.
+  std::unordered_set<int64_t> seen;
+
+  for (const std::string& sentence : SplitSentences(text)) {
+    std::vector<std::string> tokens = Tokenize(sentence, tok);
+
+    // Net sentence sentiment with negation flipping.
+    double net = 0.0;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      double strength = sentiment_->StrengthOf(tokens[i]);
+      if (strength == 0.0) continue;
+      size_t window_start =
+          i >= options_.negation_window ? i - options_.negation_window : 0;
+      bool negated = false;
+      for (size_t j = window_start; j < i; ++j) {
+        if (sentiment_->IsNegator(tokens[j])) {
+          negated = !negated;  // Double negation cancels.
+        }
+      }
+      net += negated ? -strength : strength;
+    }
+
+    Polarity polarity = Polarity::kNeutral;
+    if (net > options_.neutral_threshold) polarity = Polarity::kPositive;
+    else if (net < -options_.neutral_threshold) polarity = Polarity::kNegative;
+
+    for (const std::string& token : tokens) {
+      const std::string& aspect_name = aspects_->AspectOf(token);
+      if (aspect_name.empty()) continue;
+      AspectId aspect = catalog_->Intern(aspect_name);
+      int64_t key = static_cast<int64_t>(aspect) * 4 +
+                    static_cast<int64_t>(polarity);
+      if (!seen.insert(key).second) continue;
+      OpinionMention mention;
+      mention.aspect = aspect;
+      mention.polarity = polarity;
+      mention.strength = std::fabs(net) > 0.0 ? std::fabs(net) : 1.0;
+      mentions.push_back(mention);
+    }
+  }
+  return mentions;
+}
+
+}  // namespace comparesets

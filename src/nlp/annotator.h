@@ -1,0 +1,48 @@
+// Review annotator: turns raw review text into OpinionMention lists
+// using an aspect lexicon and a sentiment lexicon, with sentence-level
+// association and negation flipping. This is the pipeline stage the
+// paper treats as given; it lets raw datasets flow into the selectors.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/catalog.h"
+#include "data/review.h"
+#include "nlp/lexicon.h"
+#include "nlp/sentiment_lexicon.h"
+
+namespace comparesets {
+
+struct AnnotatorOptions {
+  /// A negator within this many tokens before an opinion word flips it.
+  size_t negation_window = 3;
+  /// Opinion strength below which a mention is recorded as neutral.
+  double neutral_threshold = 0.0;
+};
+
+class ReviewAnnotator {
+ public:
+  ReviewAnnotator(const AspectLexicon* aspects,
+                  const SentimentLexicon* sentiment,
+                  AspectCatalog* catalog, AnnotatorOptions options = {})
+      : aspects_(aspects),
+        sentiment_(sentiment),
+        catalog_(catalog),
+        options_(options) {}
+
+  /// Produces opinion mentions for `text`. Aspect names are interned
+  /// into the shared catalog. Per sentence: every aspect term found is
+  /// paired with the sentence's net (negation-adjusted) sentiment; a
+  /// sentence with no opinion words yields neutral mentions.
+  std::vector<OpinionMention> Annotate(const std::string& text) const;
+
+ private:
+  const AspectLexicon* aspects_;
+  const SentimentLexicon* sentiment_;
+  AspectCatalog* catalog_;
+  AnnotatorOptions options_;
+};
+
+}  // namespace comparesets

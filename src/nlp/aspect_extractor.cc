@@ -1,0 +1,117 @@
+#include "nlp/aspect_extractor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace comparesets {
+
+double PresenceRatingCorrelation(const std::vector<bool>& presence,
+                                 const std::vector<double>& ratings) {
+  size_t n = presence.size();
+  if (n == 0 || n != ratings.size()) return 0.0;
+  double mean_p = 0.0;
+  double mean_r = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_p += presence[i] ? 1.0 : 0.0;
+    mean_r += ratings[i];
+  }
+  mean_p /= n;
+  mean_r /= n;
+  double cov = 0.0;
+  double var_p = 0.0;
+  double var_r = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dp = (presence[i] ? 1.0 : 0.0) - mean_p;
+    double dr = ratings[i] - mean_r;
+    cov += dp * dr;
+    var_p += dp * dp;
+    var_r += dr * dr;
+  }
+  if (var_p <= 0.0 || var_r <= 0.0) return 0.0;
+  return std::fabs(cov / std::sqrt(var_p * var_r));
+}
+
+Result<AspectLexicon> MineAspectLexicon(const std::vector<RatedText>& reviews,
+                                        const SentimentLexicon& sentiment,
+                                        const AspectMiningOptions& options) {
+  if (reviews.empty()) {
+    return Status::InvalidArgument("cannot mine aspects from zero reviews");
+  }
+
+  TokenizerOptions tok;
+  tok.light_stem = true;
+  tok.min_token_length = 3;
+
+  // Pass 1: per-review distinct stemmed tokens; global review frequency.
+  std::vector<std::vector<std::string>> review_terms;
+  review_terms.reserve(reviews.size());
+  std::unordered_map<std::string, size_t> review_frequency;
+  for (const RatedText& review : reviews) {
+    std::unordered_set<std::string> distinct;
+    for (const std::string& token : Tokenize(review.text, tok)) {
+      if (IsStopword(token)) continue;
+      if (sentiment.IsOpinionWord(token)) continue;  // Opinion, not aspect.
+      if (sentiment.IsNegator(token)) continue;
+      distinct.insert(token);
+    }
+    review_terms.emplace_back(distinct.begin(), distinct.end());
+    for (const std::string& term : review_terms.back()) {
+      ++review_frequency[term];
+    }
+  }
+
+  // Rank candidates by frequency, keep the top pool.
+  std::vector<std::pair<std::string, size_t>> candidates;
+  candidates.reserve(review_frequency.size());
+  for (const auto& [term, freq] : review_frequency) {
+    if (freq >= options.min_review_frequency) candidates.emplace_back(term, freq);
+  }
+  std::sort(candidates.begin(), candidates.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // Deterministic tie-break.
+  });
+  if (candidates.size() > options.max_candidates) {
+    candidates.resize(options.max_candidates);
+  }
+
+  // Pass 2: rank the pool by |correlation(presence, rating)|.
+  std::vector<double> ratings;
+  ratings.reserve(reviews.size());
+  for (const RatedText& review : reviews) ratings.push_back(review.rating);
+
+  std::unordered_map<std::string, size_t> candidate_index;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    candidate_index.emplace(candidates[c].first, c);
+  }
+  std::vector<std::vector<bool>> presence(
+      candidates.size(), std::vector<bool>(reviews.size(), false));
+  for (size_t r = 0; r < review_terms.size(); ++r) {
+    for (const std::string& term : review_terms[r]) {
+      auto it = candidate_index.find(term);
+      if (it != candidate_index.end()) presence[it->second][r] = true;
+    }
+  }
+
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(candidates.size());
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    scored.emplace_back(PresenceRatingCorrelation(presence[c], ratings), c);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  AspectLexicon lexicon;
+  size_t keep = std::min(options.max_aspects, scored.size());
+  for (size_t s = 0; s < keep; ++s) {
+    const std::string& term = candidates[scored[s].second].first;
+    COMPARESETS_RETURN_NOT_OK(lexicon.AddTerm(term, term));
+  }
+  return lexicon;
+}
+
+}  // namespace comparesets

@@ -1,0 +1,44 @@
+// Frequency-based aspect mining (§4.1.1 of the paper, following the
+// Gao et al. recipe): collect frequent non-stopword, non-opinion terms
+// from a review corpus, rank them by correlation of their presence with
+// the review star rating, and keep the top slice as aspects.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nlp/lexicon.h"
+#include "nlp/sentiment_lexicon.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+struct AspectMiningOptions {
+  /// Candidate pool size: the top-N most frequent terms (paper: 2000).
+  size_t max_candidates = 2000;
+  /// Final aspect count after correlation ranking (paper: 500).
+  size_t max_aspects = 500;
+  /// Terms appearing in fewer reviews than this are dropped.
+  size_t min_review_frequency = 3;
+};
+
+/// (text, rating) pairs; ratings in [1, 5] drive the correlation ranking.
+struct RatedText {
+  std::string text;
+  double rating = 0.0;
+};
+
+/// Mines an aspect lexicon from raw rated review text. Each mined term
+/// becomes its own aspect (surface form == canonical name, stemmed).
+Result<AspectLexicon> MineAspectLexicon(
+    const std::vector<RatedText>& reviews,
+    const SentimentLexicon& sentiment = SentimentLexicon::Default(),
+    const AspectMiningOptions& options = {});
+
+/// |Pearson correlation| between a term's review-presence indicator and
+/// the ratings. Exposed for testing.
+double PresenceRatingCorrelation(const std::vector<bool>& presence,
+                                 const std::vector<double>& ratings);
+
+}  // namespace comparesets

@@ -1,0 +1,30 @@
+#include "nlp/lexicon.h"
+
+#include <algorithm>
+#include <set>
+
+namespace comparesets {
+
+Status AspectLexicon::AddTerm(const std::string& term,
+                              const std::string& aspect) {
+  auto [it, inserted] = term_to_aspect_.emplace(term, aspect);
+  if (!inserted && it->second != aspect) {
+    return Status::AlreadyExists("term '" + term + "' already maps to '" +
+                                 it->second + "'");
+  }
+  return Status::OK();
+}
+
+const std::string& AspectLexicon::AspectOf(const std::string& term) const {
+  static const std::string* kEmpty = new std::string();
+  auto it = term_to_aspect_.find(term);
+  return it == term_to_aspect_.end() ? *kEmpty : it->second;
+}
+
+std::vector<std::string> AspectLexicon::Aspects() const {
+  std::set<std::string> unique;
+  for (const auto& [term, aspect] : term_to_aspect_) unique.insert(aspect);
+  return std::vector<std::string>(unique.begin(), unique.end());
+}
+
+}  // namespace comparesets

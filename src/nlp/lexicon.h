@@ -1,0 +1,41 @@
+// Aspect lexicon: maps surface terms to canonical aspect names.
+//
+// The paper takes aspect annotations "as given" (§4.1.1, frequency-based
+// extraction following Gao et al. with Microsoft Concepts). This module
+// provides the equivalent machinery so raw review text can be annotated:
+// a term → aspect mapping, populated either by hand, from category
+// defaults, or by MineAspectLexicon (nlp/aspect_extractor.h).
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace comparesets {
+
+class AspectLexicon {
+ public:
+  /// Registers `term` (lowercased, stemmed form) as a surface form of
+  /// `aspect`. Re-registering a term to a different aspect is an error.
+  Status AddTerm(const std::string& term, const std::string& aspect);
+
+  /// Canonical aspect for a term, or empty string when unknown.
+  const std::string& AspectOf(const std::string& term) const;
+
+  bool Contains(const std::string& term) const {
+    return term_to_aspect_.count(term) > 0;
+  }
+
+  size_t num_terms() const { return term_to_aspect_.size(); }
+
+  /// Distinct aspect names, sorted.
+  std::vector<std::string> Aspects() const;
+
+ private:
+  std::unordered_map<std::string, std::string> term_to_aspect_;
+};
+
+}  // namespace comparesets

@@ -1,0 +1,94 @@
+#include "nlp/sentiment_lexicon.h"
+
+namespace comparesets {
+
+void SentimentLexicon::AddWord(const std::string& word, double strength) {
+  strengths_[word] = strength;
+}
+
+double SentimentLexicon::StrengthOf(const std::string& word) const {
+  auto it = strengths_.find(word);
+  return it == strengths_.end() ? 0.0 : it->second;
+}
+
+bool SentimentLexicon::IsNegator(const std::string& word) const {
+  static const std::unordered_set<std::string>* kNegators =
+      new std::unordered_set<std::string>{
+          "not", "no", "never", "hardly", "barely", "cant", "cannot",
+          "dont", "doesnt", "didnt", "wont", "wasnt", "isnt", "arent",
+          "werent", "without",
+      };
+  return kNegators->count(word) > 0;
+}
+
+const SentimentLexicon& SentimentLexicon::Default() {
+  static const SentimentLexicon* kDefault = [] {
+    auto* lex = new SentimentLexicon();
+    // Positive opinion words (strength reflects intensity).
+    const std::pair<const char*, double> kPositive[] = {
+        {"good", 1.0},        {"great", 1.5},      {"excellent", 2.0},
+        {"amazing", 2.0},     {"awesome", 2.0},    {"perfect", 2.0},
+        {"love", 1.8},        {"loved", 1.8},      {"loves", 1.8},
+        {"like", 0.8},        {"liked", 0.8},      {"nice", 1.0},
+        {"fantastic", 2.0},   {"wonderful", 1.8},  {"best", 1.8},
+        {"better", 1.0},      {"comfortable", 1.3}, {"comfy", 1.2},
+        {"sturdy", 1.3},      {"solid", 1.2},      {"durable", 1.3},
+        {"fast", 1.0},        {"quick", 1.0},      {"quickly", 1.0},
+        {"easy", 1.0},        {"easily", 1.0},     {"happy", 1.3},
+        {"satisfied", 1.3},   {"pleased", 1.3},    {"recommend", 1.4},
+        {"recommended", 1.4}, {"beautiful", 1.5},  {"gorgeous", 1.6},
+        {"cute", 1.1},        {"stylish", 1.2},    {"soft", 1.0},
+        {"bright", 1.0},      {"crisp", 1.1},      {"clear", 1.0},
+        {"accurate", 1.2},    {"reliable", 1.3},   {"affordable", 1.1},
+        {"cheap", 0.6},       {"bargain", 1.2},    {"worth", 1.1},
+        {"impressive", 1.5},  {"impressed", 1.5},  {"superb", 1.8},
+        {"smooth", 1.0},      {"lightweight", 1.0}, {"light", 0.7},
+        {"works", 0.9},       {"worked", 0.9},     {"well", 0.8},
+        {"fun", 1.2},         {"enjoy", 1.2},      {"enjoyed", 1.2},
+        {"enjoys", 1.2},      {"strong", 1.1},     {"quality", 0.8},
+        {"premium", 1.3},     {"vivid", 1.2},      {"responsive", 1.2},
+        {"handy", 1.0},       {"convenient", 1.1}, {"secure", 1.0},
+        {"snug", 0.9},        {"true", 0.8},       {"compliments", 1.2},
+        {"glad", 1.1},        {"favorite", 1.4},   {"thrilled", 1.7},
+        {"delighted", 1.7},   {"super", 1.3},      {"brilliant", 1.6},
+    };
+    // Negative opinion words.
+    const std::pair<const char*, double> kNegative[] = {
+        {"bad", -1.0},          {"poor", -1.3},        {"terrible", -2.0},
+        {"horrible", -2.0},     {"awful", -2.0},       {"worst", -2.0},
+        {"worse", -1.2},        {"hate", -1.8},        {"hated", -1.8},
+        {"disappointing", -1.5}, {"disappointed", -1.5}, {"disappointment", -1.5},
+        {"broke", -1.6},        {"broken", -1.6},      {"breaks", -1.5},
+        {"flimsy", -1.4},       {"fragile", -1.1},     {"defective", -1.8},
+        {"useless", -1.7},      {"waste", -1.6},       {"wasted", -1.6},
+        {"slow", -1.0},         {"slowly", -1.0},      {"difficult", -1.1},
+        {"hard", -0.7},         {"uncomfortable", -1.4}, {"tight", -0.7},
+        {"loose", -0.8},        {"small", -0.5},       {"smaller", -0.6},
+        {"big", -0.4},          {"huge", -0.6},        {"heavy", -0.7},
+        {"blurry", -1.3},       {"dim", -0.9},         {"dull", -1.0},
+        {"noisy", -1.1},        {"cheaply", -1.2},     {"overpriced", -1.4},
+        {"expensive", -0.9},    {"pricey", -0.8},      {"faulty", -1.7},
+        {"failed", -1.5},       {"fails", -1.5},       {"fail", -1.4},
+        {"stopped", -1.3},      {"stuck", -1.2},       {"scratched", -1.2},
+        {"scratches", -1.1},    {"cracked", -1.5},     {"torn", -1.4},
+        {"ripped", -1.4},       {"faded", -1.1},       {"fades", -1.0},
+        {"itchy", -1.2},        {"scratchy", -1.2},    {"stiff", -0.9},
+        {"wrong", -1.1},        {"missing", -1.3},     {"returned", -1.1},
+        {"return", -0.8},       {"refund", -1.0},      {"junk", -1.8},
+        {"garbage", -1.8},      {"trash", -1.7},       {"misleading", -1.4},
+        {"annoying", -1.2},     {"frustrating", -1.4}, {"regret", -1.4},
+        {"leaks", -1.3},        {"leaked", -1.3},      {"unusable", -1.8},
+        {"unreliable", -1.5},   {"weak", -1.0},        {"thin", -0.6},
+    };
+    for (const auto& [word, strength] : kPositive) {
+      lex->AddWord(word, strength);
+    }
+    for (const auto& [word, strength] : kNegative) {
+      lex->AddWord(word, strength);
+    }
+    return lex;
+  }();
+  return *kDefault;
+}
+
+}  // namespace comparesets

@@ -1,0 +1,38 @@
+// Sentiment lexicon: opinion words with signed strengths, plus negation
+// handling, in the spirit of Hu & Liu's opinion-word lists.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace comparesets {
+
+class SentimentLexicon {
+ public:
+  /// Registers a word with a signed strength (>0 positive, <0 negative).
+  /// Later registrations overwrite earlier ones.
+  void AddWord(const std::string& word, double strength);
+
+  /// Signed strength of a word; 0 when not an opinion word.
+  double StrengthOf(const std::string& word) const;
+
+  bool IsOpinionWord(const std::string& word) const {
+    return strengths_.count(word) > 0;
+  }
+
+  /// True for negators ("not", "never", "no", ...) that flip the polarity
+  /// of opinion words within a short window.
+  bool IsNegator(const std::string& word) const;
+
+  size_t size() const { return strengths_.size(); }
+
+  /// The built-in general-domain English lexicon (~180 words).
+  static const SentimentLexicon& Default();
+
+ private:
+  std::unordered_map<std::string, double> strengths_;
+};
+
+}  // namespace comparesets

@@ -1,0 +1,317 @@
+#include "recsys/efm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/qr.h"
+#include "opinion/opinion_model.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace comparesets {
+
+namespace {
+
+/// Sparse observations grouped by row: row -> [(col, value)].
+using RowObservations = std::vector<std::vector<std::pair<size_t, double>>>;
+
+/// Solves one ridge row-update: argmin_w ||Q_obs w - y||² + λ||w||².
+/// Implemented as least squares on the Tikhonov-augmented system.
+Vector SolveRidgeRow(const Matrix& factors,
+                     const std::vector<std::pair<size_t, double>>& obs,
+                     double reg, size_t f) {
+  if (obs.empty()) return Vector(f, 0.0);
+  Matrix design(obs.size() + f, f);
+  Vector rhs(obs.size() + f, 0.0);
+  for (size_t r = 0; r < obs.size(); ++r) {
+    for (size_t c = 0; c < f; ++c) design(r, c) = factors(obs[r].first, c);
+    rhs[r] = obs[r].second;
+  }
+  double sqrt_reg = std::sqrt(reg);
+  for (size_t c = 0; c < f; ++c) design(obs.size() + c, c) = sqrt_reg;
+  auto solved = LeastSquares(design, rhs);
+  if (!solved.ok()) return Vector(f, 0.0);  // Degenerate row: reset.
+  return std::move(solved).value();
+}
+
+double Rmse(const Matrix& row_factors, const Matrix& col_factors,
+            const RowObservations& obs) {
+  double total = 0.0;
+  size_t count = 0;
+  for (size_t row = 0; row < obs.size(); ++row) {
+    for (const auto& [col, value] : obs[row]) {
+      double predicted = 0.0;
+      for (size_t c = 0; c < row_factors.cols(); ++c) {
+        predicted += row_factors(row, c) * col_factors(col, c);
+      }
+      double err = predicted - value;
+      total += err * err;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : std::sqrt(total / static_cast<double>(count));
+}
+
+}  // namespace
+
+int ExplicitFactorModel::UserIndex(const std::string& user_id) const {
+  auto it = user_ids_.find(user_id);
+  return it == user_ids_.end() ? -1 : static_cast<int>(it->second);
+}
+
+int ExplicitFactorModel::ItemIndex(const std::string& item_id) const {
+  auto it = item_ids_.find(item_id);
+  return it == item_ids_.end() ? -1 : static_cast<int>(it->second);
+}
+
+Result<ExplicitFactorModel> ExplicitFactorModel::Train(
+    const Corpus& corpus, const EfmConfig& config) {
+  if (config.factors == 0) {
+    return Status::InvalidArgument("factors must be >= 1");
+  }
+  size_t z = corpus.num_aspects();
+  if (z == 0) return Status::InvalidArgument("corpus has no aspects");
+
+  ExplicitFactorModel model;
+  model.num_aspects_ = z;
+
+  // --- Collect observations -------------------------------------------------
+  // Quality: per (item, aspect) mean signed sentiment -> sigmoid.
+  // Attention: per (user, aspect) mention count, row-normalized by max.
+  struct Accumulator {
+    double sum = 0.0;
+    int count = 0;
+  };
+  std::unordered_map<std::string, std::unordered_map<AspectId, Accumulator>>
+      quality_raw;
+  std::unordered_map<std::string, std::unordered_map<AspectId, int>>
+      attention_raw;
+
+  size_t total_mentions = 0;
+  for (const Product& product : corpus.products()) {
+    for (const Review& review : product.reviews) {
+      for (const OpinionMention& mention : review.opinions) {
+        double signed_strength = 0.0;
+        if (mention.polarity == Polarity::kPositive) {
+          signed_strength = mention.strength;
+        } else if (mention.polarity == Polarity::kNegative) {
+          signed_strength = -mention.strength;
+        }
+        Accumulator& acc = quality_raw[product.id][mention.aspect];
+        acc.sum += signed_strength;
+        ++acc.count;
+        if (!review.reviewer_id.empty()) {
+          ++attention_raw[review.reviewer_id][mention.aspect];
+        }
+        ++total_mentions;
+      }
+    }
+  }
+  if (total_mentions == 0) {
+    return Status::InvalidArgument("corpus has no opinion annotations");
+  }
+
+  // Index users and items; build grouped observations.
+  RowObservations quality_obs;
+  for (const auto& [item_id, aspects] : quality_raw) {
+    size_t row = model.item_ids_.emplace(item_id, model.item_ids_.size())
+                     .first->second;
+    if (quality_obs.size() <= row) quality_obs.resize(row + 1);
+    for (const auto& [aspect, acc] : aspects) {
+      double mean = acc.sum / acc.count;
+      quality_obs[row].emplace_back(static_cast<size_t>(aspect),
+                                    Sigmoid(mean));
+    }
+  }
+  RowObservations attention_obs;
+  for (const auto& [user_id, aspects] : attention_raw) {
+    size_t row = model.user_ids_.emplace(user_id, model.user_ids_.size())
+                     .first->second;
+    if (attention_obs.size() <= row) attention_obs.resize(row + 1);
+    int max_count = 0;
+    for (const auto& [aspect, count] : aspects) {
+      max_count = std::max(max_count, count);
+    }
+    for (const auto& [aspect, count] : aspects) {
+      attention_obs[row].emplace_back(
+          static_cast<size_t>(aspect),
+          static_cast<double>(count) / max_count);
+    }
+  }
+
+  // Aspect-wise transposed views, for the shared-Q update.
+  std::vector<std::vector<std::pair<size_t, double>>> quality_by_aspect(z);
+  for (size_t item = 0; item < quality_obs.size(); ++item) {
+    for (const auto& [aspect, value] : quality_obs[item]) {
+      quality_by_aspect[aspect].emplace_back(item, value);
+    }
+  }
+  std::vector<std::vector<std::pair<size_t, double>>> attention_by_aspect(z);
+  for (size_t user = 0; user < attention_obs.size(); ++user) {
+    for (const auto& [aspect, value] : attention_obs[user]) {
+      attention_by_aspect[aspect].emplace_back(user, value);
+    }
+  }
+
+  // Global per-aspect means as cold-start fallbacks.
+  model.aspect_quality_mean_.assign(z, 0.5);
+  model.aspect_attention_mean_.assign(z, 0.0);
+  {
+    std::vector<Accumulator> q(z), a(z);
+    for (size_t item = 0; item < quality_obs.size(); ++item) {
+      for (const auto& [aspect, value] : quality_obs[item]) {
+        q[aspect].sum += value;
+        ++q[aspect].count;
+      }
+    }
+    for (size_t user = 0; user < attention_obs.size(); ++user) {
+      for (const auto& [aspect, value] : attention_obs[user]) {
+        a[aspect].sum += value;
+        ++a[aspect].count;
+      }
+    }
+    for (size_t aspect = 0; aspect < z; ++aspect) {
+      if (q[aspect].count > 0) {
+        model.aspect_quality_mean_[aspect] = q[aspect].sum / q[aspect].count;
+      }
+      if (a[aspect].count > 0) {
+        model.aspect_attention_mean_[aspect] =
+            a[aspect].sum / a[aspect].count;
+      }
+    }
+  }
+
+  // --- ALS ---------------------------------------------------------------
+  size_t f = config.factors;
+  Rng rng(config.seed, 0xef3);
+  auto random_init = [&](size_t rows) {
+    Matrix m(rows, f);
+    double scale = 1.0 / std::sqrt(static_cast<double>(f));
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < f; ++c) {
+        m(r, c) = scale * (0.5 + 0.5 * rng.UniformDouble());
+      }
+    }
+    return m;
+  };
+  model.item_factors_ = random_init(quality_obs.size());
+  model.user_factors_ = random_init(attention_obs.size());
+  model.aspect_factors_ = random_init(z);
+
+  for (int iteration = 0; iteration < config.iterations; ++iteration) {
+    // Item rows against Q.
+    for (size_t item = 0; item < quality_obs.size(); ++item) {
+      Vector row = SolveRidgeRow(model.aspect_factors_, quality_obs[item],
+                                 config.regularization, f);
+      for (size_t c = 0; c < f; ++c) model.item_factors_(item, c) = row[c];
+    }
+    // User rows against Q.
+    for (size_t user = 0; user < attention_obs.size(); ++user) {
+      Vector row = SolveRidgeRow(model.aspect_factors_, attention_obs[user],
+                                 config.regularization, f);
+      for (size_t c = 0; c < f; ++c) model.user_factors_(user, c) = row[c];
+    }
+    // Shared aspect rows against the union of both observation sets.
+    for (size_t aspect = 0; aspect < z; ++aspect) {
+      const auto& from_items = quality_by_aspect[aspect];
+      const auto& from_users = attention_by_aspect[aspect];
+      size_t rows = from_items.size() + from_users.size();
+      if (rows == 0) continue;
+      Matrix design(rows + f, f);
+      Vector rhs(rows + f, 0.0);
+      size_t r = 0;
+      for (const auto& [item, value] : from_items) {
+        for (size_t c = 0; c < f; ++c) {
+          design(r, c) = model.item_factors_(item, c);
+        }
+        rhs[r++] = value;
+      }
+      for (const auto& [user, value] : from_users) {
+        for (size_t c = 0; c < f; ++c) {
+          design(r, c) = model.user_factors_(user, c);
+        }
+        rhs[r++] = value;
+      }
+      double sqrt_reg = std::sqrt(config.regularization);
+      for (size_t c = 0; c < f; ++c) design(rows + c, c) = sqrt_reg;
+      auto solved = LeastSquares(design, rhs);
+      if (solved.ok()) {
+        for (size_t c = 0; c < f; ++c) {
+          model.aspect_factors_(aspect, c) = solved.value()[c];
+        }
+      }
+    }
+  }
+
+  model.quality_rmse_ =
+      Rmse(model.item_factors_, model.aspect_factors_, quality_obs);
+  model.attention_rmse_ =
+      Rmse(model.user_factors_, model.aspect_factors_, attention_obs);
+  return model;
+}
+
+double ExplicitFactorModel::PredictItemQuality(const std::string& item_id,
+                                               AspectId aspect) const {
+  COMPARESETS_CHECK(aspect >= 0 &&
+                    static_cast<size_t>(aspect) < num_aspects_)
+      << "aspect out of range";
+  int item = ItemIndex(item_id);
+  if (item < 0) return aspect_quality_mean_[static_cast<size_t>(aspect)];
+  double predicted = 0.0;
+  for (size_t c = 0; c < item_factors_.cols(); ++c) {
+    predicted += item_factors_(static_cast<size_t>(item), c) *
+                 aspect_factors_(static_cast<size_t>(aspect), c);
+  }
+  return std::clamp(predicted, 0.0, 1.0);
+}
+
+double ExplicitFactorModel::PredictUserAttention(const std::string& user_id,
+                                                 AspectId aspect) const {
+  COMPARESETS_CHECK(aspect >= 0 &&
+                    static_cast<size_t>(aspect) < num_aspects_)
+      << "aspect out of range";
+  int user = UserIndex(user_id);
+  if (user < 0) return aspect_attention_mean_[static_cast<size_t>(aspect)];
+  double predicted = 0.0;
+  for (size_t c = 0; c < user_factors_.cols(); ++c) {
+    predicted += user_factors_(static_cast<size_t>(user), c) *
+                 aspect_factors_(static_cast<size_t>(aspect), c);
+  }
+  return std::clamp(predicted, 0.0, 1.0);
+}
+
+Vector ExplicitFactorModel::UserItemPreference(
+    const std::string& user_id, const std::string& item_id) const {
+  Vector out(num_aspects_);
+  for (size_t aspect = 0; aspect < num_aspects_; ++aspect) {
+    out[aspect] =
+        PredictUserAttention(user_id, static_cast<AspectId>(aspect)) *
+        PredictItemQuality(item_id, static_cast<AspectId>(aspect));
+  }
+  return out;
+}
+
+Result<std::shared_ptr<const ReviewVectorTable>> BuildReviewPreferenceTable(
+    const Corpus& corpus, const ExplicitFactorModel& model) {
+  if (model.num_aspects() != corpus.num_aspects()) {
+    return Status::InvalidArgument("model/corpus aspect count mismatch");
+  }
+  auto table = std::make_shared<ReviewVectorTable>();
+  for (const Product& product : corpus.products()) {
+    for (const Review& review : product.reviews) {
+      Vector preference =
+          model.UserItemPreference(review.reviewer_id, product.id);
+      // Mask to the aspects this review actually discusses, mirroring
+      // the other opinion definitions (unmentioned aspects stay 0).
+      Vector masked(corpus.num_aspects(), 0.0);
+      for (AspectId aspect : review.MentionedAspects()) {
+        masked[static_cast<size_t>(aspect)] =
+            preference[static_cast<size_t>(aspect)];
+      }
+      table->emplace(review.id, std::move(masked));
+    }
+  }
+  return std::shared_ptr<const ReviewVectorTable>(table);
+}
+
+}  // namespace comparesets

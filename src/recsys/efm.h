@@ -1,0 +1,93 @@
+// EFM-lite — a compact Explicit Factor Model (Zhang et al., SIGIR'14)
+// substrate for the paper's §4.2.3 extension: "learned aspect-level
+// preference vectors [of] a reviewer on a given item" as an alternative
+// opinion-vector source for the selection pipeline.
+//
+// From a review corpus we observe
+//   X (users × aspects)  — how much attention user u pays to aspect a
+//                          (normalized mention frequency), and
+//   Y (items × aspects)  — item i's quality on aspect a (sigmoid of the
+//                          mean signed sentiment of mentions).
+// Both are factorized with a *shared* aspect factor matrix Q:
+//   X ≈ W Qᵀ,   Y ≈ P Qᵀ
+// by regularized alternating least squares over the observed entries.
+// The learned preference of user u about item i is the element-wise
+// product  s_ui = X̂_u ⊙ Ŷ_i ∈ [0, 1]^z  (attention × quality).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/corpus.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+struct EfmConfig {
+  size_t factors = 8;       ///< Latent dimensionality f.
+  int iterations = 20;      ///< ALS sweeps.
+  double regularization = 0.05;
+  uint64_t seed = 7;
+};
+
+class ExplicitFactorModel {
+ public:
+  /// Trains on every (reviewer, product, aspect, sentiment) observation
+  /// in the corpus. Requires at least one annotated review.
+  static Result<ExplicitFactorModel> Train(const Corpus& corpus,
+                                           const EfmConfig& config = {});
+
+  size_t num_users() const { return user_ids_.size(); }
+  size_t num_items() const { return item_ids_.size(); }
+  size_t num_aspects() const { return num_aspects_; }
+
+  /// Predicted item quality Ŷ_ia, clamped to [0, 1]. Unknown item id
+  /// returns the global aspect mean.
+  double PredictItemQuality(const std::string& item_id,
+                            AspectId aspect) const;
+
+  /// Predicted user attention X̂_ua, clamped to [0, 1].
+  double PredictUserAttention(const std::string& user_id,
+                              AspectId aspect) const;
+
+  /// Learned preference vector s_ui = X̂_u ⊙ Ŷ_i over all aspects.
+  Vector UserItemPreference(const std::string& user_id,
+                            const std::string& item_id) const;
+
+  /// Observed-entry RMSE of the quality reconstruction after training
+  /// (training diagnostic).
+  double quality_rmse() const { return quality_rmse_; }
+  double attention_rmse() const { return attention_rmse_; }
+
+ private:
+  ExplicitFactorModel() = default;
+
+  int UserIndex(const std::string& user_id) const;
+  int ItemIndex(const std::string& item_id) const;
+
+  size_t num_aspects_ = 0;
+  std::unordered_map<std::string, size_t> user_ids_;
+  std::unordered_map<std::string, size_t> item_ids_;
+  Matrix user_factors_;    // |U| × f  (W).
+  Matrix item_factors_;    // |I| × f  (P).
+  Matrix aspect_factors_;  // z × f    (Q, shared).
+  std::vector<double> aspect_quality_mean_;
+  std::vector<double> aspect_attention_mean_;
+  double quality_rmse_ = 0.0;
+  double attention_rmse_ = 0.0;
+};
+
+/// Per-review learned preference vectors: review id → s_ui of the
+/// review's author about the reviewed item, masked to the aspects the
+/// review mentions (unmentioned aspects stay 0, like the other opinion
+/// models). Feed into OpinionModel::LearnedPreference.
+using ReviewVectorTable = std::unordered_map<std::string, Vector>;
+
+Result<std::shared_ptr<const ReviewVectorTable>> BuildReviewPreferenceTable(
+    const Corpus& corpus, const ExplicitFactorModel& model);
+
+}  // namespace comparesets

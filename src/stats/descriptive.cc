@@ -1,0 +1,64 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace comparesets {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double SampleVariance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double total = 0.0;
+  for (double v : values) total += (v - mean) * (v - mean);
+  return total / static_cast<double>(values.size() - 1);
+}
+
+double SampleStdDev(const std::vector<double>& values) {
+  return std::sqrt(SampleVariance(values));
+}
+
+double StandardError(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  return SampleStdDev(values) / std::sqrt(static_cast<double>(values.size()));
+}
+
+double Quantile(std::vector<double> values, double p) {
+  COMPARESETS_CHECK(!values.empty()) << "quantile of empty series";
+  COMPARESETS_CHECK(p >= 0.0 && p <= 1.0) << "p must be in [0, 1]";
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double position = p * static_cast<double>(values.size() - 1);
+  size_t lower = static_cast<size_t>(std::floor(position));
+  size_t upper = std::min(lower + 1, values.size() - 1);
+  double fraction = position - static_cast<double>(lower);
+  return values[lower] * (1.0 - fraction) + values[upper] * fraction;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  COMPARESETS_CHECK(x.size() == y.size()) << "series size mismatch";
+  if (x.size() < 2) return 0.0;
+  double mx = Mean(x);
+  double my = Mean(y);
+  double cov = 0.0;
+  double vx = 0.0;
+  double vy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - mx) * (y[i] - my);
+    vx += (x[i] - mx) * (x[i] - mx);
+    vy += (y[i] - my) * (y[i] - my);
+  }
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+}  // namespace comparesets

@@ -1,0 +1,27 @@
+// Descriptive statistics used across benches and tests.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace comparesets {
+
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance (n − 1 denominator); 0 for n < 2.
+double SampleVariance(const std::vector<double>& values);
+
+double SampleStdDev(const std::vector<double>& values);
+
+/// Standard error of the mean; 0 for n < 2.
+double StandardError(const std::vector<double>& values);
+
+/// p-quantile (linear interpolation between order statistics), p ∈ [0,1].
+double Quantile(std::vector<double> values, double p);
+
+/// Pearson correlation; 0 when either series is constant.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace comparesets

@@ -1,0 +1,111 @@
+#include "stats/krippendorff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace comparesets {
+
+Result<double> KrippendorffAlpha(const RatingsMatrix& ratings,
+                                 AlphaMetric metric) {
+  if (ratings.empty()) return Status::InvalidArgument("no annotators");
+  size_t num_units = ratings[0].size();
+  for (const auto& row : ratings) {
+    if (row.size() != num_units) {
+      return Status::InvalidArgument("ragged ratings matrix");
+    }
+  }
+  if (num_units == 0) return Status::InvalidArgument("no units");
+
+  // Distinct values, sorted (keys of the coincidence matrix).
+  std::map<double, size_t> value_index;
+  for (const auto& row : ratings) {
+    for (const auto& cell : row) {
+      if (cell.has_value()) value_index.emplace(*cell, 0);
+    }
+  }
+  if (value_index.empty()) return Status::InvalidArgument("no ratings");
+  std::vector<double> values;
+  values.reserve(value_index.size());
+  for (auto& [value, index] : value_index) {
+    index = values.size();
+    values.push_back(value);
+  }
+  size_t v = values.size();
+
+  // Coincidence matrix from all pairable values within units.
+  std::vector<double> coincidence(v * v, 0.0);
+  bool any_pairable = false;
+  for (size_t unit = 0; unit < num_units; ++unit) {
+    std::vector<size_t> unit_values;
+    for (const auto& row : ratings) {
+      if (row[unit].has_value()) {
+        unit_values.push_back(value_index.at(*row[unit]));
+      }
+    }
+    size_t m = unit_values.size();
+    if (m < 2) continue;  // Unpairable unit: excluded by definition.
+    any_pairable = true;
+    double weight = 1.0 / static_cast<double>(m - 1);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < m; ++j) {
+        if (i == j) continue;
+        coincidence[unit_values[i] * v + unit_values[j]] += weight;
+      }
+    }
+  }
+  if (!any_pairable) {
+    return Status::InvalidArgument("no unit has two or more ratings");
+  }
+
+  std::vector<double> marginals(v, 0.0);
+  double n_total = 0.0;
+  for (size_t c = 0; c < v; ++c) {
+    for (size_t k = 0; k < v; ++k) marginals[c] += coincidence[c * v + k];
+    n_total += marginals[c];
+  }
+
+  // Squared difference function per metric.
+  auto delta2 = [&](size_t c, size_t k) -> double {
+    if (c == k) return 0.0;
+    switch (metric) {
+      case AlphaMetric::kNominal:
+        return 1.0;
+      case AlphaMetric::kInterval: {
+        double d = values[c] - values[k];
+        return d * d;
+      }
+      case AlphaMetric::kOrdinal: {
+        // (Σ_{g=c..k} n_g − (n_c + n_k)/2)² over the value ordering.
+        size_t lo = std::min(c, k);
+        size_t hi = std::max(c, k);
+        double span = 0.0;
+        for (size_t g = lo; g <= hi; ++g) span += marginals[g];
+        span -= (marginals[lo] + marginals[hi]) / 2.0;
+        return span * span;
+      }
+    }
+    return 0.0;
+  };
+
+  double observed = 0.0;
+  for (size_t c = 0; c < v; ++c) {
+    for (size_t k = 0; k < v; ++k) {
+      observed += coincidence[c * v + k] * delta2(c, k);
+    }
+  }
+  double expected = 0.0;
+  for (size_t c = 0; c < v; ++c) {
+    for (size_t k = 0; k < v; ++k) {
+      if (c != k) expected += marginals[c] * marginals[k] * delta2(c, k);
+    }
+  }
+  if (n_total <= 1.0 || expected == 0.0) {
+    // All pairable values identical: perfect agreement by convention.
+    return 1.0;
+  }
+  expected /= (n_total - 1.0);
+  return 1.0 - observed / expected;
+}
+
+}  // namespace comparesets

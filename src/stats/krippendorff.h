@@ -1,0 +1,27 @@
+// Krippendorff's alpha-reliability (Krippendorff 2011), the
+// inter-annotator agreement coefficient of the paper's user study
+// (Table 7). Supports nominal, ordinal, and interval difference metrics
+// and tolerates missing ratings (the reason α is used over κ).
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/status.h"
+
+namespace comparesets {
+
+enum class AlphaMetric { kNominal, kOrdinal, kInterval };
+
+/// Ratings matrix: ratings[annotator][unit]; std::nullopt = missing.
+using RatingsMatrix = std::vector<std::vector<std::optional<double>>>;
+
+/// Computes α = 1 − D_observed / D_expected. Requires at least one unit
+/// rated by two or more annotators; α ∈ [−1, 1] (can be slightly below 0
+/// for systematic disagreement). D_expected = 0 (all values identical)
+/// yields α = 1 by convention.
+Result<double> KrippendorffAlpha(const RatingsMatrix& ratings,
+                                 AlphaMetric metric = AlphaMetric::kInterval);
+
+}  // namespace comparesets

@@ -1,0 +1,99 @@
+#include "stats/ttest.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.h"
+#include "util/logging.h"
+
+namespace comparesets {
+
+namespace {
+
+/// Continued-fraction evaluation for the incomplete beta function
+/// (Lentz's algorithm, as in Numerical Recipes betacf).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 200;
+  constexpr double kEpsilon = 3e-14;
+  constexpr double kTiny = 1e-300;
+
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double IncompleteBeta(double a, double b, double x) {
+  COMPARESETS_CHECK(a > 0.0 && b > 0.0) << "beta parameters must be positive";
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  double log_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                     a * std::log(x) + b * std::log1p(-x);
+  double front = std::exp(log_front);
+  // Symmetry selection for continued-fraction convergence.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTTwoSidedPValue(double t, double df) {
+  COMPARESETS_CHECK(df > 0.0) << "df must be positive";
+  if (!std::isfinite(t)) return 0.0;
+  double x = df / (df + t * t);
+  return IncompleteBeta(df / 2.0, 0.5, x);
+}
+
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  COMPARESETS_CHECK(a.size() == b.size()) << "paired series size mismatch";
+  COMPARESETS_CHECK(a.size() >= 2) << "need at least 2 pairs";
+  std::vector<double> diff(a.size());
+  for (size_t i = 0; i < a.size(); ++i) diff[i] = a[i] - b[i];
+
+  TTestResult out;
+  out.mean_difference = Mean(diff);
+  out.degrees_of_freedom = static_cast<double>(a.size() - 1);
+  double se = StandardError(diff);
+  if (se == 0.0) {
+    out.t_statistic =
+        out.mean_difference == 0.0
+            ? 0.0
+            : std::copysign(std::numeric_limits<double>::infinity(),
+                            out.mean_difference);
+    out.p_value = out.mean_difference == 0.0 ? 1.0 : 0.0;
+    return out;
+  }
+  out.t_statistic = out.mean_difference / se;
+  out.p_value = StudentTTwoSidedPValue(out.t_statistic,
+                                       out.degrees_of_freedom);
+  return out;
+}
+
+}  // namespace comparesets

@@ -1,0 +1,32 @@
+// Paired two-sided t-test — produces the significance stars of Table 3
+// ("* denotes statistically significant improvements over the second
+// best approach, p < 0.05").
+
+#pragma once
+
+#include <vector>
+
+namespace comparesets {
+
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;  ///< Two-sided.
+  double mean_difference = 0.0;
+
+  bool Significant(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+/// Paired t-test on matched series a, b (H0: mean(a−b) = 0). Series must
+/// have equal length >= 2; degenerate inputs (zero variance of the
+/// differences) report p = 1 when the mean difference is 0, else p = 0.
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Regularized incomplete beta function I_x(a, b); exposed for testing.
+double IncompleteBeta(double a, double b, double x);
+
+/// Two-sided p-value for Student's t with the given df.
+double StudentTTwoSidedPValue(double t, double df);
+
+}  // namespace comparesets

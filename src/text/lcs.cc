@@ -1,0 +1,29 @@
+#include "text/lcs.h"
+
+#include <algorithm>
+
+namespace comparesets {
+
+size_t LcsLength(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+  // Keep the shorter sequence in the inner dimension for O(min) space.
+  const std::vector<std::string>& outer = a.size() >= b.size() ? a : b;
+  const std::vector<std::string>& inner = a.size() >= b.size() ? b : a;
+  if (inner.empty()) return 0;
+
+  std::vector<size_t> prev(inner.size() + 1, 0);
+  std::vector<size_t> curr(inner.size() + 1, 0);
+  for (size_t i = 1; i <= outer.size(); ++i) {
+    for (size_t j = 1; j <= inner.size(); ++j) {
+      if (outer[i - 1] == inner[j - 1]) {
+        curr[j] = prev[j - 1] + 1;
+      } else {
+        curr[j] = std::max(prev[j], curr[j - 1]);
+      }
+    }
+    std::swap(prev, curr);
+  }
+  return prev[inner.size()];
+}
+
+}  // namespace comparesets

@@ -1,0 +1,15 @@
+// Longest common subsequence length over token sequences (ROUGE-L core).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace comparesets {
+
+/// Length of the LCS of two token sequences. O(|a|·|b|) time,
+/// O(min(|a|,|b|)) space (two-row dynamic program).
+size_t LcsLength(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b);
+
+}  // namespace comparesets

@@ -1,0 +1,92 @@
+#include "text/rouge.h"
+
+#include "text/lcs.h"
+#include "text/tokenizer.h"
+
+namespace comparesets {
+
+namespace {
+
+RougeScore FromCounts(int overlap, int candidate_total, int reference_total) {
+  RougeScore score;
+  if (candidate_total > 0) {
+    score.precision = static_cast<double>(overlap) / candidate_total;
+  }
+  if (reference_total > 0) {
+    score.recall = static_cast<double>(overlap) / reference_total;
+  }
+  if (score.precision + score.recall > 0.0) {
+    score.f1 = 2.0 * score.precision * score.recall /
+               (score.precision + score.recall);
+  }
+  return score;
+}
+
+}  // namespace
+
+RougeTriple& RougeTriple::operator+=(const RougeTriple& other) {
+  auto add = [](RougeScore& a, const RougeScore& b) {
+    a.precision += b.precision;
+    a.recall += b.recall;
+    a.f1 += b.f1;
+  };
+  add(rouge1, other.rouge1);
+  add(rouge2, other.rouge2);
+  add(rougeL, other.rougeL);
+  return *this;
+}
+
+RougeTriple& RougeTriple::operator/=(double denom) {
+  auto div = [denom](RougeScore& s) {
+    s.precision /= denom;
+    s.recall /= denom;
+    s.f1 /= denom;
+  };
+  div(rouge1);
+  div(rouge2);
+  div(rougeL);
+  return *this;
+}
+
+RougeDocument::RougeDocument(std::string_view text)
+    : tokens_(Tokenize(text)),
+      unigrams_(CountNgrams(tokens_, 1)),
+      bigrams_(CountNgrams(tokens_, 2)) {}
+
+RougeTriple RougeDocument::ScoreAgainst(const RougeDocument& reference) const {
+  RougeTriple out;
+  out.rouge1 =
+      FromCounts(ClippedOverlap(unigrams_, reference.unigrams_),
+                 static_cast<int>(tokens_.size()),
+                 static_cast<int>(reference.tokens_.size()));
+  int bigram_candidate = tokens_.size() >= 2
+                             ? static_cast<int>(tokens_.size()) - 1
+                             : 0;
+  int bigram_reference = reference.tokens_.size() >= 2
+                             ? static_cast<int>(reference.tokens_.size()) - 1
+                             : 0;
+  out.rouge2 = FromCounts(ClippedOverlap(bigrams_, reference.bigrams_),
+                          bigram_candidate, bigram_reference);
+  int lcs = static_cast<int>(LcsLength(tokens_, reference.tokens_));
+  out.rougeL = FromCounts(lcs, static_cast<int>(tokens_.size()),
+                          static_cast<int>(reference.tokens_.size()));
+  return out;
+}
+
+RougeScore Rouge1(std::string_view candidate, std::string_view reference) {
+  return RougeDocument(candidate).ScoreAgainst(RougeDocument(reference)).rouge1;
+}
+
+RougeScore Rouge2(std::string_view candidate, std::string_view reference) {
+  return RougeDocument(candidate).ScoreAgainst(RougeDocument(reference)).rouge2;
+}
+
+RougeScore RougeL(std::string_view candidate, std::string_view reference) {
+  return RougeDocument(candidate).ScoreAgainst(RougeDocument(reference)).rougeL;
+}
+
+RougeTriple RougeAll(std::string_view candidate, std::string_view reference) {
+  return RougeDocument(candidate).ScoreAgainst(RougeDocument(reference));
+}
+
+}  // namespace comparesets

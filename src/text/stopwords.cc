@@ -1,0 +1,39 @@
+#include "text/stopwords.h"
+
+namespace comparesets {
+
+const std::unordered_set<std::string>& EnglishStopwords() {
+  static const std::unordered_set<std::string>* kStopwords =
+      new std::unordered_set<std::string>{
+          "a", "about", "above", "after", "again", "against", "all", "am",
+          "an", "and", "any", "are", "arent", "as", "at", "be", "because",
+          "been", "before", "being", "below", "between", "both", "but", "by",
+          "can", "cannot", "cant", "could", "couldnt", "did", "didnt", "do",
+          "does", "doesnt", "doing", "dont", "down", "during", "each", "few",
+          "for", "from", "further", "get", "got", "had", "hadnt", "has",
+          "hasnt", "have", "havent", "having", "he", "hed", "hell", "her",
+          "here", "heres", "hers", "herself", "hes", "him", "himself", "his",
+          "how", "hows", "i", "id", "if", "ill", "im", "in", "into", "is",
+          "isnt", "it", "its", "itself", "ive", "just", "lets", "me", "more",
+          "most", "much", "my", "myself", "no", "nor", "not", "of", "off",
+          "on", "once", "only", "or", "other", "ought", "our", "ours",
+          "ourselves", "out", "over", "own", "same", "shant", "she", "shed",
+          "shell", "shes", "should", "shouldnt", "so", "some", "such", "than",
+          "that", "thats", "the", "their", "theirs", "them", "themselves",
+          "then", "there", "theres", "these", "they", "theyd", "theyll",
+          "theyre", "theyve", "this", "those", "through", "to", "too",
+          "under", "until", "up", "us", "very", "was", "wasnt", "we", "wed",
+          "well", "were", "werent", "weve", "what", "whats", "when", "whens",
+          "where", "wheres", "which", "while", "who", "whom", "whos", "why",
+          "whys", "will", "with", "wont", "would", "wouldnt", "you", "youd",
+          "youll", "your", "youre", "yours", "yourself", "yourselves",
+          "youve",
+      };
+  return *kStopwords;
+}
+
+bool IsStopword(const std::string& token) {
+  return EnglishStopwords().count(token) > 0;
+}
+
+}  // namespace comparesets

@@ -1,0 +1,17 @@
+// English stopword list (SMART-style subset) used by the aspect
+// extractor to avoid mining function words as aspects.
+
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+namespace comparesets {
+
+/// Shared immutable stopword set.
+const std::unordered_set<std::string>& EnglishStopwords();
+
+/// True if `token` (already lowercased) is a stopword.
+bool IsStopword(const std::string& token);
+
+}  // namespace comparesets

@@ -1,0 +1,139 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace comparesets {
+
+Result<std::vector<CsvRow>> ParseCsv(const std::string& content, char sep) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  size_t i = 0;
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  while (i < content.size()) {
+    char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          field += '"';  // Doubled quote inside a quoted field.
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && !field_started && field.empty()) {
+      in_quotes = true;
+      field_started = true;
+      ++i;
+      continue;
+    }
+    if (c == sep) {
+      end_field();
+      ++i;
+      continue;
+    }
+    if (c == '\r') {
+      // Normalize CRLF and lone CR as row terminators.
+      if (i + 1 < content.size() && content[i + 1] == '\n') ++i;
+      end_row();
+      ++i;
+      continue;
+    }
+    if (c == '\n') {
+      end_row();
+      ++i;
+      continue;
+    }
+    field += c;
+    field_started = true;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field");
+  }
+  // Flush a final row that lacks a trailing newline.
+  if (field_started || !field.empty() || !row.empty()) {
+    end_row();
+  }
+  return rows;
+}
+
+namespace {
+bool NeedsQuoting(const std::string& field, char sep) {
+  for (char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string QuoteField(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string WriteCsv(const std::vector<CsvRow>& rows, char sep) {
+  std::string out;
+  for (const CsvRow& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out += sep;
+      out += NeedsQuoting(row[i], sep) ? QuoteField(row[i]) : row[i];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path, char sep) {
+  COMPARESETS_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  return ParseCsv(content, sep);
+}
+
+Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows,
+                    char sep) {
+  return WriteStringToFile(path, WriteCsv(rows, sep));
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  return buffer.str();
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << content;
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace comparesets

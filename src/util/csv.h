@@ -1,0 +1,41 @@
+// Minimal RFC-4180-flavoured CSV reader/writer.
+//
+// Used to export benchmark tables (one CSV per paper table/figure) and to
+// load external datasets. Handles quoted fields, embedded separators,
+// doubled quotes, and embedded newlines.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace comparesets {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// Parses a whole document. Rows may have differing arity (callers
+/// validate). `sep` is usually ',' or '\t'.
+Result<std::vector<CsvRow>> ParseCsv(const std::string& content,
+                                     char sep = ',');
+
+/// Serializes rows, quoting fields that need it.
+std::string WriteCsv(const std::vector<CsvRow>& rows, char sep = ',');
+
+/// Reads and parses a CSV file.
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path,
+                                        char sep = ',');
+
+/// Writes rows to a file, creating/truncating it.
+Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows,
+                    char sep = ',');
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file, creating/truncating it.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace comparesets

@@ -1,0 +1,324 @@
+#include "util/jsonl.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace comparesets {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  auto it = as_object().find(key);
+  return it == as_object().end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : fallback;
+}
+
+double JsonValue::GetNumber(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StringPrintf("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void DumpValue(const JsonValue& v, std::string* out) {
+  if (v.is_null()) {
+    *out += "null";
+  } else if (v.is_bool()) {
+    *out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    double d = v.as_number();
+    if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+      *out += StringPrintf("%lld", static_cast<long long>(d));
+    } else {
+      *out += StringPrintf("%.17g", d);
+    }
+  } else if (v.is_string()) {
+    AppendEscaped(v.as_string(), out);
+  } else if (v.is_array()) {
+    out->push_back('[');
+    const auto& arr = v.as_array();
+    for (size_t i = 0; i < arr.size(); ++i) {
+      if (i) out->push_back(',');
+      DumpValue(arr[i], out);
+    }
+    out->push_back(']');
+  } else {
+    out->push_back('{');
+    bool first = true;
+    for (const auto& [key, value] : v.as_object()) {
+      if (!first) out->push_back(',');
+      first = false;
+      AppendEscaped(key, out);
+      out->push_back(':');
+      DumpValue(value, out);
+    }
+    out->push_back('}');
+  }
+}
+
+/// Recursive-descent JSON parser over a raw buffer.
+class Parser {
+ public:
+  Parser(const char* begin, const char* end) : p_(begin), end_(end) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    COMPARESETS_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWhitespace();
+    if (p_ != end_) return Status::ParseError("trailing content after JSON");
+    return v;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    if (p_ == end_) return Status::ParseError("unexpected end of JSON");
+    switch (*p_) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        return ParseLiteral("true", JsonValue(true));
+      case 'f':
+        return ParseLiteral("false", JsonValue(false));
+      case 'n':
+        return ParseLiteral("null", JsonValue(nullptr));
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseLiteral(const char* literal, JsonValue value) {
+    for (const char* c = literal; *c; ++c) {
+      if (p_ == end_ || *p_ != *c) {
+        return Status::ParseError(std::string("bad literal, expected ") +
+                                  literal);
+      }
+      ++p_;
+    }
+    return value;
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    while (p_ != end_ && (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                          *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
+                          *p_ == '-' || *p_ == '+')) {
+      ++p_;
+    }
+    if (p_ == start) return Status::ParseError("invalid JSON number");
+    std::string token(start, p_);
+    char* parse_end = nullptr;
+    double d = std::strtod(token.c_str(), &parse_end);
+    if (parse_end != token.c_str() + token.size()) {
+      return Status::ParseError("invalid JSON number: " + token);
+    }
+    return JsonValue(d);
+  }
+
+  Result<JsonValue> ParseString() {
+    COMPARESETS_ASSIGN_OR_RETURN(std::string s, ParseRawString());
+    return JsonValue(std::move(s));
+  }
+
+  Result<std::string> ParseRawString() {
+    if (!Consume('"')) return Status::ParseError("expected string");
+    std::string out;
+    while (p_ != end_) {
+      char c = *p_++;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (p_ == end_) break;
+      char esc = *p_++;
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (end_ - p_ < 4) return Status::ParseError("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = *p_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Status::ParseError("bad hex digit in \\u escape");
+          }
+          // Encode the code point as UTF-8 (surrogates passed through).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Status::ParseError("unknown escape character");
+      }
+    }
+    return Status::ParseError("unterminated string");
+  }
+
+  Result<JsonValue> ParseArray() {
+    Consume('[');
+    JsonValue::Array arr;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue(std::move(arr));
+    for (;;) {
+      SkipWhitespace();
+      COMPARESETS_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      arr.push_back(std::move(v));
+      SkipWhitespace();
+      if (Consume(']')) return JsonValue(std::move(arr));
+      if (!Consume(',')) return Status::ParseError("expected ',' in array");
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    Consume('{');
+    JsonValue::Object obj;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue(std::move(obj));
+    for (;;) {
+      SkipWhitespace();
+      COMPARESETS_ASSIGN_OR_RETURN(std::string key, ParseRawString());
+      SkipWhitespace();
+      if (!Consume(':')) return Status::ParseError("expected ':' in object");
+      SkipWhitespace();
+      COMPARESETS_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      obj.emplace(std::move(key), std::move(v));
+      SkipWhitespace();
+      if (Consume('}')) return JsonValue(std::move(obj));
+      if (!Consume(',')) return Status::ParseError("expected ',' in object");
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpValue(*this, &out);
+  return out;
+}
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  Parser parser(text.data(), text.data() + text.size());
+  return parser.Parse();
+}
+
+Result<std::vector<JsonValue>> ParseJsonLines(const std::string& text) {
+  std::vector<JsonValue> out;
+  size_t start = 0;
+  size_t line_no = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    size_t end = (nl == std::string::npos) ? text.size() : nl;
+    ++line_no;
+    std::string_view line(text.data() + start, end - start);
+    line = Trim(line);
+    if (!line.empty()) {
+      Parser parser(line.data(), line.data() + line.size());
+      auto parsed = parser.Parse();
+      if (!parsed.ok()) {
+        return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                  parsed.status().message());
+      }
+      out.push_back(std::move(parsed).value());
+    }
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+  return out;
+}
+
+}  // namespace comparesets

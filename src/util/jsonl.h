@@ -1,0 +1,75 @@
+// Minimal JSON value model, parser, and serializer.
+//
+// Sufficient for the Amazon-review JSON-lines format (objects, arrays,
+// strings with escapes, numbers, booleans, null) and for exporting
+// experiment results. Not a validating general-purpose JSON library:
+// numbers are parsed as double, and \uXXXX escapes outside the BMP are
+// accepted pair-wise (surrogates are passed through as UTF-8).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace comparesets {
+
+/// A JSON value: null, bool, number, string, array, or object.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}            // NOLINT
+  JsonValue(bool b) : value_(b) {}                          // NOLINT
+  JsonValue(double d) : value_(d) {}                        // NOLINT
+  JsonValue(int i) : value_(static_cast<double>(i)) {}      // NOLINT
+  JsonValue(int64_t i) : value_(static_cast<double>(i)) {}  // NOLINT
+  JsonValue(std::string s) : value_(std::move(s)) {}        // NOLINT
+  JsonValue(const char* s) : value_(std::string(s)) {}      // NOLINT
+  JsonValue(Array a) : value_(std::move(a)) {}              // NOLINT
+  JsonValue(Object o) : value_(std::move(o)) {}             // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_number() const { return std::get<double>(value_); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const Array& as_array() const { return std::get<Array>(value_); }
+  Array& as_array() { return std::get<Array>(value_); }
+  const Object& as_object() const { return std::get<Object>(value_); }
+  Object& as_object() { return std::get<Object>(value_); }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience typed getters with defaults (for tolerant data loading).
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  double GetNumber(const std::string& key, double fallback = 0.0) const;
+
+  /// Compact serialization (stable member order: std::map).
+  std::string Dump() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Parses a JSON-lines document (one JSON object per non-empty line).
+Result<std::vector<JsonValue>> ParseJsonLines(const std::string& text);
+
+}  // namespace comparesets

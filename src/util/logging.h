@@ -1,0 +1,63 @@
+// Minimal leveled logging with CHECK macros.
+//
+//   LOG_INFO("built graph with " << n << " nodes");
+//   COMPARESETS_CHECK(k >= 1) << "k must be positive, got " << k;
+//
+// Log output goes to stderr. The global level is settable at runtime
+// (benchmarks run at kWarning to keep table output clean).
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace comparesets {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum level that is emitted; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction. Fatal messages
+/// abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace comparesets
+
+#define COMPARESETS_LOG(level)                                          \
+  ::comparesets::internal::LogMessage(::comparesets::LogLevel::level,   \
+                                      __FILE__, __LINE__)
+
+#define LOG_DEBUG(msg) COMPARESETS_LOG(kDebug) << msg
+#define LOG_INFO(msg) COMPARESETS_LOG(kInfo) << msg
+#define LOG_WARNING(msg) COMPARESETS_LOG(kWarning) << msg
+#define LOG_ERROR(msg) COMPARESETS_LOG(kError) << msg
+
+// CHECK: always active (also in release builds); fatal on failure.
+#define COMPARESETS_CHECK(cond)                               \
+  if (!(cond))                                                \
+  COMPARESETS_LOG(kFatal) << "Check failed: " #cond " "
+
+#define COMPARESETS_DCHECK(cond) COMPARESETS_CHECK(cond)

@@ -1,0 +1,133 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace comparesets {
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller transform: two uniforms -> two independent normals.
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  double u2 = UniformDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Gamma(double shape) {
+  COMPARESETS_CHECK(shape > 0.0) << "Gamma shape must be positive";
+  if (shape < 1.0) {
+    // Boost to shape+1 then scale back (Marsaglia-Tsang note).
+    double u = 0.0;
+    do {
+      u = UniformDouble();
+    } while (u <= 1e-300);
+    return Gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  double d = shape - 1.0 / 3.0;
+  double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = Normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = UniformDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 1e-300 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  COMPARESETS_CHECK(!weights.empty()) << "Categorical needs weights";
+  double total = 0.0;
+  for (double w : weights) {
+    COMPARESETS_CHECK(w >= 0.0) << "Categorical weight must be non-negative";
+    total += w;
+  }
+  COMPARESETS_CHECK(total > 0.0) << "Categorical weights sum to zero";
+  double r = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // Floating-point edge: return last bucket.
+}
+
+std::vector<double> Rng::Dirichlet(const std::vector<double>& alpha) {
+  COMPARESETS_CHECK(!alpha.empty()) << "Dirichlet needs parameters";
+  std::vector<double> out(alpha.size());
+  double total = 0.0;
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    out[i] = Gamma(alpha[i]);
+    total += out[i];
+  }
+  if (total <= 0.0) {
+    // Degenerate draw (all gammas underflowed); fall back to uniform.
+    std::fill(out.begin(), out.end(), 1.0 / out.size());
+    return out;
+  }
+  for (double& v : out) v /= total;
+  return out;
+}
+
+int Rng::Poisson(double lambda) {
+  COMPARESETS_CHECK(lambda >= 0.0) << "Poisson lambda must be non-negative";
+  if (lambda == 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth's multiplication method.
+    double limit = std::exp(-lambda);
+    double prod = UniformDouble();
+    int count = 0;
+    while (prod > limit) {
+      ++count;
+      prod *= UniformDouble();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction for large lambda.
+  double value = Normal(lambda, std::sqrt(lambda));
+  return std::max(0, static_cast<int>(std::lround(value)));
+}
+
+int Rng::Geometric(double p) {
+  COMPARESETS_CHECK(p > 0.0 && p <= 1.0) << "Geometric p must be in (0, 1]";
+  if (p == 1.0) return 0;
+  double u = 0.0;
+  do {
+    u = UniformDouble();
+  } while (u <= 1e-300);
+  return static_cast<int>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t population,
+                                                  size_t count) {
+  COMPARESETS_CHECK(count <= population)
+      << "cannot sample " << count << " from " << population;
+  // Floyd's algorithm: O(count) expected time, O(count) space.
+  std::unordered_set<size_t> chosen;
+  std::vector<size_t> out;
+  out.reserve(count);
+  for (size_t j = population - count; j < population; ++j) {
+    size_t t = UniformU32(static_cast<uint32_t>(j + 1));
+    if (chosen.count(t)) t = j;
+    chosen.insert(t);
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace comparesets

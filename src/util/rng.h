@@ -1,0 +1,110 @@
+// Deterministic pseudo-random number generation (PCG32).
+//
+// All stochastic components of the library (synthetic data, Random
+// baselines, simulated annotators) draw from explicitly seeded `Rng`
+// instances so every experiment is reproducible bit-for-bit across runs
+// and platforms. std::mt19937 is avoided because distribution
+// implementations differ across standard libraries.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace comparesets {
+
+/// PCG32 (O'Neill 2014): 64-bit state, 32-bit output, period 2^64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 1)
+      : state_(0), inc_((stream << 1u) | 1u) {
+    NextU32();
+    state_ += seed;
+    NextU32();
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform integer in [0, bound), unbiased (rejection sampling).
+  uint32_t UniformU32(uint32_t bound) {
+    COMPARESETS_CHECK(bound > 0) << "UniformU32 bound must be positive";
+    uint32_t threshold = (~bound + 1u) % bound;
+    for (;;) {
+      uint32_t r = NextU32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi) {
+    COMPARESETS_CHECK(lo <= hi) << "UniformInt empty range";
+    return lo + static_cast<int>(
+                    UniformU32(static_cast<uint32_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return NextU32() * (1.0 / 4294967296.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal via Box-Muller (one value per call; simple and exact).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// Gamma(shape, 1) via Marsaglia-Tsang; shape > 0.
+  double Gamma(double shape);
+
+  /// Samples an index from unnormalized non-negative weights.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Samples a Dirichlet vector with the given concentration parameters.
+  std::vector<double> Dirichlet(const std::vector<double>& alpha);
+
+  /// Poisson-distributed count (Knuth for small lambda, normal approx above).
+  int Poisson(double lambda);
+
+  /// Geometric number of failures before first success; p in (0, 1].
+  int Geometric(double p);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = UniformU32(static_cast<uint32_t>(i));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  /// Samples `count` distinct indices from [0, population) without
+  /// replacement (Floyd's algorithm); result is unsorted.
+  std::vector<size_t> SampleWithoutReplacement(size_t population, size_t count);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace comparesets

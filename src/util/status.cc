@@ -1,0 +1,53 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace comparesets {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kIOError:
+      return "io error";
+    case StatusCode::kParseError:
+      return "parse error";
+    case StatusCode::kTimeout:
+      return "timeout";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kNotImplemented:
+      return "not implemented";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+void Status::CheckOK() const {
+  if (ok()) return;
+  std::fprintf(stderr, "Fatal: unchecked failing status: %s\n",
+               ToString().c_str());
+  std::abort();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace comparesets

@@ -1,0 +1,154 @@
+// Status / Result<T> error model, in the style of Arrow / RocksDB.
+//
+// Functions that can fail return `Status` (no payload) or `Result<T>`
+// (payload or error). Failures carry a code and a human-readable message.
+// Statuses must be checked; the convenience macros below make propagation
+// terse:
+//
+//   COMPARESETS_RETURN_NOT_OK(DoThing());
+//   COMPARESETS_ASSIGN_OR_RETURN(auto v, ComputeValue());
+
+#pragma once
+
+#include <cstdlib>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace comparesets {
+
+/// Machine-readable category for a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kParseError,
+  kTimeout,
+  kInternal,
+  kNotImplemented,
+};
+
+/// Returns a stable lowercase name for a status code ("ok", "io error", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of an operation that has no payload.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with a diagnostic if not OK. For use in contexts
+  /// (tests, examples) where failure is a programming error.
+  void CheckOK() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Outcome of an operation that yields a T on success.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return 42;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::IOError(...)`.
+  Result(Status status) : value_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(value_).ok()) {
+      // An OK status carries no payload; this is a caller bug.
+      std::get<Status>(value_) =
+          Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(value_);
+  }
+
+  /// Payload access; undefined if !ok(). Use ValueOrDie() in tests.
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  /// Payload access that aborts with a diagnostic on error.
+  T ValueOrDie() && {
+    status().CheckOK();
+    return std::get<T>(std::move(value_));
+  }
+  const T& ValueOrDie() const& {
+    status().CheckOK();
+    return std::get<T>(value_);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace comparesets
+
+#define COMPARESETS_RETURN_NOT_OK(expr)            \
+  do {                                             \
+    ::comparesets::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+#define COMPARESETS_CONCAT_IMPL(a, b) a##b
+#define COMPARESETS_CONCAT(a, b) COMPARESETS_CONCAT_IMPL(a, b)
+
+#define COMPARESETS_ASSIGN_OR_RETURN_IMPL(result_name, lhs, expr) \
+  auto result_name = (expr);                                      \
+  if (!result_name.ok()) return result_name.status();             \
+  lhs = std::move(result_name).value()
+
+#define COMPARESETS_ASSIGN_OR_RETURN(lhs, expr)                         \
+  COMPARESETS_ASSIGN_OR_RETURN_IMPL(                                    \
+      COMPARESETS_CONCAT(_result_, __LINE__), lhs, expr)

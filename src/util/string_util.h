@@ -1,0 +1,39 @@
+// Small string helpers shared across modules (no locale dependence).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace comparesets {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on any run of ASCII whitespace; drops empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with the given number of decimals ("%.2f" style).
+std::string FormatDouble(double value, int decimals);
+
+/// Formats an integer with thousands separators ("12,345").
+std::string FormatWithCommas(int64_t value);
+
+}  // namespace comparesets

@@ -1,0 +1,4 @@
+#include "util/timer.h"
+
+// Header-only today; this translation unit anchors the module and keeps
+// the build graph stable if out-of-line members are added later.

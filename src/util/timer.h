@@ -1,0 +1,56 @@
+// Wall-clock timing helpers used by the runtime experiments (Figure 7)
+// and the branch-and-bound time limit (Table 5).
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace comparesets {
+
+/// Monotonic stopwatch. Started on construction; restartable.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Deadline for time-limited solvers. A non-positive budget means
+/// "no limit".
+class Deadline {
+ public:
+  explicit Deadline(double budget_seconds)
+      : limited_(budget_seconds > 0.0), budget_seconds_(budget_seconds) {}
+
+  bool Expired() const {
+    return limited_ && timer_.ElapsedSeconds() >= budget_seconds_;
+  }
+
+  double RemainingSeconds() const {
+    if (!limited_) return 1e30;
+    return budget_seconds_ - timer_.ElapsedSeconds();
+  }
+
+ private:
+  bool limited_;
+  double budget_seconds_;
+  Timer timer_;
+};
+
+}  // namespace comparesets

@@ -1,0 +1,136 @@
+#include "core/design_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace comparesets {
+namespace {
+
+class DesignMatrixTest : public ::testing::Test {
+ protected:
+  DesignMatrixTest()
+      : corpus_(testing::WorkingExampleCorpus()),
+        instance_(testing::WorkingExampleInstance(corpus_)),
+        vectors_(BuildInstanceVectors(OpinionModel::Binary(5), instance_)) {}
+
+  Corpus corpus_;
+  ProblemInstance instance_;
+  InstanceVectors vectors_;
+};
+
+TEST_F(DesignMatrixTest, CrsSystemShape) {
+  DesignSystem system = BuildCrsSystem(vectors_, 0);
+  EXPECT_EQ(system.v.rows(), 10u);  // 2z opinion rows only.
+  EXPECT_EQ(system.target.size(), 10u);
+  EXPECT_TRUE(system.target.AlmostEquals(vectors_.tau[0]));
+}
+
+TEST_F(DesignMatrixTest, CompareSetsSystemShapeAndTarget) {
+  double lambda = 2.0;
+  DesignSystem system = BuildCompareSetsSystem(vectors_, 0, lambda);
+  EXPECT_EQ(system.v.rows(), 15u);  // 2z + z.
+  Vector expected = vectors_.tau[0];
+  expected.AppendScaled(lambda, vectors_.gamma);
+  EXPECT_TRUE(system.target.AlmostEquals(expected));
+}
+
+TEST_F(DesignMatrixTest, DeduplicationMergesIdenticalReviews) {
+  // The working-example target has two identical triples: r1≡r4, r2≡r5,
+  // r3≡r6 → exactly 3 deduplicated column groups of multiplicity 2.
+  DesignSystem system = BuildCompareSetsSystem(vectors_, 0, 1.0);
+  EXPECT_EQ(system.v.cols(), 3u);
+  for (int count : system.dup_counts) EXPECT_EQ(count, 2);
+  size_t total_reviews = 0;
+  for (const auto& group : system.group_reviews) {
+    total_reviews += group.size();
+  }
+  EXPECT_EQ(total_reviews, 6u);
+}
+
+TEST_F(DesignMatrixTest, GroupReviewsIndexRealReviews) {
+  DesignSystem system = BuildCompareSetsSystem(vectors_, 0, 1.0);
+  const Product& target = *instance_.items[0];
+  for (size_t g = 0; g < system.group_reviews.size(); ++g) {
+    Vector representative = system.v.Column(g);
+    for (size_t review_index : system.group_reviews[g]) {
+      ASSERT_LT(review_index, target.reviews.size());
+      // Every member of the group must produce the same column.
+      Vector column =
+          vectors_.opinion_columns[0][review_index];
+      column.AppendScaled(1.0, vectors_.aspect_columns[0][review_index]);
+      EXPECT_TRUE(column.AlmostEquals(representative)) << "group " << g;
+    }
+  }
+}
+
+TEST_F(DesignMatrixTest, LambdaScalesAspectRowsOnly) {
+  DesignSystem unscaled = BuildCompareSetsSystem(vectors_, 0, 1.0);
+  DesignSystem scaled = BuildCompareSetsSystem(vectors_, 0, 3.0);
+  ASSERT_EQ(unscaled.v.cols(), scaled.v.cols());
+  for (size_t c = 0; c < unscaled.v.cols(); ++c) {
+    for (size_t r = 0; r < 10; ++r) {  // Opinion rows unchanged.
+      EXPECT_DOUBLE_EQ(unscaled.v(r, c), scaled.v(r, c));
+    }
+    for (size_t r = 10; r < 15; ++r) {  // Aspect rows scaled by 3.
+      EXPECT_DOUBLE_EQ(3.0 * unscaled.v(r, c), scaled.v(r, c));
+    }
+  }
+}
+
+TEST_F(DesignMatrixTest, PlusSystemShapeWithOtherItems) {
+  std::vector<Vector> other_phis = {vectors_.AspectOf(1, {0, 1}),
+                                    vectors_.AspectOf(2, {0})};
+  double lambda = 1.0;
+  double mu = 0.5;
+  DesignSystem system =
+      BuildCompareSetsPlusSystem(vectors_, 0, lambda, mu, other_phis);
+  // Rows: 2z (opinions) + z (Γ block) + 2·z (two other-item blocks).
+  EXPECT_EQ(system.v.rows(), 10u + 5u + 10u);
+  EXPECT_EQ(system.target.size(), system.v.rows());
+
+  // Target tail blocks must be the μ-scaled other φ's, in order.
+  for (size_t a = 0; a < 5; ++a) {
+    EXPECT_DOUBLE_EQ(system.target[15 + a], mu * other_phis[0][a]);
+    EXPECT_DOUBLE_EQ(system.target[20 + a], mu * other_phis[1][a]);
+  }
+}
+
+TEST_F(DesignMatrixTest, PlusSystemRepeatsAspectBlockScaledByMu) {
+  std::vector<Vector> other_phis = {vectors_.AspectOf(1, {0}),
+                                    vectors_.AspectOf(2, {0})};
+  double mu = 0.25;
+  DesignSystem system =
+      BuildCompareSetsPlusSystem(vectors_, 0, 1.0, mu, other_phis);
+  for (size_t c = 0; c < system.v.cols(); ++c) {
+    for (size_t a = 0; a < 5; ++a) {
+      double lambda_block = system.v(10 + a, c);   // λ = 1 block.
+      double mu_block_1 = system.v(15 + a, c);
+      double mu_block_2 = system.v(20 + a, c);
+      EXPECT_DOUBLE_EQ(mu_block_1, mu * lambda_block);
+      EXPECT_DOUBLE_EQ(mu_block_2, mu * lambda_block);
+    }
+  }
+}
+
+TEST_F(DesignMatrixTest, PlusSystemRejectsWrongPhiCount) {
+  std::vector<Vector> wrong = {vectors_.AspectOf(1, {0})};  // Need 2.
+  EXPECT_DEATH(
+      BuildCompareSetsPlusSystem(vectors_, 0, 1.0, 1.0, wrong),
+      "one");
+}
+
+TEST_F(DesignMatrixTest, ZeroLambdaCollapsesToOpinionMatching) {
+  DesignSystem system = BuildCompareSetsSystem(vectors_, 0, 0.0);
+  for (size_t c = 0; c < system.v.cols(); ++c) {
+    for (size_t r = 10; r < 15; ++r) {
+      EXPECT_DOUBLE_EQ(system.v(r, c), 0.0);
+    }
+  }
+  for (size_t r = 10; r < 15; ++r) {
+    EXPECT_DOUBLE_EQ(system.target[r], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,155 @@
+#include "data/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace comparesets {
+namespace {
+
+using testing::MakeReview;
+using testing::kPos;
+using testing::kNeg;
+
+Product TinyProduct(const std::string& id, size_t reviews,
+                    std::vector<std::string> also_bought = {}) {
+  Product p;
+  p.id = id;
+  p.title = "product " + id;
+  p.also_bought = std::move(also_bought);
+  for (size_t r = 0; r < reviews; ++r) {
+    Review review = MakeReview(id + "-r" + std::to_string(r),
+                               {{0, r % 2 == 0 ? kPos : kNeg}});
+    review.reviewer_id = "user-" + std::to_string(r % 3);
+    p.reviews.push_back(std::move(review));
+  }
+  return p;
+}
+
+TEST(CatalogTest, InternAssignsSequentialIds) {
+  AspectCatalog catalog;
+  EXPECT_EQ(catalog.Intern("battery"), 0);
+  EXPECT_EQ(catalog.Intern("lens"), 1);
+  EXPECT_EQ(catalog.Intern("battery"), 0);  // Idempotent.
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog.Name(1), "lens");
+  EXPECT_EQ(catalog.Find("lens"), 1);
+  EXPECT_EQ(catalog.Find("missing"), -1);
+}
+
+TEST(ReviewTest, MentionedAspectsDeduplicatedSorted) {
+  Review review = MakeReview("r", {{2, kPos}, {0, kNeg}, {2, kNeg}, {1, kPos}});
+  EXPECT_EQ(review.MentionedAspects(), (std::vector<AspectId>{0, 1, 2}));
+}
+
+TEST(PolarityTest, Names) {
+  EXPECT_STREQ(PolarityName(Polarity::kPositive), "positive");
+  EXPECT_STREQ(PolarityName(Polarity::kNegative), "negative");
+  EXPECT_STREQ(PolarityName(Polarity::kNeutral), "neutral");
+}
+
+TEST(CorpusTest, AddFindAndCounts) {
+  Corpus corpus("test");
+  corpus.AddProduct(TinyProduct("a", 3)).CheckOK();
+  corpus.AddProduct(TinyProduct("b", 5)).CheckOK();
+  corpus.Finalize();
+  EXPECT_EQ(corpus.num_products(), 2u);
+  EXPECT_EQ(corpus.num_reviews(), 8u);
+  EXPECT_EQ(corpus.num_reviewers(), 3u);  // user-0/1/2 shared.
+  ASSERT_NE(corpus.Find("a"), nullptr);
+  EXPECT_EQ(corpus.Find("a")->reviews.size(), 3u);
+  EXPECT_EQ(corpus.Find("zzz"), nullptr);
+}
+
+TEST(CorpusTest, DuplicateProductRejected) {
+  Corpus corpus("test");
+  corpus.AddProduct(TinyProduct("a", 2)).CheckOK();
+  Status status = corpus.AddProduct(TinyProduct("a", 2));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CorpusTest, BuildInstancesFollowsAlsoBought) {
+  Corpus corpus("test");
+  corpus.AddProduct(TinyProduct("t", 4, {"c1", "c2", "ghost"})).CheckOK();
+  corpus.AddProduct(TinyProduct("c1", 4)).CheckOK();
+  corpus.AddProduct(TinyProduct("c2", 4)).CheckOK();
+  corpus.Finalize();
+
+  auto instances = corpus.BuildInstances();
+  // Only "t" has enough comparatives; c1/c2 have none.
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0].target().id, "t");
+  EXPECT_EQ(instances[0].num_items(), 3u);  // Ghost link skipped.
+}
+
+TEST(CorpusTest, MinReviewsFilterSkipsThinItems) {
+  Corpus corpus("test");
+  corpus.AddProduct(TinyProduct("t", 4, {"thin", "ok1", "ok2"})).CheckOK();
+  corpus.AddProduct(TinyProduct("thin", 1)).CheckOK();
+  corpus.AddProduct(TinyProduct("ok1", 3)).CheckOK();
+  corpus.AddProduct(TinyProduct("ok2", 3)).CheckOK();
+  corpus.Finalize();
+
+  InstanceOptions options;
+  options.min_reviews_per_item = 2;
+  auto instances = corpus.BuildInstances(options);
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0].num_items(), 3u);  // "thin" excluded.
+}
+
+TEST(CorpusTest, MinComparativeItemsFilter) {
+  Corpus corpus("test");
+  corpus.AddProduct(TinyProduct("t", 4, {"c1"})).CheckOK();
+  corpus.AddProduct(TinyProduct("c1", 4)).CheckOK();
+  corpus.Finalize();
+
+  InstanceOptions options;
+  options.min_comparative_items = 2;
+  EXPECT_TRUE(corpus.BuildInstances(options).empty());
+  options.min_comparative_items = 1;
+  EXPECT_EQ(corpus.BuildInstances(options).size(), 1u);
+}
+
+TEST(CorpusTest, MaxComparativeItemsCap) {
+  Corpus corpus("test");
+  corpus.AddProduct(TinyProduct("t", 4, {"c1", "c2", "c3", "c4"})).CheckOK();
+  for (const char* id : {"c1", "c2", "c3", "c4"}) {
+    corpus.AddProduct(TinyProduct(id, 3)).CheckOK();
+  }
+  corpus.Finalize();
+
+  InstanceOptions options;
+  options.max_comparative_items = 2;
+  auto instances = corpus.BuildInstances(options);
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0].num_items(), 3u);  // Target + 2 comparatives.
+}
+
+TEST(CorpusTest, SelfLinkIgnored) {
+  Corpus corpus("test");
+  corpus.AddProduct(TinyProduct("t", 4, {"t", "c1", "c2"})).CheckOK();
+  corpus.AddProduct(TinyProduct("c1", 3)).CheckOK();
+  corpus.AddProduct(TinyProduct("c2", 3)).CheckOK();
+  corpus.Finalize();
+  auto instances = corpus.BuildInstances();
+  ASSERT_EQ(instances.size(), 1u);
+  for (const Product* item : instances[0].items) {
+    EXPECT_NE(item, nullptr);
+  }
+  EXPECT_EQ(instances[0].num_items(), 3u);
+}
+
+TEST(CorpusTest, WorkingExampleFixtureWellFormed) {
+  Corpus corpus = testing::WorkingExampleCorpus();
+  EXPECT_EQ(corpus.num_products(), 3u);
+  EXPECT_EQ(corpus.num_aspects(), 5u);
+  EXPECT_EQ(corpus.catalog().Name(testing::kBattery), "battery");
+  EXPECT_EQ(corpus.catalog().Name(testing::kShuttle), "shuttle");
+  auto instances = corpus.BuildInstances();
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0].num_items(), 3u);
+}
+
+}  // namespace
+}  // namespace comparesets

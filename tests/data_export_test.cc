@@ -1,0 +1,146 @@
+#include "data/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/loader.h"
+#include "data/synthetic.h"
+#include "util/csv.h"
+#include "util/jsonl.h"
+
+namespace comparesets {
+namespace {
+
+Corpus SmallCorpus() {
+  SyntheticConfig config = DefaultConfig("Clothing", 30).ValueOrDie();
+  config.seed = 99;
+  return GenerateCorpus(config).ValueOrDie();
+}
+
+TEST(ExportTest, ReviewsJsonlParsesAndCountsMatch) {
+  Corpus corpus = SmallCorpus();
+  std::string jsonl = ExportReviewsJsonl(corpus);
+  auto rows = ParseJsonLines(jsonl);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), corpus.num_reviews());
+  // Spot-check fields of the first row.
+  const JsonValue& row = rows.value().front();
+  EXPECT_FALSE(row.GetString("asin").empty());
+  EXPECT_FALSE(row.GetString("reviewText").empty());
+  EXPECT_GE(row.GetNumber("overall"), 1.0);
+  EXPECT_LE(row.GetNumber("overall"), 5.0);
+}
+
+TEST(ExportTest, MetadataJsonlPreservesAlsoBought) {
+  Corpus corpus = SmallCorpus();
+  auto rows = ParseJsonLines(ExportMetadataJsonl(corpus));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), corpus.num_products());
+  for (const JsonValue& row : rows.value()) {
+    const Product* product = corpus.Find(row.GetString("asin"));
+    ASSERT_NE(product, nullptr);
+    const JsonValue* related = row.Find("related");
+    ASSERT_NE(related, nullptr);
+    const JsonValue* also_bought = related->Find("also_bought");
+    ASSERT_NE(also_bought, nullptr);
+    EXPECT_EQ(also_bought->as_array().size(), product->also_bought.size());
+  }
+}
+
+TEST(ExportTest, RoundTripThroughLoader) {
+  // Export a synthetic corpus and reload it via the real ingestion path.
+  Corpus corpus = SmallCorpus();
+  LoaderOptions options;
+  options.mining.min_review_frequency = 2;
+  auto reloaded = LoadAmazonCorpus("RoundTrip", ExportReviewsJsonl(corpus),
+                                   ExportMetadataJsonl(corpus), options);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(reloaded.value().num_products(), corpus.num_products());
+  EXPECT_EQ(reloaded.value().num_reviews(), corpus.num_reviews());
+  // Also-bought links survive.
+  const Product* original = &corpus.products()[0];
+  const Product* loaded = reloaded.value().Find(original->id);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->also_bought, original->also_bought);
+}
+
+TEST(ExportTest, AnnotationSidecarRoundTripsGroundTruth) {
+  Corpus corpus = SmallCorpus();
+  std::string annotations = ExportAnnotationsJsonl(corpus);
+
+  // Reload text via the loader (which re-annotates), then overwrite with
+  // the ground-truth sidecar and compare against the original.
+  LoaderOptions options;
+  options.mining.min_review_frequency = 2;
+  Corpus reloaded =
+      LoadAmazonCorpus("RoundTrip", ExportReviewsJsonl(corpus),
+                       ExportMetadataJsonl(corpus), options)
+          .ValueOrDie();
+  ASSERT_TRUE(AttachAnnotationsJsonl(annotations, &reloaded).ok());
+
+  for (const Product& product : corpus.products()) {
+    const Product* loaded = reloaded.Find(product.id);
+    ASSERT_NE(loaded, nullptr);
+    ASSERT_EQ(loaded->reviews.size(), product.reviews.size());
+    for (size_t r = 0; r < product.reviews.size(); ++r) {
+      const Review& original = product.reviews[r];
+      const Review& copy = loaded->reviews[r];
+      ASSERT_EQ(copy.opinions.size(), original.opinions.size())
+          << original.id;
+      for (size_t o = 0; o < original.opinions.size(); ++o) {
+        // Aspect ids may differ (different intern order); names match.
+        EXPECT_EQ(reloaded.catalog().Name(copy.opinions[o].aspect),
+                  corpus.catalog().Name(original.opinions[o].aspect));
+        EXPECT_EQ(copy.opinions[o].polarity, original.opinions[o].polarity);
+        EXPECT_NEAR(copy.opinions[o].strength,
+                    original.opinions[o].strength, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ExportTest, AttachRejectsUnknownReviewIds) {
+  Corpus corpus = SmallCorpus();
+  Status status = AttachAnnotationsJsonl(
+      R"({"review": "ghost", "opinions": []})", &corpus);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(ExportTest, AttachRejectsMalformedRows) {
+  Corpus corpus = SmallCorpus();
+  const std::string review_id = corpus.products()[0].reviews[0].id;
+  EXPECT_FALSE(AttachAnnotationsJsonl(
+                   "{\"review\": \"" + review_id + "\"}", &corpus)
+                   .ok());
+  EXPECT_FALSE(
+      AttachAnnotationsJsonl("{\"review\": \"" + review_id +
+                                 "\", \"opinions\": [{\"polarity\": "
+                                 "\"positive\"}]}",
+                             &corpus)
+          .ok());
+  EXPECT_FALSE(
+      AttachAnnotationsJsonl("{\"review\": \"" + review_id +
+                                 "\", \"opinions\": [{\"aspect\": \"x\", "
+                                 "\"polarity\": \"meh\"}]}",
+                             &corpus)
+          .ok());
+}
+
+TEST(ExportTest, ExportCorpusFilesWritesThreeFiles) {
+  Corpus corpus = SmallCorpus();
+  std::string prefix = ::testing::TempDir() + "/comparesets_export_test";
+  ASSERT_TRUE(ExportCorpusFiles(corpus, prefix).ok());
+  for (const char* suffix :
+       {".reviews.jsonl", ".metadata.jsonl", ".annotations.jsonl"}) {
+    std::string path = prefix + suffix;
+    auto content = ReadFileToString(path);
+    ASSERT_TRUE(content.ok()) << path;
+    EXPECT_FALSE(content.value().empty());
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,152 @@
+#include "data/loader.h"
+
+#include <gtest/gtest.h>
+
+namespace comparesets {
+namespace {
+
+// Small Amazon-layout fixture: 3 products, ratings correlated with the
+// "battery"/"strap" terms so aspect mining finds them.
+std::string ReviewsJsonl() {
+  std::string out;
+  auto add = [&](const char* asin, const char* reviewer, const char* text,
+                 double rating) {
+    out += "{\"asin\": \"";
+    out += asin;
+    out += "\", \"reviewerID\": \"";
+    out += reviewer;
+    out += "\", \"reviewText\": \"";
+    out += text;
+    out += "\", \"overall\": ";
+    out += std::to_string(rating);
+    out += "}\n";
+  };
+  for (int i = 0; i < 4; ++i) {
+    std::string reviewer = "U" + std::to_string(i);
+    add("A1", reviewer.c_str(),
+        i % 2 == 0 ? "The battery is great and lasts long"
+                   : "The battery is terrible and the strap broke",
+        i % 2 == 0 ? 5.0 : 1.0);
+    add("A2", reviewer.c_str(),
+        i % 2 == 0 ? "Great battery and a comfortable strap"
+                   : "Bad battery, and the strap feels flimsy",
+        i % 2 == 0 ? 5.0 : 2.0);
+    add("A3", reviewer.c_str(),
+        i % 2 == 0 ? "The strap is great for daily use"
+                   : "The strap is awful and the battery died",
+        i % 2 == 0 ? 4.0 : 1.0);
+  }
+  return out;
+}
+
+std::string MetadataJsonl() {
+  return R"({"asin": "A1", "title": "Product One", "related": {"also_bought": ["A2", "A3"]}})"
+         "\n"
+         R"({"asin": "A2", "title": "Product Two", "related": {"also_bought": ["A1"]}})"
+         "\n"
+         R"({"asin": "A3", "title": "Product Three"})"
+         "\n";
+}
+
+LoaderOptions SmallOptions() {
+  LoaderOptions options;
+  options.mining.min_review_frequency = 2;
+  options.mining.max_candidates = 100;
+  options.mining.max_aspects = 10;
+  return options;
+}
+
+TEST(LoaderTest, LoadsProductsReviewsAndMetadata) {
+  auto corpus = LoadAmazonCorpus("mini", ReviewsJsonl(), MetadataJsonl(),
+                                 SmallOptions());
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  EXPECT_EQ(corpus.value().num_products(), 3u);
+  EXPECT_EQ(corpus.value().num_reviews(), 12u);
+  EXPECT_EQ(corpus.value().num_reviewers(), 4u);
+  const Product* a1 = corpus.value().Find("A1");
+  ASSERT_NE(a1, nullptr);
+  EXPECT_EQ(a1->title, "Product One");
+  EXPECT_EQ(a1->also_bought, (std::vector<std::string>{"A2", "A3"}));
+}
+
+TEST(LoaderTest, AnnotationsProducedFromText) {
+  auto corpus = LoadAmazonCorpus("mini", ReviewsJsonl(), MetadataJsonl(),
+                                 SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_GT(corpus.value().num_aspects(), 0u);
+  size_t annotated_reviews = 0;
+  for (const Product& product : corpus.value().products()) {
+    for (const Review& review : product.reviews) {
+      if (!review.opinions.empty()) ++annotated_reviews;
+    }
+  }
+  // Most reviews mention a mined aspect (battery / strap).
+  EXPECT_GE(annotated_reviews, 8u);
+}
+
+TEST(LoaderTest, InstancesFollowAlsoBought) {
+  auto corpus = LoadAmazonCorpus("mini", ReviewsJsonl(), MetadataJsonl(),
+                                 SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  InstanceOptions instance_options;
+  instance_options.min_comparative_items = 1;
+  auto instances = corpus.value().BuildInstances(instance_options);
+  ASSERT_GE(instances.size(), 1u);
+  bool found_a1 = false;
+  for (const auto& instance : instances) {
+    if (instance.target().id == "A1") {
+      found_a1 = true;
+      EXPECT_EQ(instance.num_items(), 3u);
+    }
+  }
+  EXPECT_TRUE(found_a1);
+}
+
+TEST(LoaderTest, ThinProductsDropped) {
+  LoaderOptions options = SmallOptions();
+  options.min_reviews_per_product = 5;
+  auto corpus =
+      LoadAmazonCorpus("mini", ReviewsJsonl(), MetadataJsonl(), options);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus.value().num_products(), 0u);
+}
+
+TEST(LoaderTest, MissingAsinIsParseError) {
+  auto corpus = LoadAmazonCorpus(
+      "mini", "{\"reviewerID\": \"U\", \"reviewText\": \"x\"}\n", "",
+      SmallOptions());
+  EXPECT_FALSE(corpus.ok());
+  EXPECT_EQ(corpus.status().code(), StatusCode::kParseError);
+}
+
+TEST(LoaderTest, MalformedJsonReported) {
+  auto corpus =
+      LoadAmazonCorpus("mini", "{not json}\n", "", SmallOptions());
+  EXPECT_FALSE(corpus.ok());
+}
+
+TEST(LoaderTest, EmptyReviewsRejected) {
+  auto corpus = LoadAmazonCorpus("mini", "", MetadataJsonl(), SmallOptions());
+  EXPECT_FALSE(corpus.ok());
+}
+
+TEST(LoaderTest, MetadataOptionalPerProduct) {
+  // A3 has no related/also_bought: loads fine with empty links.
+  auto corpus = LoadAmazonCorpus("mini", ReviewsJsonl(), MetadataJsonl(),
+                                 SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  const Product* a3 = corpus.value().Find("A3");
+  ASSERT_NE(a3, nullptr);
+  EXPECT_TRUE(a3->also_bought.empty());
+  EXPECT_EQ(a3->title, "Product Three");
+}
+
+TEST(LoaderTest, MissingFilesReportIOError) {
+  auto corpus = LoadAmazonCorpusFromFiles("mini", "/no/such/reviews.jsonl",
+                                          "/no/such/meta.jsonl");
+  EXPECT_FALSE(corpus.ok());
+  EXPECT_EQ(corpus.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,189 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/statistics.h"
+
+namespace comparesets {
+namespace {
+
+TEST(VocabularyTest, ThreeCategoriesAvailable) {
+  EXPECT_EQ(CellphoneVocabulary().name, "Cellphone");
+  EXPECT_EQ(ToyVocabulary().name, "Toy");
+  EXPECT_EQ(ClothingVocabulary().name, "Clothing");
+  for (const CategoryVocabulary* vocab :
+       {&CellphoneVocabulary(), &ToyVocabulary(), &ClothingVocabulary()}) {
+    EXPECT_GE(vocab->aspects.size(), 20u) << vocab->name;
+    EXPECT_GE(vocab->fillers.size(), 8u) << vocab->name;
+  }
+}
+
+TEST(VocabularyTest, LookupIsCaseInsensitive) {
+  EXPECT_TRUE(VocabularyByName("cellphone").ok());
+  EXPECT_TRUE(VocabularyByName("TOY").ok());
+  EXPECT_TRUE(VocabularyByName("Clothing").ok());
+  EXPECT_FALSE(VocabularyByName("electronics").ok());
+}
+
+TEST(VocabularyTest, AspectsDistinctWithinCategory) {
+  for (const CategoryVocabulary* vocab :
+       {&CellphoneVocabulary(), &ToyVocabulary(), &ClothingVocabulary()}) {
+    std::set<std::string> unique(vocab->aspects.begin(),
+                                 vocab->aspects.end());
+    EXPECT_EQ(unique.size(), vocab->aspects.size()) << vocab->name;
+  }
+}
+
+TEST(DefaultConfigTest, MatchesTable2Averages) {
+  auto cellphone = DefaultConfig("Cellphone", 100);
+  ASSERT_TRUE(cellphone.ok());
+  EXPECT_NEAR(cellphone.value().avg_reviews_per_product, 18.64, 1e-9);
+  EXPECT_NEAR(cellphone.value().avg_comparison_products, 25.57, 1e-9);
+  auto toy = DefaultConfig("Toy", 100);
+  ASSERT_TRUE(toy.ok());
+  EXPECT_NEAR(toy.value().avg_reviews_per_product, 14.06, 1e-9);
+  EXPECT_NEAR(toy.value().avg_comparison_products, 34.33, 1e-9);
+  auto clothing = DefaultConfig("Clothing", 100);
+  ASSERT_TRUE(clothing.ok());
+  EXPECT_NEAR(clothing.value().avg_reviews_per_product, 12.10, 1e-9);
+  EXPECT_NEAR(clothing.value().avg_comparison_products, 12.03, 1e-9);
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static Corpus Generate(size_t products = 120, uint64_t seed = 42) {
+    SyntheticConfig config = DefaultConfig("Cellphone", products).ValueOrDie();
+    config.seed = seed;
+    return GenerateCorpus(config).ValueOrDie();
+  }
+};
+
+TEST_F(GeneratorTest, ProducesRequestedProductCount) {
+  Corpus corpus = Generate(120);
+  EXPECT_EQ(corpus.num_products(), 120u);
+  EXPECT_EQ(corpus.name(), "Cellphone");
+  EXPECT_EQ(corpus.num_aspects(), CellphoneVocabulary().aspects.size());
+}
+
+TEST_F(GeneratorTest, DeterministicUnderSeed) {
+  Corpus a = Generate(60, 7);
+  Corpus b = Generate(60, 7);
+  ASSERT_EQ(a.num_reviews(), b.num_reviews());
+  for (size_t p = 0; p < a.num_products(); ++p) {
+    ASSERT_EQ(a.products()[p].id, b.products()[p].id);
+    ASSERT_EQ(a.products()[p].reviews.size(), b.products()[p].reviews.size());
+    for (size_t r = 0; r < a.products()[p].reviews.size(); ++r) {
+      EXPECT_EQ(a.products()[p].reviews[r].text,
+                b.products()[p].reviews[r].text);
+    }
+  }
+}
+
+TEST_F(GeneratorTest, SeedsChangeTheCorpus) {
+  Corpus a = Generate(60, 7);
+  Corpus b = Generate(60, 8);
+  EXPECT_NE(a.num_reviews(), b.num_reviews());
+}
+
+TEST_F(GeneratorTest, EveryProductHasAtLeastTwoReviews) {
+  Corpus corpus = Generate();
+  for (const Product& product : corpus.products()) {
+    EXPECT_GE(product.reviews.size(), 2u) << product.id;
+  }
+}
+
+TEST_F(GeneratorTest, ReviewsCarryConsistentAnnotationsAndText) {
+  Corpus corpus = Generate();
+  const auto& aspects = CellphoneVocabulary().aspects;
+  size_t checked = 0;
+  for (const Product& product : corpus.products()) {
+    for (const Review& review : product.reviews) {
+      EXPECT_FALSE(review.opinions.empty()) << review.id;
+      EXPECT_FALSE(review.text.empty()) << review.id;
+      EXPECT_GE(review.rating, 1.0);
+      EXPECT_LE(review.rating, 5.0);
+      for (const OpinionMention& mention : review.opinions) {
+        ASSERT_GE(mention.aspect, 0);
+        ASSERT_LT(static_cast<size_t>(mention.aspect), aspects.size());
+        // The aspect word must actually appear in the surface text —
+        // this coupling is what makes ROUGE reward aspect alignment.
+        EXPECT_NE(review.text.find(aspects[mention.aspect]),
+                  std::string::npos)
+            << review.id << ": " << review.text;
+        EXPECT_GT(mention.strength, 0.0);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST_F(GeneratorTest, AverageReviewsNearConfiguredMean) {
+  Corpus corpus = Generate(400);
+  double avg = static_cast<double>(corpus.num_reviews()) /
+               corpus.num_products();
+  EXPECT_NEAR(avg, 18.64, 4.0);  // Geometric tail: generous tolerance.
+}
+
+TEST_F(GeneratorTest, AlsoBoughtLinksResolveWithinCorpus) {
+  Corpus corpus = Generate();
+  size_t total_links = 0;
+  for (const Product& product : corpus.products()) {
+    for (const std::string& other : product.also_bought) {
+      EXPECT_NE(corpus.Find(other), nullptr) << product.id << " -> " << other;
+      EXPECT_NE(other, product.id);
+      ++total_links;
+    }
+  }
+  EXPECT_GT(total_links, corpus.num_products());  // Rich link structure.
+}
+
+TEST_F(GeneratorTest, InstancesBuildable) {
+  Corpus corpus = Generate();
+  auto instances = corpus.BuildInstances();
+  EXPECT_GT(instances.size(), corpus.num_products() / 2);
+  DatasetStatistics stats = ComputeStatistics(corpus);
+  EXPECT_GT(stats.avg_comparison_products, 5.0);
+  EXPECT_EQ(stats.num_products, corpus.num_products());
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST_F(GeneratorTest, ReviewCountsHeavyTailed) {
+  // Figure 6 needs spread across review-count buckets.
+  Corpus corpus = Generate(400);
+  size_t small = 0;
+  size_t large = 0;
+  for (const Product& product : corpus.products()) {
+    if (product.reviews.size() <= 5) ++small;
+    if (product.reviews.size() >= 30) ++large;
+  }
+  EXPECT_GT(small, 10u);
+  EXPECT_GT(large, 10u);
+}
+
+TEST(GeneratorConfigTest, InvalidConfigsRejected) {
+  SyntheticConfig config;
+  config.num_products = 0;
+  EXPECT_FALSE(GenerateCorpus(config).ok());
+  config.num_products = 10;
+  config.avg_reviews_per_product = 1.0;
+  EXPECT_FALSE(GenerateCorpus(config).ok());
+  config.avg_reviews_per_product = 10.0;
+  config.category = "bogus";
+  EXPECT_FALSE(GenerateCorpus(config).ok());
+}
+
+TEST(GeneratorCategoriesTest, AllThreeCategoriesGenerate) {
+  for (const char* category : {"Cellphone", "Toy", "Clothing"}) {
+    SyntheticConfig config = DefaultConfig(category, 60).ValueOrDie();
+    auto corpus = GenerateCorpus(config);
+    ASSERT_TRUE(corpus.ok()) << category;
+    EXPECT_EQ(corpus.value().num_products(), 60u);
+    EXPECT_GT(corpus.value().BuildInstances().size(), 0u) << category;
+  }
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,140 @@
+#include "eval/alignment.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "eval/information_loss.h"
+#include "test_fixtures.h"
+
+namespace comparesets {
+namespace {
+
+class AlignmentTest : public ::testing::Test {
+ protected:
+  AlignmentTest()
+      : corpus_(testing::WorkingExampleCorpus()),
+        instance_(testing::WorkingExampleInstance(corpus_)),
+        vectors_(BuildInstanceVectors(OpinionModel::Binary(5), instance_)) {}
+
+  Corpus corpus_;
+  ProblemInstance instance_;
+  InstanceVectors vectors_;
+};
+
+TEST_F(AlignmentTest, PairCountsCorrect) {
+  std::vector<Selection> selections = {{0, 1}, {0}, {0, 1}};
+  AlignmentScores scores = MeasureAlignment(instance_, selections);
+  // Target pairs: |S1|·(|S2|+|S3|) = 2·(1+2) = 6.
+  EXPECT_EQ(scores.target_pairs, 6u);
+  // Among pairs: 2·1 + 2·2 + 1·2 = 8.
+  EXPECT_EQ(scores.among_pairs, 8u);
+}
+
+TEST_F(AlignmentTest, ScoresWithinUnitInterval) {
+  std::vector<Selection> selections = {{0, 1, 2}, {0, 1}, {2, 3}};
+  AlignmentScores scores = MeasureAlignment(instance_, selections);
+  for (const RougeTriple* t :
+       {&scores.target_vs_comparative, &scores.among_items}) {
+    EXPECT_GE(t->rouge1.f1, 0.0);
+    EXPECT_LE(t->rouge1.f1, 1.0);
+    EXPECT_GE(t->rougeL.f1, 0.0);
+    EXPECT_LE(t->rougeL.f1, 1.0);
+  }
+}
+
+TEST_F(AlignmentTest, SharedAspectSelectionsScoreHigher) {
+  // Aspect-aligned: target talks battery/lens/quality; comparatives pick
+  // their battery-ish review (index 2) vs price-only review (index 3).
+  std::vector<Selection> aligned = {{0}, {2}, {2}};
+  std::vector<Selection> misaligned = {{0}, {3}, {3}};
+  AlignmentScores a = MeasureAlignment(instance_, aligned);
+  AlignmentScores b = MeasureAlignment(instance_, misaligned);
+  EXPECT_GT(a.target_vs_comparative.rouge1.f1,
+            b.target_vs_comparative.rouge1.f1);
+}
+
+TEST_F(AlignmentTest, SubsetRestrictsPairs) {
+  std::vector<Selection> selections = {{0, 1}, {0}, {0, 1}};
+  AlignmentScores subset =
+      MeasureAlignmentSubset(instance_, selections, {0, 1});
+  EXPECT_EQ(subset.target_pairs, 2u);  // |S1|·|S2| only.
+  EXPECT_EQ(subset.among_pairs, 2u);
+}
+
+TEST_F(AlignmentTest, SubsetWithoutTargetHasNoTargetPairs) {
+  std::vector<Selection> selections = {{0, 1}, {0}, {0, 1}};
+  AlignmentScores subset =
+      MeasureAlignmentSubset(instance_, selections, {1, 2});
+  EXPECT_EQ(subset.target_pairs, 0u);
+  EXPECT_EQ(subset.among_pairs, 2u);
+  EXPECT_DOUBLE_EQ(subset.target_vs_comparative.rougeL.f1, 0.0);
+}
+
+TEST_F(AlignmentTest, EmptySelectionsYieldNoPairs) {
+  std::vector<Selection> selections = {{}, {}, {}};
+  AlignmentScores scores = MeasureAlignment(instance_, selections);
+  EXPECT_EQ(scores.target_pairs, 0u);
+  EXPECT_EQ(scores.among_pairs, 0u);
+  EXPECT_DOUBLE_EQ(scores.among_items.rouge1.f1, 0.0);
+}
+
+TEST_F(AlignmentTest, IdenticalTextEverywhereScoresOne) {
+  // Build a dedicated corpus where all reviews share identical text.
+  Corpus corpus("same");
+  corpus.catalog().Intern("battery");
+  for (const char* id : {"a", "b"}) {
+    Product p;
+    p.id = id;
+    for (int r = 0; r < 2; ++r) {
+      Review review = testing::MakeReview(
+          std::string(id) + std::to_string(r), {{0, testing::kPos}},
+          "identical words in every review");
+      p.reviews.push_back(review);
+    }
+    if (std::string(id) == "a") p.also_bought = {"b"};
+    corpus.AddProduct(std::move(p)).CheckOK();
+  }
+  corpus.Finalize();
+  ProblemInstance instance;
+  instance.items = {corpus.Find("a"), corpus.Find("b")};
+  AlignmentScores scores = MeasureAlignment(instance, {{0, 1}, {0, 1}});
+  EXPECT_DOUBLE_EQ(scores.among_items.rouge1.f1, 1.0);
+  EXPECT_DOUBLE_EQ(scores.among_items.rougeL.f1, 1.0);
+}
+
+// --- Information loss (Figure 11) ------------------------------------------
+
+TEST_F(AlignmentTest, InformationLossZeroForFullSelection) {
+  std::vector<Selection> full;
+  for (size_t i = 0; i < 3; ++i) {
+    Selection all(vectors_.num_reviews(i));
+    std::iota(all.begin(), all.end(), 0);
+    full.push_back(all);
+  }
+  InformationLoss loss = MeasureInformationLoss(vectors_, full);
+  EXPECT_NEAR(loss.delta_target, 0.0, 1e-12);
+  EXPECT_NEAR(loss.delta_all_items, 0.0, 1e-12);
+  EXPECT_NEAR(loss.cosine_target, 1.0, 1e-12);
+  EXPECT_NEAR(loss.cosine_all_items, 1.0, 1e-12);
+}
+
+TEST_F(AlignmentTest, InformationLossPositiveForPartialSelection) {
+  std::vector<Selection> partial = {{2}, {3}, {3}};
+  InformationLoss loss = MeasureInformationLoss(vectors_, partial);
+  EXPECT_GT(loss.delta_target, 0.0);
+  EXPECT_LT(loss.cosine_target, 1.0);
+  EXPECT_GE(loss.cosine_target, 0.0);
+}
+
+TEST_F(AlignmentTest, LargerSelectionsLoseLessOnWorkingExample) {
+  // m = 3 contains a proportional triple (zero loss); m = 1 cannot.
+  std::vector<Selection> m1 = {{0}, {0}, {0}};
+  std::vector<Selection> m3 = {{0, 1, 2}, {0, 1, 2}, {0, 1, 2}};
+  InformationLoss loss1 = MeasureInformationLoss(vectors_, m1);
+  InformationLoss loss3 = MeasureInformationLoss(vectors_, m3);
+  EXPECT_LE(loss3.delta_target, loss1.delta_target + 1e-12);
+}
+
+}  // namespace
+}  // namespace comparesets

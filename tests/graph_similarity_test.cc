@@ -1,0 +1,110 @@
+#include "graph/similarity_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace comparesets {
+namespace {
+
+TEST(SimilarityGraphTest, SymmetricWeightStorage) {
+  SimilarityGraph graph(3);
+  graph.set_weight(0, 2, 4.5);
+  EXPECT_DOUBLE_EQ(graph.weight(0, 2), 4.5);
+  EXPECT_DOUBLE_EQ(graph.weight(2, 0), 4.5);
+  EXPECT_DOUBLE_EQ(graph.weight(0, 1), 0.0);
+}
+
+TEST(SimilarityGraphTest, SubsetWeightSumsPairs) {
+  SimilarityGraph graph(4);
+  graph.set_weight(0, 1, 1.0);
+  graph.set_weight(0, 2, 2.0);
+  graph.set_weight(1, 2, 4.0);
+  graph.set_weight(2, 3, 8.0);
+  EXPECT_DOUBLE_EQ(graph.SubsetWeight({0, 1, 2}), 7.0);
+  EXPECT_DOUBLE_EQ(graph.SubsetWeight({0, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(graph.SubsetWeight({2}), 0.0);
+  EXPECT_DOUBLE_EQ(graph.SubsetWeight({}), 0.0);
+}
+
+TEST(SimilarityGraphTest, WeightToSubset) {
+  SimilarityGraph graph(4);
+  graph.set_weight(3, 0, 1.0);
+  graph.set_weight(3, 1, 2.0);
+  EXPECT_DOUBLE_EQ(graph.WeightToSubset(3, {0, 1, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(graph.WeightToSubset(3, {3, 0}), 1.0);  // Self skipped.
+}
+
+class BuildGraphTest : public ::testing::Test {
+ protected:
+  BuildGraphTest()
+      : corpus_(testing::WorkingExampleCorpus()),
+        instance_(testing::WorkingExampleInstance(corpus_)),
+        vectors_(BuildInstanceVectors(OpinionModel::Binary(5), instance_)) {
+    selections_ = {{0, 1, 2}, {0, 1}, {0, 1, 2}};
+  }
+
+  Corpus corpus_;
+  ProblemInstance instance_;
+  InstanceVectors vectors_;
+  std::vector<Selection> selections_;
+};
+
+TEST_F(BuildGraphTest, WeightsNonNegativeWithZeroAtMaxDistancePair) {
+  SimilarityGraph graph =
+      BuildSimilarityGraph(vectors_, selections_, 1.0, 0.1);
+  double min_weight = 1e18;
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = i + 1; j < 3; ++j) {
+      EXPECT_GE(graph.weight(i, j), 0.0);
+      min_weight = std::min(min_weight, graph.weight(i, j));
+    }
+  }
+  // w_ij = max d − d_ij: the farthest pair gets exactly 0.
+  EXPECT_NEAR(min_weight, 0.0, 1e-12);
+}
+
+TEST_F(BuildGraphTest, WeightsMatchDistanceDefinition) {
+  double lambda = 1.0;
+  double mu = 0.1;
+  SimilarityGraph graph =
+      BuildSimilarityGraph(vectors_, selections_, lambda, mu);
+  // Recompute d_ij from the public API and check the shift.
+  double max_d = 0.0;
+  double d[3][3] = {};
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = i + 1; j < 3; ++j) {
+      d[i][j] = ItemPairDistance(vectors_, selections_, i, j, lambda, mu);
+      max_d = std::max(max_d, d[i][j]);
+    }
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = i + 1; j < 3; ++j) {
+      EXPECT_NEAR(graph.weight(i, j), max_d - d[i][j], 1e-12)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST_F(BuildGraphTest, SimilarSelectionsGetHigherWeight) {
+  // Items 0 and 2 share identical aspect profiles in their selections
+  // compared with the sparser item 1 selection, so (0,2) should be the
+  // closest pair (largest weight) when μ dominates.
+  std::vector<Selection> selections = {{0, 1, 2}, {3}, {0, 1, 2}};
+  SimilarityGraph graph = BuildSimilarityGraph(vectors_, selections, 0.0, 10.0);
+  EXPECT_GT(graph.weight(0, 2), graph.weight(0, 1));
+  EXPECT_GT(graph.weight(0, 2), graph.weight(1, 2));
+}
+
+TEST(BuildGraphDegenerateTest, SingleItemGraphIsTrivial) {
+  Corpus corpus = testing::WorkingExampleCorpus();
+  ProblemInstance solo;
+  solo.items = {corpus.Find("p1")};
+  InstanceVectors vectors =
+      BuildInstanceVectors(OpinionModel::Binary(5), solo);
+  SimilarityGraph graph = BuildSimilarityGraph(vectors, {{0}}, 1.0, 0.1);
+  EXPECT_EQ(graph.num_vertices(), 1u);
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/targethks_baselines.h"
+#include "graph/targethks_exact.h"
+#include "graph/targethks_greedy.h"
+#include "util/rng.h"
+
+namespace comparesets {
+namespace {
+
+/// Figure-4-style graph: the globally heaviest triangle {1, 4, 5} (weight
+/// 26.5) excludes the target, while the best target-containing triangle
+/// {0, 3, 5} weighs 25.4 — TargetHkS must pick the latter.
+SimilarityGraph Figure4Graph() {
+  SimilarityGraph graph(6);
+  graph.set_weight(0, 3, 9.0);
+  graph.set_weight(0, 5, 8.0);
+  graph.set_weight(3, 5, 8.4);   // {0,3,5} = 25.4.
+  graph.set_weight(1, 4, 9.0);
+  graph.set_weight(4, 5, 9.0);
+  graph.set_weight(1, 5, 8.5);   // {1,4,5} = 26.5.
+  graph.set_weight(0, 1, 2.0);
+  graph.set_weight(0, 2, 1.5);
+  graph.set_weight(0, 4, 1.0);
+  graph.set_weight(1, 2, 2.0);
+  graph.set_weight(1, 3, 0.5);
+  graph.set_weight(2, 3, 1.0);
+  graph.set_weight(2, 4, 0.5);
+  graph.set_weight(2, 5, 1.0);
+  graph.set_weight(3, 4, 0.5);
+  return graph;
+}
+
+SimilarityGraph RandomGraph(size_t n, Rng* rng) {
+  SimilarityGraph graph(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      graph.set_weight(i, j, rng->UniformDouble(0.0, 10.0));
+    }
+  }
+  return graph;
+}
+
+TEST(TargetHksExactTest, Figure4TargetConstrainedOptimum) {
+  SimilarityGraph graph = Figure4Graph();
+  auto result = SolveTargetHksExact(graph, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().proven_optimal);
+  EXPECT_EQ(result.value().vertices, (std::vector<size_t>{0, 3, 5}));
+  EXPECT_NEAR(result.value().weight, 25.4, 1e-9);
+}
+
+TEST(TargetHksExactTest, Figure4UnconstrainedOptimumDiffers) {
+  // Solving with every vertex as target recovers the HkS optimum
+  // ({1, 4, 5}, weight 26.5), as the paper notes in §3.1.
+  SimilarityGraph graph = Figure4Graph();
+  double best = 0.0;
+  // Relabel so each vertex becomes vertex 0 in turn.
+  for (size_t target = 0; target < 6; ++target) {
+    SimilarityGraph relabeled(6);
+    auto map = [&](size_t v) { return v == 0 ? target : (v == target ? 0u : v); };
+    for (size_t i = 0; i < 6; ++i) {
+      for (size_t j = i + 1; j < 6; ++j) {
+        relabeled.set_weight(i, j, graph.weight(map(i), map(j)));
+      }
+    }
+    auto result = SolveTargetHksExact(relabeled, 3);
+    ASSERT_TRUE(result.ok());
+    best = std::max(best, result.value().weight);
+  }
+  EXPECT_NEAR(best, 26.5, 1e-9);
+}
+
+TEST(TargetHksExactTest, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(71);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t n = 5 + trial % 8;
+    SimilarityGraph graph = RandomGraph(n, &rng);
+    for (size_t k = 2; k <= std::min<size_t>(n, 5); ++k) {
+      auto exact = SolveTargetHksExact(graph, k);
+      auto brute = SolveTargetHksBruteForce(graph, k);
+      ASSERT_TRUE(exact.ok());
+      ASSERT_TRUE(brute.ok());
+      EXPECT_NEAR(exact.value().weight, brute.value().weight, 1e-9)
+          << "trial " << trial << " n=" << n << " k=" << k;
+      EXPECT_TRUE(exact.value().proven_optimal);
+    }
+  }
+}
+
+TEST(TargetHksExactTest, TrivialCases) {
+  Rng rng(3);
+  SimilarityGraph graph = RandomGraph(6, &rng);
+  auto k1 = SolveTargetHksExact(graph, 1);
+  ASSERT_TRUE(k1.ok());
+  EXPECT_EQ(k1.value().vertices, (std::vector<size_t>{0}));
+  EXPECT_DOUBLE_EQ(k1.value().weight, 0.0);
+
+  auto kn = SolveTargetHksExact(graph, 6);
+  ASSERT_TRUE(kn.ok());
+  EXPECT_EQ(kn.value().vertices.size(), 6u);
+  std::vector<size_t> all = {0, 1, 2, 3, 4, 5};
+  EXPECT_NEAR(kn.value().weight, graph.SubsetWeight(all), 1e-9);
+}
+
+TEST(TargetHksExactTest, InvalidArgumentsRejected) {
+  SimilarityGraph graph(4);
+  EXPECT_FALSE(SolveTargetHksExact(graph, 0).ok());
+  EXPECT_FALSE(SolveTargetHksExact(graph, 5).ok());
+  EXPECT_FALSE(SolveTargetHksExact(SimilarityGraph(0), 1).ok());
+}
+
+TEST(TargetHksExactTest, TimeLimitReturnsIncumbent) {
+  Rng rng(5);
+  SimilarityGraph graph = RandomGraph(24, &rng);
+  ExactSolverOptions options;
+  options.time_limit_seconds = 1e-9;  // Expires immediately.
+  auto result = SolveTargetHksExact(graph, 8, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().vertices.size(), 8u);
+  EXPECT_EQ(result.value().vertices[0], 0u);
+  EXPECT_GT(result.value().weight, 0.0);  // Greedy incumbent, not empty.
+}
+
+TEST(TargetHksGreedyTest, AlwaysContainsTargetAndRightSize) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    SimilarityGraph graph = RandomGraph(10, &rng);
+    for (size_t k = 1; k <= 10; ++k) {
+      auto result = SolveTargetHksGreedy(graph, k);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result.value().vertices.size(), k);
+      EXPECT_EQ(result.value().vertices[0], 0u);  // Sorted, 0 included.
+      EXPECT_NEAR(result.value().weight,
+                  graph.SubsetWeight(result.value().vertices), 1e-9);
+    }
+  }
+}
+
+TEST(TargetHksGreedyTest, CloseToOptimalOnRandomGraphs) {
+  // The paper's Table 5 observes greedy within a tiny gap of the ILP;
+  // on random graphs demand it is never catastrophically bad.
+  Rng rng(11);
+  double worst_ratio = 1.0;
+  for (int trial = 0; trial < 25; ++trial) {
+    SimilarityGraph graph = RandomGraph(9, &rng);
+    auto exact = SolveTargetHksExact(graph, 4);
+    auto greedy = SolveTargetHksGreedy(graph, 4);
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(greedy.ok());
+    EXPECT_LE(greedy.value().weight, exact.value().weight + 1e-9);
+    if (exact.value().weight > 0) {
+      worst_ratio = std::min(worst_ratio,
+                             greedy.value().weight / exact.value().weight);
+    }
+  }
+  EXPECT_GT(worst_ratio, 0.75);
+}
+
+TEST(TargetHksGreedyTest, FirstPickIsHeaviestTargetEdge) {
+  SimilarityGraph graph = Figure4Graph();
+  auto result = SolveTargetHksGreedy(graph, 2);
+  ASSERT_TRUE(result.ok());
+  // Heaviest edge from target 0 is (0,3) = 9.
+  EXPECT_EQ(result.value().vertices, (std::vector<size_t>{0, 3}));
+  EXPECT_NEAR(result.value().weight, 9.0, 1e-12);
+}
+
+TEST(TargetHksRandomTest, ContainsTargetAndDeterministicPerSeed) {
+  Rng rng(13);
+  SimilarityGraph graph = RandomGraph(12, &rng);
+  auto a = SolveTargetHksRandom(graph, 5, 42);
+  auto b = SolveTargetHksRandom(graph, 5, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().vertices, b.value().vertices);
+  EXPECT_EQ(a.value().vertices.size(), 5u);
+  EXPECT_EQ(a.value().vertices[0], 0u);
+}
+
+TEST(TargetHksRandomTest, NeverBeatsExact) {
+  Rng rng(17);
+  for (int trial = 0; trial < 15; ++trial) {
+    SimilarityGraph graph = RandomGraph(10, &rng);
+    auto exact = SolveTargetHksExact(graph, 4);
+    auto random = SolveTargetHksRandom(graph, 4, trial);
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(random.ok());
+    EXPECT_LE(random.value().weight, exact.value().weight + 1e-9);
+  }
+}
+
+TEST(TopKSimilarityTest, PicksLargestTargetEdges) {
+  SimilarityGraph graph = Figure4Graph();
+  auto result = SolveTopKSimilarity(graph, 3);
+  ASSERT_TRUE(result.ok());
+  // Largest target edges: (0,3)=9 and (0,5)=8.
+  EXPECT_EQ(result.value().vertices, (std::vector<size_t>{0, 3, 5}));
+}
+
+TEST(TopKSimilarityTest, NeverBeatsExact) {
+  Rng rng(19);
+  for (int trial = 0; trial < 15; ++trial) {
+    SimilarityGraph graph = RandomGraph(11, &rng);
+    auto exact = SolveTargetHksExact(graph, 5);
+    auto topk = SolveTopKSimilarity(graph, 5);
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(topk.ok());
+    EXPECT_LE(topk.value().weight, exact.value().weight + 1e-9);
+  }
+}
+
+TEST(PeelTest, KeepsTargetAndRightSize) {
+  Rng rng(23);
+  SimilarityGraph graph = RandomGraph(12, &rng);
+  for (size_t k : {1u, 3u, 6u, 12u}) {
+    auto result = SolveTargetHksPeel(graph, k);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().vertices.size(), k);
+    EXPECT_EQ(result.value().vertices[0], 0u);
+  }
+}
+
+TEST(PeelTest, NeverBeatsExact) {
+  Rng rng(29);
+  for (int trial = 0; trial < 15; ++trial) {
+    SimilarityGraph graph = RandomGraph(10, &rng);
+    auto exact = SolveTargetHksExact(graph, 4);
+    auto peel = SolveTargetHksPeel(graph, 4);
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(peel.ok());
+    EXPECT_LE(peel.value().weight, exact.value().weight + 1e-9);
+  }
+}
+
+TEST(BruteForceTest, HandlesK1AndKn) {
+  Rng rng(31);
+  SimilarityGraph graph = RandomGraph(5, &rng);
+  auto k1 = SolveTargetHksBruteForce(graph, 1);
+  ASSERT_TRUE(k1.ok());
+  EXPECT_EQ(k1.value().vertices, (std::vector<size_t>{0}));
+  auto kn = SolveTargetHksBruteForce(graph, 5);
+  ASSERT_TRUE(kn.ok());
+  EXPECT_EQ(kn.value().vertices.size(), 5u);
+}
+
+}  // namespace
+}  // namespace comparesets

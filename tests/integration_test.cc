@@ -1,0 +1,234 @@
+// End-to-end integration: synthetic corpus → selectors → similarity
+// graph → core list → alignment / proxies / user study. Exercises the
+// same pipeline the benchmark binaries run, at miniature scale.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/selector.h"
+#include "data/statistics.h"
+#include "eval/alignment.h"
+#include "eval/information_loss.h"
+#include "eval/runner.h"
+#include "graph/targethks_baselines.h"
+#include "graph/targethks_exact.h"
+#include "graph/targethks_greedy.h"
+#include "nlp/annotator.h"
+#include "stats/user_study.h"
+#include "text/tokenizer.h"
+
+namespace comparesets {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RunnerConfig config;
+    config.category = "Toy";
+    config.num_products = 100;
+    config.max_instances = 6;
+    config.seed = 11;
+    workload_ = new Workload(Workload::BuildSynthetic(config).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+
+  static Workload* workload_;
+};
+
+Workload* PipelineTest::workload_ = nullptr;
+
+TEST_F(PipelineTest, FullPipelineRunsAndNarrowsToCoreList) {
+  SelectorOptions options;
+  options.m = 3;
+  auto selector = MakeSelector("CompaReSetS+");
+  ASSERT_TRUE(selector.ok());
+  auto run = RunSelector(*selector.value(), *workload_, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+
+  for (size_t i = 0; i < workload_->num_instances(); ++i) {
+    const InstanceVectors& vectors = workload_->vectors()[i];
+    const std::vector<Selection>& selections =
+        run.value().results[i].selections;
+
+    SimilarityGraph graph = BuildSimilarityGraph(
+        vectors, selections, options.lambda, options.mu);
+    size_t k = std::min<size_t>(3, graph.num_vertices());
+
+    auto exact = SolveTargetHksExact(graph, k);
+    auto greedy = SolveTargetHksGreedy(graph, k);
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(greedy.ok());
+    EXPECT_LE(greedy.value().weight, exact.value().weight + 1e-9);
+    EXPECT_EQ(exact.value().vertices[0], 0u);
+
+    AlignmentScores full = MeasureAlignment(workload_->instances()[i],
+                                            selections);
+    AlignmentScores core = MeasureAlignmentSubset(
+        workload_->instances()[i], selections, exact.value().vertices);
+    EXPECT_LE(core.among_pairs, full.among_pairs);
+    EXPECT_GT(core.among_pairs, 0u);
+
+    ExampleProxies proxies = ComputeExampleProxies(
+        vectors, selections, exact.value().vertices);
+    EXPECT_GE(proxies.informativeness, 0.0);
+    EXPECT_LE(proxies.informativeness, 1.0);
+  }
+}
+
+TEST_F(PipelineTest, CoreListAlignmentBeatsRandomList) {
+  // Table 6 shape: the exact core list aligns better than a random one.
+  SelectorOptions options;
+  options.m = 3;
+  auto run = RunSelector(*MakeSelector("CompaReSetS+").ValueOrDie(),
+                         *workload_, options);
+  ASSERT_TRUE(run.ok());
+
+  double exact_total = 0.0;
+  double random_total = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < workload_->num_instances(); ++i) {
+    const InstanceVectors& vectors = workload_->vectors()[i];
+    const auto& selections = run.value().results[i].selections;
+    SimilarityGraph graph = BuildSimilarityGraph(
+        vectors, selections, options.lambda, options.mu);
+    if (graph.num_vertices() < 5) continue;
+    auto exact = SolveTargetHksExact(graph, 3);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_GE(exact.value().weight, 0.0);
+    AlignmentScores exact_scores = MeasureAlignmentSubset(
+        workload_->instances()[i], selections, exact.value().vertices);
+    exact_total += exact_scores.among_items.rougeL.f1;
+
+    // Random core list, averaged over several draws for stability.
+    double random_mean = 0.0;
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+      auto random = SolveTargetHksRandom(graph, 3, seed);
+      ASSERT_TRUE(random.ok());
+      AlignmentScores random_scores = MeasureAlignmentSubset(
+          workload_->instances()[i], selections, random.value().vertices);
+      random_mean += random_scores.among_items.rougeL.f1;
+    }
+    random_total += random_mean / 5.0;
+    ++counted;
+  }
+  ASSERT_GT(counted, 0u);
+  // ROUGE alignment of the exact core list dominates Random in trend
+  // (Table 6); per-instance it is only correlated with the optimized
+  // graph weight, so allow small-sample noise here.
+  EXPECT_GE(exact_total, random_total - 0.02 * static_cast<double>(counted));
+}
+
+TEST_F(PipelineTest, UserStudyOrderingEmergesFromPipeline) {
+  // Build per-algorithm proxies from real pipeline outputs and check the
+  // Table 7 mean ordering: CompaReSetS+ >= Random on Q1/Q3.
+  SelectorOptions options;
+  options.m = 3;
+  std::vector<ExampleProxies> plus_proxies;
+  std::vector<ExampleProxies> random_proxies;
+
+  auto plus_run = RunSelector(*MakeSelector("CompaReSetS+").ValueOrDie(),
+                              *workload_, options);
+  auto random_run = RunSelector(*MakeSelector("Random").ValueOrDie(),
+                                *workload_, options);
+  ASSERT_TRUE(plus_run.ok());
+  ASSERT_TRUE(random_run.ok());
+
+  for (size_t i = 0; i < workload_->num_instances(); ++i) {
+    const InstanceVectors& vectors = workload_->vectors()[i];
+    SimilarityGraph graph = BuildSimilarityGraph(
+        vectors, plus_run.value().results[i].selections, options.lambda,
+        options.mu);
+    size_t k = std::min<size_t>(3, graph.num_vertices());
+    auto core = SolveTargetHksExact(graph, k);
+    ASSERT_TRUE(core.ok());
+    plus_proxies.push_back(ComputeExampleProxies(
+        vectors, plus_run.value().results[i].selections,
+        core.value().vertices));
+    random_proxies.push_back(ComputeExampleProxies(
+        vectors, random_run.value().results[i].selections,
+        core.value().vertices));
+  }
+
+  auto plus_study = SimulateUserStudy(plus_proxies);
+  auto random_study = SimulateUserStudy(random_proxies);
+  ASSERT_TRUE(plus_study.ok());
+  ASSERT_TRUE(random_study.ok());
+  EXPECT_GE(plus_study.value().q1_mean, random_study.value().q1_mean);
+  EXPECT_GE(plus_study.value().q3_mean, random_study.value().q3_mean);
+}
+
+TEST_F(PipelineTest, InformationLossShrinksWithM) {
+  // Figure 11 trend end-to-end: larger m loses less information.
+  auto selector = MakeSelector("CompaReSetS+").ValueOrDie();
+  double previous = 1e18;
+  for (size_t m : {1u, 3u, 10u}) {
+    SelectorOptions options;
+    options.m = m;
+    double total = 0.0;
+    for (size_t i = 0; i < workload_->num_instances(); ++i) {
+      auto result = selector->Select(workload_->vectors()[i], options);
+      ASSERT_TRUE(result.ok());
+      total += MeasureInformationLoss(workload_->vectors()[i],
+                                      result.value().selections)
+                   .delta_all_items;
+    }
+    EXPECT_LE(total, previous + 0.2) << "m=" << m;  // Monotone-ish trend.
+    previous = total;
+  }
+}
+
+TEST_F(PipelineTest, AnnotatorRecoversGeneratedAspects) {
+  // The generated surface text must be machine-readable by the nlp
+  // pipeline: annotate generated reviews with a lexicon over the
+  // category's aspect nouns and compare with the ground truth mentions.
+  const Corpus& corpus = workload_->corpus();
+  AspectLexicon lexicon;
+  TokenizerOptions stem_options;
+  stem_options.light_stem = true;
+  for (const std::string& aspect : corpus.catalog().names()) {
+    lexicon.AddTerm(LightStem(aspect), aspect).CheckOK();
+  }
+  AspectCatalog scratch_catalog;
+  for (const std::string& aspect : corpus.catalog().names()) {
+    scratch_catalog.Intern(aspect);  // Preserve id assignment.
+  }
+  ReviewAnnotator annotator(&lexicon, &SentimentLexicon::Default(),
+                            &scratch_catalog);
+
+  size_t total_truth = 0;
+  size_t recovered = 0;
+  for (size_t p = 0; p < std::min<size_t>(corpus.num_products(), 30); ++p) {
+    for (const Review& review : corpus.products()[p].reviews) {
+      std::set<AspectId> truth;
+      for (const OpinionMention& mention : review.opinions) {
+        truth.insert(mention.aspect);
+      }
+      std::set<AspectId> found;
+      for (const OpinionMention& mention : annotator.Annotate(review.text)) {
+        found.insert(mention.aspect);
+      }
+      for (AspectId aspect : truth) {
+        ++total_truth;
+        if (found.count(aspect)) ++recovered;
+      }
+    }
+  }
+  ASSERT_GT(total_truth, 50u);
+  // The coupling is strong by construction: expect high recall.
+  EXPECT_GT(static_cast<double>(recovered) / total_truth, 0.9);
+}
+
+TEST_F(PipelineTest, StatisticsSaneOnPipelineCorpus) {
+  DatasetStatistics stats = ComputeStatistics(workload_->corpus());
+  EXPECT_EQ(stats.num_products, 100u);
+  EXPECT_GT(stats.num_reviews, 200u);
+  EXPECT_GT(stats.num_reviewers, 10u);
+  EXPECT_GT(stats.num_target_products, 0u);
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,89 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace comparesets {
+namespace {
+
+Matrix Make2x3() {
+  Matrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(0, 1) = 2.0;
+  m(0, 2) = 3.0;
+  m(1, 0) = 4.0;
+  m(1, 1) = 5.0;
+  m(1, 2) = 6.0;
+  return m;
+}
+
+TEST(MatrixTest, ShapeAndAccess) {
+  Matrix m = Make2x3();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+  EXPECT_EQ(Matrix().rows(), 0u);
+}
+
+TEST(MatrixTest, RowAndColumnExtraction) {
+  Matrix m = Make2x3();
+  EXPECT_TRUE(m.Row(0).AlmostEquals(Vector{1.0, 2.0, 3.0}));
+  EXPECT_TRUE(m.Column(1).AlmostEquals(Vector{2.0, 5.0}));
+}
+
+TEST(MatrixTest, SetColumn) {
+  Matrix m = Make2x3();
+  m.SetColumn(2, Vector{-1.0, -2.0});
+  EXPECT_DOUBLE_EQ(m(0, 2), -1.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), -2.0);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix m = Make2x3();
+  Vector y = m.Multiply({1.0, 0.0, -1.0});
+  EXPECT_TRUE(y.AlmostEquals(Vector{-2.0, -2.0}));
+}
+
+TEST(MatrixTest, MultiplyTranspose) {
+  Matrix m = Make2x3();
+  Vector y = m.MultiplyTranspose({1.0, 1.0});
+  EXPECT_TRUE(y.AlmostEquals(Vector{5.0, 7.0, 9.0}));
+}
+
+TEST(MatrixTest, MultiplyTransposeMatchesExplicitTranspose) {
+  Matrix m = Make2x3();
+  Vector x = {0.5, -2.0};
+  Vector direct = m.MultiplyTranspose(x);
+  Vector via_transpose = m.Transposed().Multiply(x);
+  EXPECT_TRUE(direct.AlmostEquals(via_transpose));
+}
+
+TEST(MatrixTest, SelectColumns) {
+  Matrix m = Make2x3();
+  Matrix sub = m.SelectColumns({2, 0});
+  EXPECT_EQ(sub.cols(), 2u);
+  EXPECT_TRUE(sub.Column(0).AlmostEquals(Vector{3.0, 6.0}));
+  EXPECT_TRUE(sub.Column(1).AlmostEquals(Vector{1.0, 4.0}));
+}
+
+TEST(MatrixTest, SelectColumnsAllowsRepeats) {
+  Matrix m = Make2x3();
+  Matrix sub = m.SelectColumns({1, 1});
+  EXPECT_TRUE(sub.Column(0).AlmostEquals(sub.Column(1)));
+}
+
+TEST(MatrixTest, TransposedShape) {
+  Matrix t = Make2x3().Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, Equality) {
+  EXPECT_TRUE(Make2x3() == Make2x3());
+  Matrix other = Make2x3();
+  other(0, 0) = 9.0;
+  EXPECT_FALSE(Make2x3() == other);
+}
+
+}  // namespace
+}  // namespace comparesets

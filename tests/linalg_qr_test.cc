@@ -1,0 +1,133 @@
+#include "linalg/qr.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace comparesets {
+namespace {
+
+Matrix FromRows(const std::vector<std::vector<double>>& rows) {
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+TEST(QrTest, SolvesSquareSystemExactly) {
+  Matrix a = FromRows({{2.0, 1.0}, {1.0, 3.0}});
+  Vector b = {5.0, 10.0};
+  auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  // Exact solution: x = (1, 3).
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-10);
+  EXPECT_NEAR(x.value()[1], 3.0, 1e-10);
+}
+
+TEST(QrTest, OverdeterminedLeastSquares) {
+  // Fit y = 2x + 1 through noisy-free points: exact recovery.
+  Matrix a = FromRows({{0.0, 1.0}, {1.0, 1.0}, {2.0, 1.0}, {3.0, 1.0}});
+  Vector b = {1.0, 3.0, 5.0, 7.0};
+  auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 2.0, 1e-10);
+  EXPECT_NEAR(x.value()[1], 1.0, 1e-10);
+}
+
+TEST(QrTest, ResidualIsOrthogonalToColumns) {
+  // Least-squares optimality: A^T (b − Ax) = 0.
+  Rng rng(5);
+  Matrix a(8, 3);
+  Vector b(8);
+  for (size_t r = 0; r < 8; ++r) {
+    for (size_t c = 0; c < 3; ++c) a(r, c) = rng.Normal();
+    b[r] = rng.Normal();
+  }
+  auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  Vector residual = b - a.Multiply(x.value());
+  Vector gram = a.MultiplyTranspose(residual);
+  for (size_t c = 0; c < 3; ++c) EXPECT_NEAR(gram[c], 0.0, 1e-9);
+}
+
+TEST(QrTest, RankDeficientColumnsYieldFiniteSolution) {
+  // Second column is a multiple of the first; solver must not blow up
+  // and the fit must still be optimal.
+  Matrix a = FromRows({{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}});
+  Vector b = {1.0, 2.0, 3.0};
+  auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  Vector fitted = a.Multiply(x.value());
+  EXPECT_NEAR(SquaredDistance(fitted, b), 0.0, 1e-18);
+}
+
+TEST(QrTest, ZeroColumnHandled) {
+  Matrix a = FromRows({{0.0, 1.0}, {0.0, 2.0}, {0.0, 1.0}});
+  Vector b = {2.0, 4.0, 2.0};
+  auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[1], 2.0, 1e-10);
+  EXPECT_NEAR(x.value()[0], 0.0, 1e-10);  // Free variable pinned to zero.
+}
+
+TEST(QrTest, SingleColumn) {
+  Matrix a = FromRows({{1.0}, {2.0}, {2.0}});
+  Vector b = {1.0, 2.0, 2.0};
+  auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-12);
+}
+
+TEST(QrTest, WideMatrixRejected) {
+  Matrix a(2, 3);
+  auto qr = QrDecomposition::Compute(a);
+  EXPECT_FALSE(qr.ok());
+  EXPECT_EQ(qr.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QrTest, EmptyMatrixRejected) {
+  EXPECT_FALSE(QrDecomposition::Compute(Matrix(3, 0)).ok());
+}
+
+TEST(QrTest, RhsSizeMismatchRejected) {
+  Matrix a = FromRows({{1.0}, {2.0}});
+  auto qr = QrDecomposition::Compute(a);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_FALSE(qr.value().Solve(Vector{1.0, 2.0, 3.0}).ok());
+}
+
+TEST(QrTest, ReusableFactorizationForMultipleRhs) {
+  Matrix a = FromRows({{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}});
+  auto qr = QrDecomposition::Compute(a);
+  ASSERT_TRUE(qr.ok());
+  auto x1 = qr.value().Solve(Vector{1.0, 0.0, 1.0});
+  auto x2 = qr.value().Solve(Vector{0.0, 1.0, 1.0});
+  ASSERT_TRUE(x1.ok());
+  ASSERT_TRUE(x2.ok());
+  EXPECT_NEAR(x1.value()[0], 1.0, 1e-10);
+  EXPECT_NEAR(x2.value()[1], 1.0, 1e-10);
+}
+
+TEST(QrTest, RandomSystemsRecoverPlantedSolution) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t rows = 5 + trial % 6;
+    size_t cols = 2 + trial % 3;
+    Matrix a(rows, cols);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) a(r, c) = rng.Normal();
+    }
+    Vector planted(cols);
+    for (size_t c = 0; c < cols; ++c) planted[c] = rng.Normal();
+    Vector b = a.Multiply(planted);
+    auto x = LeastSquares(a, b);
+    ASSERT_TRUE(x.ok());
+    EXPECT_TRUE(x.value().AlmostEquals(planted, 1e-8))
+        << "trial " << trial << ": got " << x.value().ToString() << " want "
+        << planted.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,127 @@
+#include "linalg/vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace comparesets {
+namespace {
+
+TEST(VectorTest, ConstructionAndAccess) {
+  Vector v(3, 2.0);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  v[1] = -1.0;
+  EXPECT_DOUBLE_EQ(v[1], -1.0);
+
+  Vector w = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(w[2], 3.0);
+  EXPECT_TRUE(Vector().empty());
+}
+
+TEST(VectorTest, Norms) {
+  Vector v = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(v.Sum(), -1.0);
+  EXPECT_DOUBLE_EQ(v.NormL1(), 7.0);
+  EXPECT_DOUBLE_EQ(v.NormL2(), 5.0);
+  EXPECT_DOUBLE_EQ(v.NormInf(), 4.0);
+  EXPECT_DOUBLE_EQ(v.Max(), 3.0);
+  EXPECT_DOUBLE_EQ(Vector().Max(), 0.0);
+}
+
+TEST(VectorTest, DotProduct) {
+  Vector a = {1.0, 2.0, 3.0};
+  Vector b = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 4.0 - 10.0 + 18.0);
+}
+
+TEST(VectorTest, AxpyAndScale) {
+  Vector a = {1.0, 2.0};
+  Vector b = {10.0, 20.0};
+  a.Axpy(0.5, b);
+  EXPECT_DOUBLE_EQ(a[0], 6.0);
+  EXPECT_DOUBLE_EQ(a[1], 12.0);
+  a.Scale(2.0);
+  EXPECT_DOUBLE_EQ(a[0], 12.0);
+}
+
+TEST(VectorTest, ArithmeticOperators) {
+  Vector a = {1.0, 2.0};
+  Vector b = {3.0, 5.0};
+  EXPECT_TRUE((a + b).AlmostEquals(Vector{4.0, 7.0}));
+  EXPECT_TRUE((b - a).AlmostEquals(Vector{2.0, 3.0}));
+  EXPECT_TRUE((a * 3.0).AlmostEquals(Vector{3.0, 6.0}));
+}
+
+TEST(VectorTest, AppendAndAppendScaled) {
+  Vector a = {1.0};
+  a.Append(Vector{2.0, 3.0});
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[2], 3.0);
+  a.AppendScaled(0.5, Vector{4.0});
+  EXPECT_DOUBLE_EQ(a[3], 2.0);
+}
+
+TEST(VectorTest, AlmostEquals) {
+  Vector a = {1.0, 2.0};
+  EXPECT_TRUE(a.AlmostEquals(Vector{1.0 + 1e-12, 2.0}));
+  EXPECT_FALSE(a.AlmostEquals(Vector{1.1, 2.0}));
+  EXPECT_FALSE(a.AlmostEquals(Vector{1.0}));
+}
+
+TEST(SquaredDistanceTest, MatchesPaperEquation2) {
+  // Δ(x, y) = Σ (x_i − y_i)².
+  Vector x = {1.0, 0.0, 2.0};
+  Vector y = {0.0, 0.0, -1.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(x, y), 1.0 + 0.0 + 9.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(x, x), 0.0);
+}
+
+TEST(SquaredDistanceTest, Symmetric) {
+  Vector x = {0.3, -0.7, 2.2};
+  Vector y = {1.1, 0.4, -0.9};
+  EXPECT_DOUBLE_EQ(SquaredDistance(x, y), SquaredDistance(y, x));
+}
+
+TEST(CosineSimilarityTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1.0, 0.0}, {0.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({2.0, 0.0}, {5.0, 0.0}), 1.0);
+  EXPECT_NEAR(CosineSimilarity({1.0, 1.0}, {1.0, 0.0}), 1.0 / std::sqrt(2.0),
+              1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1.0, 0.0}, {-1.0, 0.0}), -1.0);
+}
+
+TEST(CosineSimilarityTest, ZeroVectorYieldsZero) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0.0, 0.0}, {1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0.0}, {0.0}), 0.0);
+}
+
+TEST(ConcatenateTest, JoinsInOrder) {
+  Vector joined = Concatenate({1.0, 2.0}, {3.0});
+  EXPECT_TRUE(joined.AlmostEquals(Vector{1.0, 2.0, 3.0}));
+}
+
+TEST(ConcatenateTest, WeightedConcatenationRealizesSquaredWeights) {
+  // Δ([a; λb], [c; λd]) = Δ(a, c) + λ²Δ(b, d) — the identity behind
+  // Eq. 4 of the paper.
+  Vector a = {1.0, 2.0};
+  Vector b = {0.5};
+  Vector c = {0.0, 1.0};
+  Vector d = {2.0};
+  double lambda = 3.0;
+  Vector left = a;
+  left.AppendScaled(lambda, b);
+  Vector right = c;
+  right.AppendScaled(lambda, d);
+  EXPECT_NEAR(SquaredDistance(left, right),
+              SquaredDistance(a, c) + lambda * lambda * SquaredDistance(b, d),
+              1e-12);
+}
+
+TEST(VectorTest, ToStringFormatsValues) {
+  EXPECT_EQ((Vector{1.0, 0.5}).ToString(1), "[1.0, 0.5]");
+  EXPECT_EQ(Vector().ToString(), "[]");
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,115 @@
+#include "nlp/annotator.h"
+
+#include <gtest/gtest.h>
+
+namespace comparesets {
+namespace {
+
+class AnnotatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // LightStem maps "battery"->"battery", "lens"->"len" (length-4 's'
+    // rule keeps "lens" as "len"+s? no: "lens" length 4, ends in 's',
+    // not "ss" => "len"). Register stemmed surface forms accordingly.
+    lexicon_.AddTerm("battery", "battery").CheckOK();
+    lexicon_.AddTerm("len", "lens").CheckOK();
+    lexicon_.AddTerm("screen", "screen").CheckOK();
+    annotator_ = std::make_unique<ReviewAnnotator>(
+        &lexicon_, &SentimentLexicon::Default(), &catalog_);
+  }
+
+  AspectLexicon lexicon_;
+  AspectCatalog catalog_;
+  std::unique_ptr<ReviewAnnotator> annotator_;
+};
+
+TEST_F(AnnotatorTest, PositiveSentence) {
+  auto mentions = annotator_->Annotate("The battery is great.");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(catalog_.Name(mentions[0].aspect), "battery");
+  EXPECT_EQ(mentions[0].polarity, Polarity::kPositive);
+  EXPECT_GT(mentions[0].strength, 0.0);
+}
+
+TEST_F(AnnotatorTest, NegativeSentence) {
+  auto mentions = annotator_->Annotate("The battery is terrible.");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].polarity, Polarity::kNegative);
+}
+
+TEST_F(AnnotatorTest, NegationFlipsPolarity) {
+  auto mentions = annotator_->Annotate("The battery is not great.");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].polarity, Polarity::kNegative);
+}
+
+TEST_F(AnnotatorTest, DoubleNegationCancels) {
+  // "never not" within the window flips twice.
+  auto mentions = annotator_->Annotate("The battery is never not great.");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].polarity, Polarity::kPositive);
+}
+
+TEST_F(AnnotatorTest, NoOpinionWordsYieldNeutral) {
+  auto mentions = annotator_->Annotate("The battery has a certain color.");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].polarity, Polarity::kNeutral);
+}
+
+TEST_F(AnnotatorTest, SentenceScopedAssociation) {
+  auto mentions = annotator_->Annotate(
+      "The battery is great. The screen is terrible.");
+  ASSERT_EQ(mentions.size(), 2u);
+  for (const OpinionMention& mention : mentions) {
+    if (catalog_.Name(mention.aspect) == "battery") {
+      EXPECT_EQ(mention.polarity, Polarity::kPositive);
+    } else {
+      EXPECT_EQ(catalog_.Name(mention.aspect), "screen");
+      EXPECT_EQ(mention.polarity, Polarity::kNegative);
+    }
+  }
+}
+
+TEST_F(AnnotatorTest, MultipleAspectsShareSentencePolarity) {
+  auto mentions = annotator_->Annotate("The battery and lens are excellent.");
+  ASSERT_EQ(mentions.size(), 2u);
+  EXPECT_EQ(mentions[0].polarity, Polarity::kPositive);
+  EXPECT_EQ(mentions[1].polarity, Polarity::kPositive);
+}
+
+TEST_F(AnnotatorTest, DuplicateAspectPolarityCollapsed) {
+  auto mentions = annotator_->Annotate(
+      "The battery is great. Really, the battery is excellent.");
+  ASSERT_EQ(mentions.size(), 1u);  // (battery, +) mentioned once.
+}
+
+TEST_F(AnnotatorTest, SameAspectDifferentPolaritiesKept) {
+  auto mentions = annotator_->Annotate(
+      "The battery is great. But later the battery was terrible.");
+  EXPECT_EQ(mentions.size(), 2u);
+}
+
+TEST_F(AnnotatorTest, UnknownAspectIgnored) {
+  auto mentions = annotator_->Annotate("The zipper is great.");
+  EXPECT_TRUE(mentions.empty());
+}
+
+TEST_F(AnnotatorTest, EmptyTextYieldsNothing) {
+  EXPECT_TRUE(annotator_->Annotate("").empty());
+}
+
+TEST_F(AnnotatorTest, StemmedSurfaceFormsMatch) {
+  // "batteries" stems to "battery".
+  auto mentions = annotator_->Annotate("The batteries are great.");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(catalog_.Name(mentions[0].aspect), "battery");
+}
+
+TEST_F(AnnotatorTest, CatalogInternedOnce) {
+  annotator_->Annotate("The battery is great.");
+  annotator_->Annotate("The battery is terrible.");
+  EXPECT_EQ(catalog_.size(), 1u);
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,106 @@
+#include "nlp/aspect_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace comparesets {
+namespace {
+
+std::vector<RatedText> RepeatedReviews() {
+  // "battery" correlates strongly with rating; "shipping" appears
+  // everywhere (no correlation); "zebra" is rare.
+  std::vector<RatedText> reviews;
+  for (int i = 0; i < 12; ++i) {
+    bool good = i % 2 == 0;
+    RatedText review;
+    review.text = good ? "the battery is great, shipping was fine"
+                       : "shipping was fine but it broke quickly";
+    review.rating = good ? 5.0 : 1.0;
+    reviews.push_back(review);
+  }
+  reviews.push_back({"zebra themed product, shipping fine", 3.0});
+  return reviews;
+}
+
+TEST(CorrelationTest, PerfectAndZero) {
+  std::vector<bool> presence = {true, false, true, false};
+  std::vector<double> ratings = {5.0, 1.0, 5.0, 1.0};
+  EXPECT_NEAR(PresenceRatingCorrelation(presence, ratings), 1.0, 1e-12);
+
+  std::vector<bool> always = {true, true, true, true};
+  EXPECT_DOUBLE_EQ(PresenceRatingCorrelation(always, ratings), 0.0);
+
+  std::vector<double> flat = {3.0, 3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(PresenceRatingCorrelation(presence, flat), 0.0);
+}
+
+TEST(CorrelationTest, AbsoluteValueReported) {
+  // Negative association still ranks high (negative aspects matter too).
+  std::vector<bool> presence = {true, false, true, false};
+  std::vector<double> ratings = {1.0, 5.0, 1.0, 5.0};
+  EXPECT_NEAR(PresenceRatingCorrelation(presence, ratings), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, EmptyOrMismatchedIsZero) {
+  EXPECT_DOUBLE_EQ(PresenceRatingCorrelation({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(PresenceRatingCorrelation({true}, {1.0, 2.0}), 0.0);
+}
+
+TEST(MineAspectLexiconTest, CorrelatedTermRanksAboveUncorrelated) {
+  AspectMiningOptions options;
+  options.min_review_frequency = 2;
+  options.max_candidates = 50;
+  options.max_aspects = 1;  // Keep only the single best term.
+  auto lexicon = MineAspectLexicon(RepeatedReviews(),
+                                   SentimentLexicon::Default(), options);
+  ASSERT_TRUE(lexicon.ok());
+  // "battery" (or its stem) must be the top aspect: it alone separates
+  // 5-star from 1-star reviews.
+  EXPECT_TRUE(lexicon.value().Contains("battery"))
+      << "got aspects: " << [&] {
+           std::string all;
+           for (const auto& a : lexicon.value().Aspects()) all += a + " ";
+           return all;
+         }();
+}
+
+TEST(MineAspectLexiconTest, OpinionWordsExcluded) {
+  auto lexicon = MineAspectLexicon(RepeatedReviews());
+  ASSERT_TRUE(lexicon.ok());
+  EXPECT_FALSE(lexicon.value().Contains("great"));
+  EXPECT_FALSE(lexicon.value().Contains("broke"));
+}
+
+TEST(MineAspectLexiconTest, StopwordsExcluded) {
+  auto lexicon = MineAspectLexicon(RepeatedReviews());
+  ASSERT_TRUE(lexicon.ok());
+  EXPECT_FALSE(lexicon.value().Contains("the"));
+  EXPECT_FALSE(lexicon.value().Contains("was"));
+}
+
+TEST(MineAspectLexiconTest, RareTermsFilteredByFrequency) {
+  AspectMiningOptions options;
+  options.min_review_frequency = 3;
+  auto lexicon = MineAspectLexicon(RepeatedReviews(),
+                                   SentimentLexicon::Default(), options);
+  ASSERT_TRUE(lexicon.ok());
+  EXPECT_FALSE(lexicon.value().Contains("zebra"));  // Appears once.
+}
+
+TEST(MineAspectLexiconTest, MaxAspectsHonored) {
+  AspectMiningOptions options;
+  options.min_review_frequency = 1;
+  options.max_aspects = 2;
+  auto lexicon = MineAspectLexicon(RepeatedReviews(),
+                                   SentimentLexicon::Default(), options);
+  ASSERT_TRUE(lexicon.ok());
+  EXPECT_LE(lexicon.value().Aspects().size(), 2u);
+}
+
+TEST(MineAspectLexiconTest, EmptyInputRejected) {
+  EXPECT_FALSE(MineAspectLexicon({}).ok());
+}
+
+}  // namespace
+}  // namespace comparesets

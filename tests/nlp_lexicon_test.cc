@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "nlp/lexicon.h"
+#include "nlp/sentiment_lexicon.h"
+
+namespace comparesets {
+namespace {
+
+TEST(AspectLexiconTest, AddAndLookup) {
+  AspectLexicon lexicon;
+  ASSERT_TRUE(lexicon.AddTerm("battery", "battery").ok());
+  ASSERT_TRUE(lexicon.AddTerm("batteries", "battery").ok());
+  EXPECT_EQ(lexicon.AspectOf("battery"), "battery");
+  EXPECT_EQ(lexicon.AspectOf("batteries"), "battery");
+  EXPECT_TRUE(lexicon.Contains("battery"));
+  EXPECT_FALSE(lexicon.Contains("screen"));
+  EXPECT_EQ(lexicon.AspectOf("screen"), "");
+  EXPECT_EQ(lexicon.num_terms(), 2u);
+}
+
+TEST(AspectLexiconTest, ReRegisteringSameMappingIsOk) {
+  AspectLexicon lexicon;
+  ASSERT_TRUE(lexicon.AddTerm("lens", "lens").ok());
+  EXPECT_TRUE(lexicon.AddTerm("lens", "lens").ok());
+}
+
+TEST(AspectLexiconTest, ConflictingMappingRejected) {
+  AspectLexicon lexicon;
+  ASSERT_TRUE(lexicon.AddTerm("lens", "lens").ok());
+  Status status = lexicon.AddTerm("lens", "camera");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(AspectLexiconTest, AspectsListsDistinctSorted) {
+  AspectLexicon lexicon;
+  lexicon.AddTerm("battery", "battery").CheckOK();
+  lexicon.AddTerm("batteries", "battery").CheckOK();
+  lexicon.AddTerm("screen", "display").CheckOK();
+  EXPECT_EQ(lexicon.Aspects(),
+            (std::vector<std::string>{"battery", "display"}));
+}
+
+TEST(SentimentLexiconTest, AddAndStrength) {
+  SentimentLexicon lexicon;
+  lexicon.AddWord("stellar", 1.7);
+  lexicon.AddWord("meh", -0.2);
+  EXPECT_DOUBLE_EQ(lexicon.StrengthOf("stellar"), 1.7);
+  EXPECT_DOUBLE_EQ(lexicon.StrengthOf("meh"), -0.2);
+  EXPECT_DOUBLE_EQ(lexicon.StrengthOf("unknown"), 0.0);
+  EXPECT_TRUE(lexicon.IsOpinionWord("stellar"));
+  EXPECT_FALSE(lexicon.IsOpinionWord("unknown"));
+}
+
+TEST(SentimentLexiconTest, OverwriteKeepsLatest) {
+  SentimentLexicon lexicon;
+  lexicon.AddWord("fine", 0.5);
+  lexicon.AddWord("fine", 1.0);
+  EXPECT_DOUBLE_EQ(lexicon.StrengthOf("fine"), 1.0);
+}
+
+TEST(SentimentLexiconTest, DefaultLexiconHasBothPolarities) {
+  const SentimentLexicon& lexicon = SentimentLexicon::Default();
+  EXPECT_GT(lexicon.size(), 100u);
+  EXPECT_GT(lexicon.StrengthOf("great"), 0.0);
+  EXPECT_GT(lexicon.StrengthOf("excellent"), lexicon.StrengthOf("good"));
+  EXPECT_LT(lexicon.StrengthOf("terrible"), 0.0);
+  EXPECT_LT(lexicon.StrengthOf("terrible"), lexicon.StrengthOf("bad"));
+}
+
+TEST(SentimentLexiconTest, NegatorsRecognized) {
+  const SentimentLexicon& lexicon = SentimentLexicon::Default();
+  EXPECT_TRUE(lexicon.IsNegator("not"));
+  EXPECT_TRUE(lexicon.IsNegator("never"));
+  EXPECT_TRUE(lexicon.IsNegator("dont"));
+  EXPECT_FALSE(lexicon.IsNegator("battery"));
+  EXPECT_FALSE(lexicon.IsNegator("great"));
+}
+
+}  // namespace
+}  // namespace comparesets

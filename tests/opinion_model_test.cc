@@ -1,0 +1,176 @@
+#include "opinion/opinion_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_fixtures.h"
+
+namespace comparesets {
+namespace {
+
+using testing::kBattery;
+using testing::kLens;
+using testing::kNeg;
+using testing::kPos;
+using testing::kPrice;
+using testing::kQuality;
+using testing::MakeReview;
+
+TEST(OpinionModelTest, DimsPerDefinition) {
+  EXPECT_EQ(OpinionModel::Binary(5).opinion_dims(), 10u);
+  EXPECT_EQ(OpinionModel::ThreePolarity(5).opinion_dims(), 15u);
+  EXPECT_EQ(OpinionModel::UnaryScale(5).opinion_dims(), 5u);
+}
+
+TEST(OpinionModelTest, DefinitionNames) {
+  EXPECT_STREQ(OpinionDefinitionName(OpinionDefinition::kBinary), "binary");
+  EXPECT_STREQ(OpinionDefinitionName(OpinionDefinition::kThreePolarity),
+               "3-polarity");
+  EXPECT_STREQ(OpinionDefinitionName(OpinionDefinition::kUnaryScale),
+               "unary-scale");
+}
+
+// --- Working Example 1 (paper §2.1.1) -------------------------------------
+
+TEST(OpinionModelTest, WorkingExampleTargetOpinionVector) {
+  Product target = testing::WorkingExampleTarget();
+  OpinionModel model = OpinionModel::Binary(5);
+  Vector tau = model.OpinionVector(AllReviews(target));
+  // τ1 = (2/6, 4/6, 2/6, 2/6, 2/6, 2/6, 0, 0, 0, 0).
+  Vector expected{2.0 / 6, 4.0 / 6, 2.0 / 6, 2.0 / 6, 2.0 / 6, 2.0 / 6,
+                  0, 0, 0, 0};
+  EXPECT_TRUE(tau.AlmostEquals(expected))
+      << "got " << tau.ToString() << " want " << expected.ToString();
+}
+
+TEST(OpinionModelTest, WorkingExampleTargetAspectVector) {
+  Product target = testing::WorkingExampleTarget();
+  OpinionModel model = OpinionModel::Binary(5);
+  Vector gamma = model.AspectVector(AllReviews(target));
+  // Γ = (6/6, 4/6, 4/6, 0, 0).
+  Vector expected{1.0, 4.0 / 6, 4.0 / 6, 0.0, 0.0};
+  EXPECT_TRUE(gamma.AlmostEquals(expected))
+      << "got " << gamma.ToString() << " want " << expected.ToString();
+}
+
+TEST(OpinionModelTest, WorkingExampleOptimalTripleMatchesTargets) {
+  // Selecting the proportional triple {r1, r2, r3} reproduces τ1 and Γ
+  // exactly (the paper's S1 = {r5, r6, r7} situation).
+  Product target = testing::WorkingExampleTarget();
+  OpinionModel model = OpinionModel::Binary(5);
+  ReviewSet triple = {&target.reviews[0], &target.reviews[1],
+                      &target.reviews[2]};
+  Vector pi = model.OpinionVector(triple);
+  Vector phi = model.AspectVector(triple);
+  EXPECT_TRUE(pi.AlmostEquals(model.OpinionVector(AllReviews(target))));
+  EXPECT_TRUE(phi.AlmostEquals(model.AspectVector(AllReviews(target))));
+}
+
+// --- General behaviour -----------------------------------------------------
+
+TEST(OpinionModelTest, EmptySetGivesZeroVectors) {
+  OpinionModel model = OpinionModel::Binary(3);
+  EXPECT_DOUBLE_EQ(model.OpinionVector({}).NormL1(), 0.0);
+  EXPECT_DOUBLE_EQ(model.AspectVector({}).NormL1(), 0.0);
+}
+
+TEST(OpinionModelTest, AspectVectorMaxEntryIsOne) {
+  // Normalization by the max count means some entry equals 1 whenever
+  // any aspect is mentioned.
+  Product target = testing::WorkingExampleTarget();
+  OpinionModel model = OpinionModel::Binary(5);
+  for (size_t take = 1; take <= target.reviews.size(); ++take) {
+    ReviewSet subset;
+    for (size_t r = 0; r < take; ++r) subset.push_back(&target.reviews[r]);
+    Vector phi = model.AspectVector(subset);
+    EXPECT_NEAR(phi.Max(), 1.0, 1e-12) << "take=" << take;
+  }
+}
+
+TEST(OpinionModelTest, OpinionCountedOncePerReview) {
+  // A review mentioning (battery, +) twice counts once.
+  Review review = MakeReview("r", {{kBattery, kPos}, {kBattery, kPos}});
+  OpinionModel model = OpinionModel::Binary(5);
+  Vector pi = model.OpinionVector({&review});
+  EXPECT_DOUBLE_EQ(pi[0], 1.0);
+}
+
+TEST(OpinionModelTest, NeutralIgnoredInBinaryOpinionButKeptInAspect) {
+  Review review = MakeReview("r", {{kBattery, Polarity::kNeutral}});
+  OpinionModel model = OpinionModel::Binary(5);
+  EXPECT_DOUBLE_EQ(model.OpinionVector({&review}).NormL1(), 0.0);
+  EXPECT_DOUBLE_EQ(model.AspectVector({&review})[kBattery], 1.0);
+}
+
+TEST(OpinionModelTest, ThreePolarityTracksNeutralSeparately) {
+  Review r1 = MakeReview("r1", {{kBattery, kPos}});
+  Review r2 = MakeReview("r2", {{kBattery, Polarity::kNeutral}});
+  OpinionModel model = OpinionModel::ThreePolarity(2);
+  Vector pi = model.OpinionVector({&r1, &r2});
+  // Dims per aspect: (+, −, neutral). battery count = 2 => M = 2.
+  EXPECT_DOUBLE_EQ(pi[0], 0.5);  // battery+.
+  EXPECT_DOUBLE_EQ(pi[1], 0.0);  // battery−.
+  EXPECT_DOUBLE_EQ(pi[2], 0.5);  // battery neutral.
+}
+
+TEST(OpinionModelTest, UnaryScaleSigmoidOfSummedStrengths) {
+  Review r1 = MakeReview("r1", {{kBattery, kPos}});
+  r1.opinions[0].strength = 2.0;
+  Review r2 = MakeReview("r2", {{kBattery, kNeg}});
+  r2.opinions[0].strength = 0.5;
+  OpinionModel model = OpinionModel::UnaryScale(2);
+  Vector pi = model.OpinionVector({&r1, &r2});
+  EXPECT_NEAR(pi[0], Sigmoid(1.5), 1e-12);
+  EXPECT_DOUBLE_EQ(pi[1], 0.0);  // Unmentioned aspect stays 0.
+}
+
+TEST(OpinionModelTest, UnaryScaleNeutralMentionsMarkAspect) {
+  Review review = MakeReview("r", {{kBattery, Polarity::kNeutral}});
+  OpinionModel model = OpinionModel::UnaryScale(2);
+  Vector pi = model.OpinionVector({&review});
+  EXPECT_NEAR(pi[0], 0.5, 1e-12);  // Sigmoid(0) for mentioned aspect.
+}
+
+TEST(SigmoidTest, KnownValuesAndStability) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-100.0), 0.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(2.0) + Sigmoid(-2.0), 1.0, 1e-12);
+  EXPECT_FALSE(std::isnan(Sigmoid(-1000.0)));
+  EXPECT_FALSE(std::isnan(Sigmoid(1000.0)));
+}
+
+TEST(OpinionModelTest, ReviewColumnsMatchSingletonVectors) {
+  // For binary/3-polarity, the design column of review r equals the
+  // unnormalized indicator; for a singleton set M = 1, so the opinion
+  // vector of {r} must equal the column.
+  Review review = MakeReview(
+      "r", {{kBattery, kPos}, {kLens, kNeg}, {kQuality, Polarity::kNeutral}});
+  for (OpinionModel model :
+       {OpinionModel::Binary(5), OpinionModel::ThreePolarity(5)}) {
+    Vector column = model.ReviewOpinionColumn(review);
+    Vector pi = model.OpinionVector({&review});
+    EXPECT_TRUE(column.AlmostEquals(pi))
+        << OpinionDefinitionName(model.definition());
+  }
+}
+
+TEST(OpinionModelTest, AspectColumnIsPresenceIndicator) {
+  Review review = MakeReview("r", {{kBattery, kPos}, {kPrice, kNeg}});
+  OpinionModel model = OpinionModel::Binary(5);
+  Vector column = model.ReviewAspectColumn(review);
+  EXPECT_TRUE(column.AlmostEquals(Vector{1.0, 0.0, 0.0, 1.0, 0.0}));
+}
+
+TEST(SelectReviewsTest, MaterializesPointers) {
+  Product target = testing::WorkingExampleTarget();
+  ReviewSet subset = SelectReviews(target, {0, 2});
+  ASSERT_EQ(subset.size(), 2u);
+  EXPECT_EQ(subset[0]->id, "r1");
+  EXPECT_EQ(subset[1]->id, "r3");
+  EXPECT_EQ(AllReviews(target).size(), target.reviews.size());
+}
+
+}  // namespace
+}  // namespace comparesets

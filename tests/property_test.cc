@@ -1,0 +1,181 @@
+// Parameterized property sweeps across opinion models, budgets m, and
+// selectors — the invariants every configuration must satisfy.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <tuple>
+
+#include "core/selector.h"
+#include "eval/objective.h"
+#include "eval/runner.h"
+#include "graph/targethks_exact.h"
+#include "graph/targethks_greedy.h"
+
+namespace comparesets {
+namespace {
+
+// Shared miniature workload (built once; tests are read-only users).
+const Workload& SharedWorkload() {
+  static const Workload* kWorkload = [] {
+    RunnerConfig config;
+    config.category = "Clothing";
+    config.num_products = 80;
+    config.max_instances = 4;
+    config.seed = 99;
+    return new Workload(Workload::BuildSynthetic(config).ValueOrDie());
+  }();
+  return *kWorkload;
+}
+
+using SelectorParam = std::tuple<std::string, size_t>;  // (name, m).
+
+class SelectorPropertyTest
+    : public ::testing::TestWithParam<SelectorParam> {};
+
+TEST_P(SelectorPropertyTest, SelectionsWellFormedForEveryConfiguration) {
+  const auto& [name, m] = GetParam();
+  auto selector = MakeSelector(name).ValueOrDie();
+  SelectorOptions options;
+  options.m = m;
+  for (size_t i = 0; i < SharedWorkload().num_instances(); ++i) {
+    const InstanceVectors& vectors = SharedWorkload().vectors()[i];
+    auto result = selector->Select(vectors, options);
+    ASSERT_TRUE(result.ok()) << name << " m=" << m;
+    ASSERT_EQ(result.value().selections.size(), vectors.num_items());
+    for (size_t item = 0; item < vectors.num_items(); ++item) {
+      const Selection& selection = result.value().selections[item];
+      EXPECT_GE(selection.size(), 1u);
+      EXPECT_LE(selection.size(), m);
+      std::set<size_t> unique(selection.begin(), selection.end());
+      EXPECT_EQ(unique.size(), selection.size());
+      for (size_t index : selection) {
+        EXPECT_LT(index, vectors.num_reviews(item));
+      }
+    }
+    EXPECT_GE(result.value().objective, 0.0);
+  }
+}
+
+TEST_P(SelectorPropertyTest, DeterministicAcrossRepeatedRuns) {
+  const auto& [name, m] = GetParam();
+  auto selector = MakeSelector(name).ValueOrDie();
+  SelectorOptions options;
+  options.m = m;
+  const InstanceVectors& vectors = SharedWorkload().vectors()[0];
+  auto first = selector->Select(vectors, options);
+  auto second = selector->Select(vectors, options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().selections, second.value().selections) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSelectorsAllBudgets, SelectorPropertyTest,
+    ::testing::Combine(::testing::Values("Random", "Crs",
+                                         "CompaReSetSGreedy", "CompaReSetS",
+                                         "CompaReSetS+"),
+                       ::testing::Values(1u, 3u, 5u, 10u)),
+    [](const ::testing::TestParamInfo<SelectorParam>& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == '+') c = 'P';
+      }
+      return name + "_m" + std::to_string(std::get<1>(info.param));
+    });
+
+class OpinionModelPropertyTest
+    : public ::testing::TestWithParam<OpinionDefinition> {};
+
+TEST_P(OpinionModelPropertyTest, VectorsBoundedAndReconstructive) {
+  OpinionDefinition definition = GetParam();
+  const Corpus& corpus = SharedWorkload().corpus();
+  OpinionModel model(definition, corpus.num_aspects());
+
+  for (size_t p = 0; p < std::min<size_t>(corpus.num_products(), 25); ++p) {
+    const Product& product = corpus.products()[p];
+    ReviewSet all = AllReviews(product);
+    Vector pi = model.OpinionVector(all);
+    Vector phi = model.AspectVector(all);
+    EXPECT_EQ(pi.size(), model.opinion_dims());
+    EXPECT_EQ(phi.size(), corpus.num_aspects());
+    for (size_t d = 0; d < pi.size(); ++d) {
+      EXPECT_GE(pi[d], 0.0);
+      EXPECT_LE(pi[d], 1.0 + 1e-12);
+    }
+    for (size_t d = 0; d < phi.size(); ++d) {
+      EXPECT_GE(phi[d], 0.0);
+      EXPECT_LE(phi[d], 1.0 + 1e-12);
+    }
+    // Identity reconstruction: selecting everything gives τ exactly.
+    Selection everything(product.reviews.size());
+    std::iota(everything.begin(), everything.end(), 0);
+    Vector pi_again =
+        model.OpinionVector(SelectReviews(product, everything));
+    EXPECT_TRUE(pi_again.AlmostEquals(pi));
+  }
+}
+
+TEST_P(OpinionModelPropertyTest, EndToEndSelectionWorks) {
+  OpinionDefinition definition = GetParam();
+  const Corpus& corpus = SharedWorkload().corpus();
+  OpinionModel model(definition, corpus.num_aspects());
+  InstanceVectors vectors =
+      BuildInstanceVectors(model, SharedWorkload().instances()[0]);
+  SelectorOptions options;
+  options.m = 3;
+  auto result = MakeSelector("CompaReSetS+").ValueOrDie()->Select(vectors,
+                                                                  options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().selections.size(), vectors.num_items());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpinionDefinitions, OpinionModelPropertyTest,
+    ::testing::Values(OpinionDefinition::kBinary,
+                      OpinionDefinition::kThreePolarity,
+                      OpinionDefinition::kUnaryScale),
+    [](const ::testing::TestParamInfo<OpinionDefinition>& info) {
+      switch (info.param) {
+        case OpinionDefinition::kBinary:
+          return std::string("Binary");
+        case OpinionDefinition::kThreePolarity:
+          return std::string("ThreePolarity");
+        case OpinionDefinition::kUnaryScale:
+          return std::string("UnaryScale");
+        case OpinionDefinition::kLearnedPreference:
+          return std::string("LearnedPreference");
+      }
+      return std::string("Unknown");
+    });
+
+class TargetHksPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TargetHksPropertyTest, ExactDominatesHeuristicsAtEveryK) {
+  size_t k = GetParam();
+  SelectorOptions options;
+  options.m = 3;
+  auto run = RunSelector(*MakeSelector("CompaReSetS").ValueOrDie(),
+                         SharedWorkload(), options);
+  ASSERT_TRUE(run.ok());
+  for (size_t i = 0; i < SharedWorkload().num_instances(); ++i) {
+    const InstanceVectors& vectors = SharedWorkload().vectors()[i];
+    SimilarityGraph graph = BuildSimilarityGraph(
+        vectors, run.value().results[i].selections, 1.0, 0.1);
+    if (graph.num_vertices() < k) continue;
+    auto exact = SolveTargetHksExact(graph, k);
+    auto greedy = SolveTargetHksGreedy(graph, k);
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(greedy.ok());
+    EXPECT_LE(greedy.value().weight, exact.value().weight + 1e-9)
+        << "instance " << i << " k=" << k;
+    EXPECT_GE(greedy.value().weight, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, TargetHksPropertyTest,
+                         ::testing::Values(2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,213 @@
+#include "recsys/efm.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/selector.h"
+#include "data/synthetic.h"
+#include "opinion/vectors.h"
+#include "test_fixtures.h"
+
+namespace comparesets {
+namespace {
+
+Corpus SmallSynthetic() {
+  SyntheticConfig config = DefaultConfig("Cellphone", 80).ValueOrDie();
+  config.seed = 5;
+  return GenerateCorpus(config).ValueOrDie();
+}
+
+TEST(EfmTest, TrainsOnSyntheticCorpus) {
+  Corpus corpus = SmallSynthetic();
+  auto model = ExplicitFactorModel::Train(corpus);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ(model.value().num_items(), corpus.num_products());
+  EXPECT_GT(model.value().num_users(), 0u);
+  EXPECT_EQ(model.value().num_aspects(), corpus.num_aspects());
+}
+
+TEST(EfmTest, ReconstructionErrorReasonable) {
+  // Quality targets live in (0, 1); an ALS fit must beat the trivial
+  // predict-0.5 baseline by a clear margin.
+  Corpus corpus = SmallSynthetic();
+  auto model = ExplicitFactorModel::Train(corpus);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model.value().quality_rmse(), 0.25);
+  EXPECT_LT(model.value().attention_rmse(), 0.4);
+  EXPECT_GT(model.value().quality_rmse(), 0.0);
+}
+
+TEST(EfmTest, MoreFactorsFitBetter) {
+  Corpus corpus = SmallSynthetic();
+  EfmConfig small;
+  small.factors = 2;
+  EfmConfig large;
+  large.factors = 12;
+  auto coarse = ExplicitFactorModel::Train(corpus, small);
+  auto fine = ExplicitFactorModel::Train(corpus, large);
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_TRUE(fine.ok());
+  EXPECT_LE(fine.value().quality_rmse(),
+            coarse.value().quality_rmse() + 1e-6);
+}
+
+TEST(EfmTest, PredictionsBounded) {
+  Corpus corpus = SmallSynthetic();
+  auto model = ExplicitFactorModel::Train(corpus).ValueOrDie();
+  const Product& product = corpus.products()[0];
+  for (size_t a = 0; a < corpus.num_aspects(); ++a) {
+    double quality =
+        model.PredictItemQuality(product.id, static_cast<AspectId>(a));
+    EXPECT_GE(quality, 0.0);
+    EXPECT_LE(quality, 1.0);
+  }
+  Vector preference =
+      model.UserItemPreference(product.reviews[0].reviewer_id, product.id);
+  EXPECT_EQ(preference.size(), corpus.num_aspects());
+  for (size_t a = 0; a < preference.size(); ++a) {
+    EXPECT_GE(preference[a], 0.0);
+    EXPECT_LE(preference[a], 1.0);
+  }
+}
+
+TEST(EfmTest, ColdStartFallsBackToAspectMeans) {
+  Corpus corpus = SmallSynthetic();
+  auto model = ExplicitFactorModel::Train(corpus).ValueOrDie();
+  double unknown_item = model.PredictItemQuality("no-such-item", 0);
+  double unknown_user = model.PredictUserAttention("no-such-user", 0);
+  EXPECT_GE(unknown_item, 0.0);
+  EXPECT_LE(unknown_item, 1.0);
+  EXPECT_GE(unknown_user, 0.0);
+  EXPECT_LE(unknown_user, 1.0);
+}
+
+TEST(EfmTest, PredictionCorrelatesWithObservedQuality) {
+  // Items whose reviews are strongly positive on an aspect must get a
+  // higher predicted quality than items strongly negative on it.
+  Corpus corpus = SmallSynthetic();
+  auto model = ExplicitFactorModel::Train(corpus).ValueOrDie();
+
+  double high_sum = 0.0;
+  double low_sum = 0.0;
+  size_t high_count = 0;
+  size_t low_count = 0;
+  for (const Product& product : corpus.products()) {
+    std::unordered_map<AspectId, std::pair<double, int>> sentiment;
+    for (const Review& review : product.reviews) {
+      for (const OpinionMention& mention : review.opinions) {
+        double s = mention.polarity == Polarity::kPositive
+                       ? mention.strength
+                       : (mention.polarity == Polarity::kNegative
+                              ? -mention.strength
+                              : 0.0);
+        auto& [sum, count] = sentiment[mention.aspect];
+        sum += s;
+        ++count;
+      }
+    }
+    for (const auto& [aspect, pair] : sentiment) {
+      if (pair.second < 3) continue;  // Need signal.
+      double mean = pair.first / pair.second;
+      double predicted = model.PredictItemQuality(product.id, aspect);
+      if (mean > 0.8) {
+        high_sum += predicted;
+        ++high_count;
+      } else if (mean < -0.8) {
+        low_sum += predicted;
+        ++low_count;
+      }
+    }
+  }
+  ASSERT_GT(high_count, 5u);
+  ASSERT_GT(low_count, 5u);
+  EXPECT_GT(high_sum / high_count, low_sum / low_count + 0.15);
+}
+
+TEST(EfmTest, InvalidInputsRejected) {
+  Corpus empty("empty");
+  empty.Finalize();
+  EXPECT_FALSE(ExplicitFactorModel::Train(empty).ok());
+
+  Corpus corpus = SmallSynthetic();
+  EfmConfig config;
+  config.factors = 0;
+  EXPECT_FALSE(ExplicitFactorModel::Train(corpus, config).ok());
+}
+
+// --- Review preference table + learned opinion model -----------------------
+
+TEST(LearnedOpinionTest, TableCoversEveryReview) {
+  Corpus corpus = SmallSynthetic();
+  auto model = ExplicitFactorModel::Train(corpus).ValueOrDie();
+  auto table = BuildReviewPreferenceTable(corpus, model);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value()->size(), corpus.num_reviews());
+  // Masking: entries outside a review's mentioned aspects are zero.
+  const Review& review = corpus.products()[0].reviews[0];
+  const Vector& vector = table.value()->at(review.id);
+  std::vector<AspectId> mentioned = review.MentionedAspects();
+  for (size_t a = 0; a < vector.size(); ++a) {
+    bool is_mentioned =
+        std::find(mentioned.begin(), mentioned.end(),
+                  static_cast<AspectId>(a)) != mentioned.end();
+    if (!is_mentioned) {
+      EXPECT_DOUBLE_EQ(vector[a], 0.0);
+    }
+  }
+}
+
+TEST(LearnedOpinionTest, OpinionModelAveragesTableVectors) {
+  Corpus corpus = SmallSynthetic();
+  auto efm = ExplicitFactorModel::Train(corpus).ValueOrDie();
+  auto table = BuildReviewPreferenceTable(corpus, efm).ValueOrDie();
+  OpinionModel model =
+      OpinionModel::LearnedPreference(corpus.num_aspects(), table);
+  EXPECT_EQ(model.opinion_dims(), corpus.num_aspects());
+
+  const Product& product = corpus.products()[0];
+  ReviewSet pair = {&product.reviews[0], &product.reviews[1]};
+  Vector expected = table->at(product.reviews[0].id);
+  expected.Axpy(1.0, table->at(product.reviews[1].id));
+  expected.Scale(0.5);
+  EXPECT_TRUE(model.OpinionVector(pair).AlmostEquals(expected));
+  EXPECT_TRUE(model.ReviewOpinionColumn(product.reviews[0])
+                  .AlmostEquals(table->at(product.reviews[0].id)));
+}
+
+TEST(LearnedOpinionTest, EndToEndSelectionUnderLearnedModel) {
+  Corpus corpus = SmallSynthetic();
+  auto efm = ExplicitFactorModel::Train(corpus).ValueOrDie();
+  auto table = BuildReviewPreferenceTable(corpus, efm).ValueOrDie();
+  OpinionModel model =
+      OpinionModel::LearnedPreference(corpus.num_aspects(), table);
+
+  std::vector<ProblemInstance> instances = corpus.BuildInstances();
+  ASSERT_FALSE(instances.empty());
+  InstanceVectors vectors = BuildInstanceVectors(model, instances[0]);
+  SelectorOptions options;
+  options.m = 3;
+  auto result =
+      MakeSelector("CompaReSetS+").ValueOrDie()->Select(vectors, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().selections.size(), instances[0].num_items());
+  for (size_t i = 0; i < result.value().selections.size(); ++i) {
+    EXPECT_GE(result.value().selections[i].size(), 1u);
+    EXPECT_LE(result.value().selections[i].size(), 3u);
+  }
+}
+
+TEST(LearnedOpinionTest, MismatchedTableRejected) {
+  Corpus corpus = SmallSynthetic();
+  auto efm = ExplicitFactorModel::Train(corpus).ValueOrDie();
+  // A corpus whose catalog disagrees with the trained model is refused.
+  Corpus tiny("tiny");
+  tiny.catalog().Intern("only-aspect");
+  tiny.Finalize();
+  auto table = BuildReviewPreferenceTable(tiny, efm);
+  EXPECT_FALSE(table.ok());
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,78 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace comparesets {
+namespace {
+
+TEST(MeanTest, BasicsAndEmpty) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({-1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+}
+
+TEST(VarianceTest, KnownValue) {
+  // Sample variance of {2, 4, 4, 4, 5, 5, 7, 9} = 32/7.
+  std::vector<double> values = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(SampleVariance(values), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(SampleStdDev(values), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(VarianceTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(SampleVariance({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({2.0, 2.0, 2.0}), 0.0);
+}
+
+TEST(StandardErrorTest, ScalesWithSqrtN) {
+  std::vector<double> small = {1.0, 3.0};
+  std::vector<double> big;
+  for (int i = 0; i < 8; ++i) {
+    big.push_back(1.0);
+    big.push_back(3.0);
+  }
+  EXPECT_GT(StandardError(small), StandardError(big));
+  EXPECT_DOUBLE_EQ(StandardError({1.0}), 0.0);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> values = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 5.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> values = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.75), 7.5);
+}
+
+TEST(QuantileTest, SingleValue) {
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.3), 7.0);
+}
+
+TEST(PearsonTest, PerfectCorrelations) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSeriesGivesZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+}
+
+TEST(PearsonTest, UncorrelatedNearZero) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y = {1.0, -1.0, 1.0, -1.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -0.4472, 1e-3);
+}
+
+}  // namespace
+}  // namespace comparesets

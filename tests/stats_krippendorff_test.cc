@@ -1,0 +1,141 @@
+#include "stats/krippendorff.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace comparesets {
+namespace {
+
+std::optional<double> R(double v) { return v; }
+constexpr std::nullopt_t NA = std::nullopt;
+
+TEST(KrippendorffTest, PerfectAgreementIsOne) {
+  RatingsMatrix ratings = {
+      {R(1), R(2), R(3), R(4)},
+      {R(1), R(2), R(3), R(4)},
+      {R(1), R(2), R(3), R(4)},
+  };
+  for (AlphaMetric metric :
+       {AlphaMetric::kNominal, AlphaMetric::kOrdinal, AlphaMetric::kInterval}) {
+    auto alpha = KrippendorffAlpha(ratings, metric);
+    ASSERT_TRUE(alpha.ok());
+    EXPECT_NEAR(alpha.value(), 1.0, 1e-12);
+  }
+}
+
+TEST(KrippendorffTest, AllIdenticalValuesIsOneByConvention) {
+  RatingsMatrix ratings = {{R(3), R(3)}, {R(3), R(3)}};
+  auto alpha = KrippendorffAlpha(ratings, AlphaMetric::kInterval);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_DOUBLE_EQ(alpha.value(), 1.0);
+}
+
+TEST(KrippendorffTest, KnownNominalExample) {
+  // Two observers over 10 pairable units (2 unrated): coincidences
+  // o_00 = 12, o_11 = 4, o_01 = o_10 = 2, marginals n_0 = 14, n_1 = 6,
+  // n = 20. D_o = 4, D_e = 2·14·6/19, α = 1 − 4·19/168 = 0.547619…
+  RatingsMatrix ratings = {
+      {R(0), R(1), R(0), R(0), R(0), R(0), R(0), R(0), R(1), R(0), NA, NA},
+      {R(0), R(1), R(1), R(0), R(0), R(1), R(0), R(0), R(1), R(0), NA, NA},
+  };
+  auto alpha = KrippendorffAlpha(ratings, AlphaMetric::kNominal);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_NEAR(alpha.value(), 1.0 - 4.0 * 19.0 / 168.0, 1e-12);
+}
+
+TEST(KrippendorffTest, SystematicDisagreementIsNegative) {
+  // Raters always disagree: α < 0 (worse than chance).
+  RatingsMatrix ratings = {
+      {R(1), R(2), R(1), R(2), R(1), R(2)},
+      {R(2), R(1), R(2), R(1), R(2), R(1)},
+  };
+  auto alpha = KrippendorffAlpha(ratings, AlphaMetric::kNominal);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_LT(alpha.value(), 0.0);
+}
+
+TEST(KrippendorffTest, RandomRatingsNearZero) {
+  Rng rng(5);
+  RatingsMatrix ratings(4, std::vector<std::optional<double>>(300));
+  for (auto& row : ratings) {
+    for (auto& cell : row) cell = static_cast<double>(rng.UniformInt(1, 5));
+  }
+  auto alpha = KrippendorffAlpha(ratings, AlphaMetric::kInterval);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_NEAR(alpha.value(), 0.0, 0.06);
+}
+
+TEST(KrippendorffTest, IntervalPenalizesLargeGapsMore) {
+  // Off-by-one disagreements (interval) hurt less than far-apart ones.
+  RatingsMatrix close = {
+      {R(1), R(2), R(3), R(4), R(5), R(1), R(3)},
+      {R(2), R(3), R(2), R(5), R(4), R(1), R(3)},
+  };
+  RatingsMatrix far = {
+      {R(1), R(2), R(3), R(4), R(5), R(1), R(3)},
+      {R(5), R(5), R(1), R(1), R(1), R(5), R(3)},
+  };
+  auto alpha_close = KrippendorffAlpha(close, AlphaMetric::kInterval);
+  auto alpha_far = KrippendorffAlpha(far, AlphaMetric::kInterval);
+  ASSERT_TRUE(alpha_close.ok());
+  ASSERT_TRUE(alpha_far.ok());
+  EXPECT_GT(alpha_close.value(), alpha_far.value());
+}
+
+TEST(KrippendorffTest, MissingDataTolerated) {
+  RatingsMatrix ratings = {
+      {R(1), R(2), NA, R(4)},
+      {R(1), NA, R(3), R(4)},
+      {NA, R(2), R(3), R(4)},
+  };
+  auto alpha = KrippendorffAlpha(ratings, AlphaMetric::kInterval);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_NEAR(alpha.value(), 1.0, 1e-12);  // All pairable values agree.
+}
+
+TEST(KrippendorffTest, UnpairableUnitsExcluded) {
+  // Unit 1 has a single rating: it cannot contribute.
+  RatingsMatrix with_solo = {
+      {R(1), R(5), R(2)},
+      {R(1), NA, R(2)},
+  };
+  RatingsMatrix without = {
+      {R(1), R(2)},
+      {R(1), R(2)},
+  };
+  auto a = KrippendorffAlpha(with_solo, AlphaMetric::kInterval);
+  auto b = KrippendorffAlpha(without, AlphaMetric::kInterval);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(a.value(), b.value(), 1e-12);
+}
+
+TEST(KrippendorffTest, DegenerateInputsRejected) {
+  EXPECT_FALSE(KrippendorffAlpha({}).ok());
+  EXPECT_FALSE(KrippendorffAlpha({{}, {}}).ok());
+  RatingsMatrix ragged = {{R(1), R(2)}, {R(1)}};
+  EXPECT_FALSE(KrippendorffAlpha(ragged).ok());
+  RatingsMatrix all_missing = {{NA, NA}, {NA, NA}};
+  EXPECT_FALSE(KrippendorffAlpha(all_missing).ok());
+  RatingsMatrix no_pairs = {{R(1), NA}, {NA, R(2)}};
+  EXPECT_FALSE(KrippendorffAlpha(no_pairs).ok());
+}
+
+TEST(KrippendorffTest, OrdinalDiffersFromInterval) {
+  // With skewed marginals, ordinal and interval metrics disagree.
+  RatingsMatrix ratings = {
+      {R(1), R(1), R(1), R(1), R(5), R(2)},
+      {R(1), R(1), R(1), R(2), R(4), R(2)},
+  };
+  auto ordinal = KrippendorffAlpha(ratings, AlphaMetric::kOrdinal);
+  auto interval = KrippendorffAlpha(ratings, AlphaMetric::kInterval);
+  ASSERT_TRUE(ordinal.ok());
+  ASSERT_TRUE(interval.ok());
+  EXPECT_NE(ordinal.value(), interval.value());
+  EXPECT_GE(ordinal.value(), -1.0);
+  EXPECT_LE(ordinal.value(), 1.0);
+}
+
+}  // namespace
+}  // namespace comparesets

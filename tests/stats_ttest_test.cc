@@ -1,0 +1,112 @@
+#include "stats/ttest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace comparesets {
+namespace {
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(IncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(IncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetricIdentity) {
+  // I_x(a, b) = 1 − I_{1−x}(b, a).
+  for (double x : {0.1, 0.3, 0.5, 0.8}) {
+    EXPECT_NEAR(IncompleteBeta(2.5, 1.5, x),
+                1.0 - IncompleteBeta(1.5, 2.5, 1.0 - x), 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.2, 0.5, 0.9}) {
+    EXPECT_NEAR(IncompleteBeta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(StudentTTest, KnownCriticalValues) {
+  // Two-sided p for t = 2.0 with df = 10 is ~0.0734; t = 2.228, df = 10
+  // gives p ≈ 0.05 (classic table value).
+  EXPECT_NEAR(StudentTTwoSidedPValue(2.0, 10.0), 0.0734, 5e-4);
+  EXPECT_NEAR(StudentTTwoSidedPValue(2.228, 10.0), 0.05, 2e-3);
+  EXPECT_NEAR(StudentTTwoSidedPValue(0.0, 5.0), 1.0, 1e-12);
+}
+
+TEST(StudentTTest, SymmetricInT) {
+  EXPECT_NEAR(StudentTTwoSidedPValue(1.7, 8.0),
+              StudentTTwoSidedPValue(-1.7, 8.0), 1e-12);
+}
+
+TEST(StudentTTest, LargeDfApproachesNormal) {
+  // t = 1.96 with huge df: p ≈ 0.05.
+  EXPECT_NEAR(StudentTTwoSidedPValue(1.96, 100000.0), 0.05, 1e-3);
+}
+
+TEST(PairedTTestTest, ClearDifferenceIsSignificant) {
+  std::vector<double> a;
+  std::vector<double> b;
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    double base = rng.Normal(0.0, 1.0);
+    a.push_back(base + 1.0);  // Consistent +1 shift.
+    b.push_back(base);
+  }
+  TTestResult result = PairedTTest(a, b);
+  EXPECT_NEAR(result.mean_difference, 1.0, 1e-9);
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_TRUE(result.Significant());
+  EXPECT_DOUBLE_EQ(result.degrees_of_freedom, 29.0);
+}
+
+TEST(PairedTTestTest, NoisyEqualMeansNotSignificant) {
+  std::vector<double> a;
+  std::vector<double> b;
+  Rng rng(2);
+  for (int i = 0; i < 40; ++i) {
+    a.push_back(rng.Normal(0.0, 1.0));
+    b.push_back(rng.Normal(0.0, 1.0));
+  }
+  TTestResult result = PairedTTest(a, b);
+  EXPECT_GT(result.p_value, 0.05);
+  EXPECT_FALSE(result.Significant());
+}
+
+TEST(PairedTTestTest, IdenticalSeriesDegenerate) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  TTestResult result = PairedTTest(a, a);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+  EXPECT_DOUBLE_EQ(result.mean_difference, 0.0);
+  EXPECT_FALSE(result.Significant());
+}
+
+TEST(PairedTTestTest, ConstantShiftDegenerate) {
+  // Differences are constant nonzero: zero variance, p = 0.
+  std::vector<double> a = {2.0, 3.0, 4.0};
+  std::vector<double> b = {1.0, 2.0, 3.0};
+  TTestResult result = PairedTTest(a, b);
+  EXPECT_DOUBLE_EQ(result.p_value, 0.0);
+  EXPECT_TRUE(result.Significant());
+}
+
+TEST(PairedTTestTest, PairedBeatsUnpairedIntuition) {
+  // Large shared variance but consistent small improvement: paired test
+  // detects it (this is why the paper uses paired significance).
+  std::vector<double> a;
+  std::vector<double> b;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    double shared = rng.Normal(0.0, 10.0);
+    a.push_back(shared + 0.2 + rng.Normal(0.0, 0.05));
+    b.push_back(shared);
+  }
+  TTestResult result = PairedTTest(a, b);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+}  // namespace
+}  // namespace comparesets

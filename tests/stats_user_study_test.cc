@@ -1,0 +1,133 @@
+#include "stats/user_study.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace comparesets {
+namespace {
+
+std::vector<ExampleProxies> UniformProxies(double quality, size_t count = 9) {
+  std::vector<ExampleProxies> out(count);
+  for (ExampleProxies& proxies : out) {
+    proxies.similarity = quality;
+    proxies.informativeness = quality;
+    proxies.comparability = quality;
+  }
+  return out;
+}
+
+TEST(UserStudyTest, HigherQualityGivesHigherMeans) {
+  UserStudyConfig config;
+  auto low = SimulateUserStudy(UniformProxies(0.15), config);
+  auto high = SimulateUserStudy(UniformProxies(0.8), config);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_GT(high.value().q1_mean, low.value().q1_mean);
+  EXPECT_GT(high.value().q2_mean, low.value().q2_mean);
+  EXPECT_GT(high.value().q3_mean, low.value().q3_mean);
+}
+
+TEST(UserStudyTest, MeansWithinLikertRange) {
+  for (double quality : {0.0, 0.4, 1.0}) {
+    auto result = SimulateUserStudy(UniformProxies(quality));
+    ASSERT_TRUE(result.ok());
+    for (double mean : {result.value().q1_mean, result.value().q2_mean,
+                        result.value().q3_mean}) {
+      EXPECT_GE(mean, 1.0);
+      EXPECT_LE(mean, 5.0);
+    }
+  }
+}
+
+TEST(UserStudyTest, CoherentSelectionsGetHigherAgreement) {
+  // The Table 7 mechanism: coherent (high similarity) examples produce
+  // higher Krippendorff α than incoherent ones.
+  UserStudyConfig config;
+  auto coherent = SimulateUserStudy(UniformProxies(0.85), config);
+  auto incoherent = SimulateUserStudy(UniformProxies(0.05), config);
+  ASSERT_TRUE(coherent.ok());
+  ASSERT_TRUE(incoherent.ok());
+  EXPECT_GT(coherent.value().alpha, incoherent.value().alpha);
+}
+
+TEST(UserStudyTest, AlphaWithinBounds) {
+  for (double quality : {0.1, 0.5, 0.9}) {
+    auto result = SimulateUserStudy(UniformProxies(quality));
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result.value().alpha, -1.0);
+    EXPECT_LE(result.value().alpha, 1.0);
+  }
+}
+
+TEST(UserStudyTest, DeterministicUnderSeed) {
+  UserStudyConfig config;
+  config.seed = 77;
+  auto a = SimulateUserStudy(UniformProxies(0.5), config);
+  auto b = SimulateUserStudy(UniformProxies(0.5), config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value().q1_mean, b.value().q1_mean);
+  EXPECT_DOUBLE_EQ(a.value().alpha, b.value().alpha);
+}
+
+TEST(UserStudyTest, InvalidConfigsRejected) {
+  EXPECT_FALSE(SimulateUserStudy({}).ok());
+  UserStudyConfig config;
+  config.annotators_per_example = 20;
+  config.num_annotators = 15;
+  EXPECT_FALSE(SimulateUserStudy(UniformProxies(0.5), config).ok());
+}
+
+class ProxiesTest : public ::testing::Test {
+ protected:
+  ProxiesTest()
+      : corpus_(testing::WorkingExampleCorpus()),
+        instance_(testing::WorkingExampleInstance(corpus_)),
+        vectors_(BuildInstanceVectors(OpinionModel::Binary(5), instance_)) {}
+
+  Corpus corpus_;
+  ProblemInstance instance_;
+  InstanceVectors vectors_;
+};
+
+TEST_F(ProxiesTest, ProxiesInUnitInterval) {
+  std::vector<Selection> selections = {{0, 1, 2}, {0, 1}, {2, 3}};
+  ExampleProxies proxies =
+      ComputeExampleProxies(vectors_, selections, {0, 1, 2});
+  for (double v : {proxies.similarity, proxies.informativeness,
+                   proxies.comparability}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST_F(ProxiesTest, AlignedSelectionsScoreHigherSimilarity) {
+  // Review index 2 of the comparatives covers battery/lens (target-ish
+  // aspects); index 3 is price-only.
+  std::vector<Selection> aligned = {{0}, {2}, {2}};
+  std::vector<Selection> misaligned = {{0}, {3}, {3}};
+  ExampleProxies a = ComputeExampleProxies(vectors_, aligned, {0, 1, 2});
+  ExampleProxies b = ComputeExampleProxies(vectors_, misaligned, {0, 1, 2});
+  EXPECT_GT(a.similarity, b.similarity);
+  EXPECT_GT(a.comparability, b.comparability);
+}
+
+TEST_F(ProxiesTest, FullSelectionMaximizesInformativeness) {
+  std::vector<Selection> full = {{0, 1, 2, 3, 4, 5},
+                                 {0, 1, 2, 3, 4},
+                                 {0, 1, 2, 3, 4}};
+  ExampleProxies proxies = ComputeExampleProxies(vectors_, full, {0, 1, 2});
+  EXPECT_NEAR(proxies.informativeness, 1.0, 1e-9);
+}
+
+TEST_F(ProxiesTest, SubsetOfItemsRespected) {
+  std::vector<Selection> selections = {{0}, {2}, {3}};
+  ExampleProxies pair = ComputeExampleProxies(vectors_, selections, {0, 1});
+  ExampleProxies trio = ComputeExampleProxies(vectors_, selections, {0, 1, 2});
+  // Adding the misaligned third item dilutes comparability.
+  EXPECT_GE(pair.comparability, trio.comparability);
+}
+
+}  // namespace
+}  // namespace comparesets

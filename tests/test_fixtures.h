@@ -1,0 +1,120 @@
+// Shared corpus fixtures for the test suite, including a faithful
+// reconstruction of the paper's Working Example (Figure 2).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "data/review.h"
+#include "opinion/opinion_model.h"
+#include "opinion/vectors.h"
+
+namespace comparesets {
+namespace testing {
+
+// Aspect ids of the working-example catalog, in the paper's order.
+inline constexpr AspectId kBattery = 0;
+inline constexpr AspectId kLens = 1;
+inline constexpr AspectId kQuality = 2;
+inline constexpr AspectId kPrice = 3;
+inline constexpr AspectId kShuttle = 4;
+
+/// Builds a review with the given (aspect, polarity) mentions.
+inline Review MakeReview(
+    std::string id,
+    const std::vector<std::pair<AspectId, Polarity>>& mentions,
+    std::string text = "") {
+  Review review;
+  review.id = std::move(id);
+  review.text = std::move(text);
+  for (const auto& [aspect, polarity] : mentions) {
+    review.opinions.push_back({aspect, polarity, 1.0});
+  }
+  return review;
+}
+
+constexpr Polarity kPos = Polarity::kPositive;
+constexpr Polarity kNeg = Polarity::kNegative;
+
+/// Target item p1 of Working Example 1, rebuilt so the paper's exact
+/// vectors hold:
+///   τ1 = (2/6, 4/6, 2/6, 2/6, 2/6, 2/6, 0, 0, 0, 0)
+///   Γ  = (6/6, 4/6, 4/6, 0, 0)
+/// Six reviews in two annotation-identical triples; selecting either
+/// triple reproduces τ1 and Γ exactly (zero Eq. 3 cost), mirroring the
+/// paper's S1 = {r5, r6, r7}.
+inline Product WorkingExampleTarget() {
+  Product p;
+  p.id = "p1";
+  p.title = "working example target";
+  p.reviews.push_back(MakeReview(
+      "r1", {{kBattery, kPos}, {kLens, kPos}, {kQuality, kPos}},
+      "the battery is great and the lens and quality are excellent"));
+  p.reviews.push_back(MakeReview(
+      "r2", {{kBattery, kNeg}, {kLens, kNeg}, {kQuality, kNeg}},
+      "the battery is poor and the lens and quality are terrible"));
+  p.reviews.push_back(
+      MakeReview("r3", {{kBattery, kNeg}}, "the battery is disappointing"));
+  p.reviews.push_back(MakeReview(
+      "r4", {{kBattery, kPos}, {kLens, kPos}, {kQuality, kPos}},
+      "battery lens and quality all work perfectly"));
+  p.reviews.push_back(MakeReview(
+      "r5", {{kBattery, kNeg}, {kLens, kNeg}, {kQuality, kNeg}},
+      "battery lens and quality are all bad"));
+  p.reviews.push_back(
+      MakeReview("r6", {{kBattery, kNeg}}, "the battery broke quickly"));
+  return p;
+}
+
+/// Comparative item with reviews over {quality, price} plus one review
+/// covering battery/lens so CompaReSetS has aspect-aligned choices.
+inline Product WorkingExampleComparative(const std::string& id) {
+  Product p;
+  p.id = id;
+  p.title = "working example comparative " + id;
+  p.reviews.push_back(MakeReview(
+      id + "-r1", {{kQuality, kPos}, {kPrice, kPos}},
+      "the quality is great and the price is excellent"));
+  p.reviews.push_back(MakeReview(
+      id + "-r2", {{kQuality, kNeg}, {kPrice, kNeg}},
+      "the quality is poor and the price is terrible"));
+  p.reviews.push_back(MakeReview(
+      id + "-r3", {{kBattery, kPos}, {kLens, kPos}},
+      "the battery is great and the lens is perfect"));
+  p.reviews.push_back(MakeReview(
+      id + "-r4", {{kPrice, kNeg}}, "the price is disappointing"));
+  p.reviews.push_back(MakeReview(
+      id + "-r5", {{kBattery, kNeg}, {kQuality, kPos}},
+      "the battery is bad but the quality is great"));
+  return p;
+}
+
+/// Full working-example corpus: target + two comparatives, catalog in
+/// the paper's aspect order.
+inline Corpus WorkingExampleCorpus() {
+  Corpus corpus("WorkingExample");
+  corpus.catalog().Intern("battery");
+  corpus.catalog().Intern("lens");
+  corpus.catalog().Intern("quality");
+  corpus.catalog().Intern("price");
+  corpus.catalog().Intern("shuttle");
+  Product target = WorkingExampleTarget();
+  target.also_bought = {"p2", "p3"};
+  corpus.AddProduct(std::move(target)).CheckOK();
+  corpus.AddProduct(WorkingExampleComparative("p2")).CheckOK();
+  corpus.AddProduct(WorkingExampleComparative("p3")).CheckOK();
+  corpus.Finalize();
+  return corpus;
+}
+
+/// Instance over the working-example corpus (p1 target, p2/p3 compare).
+inline ProblemInstance WorkingExampleInstance(const Corpus& corpus) {
+  ProblemInstance instance;
+  instance.items = {corpus.Find("p1"), corpus.Find("p2"), corpus.Find("p3")};
+  return instance;
+}
+
+}  // namespace testing
+}  // namespace comparesets

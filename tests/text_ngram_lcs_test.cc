@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "text/lcs.h"
+#include "text/ngram.h"
+
+namespace comparesets {
+namespace {
+
+std::vector<std::string> Words(std::initializer_list<const char*> words) {
+  return std::vector<std::string>(words.begin(), words.end());
+}
+
+TEST(NgramTest, UnigramCounts) {
+  NgramCounts counts = CountNgrams(Words({"a", "b", "a"}), 1);
+  EXPECT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts.at("a"), 2);
+  EXPECT_EQ(counts.at("b"), 1);
+}
+
+TEST(NgramTest, BigramCounts) {
+  NgramCounts counts = CountNgrams(Words({"a", "b", "a", "b"}), 2);
+  EXPECT_EQ(TotalCount(counts), 3);
+  EXPECT_EQ(counts.at(std::string("a") + '\x1f' + "b"), 2);
+  EXPECT_EQ(counts.at(std::string("b") + '\x1f' + "a"), 1);
+}
+
+TEST(NgramTest, OrderLargerThanSequenceIsEmpty) {
+  EXPECT_TRUE(CountNgrams(Words({"a", "b"}), 3).empty());
+  EXPECT_TRUE(CountNgrams({}, 1).empty());
+  EXPECT_TRUE(CountNgrams(Words({"a"}), 0).empty());
+}
+
+TEST(NgramTest, SeparatorPreventsCollisions) {
+  // Tokens "ab"+"c" must not collide with "a"+"bc".
+  NgramCounts left = CountNgrams(Words({"ab", "c"}), 2);
+  NgramCounts right = CountNgrams(Words({"a", "bc"}), 2);
+  EXPECT_EQ(ClippedOverlap(left, right), 0);
+}
+
+TEST(ClippedOverlapTest, ClipsAtMinimumCount) {
+  NgramCounts a = CountNgrams(Words({"x", "x", "x", "y"}), 1);
+  NgramCounts b = CountNgrams(Words({"x", "y", "y"}), 1);
+  // min(3,1) for x + min(1,2) for y = 2.
+  EXPECT_EQ(ClippedOverlap(a, b), 2);
+  EXPECT_EQ(ClippedOverlap(b, a), 2);  // Symmetric.
+}
+
+TEST(ClippedOverlapTest, DisjointIsZero) {
+  NgramCounts a = CountNgrams(Words({"p"}), 1);
+  NgramCounts b = CountNgrams(Words({"q"}), 1);
+  EXPECT_EQ(ClippedOverlap(a, b), 0);
+  EXPECT_EQ(ClippedOverlap(a, {}), 0);
+}
+
+TEST(LcsTest, ClassicExamples) {
+  EXPECT_EQ(LcsLength(Words({"a", "b", "c", "d"}), Words({"a", "c", "d"})), 3u);
+  EXPECT_EQ(LcsLength(Words({"a", "b"}), Words({"b", "a"})), 1u);
+  EXPECT_EQ(LcsLength(Words({"x"}), Words({"y"})), 0u);
+}
+
+TEST(LcsTest, EmptySequences) {
+  EXPECT_EQ(LcsLength({}, Words({"a"})), 0u);
+  EXPECT_EQ(LcsLength(Words({"a"}), {}), 0u);
+  EXPECT_EQ(LcsLength({}, {}), 0u);
+}
+
+TEST(LcsTest, IdenticalSequences) {
+  auto seq = Words({"the", "battery", "is", "great"});
+  EXPECT_EQ(LcsLength(seq, seq), seq.size());
+}
+
+TEST(LcsTest, SubsequenceNotSubstring) {
+  // LCS is order-preserving but not contiguous.
+  EXPECT_EQ(LcsLength(Words({"a", "x", "b", "y", "c"}),
+                      Words({"a", "b", "c"})),
+            3u);
+}
+
+TEST(LcsTest, Symmetric) {
+  auto a = Words({"one", "two", "three", "four", "five"});
+  auto b = Words({"two", "five", "one", "three"});
+  EXPECT_EQ(LcsLength(a, b), LcsLength(b, a));
+}
+
+TEST(LcsTest, RepeatedTokens) {
+  EXPECT_EQ(LcsLength(Words({"a", "a", "a"}), Words({"a", "a"})), 2u);
+}
+
+TEST(LcsTest, UpperBoundedByShorterLength) {
+  auto a = Words({"a", "b", "c", "d", "e", "f"});
+  auto b = Words({"c", "d"});
+  EXPECT_LE(LcsLength(a, b), b.size());
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,96 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include "text/stopwords.h"
+
+namespace comparesets {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplitsOnPunctuation) {
+  EXPECT_EQ(Tokenize("Hello, World! It's GREAT."),
+            (std::vector<std::string>{"hello", "world", "its", "great"}));
+}
+
+TEST(TokenizerTest, KeepsNumbers) {
+  EXPECT_EQ(Tokenize("rated 4 out of 5 stars"),
+            (std::vector<std::string>{"rated", "4", "out", "of", "5",
+                                      "stars"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... !!! ---").empty());
+}
+
+TEST(TokenizerTest, ApostrophesDropped) {
+  EXPECT_EQ(Tokenize("don't can't"),
+            (std::vector<std::string>{"dont", "cant"}));
+}
+
+TEST(TokenizerTest, MinTokenLengthFilters) {
+  TokenizerOptions options;
+  options.min_token_length = 3;
+  EXPECT_EQ(Tokenize("a big cat on tv", options),
+            (std::vector<std::string>{"big", "cat"}));
+}
+
+TEST(TokenizerTest, NoLowercaseOption) {
+  TokenizerOptions options;
+  options.lowercase = false;
+  EXPECT_EQ(Tokenize("Hello World", options),
+            (std::vector<std::string>{"Hello", "World"}));
+}
+
+TEST(LightStemTest, StripsCommonSuffixes) {
+  EXPECT_EQ(LightStem("batteries"), "battery");
+  EXPECT_EQ(LightStem("chargers"), "charger");
+  EXPECT_EQ(LightStem("charging"), "charg");
+  EXPECT_EQ(LightStem("worked"), "work");
+  EXPECT_EQ(LightStem("boxes"), "boxe");  // Conservative: only drops 's'-ish.
+}
+
+TEST(LightStemTest, LeavesShortAndSafeWordsAlone) {
+  EXPECT_EQ(LightStem("is"), "is");
+  EXPECT_EQ(LightStem("was"), "was");
+  EXPECT_EQ(LightStem("less"), "less");  // Double-s protected.
+  EXPECT_EQ(LightStem("bed"), "bed");
+}
+
+TEST(TokenizerTest, StemmingAppliedWhenEnabled) {
+  TokenizerOptions options;
+  options.light_stem = true;
+  std::vector<std::string> tokens = Tokenize("the batteries worked", options);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"the", "battery", "work"}));
+}
+
+TEST(SplitSentencesTest, SplitsOnTerminators) {
+  EXPECT_EQ(
+      SplitSentences("First one. Second!  Third? done"),
+      (std::vector<std::string>{"First one", "Second", "Third", "done"}));
+}
+
+TEST(SplitSentencesTest, EmptySentencesDropped) {
+  EXPECT_EQ(SplitSentences("Hi.. . !"), (std::vector<std::string>{"Hi"}));
+  EXPECT_TRUE(SplitSentences("").empty());
+}
+
+TEST(StopwordsTest, CommonWordsAreStopwords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_TRUE(IsStopword("dont"));
+  EXPECT_TRUE(IsStopword("myself"));
+}
+
+TEST(StopwordsTest, ContentWordsAreNot) {
+  EXPECT_FALSE(IsStopword("battery"));
+  EXPECT_FALSE(IsStopword("great"));
+  EXPECT_FALSE(IsStopword("puzzle"));
+}
+
+TEST(StopwordsTest, SetIsNonTrivial) {
+  EXPECT_GT(EnglishStopwords().size(), 100u);
+}
+
+}  // namespace
+}  // namespace comparesets

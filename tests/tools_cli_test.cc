@@ -1,0 +1,106 @@
+// Integration tests for the comparesets CLI binary: each subcommand is
+// executed as a child process and its output checked. The binary path
+// is injected by CMake (COMPARESETS_CLI_PATH).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace comparesets {
+namespace {
+
+#ifndef COMPARESETS_CLI_PATH
+#error "COMPARESETS_CLI_PATH must be defined by the build"
+#endif
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult RunCli(const std::string& arguments) {
+  std::string command =
+      std::string(COMPARESETS_CLI_PATH) + " " + arguments + " 2>&1";
+  CommandResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  size_t read_bytes;
+  while ((read_bytes = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), read_bytes);
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(CliTest, NoArgumentsPrintsUsageAndFails) {
+  CommandResult result = RunCli("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("Usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandPrintsUsageAndFails) {
+  CommandResult result = RunCli("frobnicate");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("Usage:"), std::string::npos);
+}
+
+TEST(CliTest, StatsPrintsTable2Rows) {
+  CommandResult result = RunCli("stats --category Toy --products 40");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("Dataset: Toy"), std::string::npos);
+  EXPECT_NE(result.output.find("#Product:"), std::string::npos);
+  EXPECT_NE(result.output.find("Avg. #Comparison Product:"),
+            std::string::npos);
+}
+
+TEST(CliTest, SelectPrintsSelections) {
+  CommandResult result =
+      RunCli("select --products 40 --m 2 --algorithm CompaReSetS");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("[target]"), std::string::npos);
+  EXPECT_NE(result.output.find("[compare]"), std::string::npos);
+  EXPECT_NE(result.output.find("Alignment:"), std::string::npos);
+}
+
+TEST(CliTest, NarrowReportsCoreList) {
+  CommandResult result = RunCli("narrow --products 40 --k 3 --m 2");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("Core list: 3 of"), std::string::npos);
+}
+
+TEST(CliTest, BadFlagFails) {
+  CommandResult result = RunCli("select --bogus 1");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown flag"), std::string::npos);
+}
+
+TEST(CliTest, ExportWritesFilesReadableBySelect) {
+  std::string prefix = ::testing::TempDir() + "/comparesets_cli_export";
+  CommandResult exported =
+      RunCli("export --products 30 --prefix " + prefix);
+  EXPECT_EQ(exported.exit_code, 0);
+
+  CommandResult selected = RunCli("select --m 2 --reviews " + prefix +
+                               ".reviews.jsonl --metadata " + prefix +
+                               ".metadata.jsonl");
+  EXPECT_EQ(selected.exit_code, 0);
+  EXPECT_NE(selected.output.find("[target]"), std::string::npos);
+  for (const char* suffix :
+       {".reviews.jsonl", ".metadata.jsonl", ".annotations.jsonl"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(CliTest, HelpListsFlags) {
+  CommandResult result = RunCli("select --help");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("--algorithm"), std::string::npos);
+  EXPECT_NE(result.output.find("--lambda"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,100 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace comparesets {
+namespace {
+
+TEST(CsvParseTest, SimpleRows) {
+  auto rows = ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0], (CsvRow{"a", "b", "c"}));
+  EXPECT_EQ(rows.value()[1], (CsvRow{"1", "2", "3"}));
+}
+
+TEST(CsvParseTest, MissingTrailingNewline) {
+  auto rows = ParseCsv("a,b\nc,d");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvParseTest, QuotedFieldsWithSeparatorsAndQuotes) {
+  auto rows = ParseCsv("\"a,b\",\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0], (CsvRow{"a,b", "say \"hi\""}));
+}
+
+TEST(CsvParseTest, EmbeddedNewlineInsideQuotes) {
+  auto rows = ParseCsv("\"line1\nline2\",x\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0][0], "line1\nline2");
+}
+
+TEST(CsvParseTest, CrLfRowTermination) {
+  auto rows = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+}
+
+TEST(CsvParseTest, EmptyFields) {
+  auto rows = ParseCsv(",,\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value()[0], (CsvRow{"", "", ""}));
+}
+
+TEST(CsvParseTest, UnterminatedQuoteIsError) {
+  auto rows = ParseCsv("\"abc\n");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvParseTest, TabSeparator) {
+  auto rows = ParseCsv("a\tb\nc\td\n", '\t');
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value()[0], (CsvRow{"a", "b"}));
+}
+
+TEST(CsvWriteTest, RoundTripsThroughParse) {
+  std::vector<CsvRow> rows = {
+      {"plain", "with,comma", "with \"quote\""},
+      {"new\nline", "", "last"},
+  };
+  auto parsed = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), rows);
+}
+
+TEST(CsvFileTest, WriteThenReadFile) {
+  std::string path = ::testing::TempDir() + "/comparesets_csv_test.csv";
+  std::vector<CsvRow> rows = {{"h1", "h2"}, {"1", "x,y"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIOError) {
+  auto read = ReadCsvFile("/nonexistent/definitely/missing.csv");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+TEST(FileStringTest, RoundTrip) {
+  std::string path = ::testing::TempDir() + "/comparesets_blob_test.bin";
+  std::string content = "binary\0data\nwith lines";
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), content);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace comparesets

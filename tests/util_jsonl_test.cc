@@ -1,0 +1,108 @@
+#include "util/jsonl.h"
+
+#include <gtest/gtest.h>
+
+namespace comparesets {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null").ValueOrDie().is_null());
+  EXPECT_TRUE(ParseJson("true").ValueOrDie().as_bool());
+  EXPECT_FALSE(ParseJson("false").ValueOrDie().as_bool());
+  EXPECT_DOUBLE_EQ(ParseJson("3.5").ValueOrDie().as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseJson("-17").ValueOrDie().as_number(), -17.0);
+  EXPECT_DOUBLE_EQ(ParseJson("1e3").ValueOrDie().as_number(), 1000.0);
+  EXPECT_EQ(ParseJson("\"hi\"").ValueOrDie().as_string(), "hi");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = ParseJson(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParseTest, UnicodeEscapeUtf8) {
+  auto v = ParseJson("\"\\u00e9\\u4e2d\"");  // é + 中 as \\u escapes.
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().as_string(), "\xC3\xA9\xE4\xB8\xAD");
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  auto v = ParseJson(R"({"a": [1, 2, {"b": true}], "c": null})");
+  ASSERT_TRUE(v.ok());
+  const JsonValue& root = v.value();
+  ASSERT_TRUE(root.is_object());
+  const JsonValue* a = root.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_TRUE(a->as_array()[2].Find("b")->as_bool());
+  EXPECT_TRUE(root.Find("c")->is_null());
+  EXPECT_EQ(root.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, WhitespaceTolerated) {
+  auto v = ParseJson("  { \"k\" :\n[ 1 , 2 ]\t} ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().Find("k")->as_array().size(), 2u);
+}
+
+TEST(JsonParseTest, Errors) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());  // Trailing content.
+  EXPECT_FALSE(ParseJson(R"("\u00g1")").ok());
+}
+
+TEST(JsonDumpTest, RoundTripsValues) {
+  std::string doc =
+      R"({"arr":[1,2.5,"s"],"b":false,"n":null,"nested":{"x":3}})";
+  auto v = ParseJson(doc);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().Dump(), doc);
+}
+
+TEST(JsonDumpTest, EscapesControlCharacters) {
+  JsonValue v(std::string("a\nb\"c\x01"));
+  EXPECT_EQ(v.Dump(), "\"a\\nb\\\"c\\u0001\"");
+}
+
+TEST(JsonDumpTest, IntegersPrintWithoutDecimal) {
+  EXPECT_EQ(JsonValue(42).Dump(), "42");
+  EXPECT_EQ(JsonValue(42.5).Dump(), "42.5");
+}
+
+TEST(JsonGettersTest, TypedAccessWithFallbacks) {
+  auto v = ParseJson(R"({"s":"text","n":4.0})").ValueOrDie();
+  EXPECT_EQ(v.GetString("s"), "text");
+  EXPECT_EQ(v.GetString("missing", "dflt"), "dflt");
+  EXPECT_EQ(v.GetString("n", "dflt"), "dflt");  // Wrong type => fallback.
+  EXPECT_DOUBLE_EQ(v.GetNumber("n"), 4.0);
+  EXPECT_DOUBLE_EQ(v.GetNumber("s", -1.0), -1.0);
+}
+
+TEST(JsonLinesTest, ParsesOnePerLine) {
+  auto values = ParseJsonLines("{\"a\":1}\n\n{\"a\":2}\n{\"a\":3}");
+  ASSERT_TRUE(values.ok());
+  ASSERT_EQ(values.value().size(), 3u);
+  EXPECT_DOUBLE_EQ(values.value()[1].GetNumber("a"), 2.0);
+}
+
+TEST(JsonLinesTest, ReportsLineNumberOnError) {
+  auto values = ParseJsonLines("{\"a\":1}\n{bad}\n");
+  ASSERT_FALSE(values.ok());
+  EXPECT_NE(values.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(JsonLinesTest, EmptyInputYieldsNothing) {
+  auto values = ParseJsonLines("");
+  ASSERT_TRUE(values.ok());
+  EXPECT_TRUE(values.value().empty());
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,183 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace comparesets {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123, 1);
+  Rng b(123, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1, 1);
+  Rng b(2, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, DifferentStreamsDiffer) {
+  Rng a(1, 1);
+  Rng b(1, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformU32StaysInBounds) {
+  Rng rng(7);
+  for (uint32_t bound : {1u, 2u, 7u, 100u, 1000000u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformU32(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    int v = rng.UniformInt(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // All 6 values appear in 500 draws.
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMomentsRoughlyStandard) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / kSamples;
+  double variance = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(variance, 1.0, 0.05);
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng rng(17);
+  for (double shape : {0.5, 1.0, 2.5, 8.0}) {
+    double sum = 0.0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i) sum += rng.Gamma(shape);
+    EXPECT_NEAR(sum / kSamples, shape, shape * 0.06) << "shape=" << shape;
+  }
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);  // Zero-weight bucket never drawn.
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.35);
+}
+
+TEST(RngTest, DirichletSumsToOne) {
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> sample = rng.Dirichlet({1.0, 2.0, 0.5, 4.0});
+    double total = 0.0;
+    for (double v : sample) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(RngTest, DirichletMeanTracksConcentration) {
+  Rng rng(29);
+  std::vector<double> alpha = {1.0, 3.0};
+  double sum_first = 0.0;
+  constexpr int kSamples = 8000;
+  for (int i = 0; i < kSamples; ++i) sum_first += rng.Dirichlet(alpha)[0];
+  EXPECT_NEAR(sum_first / kSamples, 0.25, 0.02);
+}
+
+TEST(RngTest, PoissonMeanMatchesLambda) {
+  Rng rng(31);
+  for (double lambda : {0.5, 3.0, 25.0, 80.0}) {
+    double sum = 0.0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i) sum += rng.Poisson(lambda);
+    EXPECT_NEAR(sum / kSamples, lambda, std::max(0.05, lambda * 0.04))
+        << "lambda=" << lambda;
+  }
+}
+
+TEST(RngTest, GeometricMeanMatchesFormula) {
+  Rng rng(37);
+  double p = 0.25;
+  double sum = 0.0;
+  constexpr int kSamples = 30000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.Geometric(p);
+  EXPECT_NEAR(sum / kSamples, (1.0 - p) / p, 0.1);
+}
+
+TEST(RngTest, GeometricWithPOneIsZero) {
+  Rng rng(41);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.Geometric(1.0), 0);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(43);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<size_t> sample = rng.SampleWithoutReplacement(20, 7);
+    EXPECT_EQ(sample.size(), 7u);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 7u);
+    for (size_t v : sample) EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullPopulation) {
+  Rng rng(47);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(5, 5);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(53);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,108 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace comparesets {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::IOError("disk full");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(status.message(), "disk full");
+  EXPECT_EQ(status.ToString(), "io error: disk full");
+}
+
+TEST(StatusTest, AllFactoryFunctionsProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Timeout("x").code(), StatusCode::kTimeout);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusCodeNameTest, CoversEveryCode) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kTimeout), "timeout");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "parse error");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("missing");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string value = std::move(result).ValueOrDie();
+  EXPECT_EQ(value, "payload");
+}
+
+TEST(ResultTest, OkStatusConversionBecomesInternalError) {
+  Result<int> result = Status::OK();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+Result<int> FailingFunction() { return Status::OutOfRange("nope"); }
+
+Result<int> PropagatingFunction() {
+  COMPARESETS_ASSIGN_OR_RETURN(int v, FailingFunction());
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesErrors) {
+  Result<int> result = PropagatingFunction();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+Result<int> SucceedingFunction() { return 10; }
+
+Result<int> PropagatingSuccess() {
+  COMPARESETS_ASSIGN_OR_RETURN(int v, SucceedingFunction());
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnPassesValuesThrough) {
+  Result<int> result = PropagatingSuccess();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 11);
+}
+
+Status ReturnNotOkHelper(bool fail) {
+  COMPARESETS_RETURN_NOT_OK(fail ? Status::IOError("bad") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(ReturnNotOkHelper(false).ok());
+  EXPECT_EQ(ReturnNotOkHelper(true).code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace comparesets

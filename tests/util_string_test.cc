@@ -1,0 +1,88 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace comparesets {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c,", ','),
+            (std::vector<std::string>{"a", "", "c", ""}));
+}
+
+TEST(SplitTest, EmptyInputIsSingleEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitWhitespaceTest, CollapsesRuns) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\n\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitWhitespaceTest, EmptyAndAllWhitespace) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace(" \t\n ").empty());
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+}
+
+TEST(JoinTest, EmptyAndSingle) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\nhello"), "hello");
+  EXPECT_EQ(Trim("hello"), "hello");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("HeLLo 123 World!"), "hello 123 world!");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("comparesets", "compare"));
+  EXPECT_FALSE(StartsWith("compare", "comparesets"));
+  EXPECT_TRUE(EndsWith("review.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", "review.csv"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringPrintfTest, FormatsLikePrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s-%.2f", 7, "abc", 1.5), "7-abc-1.50");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+}
+
+TEST(StringPrintfTest, LongOutput) {
+  std::string long_str(500, 'x');
+  EXPECT_EQ(StringPrintf("%s!", long_str.c_str()), long_str + "!");
+}
+
+TEST(FormatDoubleTest, Decimals) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+  EXPECT_EQ(FormatDouble(-0.125, 3), "-0.125");
+}
+
+TEST(FormatWithCommasTest, GroupsThousands) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(-9876543), "-9,876,543");
+}
+
+}  // namespace
+}  // namespace comparesets

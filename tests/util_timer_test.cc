@@ -1,0 +1,45 @@
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace comparesets {
+namespace {
+
+TEST(TimerTest, ElapsedGrowsMonotonically) {
+  Timer timer;
+  double first = timer.ElapsedSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double second = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GT(second, first);
+  EXPECT_GE(timer.ElapsedMicros(), 5000);
+}
+
+TEST(TimerTest, RestartResetsClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.004);
+}
+
+TEST(DeadlineTest, ExpiresAfterBudget) {
+  Deadline deadline(0.005);
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_GT(deadline.RemainingSeconds(), 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_LE(deadline.RemainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetNeverExpires) {
+  Deadline unlimited(0.0);
+  EXPECT_FALSE(unlimited.Expired());
+  EXPECT_GT(unlimited.RemainingSeconds(), 1e20);
+  Deadline negative(-1.0);
+  EXPECT_FALSE(negative.Expired());
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,207 @@
+// comparesets — command-line front-end to the full pipeline.
+//
+//   comparesets stats   [--category C | --reviews F --metadata F]
+//   comparesets select  [data flags] [--target ID] [--algorithm A] [--m N]
+//   comparesets narrow  [data flags] [--target ID] [--k N] [--m N]
+//
+// Data source: either a synthetic category (--category Cellphone|Toy|
+// Clothing, --products N, --seed S) or Amazon-layout JSONL files
+// (--reviews, --metadata). `select` prints the comparative review sets;
+// `narrow` additionally reduces the comparative list to the core k items
+// via the exact TargetHkS solver.
+
+#include <cstdio>
+#include <string>
+
+#include "core/selector.h"
+#include "data/export.h"
+#include "data/loader.h"
+#include "data/statistics.h"
+#include "data/synthetic.h"
+#include "eval/alignment.h"
+#include "graph/targethks_exact.h"
+#include "opinion/vectors.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+using namespace comparesets;
+
+namespace {
+
+void AddDataFlags(FlagParser* flags) {
+  flags->AddString("category", "Cellphone",
+                   "synthetic category (Cellphone|Toy|Clothing)");
+  flags->AddInt("products", 240, "synthetic corpus size");
+  flags->AddInt("seed", 42, "synthetic generator seed");
+  flags->AddString("reviews", "", "Amazon-layout reviews JSONL path");
+  flags->AddString("metadata", "", "Amazon-layout metadata JSONL path");
+}
+
+Result<Corpus> LoadData(const FlagParser& flags) {
+  const std::string& reviews = flags.GetString("reviews");
+  const std::string& metadata = flags.GetString("metadata");
+  if (!reviews.empty() || !metadata.empty()) {
+    if (reviews.empty() || metadata.empty()) {
+      return Status::InvalidArgument(
+          "--reviews and --metadata must be given together");
+    }
+    return LoadAmazonCorpusFromFiles("UserData", reviews, metadata);
+  }
+  COMPARESETS_ASSIGN_OR_RETURN(
+      SyntheticConfig config,
+      DefaultConfig(flags.GetString("category"),
+                    static_cast<size_t>(flags.GetInt("products"))));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  return GenerateCorpus(config);
+}
+
+Result<ProblemInstance> PickInstance(const Corpus& corpus,
+                                     const std::string& target_id) {
+  std::vector<ProblemInstance> instances = corpus.BuildInstances();
+  if (instances.empty()) {
+    return Status::NotFound("corpus yields no problem instances");
+  }
+  if (target_id.empty()) return instances.front();
+  for (ProblemInstance& instance : instances) {
+    if (instance.target().id == target_id) return std::move(instance);
+  }
+  return Status::NotFound("no instance with target id '" + target_id + "'");
+}
+
+void PrintSelections(const ProblemInstance& instance,
+                     const std::vector<Selection>& selections,
+                     const std::vector<size_t>& items) {
+  for (size_t v : items) {
+    const Product& product = *instance.items[v];
+    std::printf("\n%s %s — %s\n", v == 0 ? "[target]" : "[compare]",
+                product.id.c_str(),
+                product.title.empty() ? "(untitled)" : product.title.c_str());
+    for (size_t review_index : selections[v]) {
+      const Review& review = product.reviews[review_index];
+      std::printf("  (%.0f*) %s\n", review.rating, review.text.c_str());
+    }
+  }
+}
+
+int RunStats(const FlagParser& flags) {
+  auto corpus = LoadData(flags);
+  corpus.status().CheckOK();
+  std::printf("%s", ComputeStatistics(corpus.value()).ToString().c_str());
+  return 0;
+}
+
+int RunExport(const FlagParser& flags) {
+  auto corpus = LoadData(flags);
+  corpus.status().CheckOK();
+  const std::string& prefix = flags.GetString("prefix");
+  ExportCorpusFiles(corpus.value(), prefix).CheckOK();
+  std::printf("Wrote %s.reviews.jsonl, %s.metadata.jsonl, "
+              "%s.annotations.jsonl (%zu products, %zu reviews)\n",
+              prefix.c_str(), prefix.c_str(), prefix.c_str(),
+              corpus.value().num_products(), corpus.value().num_reviews());
+  return 0;
+}
+
+int RunSelect(const FlagParser& flags, bool narrow) {
+  auto corpus = LoadData(flags);
+  corpus.status().CheckOK();
+  auto instance = PickInstance(corpus.value(), flags.GetString("target"));
+  instance.status().CheckOK();
+
+  OpinionModel model = OpinionModel::Binary(corpus.value().num_aspects());
+  InstanceVectors vectors = BuildInstanceVectors(model, instance.value());
+
+  SelectorOptions options;
+  options.m = static_cast<size_t>(flags.GetInt("m"));
+  options.lambda = flags.GetDouble("lambda");
+  options.mu = flags.GetDouble("mu");
+  auto selector = MakeSelector(flags.GetString("algorithm"));
+  selector.status().CheckOK();
+  auto result = selector.value()->Select(vectors, options);
+  result.status().CheckOK();
+
+  std::printf("Target %s with %zu comparative products; %s selected up to "
+              "%zu reviews per product (Eq. 5 objective %.4f).\n",
+              instance.value().target().id.c_str(),
+              instance.value().num_items() - 1,
+              flags.GetString("algorithm").c_str(), options.m,
+              result.value().objective);
+
+  std::vector<size_t> items;
+  if (narrow) {
+    size_t k = std::min<size_t>(static_cast<size_t>(flags.GetInt("k")),
+                                instance.value().num_items());
+    SimilarityGraph graph =
+        BuildSimilarityGraph(vectors, result.value().selections,
+                             options.lambda, options.mu);
+    ExactSolverOptions exact_options;
+    exact_options.time_limit_seconds = flags.GetDouble("time_limit");
+    auto core = SolveTargetHksExact(graph, k, exact_options);
+    core.status().CheckOK();
+    std::printf("Core list: %zu of %zu items, weight %.4f%s.\n", k,
+                instance.value().num_items(), core.value().weight,
+                core.value().proven_optimal ? " (proven optimal)" : "");
+    items = core.value().vertices;
+  } else {
+    for (size_t v = 0; v < instance.value().num_items(); ++v) {
+      items.push_back(v);
+    }
+  }
+  PrintSelections(instance.value(), result.value().selections, items);
+
+  AlignmentScores scores = MeasureAlignmentSubset(
+      instance.value(), result.value().selections, items);
+  std::printf("\nAlignment: target-vs-comparative R-L %.2f, among-items "
+              "R-L %.2f (x100)\n",
+              100.0 * scores.target_vs_comparative.rougeL.f1,
+              100.0 * scores.among_items.rougeL.f1);
+  return 0;
+}
+
+void PrintUsage(const char* program) {
+  std::printf(
+      "Usage: %s <stats|select|narrow|export> [flags]\n"
+      "  stats   print Table-2-style dataset statistics\n"
+      "  select  comparative review-set selection for one target\n"
+      "  narrow  select, then reduce to the core k items (TargetHkS)\n"
+      "  export  write the corpus as Amazon-layout JSONL (--prefix)\n"
+      "Run '%s select --help' for flags.\n",
+      program, program);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  if (argc < 2) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+  std::string command = argv[1];
+
+  FlagParser flags;
+  AddDataFlags(&flags);
+  flags.AddString("target", "", "target product id (default: first instance)");
+  flags.AddString("algorithm", "CompaReSetS+",
+                  "Random|Crs|CompaReSetSGreedy|CompaReSetS|CompaReSetS+");
+  flags.AddInt("m", 3, "max reviews per product");
+  flags.AddInt("k", 3, "core-list size (narrow)");
+  flags.AddDouble("lambda", 1.0, "opinion-vs-aspect trade-off");
+  flags.AddDouble("mu", 0.1, "cross-item synchronization weight");
+  flags.AddDouble("time_limit", 10.0, "exact solver budget (s)");
+  flags.AddString("prefix", "corpus", "output path prefix (export)");
+
+  Status parsed = flags.Parse(argc - 1, argv + 1);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) return 0;
+
+  if (command == "stats") return RunStats(flags);
+  if (command == "select") return RunSelect(flags, /*narrow=*/false);
+  if (command == "narrow") return RunSelect(flags, /*narrow=*/true);
+  if (command == "export") return RunExport(flags);
+  PrintUsage(argv[0]);
+  return 2;
+}
