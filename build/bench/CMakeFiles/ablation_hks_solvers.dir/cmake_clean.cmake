@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hks_solvers.dir/ablation_hks_solvers.cc.o"
+  "CMakeFiles/ablation_hks_solvers.dir/ablation_hks_solvers.cc.o.d"
+  "ablation_hks_solvers"
+  "ablation_hks_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hks_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_learned_opinions.dir/ablation_learned_opinions.cc.o"
+  "CMakeFiles/ablation_learned_opinions.dir/ablation_learned_opinions.cc.o.d"
+  "ablation_learned_opinions"
+  "ablation_learned_opinions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_learned_opinions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

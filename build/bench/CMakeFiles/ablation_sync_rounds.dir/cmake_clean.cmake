@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sync_rounds.dir/ablation_sync_rounds.cc.o"
+  "CMakeFiles/ablation_sync_rounds.dir/ablation_sync_rounds.cc.o.d"
+  "ablation_sync_rounds"
+  "ablation_sync_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_sync_rounds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_studies.dir/case_studies.cc.o"
+  "CMakeFiles/case_studies.dir/case_studies.cc.o.d"
+  "case_studies"
+  "case_studies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

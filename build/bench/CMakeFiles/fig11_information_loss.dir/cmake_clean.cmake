@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_information_loss.dir/fig11_information_loss.cc.o"
+  "CMakeFiles/fig11_information_loss.dir/fig11_information_loss.cc.o.d"
+  "fig11_information_loss"
+  "fig11_information_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_information_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

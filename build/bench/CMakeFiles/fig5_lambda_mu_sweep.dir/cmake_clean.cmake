@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_lambda_mu_sweep.dir/fig5_lambda_mu_sweep.cc.o"
+  "CMakeFiles/fig5_lambda_mu_sweep.dir/fig5_lambda_mu_sweep.cc.o.d"
+  "fig5_lambda_mu_sweep"
+  "fig5_lambda_mu_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_lambda_mu_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

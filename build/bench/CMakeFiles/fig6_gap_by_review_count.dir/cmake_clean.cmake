@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_gap_by_review_count.dir/fig6_gap_by_review_count.cc.o"
+  "CMakeFiles/fig6_gap_by_review_count.dir/fig6_gap_by_review_count.cc.o.d"
+  "fig6_gap_by_review_count"
+  "fig6_gap_by_review_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gap_by_review_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_gap_by_review_count.
+# This may be replaced when dependencies are built.

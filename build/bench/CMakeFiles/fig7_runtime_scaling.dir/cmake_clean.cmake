@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_runtime_scaling.dir/fig7_runtime_scaling.cc.o"
+  "CMakeFiles/fig7_runtime_scaling.dir/fig7_runtime_scaling.cc.o.d"
+  "fig7_runtime_scaling"
+  "fig7_runtime_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_runtime_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

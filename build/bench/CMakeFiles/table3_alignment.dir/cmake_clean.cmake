@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_alignment.dir/table3_alignment.cc.o"
+  "CMakeFiles/table3_alignment.dir/table3_alignment.cc.o.d"
+  "table3_alignment"
+  "table3_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_opinion_definitions.dir/table4_opinion_definitions.cc.o"
+  "CMakeFiles/table4_opinion_definitions.dir/table4_opinion_definitions.cc.o.d"
+  "table4_opinion_definitions"
+  "table4_opinion_definitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_opinion_definitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

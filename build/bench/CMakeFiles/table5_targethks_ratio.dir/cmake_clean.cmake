@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_targethks_ratio.dir/table5_targethks_ratio.cc.o"
+  "CMakeFiles/table5_targethks_ratio.dir/table5_targethks_ratio.cc.o.d"
+  "table5_targethks_ratio"
+  "table5_targethks_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_targethks_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

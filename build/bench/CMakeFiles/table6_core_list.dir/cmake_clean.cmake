@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_core_list.dir/table6_core_list.cc.o"
+  "CMakeFiles/table6_core_list.dir/table6_core_list.cc.o.d"
+  "table6_core_list"
+  "table6_core_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_core_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_user_study.dir/table7_user_study.cc.o"
+  "CMakeFiles/table7_user_study.dir/table7_user_study.cc.o.d"
+  "table7_user_study"
+  "table7_user_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_user_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

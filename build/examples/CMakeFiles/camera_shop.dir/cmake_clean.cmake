@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camera_shop.dir/camera_shop.cpp.o"
+  "CMakeFiles/camera_shop.dir/camera_shop.cpp.o.d"
+  "camera_shop"
+  "camera_shop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camera_shop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for camera_shop.
+# This may be replaced when dependencies are built.

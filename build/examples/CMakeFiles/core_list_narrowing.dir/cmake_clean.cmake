@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_list_narrowing.dir/core_list_narrowing.cpp.o"
+  "CMakeFiles/core_list_narrowing.dir/core_list_narrowing.cpp.o.d"
+  "core_list_narrowing"
+  "core_list_narrowing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_list_narrowing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

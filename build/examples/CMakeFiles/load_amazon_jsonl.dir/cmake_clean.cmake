@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_amazon_jsonl.dir/load_amazon_jsonl.cpp.o"
+  "CMakeFiles/load_amazon_jsonl.dir/load_amazon_jsonl.cpp.o.d"
+  "load_amazon_jsonl"
+  "load_amazon_jsonl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_amazon_jsonl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

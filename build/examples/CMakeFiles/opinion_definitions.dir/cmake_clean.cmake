@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opinion_definitions.dir/opinion_definitions.cpp.o"
+  "CMakeFiles/opinion_definitions.dir/opinion_definitions.cpp.o.d"
+  "opinion_definitions"
+  "opinion_definitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opinion_definitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for opinion_definitions.
+# This may be replaced when dependencies are built.

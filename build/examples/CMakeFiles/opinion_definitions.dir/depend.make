@@ -1,0 +1,2 @@
+# Empty dependencies file for opinion_definitions.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compare_sets.cc" "src/CMakeFiles/comparesets.dir/core/compare_sets.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/core/compare_sets.cc.o.d"
+  "/root/repo/src/core/compare_sets_plus.cc" "src/CMakeFiles/comparesets.dir/core/compare_sets_plus.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/core/compare_sets_plus.cc.o.d"
+  "/root/repo/src/core/crs.cc" "src/CMakeFiles/comparesets.dir/core/crs.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/core/crs.cc.o.d"
+  "/root/repo/src/core/design_matrix.cc" "src/CMakeFiles/comparesets.dir/core/design_matrix.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/core/design_matrix.cc.o.d"
+  "/root/repo/src/core/greedy_selector.cc" "src/CMakeFiles/comparesets.dir/core/greedy_selector.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/core/greedy_selector.cc.o.d"
+  "/root/repo/src/core/integer_regression.cc" "src/CMakeFiles/comparesets.dir/core/integer_regression.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/core/integer_regression.cc.o.d"
+  "/root/repo/src/core/random_selector.cc" "src/CMakeFiles/comparesets.dir/core/random_selector.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/core/random_selector.cc.o.d"
+  "/root/repo/src/core/selector.cc" "src/CMakeFiles/comparesets.dir/core/selector.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/core/selector.cc.o.d"
+  "/root/repo/src/data/catalog.cc" "src/CMakeFiles/comparesets.dir/data/catalog.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/data/catalog.cc.o.d"
+  "/root/repo/src/data/corpus.cc" "src/CMakeFiles/comparesets.dir/data/corpus.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/data/corpus.cc.o.d"
+  "/root/repo/src/data/export.cc" "src/CMakeFiles/comparesets.dir/data/export.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/data/export.cc.o.d"
+  "/root/repo/src/data/loader.cc" "src/CMakeFiles/comparesets.dir/data/loader.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/data/loader.cc.o.d"
+  "/root/repo/src/data/review.cc" "src/CMakeFiles/comparesets.dir/data/review.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/data/review.cc.o.d"
+  "/root/repo/src/data/statistics.cc" "src/CMakeFiles/comparesets.dir/data/statistics.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/data/statistics.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/comparesets.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/eval/alignment.cc" "src/CMakeFiles/comparesets.dir/eval/alignment.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/eval/alignment.cc.o.d"
+  "/root/repo/src/eval/information_loss.cc" "src/CMakeFiles/comparesets.dir/eval/information_loss.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/eval/information_loss.cc.o.d"
+  "/root/repo/src/eval/objective.cc" "src/CMakeFiles/comparesets.dir/eval/objective.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/eval/objective.cc.o.d"
+  "/root/repo/src/eval/runner.cc" "src/CMakeFiles/comparesets.dir/eval/runner.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/eval/runner.cc.o.d"
+  "/root/repo/src/graph/hks.cc" "src/CMakeFiles/comparesets.dir/graph/hks.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/graph/hks.cc.o.d"
+  "/root/repo/src/graph/similarity_graph.cc" "src/CMakeFiles/comparesets.dir/graph/similarity_graph.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/graph/similarity_graph.cc.o.d"
+  "/root/repo/src/graph/targethks_baselines.cc" "src/CMakeFiles/comparesets.dir/graph/targethks_baselines.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/graph/targethks_baselines.cc.o.d"
+  "/root/repo/src/graph/targethks_exact.cc" "src/CMakeFiles/comparesets.dir/graph/targethks_exact.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/graph/targethks_exact.cc.o.d"
+  "/root/repo/src/graph/targethks_greedy.cc" "src/CMakeFiles/comparesets.dir/graph/targethks_greedy.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/graph/targethks_greedy.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/comparesets.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/nnls.cc" "src/CMakeFiles/comparesets.dir/linalg/nnls.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/linalg/nnls.cc.o.d"
+  "/root/repo/src/linalg/nomp.cc" "src/CMakeFiles/comparesets.dir/linalg/nomp.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/linalg/nomp.cc.o.d"
+  "/root/repo/src/linalg/qr.cc" "src/CMakeFiles/comparesets.dir/linalg/qr.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/linalg/qr.cc.o.d"
+  "/root/repo/src/linalg/vector.cc" "src/CMakeFiles/comparesets.dir/linalg/vector.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/linalg/vector.cc.o.d"
+  "/root/repo/src/nlp/annotator.cc" "src/CMakeFiles/comparesets.dir/nlp/annotator.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/nlp/annotator.cc.o.d"
+  "/root/repo/src/nlp/aspect_extractor.cc" "src/CMakeFiles/comparesets.dir/nlp/aspect_extractor.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/nlp/aspect_extractor.cc.o.d"
+  "/root/repo/src/nlp/lexicon.cc" "src/CMakeFiles/comparesets.dir/nlp/lexicon.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/nlp/lexicon.cc.o.d"
+  "/root/repo/src/nlp/sentiment_lexicon.cc" "src/CMakeFiles/comparesets.dir/nlp/sentiment_lexicon.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/nlp/sentiment_lexicon.cc.o.d"
+  "/root/repo/src/opinion/opinion_model.cc" "src/CMakeFiles/comparesets.dir/opinion/opinion_model.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/opinion/opinion_model.cc.o.d"
+  "/root/repo/src/opinion/vectors.cc" "src/CMakeFiles/comparesets.dir/opinion/vectors.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/opinion/vectors.cc.o.d"
+  "/root/repo/src/recsys/efm.cc" "src/CMakeFiles/comparesets.dir/recsys/efm.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/recsys/efm.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/comparesets.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/krippendorff.cc" "src/CMakeFiles/comparesets.dir/stats/krippendorff.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/stats/krippendorff.cc.o.d"
+  "/root/repo/src/stats/ttest.cc" "src/CMakeFiles/comparesets.dir/stats/ttest.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/stats/ttest.cc.o.d"
+  "/root/repo/src/stats/user_study.cc" "src/CMakeFiles/comparesets.dir/stats/user_study.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/stats/user_study.cc.o.d"
+  "/root/repo/src/text/lcs.cc" "src/CMakeFiles/comparesets.dir/text/lcs.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/text/lcs.cc.o.d"
+  "/root/repo/src/text/ngram.cc" "src/CMakeFiles/comparesets.dir/text/ngram.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/text/ngram.cc.o.d"
+  "/root/repo/src/text/rouge.cc" "src/CMakeFiles/comparesets.dir/text/rouge.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/text/rouge.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "src/CMakeFiles/comparesets.dir/text/stopwords.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/text/stopwords.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/comparesets.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/comparesets.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/comparesets.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/jsonl.cc" "src/CMakeFiles/comparesets.dir/util/jsonl.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/util/jsonl.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/comparesets.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/comparesets.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/comparesets.dir/util/status.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/comparesets.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/timer.cc" "src/CMakeFiles/comparesets.dir/util/timer.cc.o" "gcc" "src/CMakeFiles/comparesets.dir/util/timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

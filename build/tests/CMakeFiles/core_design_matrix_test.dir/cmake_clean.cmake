@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_design_matrix_test.dir/core_design_matrix_test.cc.o"
+  "CMakeFiles/core_design_matrix_test.dir/core_design_matrix_test.cc.o.d"
+  "core_design_matrix_test"
+  "core_design_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_design_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_integer_regression_test.dir/core_integer_regression_test.cc.o"
+  "CMakeFiles/core_integer_regression_test.dir/core_integer_regression_test.cc.o.d"
+  "core_integer_regression_test"
+  "core_integer_regression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_integer_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_selectors_test.dir/core_selectors_test.cc.o"
+  "CMakeFiles/core_selectors_test.dir/core_selectors_test.cc.o.d"
+  "core_selectors_test"
+  "core_selectors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_selectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

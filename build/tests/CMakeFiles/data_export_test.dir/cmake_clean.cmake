@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_export_test.dir/data_export_test.cc.o"
+  "CMakeFiles/data_export_test.dir/data_export_test.cc.o.d"
+  "data_export_test"
+  "data_export_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

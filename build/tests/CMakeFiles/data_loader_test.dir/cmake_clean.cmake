@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_loader_test.dir/data_loader_test.cc.o"
+  "CMakeFiles/data_loader_test.dir/data_loader_test.cc.o.d"
+  "data_loader_test"
+  "data_loader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_alignment_test.dir/eval_alignment_test.cc.o"
+  "CMakeFiles/eval_alignment_test.dir/eval_alignment_test.cc.o.d"
+  "eval_alignment_test"
+  "eval_alignment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_alignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

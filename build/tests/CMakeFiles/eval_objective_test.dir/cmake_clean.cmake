@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_objective_test.dir/eval_objective_test.cc.o"
+  "CMakeFiles/eval_objective_test.dir/eval_objective_test.cc.o.d"
+  "eval_objective_test"
+  "eval_objective_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_objective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_hks_test.dir/graph_hks_test.cc.o"
+  "CMakeFiles/graph_hks_test.dir/graph_hks_test.cc.o.d"
+  "graph_hks_test"
+  "graph_hks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_hks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

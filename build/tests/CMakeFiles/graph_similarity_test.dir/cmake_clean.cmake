@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_similarity_test.dir/graph_similarity_test.cc.o"
+  "CMakeFiles/graph_similarity_test.dir/graph_similarity_test.cc.o.d"
+  "graph_similarity_test"
+  "graph_similarity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

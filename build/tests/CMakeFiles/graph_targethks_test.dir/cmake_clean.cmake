@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_targethks_test.dir/graph_targethks_test.cc.o"
+  "CMakeFiles/graph_targethks_test.dir/graph_targethks_test.cc.o.d"
+  "graph_targethks_test"
+  "graph_targethks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_targethks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

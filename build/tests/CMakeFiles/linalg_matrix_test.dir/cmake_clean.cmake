@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_matrix_test.dir/linalg_matrix_test.cc.o"
+  "CMakeFiles/linalg_matrix_test.dir/linalg_matrix_test.cc.o.d"
+  "linalg_matrix_test"
+  "linalg_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_nomp_test.dir/linalg_nomp_test.cc.o"
+  "CMakeFiles/linalg_nomp_test.dir/linalg_nomp_test.cc.o.d"
+  "linalg_nomp_test"
+  "linalg_nomp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_nomp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for linalg_nomp_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_qr_test.dir/linalg_qr_test.cc.o"
+  "CMakeFiles/linalg_qr_test.dir/linalg_qr_test.cc.o.d"
+  "linalg_qr_test"
+  "linalg_qr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_qr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlp_annotator_test.dir/nlp_annotator_test.cc.o"
+  "CMakeFiles/nlp_annotator_test.dir/nlp_annotator_test.cc.o.d"
+  "nlp_annotator_test"
+  "nlp_annotator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlp_annotator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlp_aspect_extractor_test.dir/nlp_aspect_extractor_test.cc.o"
+  "CMakeFiles/nlp_aspect_extractor_test.dir/nlp_aspect_extractor_test.cc.o.d"
+  "nlp_aspect_extractor_test"
+  "nlp_aspect_extractor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlp_aspect_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlp_lexicon_test.dir/nlp_lexicon_test.cc.o"
+  "CMakeFiles/nlp_lexicon_test.dir/nlp_lexicon_test.cc.o.d"
+  "nlp_lexicon_test"
+  "nlp_lexicon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlp_lexicon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opinion_model_test.dir/opinion_model_test.cc.o"
+  "CMakeFiles/opinion_model_test.dir/opinion_model_test.cc.o.d"
+  "opinion_model_test"
+  "opinion_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opinion_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

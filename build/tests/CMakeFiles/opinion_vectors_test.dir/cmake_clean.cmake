@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opinion_vectors_test.dir/opinion_vectors_test.cc.o"
+  "CMakeFiles/opinion_vectors_test.dir/opinion_vectors_test.cc.o.d"
+  "opinion_vectors_test"
+  "opinion_vectors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opinion_vectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

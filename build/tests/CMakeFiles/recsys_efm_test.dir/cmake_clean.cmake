@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recsys_efm_test.dir/recsys_efm_test.cc.o"
+  "CMakeFiles/recsys_efm_test.dir/recsys_efm_test.cc.o.d"
+  "recsys_efm_test"
+  "recsys_efm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recsys_efm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_krippendorff_test.dir/stats_krippendorff_test.cc.o"
+  "CMakeFiles/stats_krippendorff_test.dir/stats_krippendorff_test.cc.o.d"
+  "stats_krippendorff_test"
+  "stats_krippendorff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_krippendorff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

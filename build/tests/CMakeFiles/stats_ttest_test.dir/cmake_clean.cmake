@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_ttest_test.dir/stats_ttest_test.cc.o"
+  "CMakeFiles/stats_ttest_test.dir/stats_ttest_test.cc.o.d"
+  "stats_ttest_test"
+  "stats_ttest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_ttest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

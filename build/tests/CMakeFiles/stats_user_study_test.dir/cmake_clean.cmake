@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_user_study_test.dir/stats_user_study_test.cc.o"
+  "CMakeFiles/stats_user_study_test.dir/stats_user_study_test.cc.o.d"
+  "stats_user_study_test"
+  "stats_user_study_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_user_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

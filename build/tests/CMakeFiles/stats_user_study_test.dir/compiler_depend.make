@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stats_user_study_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_ngram_lcs_test.dir/text_ngram_lcs_test.cc.o"
+  "CMakeFiles/text_ngram_lcs_test.dir/text_ngram_lcs_test.cc.o.d"
+  "text_ngram_lcs_test"
+  "text_ngram_lcs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_ngram_lcs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_rouge_test.dir/text_rouge_test.cc.o"
+  "CMakeFiles/text_rouge_test.dir/text_rouge_test.cc.o.d"
+  "text_rouge_test"
+  "text_rouge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_rouge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

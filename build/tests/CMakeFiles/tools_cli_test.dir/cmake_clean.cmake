@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_cli_test.dir/tools_cli_test.cc.o"
+  "CMakeFiles/tools_cli_test.dir/tools_cli_test.cc.o.d"
+  "tools_cli_test"
+  "tools_cli_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

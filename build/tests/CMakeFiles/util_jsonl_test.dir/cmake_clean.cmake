@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_jsonl_test.dir/util_jsonl_test.cc.o"
+  "CMakeFiles/util_jsonl_test.dir/util_jsonl_test.cc.o.d"
+  "util_jsonl_test"
+  "util_jsonl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_jsonl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

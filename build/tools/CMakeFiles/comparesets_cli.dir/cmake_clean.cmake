@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparesets_cli.dir/comparesets_cli.cc.o"
+  "CMakeFiles/comparesets_cli.dir/comparesets_cli.cc.o.d"
+  "comparesets"
+  "comparesets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparesets_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
