@@ -14,13 +14,16 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "eval/runner.h"
+#include "service/engine.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -87,6 +90,44 @@ inline Workload BuildWorkload(const BenchArgs& args,
   auto workload = Workload::BuildSynthetic(config);
   workload.status().CheckOK();
   return std::move(workload).ValueOrDie();
+}
+
+/// Builds the immutable catalog snapshot a SelectionEngine serves from,
+/// for one synthetic category under the common args.
+inline std::shared_ptr<const IndexedCorpus> BuildEngineCorpus(
+    const BenchArgs& args, const std::string& category,
+    size_t max_comparative_items = 0) {
+  auto config = DefaultConfig(category, args.products);
+  config.status().CheckOK();
+  config.value().seed = args.seed;
+  auto corpus = GenerateCorpus(config.value());
+  corpus.status().CheckOK();
+  InstanceOptions instance_options;
+  instance_options.max_comparative_items = max_comparative_items;
+  auto indexed =
+      IndexedCorpus::Build(std::move(corpus).value(), instance_options);
+  indexed.status().CheckOK();
+  return indexed.value();
+}
+
+/// One engine request per enumerated instance target (capped at
+/// args.instances — the same slice Workload evaluates), all with the
+/// given selector and options.
+inline std::vector<SelectRequest> InstanceRequests(
+    const IndexedCorpus& corpus, const BenchArgs& args,
+    const std::string& selector, const SelectorOptions& options) {
+  size_t n = corpus.num_instances();
+  if (args.instances > 0) n = std::min(n, args.instances);
+  std::vector<SelectRequest> requests;
+  requests.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    SelectRequest request;
+    request.target_id = corpus.instances()[i].target().id;
+    request.selector = selector;
+    request.options = options;
+    requests.push_back(std::move(request));
+  }
+  return requests;
 }
 
 /// Writes a CSV into args.outdir (best effort; logs on failure).

@@ -1,0 +1,124 @@
+// Serving-layer benchmark: repeated-query latency against one
+// SelectionEngine, cold vs warm. Two configurations are measured:
+//
+//   vector-cache   result memo disabled — warm passes reuse the cached
+//                  InstanceVectors but re-run the selector each time;
+//                  isolates the prepared-vector LRU's benefit.
+//   full engine    default serving config — an exactly repeated query
+//                  is answered whole from the result memo (selectors
+//                  are deterministic), so warm passes skip the solve.
+//
+//   service_warm_cache [--products N] [--instances N] [--seed S]
+//                      [--passes P] [--algorithm NAME] [--outdir DIR]
+
+#include "bench_common.h"
+#include "util/timer.h"
+
+using namespace comparesets;
+using namespace comparesets::bench;
+
+namespace {
+
+struct ConfigResult {
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+};
+
+ConfigResult RunConfig(const char* name, size_t result_capacity,
+                       const std::shared_ptr<const IndexedCorpus>& corpus,
+                       const std::vector<SelectRequest>& requests, int passes,
+                       std::vector<CsvRow>* csv, std::string* metrics_dump) {
+  EngineOptions engine_options;
+  engine_options.threads = 1;  // Isolate cache effect from parallelism.
+  engine_options.cache_capacity = corpus->num_instances();
+  engine_options.result_capacity = result_capacity;
+  engine_options.measure_alignment = false;
+  SelectionEngine engine(corpus, engine_options);
+
+  std::printf("\n[%s]\n", name);
+  ConfigResult out;
+  double warm_total = 0.0;
+  for (int pass = 0; pass <= passes; ++pass) {
+    Timer timer;
+    std::vector<Result<SelectResponse>> responses =
+        engine.SelectBatch(requests);
+    double ms = 1000.0 * timer.ElapsedSeconds();
+    size_t vector_hits = 0;
+    size_t memo_hits = 0;
+    for (const auto& response : responses) {
+      response.status().CheckOK();
+      if (response.value().result_cache_hit) {
+        ++memo_hits;
+      } else if (response.value().cache_hit) {
+        ++vector_hits;
+      }
+    }
+    const char* kind = pass == 0 ? "cold" : "warm";
+    if (pass == 0) {
+      out.cold_ms = ms;
+    } else {
+      warm_total += ms;
+    }
+    std::printf("  pass %d (%s): %8.2f ms total, %6.3f ms/query, "
+                "%zu vector hits, %zu memo hits\n",
+                pass, kind, ms, ms / static_cast<double>(requests.size()),
+                vector_hits, memo_hits);
+    csv->push_back({name, std::to_string(pass), kind, FormatDouble(ms, 3),
+                    FormatDouble(ms / static_cast<double>(requests.size()), 4)});
+  }
+  out.warm_ms = warm_total / static_cast<double>(passes);
+  std::printf("  cold %8.2f ms  vs  warm %8.2f ms  →  %.2fx speedup\n",
+              out.cold_ms, out.warm_ms, out.cold_ms / out.warm_ms);
+  *metrics_dump = engine.DumpMetrics();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  FlagParser flags;
+  BenchArgs args = ParseBenchArgs(
+      argc, argv,
+      [](FlagParser* f) {
+        f->AddInt("passes", 3, "warm passes after the cold pass");
+        f->AddString("algorithm", "CompaReSetS+", "selector to serve");
+      },
+      &flags);
+  if (args.help) return 0;
+
+  PrintTitle("Serving layer: repeated-query latency, cold vs warm cache");
+
+  std::shared_ptr<const IndexedCorpus> corpus =
+      BuildEngineCorpus(args, "Cellphone");
+  SelectorOptions options;
+  options.seed = args.seed;
+  std::vector<SelectRequest> requests =
+      InstanceRequests(*corpus, args, flags.GetString("algorithm"), options);
+  std::printf("\n%zu products, %zu queries/pass, selector %s\n",
+              corpus->corpus().num_products(), requests.size(),
+              flags.GetString("algorithm").c_str());
+
+  int passes = flags.GetInt("passes");
+  std::vector<CsvRow> csv = {
+      {"config", "pass", "kind", "ms_total", "ms_per_query"}};
+  std::string vector_metrics;
+  std::string full_metrics;
+  ConfigResult vector_only =
+      RunConfig("vector-cache (result memo off)", 0, corpus, requests, passes,
+                &csv, &vector_metrics);
+  ConfigResult full = RunConfig("full engine (vector cache + result memo)",
+                                requests.size(), corpus, requests, passes,
+                                &csv, &full_metrics);
+
+  std::printf("\nSummary (%d warm passes averaged):\n", passes);
+  std::printf("  vector cache only : %8.2f ms cold vs %8.2f ms warm → %.2fx\n",
+              vector_only.cold_ms, vector_only.warm_ms,
+              vector_only.cold_ms / vector_only.warm_ms);
+  std::printf("  full engine       : %8.2f ms cold vs %8.2f ms warm → %.2fx\n",
+              full.cold_ms, full.warm_ms, full.cold_ms / full.warm_ms);
+
+  std::printf("\nFull-engine metrics:\n%s", full_metrics.c_str());
+  ExportCsv(args, "service_warm_cache.csv", csv);
+  return 0;
+}

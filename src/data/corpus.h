@@ -57,6 +57,9 @@ class Corpus {
   /// the id index. Must be called before Find/BuildInstances.
   void Finalize();
 
+  /// Whether Finalize() has been called (and AddProduct is thus closed).
+  bool finalized() const { return finalized_; }
+
   const std::vector<Product>& products() const { return products_; }
   size_t num_products() const { return products_.size(); }
 

@@ -55,7 +55,7 @@ std::string ExportAnnotationsJsonl(const Corpus& corpus) {
         opinion.emplace("aspect", corpus.catalog().Name(mention.aspect));
         opinion.emplace("polarity", PolarityName(mention.polarity));
         opinion.emplace("strength", mention.strength);
-        opinions.push_back(JsonValue(std::move(opinion)));
+        opinions.emplace_back(std::move(opinion));
       }
       row.emplace("opinions", std::move(opinions));
       out += JsonValue(std::move(row)).Dump();

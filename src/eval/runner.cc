@@ -1,11 +1,10 @@
 #include "eval/runner.h"
 
-#include <atomic>
-#include <mutex>
-#include <thread>
+#include <utility>
 
+#include "service/engine.h"
 #include "util/logging.h"
-#include "util/timer.h"
+#include "util/thread_pool.h"
 
 namespace comparesets {
 
@@ -21,19 +20,19 @@ Result<Workload> Workload::BuildSynthetic(const RunnerConfig& config) {
 Result<Workload> Workload::FromCorpus(Corpus corpus,
                                       const RunnerConfig& config) {
   Workload workload;
-  workload.corpus_ = std::move(corpus);
-  COMPARESETS_RETURN_NOT_OK(workload.Prepare(config));
+  COMPARESETS_RETURN_NOT_OK(workload.Prepare(std::move(corpus), config));
   return workload;
 }
 
-Status Workload::Prepare(const RunnerConfig& config) {
+Status Workload::Prepare(Corpus corpus, const RunnerConfig& config) {
   InstanceOptions instance_options;
   instance_options.max_comparative_items = config.max_comparative_items;
-  instances_ = corpus_.BuildInstances(instance_options);
-  if (instances_.empty()) {
-    return Status::InvalidArgument(
-        "corpus yields no problem instances (too few linked products?)");
-  }
+  COMPARESETS_ASSIGN_OR_RETURN(
+      indexed_, IndexedCorpus::Build(std::move(corpus), instance_options));
+
+  // The evaluated slice: instance copies are cheap (item pointers into
+  // the snapshot, which indexed_ keeps alive).
+  instances_ = indexed_->instances();
   if (config.max_instances > 0 && instances_.size() > config.max_instances) {
     instances_.resize(config.max_instances);
   }
@@ -45,7 +44,7 @@ Status Workload::Prepare(const RunnerConfig& config) {
     return Status::InvalidArgument(
         "learned-preference workloads require an explicit review table");
   }
-  OpinionModel model(config.opinion, corpus_.num_aspects());
+  OpinionModel model(config.opinion, indexed_->num_aspects());
   vectors_.reserve(instances_.size());
   for (const ProblemInstance& instance : instances_) {
     vectors_.push_back(BuildInstanceVectors(model, instance));
@@ -80,6 +79,23 @@ std::vector<double> SeriesOver(const std::vector<AlignmentScores>& alignment,
   return out;
 }
 
+/// Folds per-instance solves + alignment into the aggregate run.
+SelectorRun AssembleRun(const ReviewSelector& selector,
+                        const Workload& workload,
+                        std::vector<InstanceSolve> solves) {
+  SelectorRun run;
+  run.selector_name = selector.name();
+  run.results.reserve(solves.size());
+  run.alignment.reserve(solves.size());
+  for (size_t i = 0; i < solves.size(); ++i) {
+    run.total_seconds += solves[i].seconds;
+    run.alignment.push_back(MeasureAlignment(workload.instances()[i],
+                                             solves[i].result.selections));
+    run.results.push_back(std::move(solves[i].result));
+  }
+  return run;
+}
+
 }  // namespace
 
 RougeTriple SelectorRun::MeanTarget() const { return MeanOver(alignment, true); }
@@ -94,22 +110,11 @@ std::vector<double> SelectorRun::AmongRougeLSeries() const {
 Result<SelectorRun> RunSelector(const ReviewSelector& selector,
                                 const Workload& workload,
                                 const SelectorOptions& options) {
-  SelectorRun run;
-  run.selector_name = selector.name();
-  run.results.reserve(workload.num_instances());
-  run.alignment.reserve(workload.num_instances());
-
-  for (size_t i = 0; i < workload.num_instances(); ++i) {
-    const InstanceVectors& vectors = workload.vectors()[i];
-    Timer timer;
-    COMPARESETS_ASSIGN_OR_RETURN(SelectionResult result,
-                                 selector.Select(vectors, options));
-    run.total_seconds += timer.ElapsedSeconds();
-    run.alignment.push_back(
-        MeasureAlignment(workload.instances()[i], result.selections));
-    run.results.push_back(std::move(result));
-  }
-  return run;
+  COMPARESETS_ASSIGN_OR_RETURN(
+      std::vector<InstanceSolve> solves,
+      SelectionEngine::SolveInstances(selector, workload.vectors(), options,
+                                      /*pool=*/nullptr));
+  return AssembleRun(selector, workload, std::move(solves));
 }
 
 Result<SelectorRun> RunSelectorParallel(const ReviewSelector& selector,
@@ -117,48 +122,15 @@ Result<SelectorRun> RunSelectorParallel(const ReviewSelector& selector,
                                         const SelectorOptions& options,
                                         size_t threads) {
   size_t n = workload.num_instances();
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, n);
+  threads = ThreadPool::ResolveThreads(threads, n);
   if (threads <= 1) return RunSelector(selector, workload, options);
 
-  SelectorRun run;
-  run.selector_name = selector.name();
-  run.results.resize(n);
-  run.alignment.resize(n);
-  std::vector<double> seconds(n, 0.0);
-
-  std::atomic<size_t> next{0};
-  std::mutex error_mutex;
-  Status first_error = Status::OK();
-
-  auto worker = [&] {
-    for (;;) {
-      size_t i = next.fetch_add(1);
-      if (i >= n) return;
-      Timer timer;
-      auto result = selector.Select(workload.vectors()[i], options);
-      seconds[i] = timer.ElapsedSeconds();
-      if (!result.ok()) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error.ok()) first_error = result.status();
-        return;
-      }
-      run.alignment[i] = MeasureAlignment(workload.instances()[i],
-                                          result.value().selections);
-      run.results[i] = std::move(result).value();
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& thread : pool) thread.join();
-
-  if (!first_error.ok()) return first_error;
-  for (double s : seconds) run.total_seconds += s;
-  return run;
+  ThreadPool pool(threads);
+  COMPARESETS_ASSIGN_OR_RETURN(
+      std::vector<InstanceSolve> solves,
+      SelectionEngine::SolveInstances(selector, workload.vectors(), options,
+                                      &pool));
+  return AssembleRun(selector, workload, std::move(solves));
 }
 
 }  // namespace comparesets

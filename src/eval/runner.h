@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "data/synthetic.h"
 #include "eval/alignment.h"
 #include "opinion/vectors.h"
+#include "service/indexed_corpus.h"
 #include "util/status.h"
 
 namespace comparesets {
@@ -31,9 +33,11 @@ struct RunnerConfig {
   uint64_t seed = 42;
 };
 
-/// A prepared workload: corpus + its instances + per-instance vectors.
-/// Instances reference corpus storage; keep the workload alive while
-/// using them.
+/// A prepared workload: an immutable IndexedCorpus snapshot + the
+/// evaluated slice of its instances + prebuilt per-instance vectors.
+/// Instances reference corpus storage, which the workload keeps alive
+/// through its shared snapshot; the snapshot itself can be handed to a
+/// service::SelectionEngine via indexed_corpus().
 class Workload {
  public:
   /// Builds a synthetic workload per config (Table 2 defaults applied,
@@ -44,16 +48,21 @@ class Workload {
   static Result<Workload> FromCorpus(Corpus corpus,
                                      const RunnerConfig& config);
 
-  const Corpus& corpus() const { return corpus_; }
+  const Corpus& corpus() const { return indexed_->corpus(); }
+  /// The shared catalog snapshot backing this workload (never null on a
+  /// successfully built workload).
+  const std::shared_ptr<const IndexedCorpus>& indexed_corpus() const {
+    return indexed_;
+  }
   const std::vector<ProblemInstance>& instances() const { return instances_; }
   const std::vector<InstanceVectors>& vectors() const { return vectors_; }
   size_t num_instances() const { return instances_.size(); }
 
  private:
   Workload() = default;
-  Status Prepare(const RunnerConfig& config);
+  Status Prepare(Corpus corpus, const RunnerConfig& config);
 
-  Corpus corpus_;
+  std::shared_ptr<const IndexedCorpus> indexed_;
   std::vector<ProblemInstance> instances_;
   std::vector<InstanceVectors> vectors_;
 };
@@ -79,17 +88,19 @@ struct SelectorRun {
   std::vector<double> AmongRougeLSeries() const;
 };
 
-/// Runs one selector over every instance of the workload.
+/// Runs one selector over every instance of the workload. A thin
+/// adapter over SelectionEngine::SolveInstances (serial mode) that adds
+/// alignment measurement and aggregation.
 Result<SelectorRun> RunSelector(const ReviewSelector& selector,
                                 const Workload& workload,
                                 const SelectorOptions& options);
 
 /// Multi-threaded variant. Problem instances are fully independent (the
 /// paper notes per-target instances "can be done in parallel", §4.1.1),
-/// so instances are distributed over `threads` workers (0 = hardware
-/// concurrency). Results are identical to RunSelector, in instance
-/// order; total_seconds sums per-instance solve time (the serial-cost
-/// measure), not wall clock.
+/// so instances are distributed over a `threads`-wide pool (0 =
+/// hardware concurrency). Results are bit-identical to RunSelector, in
+/// instance order; total_seconds sums per-instance solve time (the
+/// serial-cost measure), not wall clock.
 Result<SelectorRun> RunSelectorParallel(const ReviewSelector& selector,
                                         const Workload& workload,
                                         const SelectorOptions& options,

@@ -14,6 +14,18 @@ Vector InstanceVectors::AspectOf(size_t item, const Selection& selection) const 
   return model.AspectVector(SelectReviews(*instance->items[item], selection));
 }
 
+size_t InstanceVectors::ApproxMemoryBytes() const {
+  size_t doubles = gamma.size();
+  for (const Vector& t : tau) doubles += t.size();
+  for (const auto& item : opinion_columns) {
+    for (const Vector& column : item) doubles += column.size();
+  }
+  for (const auto& item : aspect_columns) {
+    for (const Vector& column : item) doubles += column.size();
+  }
+  return doubles * sizeof(double);
+}
+
 InstanceVectors BuildInstanceVectors(const OpinionModel& model,
                                      const ProblemInstance& instance) {
   InstanceVectors out{model, &instance, {}, {}, {}, {}};

@@ -42,6 +42,10 @@ struct InstanceVectors {
   Vector OpinionOf(size_t item, const Selection& selection) const;
   /// φ(S) for a selection on item `item`.
   Vector AspectOf(size_t item, const Selection& selection) const;
+
+  /// Approximate heap footprint of the stored vectors (entries only,
+  /// not allocator overhead). Used for cache accounting.
+  size_t ApproxMemoryBytes() const;
 };
 
 /// Builds the full context (O(total reviews · dims)).

@@ -1,0 +1,319 @@
+#include "service/engine.h"
+
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+#include "opinion/opinion_model.h"
+#include "util/timer.h"
+
+namespace comparesets {
+
+namespace {
+
+/// Cache key: epoch | opinion | target | explicit comparative ids.
+/// Unit separator (US, 0x1f) cannot appear in product ids.
+std::string CacheKey(uint64_t epoch, OpinionDefinition opinion,
+                     const SelectRequest& request) {
+  std::string key = std::to_string(epoch);
+  key += '\x1f';
+  key += OpinionDefinitionName(opinion);
+  key += '\x1f';
+  key += request.target_id;
+  for (const std::string& id : request.comparative_ids) {
+    key += '\x1f';
+    key += id;
+  }
+  return key;
+}
+
+/// Round-trip-exact double rendering for cache keys.
+std::string ExactDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Result-memo key: the vector-cache key extended with the selector name
+/// and EVERY SelectorOptions field — a field added to SelectorOptions
+/// must be appended here, or the memo would serve stale responses for
+/// requests differing only in that field.
+std::string ResultKey(const std::string& prepare_key,
+                      const SelectRequest& request) {
+  std::string key = prepare_key;
+  key += '\x1f';
+  key += request.selector;
+  key += '\x1f';
+  key += std::to_string(request.options.m);
+  key += '\x1f';
+  key += ExactDouble(request.options.lambda);
+  key += '\x1f';
+  key += ExactDouble(request.options.mu);
+  key += '\x1f';
+  key += std::to_string(request.options.seed);
+  key += '\x1f';
+  key += std::to_string(request.options.extra_sync_rounds);
+  return key;
+}
+
+}  // namespace
+
+SelectionEngine::SelectionEngine(std::shared_ptr<const IndexedCorpus> corpus,
+                                 EngineOptions options)
+    : options_(options),
+      corpus_(std::move(corpus)),
+      cache_(options.cache_capacity),
+      pool_(options.threads) {}
+
+std::shared_ptr<const IndexedCorpus> SelectionEngine::corpus() const {
+  std::lock_guard<std::mutex> lock(corpus_mutex_);
+  return corpus_;
+}
+
+void SelectionEngine::SwapCorpus(std::shared_ptr<const IndexedCorpus> corpus) {
+  {
+    std::lock_guard<std::mutex> lock(corpus_mutex_);
+    corpus_ = std::move(corpus);
+    ++corpus_epoch_;
+  }
+  // Entries of the old epoch can no longer match any key; drop them now
+  // so the capacity serves the new snapshot. A racing Put from an in-
+  // flight request re-inserts under its old epoch key at worst — dead
+  // weight that LRU eviction reclaims, never a stale answer.
+  cache_.Clear();
+  {
+    std::lock_guard<std::mutex> lock(result_mutex_);
+    result_lru_.clear();
+    result_index_.clear();
+  }
+  metrics_.counter("engine.corpus_swaps").Increment();
+}
+
+bool SelectionEngine::ResultLookup(const std::string& key,
+                                   SelectResponse* out) const {
+  std::lock_guard<std::mutex> lock(result_mutex_);
+  auto it = result_index_.find(key);
+  if (it == result_index_.end()) return false;
+  result_lru_.splice(result_lru_.begin(), result_lru_, it->second);
+  *out = result_lru_.front().response;
+  return true;
+}
+
+void SelectionEngine::ResultStore(const std::string& key,
+                                  const SelectResponse& response) const {
+  std::lock_guard<std::mutex> lock(result_mutex_);
+  auto it = result_index_.find(key);
+  if (it != result_index_.end()) {
+    it->second->response = response;
+    result_lru_.splice(result_lru_.begin(), result_lru_, it->second);
+    return;
+  }
+  if (result_lru_.size() >= options_.result_capacity) {
+    result_index_.erase(result_lru_.back().key);
+    result_lru_.pop_back();
+  }
+  result_lru_.push_front(ResultEntry{key, response});
+  result_index_[key] = result_lru_.begin();
+}
+
+Result<std::shared_ptr<const PreparedInstance>> SelectionEngine::Prepare(
+    std::shared_ptr<const IndexedCorpus> corpus, const std::string& key,
+    const SelectRequest& request, bool* cache_hit) const {
+  if (auto cached = cache_.Get(key)) {
+    *cache_hit = true;
+    return cached;
+  }
+  *cache_hit = false;
+
+  // Miss: resolve the instance against the snapshot.
+  ProblemInstance instance;
+  if (request.comparative_ids.empty()) {
+    const ProblemInstance* found = corpus->FindInstance(request.target_id);
+    if (found == nullptr) {
+      return Status::NotFound("no problem instance with target id '" +
+                              request.target_id + "'");
+    }
+    instance = *found;
+  } else {
+    const Product* target = corpus->FindProduct(request.target_id);
+    if (target == nullptr) {
+      return Status::NotFound("unknown target product id '" +
+                              request.target_id + "'");
+    }
+    instance.items.push_back(target);
+    for (const std::string& id : request.comparative_ids) {
+      const Product* item = corpus->FindProduct(id);
+      if (item == nullptr) {
+        return Status::NotFound("unknown comparative product id '" + id + "'");
+      }
+      if (item == target) {
+        return Status::InvalidArgument(
+            "comparative id '" + id + "' is the target itself");
+      }
+      instance.items.push_back(item);
+    }
+  }
+
+  OpinionModel model(options_.opinion, corpus->num_aspects());
+  auto bundle =
+      PreparedInstance::Create(std::move(corpus), std::move(instance), model);
+  cache_.Put(key, bundle);
+  return std::shared_ptr<const PreparedInstance>(std::move(bundle));
+}
+
+Result<SelectResponse> SelectionEngine::Select(
+    const SelectRequest& request) const {
+  metrics_.counter("engine.requests").Increment();
+  Timer total;
+
+  if (request.target_id.empty()) {
+    metrics_.counter("engine.errors").Increment();
+    return Status::InvalidArgument("request has no target_id");
+  }
+
+  std::shared_ptr<const IndexedCorpus> corpus;
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(corpus_mutex_);
+    corpus = corpus_;
+    epoch = corpus_epoch_;
+  }
+  std::string prepare_key = CacheKey(epoch, options_.opinion, request);
+
+  // An exactly repeated request is answered from the result memo —
+  // selectors are deterministic, so the memoized response is the one a
+  // fresh solve would produce, bit for bit.
+  std::string result_key;
+  if (options_.result_capacity > 0) {
+    result_key = ResultKey(prepare_key, request);
+    SelectResponse memoized;
+    if (ResultLookup(result_key, &memoized)) {
+      metrics_.counter("engine.result_hits").Increment();
+      memoized.cache_hit = true;
+      memoized.result_cache_hit = true;
+      memoized.prepare_seconds = 0.0;
+      memoized.solve_seconds = 0.0;
+      metrics_.histogram("engine.request_seconds")
+          .Observe(total.ElapsedSeconds());
+      return memoized;
+    }
+    metrics_.counter("engine.result_misses").Increment();
+  }
+
+  Timer prepare_timer;
+  bool cache_hit = false;
+  auto prepared =
+      Prepare(std::move(corpus), prepare_key, request, &cache_hit);
+  double prepare_seconds = prepare_timer.ElapsedSeconds();
+  metrics_.counter(cache_hit ? "engine.cache_hits" : "engine.cache_misses")
+      .Increment();
+  if (!prepared.ok()) {
+    metrics_.counter("engine.errors").Increment();
+    return prepared.status();
+  }
+  metrics_.histogram("engine.prepare_seconds").Observe(prepare_seconds);
+
+  auto selector = MakeSelector(request.selector);
+  if (!selector.ok()) {
+    metrics_.counter("engine.errors").Increment();
+    return selector.status();
+  }
+
+  const PreparedInstance& bundle = *prepared.value();
+  Timer solve_timer;
+  auto solved = selector.value()->Select(bundle.vectors, request.options);
+  double solve_seconds = solve_timer.ElapsedSeconds();
+  if (!solved.ok()) {
+    metrics_.counter("engine.errors").Increment();
+    return solved.status();
+  }
+  metrics_.histogram("engine.solve_seconds").Observe(solve_seconds);
+
+  SelectResponse response;
+  response.target_id = bundle.instance.target().id;
+  response.item_ids.reserve(bundle.instance.num_items());
+  for (const Product* item : bundle.instance.items) {
+    response.item_ids.push_back(item->id);
+  }
+  response.selections = std::move(solved.value().selections);
+  response.objective = solved.value().objective;
+  if (options_.measure_alignment) {
+    response.alignment =
+        MeasureAlignment(bundle.instance, response.selections);
+  }
+  response.cache_hit = cache_hit;
+  response.prepare_seconds = prepare_seconds;
+  response.solve_seconds = solve_seconds;
+  if (options_.result_capacity > 0) ResultStore(result_key, response);
+  metrics_.histogram("engine.request_seconds").Observe(total.ElapsedSeconds());
+  return response;
+}
+
+std::vector<Result<SelectResponse>> SelectionEngine::SelectBatch(
+    const std::vector<SelectRequest>& requests) const {
+  metrics_.counter("engine.batches").Increment();
+  std::vector<std::optional<Result<SelectResponse>>> slots(requests.size());
+  pool_.ParallelFor(requests.size(),
+                    [&](size_t i) { slots[i] = Select(requests[i]); });
+
+  std::vector<Result<SelectResponse>> responses;
+  responses.reserve(slots.size());
+  for (auto& slot : slots) responses.push_back(std::move(*slot));
+  return responses;
+}
+
+std::string SelectionEngine::DumpMetrics() const {
+  VectorCacheStats stats = cache_.Stats();
+  metrics_.SetGauge("cache.entries", static_cast<double>(stats.entries));
+  metrics_.SetGauge("cache.approx_bytes",
+                    static_cast<double>(stats.approx_bytes));
+  metrics_.SetGauge("cache.evictions", static_cast<double>(stats.evictions));
+  {
+    std::lock_guard<std::mutex> lock(result_mutex_);
+    metrics_.SetGauge("result_cache.entries",
+                      static_cast<double>(result_lru_.size()));
+  }
+  return metrics_.Dump();
+}
+
+Result<std::vector<InstanceSolve>> SelectionEngine::SolveInstances(
+    const ReviewSelector& selector,
+    const std::vector<InstanceVectors>& vectors,
+    const SelectorOptions& options, ThreadPool* pool) {
+  size_t n = vectors.size();
+  std::vector<InstanceSolve> solves(n);
+
+  if (pool == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      Timer timer;
+      COMPARESETS_ASSIGN_OR_RETURN(solves[i].result,
+                                   selector.Select(vectors[i], options));
+      solves[i].seconds = timer.ElapsedSeconds();
+    }
+    return solves;
+  }
+
+  std::mutex error_mutex;
+  Status first_error = Status::OK();
+  size_t first_error_index = n;
+  pool->ParallelFor(n, [&](size_t i) {
+    Timer timer;
+    auto result = selector.Select(vectors[i], options);
+    solves[i].seconds = timer.ElapsedSeconds();
+    if (!result.ok()) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      // Report the lowest failing index so the error is deterministic
+      // regardless of completion order.
+      if (i < first_error_index) {
+        first_error = result.status();
+        first_error_index = i;
+      }
+      return;
+    }
+    solves[i].result = std::move(result).value();
+  });
+  if (!first_error.ok()) return first_error;
+  return solves;
+}
+
+}  // namespace comparesets

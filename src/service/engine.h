@@ -1,0 +1,171 @@
+// SelectionEngine: the serving façade of the library. One engine owns
+// an immutable IndexedCorpus snapshot, a bounded VectorCache of
+// prepared per-instance contexts, a fixed-size ThreadPool, and a
+// MetricsRegistry — and answers structured per-target requests
+// (`Select`) or whole batches (`SelectBatch`) from that warm state.
+//
+// This is the layer the ROADMAP's "many concurrent comparison requests
+// over one catalog" goal rests on: the repro harness (eval/runner), the
+// CLI `serve` subcommand, and the table/figure benches all sit on top
+// of it, so the cached/pooled path is exercised by the reproduction
+// itself.
+//
+// Thread-safety: Select/SelectBatch are safe to call concurrently; the
+// catalog can be replaced at runtime with SwapCorpus (in-flight
+// requests finish against the snapshot they started with).
+
+#pragma once
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/selector.h"
+#include "eval/alignment.h"
+#include "service/indexed_corpus.h"
+#include "service/metrics.h"
+#include "service/vector_cache.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace comparesets {
+
+struct EngineOptions {
+  /// Worker threads for SelectBatch (0 = hardware concurrency).
+  size_t threads = 0;
+  /// Max prepared instances kept warm. Size to the working set: one
+  /// entry per (target, comparative set, opinion definition) queried.
+  size_t cache_capacity = 256;
+  /// Max fully solved responses memoized (0 disables the memo). Every
+  /// selector is deterministic given (vectors, options), so an exactly
+  /// repeated request returns a bit-identical response — the memo lets
+  /// repeat queries skip the solve entirely, not just the vector build.
+  size_t result_capacity = 1024;
+  /// Opinion definition used to vectorize reviews. Fixed per engine
+  /// (it changes every cached vector); run one engine per definition.
+  OpinionDefinition opinion = OpinionDefinition::kBinary;
+  /// Whether responses carry alignment scores (pairwise ROUGE — adds
+  /// O(pairs · text) per request; serving paths may turn it off).
+  bool measure_alignment = true;
+};
+
+struct SelectRequest {
+  /// Target product id (instance resolved from also-bought metadata).
+  std::string target_id;
+  /// Explicit comparative product ids; empty = use the corpus's
+  /// enumerated instance for target_id.
+  std::vector<std::string> comparative_ids;
+  /// Selector name, as accepted by MakeSelector.
+  std::string selector = "CompaReSetS+";
+  /// m / λ / μ / seed / sync rounds.
+  SelectorOptions options;
+};
+
+struct SelectResponse {
+  std::string target_id;
+  /// Item ids in instance order (index 0 = target).
+  std::vector<std::string> item_ids;
+  /// Selected review indices per item, aligned with item_ids.
+  std::vector<Selection> selections;
+  /// Eq. 5 objective of the selections under the request's λ, μ.
+  double objective = 0.0;
+  /// Pairwise-ROUGE alignment (only when EngineOptions.measure_alignment).
+  AlignmentScores alignment;
+  /// Whether the response was served from warm state — prepared vectors
+  /// from the VectorCache, or the whole response from the result memo.
+  bool cache_hit = false;
+  /// Whether the whole solved response came from the result memo (the
+  /// request repeated a previous one exactly; no solve ran).
+  bool result_cache_hit = false;
+  /// Seconds resolving + vectorizing the instance (≈0 on cache hit).
+  double prepare_seconds = 0.0;
+  /// Seconds inside the selector (the paper's runtime measure; 0 on a
+  /// result-memo hit).
+  double solve_seconds = 0.0;
+};
+
+/// One instance's outcome in a workload-style batched solve.
+struct InstanceSolve {
+  SelectionResult result;
+  /// Per-instance solve seconds. Summing these gives the serial-cost
+  /// runtime measure used by Figure 7, not wall-clock.
+  double seconds = 0.0;
+};
+
+class SelectionEngine {
+ public:
+  explicit SelectionEngine(std::shared_ptr<const IndexedCorpus> corpus,
+                           EngineOptions options = {});
+
+  /// Answers one request. Unknown selector names, unknown target ids,
+  /// and unknown comparative ids return a Status (no crash paths).
+  Result<SelectResponse> Select(const SelectRequest& request) const;
+
+  /// Answers a batch concurrently on the internal pool. Responses are
+  /// in request order; each request succeeds or fails independently.
+  std::vector<Result<SelectResponse>> SelectBatch(
+      const std::vector<SelectRequest>& requests) const;
+
+  /// Replaces the catalog snapshot. The vector cache is invalidated;
+  /// in-flight requests keep the snapshot they resolved against.
+  void SwapCorpus(std::shared_ptr<const IndexedCorpus> corpus);
+
+  /// Current catalog snapshot.
+  std::shared_ptr<const IndexedCorpus> corpus() const;
+
+  const EngineOptions& options() const { return options_; }
+  VectorCacheStats CacheStats() const { return cache_.Stats(); }
+
+  /// Text dump of counters/gauges/histograms (cache stats refreshed).
+  std::string DumpMetrics() const;
+
+  /// Low-level batched execution backend: runs `selector` over every
+  /// prepared vector context, distributing instances over `pool`
+  /// (nullptr = serial, in index order). Shared with the eval runner,
+  /// which layers alignment aggregation on top.
+  static Result<std::vector<InstanceSolve>> SolveInstances(
+      const ReviewSelector& selector,
+      const std::vector<InstanceVectors>& vectors,
+      const SelectorOptions& options, ThreadPool* pool);
+
+ private:
+  /// Resolves the request's instance against `corpus` and returns its
+  /// prepared bundle, from cache when warm (under `key`, which already
+  /// encodes the snapshot epoch). Sets *cache_hit accordingly.
+  Result<std::shared_ptr<const PreparedInstance>> Prepare(
+      std::shared_ptr<const IndexedCorpus> corpus, const std::string& key,
+      const SelectRequest& request, bool* cache_hit) const;
+
+  /// Result-memo LRU plumbing (guarded by result_mutex_). Lookup copies
+  /// the entry out under the lock and promotes it to most-recently-used.
+  bool ResultLookup(const std::string& key, SelectResponse* out) const;
+  void ResultStore(const std::string& key, const SelectResponse& response)
+      const;
+
+  EngineOptions options_;
+  mutable std::mutex corpus_mutex_;
+  std::shared_ptr<const IndexedCorpus> corpus_;
+  /// Bumped by SwapCorpus; part of every cache key so an entry built
+  /// against an old snapshot can never serve a new one.
+  uint64_t corpus_epoch_ = 0;
+  mutable VectorCache cache_;
+
+  /// Fully solved responses, keyed on the vector-cache key extended
+  /// with selector name + every SelectorOptions field. Front = MRU.
+  struct ResultEntry {
+    std::string key;
+    SelectResponse response;
+  };
+  mutable std::mutex result_mutex_;
+  mutable std::list<ResultEntry> result_lru_;
+  mutable std::unordered_map<std::string, std::list<ResultEntry>::iterator>
+      result_index_;
+
+  mutable MetricsRegistry metrics_;
+  mutable ThreadPool pool_;
+};
+
+}  // namespace comparesets

@@ -1,0 +1,31 @@
+#include "service/indexed_corpus.h"
+
+namespace comparesets {
+
+Result<std::shared_ptr<const IndexedCorpus>> IndexedCorpus::Build(
+    Corpus corpus, const InstanceOptions& options) {
+  std::shared_ptr<IndexedCorpus> indexed(new IndexedCorpus());
+  indexed->corpus_ = std::move(corpus);
+  if (!indexed->corpus_.finalized()) indexed->corpus_.Finalize();
+
+  // Instances are enumerated after the corpus settled into its final
+  // home, so their Product pointers stay valid for our lifetime.
+  indexed->instances_ = indexed->corpus_.BuildInstances(options);
+  if (indexed->instances_.empty()) {
+    return Status::InvalidArgument(
+        "corpus yields no problem instances (too few linked products?)");
+  }
+  indexed->by_target_.reserve(indexed->instances_.size());
+  for (size_t i = 0; i < indexed->instances_.size(); ++i) {
+    indexed->by_target_.emplace(indexed->instances_[i].target().id, i);
+  }
+  return std::shared_ptr<const IndexedCorpus>(std::move(indexed));
+}
+
+const ProblemInstance* IndexedCorpus::FindInstance(
+    const std::string& target_id) const {
+  auto it = by_target_.find(target_id);
+  return it == by_target_.end() ? nullptr : &instances_[it->second];
+}
+
+}  // namespace comparesets

@@ -1,0 +1,57 @@
+// IndexedCorpus: the immutable, shareable catalog snapshot the serving
+// layer answers from. Wraps a finalized Corpus together with its
+// enumerated problem instances (one per eligible target, §4.1.1) and a
+// target-id → instance index, so per-request resolution is O(1) instead
+// of re-running BuildInstances per query.
+//
+// Instances are built once at construction and never mutated; the
+// object is always held behind shared_ptr<const IndexedCorpus>, so
+// concurrent readers (engine worker threads, cached vector entries that
+// outlive a catalog swap) need no locking.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/corpus.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+class IndexedCorpus {
+ public:
+  /// Takes ownership of `corpus` (finalizing it if needed), enumerates
+  /// its problem instances under `options`, and freezes the result.
+  /// Fails when the corpus yields no instances.
+  static Result<std::shared_ptr<const IndexedCorpus>> Build(
+      Corpus corpus, const InstanceOptions& options = {});
+
+  const Corpus& corpus() const { return corpus_; }
+  const std::string& name() const { return corpus_.name(); }
+  size_t num_aspects() const { return corpus_.num_aspects(); }
+
+  /// All enumerated instances, in BuildInstances order.
+  const std::vector<ProblemInstance>& instances() const { return instances_; }
+  size_t num_instances() const { return instances_.size(); }
+
+  /// The also-bought instance whose target has `target_id`; nullptr
+  /// when no instance has that target.
+  const ProblemInstance* FindInstance(const std::string& target_id) const;
+
+  /// Product lookup by id; nullptr when absent.
+  const Product* FindProduct(const std::string& product_id) const {
+    return corpus_.Find(product_id);
+  }
+
+ private:
+  IndexedCorpus() = default;
+
+  Corpus corpus_;
+  std::vector<ProblemInstance> instances_;
+  std::unordered_map<std::string, size_t> by_target_;
+};
+
+}  // namespace comparesets

@@ -1,0 +1,91 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace comparesets {
+
+void Histogram::Observe(double value) {
+  int bucket = 0;
+  if (value > 0.0) {
+    bucket = static_cast<int>(std::floor(std::log10(value))) - kMinExponent;
+    bucket = std::clamp(bucket, 0, kNumBuckets - 1);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket];
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot snapshot;
+  snapshot.count = count_;
+  snapshot.sum = sum_;
+  snapshot.min = min_;
+  snapshot.max = max_;
+  snapshot.mean = count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  snapshot.buckets.assign(buckets_, buckets_ + kNumBuckets);
+  return snapshot;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+std::string MetricsRegistry::Dump() const {
+  // Copy instrument pointers under the lock, then read them unlocked
+  // (counters are atomic; histograms snapshot under their own lock).
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  std::vector<std::pair<std::string, double>> gauges;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+    for (const auto& [name, v] : gauges_) gauges.emplace_back(name, v);
+  }
+
+  std::string out;
+  char line[256];
+  for (const auto& [name, c] : counters) {
+    std::snprintf(line, sizeof(line), "counter %s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += line;
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(line, sizeof(line), "gauge %s %.6g\n", name.c_str(), value);
+    out += line;
+  }
+  for (const auto& [name, h] : histograms) {
+    HistogramSnapshot s = h->Snapshot();
+    std::snprintf(line, sizeof(line),
+                  "histogram %s count=%llu mean=%.6gs min=%.6gs max=%.6gs\n",
+                  name.c_str(), static_cast<unsigned long long>(s.count),
+                  s.mean, s.min, s.max);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace comparesets

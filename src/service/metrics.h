@@ -1,0 +1,82 @@
+// Lightweight operational metrics for the serving layer: named
+// monotonic counters and latency histograms with a text dump hook.
+// Counters are lock-free; histograms take a short lock per observation.
+// Registered instruments live as long as the registry and are safe to
+// update from any engine worker thread.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace comparesets {
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Summary snapshot of a histogram.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  /// Observations per power-of-ten bucket; bucket b counts values in
+  /// [10^(b + kMinExponent), 10^(b + kMinExponent + 1)).
+  std::vector<uint64_t> buckets;
+};
+
+/// Histogram over positive values (latencies in seconds), bucketed by
+/// decade from 1µs to 1000s; out-of-range values clamp to the edges.
+class Histogram {
+ public:
+  static constexpr int kMinExponent = -6;  ///< First bucket: 1µs.
+  static constexpr int kNumBuckets = 10;   ///< Last bucket: ≥ 1000s.
+
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  uint64_t buckets_[kNumBuckets] = {};
+};
+
+/// Named instrument registry. Lookup interns the instrument on first
+/// use; returned references stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Point-in-time gauge (set, not accumulated) for sizes/footprints.
+  void SetGauge(const std::string& name, double value);
+
+  /// Human-readable dump, one instrument per line, sorted by name.
+  std::string Dump() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace comparesets

@@ -1,0 +1,89 @@
+// VectorCache: a bounded, thread-safe LRU cache of prepared instance
+// contexts. Building InstanceVectors (τ, Γ and the per-review design
+// columns) costs O(reviews × dims) per instance — the dominant setup
+// cost of a query — so repeated queries against the same catalog should
+// pay it once, not per request.
+//
+// Entries are immutable PreparedInstance bundles held by shared_ptr:
+// a lookup hands out shared ownership, so an entry evicted (or
+// invalidated by a catalog swap) while a request is still computing on
+// it stays alive until that request finishes.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "opinion/vectors.h"
+#include "service/indexed_corpus.h"
+
+namespace comparesets {
+
+/// One cached, fully prepared problem instance. The bundle owns every
+/// layer a selector needs: the corpus snapshot (kept alive across
+/// catalog swaps), the instance (whose Product pointers reach into the
+/// snapshot), and the derived vectors (whose `instance` pointer reaches
+/// into this same bundle). Never moved after wiring — always heap-
+/// allocated behind shared_ptr.
+struct PreparedInstance {
+  std::shared_ptr<const IndexedCorpus> corpus;
+  ProblemInstance instance;
+  InstanceVectors vectors;
+
+  /// Allocates a bundle and wires vectors.instance to the owned copy.
+  static std::shared_ptr<const PreparedInstance> Create(
+      std::shared_ptr<const IndexedCorpus> corpus, ProblemInstance instance,
+      const OpinionModel& model);
+};
+
+/// Monotonic counters exposed by the cache (snapshot semantics).
+struct VectorCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t approx_bytes = 0;  ///< Sum of cached InstanceVectors footprints.
+};
+
+class VectorCache {
+ public:
+  /// A cache that holds at most `capacity` entries (>= 1).
+  explicit VectorCache(size_t capacity);
+
+  /// Returns the entry for `key` and marks it most-recently-used;
+  /// nullptr on miss. Every call counts as exactly one hit or miss.
+  std::shared_ptr<const PreparedInstance> Get(const std::string& key);
+
+  /// Inserts (or replaces) the entry for `key`, evicting the least-
+  /// recently-used entry when at capacity. Not counted as a hit/miss.
+  void Put(const std::string& key,
+           std::shared_ptr<const PreparedInstance> value);
+
+  /// Drops every entry (catalog swap). Counters are retained.
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  VectorCacheStats Stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const PreparedInstance> value;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace comparesets

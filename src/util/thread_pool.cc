@@ -1,0 +1,103 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace comparesets {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1) {
+    body(0);
+    return;
+  }
+
+  // Shared between this call's helper tasks; shared_ptr so stragglers
+  // scheduled after ParallelFor returned (all indices claimed) stay safe.
+  struct LoopState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t n;
+    std::mutex mutex;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->n = n;
+
+  auto drain = [state, &body] {
+    for (;;) {
+      size_t i = state->next.fetch_add(1);
+      if (i >= state->n) return;
+      body(i);
+      if (state->done.fetch_add(1) + 1 == state->n) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->all_done.notify_all();
+      }
+    }
+  };
+
+  // The caller thread participates, so at most workers+1 lanes are
+  // useful; helpers that find no index left exit immediately. Helpers
+  // capture `body` by reference — safe because a helper only touches it
+  // after claiming an index, and all indices are claimed before this
+  // call returns (we wait on done == n below).
+  size_t helpers = std::min(num_threads(), n - 1);
+  for (size_t t = 0; t < helpers; ++t) Submit(drain);
+  drain();
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock,
+                       [&] { return state->done.load() == state->n; });
+}
+
+size_t ThreadPool::ResolveThreads(size_t requested, size_t max_useful) {
+  if (requested == 0) {
+    requested = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (max_useful > 0) requested = std::min(requested, max_useful);
+  return std::max<size_t>(1, requested);
+}
+
+}  // namespace comparesets

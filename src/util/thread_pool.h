@@ -1,0 +1,61 @@
+// Fixed-size worker pool shared by the eval runner and the serving
+// engine. Extracted from the ad-hoc std::thread loop that used to live
+// in eval/runner.cc so every batched caller shares one implementation
+// (and thread creation cost is paid once per pool, not per run).
+//
+// Two entry points:
+//   * Submit(task)        — fire-and-forget enqueue;
+//   * ParallelFor(n, fn)  — block until fn(0..n-1) all ran. The calling
+//     thread participates in the loop, so ParallelFor makes progress
+//     even on a fully busy (or 1-thread) pool.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace comparesets {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = hardware concurrency, min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; runs on some worker thread. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [0, n), distributing indices over the
+  /// workers and the calling thread; returns when all n ran. The body
+  /// must not throw; report failures through captured state (Status).
+  /// Safe to call from multiple threads concurrently (each call claims
+  /// its own index range), but not reentrantly from inside a body.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// Resolves a thread-count request: 0 means hardware concurrency and
+  /// the result is clamped to [1, max_useful].
+  static size_t ResolveThreads(size_t requested, size_t max_useful);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace comparesets

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+
 namespace comparesets {
 namespace {
 
@@ -127,6 +130,41 @@ TEST(RunSelectorParallelTest, MatchesSerialResults) {
     EXPECT_NEAR(parallel.value().MeanAmong().rougeL.f1,
                 serial.value().MeanAmong().rougeL.f1, 1e-12);
     EXPECT_GT(parallel.value().total_seconds, 0.0);
+  }
+}
+
+TEST(RunSelectorParallelTest, BitIdenticalToSerialForAllSelectors) {
+  // Determinism contract: for every selector and thread count, the
+  // parallel runner must reproduce RunSelector bit for bit — same
+  // selections, same objective doubles, same alignment scores.
+  auto workload = Workload::BuildSynthetic(SmallConfig());
+  ASSERT_TRUE(workload.ok());
+  SelectorOptions options;
+  options.m = 3;
+  size_t hardware = std::max(1u, std::thread::hardware_concurrency());
+  for (const std::string& name : AllSelectorNames()) {
+    auto selector = MakeSelector(name).ValueOrDie();
+    auto serial = RunSelector(*selector, workload.value(), options);
+    ASSERT_TRUE(serial.ok()) << name << ": " << serial.status();
+    for (size_t threads : {size_t{1}, size_t{2}, hardware}) {
+      auto parallel =
+          RunSelectorParallel(*selector, workload.value(), options, threads);
+      ASSERT_TRUE(parallel.ok()) << name << " threads=" << threads;
+      ASSERT_EQ(parallel.value().results.size(),
+                serial.value().results.size());
+      for (size_t i = 0; i < serial.value().results.size(); ++i) {
+        EXPECT_EQ(parallel.value().results[i].selections,
+                  serial.value().results[i].selections)
+            << name << " threads=" << threads << " instance " << i;
+        EXPECT_EQ(parallel.value().results[i].objective,
+                  serial.value().results[i].objective)
+            << name << " threads=" << threads << " instance " << i;
+        EXPECT_EQ(
+            parallel.value().alignment[i].among_items.rougeL.f1,
+            serial.value().alignment[i].among_items.rougeL.f1)
+            << name << " threads=" << threads << " instance " << i;
+      }
+    }
   }
 }
 

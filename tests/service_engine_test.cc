@@ -1,0 +1,297 @@
+#include "service/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/runner.h"
+
+namespace comparesets {
+namespace {
+
+std::shared_ptr<const IndexedCorpus> MakeCorpus(size_t products,
+                                                uint64_t seed = 42) {
+  auto config = DefaultConfig("Cellphone", products);
+  config.status().CheckOK();
+  config.value().seed = seed;
+  auto corpus = GenerateCorpus(config.value());
+  corpus.status().CheckOK();
+  return IndexedCorpus::Build(std::move(corpus).value()).ValueOrDie();
+}
+
+SelectRequest RequestFor(const IndexedCorpus& corpus, size_t instance,
+                         const std::string& selector = "CompaReSetS") {
+  SelectRequest request;
+  request.target_id = corpus.instances()[instance].target().id;
+  request.selector = selector;
+  return request;
+}
+
+TEST(SelectionEngineTest, SelectAnswersKnownTarget) {
+  auto corpus = MakeCorpus(60);
+  SelectionEngine engine(corpus);
+  auto response = engine.Select(RequestFor(*corpus, 0));
+  ASSERT_TRUE(response.ok()) << response.status();
+  const SelectResponse& r = response.value();
+  EXPECT_EQ(r.target_id, corpus->instances()[0].target().id);
+  EXPECT_EQ(r.item_ids.size(), corpus->instances()[0].num_items());
+  EXPECT_EQ(r.selections.size(), r.item_ids.size());
+  for (const Selection& s : r.selections) {
+    EXPECT_GE(s.size(), 1u);
+    EXPECT_LE(s.size(), 3u);  // Default m.
+  }
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_GT(r.prepare_seconds, 0.0);
+  EXPECT_GT(r.alignment.among_pairs, 0u);
+}
+
+TEST(SelectionEngineTest, UnknownSelectorReturnsStatus) {
+  auto corpus = MakeCorpus(60);
+  SelectionEngine engine(corpus);
+  SelectRequest request = RequestFor(*corpus, 0, "Frobnicator");
+  auto response = engine.Select(request);
+  EXPECT_FALSE(response.ok());
+}
+
+TEST(SelectionEngineTest, UnknownTargetReturnsNotFound) {
+  auto corpus = MakeCorpus(60);
+  SelectionEngine engine(corpus);
+  SelectRequest request;
+  request.target_id = "no-such-product";
+  auto response = engine.Select(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kNotFound);
+
+  SelectRequest empty;
+  EXPECT_EQ(engine.Select(empty).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SelectionEngineTest, ExplicitComparativeSet) {
+  auto corpus = MakeCorpus(60);
+  SelectionEngine engine(corpus);
+  const ProblemInstance& instance = corpus->instances()[0];
+
+  SelectRequest request;
+  request.target_id = instance.target().id;
+  request.comparative_ids = {instance.items[1]->id, instance.items[2]->id};
+  auto response = engine.Select(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response.value().item_ids.size(), 3u);
+  EXPECT_EQ(response.value().item_ids[1], instance.items[1]->id);
+
+  request.comparative_ids = {"no-such-product"};
+  EXPECT_EQ(engine.Select(request).status().code(), StatusCode::kNotFound);
+
+  request.comparative_ids = {instance.target().id};
+  EXPECT_EQ(engine.Select(request).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SelectionEngineTest, RepeatedQueryHitsCacheWithIdenticalResult) {
+  auto corpus = MakeCorpus(60);
+  SelectionEngine engine(corpus);
+  SelectRequest request = RequestFor(*corpus, 0, "CompaReSetS+");
+
+  auto cold = engine.Select(request);
+  auto warm = engine.Select(request);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(cold.value().cache_hit);
+  EXPECT_FALSE(cold.value().result_cache_hit);
+  // An exact repeat is served whole from the result memo (no solve, no
+  // vector-cache traffic).
+  EXPECT_TRUE(warm.value().cache_hit);
+  EXPECT_TRUE(warm.value().result_cache_hit);
+  EXPECT_EQ(warm.value().solve_seconds, 0.0);
+  EXPECT_EQ(cold.value().selections, warm.value().selections);
+  EXPECT_EQ(cold.value().objective, warm.value().objective);
+
+  VectorCacheStats stats = engine.CacheStats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  // Same instance but different m: the memo misses (options are part of
+  // its key) while the prepared vectors are reused.
+  request.options.m = 2;
+  auto vector_warm = engine.Select(request);
+  ASSERT_TRUE(vector_warm.ok());
+  EXPECT_TRUE(vector_warm.value().cache_hit);
+  EXPECT_FALSE(vector_warm.value().result_cache_hit);
+  EXPECT_EQ(engine.CacheStats().hits, 1u);
+}
+
+TEST(SelectionEngineTest, ResultMemoCanBeDisabled) {
+  auto corpus = MakeCorpus(60);
+  EngineOptions options;
+  options.result_capacity = 0;
+  SelectionEngine engine(corpus, options);
+  SelectRequest request = RequestFor(*corpus, 0);
+
+  auto cold = engine.Select(request);
+  auto warm = engine.Select(request);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(warm.value().result_cache_hit);
+  EXPECT_TRUE(warm.value().cache_hit);  // The vector cache still serves.
+  EXPECT_EQ(cold.value().selections, warm.value().selections);
+  EXPECT_EQ(cold.value().objective, warm.value().objective);
+}
+
+TEST(SelectionEngineTest, ResultMemoEvictsAtCapacity) {
+  auto corpus = MakeCorpus(80);
+  EngineOptions options;
+  options.result_capacity = 1;
+  SelectionEngine engine(corpus, options);
+  ASSERT_GE(corpus->num_instances(), 2u);
+  SelectRequest first = RequestFor(*corpus, 0);
+  SelectRequest second = RequestFor(*corpus, 1);
+
+  ASSERT_TRUE(engine.Select(first).ok());
+  ASSERT_TRUE(engine.Select(second).ok());  // Evicts `first` (capacity 1).
+
+  auto again = engine.Select(first);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.value().result_cache_hit);
+  EXPECT_TRUE(again.value().cache_hit);  // Vectors survived in their cache.
+  EXPECT_TRUE(engine.Select(first).value().result_cache_hit);
+}
+
+TEST(SelectionEngineTest, BatchMatchesSequentialSelects) {
+  auto corpus = MakeCorpus(80);
+  EngineOptions options;
+  options.threads = 4;
+  SelectionEngine engine(corpus, options);
+
+  std::vector<SelectRequest> requests;
+  size_t n = std::min<size_t>(corpus->num_instances(), 8);
+  for (size_t i = 0; i < n; ++i) {
+    for (const char* selector : {"Crs", "CompaReSetS", "CompaReSetS+"}) {
+      requests.push_back(RequestFor(*corpus, i, selector));
+    }
+  }
+  // One bad request must not poison the batch.
+  SelectRequest bad;
+  bad.target_id = "no-such-product";
+  requests.push_back(bad);
+
+  std::vector<Result<SelectResponse>> batch = engine.SelectBatch(requests);
+  ASSERT_EQ(batch.size(), requests.size());
+  EXPECT_FALSE(batch.back().ok());
+
+  for (size_t i = 0; i + 1 < requests.size(); ++i) {
+    auto sequential = engine.Select(requests[i]);
+    ASSERT_TRUE(batch[i].ok()) << batch[i].status();
+    ASSERT_TRUE(sequential.ok());
+    EXPECT_EQ(batch[i].value().selections, sequential.value().selections)
+        << "request " << i;
+    EXPECT_EQ(batch[i].value().objective, sequential.value().objective);
+    EXPECT_EQ(batch[i].value().item_ids, sequential.value().item_ids);
+  }
+}
+
+TEST(SelectionEngineTest, SwapCorpusInvalidatesCacheAndServesNewCatalog) {
+  auto old_corpus = MakeCorpus(60, /*seed=*/42);
+  SelectionEngine engine(old_corpus);
+  SelectRequest request = RequestFor(*old_corpus, 0);
+  ASSERT_TRUE(engine.Select(request).ok());
+  EXPECT_EQ(engine.CacheStats().entries, 1u);
+
+  // Same generator config, different seed: same id space, different
+  // reviews — a stale vector entry would silently answer from the old
+  // catalog.
+  auto new_corpus = MakeCorpus(60, /*seed=*/7);
+  engine.SwapCorpus(new_corpus);
+  EXPECT_EQ(engine.corpus(), new_corpus);
+  EXPECT_EQ(engine.CacheStats().entries, 0u);
+
+  auto response = engine.Select(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_FALSE(response.value().cache_hit);  // Rebuilt, not stale.
+
+  // And the rebuilt entry reflects the new snapshot's review set.
+  auto reference = SelectionEngine(new_corpus).Select(request);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(response.value().selections, reference.value().selections);
+  EXPECT_EQ(response.value().objective, reference.value().objective);
+}
+
+TEST(SelectionEngineTest, CacheEvictionRespectsCapacity) {
+  auto corpus = MakeCorpus(80);
+  EngineOptions options;
+  options.cache_capacity = 2;
+  SelectionEngine engine(corpus, options);
+  size_t n = std::min<size_t>(corpus->num_instances(), 4);
+  ASSERT_GE(n, 3u);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(engine.Select(RequestFor(*corpus, i)).ok());
+  }
+  VectorCacheStats stats = engine.CacheStats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, n - 2);
+}
+
+TEST(SelectionEngineTest, MetricsDumpCoversRequestCounters) {
+  auto corpus = MakeCorpus(60);
+  SelectionEngine engine(corpus);
+  SelectRequest request = RequestFor(*corpus, 0);
+  ASSERT_TRUE(engine.Select(request).ok());
+  ASSERT_TRUE(engine.Select(request).ok());
+
+  std::string dump = engine.DumpMetrics();
+  EXPECT_NE(dump.find("counter engine.requests 2"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("counter engine.cache_misses 1"), std::string::npos);
+  EXPECT_NE(dump.find("counter engine.result_hits 1"), std::string::npos);
+  EXPECT_NE(dump.find("counter engine.result_misses 1"), std::string::npos);
+  EXPECT_NE(dump.find("histogram engine.solve_seconds"), std::string::npos);
+  EXPECT_NE(dump.find("gauge cache.entries 1"), std::string::npos);
+  EXPECT_NE(dump.find("gauge result_cache.entries 1"), std::string::npos);
+}
+
+// Acceptance parity: over a 240-product synthetic workload, the batched
+// engine path must reproduce the pre-refactor RunSelector results for
+// every selector, bit for bit.
+TEST(SelectionEngineTest, MatchesRunSelectorOver240ProductWorkload) {
+  RunnerConfig config;
+  config.category = "Cellphone";
+  config.num_products = 240;
+  config.max_instances = 20;
+  auto workload = Workload::BuildSynthetic(config);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  EngineOptions engine_options;
+  engine_options.threads = 2;
+  engine_options.cache_capacity = 64;
+  SelectionEngine engine(workload.value().indexed_corpus(), engine_options);
+
+  for (const std::string& name : AllSelectorNames()) {
+    SelectorOptions options;
+    options.m = 3;
+    auto selector = MakeSelector(name).ValueOrDie();
+    auto reference = RunSelector(*selector, workload.value(), options);
+    ASSERT_TRUE(reference.ok()) << reference.status();
+
+    std::vector<SelectRequest> requests;
+    for (size_t i = 0; i < workload.value().num_instances(); ++i) {
+      SelectRequest request;
+      request.target_id = workload.value().instances()[i].target().id;
+      request.selector = name;
+      request.options = options;
+      requests.push_back(std::move(request));
+    }
+    std::vector<Result<SelectResponse>> responses =
+        engine.SelectBatch(requests);
+    ASSERT_EQ(responses.size(), reference.value().results.size());
+    for (size_t i = 0; i < responses.size(); ++i) {
+      ASSERT_TRUE(responses[i].ok()) << responses[i].status();
+      EXPECT_EQ(responses[i].value().selections,
+                reference.value().results[i].selections)
+          << name << " instance " << i;
+      EXPECT_EQ(responses[i].value().objective,
+                reference.value().results[i].objective)
+          << name << " instance " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,120 @@
+#include "service/vector_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace comparesets {
+namespace {
+
+class VectorCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto config = DefaultConfig("Cellphone", 40);
+    ASSERT_TRUE(config.ok());
+    auto corpus = GenerateCorpus(config.value());
+    ASSERT_TRUE(corpus.ok());
+    auto indexed = IndexedCorpus::Build(std::move(corpus).value());
+    ASSERT_TRUE(indexed.ok()) << indexed.status();
+    corpus_ = indexed.value();
+    ASSERT_GE(corpus_->num_instances(), 3u);
+  }
+
+  /// A prepared bundle for the i-th enumerated instance.
+  std::shared_ptr<const PreparedInstance> Bundle(size_t i) {
+    OpinionModel model = OpinionModel::Binary(corpus_->num_aspects());
+    return PreparedInstance::Create(corpus_, corpus_->instances()[i], model);
+  }
+
+  std::shared_ptr<const IndexedCorpus> corpus_;
+};
+
+TEST_F(VectorCacheTest, PreparedInstanceWiresVectorsToOwnedInstance) {
+  auto bundle = Bundle(0);
+  EXPECT_EQ(bundle->vectors.instance, &bundle->instance);
+  EXPECT_EQ(bundle->vectors.num_items(), bundle->instance.num_items());
+  EXPECT_GT(bundle->vectors.ApproxMemoryBytes(), 0u);
+}
+
+TEST_F(VectorCacheTest, HitAndMissAccounting) {
+  VectorCache cache(4);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  auto bundle = Bundle(0);
+  cache.Put("a", bundle);
+  EXPECT_EQ(cache.Get("a"), bundle);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_EQ(cache.Get("a"), bundle);
+
+  VectorCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.approx_bytes, 0u);
+}
+
+TEST_F(VectorCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  VectorCache cache(2);
+  cache.Put("a", Bundle(0));
+  cache.Put("b", Bundle(1));
+  // Touch "a" so "b" becomes the LRU entry.
+  EXPECT_NE(cache.Get("a"), nullptr);
+  cache.Put("c", Bundle(2));
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  EXPECT_NE(cache.Get("a"), nullptr);  // Survived (recently used).
+  EXPECT_EQ(cache.Get("b"), nullptr);  // Evicted.
+  EXPECT_NE(cache.Get("c"), nullptr);
+}
+
+TEST_F(VectorCacheTest, PutReplacesExistingKeyWithoutEviction) {
+  VectorCache cache(2);
+  cache.Put("a", Bundle(0));
+  auto replacement = Bundle(1);
+  cache.Put("a", replacement);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Stats().evictions, 0u);
+  EXPECT_EQ(cache.Get("a"), replacement);
+}
+
+TEST_F(VectorCacheTest, CapacityIsAtLeastOne) {
+  VectorCache cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.Put("a", Bundle(0));
+  cache.Put("b", Bundle(1));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(VectorCacheTest, ClearDropsAllEntriesAndKeepsCounters) {
+  VectorCache cache(4);
+  cache.Put("a", Bundle(0));
+  cache.Put("b", Bundle(1));
+  EXPECT_NE(cache.Get("a"), nullptr);
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  // No stale entry survives the swap: both lookups miss now.
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  VectorCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.approx_bytes, 0u);
+}
+
+TEST_F(VectorCacheTest, EvictedEntryStaysAliveForHolders) {
+  VectorCache cache(1);
+  auto bundle = Bundle(0);
+  cache.Put("a", bundle);
+  auto held = cache.Get("a");
+  cache.Put("b", Bundle(1));  // Evicts "a".
+  ASSERT_NE(held, nullptr);
+  // The held bundle is still fully usable after eviction.
+  EXPECT_EQ(held->vectors.instance, &held->instance);
+  EXPECT_GT(held->vectors.num_items(), 0u);
+}
+
+}  // namespace
+}  // namespace comparesets

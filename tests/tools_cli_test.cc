@@ -95,6 +95,71 @@ TEST(CliTest, ExportWritesFilesReadableBySelect) {
   }
 }
 
+TEST(CliTest, ServeAnswersBatchFromQueriesFile) {
+  // Synthetic ids are deterministic for a fixed seed, so the query file
+  // can name them directly. Mixed selectors + a repeated target, so the
+  // warm path (cache hit) is exercised end to end.
+  std::string path = ::testing::TempDir() + "/comparesets_cli_queries.txt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("# comment line\n"
+          "cellphone-P00000\n"
+          "cellphone-P00000 CompaReSetS 2\n"
+          "cellphone-P00001 Crs 2\n",
+          f);
+    fclose(f);
+  }
+  // --threads 1 keeps the batch serial: with a concurrent pool the two
+  // P00000 queries could both miss the (not yet populated) vector cache,
+  // making the cache=hit assertion racy.
+  CommandResult result = RunCli(
+      "serve --products 40 --metrics --cache_capacity 8 --threads 1 "
+      "--queries " + path);
+  std::remove(path.c_str());
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("Answered 3 queries (0 failed)"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("cache=hit"), std::string::npos);
+  EXPECT_NE(result.output.find("counter engine.requests 3"),
+            std::string::npos);
+}
+
+TEST(CliTest, ServeReportsUnknownTargetsWithoutPoisoningBatch) {
+  std::string path = ::testing::TempDir() + "/comparesets_cli_badquery.txt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("cellphone-P00000\nno-such-product\n", f);
+    fclose(f);
+  }
+  CommandResult result =
+      RunCli("serve --products 40 --queries " + path);
+  std::remove(path.c_str());
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("ERROR"), std::string::npos);
+  EXPECT_NE(result.output.find("Answered 2 queries (1 failed)"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(CliTest, ServeRejectsMalformedQueryLineCleanly) {
+  std::string path = ::testing::TempDir() + "/comparesets_cli_malformed.txt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("cellphone-P00000 Crs abc\n", f);
+    fclose(f);
+  }
+  CommandResult result = RunCli("serve --products 40 --queries " + path);
+  std::remove(path.c_str());
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("bad m 'abc'"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("line 1"), std::string::npos);
+}
+
 TEST(CliTest, HelpListsFlags) {
   CommandResult result = RunCli("select --help");
   EXPECT_EQ(result.exit_code, 0);

@@ -1,0 +1,92 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+namespace comparesets {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](size_t i) { counts[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesZeroAndOne) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "body called for n=0"; });
+
+  std::atomic<size_t> calls{0};
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForWithMoreIndicesThanThreads) {
+  ThreadPool pool(1);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(100, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPoolTest, SequentialParallelForCallsReuseWorkers) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<size_t> calls{0};
+    pool.ParallelFor(37, [&](size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 37u);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::mutex mutex;
+  std::condition_variable done;
+  bool ran = false;
+  pool.Submit([&] {
+    std::lock_guard<std::mutex> lock(mutex);
+    ran = true;
+    done.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  EXPECT_TRUE(done.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return ran; }));
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPoolTest, ResolveThreadsClampsAndDefaults) {
+  EXPECT_EQ(ThreadPool::ResolveThreads(8, 3), 3u);
+  EXPECT_EQ(ThreadPool::ResolveThreads(2, 5), 2u);
+  EXPECT_GE(ThreadPool::ResolveThreads(0, 16), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreads(4, 0), 4u);  // 0 = no cap.
+}
+
+TEST(ThreadPoolTest, NumThreadsMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  ThreadPool defaulted(0);
+  EXPECT_GE(defaulted.num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace comparesets

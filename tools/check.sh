@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Full verification sweep: configure -> build -> ctest under both the
+# Release and the Sanitize (ASan + UBSan) configurations. The sanitize
+# pass runs the whole suite — including the thread-pool and
+# SelectionEngine tests — so data races' memory fallout and UB in the
+# concurrent paths fail loudly.
+#
+#   tools/check.sh            # both configurations
+#   tools/check.sh release    # just one
+#   tools/check.sh sanitize
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+run_config() {
+  name="$1"; dir="$2"; shift 2
+  echo "== [$name] configure"
+  cmake -B "$dir" -S . "$@"
+  echo "== [$name] build"
+  cmake --build "$dir" -j "$JOBS"
+  echo "== [$name] ctest"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+want="${1:-all}"
+
+if [ "$want" = "all" ] || [ "$want" = "release" ]; then
+  run_config release build -DCMAKE_BUILD_TYPE=Release
+fi
+if [ "$want" = "all" ] || [ "$want" = "sanitize" ]; then
+  run_config sanitize build-sanitize \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOMPARESETS_SANITIZE=ON
+fi
+echo "== check.sh: all requested configurations green"

@@ -3,15 +3,21 @@
 //   comparesets stats   [--category C | --reviews F --metadata F]
 //   comparesets select  [data flags] [--target ID] [--algorithm A] [--m N]
 //   comparesets narrow  [data flags] [--target ID] [--k N] [--m N]
+//   comparesets serve   [data flags] [--queries F] [--threads N] [--metrics]
 //
 // Data source: either a synthetic category (--category Cellphone|Toy|
 // Clothing, --products N, --seed S) or Amazon-layout JSONL files
 // (--reviews, --metadata). `select` prints the comparative review sets;
 // `narrow` additionally reduces the comparative list to the core k items
-// via the exact TargetHkS solver.
+// via the exact TargetHkS solver. `serve` answers a batch of query lines
+// from one warm SelectionEngine (shared vector cache + thread pool).
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/selector.h"
 #include "data/export.h"
@@ -21,8 +27,10 @@
 #include "eval/alignment.h"
 #include "graph/targethks_exact.h"
 #include "opinion/vectors.h"
+#include "service/engine.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 using namespace comparesets;
 
@@ -158,12 +166,128 @@ int RunSelect(const FlagParser& flags, bool narrow) {
   return 0;
 }
 
+// One serve query per line: `target_id [algorithm] [m] [comp1,comp2,..]`.
+// Blank lines and lines starting with '#' are skipped; fields after the
+// target id default to the CLI-level --algorithm / --m flags and the
+// corpus's also-bought instance.
+Result<std::vector<SelectRequest>> ParseQueries(std::istream& in,
+                                                const FlagParser& flags) {
+  SelectorOptions defaults;
+  defaults.m = static_cast<size_t>(flags.GetInt("m"));
+  defaults.lambda = flags.GetDouble("lambda");
+  defaults.mu = flags.GetDouble("mu");
+
+  std::vector<SelectRequest> requests;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::vector<std::string> fields = SplitWhitespace(trimmed);
+
+    SelectRequest request;
+    request.target_id = fields[0];
+    request.selector = flags.GetString("algorithm");
+    request.options = defaults;
+    if (fields.size() > 1) request.selector = fields[1];
+    if (fields.size() > 2) {
+      int m = std::atoi(fields[2].c_str());
+      if (m <= 0) {
+        return Status::ParseError("query line " + std::to_string(line_number) +
+                                  ": bad m '" + fields[2] + "'");
+      }
+      request.options.m = static_cast<size_t>(m);
+    }
+    if (fields.size() > 3) request.comparative_ids = Split(fields[3], ',');
+    if (fields.size() > 4) {
+      return Status::ParseError("query line " + std::to_string(line_number) +
+                                ": too many fields");
+    }
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+int RunServe(const FlagParser& flags) {
+  auto corpus = LoadData(flags);
+  corpus.status().CheckOK();
+  auto indexed = IndexedCorpus::Build(std::move(corpus).value());
+  indexed.status().CheckOK();
+
+  EngineOptions engine_options;
+  engine_options.threads = static_cast<size_t>(flags.GetInt("threads"));
+  engine_options.cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache_capacity"));
+  SelectionEngine engine(indexed.value(), engine_options);
+
+  std::vector<SelectRequest> requests;
+  const std::string& queries_path = flags.GetString("queries");
+  if (queries_path.empty()) {
+    auto parsed = ParseQueries(std::cin, flags);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    requests = std::move(parsed).value();
+  } else {
+    std::ifstream file(queries_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open queries file '%s'\n",
+                   queries_path.c_str());
+      return 2;
+    }
+    auto parsed = ParseQueries(file, flags);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    requests = std::move(parsed).value();
+  }
+  if (requests.empty()) {
+    std::printf("No queries.\n");
+    return 0;
+  }
+
+  std::vector<Result<SelectResponse>> responses = engine.SelectBatch(requests);
+
+  size_t failed = 0;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (!responses[i].ok()) {
+      ++failed;
+      std::printf("[%zu] target=%s ERROR %s\n", i,
+                  requests[i].target_id.c_str(),
+                  responses[i].status().ToString().c_str());
+      continue;
+    }
+    const SelectResponse& response = responses[i].value();
+    size_t selected = 0;
+    for (const Selection& s : response.selections) selected += s.size();
+    std::printf(
+        "[%zu] target=%s algorithm=%s m=%zu items=%zu reviews=%zu "
+        "objective=%.4f align_RL=%.2f cache=%s solve_ms=%.2f\n",
+        i, response.target_id.c_str(), requests[i].selector.c_str(),
+        requests[i].options.m, response.item_ids.size(), selected,
+        response.objective, 100.0 * response.alignment.among_items.rougeL.f1,
+        response.result_cache_hit ? "memo" : response.cache_hit ? "hit" : "miss",
+        1000.0 * response.solve_seconds);
+  }
+  std::printf("Answered %zu queries (%zu failed) from one engine.\n",
+              responses.size(), failed);
+  if (flags.GetBool("metrics")) {
+    std::printf("\n%s", engine.DumpMetrics().c_str());
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 void PrintUsage(const char* program) {
   std::printf(
-      "Usage: %s <stats|select|narrow|export> [flags]\n"
+      "Usage: %s <stats|select|narrow|serve|export> [flags]\n"
       "  stats   print Table-2-style dataset statistics\n"
       "  select  comparative review-set selection for one target\n"
       "  narrow  select, then reduce to the core k items (TargetHkS)\n"
+      "  serve   answer query lines (stdin or --queries) from one warm\n"
+      "          engine; line format: target [algorithm] [m] [c1,c2,..]\n"
       "  export  write the corpus as Amazon-layout JSONL (--prefix)\n"
       "Run '%s select --help' for flags.\n",
       program, program);
@@ -190,6 +314,10 @@ int main(int argc, char** argv) {
   flags.AddDouble("mu", 0.1, "cross-item synchronization weight");
   flags.AddDouble("time_limit", 10.0, "exact solver budget (s)");
   flags.AddString("prefix", "corpus", "output path prefix (export)");
+  flags.AddString("queries", "", "query file for serve (default: stdin)");
+  flags.AddInt("threads", 0, "engine worker threads (0 = hardware)");
+  flags.AddInt("cache_capacity", 256, "engine vector-cache entries");
+  flags.AddBool("metrics", false, "dump engine metrics after serve");
 
   Status parsed = flags.Parse(argc - 1, argv + 1);
   if (!parsed.ok()) {
@@ -201,6 +329,7 @@ int main(int argc, char** argv) {
   if (command == "stats") return RunStats(flags);
   if (command == "select") return RunSelect(flags, /*narrow=*/false);
   if (command == "narrow") return RunSelect(flags, /*narrow=*/true);
+  if (command == "serve") return RunServe(flags);
   if (command == "export") return RunExport(flags);
   PrintUsage(argv[0]);
   return 2;
