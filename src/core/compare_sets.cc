@@ -6,17 +6,19 @@
 namespace comparesets {
 
 Result<SelectionResult> CompareSetsSelector::Select(
-    const InstanceVectors& vectors, const SelectorOptions& options) const {
+    const InstanceVectors& vectors, const SelectorOptions& options,
+    const ExecControl* control) const {
   SelectionResult out;
   out.selections.reserve(vectors.num_items());
   for (size_t i = 0; i < vectors.num_items(); ++i) {
+    COMPARESETS_RETURN_NOT_OK(CheckExec(control, "comparesets item loop"));
     DesignSystem system = BuildCompareSetsSystem(vectors, i, options.lambda);
     auto cost = [&](const Selection& selection) {
       return ItemCost(vectors, i, selection, options.lambda);
     };
     COMPARESETS_ASSIGN_OR_RETURN(
         IntegerRegressionResult item,
-        SolveIntegerRegression(system, options.m, cost));
+        SolveIntegerRegression(system, options.m, cost, control));
     out.selections.push_back(std::move(item.selection));
   }
   out.objective = CompareSetsPlusObjective(vectors, out.selections,

@@ -7,11 +7,12 @@
 namespace comparesets {
 
 Result<SelectionResult> CompareSetsPlusSelector::Select(
-    const InstanceVectors& vectors, const SelectorOptions& options) const {
+    const InstanceVectors& vectors, const SelectorOptions& options,
+    const ExecControl* control) const {
   // Algorithm 1 input: S_1..S_n from solving CompaReSetS per item.
   CompareSetsSelector bootstrap;
   COMPARESETS_ASSIGN_OR_RETURN(SelectionResult state,
-                               bootstrap.Select(vectors, options));
+                               bootstrap.Select(vectors, options, control));
 
   size_t n = vectors.num_items();
   double mu2 = options.mu * options.mu;
@@ -25,6 +26,7 @@ Result<SelectionResult> CompareSetsPlusSelector::Select(
   int sweeps = 1 + std::max(0, options.extra_sync_rounds);
   for (int sweep = 0; sweep < sweeps; ++sweep) {
     for (size_t i = 0; i < n; ++i) {
+      COMPARESETS_RETURN_NOT_OK(CheckExec(control, "comparesets+ sweep"));
       // Target blocks φ(S_1)…φ(S_{i-1}), φ(S_{i+1})…φ(S_n) in item order.
       std::vector<Vector> other_phis;
       other_phis.reserve(n - 1);
@@ -49,7 +51,7 @@ Result<SelectionResult> CompareSetsPlusSelector::Select(
 
       COMPARESETS_ASSIGN_OR_RETURN(
           IntegerRegressionResult solved,
-          SolveIntegerRegression(system, options.m, cost));
+          SolveIntegerRegression(system, options.m, cost, control));
 
       // Keep the incumbent when the heuristic fails to improve on it, so
       // the sweep never degrades the objective (Algorithm 1's min_Δ

@@ -13,9 +13,11 @@ namespace comparesets {
 
 class CompareSetsPlusSelector : public ReviewSelector {
  public:
+  using ReviewSelector::Select;
   std::string name() const override { return "CompaReSetS+"; }
   Result<SelectionResult> Select(const InstanceVectors& vectors,
-                                 const SelectorOptions& options) const override;
+                                 const SelectorOptions& options,
+                                 const ExecControl* control) const override;
 };
 
 }  // namespace comparesets

@@ -6,10 +6,12 @@
 namespace comparesets {
 
 Result<SelectionResult> CrsSelector::Select(
-    const InstanceVectors& vectors, const SelectorOptions& options) const {
+    const InstanceVectors& vectors, const SelectorOptions& options,
+    const ExecControl* control) const {
   SelectionResult out;
   out.selections.reserve(vectors.num_items());
   for (size_t i = 0; i < vectors.num_items(); ++i) {
+    COMPARESETS_RETURN_NOT_OK(CheckExec(control, "crs item loop"));
     DesignSystem system = BuildCrsSystem(vectors, i);
     auto cost = [&](const Selection& selection) {
       // Pure characteristic objective: match the item's own opinion
@@ -18,7 +20,7 @@ Result<SelectionResult> CrsSelector::Select(
     };
     COMPARESETS_ASSIGN_OR_RETURN(
         IntegerRegressionResult item,
-        SolveIntegerRegression(system, options.m, cost));
+        SolveIntegerRegression(system, options.m, cost, control));
     out.selections.push_back(std::move(item.selection));
   }
   out.objective = CompareSetsPlusObjective(vectors, out.selections,

@@ -12,9 +12,11 @@ namespace comparesets {
 
 class CrsSelector : public ReviewSelector {
  public:
+  using ReviewSelector::Select;
   std::string name() const override { return "Crs"; }
   Result<SelectionResult> Select(const InstanceVectors& vectors,
-                                 const SelectorOptions& options) const override;
+                                 const SelectorOptions& options,
+                                 const ExecControl* control) const override;
 };
 
 }  // namespace comparesets

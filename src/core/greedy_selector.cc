@@ -8,7 +8,8 @@
 namespace comparesets {
 
 Result<SelectionResult> CompareSetsGreedySelector::Select(
-    const InstanceVectors& vectors, const SelectorOptions& options) const {
+    const InstanceVectors& vectors, const SelectorOptions& options,
+    const ExecControl* control) const {
   if (options.m == 0) return Status::InvalidArgument("m must be >= 1");
 
   SelectionResult out;
@@ -21,6 +22,7 @@ Result<SelectionResult> CompareSetsGreedySelector::Select(
     double current_cost = std::numeric_limits<double>::infinity();
 
     while (selection.size() < std::min(options.m, num_reviews)) {
+      COMPARESETS_RETURN_NOT_OK(CheckExec(control, "greedy growth"));
       double best_cost = std::numeric_limits<double>::infinity();
       size_t best_j = num_reviews;
       for (size_t j = 0; j < num_reviews; ++j) {

@@ -11,9 +11,11 @@ namespace comparesets {
 
 class CompareSetsGreedySelector : public ReviewSelector {
  public:
+  using ReviewSelector::Select;
   std::string name() const override { return "CompaReSetSGreedy"; }
   Result<SelectionResult> Select(const InstanceVectors& vectors,
-                                 const SelectorOptions& options) const override;
+                                 const SelectorOptions& options,
+                                 const ExecControl* control) const override;
 };
 
 }  // namespace comparesets

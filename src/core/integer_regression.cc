@@ -87,7 +87,8 @@ std::vector<int> RoundToIntegerCounts(const Vector& x,
 }
 
 Result<IntegerRegressionResult> SolveIntegerRegression(
-    const DesignSystem& system, size_t m, const TrueCostFn& true_cost) {
+    const DesignSystem& system, size_t m, const TrueCostFn& true_cost,
+    const ExecControl* control) {
   if (m == 0) return Status::InvalidArgument("m must be >= 1");
   if (system.v.cols() == 0) {
     return Status::InvalidArgument("empty design system");
@@ -112,8 +113,17 @@ Result<IntegerRegressionResult> SolveIntegerRegression(
 
   size_t max_ell = std::min(m, system.v.cols());
   for (size_t ell = 1; ell <= max_ell; ++ell) {
-    auto nomp = SolveNomp(system.v, system.target, ell);
-    if (!nomp.ok()) continue;  // Degenerate system at this ℓ; try others.
+    auto nomp = SolveNomp(system.v, system.target, ell, control);
+    if (!nomp.ok()) {
+      // Deadline/cancellation must surface; a degenerate system at this
+      // ℓ is recoverable — try the other budgets.
+      StatusCode code = nomp.status().code();
+      if (code == StatusCode::kDeadlineExceeded ||
+          code == StatusCode::kCancelled) {
+        return nomp.status();
+      }
+      continue;
+    }
     const Vector& x = nomp.value().x;
     if (nomp.value().support.empty()) continue;
 

@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "core/design_matrix.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace comparesets {
@@ -31,7 +32,10 @@ std::vector<int> RoundToIntegerCounts(const Vector& x,
 
 /// Runs the engine on a deduplicated system; selects at most m reviews.
 /// `true_cost` is consulted once per distinct rounded candidate.
+/// `control` is checked at each sparsity budget ℓ and inside the NOMP
+/// relaxation; cancellation/deadline aborts with the matching status.
 Result<IntegerRegressionResult> SolveIntegerRegression(
-    const DesignSystem& system, size_t m, const TrueCostFn& true_cost);
+    const DesignSystem& system, size_t m, const TrueCostFn& true_cost,
+    const ExecControl* control = nullptr);
 
 }  // namespace comparesets

@@ -8,7 +8,8 @@
 namespace comparesets {
 
 Result<SelectionResult> RandomSelector::Select(
-    const InstanceVectors& vectors, const SelectorOptions& options) const {
+    const InstanceVectors& vectors, const SelectorOptions& options,
+    const ExecControl* control) const {
   if (options.m == 0) return Status::InvalidArgument("m must be >= 1");
   // Mix the seed with the instance's identity-free shape so different
   // instances draw different reviews under the same global seed.
@@ -19,6 +20,7 @@ Result<SelectionResult> RandomSelector::Select(
   SelectionResult out;
   out.selections.reserve(vectors.num_items());
   for (size_t i = 0; i < vectors.num_items(); ++i) {
+    COMPARESETS_RETURN_NOT_OK(CheckExec(control, "random item loop"));
     size_t num_reviews = vectors.num_reviews(i);
     size_t take = std::min(options.m, num_reviews);
     Selection selection = rng.SampleWithoutReplacement(num_reviews, take);

@@ -9,9 +9,11 @@ namespace comparesets {
 
 class RandomSelector : public ReviewSelector {
  public:
+  using ReviewSelector::Select;
   std::string name() const override { return "Random"; }
   Result<SelectionResult> Select(const InstanceVectors& vectors,
-                                 const SelectorOptions& options) const override;
+                                 const SelectorOptions& options,
+                                 const ExecControl* control) const override;
 };
 
 }  // namespace comparesets

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "opinion/vectors.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace comparesets {
@@ -45,8 +46,20 @@ class ReviewSelector {
   virtual std::string name() const = 0;
 
   /// Selects at most options.m reviews per item of the instance.
+  /// `control` carries the caller's deadline/cancellation, checked at
+  /// iteration boundaries (per item, per sweep, per NOMP/NNLS step);
+  /// expiry returns kDeadlineExceeded / kCancelled instead of running
+  /// on. A nullptr control (the convenience overload below) solves
+  /// uncontrolled — completed runs are bit-identical either way.
   virtual Result<SelectionResult> Select(const InstanceVectors& vectors,
-                                         const SelectorOptions& options) const = 0;
+                                         const SelectorOptions& options,
+                                         const ExecControl* control) const = 0;
+
+  /// Uncontrolled solve (no deadline, not cancellable).
+  Result<SelectionResult> Select(const InstanceVectors& vectors,
+                                 const SelectorOptions& options) const {
+    return Select(vectors, options, nullptr);
+  }
 };
 
 /// Factory by table name: "Random", "Crs", "CompaReSetSGreedy",

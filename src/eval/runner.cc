@@ -109,27 +109,29 @@ std::vector<double> SelectorRun::AmongRougeLSeries() const {
 
 Result<SelectorRun> RunSelector(const ReviewSelector& selector,
                                 const Workload& workload,
-                                const SelectorOptions& options) {
+                                const SelectorOptions& options,
+                                const ExecControl* control) {
   COMPARESETS_ASSIGN_OR_RETURN(
       std::vector<InstanceSolve> solves,
       SelectionEngine::SolveInstances(selector, workload.vectors(), options,
-                                      /*pool=*/nullptr));
+                                      /*pool=*/nullptr, control));
   return AssembleRun(selector, workload, std::move(solves));
 }
 
 Result<SelectorRun> RunSelectorParallel(const ReviewSelector& selector,
                                         const Workload& workload,
                                         const SelectorOptions& options,
-                                        size_t threads) {
+                                        size_t threads,
+                                        const ExecControl* control) {
   size_t n = workload.num_instances();
   threads = ThreadPool::ResolveThreads(threads, n);
-  if (threads <= 1) return RunSelector(selector, workload, options);
+  if (threads <= 1) return RunSelector(selector, workload, options, control);
 
   ThreadPool pool(threads);
   COMPARESETS_ASSIGN_OR_RETURN(
       std::vector<InstanceSolve> solves,
       SelectionEngine::SolveInstances(selector, workload.vectors(), options,
-                                      &pool));
+                                      &pool, control));
   return AssembleRun(selector, workload, std::move(solves));
 }
 

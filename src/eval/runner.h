@@ -15,6 +15,7 @@
 #include "eval/alignment.h"
 #include "opinion/vectors.h"
 #include "service/indexed_corpus.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace comparesets {
@@ -90,10 +91,13 @@ struct SelectorRun {
 
 /// Runs one selector over every instance of the workload. A thin
 /// adapter over SelectionEngine::SolveInstances (serial mode) that adds
-/// alignment measurement and aggregation.
+/// alignment measurement and aggregation. `control` (optional) threads
+/// a shared deadline/cancellation into every instance solve; on expiry
+/// or cancellation the run fails with kDeadlineExceeded / kCancelled.
 Result<SelectorRun> RunSelector(const ReviewSelector& selector,
                                 const Workload& workload,
-                                const SelectorOptions& options);
+                                const SelectorOptions& options,
+                                const ExecControl* control = nullptr);
 
 /// Multi-threaded variant. Problem instances are fully independent (the
 /// paper notes per-target instances "can be done in parallel", §4.1.1),
@@ -104,6 +108,7 @@ Result<SelectorRun> RunSelector(const ReviewSelector& selector,
 Result<SelectorRun> RunSelectorParallel(const ReviewSelector& selector,
                                         const Workload& workload,
                                         const SelectorOptions& options,
-                                        size_t threads = 0);
+                                        size_t threads = 0,
+                                        const ExecControl* control = nullptr);
 
 }  // namespace comparesets

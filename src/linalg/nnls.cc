@@ -42,6 +42,7 @@ Result<NnlsResult> SolveNnls(const Matrix& a, const Vector& b,
   int iterations = 0;
 
   for (;;) {
+    COMPARESETS_RETURN_NOT_OK(CheckExec(options.control, "nnls"));
     // Dual w = A^T (b - A x); pick the most positive inactive coordinate.
     Vector w = a.MultiplyTranspose(residual);
     double best = options.tolerance;

@@ -8,6 +8,7 @@
 
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace comparesets {
@@ -18,6 +19,9 @@ struct NnlsOptions {
   /// Safety cap on outer iterations (the algorithm terminates finitely in
   /// exact arithmetic; this guards against floating-point cycling).
   int max_iterations = 0;  // 0 => 3 * cols.
+  /// Deadline / cancellation, checked once per outer iteration; nullptr
+  /// runs uncontrolled. Does not affect the numerics of completed runs.
+  const ExecControl* control = nullptr;
 };
 
 struct NnlsResult {

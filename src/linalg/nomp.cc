@@ -8,7 +8,7 @@
 namespace comparesets {
 
 Result<NompResult> SolveNomp(const Matrix& v, const Vector& target,
-                             size_t ell) {
+                             size_t ell, const ExecControl* control) {
   if (v.cols() == 0 || v.rows() == 0) {
     return Status::InvalidArgument("NOMP with empty matrix");
   }
@@ -32,7 +32,11 @@ Result<NompResult> SolveNomp(const Matrix& v, const Vector& target,
   Vector residual = target;
   std::vector<bool> active(v.cols(), false);
 
+  NnlsOptions refit_options;
+  refit_options.control = control;
+
   for (size_t step = 0; step < ell; ++step) {
+    COMPARESETS_RETURN_NOT_OK(CheckExec(control, "nomp"));
     // Score every inactive column by correlation with the residual.
     Vector correlation = v.MultiplyTranspose(residual);
     double best = 0.0;
@@ -52,7 +56,8 @@ Result<NompResult> SolveNomp(const Matrix& v, const Vector& target,
     // Refit all active coefficients jointly (the "orthogonal" step),
     // with non-negativity enforced.
     Matrix sub = v.SelectColumns(out.support);
-    COMPARESETS_ASSIGN_OR_RETURN(NnlsResult fit, SolveNnls(sub, target));
+    COMPARESETS_ASSIGN_OR_RETURN(NnlsResult fit,
+                                 SolveNnls(sub, target, refit_options));
     Vector x(v.cols(), 0.0);
     for (size_t t = 0; t < out.support.size(); ++t) {
       x[out.support[t]] = fit.x[t];

@@ -16,6 +16,7 @@
 
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace comparesets {
@@ -30,8 +31,11 @@ struct NompResult {
 };
 
 /// Runs NOMP with at most `ell` atoms. Stops early when no remaining
-/// column has positive correlation with the residual.
+/// column has positive correlation with the residual. `control` is
+/// checked at every atom step (and inside the NNLS refit); expiry or
+/// cancellation returns the matching status mid-pursuit.
 Result<NompResult> SolveNomp(const Matrix& v, const Vector& target,
-                             size_t ell);
+                             size_t ell,
+                             const ExecControl* control = nullptr);
 
 }  // namespace comparesets

@@ -1,7 +1,10 @@
 #include "service/engine.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "opinion/opinion_model.h"
@@ -37,7 +40,9 @@ std::string ExactDouble(double value) {
 /// Result-memo key: the vector-cache key extended with the selector name
 /// and EVERY SelectorOptions field — a field added to SelectorOptions
 /// must be appended here, or the memo would serve stale responses for
-/// requests differing only in that field.
+/// requests differing only in that field. (deadline_seconds / cancel are
+/// runtime controls, not options: they never change a completed solve's
+/// answer, so they are deliberately left out.)
 std::string ResultKey(const std::string& prepare_key,
                       const SelectRequest& request) {
   std::string key = prepare_key;
@@ -56,21 +61,67 @@ std::string ResultKey(const std::string& prepare_key,
   return key;
 }
 
+/// Failures worth retrying: spurious backend errors (kInternal — notably
+/// injected faults — and kIOError). Bad ids, bad arguments, deadline
+/// expiry and cancellation are final on first occurrence.
+bool IsTransientCode(StatusCode code) {
+  return code == StatusCode::kInternal || code == StatusCode::kIOError;
+}
+
+/// Deadline/cancel check at an engine stage boundary. Unlike
+/// ExecControl::Check this does not tick the solver-iteration counter —
+/// that counter measures work inside the solvers, not engine plumbing.
+Status StageCheck(const ExecControl& control, const char* where) {
+  if (control.cancel != nullptr && control.cancel->cancelled()) {
+    return Status::Cancelled(std::string("request cancelled before ") + where);
+  }
+  if (control.deadline != nullptr && control.deadline->Expired()) {
+    return Status::DeadlineExceeded(std::string("deadline exceeded before ") +
+                                    where);
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+/// Frees the admission slot taken by a successful Admit (RAII, so every
+/// early return in Select releases exactly once).
+struct SelectionEngine::AdmissionSlot {
+  const SelectionEngine* engine = nullptr;
+
+  AdmissionSlot() = default;
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+  ~AdmissionSlot() {
+    if (engine != nullptr) engine->Release();
+  }
+};
 
 SelectionEngine::SelectionEngine(std::shared_ptr<const IndexedCorpus> corpus,
                                  EngineOptions options)
     : options_(options),
       corpus_(std::move(corpus)),
       cache_(options.cache_capacity),
-      pool_(options.threads) {}
+      pool_(options.threads) {
+  metrics_.SetTraceCapacity(options_.trace_capacity);
+}
 
 std::shared_ptr<const IndexedCorpus> SelectionEngine::corpus() const {
   std::lock_guard<std::mutex> lock(corpus_mutex_);
   return corpus_;
 }
 
-void SelectionEngine::SwapCorpus(std::shared_ptr<const IndexedCorpus> corpus) {
+Status SelectionEngine::SwapCorpus(
+    std::shared_ptr<const IndexedCorpus> corpus) {
+  if (options_.fault_injector) {
+    Status injected = options_.fault_injector->Inject(FaultSite::kCorpusSwap);
+    if (!injected.ok()) {
+      // Swap refused before the snapshot flipped: the engine keeps
+      // serving the old catalog, caches intact.
+      metrics_.counter("engine.corpus_swap_failures").Increment();
+      return injected;
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(corpus_mutex_);
     corpus_ = std::move(corpus);
@@ -87,6 +138,7 @@ void SelectionEngine::SwapCorpus(std::shared_ptr<const IndexedCorpus> corpus) {
     result_index_.clear();
   }
   metrics_.counter("engine.corpus_swaps").Increment();
+  return Status::OK();
 }
 
 bool SelectionEngine::ResultLookup(const std::string& key,
@@ -116,9 +168,54 @@ void SelectionEngine::ResultStore(const std::string& key,
   result_index_[key] = result_lru_.begin();
 }
 
+Status SelectionEngine::Admit(const Deadline& deadline,
+                              const CancelToken* cancel) const {
+  if (options_.max_in_flight == 0) return Status::OK();
+  std::unique_lock<std::mutex> lock(admission_mutex_);
+  if (in_flight_ < options_.max_in_flight) {
+    ++in_flight_;
+    return Status::OK();
+  }
+  if (queued_ >= options_.max_queue) {
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(in_flight_) +
+        " in flight, " + std::to_string(queued_) + " queued)");
+  }
+  ++queued_;
+  while (in_flight_ >= options_.max_in_flight) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      --queued_;
+      return Status::Cancelled("request cancelled while queued");
+    }
+    if (deadline.Expired()) {
+      --queued_;
+      return Status::DeadlineExceeded("deadline exceeded while queued");
+    }
+    // Bounded wait: a release notifies, but cancellation and deadlines
+    // have no notification channel, so poll them a few times per tick.
+    double wait = std::clamp(deadline.RemainingSeconds(), 0.0, 0.005);
+    admission_cv_.wait_for(lock, std::chrono::duration<double>(wait));
+  }
+  --queued_;
+  ++in_flight_;
+  return Status::OK();
+}
+
+void SelectionEngine::Release() const {
+  {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    --in_flight_;
+  }
+  admission_cv_.notify_one();
+}
+
 Result<std::shared_ptr<const PreparedInstance>> SelectionEngine::Prepare(
     std::shared_ptr<const IndexedCorpus> corpus, const std::string& key,
     const SelectRequest& request, bool* cache_hit) const {
+  if (options_.fault_injector) {
+    COMPARESETS_RETURN_NOT_OK(
+        options_.fault_injector->Inject(FaultSite::kCacheLookup));
+  }
   if (auto cached = cache_.Get(key)) {
     *cache_hit = true;
     return cached;
@@ -161,44 +258,12 @@ Result<std::shared_ptr<const PreparedInstance>> SelectionEngine::Prepare(
   return std::shared_ptr<const PreparedInstance>(std::move(bundle));
 }
 
-Result<SelectResponse> SelectionEngine::Select(
-    const SelectRequest& request) const {
-  metrics_.counter("engine.requests").Increment();
-  Timer total;
-
-  if (request.target_id.empty()) {
-    metrics_.counter("engine.errors").Increment();
-    return Status::InvalidArgument("request has no target_id");
-  }
-
-  std::shared_ptr<const IndexedCorpus> corpus;
-  uint64_t epoch;
-  {
-    std::lock_guard<std::mutex> lock(corpus_mutex_);
-    corpus = corpus_;
-    epoch = corpus_epoch_;
-  }
-  std::string prepare_key = CacheKey(epoch, options_.opinion, request);
-
-  // An exactly repeated request is answered from the result memo —
-  // selectors are deterministic, so the memoized response is the one a
-  // fresh solve would produce, bit for bit.
-  std::string result_key;
-  if (options_.result_capacity > 0) {
-    result_key = ResultKey(prepare_key, request);
-    SelectResponse memoized;
-    if (ResultLookup(result_key, &memoized)) {
-      metrics_.counter("engine.result_hits").Increment();
-      memoized.cache_hit = true;
-      memoized.result_cache_hit = true;
-      memoized.prepare_seconds = 0.0;
-      memoized.solve_seconds = 0.0;
-      metrics_.histogram("engine.request_seconds")
-          .Observe(total.ElapsedSeconds());
-      return memoized;
-    }
-    metrics_.counter("engine.result_misses").Increment();
-  }
+Result<SelectResponse> SelectionEngine::SelectAttempt(
+    const SelectRequest& request,
+    std::shared_ptr<const IndexedCorpus> corpus,
+    const std::string& prepare_key, const std::string& result_key,
+    const ExecControl& control, RequestTrace* trace) const {
+  COMPARESETS_RETURN_NOT_OK(StageCheck(control, "prepare"));
 
   Timer prepare_timer;
   bool cache_hit = false;
@@ -207,26 +272,27 @@ Result<SelectResponse> SelectionEngine::Select(
   double prepare_seconds = prepare_timer.ElapsedSeconds();
   metrics_.counter(cache_hit ? "engine.cache_hits" : "engine.cache_misses")
       .Increment();
-  if (!prepared.ok()) {
-    metrics_.counter("engine.errors").Increment();
-    return prepared.status();
-  }
+  trace->cache_hit = cache_hit;
+  trace->prepare_seconds = prepare_seconds;
+  if (!prepared.ok()) return prepared.status();
   metrics_.histogram("engine.prepare_seconds").Observe(prepare_seconds);
 
   auto selector = MakeSelector(request.selector);
-  if (!selector.ok()) {
-    metrics_.counter("engine.errors").Increment();
-    return selector.status();
+  if (!selector.ok()) return selector.status();
+
+  COMPARESETS_RETURN_NOT_OK(StageCheck(control, "solve"));
+  if (options_.fault_injector) {
+    COMPARESETS_RETURN_NOT_OK(
+        options_.fault_injector->Inject(FaultSite::kSolve));
   }
 
   const PreparedInstance& bundle = *prepared.value();
   Timer solve_timer;
-  auto solved = selector.value()->Select(bundle.vectors, request.options);
+  auto solved =
+      selector.value()->Select(bundle.vectors, request.options, &control);
   double solve_seconds = solve_timer.ElapsedSeconds();
-  if (!solved.ok()) {
-    metrics_.counter("engine.errors").Increment();
-    return solved.status();
-  }
+  trace->solve_seconds = solve_seconds;
+  if (!solved.ok()) return solved.status();
   metrics_.histogram("engine.solve_seconds").Observe(solve_seconds);
 
   SelectResponse response;
@@ -244,17 +310,155 @@ Result<SelectResponse> SelectionEngine::Select(
   response.cache_hit = cache_hit;
   response.prepare_seconds = prepare_seconds;
   response.solve_seconds = solve_seconds;
+  // The memoized copy keeps a default trace: a later memo hit gets a
+  // fresh trace for ITS lifecycle, never the solving request's.
   if (options_.result_capacity > 0) ResultStore(result_key, response);
-  metrics_.histogram("engine.request_seconds").Observe(total.ElapsedSeconds());
   return response;
+}
+
+Status SelectionEngine::FinishError(RequestTrace trace, Status status,
+                                    const Timer& total) const {
+  metrics_.counter("engine.errors").Increment();
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      metrics_.counter("engine.deadline_exceeded").Increment();
+      break;
+    case StatusCode::kCancelled:
+      metrics_.counter("engine.cancelled").Increment();
+      break;
+    case StatusCode::kResourceExhausted:
+      metrics_.counter("engine.rejected").Increment();
+      break;
+    default:
+      break;
+  }
+  trace.status = StatusCodeName(status.code());
+  trace.total_seconds = total.ElapsedSeconds();
+  metrics_.RecordTrace(std::move(trace));
+  return status;
+}
+
+Result<SelectResponse> SelectionEngine::Select(
+    const SelectRequest& request) const {
+  metrics_.counter("engine.requests").Increment();
+  Timer total;
+
+  RequestTrace trace;
+  trace.request_id = next_request_id_.fetch_add(1) + 1;
+  trace.target_id = request.target_id;
+  trace.selector = request.selector;
+
+  Deadline deadline(request.deadline_seconds);
+  std::atomic<uint64_t> iterations{0};
+  ExecControl control{&deadline, request.cancel, &iterations};
+  auto fail = [&](Status status) -> Status {
+    trace.solver_iterations = iterations.load(std::memory_order_relaxed);
+    return FinishError(std::move(trace), std::move(status), total);
+  };
+
+  if (request.target_id.empty()) {
+    return fail(Status::InvalidArgument("request has no target_id"));
+  }
+
+  std::shared_ptr<const IndexedCorpus> corpus;
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(corpus_mutex_);
+    corpus = corpus_;
+    epoch = corpus_epoch_;
+  }
+  std::string prepare_key = CacheKey(epoch, options_.opinion, request);
+
+  // An exactly repeated request is answered from the result memo —
+  // selectors are deterministic, so the memoized response is the one a
+  // fresh solve would produce, bit for bit. Memo hits bypass admission:
+  // they do no solving work, so they never contend for a slot.
+  std::string result_key;
+  if (options_.result_capacity > 0) {
+    result_key = ResultKey(prepare_key, request);
+    SelectResponse memoized;
+    if (ResultLookup(result_key, &memoized)) {
+      metrics_.counter("engine.result_hits").Increment();
+      memoized.cache_hit = true;
+      memoized.result_cache_hit = true;
+      memoized.prepare_seconds = 0.0;
+      memoized.solve_seconds = 0.0;
+      trace.cache_hit = true;
+      trace.result_cache_hit = true;
+      trace.total_seconds = total.ElapsedSeconds();
+      memoized.trace = trace;
+      metrics_.RecordTrace(std::move(trace));
+      metrics_.histogram("engine.request_seconds")
+          .Observe(memoized.trace.total_seconds);
+      return memoized;
+    }
+    metrics_.counter("engine.result_misses").Increment();
+  }
+
+  // Admission: take a slot or wait in the bounded queue.
+  AdmissionSlot slot;
+  if (options_.max_in_flight > 0) {
+    Timer queue_timer;
+    Status admitted = Admit(deadline, request.cancel);
+    trace.queue_seconds = queue_timer.ElapsedSeconds();
+    metrics_.histogram("engine.queue_seconds").Observe(trace.queue_seconds);
+    if (!admitted.ok()) return fail(std::move(admitted));
+    slot.engine = this;
+  }
+
+  // Attempt loop: transient failures (injected faults, backend errors)
+  // retry with exponential backoff; everything else is final.
+  int max_attempts = std::max(1, options_.max_attempts);
+  double backoff = std::max(0.0, options_.retry_backoff_seconds);
+  for (int attempt = 1;; ++attempt) {
+    trace.attempts = attempt;
+    auto outcome = SelectAttempt(request, corpus, prepare_key, result_key,
+                                 control, &trace);
+    if (outcome.ok()) {
+      trace.status = "ok";
+      trace.solver_iterations = iterations.load(std::memory_order_relaxed);
+      trace.total_seconds = total.ElapsedSeconds();
+      SelectResponse response = std::move(outcome).value();
+      response.trace = trace;
+      metrics_.RecordTrace(std::move(trace));
+      metrics_.histogram("engine.request_seconds")
+          .Observe(response.trace.total_seconds);
+      return response;
+    }
+    Status status = outcome.status();
+    if (!IsTransientCode(status.code()) || attempt >= max_attempts) {
+      return fail(std::move(status));
+    }
+    metrics_.counter("engine.retries").Increment();
+    double sleep_seconds =
+        std::min(backoff, std::max(0.0, deadline.RemainingSeconds()));
+    if (sleep_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(sleep_seconds));
+      trace.backoff_seconds += sleep_seconds;
+    }
+    backoff *= 2.0;
+    Status still_live = StageCheck(control, "retry");
+    if (!still_live.ok()) return fail(std::move(still_live));
+  }
 }
 
 std::vector<Result<SelectResponse>> SelectionEngine::SelectBatch(
     const std::vector<SelectRequest>& requests) const {
   metrics_.counter("engine.batches").Increment();
   std::vector<std::optional<Result<SelectResponse>>> slots(requests.size());
-  pool_.ParallelFor(requests.size(),
-                    [&](size_t i) { slots[i] = Select(requests[i]); });
+  if (pool_.num_threads() <= 1) {
+    // ParallelFor lets the caller thread participate, so even a 1-worker
+    // pool runs two concurrent lanes. A single-threaded engine promises
+    // serial in-order batches (so e.g. a repeated target is guaranteed to
+    // warm-hit the vector cache) — run inline instead.
+    for (size_t i = 0; i < requests.size(); ++i) {
+      slots[i] = Select(requests[i]);
+    }
+  } else {
+    pool_.ParallelFor(requests.size(),
+                      [&](size_t i) { slots[i] = Select(requests[i]); });
+  }
 
   std::vector<Result<SelectResponse>> responses;
   responses.reserve(slots.size());
@@ -279,15 +483,16 @@ std::string SelectionEngine::DumpMetrics() const {
 Result<std::vector<InstanceSolve>> SelectionEngine::SolveInstances(
     const ReviewSelector& selector,
     const std::vector<InstanceVectors>& vectors,
-    const SelectorOptions& options, ThreadPool* pool) {
+    const SelectorOptions& options, ThreadPool* pool,
+    const ExecControl* control) {
   size_t n = vectors.size();
   std::vector<InstanceSolve> solves(n);
 
   if (pool == nullptr) {
     for (size_t i = 0; i < n; ++i) {
       Timer timer;
-      COMPARESETS_ASSIGN_OR_RETURN(solves[i].result,
-                                   selector.Select(vectors[i], options));
+      COMPARESETS_ASSIGN_OR_RETURN(
+          solves[i].result, selector.Select(vectors[i], options, control));
       solves[i].seconds = timer.ElapsedSeconds();
     }
     return solves;
@@ -298,7 +503,7 @@ Result<std::vector<InstanceSolve>> SelectionEngine::SolveInstances(
   size_t first_error_index = n;
   pool->ParallelFor(n, [&](size_t i) {
     Timer timer;
-    auto result = selector.Select(vectors[i], options);
+    auto result = selector.Select(vectors[i], options, control);
     solves[i].seconds = timer.ElapsedSeconds();
     if (!result.ok()) {
       std::lock_guard<std::mutex> lock(error_mutex);

@@ -10,12 +10,32 @@
 // of it, so the cached/pooled path is exercised by the reproduction
 // itself.
 //
+// Serving hardening (request lifecycle: admission → queue → prepare →
+// solve → memo):
+//   * Deadlines & cancellation — every request may carry a deadline and
+//     a CancelToken; both are threaded as an ExecControl into the
+//     selector/NOMP/NNLS inner loops, so a blowup returns
+//     kDeadlineExceeded / kCancelled instead of hanging a pool worker.
+//   * Admission control — with max_in_flight set, excess requests wait
+//     in a bounded queue; overflow is refused with kResourceExhausted.
+//   * Retry with backoff — transient failures (injected faults, cache
+//     backend errors) are retried up to max_attempts with exponential
+//     backoff, never past the request's deadline.
+//   * Fault injection — a deterministic FaultInjector can be installed
+//     at the cache-lookup, solve, and corpus-swap seams so tests force
+//     timeouts, spurious errors, and slow paths reproducibly.
+//   * Tracing — each request leaves a RequestTrace (id, queue wait,
+//     attempts, solver iterations, per-stage wall time) in the
+//     MetricsRegistry's ring, dumpable as JSONL (`serve --trace_out`).
+//
 // Thread-safety: Select/SelectBatch are safe to call concurrently; the
 // catalog can be replaced at runtime with SwapCorpus (in-flight
 // requests finish against the snapshot they started with).
 
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -25,16 +45,21 @@
 
 #include "core/selector.h"
 #include "eval/alignment.h"
+#include "service/fault_injector.h"
 #include "service/indexed_corpus.h"
 #include "service/metrics.h"
 #include "service/vector_cache.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace comparesets {
 
 struct EngineOptions {
-  /// Worker threads for SelectBatch (0 = hardware concurrency).
+  /// Worker threads for SelectBatch (0 = hardware concurrency). With
+  /// 1, batches run serially in order on the calling thread, so a
+  /// repeated target later in the batch is guaranteed to warm-hit the
+  /// vector cache.
   size_t threads = 0;
   /// Max prepared instances kept warm. Size to the working set: one
   /// entry per (target, comparative set, opinion definition) queried.
@@ -50,6 +75,24 @@ struct EngineOptions {
   /// Whether responses carry alignment scores (pairwise ROUGE — adds
   /// O(pairs · text) per request; serving paths may turn it off).
   bool measure_alignment = true;
+  /// Admission control: max requests solving at once (0 = unthrottled).
+  /// Excess requests wait in the admission queue.
+  size_t max_in_flight = 0;
+  /// Waiting slots beyond max_in_flight. A request arriving when the
+  /// queue is full is refused with kResourceExhausted.
+  size_t max_queue = 64;
+  /// Attempts per request for *transient* failures (injected faults,
+  /// cache backend errors). 1 = no retries. Non-transient failures
+  /// (bad ids, deadline, cancellation) are never retried.
+  int max_attempts = 1;
+  /// First retry backoff; doubles per attempt. Sleeps are clamped to
+  /// the request's remaining deadline.
+  double retry_backoff_seconds = 0.001;
+  /// Per-request trace ring size (0 disables tracing).
+  size_t trace_capacity = 256;
+  /// Deterministic fault injection at the engine's seams (tests /
+  /// chaos drills); nullptr = no faults.
+  std::shared_ptr<FaultInjector> fault_injector;
 };
 
 struct SelectRequest {
@@ -62,6 +105,14 @@ struct SelectRequest {
   std::string selector = "CompaReSetS+";
   /// m / λ / μ / seed / sync rounds.
   SelectorOptions options;
+  /// Per-request latency budget, spanning queue wait + prepare + solve
+  /// (<= 0: none). Expiry returns kDeadlineExceeded. Runtime control
+  /// only — deliberately NOT part of the result-memo key, since it
+  /// never changes what a completed solve returns.
+  double deadline_seconds = 0.0;
+  /// Cooperative cancellation (nullptr: not cancellable). Checked at
+  /// the same iteration boundaries as the deadline; also runtime-only.
+  const CancelToken* cancel = nullptr;
 };
 
 struct SelectResponse {
@@ -85,6 +136,10 @@ struct SelectResponse {
   /// Seconds inside the selector (the paper's runtime measure; 0 on a
   /// result-memo hit).
   double solve_seconds = 0.0;
+  /// Full lifecycle trace of THIS request (queue wait, attempts, solver
+  /// iterations, …) — always fresh, even when the payload came from the
+  /// memo. The same record lands in the engine's trace ring.
+  RequestTrace trace;
 };
 
 /// One instance's outcome in a workload-style batched solve.
@@ -101,7 +156,9 @@ class SelectionEngine {
                            EngineOptions options = {});
 
   /// Answers one request. Unknown selector names, unknown target ids,
-  /// and unknown comparative ids return a Status (no crash paths).
+  /// and unknown comparative ids return a Status (no crash paths);
+  /// deadline expiry / cancellation / admission overflow return
+  /// kDeadlineExceeded / kCancelled / kResourceExhausted.
   Result<SelectResponse> Select(const SelectRequest& request) const;
 
   /// Answers a batch concurrently on the internal pool. Responses are
@@ -111,7 +168,9 @@ class SelectionEngine {
 
   /// Replaces the catalog snapshot. The vector cache is invalidated;
   /// in-flight requests keep the snapshot they resolved against.
-  void SwapCorpus(std::shared_ptr<const IndexedCorpus> corpus);
+  /// Fails only under fault injection at the corpus-swap seam (the
+  /// snapshot is left untouched then).
+  Status SwapCorpus(std::shared_ptr<const IndexedCorpus> corpus);
 
   /// Current catalog snapshot.
   std::shared_ptr<const IndexedCorpus> corpus() const;
@@ -122,16 +181,45 @@ class SelectionEngine {
   /// Text dump of counters/gauges/histograms (cache stats refreshed).
   std::string DumpMetrics() const;
 
+  /// The per-request trace ring as JSONL, oldest first.
+  std::string DumpTraces() const { return metrics_.DumpTracesJsonl(); }
+
+  /// Retained request traces, oldest first.
+  std::vector<RequestTrace> Traces() const { return metrics_.Traces(); }
+
   /// Low-level batched execution backend: runs `selector` over every
   /// prepared vector context, distributing instances over `pool`
   /// (nullptr = serial, in index order). Shared with the eval runner,
-  /// which layers alignment aggregation on top.
+  /// which layers alignment aggregation on top. `control` (optional)
+  /// threads a shared deadline/cancellation into every instance solve.
   static Result<std::vector<InstanceSolve>> SolveInstances(
       const ReviewSelector& selector,
       const std::vector<InstanceVectors>& vectors,
-      const SelectorOptions& options, ThreadPool* pool);
+      const SelectorOptions& options, ThreadPool* pool,
+      const ExecControl* control = nullptr);
 
  private:
+  /// Releases one admission slot on destruction (RAII).
+  struct AdmissionSlot;
+
+  /// Blocks until the request may run (or fails with
+  /// kResourceExhausted / kDeadlineExceeded / kCancelled).
+  Status Admit(const Deadline& deadline, const CancelToken* cancel) const;
+  void Release() const;
+
+  /// One try of the prepare → solve → memo pipeline (everything past
+  /// admission and the memo lookup). Transient failures bubble up for
+  /// the retry loop in Select.
+  Result<SelectResponse> SelectAttempt(
+      const SelectRequest& request,
+      std::shared_ptr<const IndexedCorpus> corpus,
+      const std::string& prepare_key, const std::string& result_key,
+      const ExecControl& control, RequestTrace* trace) const;
+
+  /// Records the trace and error counters of a failed request.
+  Status FinishError(RequestTrace trace, Status status,
+                     const Timer& total) const;
+
   /// Resolves the request's instance against `corpus` and returns its
   /// prepared bundle, from cache when warm (under `key`, which already
   /// encodes the snapshot epoch). Sets *cache_hit accordingly.
@@ -164,6 +252,13 @@ class SelectionEngine {
   mutable std::unordered_map<std::string, std::list<ResultEntry>::iterator>
       result_index_;
 
+  /// Admission control state (only consulted when max_in_flight > 0).
+  mutable std::mutex admission_mutex_;
+  mutable std::condition_variable admission_cv_;
+  mutable size_t in_flight_ = 0;
+  mutable size_t queued_ = 0;
+
+  mutable std::atomic<uint64_t> next_request_id_{0};
   mutable MetricsRegistry metrics_;
   mutable ThreadPool pool_;
 };

@@ -1,0 +1,66 @@
+#include "service/fault_injector.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace comparesets {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kCacheLookup:
+      return "cache_lookup";
+    case FaultSite::kSolve:
+      return "solve";
+    case FaultSite::kCorpusSwap:
+      return "corpus_swap";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {
+  const SiteFaults* faults[3] = {&plan_.cache_lookup, &plan_.solve,
+                                 &plan_.corpus_swap};
+  for (int i = 0; i < 3; ++i) {
+    sites_[i].faults = *faults[i];
+    // One PCG stream per site: the seam index picks the stream, so the
+    // dice at one seam are independent of how often the others roll.
+    sites_[i].rng = Rng(plan_.seed, static_cast<uint64_t>(i) + 1);
+  }
+}
+
+FaultInjector::SiteState& FaultInjector::state(FaultSite site) {
+  return sites_[static_cast<int>(site)];
+}
+
+Status FaultInjector::Inject(FaultSite site) {
+  double delay_seconds = 0.0;
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SiteState& s = state(site);
+    if (s.faults.delay_rate > 0.0 && s.rng.Bernoulli(s.faults.delay_rate)) {
+      delay_seconds = s.faults.delay_seconds;
+    }
+    if (s.failures_dealt < s.faults.fail_first) {
+      ++s.failures_dealt;
+      fail = true;
+    } else if (s.faults.error_rate > 0.0 &&
+               s.rng.Bernoulli(s.faults.error_rate)) {
+      fail = true;
+    }
+  }
+  // Sleep outside the lock so a slow seam never serializes the others.
+  if (delay_seconds > 0.0) {
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay_seconds));
+  }
+  if (fail) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal(std::string("injected fault at ") +
+                            FaultSiteName(site));
+  }
+  return Status::OK();
+}
+
+}  // namespace comparesets

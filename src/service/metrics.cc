@@ -3,8 +3,31 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <utility>
+
+#include "util/jsonl.h"
 
 namespace comparesets {
+
+std::string RequestTrace::ToJson() const {
+  // Built through JsonValue so string fields are escaped correctly;
+  // std::map member order gives stable, diffable key order.
+  JsonValue::Object object;
+  object["request_id"] = static_cast<int64_t>(request_id);
+  object["target_id"] = target_id;
+  object["selector"] = selector;
+  object["status"] = status;
+  object["attempts"] = attempts;
+  object["cache_hit"] = cache_hit;
+  object["result_cache_hit"] = result_cache_hit;
+  object["solver_iterations"] = static_cast<int64_t>(solver_iterations);
+  object["queue_seconds"] = queue_seconds;
+  object["backoff_seconds"] = backoff_seconds;
+  object["prepare_seconds"] = prepare_seconds;
+  object["solve_seconds"] = solve_seconds;
+  object["total_seconds"] = total_seconds;
+  return JsonValue(std::move(object)).Dump();
+}
 
 void Histogram::Observe(double value) {
   int bucket = 0;
@@ -49,6 +72,33 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
   std::lock_guard<std::mutex> lock(mutex_);
   gauges_[name] = value;
+}
+
+void MetricsRegistry::SetTraceCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace_capacity_ = capacity;
+  while (traces_.size() > trace_capacity_) traces_.pop_front();
+}
+
+void MetricsRegistry::RecordTrace(RequestTrace trace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (trace_capacity_ == 0) return;
+  if (traces_.size() >= trace_capacity_) traces_.pop_front();
+  traces_.push_back(std::move(trace));
+}
+
+std::vector<RequestTrace> MetricsRegistry::Traces() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<RequestTrace>(traces_.begin(), traces_.end());
+}
+
+std::string MetricsRegistry::DumpTracesJsonl() const {
+  std::string out;
+  for (const RequestTrace& trace : Traces()) {
+    out += trace.ToJson();
+    out += '\n';
+  }
+  return out;
 }
 
 std::string MetricsRegistry::Dump() const {

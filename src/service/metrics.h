@@ -1,5 +1,8 @@
 // Lightweight operational metrics for the serving layer: named
-// monotonic counters and latency histograms with a text dump hook.
+// monotonic counters and latency histograms with a text dump hook,
+// plus a bounded ring of structured per-request traces (request id,
+// queue wait, per-stage wall time, solver iterations, cache outcome)
+// dumpable as JSONL.
 // Counters are lock-free; histograms take a short lock per observation.
 // Registered instruments live as long as the registry and are safe to
 // update from any engine worker thread.
@@ -8,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -59,6 +63,28 @@ class Histogram {
   uint64_t buckets_[kNumBuckets] = {};
 };
 
+/// Structured record of one engine request's lifecycle: admission →
+/// queue → prepare → solve → memo. One trace is recorded per request
+/// (success or failure); the serve subcommand dumps the ring as JSONL.
+struct RequestTrace {
+  uint64_t request_id = 0;       ///< Engine-assigned, monotonic.
+  std::string target_id;
+  std::string selector;
+  std::string status = "ok";     ///< StatusCodeName of the outcome.
+  int attempts = 1;              ///< 1 + transient-fault retries.
+  bool cache_hit = false;        ///< Prepared vectors served warm.
+  bool result_cache_hit = false; ///< Whole response from the memo.
+  uint64_t solver_iterations = 0;///< ExecControl checks during the solve.
+  double queue_seconds = 0.0;    ///< Admission wait (0 when unthrottled).
+  double backoff_seconds = 0.0;  ///< Total retry backoff slept.
+  double prepare_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  /// One compact JSON object (a JSONL line, sans newline).
+  std::string ToJson() const;
+};
+
 /// Named instrument registry. Lookup interns the instrument on first
 /// use; returned references stay valid for the registry's lifetime.
 class MetricsRegistry {
@@ -69,6 +95,19 @@ class MetricsRegistry {
   /// Point-in-time gauge (set, not accumulated) for sizes/footprints.
   void SetGauge(const std::string& name, double value);
 
+  /// Caps the trace ring (default 256; 0 disables tracing). Shrinking
+  /// drops the oldest entries.
+  void SetTraceCapacity(size_t capacity);
+
+  /// Appends a request trace, evicting the oldest past the capacity.
+  void RecordTrace(RequestTrace trace);
+
+  /// Retained traces, oldest first.
+  std::vector<RequestTrace> Traces() const;
+
+  /// The trace ring as JSONL, one request per line, oldest first.
+  std::string DumpTracesJsonl() const;
+
   /// Human-readable dump, one instrument per line, sorted by name.
   std::string Dump() const;
 
@@ -77,6 +116,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, double> gauges_;
+  size_t trace_capacity_ = 256;
+  std::deque<RequestTrace> traces_;
 };
 
 }  // namespace comparesets

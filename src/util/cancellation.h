@@ -1,0 +1,60 @@
+// Cooperative cancellation and per-request execution control.
+//
+// A serving path must be able to abandon work it no longer wants: a
+// client went away (CancelToken) or a latency contract ran out
+// (Deadline). Neither can preempt a compute loop, so the solvers check
+// an ExecControl at iteration boundaries — NOMP atom steps, NNLS
+// active-set iterations, per-item / per-sweep selector loops — and
+// return kCancelled / kDeadlineExceeded instead of running on.
+//
+// All members of ExecControl are optional; a nullptr ExecControl* (the
+// default everywhere) costs nothing. The iteration counter doubles as
+// the "solver iterations" field of the request trace: every control
+// check is one solver-loop boundary crossed.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace comparesets {
+
+/// One-shot cancellation flag shared between a requester and the worker
+/// executing its request. Thread-safe; cancelling is idempotent.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Per-request execution controls, threaded from SelectionEngine through
+/// the selectors into the NOMP/NNLS inner loops. A view: the engine owns
+/// the deadline/token/counter for the request's lifetime.
+struct ExecControl {
+  const Deadline* deadline = nullptr;    ///< nullptr = no latency bound.
+  const CancelToken* cancel = nullptr;   ///< nullptr = not cancellable.
+  /// Incremented once per Check() — i.e. once per solver iteration
+  /// boundary — giving the request trace its iteration count. May be
+  /// shared across worker threads (atomic).
+  std::atomic<uint64_t>* iterations = nullptr;
+
+  /// Counts one iteration, then reports whether work should continue.
+  /// `where` names the loop for the error message ("nomp", "nnls", ...).
+  Status Check(const char* where) const;
+};
+
+/// Check() on a possibly-null control: the pattern every solver uses.
+inline Status CheckExec(const ExecControl* control, const char* where) {
+  if (control == nullptr) return Status::OK();
+  return control->Check(where);
+}
+
+}  // namespace comparesets

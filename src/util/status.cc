@@ -27,6 +27,12 @@ const char* StatusCodeName(StatusCode code) {
       return "internal";
     case StatusCode::kNotImplemented:
       return "not implemented";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
   }
   return "unknown";
 }

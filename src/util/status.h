@@ -30,6 +30,15 @@ enum class StatusCode {
   kTimeout,
   kInternal,
   kNotImplemented,
+  /// A per-request deadline elapsed before the work finished. Unlike
+  /// kTimeout (a solver's own time budget, e.g. branch-and-bound caps),
+  /// this is the *caller's* latency contract being enforced.
+  kDeadlineExceeded,
+  /// The caller cancelled the request cooperatively (CancelToken).
+  kCancelled,
+  /// The serving layer refused admission: in-flight + queued requests
+  /// already fill the configured capacity.
+  kResourceExhausted,
 };
 
 /// Returns a stable lowercase name for a status code ("ok", "io error", ...).
@@ -69,6 +78,15 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 
 #include "util/rng.h"
@@ -130,6 +131,60 @@ TEST(NompTest, SupportOrderedBySelection) {
   ASSERT_TRUE(result.ok());
   ASSERT_GE(result.value().support.size(), 1u);
   EXPECT_EQ(result.value().support[0], 1u);
+}
+
+TEST(NompTest, ExpiredDeadlineStopsMidSolve) {
+  // An already-expired deadline trips at the first iteration boundary:
+  // the solver returns kDeadlineExceeded instead of running the steps.
+  Matrix v = FromColumns({{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}});
+  Deadline deadline(1e-12);
+  while (!deadline.Expired()) {
+  }
+  ExecControl control;
+  control.deadline = &deadline;
+  auto result = SolveNomp(v, Vector{0.0, 2.0, 0.0}, 1, &control);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(NompTest, CancellationStopsMidSolve) {
+  Matrix v = FromColumns({{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}});
+  CancelToken cancel;
+  cancel.Cancel();
+  ExecControl control;
+  control.cancel = &cancel;
+  auto result = SolveNomp(v, Vector{0.0, 2.0, 0.0}, 1, &control);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(NompTest, ControlledSolveMatchesUncontrolledBitForBit) {
+  // Threading a live (never-tripping) control through the solver must
+  // not change the numerics at all.
+  Rng rng(11);
+  Matrix v(6, 10);
+  for (size_t r = 0; r < 6; ++r) {
+    for (size_t c = 0; c < 10; ++c) v(r, c) = rng.UniformDouble();
+  }
+  Vector target(6);
+  for (size_t r = 0; r < 6; ++r) target[r] = rng.UniformDouble();
+
+  Deadline deadline(0.0);  // Unlimited.
+  std::atomic<uint64_t> iterations{0};
+  ExecControl control;
+  control.deadline = &deadline;
+  control.iterations = &iterations;
+
+  auto plain = SolveNomp(v, target, 3);
+  auto controlled = SolveNomp(v, target, 3, &control);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(controlled.ok());
+  EXPECT_EQ(plain.value().support, controlled.value().support);
+  for (size_t i = 0; i < plain.value().x.size(); ++i) {
+    EXPECT_EQ(plain.value().x[i], controlled.value().x[i]) << i;
+  }
+  EXPECT_EQ(plain.value().residual_norm, controlled.value().residual_norm);
+  EXPECT_GT(iterations.load(), 0u);  // The checks actually ran.
 }
 
 TEST(NompTest, TiedCorrelationsBreakToFirstColumn) {

@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+
 #include "data/synthetic.h"
 #include "eval/runner.h"
+#include "opinion/vectors.h"
 
 namespace comparesets {
 namespace {
@@ -200,7 +206,7 @@ TEST(SelectionEngineTest, SwapCorpusInvalidatesCacheAndServesNewCatalog) {
   // reviews — a stale vector entry would silently answer from the old
   // catalog.
   auto new_corpus = MakeCorpus(60, /*seed=*/7);
-  engine.SwapCorpus(new_corpus);
+  ASSERT_TRUE(engine.SwapCorpus(new_corpus).ok());
   EXPECT_EQ(engine.corpus(), new_corpus);
   EXPECT_EQ(engine.CacheStats().entries, 0u);
 
@@ -291,6 +297,265 @@ TEST(SelectionEngineTest, MatchesRunSelectorOver240ProductWorkload) {
           << name << " instance " << i;
     }
   }
+}
+
+// Acceptance: a 1ms-deadline request fails fast with kDeadlineExceeded
+// (the deadline trips inside the NOMP/NNLS iteration checks, it does
+// not hang a worker), while the identical request without a deadline
+// still produces the selections a bare selector run yields, bit for
+// bit — the control plumbing must not perturb the numerics.
+TEST(SelectionEngineTest, DeadlineExpiryFailsFastAndCleanRequestIsExact) {
+  auto corpus = MakeCorpus(60);
+  SelectionEngine engine(corpus);
+
+  SelectRequest request = RequestFor(*corpus, 0, "CompaReSetS+");
+  request.deadline_seconds = 0.001;
+  auto expired = engine.Select(request);
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+
+  request.deadline_seconds = 0.0;
+  auto clean = engine.Select(request);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  // A failed attempt must never have been memoized.
+  EXPECT_FALSE(clean.value().result_cache_hit);
+
+  auto selector = MakeSelector("CompaReSetS+").ValueOrDie();
+  OpinionModel model = OpinionModel::Binary(corpus->num_aspects());
+  InstanceVectors vectors =
+      BuildInstanceVectors(model, corpus->instances()[0]);
+  auto reference = selector->Select(vectors, request.options);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(clean.value().selections, reference.value().selections);
+  EXPECT_EQ(clean.value().objective, reference.value().objective);
+
+  std::string dump = engine.DumpMetrics();
+  EXPECT_NE(dump.find("counter engine.deadline_exceeded 1"),
+            std::string::npos)
+      << dump;
+}
+
+TEST(SelectionEngineTest, PreCancelledRequestReturnsCancelled) {
+  auto corpus = MakeCorpus(60);
+  SelectionEngine engine(corpus);
+  CancelToken cancel;
+  cancel.Cancel();
+
+  SelectRequest request = RequestFor(*corpus, 0);
+  request.cancel = &cancel;
+  auto response = engine.Select(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kCancelled);
+}
+
+// Cancellation racing a SelectBatch must leave the engine's warm state
+// consistent: every response is either ok or kCancelled, and re-issuing
+// the batch afterwards (caches now populated by whichever requests
+// finished) still reproduces a fresh engine's answers exactly.
+TEST(SelectionEngineTest, CancellationDuringBatchLeavesCachesUncorrupted) {
+  auto corpus = MakeCorpus(80);
+  EngineOptions options;
+  options.threads = 2;
+  SelectionEngine engine(corpus, options);
+
+  size_t n = std::min<size_t>(corpus->num_instances(), 6);
+  CancelToken cancel;
+  std::vector<SelectRequest> requests;
+  for (size_t i = 0; i < n; ++i) {
+    SelectRequest request = RequestFor(*corpus, i, "CompaReSetS+");
+    request.cancel = &cancel;
+    requests.push_back(std::move(request));
+  }
+
+  std::thread canceller([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    cancel.Cancel();
+  });
+  std::vector<Result<SelectResponse>> racing = engine.SelectBatch(requests);
+  canceller.join();
+  for (const auto& response : racing) {
+    if (!response.ok()) {
+      EXPECT_EQ(response.status().code(), StatusCode::kCancelled);
+    }
+  }
+
+  // Clean re-run through the now part-warm engine vs a cold engine.
+  for (SelectRequest& request : requests) request.cancel = nullptr;
+  std::vector<Result<SelectResponse>> warm = engine.SelectBatch(requests);
+  SelectionEngine cold_engine(corpus, options);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(warm[i].ok()) << warm[i].status();
+    auto cold = cold_engine.Select(requests[i]);
+    ASSERT_TRUE(cold.ok());
+    EXPECT_EQ(warm[i].value().selections, cold.value().selections) << i;
+    EXPECT_EQ(warm[i].value().objective, cold.value().objective) << i;
+  }
+}
+
+TEST(SelectionEngineTest, TransientFaultsAreRetriedWithBackoff) {
+  auto corpus = MakeCorpus(60);
+  FaultPlan plan;
+  plan.cache_lookup.fail_first = 2;
+  EngineOptions options;
+  options.fault_injector = std::make_shared<FaultInjector>(plan);
+  options.max_attempts = 3;
+  options.retry_backoff_seconds = 0.0005;
+  SelectionEngine engine(corpus, options);
+
+  auto response = engine.Select(RequestFor(*corpus, 0));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response.value().trace.attempts, 3);
+  EXPECT_GT(response.value().trace.backoff_seconds, 0.0);
+  EXPECT_EQ(options.fault_injector->injected_errors(), 2u);
+
+  std::string dump = engine.DumpMetrics();
+  EXPECT_NE(dump.find("counter engine.retries 2"), std::string::npos) << dump;
+}
+
+TEST(SelectionEngineTest, TransientFaultsSurfaceAfterMaxAttempts) {
+  auto corpus = MakeCorpus(60);
+  FaultPlan plan;
+  plan.cache_lookup.fail_first = 10;  // More than the engine will retry.
+  EngineOptions options;
+  options.fault_injector = std::make_shared<FaultInjector>(plan);
+  options.max_attempts = 2;
+  options.retry_backoff_seconds = 0.0005;
+  SelectionEngine engine(corpus, options);
+
+  auto response = engine.Select(RequestFor(*corpus, 0));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInternal);
+  EXPECT_NE(response.status().message().find("injected fault"),
+            std::string::npos);
+  EXPECT_EQ(options.fault_injector->injected_errors(), 2u);  // One per try.
+
+  // The failure is traced with its attempt count.
+  std::vector<RequestTrace> traces = engine.Traces();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].status, "internal");
+  EXPECT_EQ(traces[0].attempts, 2);
+}
+
+TEST(SelectionEngineTest, OverloadReturnsResourceExhausted) {
+  auto corpus = MakeCorpus(80);
+  // Pin each solve at >= 50ms so concurrent requests pile up on the
+  // single admission slot deterministically.
+  FaultPlan plan;
+  plan.solve.delay_rate = 1.0;
+  plan.solve.delay_seconds = 0.05;
+  EngineOptions options;
+  options.threads = 4;
+  options.max_in_flight = 1;
+  options.max_queue = 0;  // No waiting room: overflow is refused.
+  options.fault_injector = std::make_shared<FaultInjector>(plan);
+  SelectionEngine engine(corpus, options);
+
+  size_t n = std::min<size_t>(corpus->num_instances(), 4);
+  ASSERT_GE(n, 2u);
+  std::vector<SelectRequest> requests;
+  for (size_t i = 0; i < n; ++i) {
+    requests.push_back(RequestFor(*corpus, i));
+  }
+  std::vector<Result<SelectResponse>> responses = engine.SelectBatch(requests);
+
+  size_t succeeded = 0, rejected = 0;
+  for (const auto& response : responses) {
+    if (response.ok()) {
+      ++succeeded;
+    } else {
+      ASSERT_EQ(response.status().code(), StatusCode::kResourceExhausted)
+          << response.status();
+      ++rejected;
+    }
+  }
+  EXPECT_GE(succeeded, 1u);
+  EXPECT_GE(rejected, 1u);
+  std::string dump = engine.DumpMetrics();
+  EXPECT_NE(dump.find("counter engine.rejected"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("histogram engine.queue_seconds"), std::string::npos);
+}
+
+TEST(SelectionEngineTest, QueuedRequestsAdmitAsSlotsFree) {
+  auto corpus = MakeCorpus(80);
+  EngineOptions options;
+  options.threads = 3;
+  options.max_in_flight = 1;
+  options.max_queue = 8;  // Room for everyone: nobody is refused.
+  SelectionEngine engine(corpus, options);
+
+  size_t n = std::min<size_t>(corpus->num_instances(), 3);
+  std::vector<SelectRequest> requests;
+  for (size_t i = 0; i < n; ++i) {
+    requests.push_back(RequestFor(*corpus, i));
+  }
+  std::vector<Result<SelectResponse>> responses = engine.SelectBatch(requests);
+  for (const auto& response : responses) {
+    ASSERT_TRUE(response.ok()) << response.status();
+  }
+}
+
+TEST(SelectionEngineTest, FaultInjectedSwapKeepsServingOldSnapshot) {
+  auto old_corpus = MakeCorpus(60, /*seed=*/42);
+  FaultPlan plan;
+  plan.corpus_swap.fail_first = 1;
+  EngineOptions options;
+  options.fault_injector = std::make_shared<FaultInjector>(plan);
+  SelectionEngine engine(old_corpus, options);
+  ASSERT_TRUE(engine.Select(RequestFor(*old_corpus, 0)).ok());
+
+  auto new_corpus = MakeCorpus(60, /*seed=*/7);
+  Status swap = engine.SwapCorpus(new_corpus);
+  ASSERT_FALSE(swap.ok());
+  EXPECT_EQ(swap.code(), StatusCode::kInternal);
+  // Refused swap: old snapshot still serving, caches untouched.
+  EXPECT_EQ(engine.corpus(), old_corpus);
+  EXPECT_EQ(engine.CacheStats().entries, 1u);
+
+  ASSERT_TRUE(engine.SwapCorpus(new_corpus).ok());  // fail_first spent.
+  EXPECT_EQ(engine.corpus(), new_corpus);
+}
+
+TEST(SelectionEngineTest, TracesRecordTheRequestLifecycle) {
+  auto corpus = MakeCorpus(60);
+  SelectionEngine engine(corpus);
+  SelectRequest request = RequestFor(*corpus, 0);
+  ASSERT_TRUE(engine.Select(request).ok());
+  ASSERT_TRUE(engine.Select(request).ok());  // Memo hit.
+  SelectRequest bad;
+  bad.target_id = "no-such-product";
+  ASSERT_FALSE(engine.Select(bad).ok());
+
+  std::vector<RequestTrace> traces = engine.Traces();
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_EQ(traces[0].request_id, 1u);
+  EXPECT_EQ(traces[0].status, "ok");
+  EXPECT_FALSE(traces[0].result_cache_hit);
+  EXPECT_GT(traces[0].solver_iterations, 0u);
+  EXPECT_GT(traces[0].total_seconds, 0.0);
+  EXPECT_EQ(traces[1].request_id, 2u);
+  EXPECT_TRUE(traces[1].result_cache_hit);
+  EXPECT_EQ(traces[2].status, "not found");
+
+  std::string jsonl = engine.DumpTraces();
+  EXPECT_NE(jsonl.find("\"request_id\":1"), std::string::npos) << jsonl;
+  EXPECT_NE(jsonl.find("\"status\":\"not found\""), std::string::npos);
+  // One line per request.
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 3);
+}
+
+TEST(SelectionEngineTest, TraceRingEvictsOldestAtCapacity) {
+  auto corpus = MakeCorpus(60);
+  EngineOptions options;
+  options.trace_capacity = 2;
+  SelectionEngine engine(corpus, options);
+  SelectRequest request = RequestFor(*corpus, 0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine.Select(request).ok());
+  }
+  std::vector<RequestTrace> traces = engine.Traces();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].request_id, 3u);
+  EXPECT_EQ(traces[1].request_id, 4u);
 }
 
 }  // namespace

@@ -1,0 +1,105 @@
+#include "service/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/timer.h"
+
+namespace comparesets {
+namespace {
+
+TEST(FaultInjectorTest, NoFaultsConfiguredAlwaysPasses) {
+  FaultInjector injector{FaultPlan{}};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(injector.Inject(FaultSite::kCacheLookup).ok());
+    EXPECT_TRUE(injector.Inject(FaultSite::kSolve).ok());
+    EXPECT_TRUE(injector.Inject(FaultSite::kCorpusSwap).ok());
+  }
+  EXPECT_EQ(injector.injected_errors(), 0u);
+  EXPECT_EQ(injector.injected_delays(), 0u);
+}
+
+TEST(FaultInjectorTest, FailFirstIsExactThenClean) {
+  FaultPlan plan;
+  plan.solve.fail_first = 3;
+  FaultInjector injector(plan);
+  for (int i = 0; i < 3; ++i) {
+    Status status = injector.Inject(FaultSite::kSolve);
+    ASSERT_EQ(status.code(), StatusCode::kInternal) << i;
+    EXPECT_NE(status.message().find("solve"), std::string::npos);
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(injector.Inject(FaultSite::kSolve).ok());
+  }
+  EXPECT_EQ(injector.injected_errors(), 3u);
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysTheSameErrorSequence) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.cache_lookup.error_rate = 0.5;
+
+  auto roll = [&plan] {
+    FaultInjector injector(plan);
+    std::vector<bool> sequence;
+    for (int i = 0; i < 64; ++i) {
+      sequence.push_back(!injector.Inject(FaultSite::kCacheLookup).ok());
+    }
+    return sequence;
+  };
+  std::vector<bool> baseline = roll();
+  EXPECT_EQ(baseline, roll());
+
+  plan.seed = 0x5eed5eedULL;
+  EXPECT_NE(baseline, roll());  // The seed actually steers the dice.
+}
+
+TEST(FaultInjectorTest, SitesDrawFromIndependentStreams) {
+  // Rolling one site a different number of times must not perturb the
+  // fault sequence another site sees.
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.solve.error_rate = 0.5;
+  plan.cache_lookup.error_rate = 0.5;
+
+  auto solve_sequence = [&plan](int cache_rolls) {
+    FaultInjector injector(plan);
+    for (int i = 0; i < cache_rolls; ++i) {
+      (void)injector.Inject(FaultSite::kCacheLookup).ok();
+    }
+    std::vector<bool> sequence;
+    for (int i = 0; i < 64; ++i) {
+      sequence.push_back(!injector.Inject(FaultSite::kSolve).ok());
+    }
+    return sequence;
+  };
+  EXPECT_EQ(solve_sequence(0), solve_sequence(17));
+}
+
+TEST(FaultInjectorTest, DelaysSleepAndCount) {
+  FaultPlan plan;
+  plan.corpus_swap.delay_rate = 1.0;
+  plan.corpus_swap.delay_seconds = 0.01;
+  FaultInjector injector(plan);
+
+  Timer timer;
+  EXPECT_TRUE(injector.Inject(FaultSite::kCorpusSwap).ok());
+  EXPECT_GE(timer.ElapsedSeconds(), 0.009);
+  EXPECT_EQ(injector.injected_delays(), 1u);
+  EXPECT_EQ(injector.injected_errors(), 0u);
+}
+
+TEST(FaultInjectorTest, ErrorRateOneAlwaysFails) {
+  FaultPlan plan;
+  plan.solve.error_rate = 1.0;
+  FaultInjector injector(plan);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(injector.Inject(FaultSite::kSolve).code(),
+              StatusCode::kInternal);
+  }
+  EXPECT_EQ(injector.injected_errors(), 10u);
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,83 @@
+#include "util/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace comparesets {
+namespace {
+
+TEST(CancelTokenTest, StartsLiveAndLatchesCancelled) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // Idempotent.
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(ExecControlTest, NullControlAlwaysPasses) {
+  EXPECT_TRUE(CheckExec(nullptr, "anywhere").ok());
+
+  // A default control (no deadline, no token) also never trips.
+  ExecControl control;
+  EXPECT_TRUE(control.Check("loop").ok());
+}
+
+TEST(ExecControlTest, CountsEveryCheck) {
+  std::atomic<uint64_t> iterations{0};
+  ExecControl control;
+  control.iterations = &iterations;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(control.Check("loop").ok());
+  }
+  EXPECT_EQ(iterations.load(), 5u);
+}
+
+TEST(ExecControlTest, ExpiredDeadlineReturnsDeadlineExceeded) {
+  Deadline deadline(1e-9);
+  while (!deadline.Expired()) {
+    std::this_thread::yield();
+  }
+  ExecControl control;
+  control.deadline = &deadline;
+  Status status = control.Check("nomp");
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(status.message().find("nomp"), std::string::npos);
+}
+
+TEST(ExecControlTest, UnlimitedDeadlineNeverTrips) {
+  Deadline deadline(0.0);  // Non-positive budget = no limit.
+  ExecControl control;
+  control.deadline = &deadline;
+  EXPECT_TRUE(control.Check("loop").ok());
+}
+
+TEST(ExecControlTest, CancellationOutranksDeadline) {
+  Deadline deadline(1e-9);
+  while (!deadline.Expired()) {
+    std::this_thread::yield();
+  }
+  CancelToken token;
+  token.Cancel();
+  ExecControl control;
+  control.deadline = &deadline;
+  control.cancel = &token;
+  // Both tripped: cancellation wins, since it is the caller's explicit
+  // request rather than a latency side effect.
+  EXPECT_EQ(control.Check("loop").code(), StatusCode::kCancelled);
+}
+
+TEST(ExecControlTest, CancelFlippedFromAnotherThreadIsObserved) {
+  CancelToken token;
+  ExecControl control;
+  control.cancel = &token;
+  ASSERT_TRUE(control.Check("loop").ok());
+  std::thread canceller([&] { token.Cancel(); });
+  canceller.join();
+  EXPECT_EQ(control.Check("loop").code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -29,6 +29,11 @@ TEST(StatusTest, AllFactoryFunctionsProduceMatchingCodes) {
   EXPECT_EQ(Status::Timeout("x").code(), StatusCode::kTimeout);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -41,6 +46,11 @@ TEST(StatusCodeNameTest, CoversEveryCode) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
   EXPECT_STREQ(StatusCodeName(StatusCode::kTimeout), "timeout");
   EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "parse error");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "deadline exceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "cancelled");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "resource exhausted");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -8,22 +8,42 @@
 #   tools/check.sh            # both configurations
 #   tools/check.sh release    # just one
 #   tools/check.sh sanitize
-set -eu
+#
+# JOBS=N overrides the build/test parallelism (default: nproc).
+# Each phase failure names the configuration and phase that failed and
+# exits with a distinct code: 2 configure, 3 build, 4 tests, 64 usage.
+set -u
 
 cd "$(dirname "$0")/.."
-JOBS="$(nproc 2>/dev/null || echo 2)"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
 run_config() {
   name="$1"; dir="$2"; shift 2
   echo "== [$name] configure"
-  cmake -B "$dir" -S . "$@"
+  if ! cmake -B "$dir" -S . "$@"; then
+    echo "== check.sh: [$name] configure FAILED" >&2
+    exit 2
+  fi
   echo "== [$name] build"
-  cmake --build "$dir" -j "$JOBS"
+  if ! cmake --build "$dir" -j "$JOBS"; then
+    echo "== check.sh: [$name] build FAILED" >&2
+    exit 3
+  fi
   echo "== [$name] ctest"
-  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  if ! ctest --test-dir "$dir" --output-on-failure -j "$JOBS"; then
+    echo "== check.sh: [$name] tests FAILED" >&2
+    exit 4
+  fi
 }
 
 want="${1:-all}"
+case "$want" in
+  all|release|sanitize) ;;
+  *)
+    echo "usage: tools/check.sh [all|release|sanitize]" >&2
+    exit 64
+    ;;
+esac
 
 if [ "$want" = "all" ] || [ "$want" = "release" ]; then
   run_config release build -DCMAKE_BUILD_TYPE=Release

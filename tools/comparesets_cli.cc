@@ -4,6 +4,8 @@
 //   comparesets select  [data flags] [--target ID] [--algorithm A] [--m N]
 //   comparesets narrow  [data flags] [--target ID] [--k N] [--m N]
 //   comparesets serve   [data flags] [--queries F] [--threads N] [--metrics]
+//                       [--deadline_ms D] [--max_in_flight N] [--retries R]
+//                       [--trace_out F]
 //
 // Data source: either a synthetic category (--category Cellphone|Toy|
 // Clothing, --products N, --seed S) or Amazon-layout JSONL files
@@ -219,7 +221,12 @@ int RunServe(const FlagParser& flags) {
   engine_options.threads = static_cast<size_t>(flags.GetInt("threads"));
   engine_options.cache_capacity =
       static_cast<size_t>(flags.GetInt("cache_capacity"));
+  engine_options.max_in_flight =
+      static_cast<size_t>(flags.GetInt("max_in_flight"));
+  engine_options.max_queue = static_cast<size_t>(flags.GetInt("max_queue"));
+  engine_options.max_attempts = flags.GetInt("retries") + 1;
   SelectionEngine engine(indexed.value(), engine_options);
+  double deadline_seconds = flags.GetDouble("deadline_ms") / 1000.0;
 
   std::vector<SelectRequest> requests;
   const std::string& queries_path = flags.GetString("queries");
@@ -247,6 +254,9 @@ int RunServe(const FlagParser& flags) {
   if (requests.empty()) {
     std::printf("No queries.\n");
     return 0;
+  }
+  for (SelectRequest& request : requests) {
+    request.deadline_seconds = deadline_seconds;
   }
 
   std::vector<Result<SelectResponse>> responses = engine.SelectBatch(requests);
@@ -276,6 +286,24 @@ int RunServe(const FlagParser& flags) {
               responses.size(), failed);
   if (flags.GetBool("metrics")) {
     std::printf("\n%s", engine.DumpMetrics().c_str());
+  }
+  const std::string& trace_out = flags.GetString("trace_out");
+  if (!trace_out.empty()) {
+    // One JSON object per request, oldest first ("-" = stdout).
+    std::string jsonl = engine.DumpTraces();
+    if (trace_out == "-") {
+      std::printf("%s", jsonl.c_str());
+    } else {
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open trace file '%s'\n",
+                     trace_out.c_str());
+        return 2;
+      }
+      out << jsonl;
+      std::printf("Wrote %zu request traces to %s.\n", engine.Traces().size(),
+                  trace_out.c_str());
+    }
   }
   return failed == 0 ? 0 : 1;
 }
@@ -318,6 +346,15 @@ int main(int argc, char** argv) {
   flags.AddInt("threads", 0, "engine worker threads (0 = hardware)");
   flags.AddInt("cache_capacity", 256, "engine vector-cache entries");
   flags.AddBool("metrics", false, "dump engine metrics after serve");
+  flags.AddDouble("deadline_ms", 0.0,
+                  "per-query deadline in milliseconds (0 = none)");
+  flags.AddInt("max_in_flight", 0,
+               "admission limit on concurrent solves (0 = unthrottled)");
+  flags.AddInt("max_queue", 64, "admission queue slots beyond max_in_flight");
+  flags.AddInt("retries", 0, "retries per query on transient failures");
+  flags.AddString("trace_out", "",
+                  "write per-request JSONL traces here after serve"
+                  " (\"-\" = stdout)");
 
   Status parsed = flags.Parse(argc - 1, argv + 1);
   if (!parsed.ok()) {

@@ -1,0 +1,55 @@
+# Sanity check that tools/check.sh stays POSIX-sh clean, without
+# depending on shellcheck (not baked into the toolchain image). Run as:
+#
+#   cmake -P tools/posix_sh_lint.cmake
+#
+# Two layers: a syntax pass through `sh -n`, and a scan for the common
+# bashisms that `sh -n` accepts on systems where /bin/sh is bash.
+cmake_minimum_required(VERSION 3.16)
+
+set(script "${CMAKE_CURRENT_LIST_DIR}/check.sh")
+file(READ "${script}" contents)
+set(errors "")
+
+if(NOT contents MATCHES "^#!/usr/bin/env sh\n")
+  string(APPEND errors "  shebang must be '#!/usr/bin/env sh'\n")
+endif()
+
+# Bashisms that slip through when /bin/sh happens to be bash. Each entry
+# is "<regex>@@<human explanation>" ('@@' cannot appear in the regexes).
+set(bashism_checks
+    "\\[\\[@@'[[ ]]' test — use '[ ]'"
+    "&>@@'&>' redirection — use '> file 2>&1'"
+    "function [a-zA-Z_]+@@'function name' — use 'name() {'"
+    "(^|\n)[ \t]*local @@'local' is not POSIX"
+    "\\$\\{[A-Za-z_]+\\[@@arrays are not POSIX"
+    "(^|\n)[ \t]*source @@'source' — use '.'"
+    "=~@@'=~' regex match is not POSIX"
+    "\\$'@@$'...' quoting is not POSIX")
+foreach(check IN LISTS bashism_checks)
+  string(FIND "${check}" "@@" split_at)
+  string(SUBSTRING "${check}" 0 ${split_at} pattern)
+  math(EXPR rest "${split_at} + 2")
+  string(SUBSTRING "${check}" ${rest} -1 why)
+  if(contents MATCHES "${pattern}")
+    string(APPEND errors "  ${why}\n")
+  endif()
+endforeach()
+
+find_program(POSIX_SH sh)
+if(POSIX_SH)
+  execute_process(
+    COMMAND "${POSIX_SH}" -n "${script}"
+    RESULT_VARIABLE syntax_rc
+    ERROR_VARIABLE syntax_err)
+  if(NOT syntax_rc EQUAL 0)
+    string(APPEND errors "  sh -n rejected the script:\n${syntax_err}")
+  endif()
+else()
+  message(STATUS "posix_sh_lint: no 'sh' on PATH; skipping syntax pass")
+endif()
+
+if(errors)
+  message(FATAL_ERROR "tools/check.sh is not POSIX-sh clean:\n${errors}")
+endif()
+message(STATUS "posix_sh_lint: tools/check.sh is POSIX-sh clean")
