@@ -1,20 +1,42 @@
 // Microbenchmarks (google-benchmark) for the hot kernels: least squares,
 // NNLS, NOMP, integer rounding, the end-to-end selectors, TargetHkS
 // solvers, and ROUGE scoring.
+//
+// Besides the google-benchmark suite, the binary has a kernel-comparison
+// mode that times the legacy dense solver stack against the sparse
+// Gram/Cholesky core on a Figure-7-style workload and writes the
+// measured ratios as JSON:
+//
+//   micro_solvers --kernels_only [--kernels_out=results/solver_kernels.json]
+//
+// The two paths must produce identical NOMP supports on every budget;
+// the mode fails (non-zero exit) if they diverge. Any other arguments
+// are forwarded to google-benchmark unchanged.
 
 #include <benchmark/benchmark.h>
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "core/compare_sets.h"
 #include "core/compare_sets_plus.h"
+#include "core/design_matrix.h"
 #include "core/integer_regression.h"
+#include "data/synthetic.h"
 #include "eval/runner.h"
 #include "graph/targethks_exact.h"
 #include "graph/targethks_greedy.h"
+#include "linalg/gram.h"
 #include "linalg/nnls.h"
 #include "linalg/nomp.h"
 #include "linalg/qr.h"
 #include "text/rouge.h"
+#include "util/jsonl.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace comparesets {
 namespace {
@@ -95,6 +117,54 @@ const Workload& BenchWorkload() {
   }();
   return *kWorkload;
 }
+
+/// Shared CompaReSetS design system (target item, λ = 1) for the
+/// Gram-path kernel benchmarks.
+const DesignSystem& BenchSystem() {
+  static const DesignSystem* kSystem = [] {
+    const InstanceVectors& vectors = BenchWorkload().vectors()[0];
+    return new DesignSystem(BuildCompareSetsSystem(vectors, 0, 1.0));
+  }();
+  return *kSystem;
+}
+
+void BM_GramBuild(benchmark::State& state) {
+  const DesignSystem& system = BenchSystem();
+  for (auto _ : state) {
+    GramSystem gram = BuildGramSystem(system.v, system.target);
+    benchmark::DoNotOptimize(gram);
+  }
+}
+BENCHMARK(BM_GramBuild);
+
+void BM_NompGram(benchmark::State& state) {
+  const DesignSystem& system = BenchSystem();
+  size_t ell = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = SolveNompGram(system.gram, ell);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_NompGram)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_NnlsGram(benchmark::State& state) {
+  const GramSystem& gram = BenchSystem().gram;
+  for (auto _ : state) {
+    auto result = SolveNnlsGram(gram.gram, gram.vty, gram.target_norm2);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_NnlsGram);
+
+void BM_SparseMultiplyTranspose(benchmark::State& state) {
+  const DesignSystem& system = BenchSystem();
+  Vector out;
+  for (auto _ : state) {
+    system.v.MultiplyTranspose(system.target, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SparseMultiplyTranspose);
 
 void BM_CompareSetsInstance(benchmark::State& state) {
   const InstanceVectors& vectors = BenchWorkload().vectors()[0];
@@ -183,7 +253,243 @@ void BM_BuildInstanceVectors(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildInstanceVectors);
 
+// ---------------------------------------------------------------------
+// Kernel-comparison mode (--kernels_only / --kernels_out=PATH).
+
+/// Seconds per call, measured over enough repetitions to amortize timer
+/// noise (one warm-up call, then ~0.3 s of repeats).
+template <typename Fn>
+double TimePerCall(const Fn& fn) {
+  fn();  // Warm-up: populates thread-local workspaces and caches.
+  Timer probe;
+  fn();
+  double estimate = probe.ElapsedSeconds();
+  int reps = 1;
+  if (estimate < 0.3) {
+    reps = static_cast<int>(0.3 / (estimate + 1e-9)) + 1;
+    if (reps > 100000) reps = 100000;
+  }
+  Timer timer;
+  for (int i = 0; i < reps; ++i) fn();
+  return timer.ElapsedSeconds() / reps;
+}
+
+struct KernelTiming {
+  std::string name;
+  double dense_seconds = 0.0;
+  double gram_seconds = 0.0;
+  double speedup() const {
+    return gram_seconds > 0.0 ? dense_seconds / gram_seconds : 0.0;
+  }
+};
+
+/// A Figure-7-style workload whose target item carries a review count in
+/// the paper's scaling regime (≥ 500 reviews on the solved item).
+Workload KernelWorkload() {
+  SyntheticConfig config = DefaultConfig("Cellphone", 32).ValueOrDie();
+  config.avg_reviews_per_product = 600.0;
+  config.max_reviews_per_product = 4000;
+  config.seed = 42;
+  Corpus corpus = GenerateCorpus(config).ValueOrDie();
+  RunnerConfig runner;
+  runner.category = config.category;
+  runner.max_instances = 8;
+  runner.seed = config.seed;
+  return Workload::FromCorpus(std::move(corpus), runner).ValueOrDie();
+}
+
+int RunKernelComparison(const std::string& out_path) {
+  Workload workload = KernelWorkload();
+  // Solve the instance whose target item has the most reviews.
+  size_t best = 0;
+  for (size_t i = 1; i < workload.num_instances(); ++i) {
+    if (workload.vectors()[i].num_reviews(0) >
+        workload.vectors()[best].num_reviews(0)) {
+      best = i;
+    }
+  }
+  const InstanceVectors& vectors = workload.vectors()[best];
+  size_t reviews = vectors.num_reviews(0);
+  DesignSystem system = BuildCompareSetsSystem(vectors, 0, 1.0);
+  Matrix dense_v = system.v.ToDense();
+  const size_t m = 10;
+  std::printf(
+      "kernel workload: target item with %zu reviews, system %zu x %zu "
+      "(nnz %zu), m = %zu\n",
+      reviews, system.v.rows(), system.v.cols(), system.v.nnz(), m);
+
+  // Cross-check first: both paths must pick identical supports.
+  for (size_t ell = 1; ell <= m; ++ell) {
+    auto dense = SolveNomp(dense_v, system.target, ell).ValueOrDie();
+    auto gram = SolveNompGram(system.gram, ell).ValueOrDie();
+    if (dense.support != gram.support) {
+      std::fprintf(stderr,
+                   "support mismatch between dense and Gram NOMP at "
+                   "ell=%zu — kernels are NOT equivalent\n",
+                   ell);
+      return 1;
+    }
+  }
+
+  std::vector<KernelTiming> kernels;
+
+  // Headline: the Integer-Regression relaxation sweep, ℓ = 1..m, on a
+  // prepared DesignSystem. Each path solves from the structure the
+  // system carries for it — the legacy system held the dense matrix,
+  // the current one holds sparse Ṽ plus its precomputed GramSystem
+  // (built once per system and cached; that one-time assembly is
+  // measured separately as gram_build below).
+  KernelTiming nomp;
+  nomp.name = "nomp_sweep";
+  nomp.dense_seconds = TimePerCall([&] {
+    for (size_t ell = 1; ell <= m; ++ell) {
+      auto result = SolveNomp(dense_v, system.target, ell);
+      benchmark::DoNotOptimize(result);
+    }
+  });
+  nomp.gram_seconds = TimePerCall([&] {
+    for (size_t ell = 1; ell <= m; ++ell) {
+      auto result = SolveNompGram(system.gram, ell);
+      benchmark::DoNotOptimize(result);
+    }
+  });
+  kernels.push_back(nomp);
+
+  // The NOMP refit kernel: NNLS restricted to a pursued support. The
+  // dense path copies the support columns and QR-solves rows×k systems;
+  // the Gram path solves k×k normal equations in place.
+  std::vector<size_t> support =
+      SolveNompGram(system.gram, m).ValueOrDie().support;
+  KernelTiming nnls;
+  nnls.name = "nnls_refit";
+  nnls.dense_seconds = TimePerCall([&] {
+    Matrix sub(dense_v.rows(), support.size());
+    for (size_t t = 0; t < support.size(); ++t) {
+      for (size_t r = 0; r < dense_v.rows(); ++r) {
+        sub(r, t) = dense_v(r, support[t]);
+      }
+    }
+    auto result = SolveNnls(sub, system.target);
+    benchmark::DoNotOptimize(result);
+  });
+  std::vector<double> vty_local(support.size());
+  for (size_t t = 0; t < support.size(); ++t) {
+    vty_local[t] = system.gram.vty[support[t]];
+  }
+  nnls.gram_seconds = TimePerCall([&] {
+    auto result =
+        SolveNnlsGramSubset(system.gram.gram, support, vty_local.data(),
+                            system.gram.target_norm2, {}, nullptr);
+    benchmark::DoNotOptimize(result);
+  });
+  kernels.push_back(nnls);
+
+  KernelTiming multiply;
+  multiply.name = "multiply_transpose";
+  multiply.dense_seconds = TimePerCall([&] {
+    Vector result = dense_v.MultiplyTranspose(system.target);
+    benchmark::DoNotOptimize(result);
+  });
+  Vector scratch;
+  multiply.gram_seconds = TimePerCall([&] {
+    system.v.MultiplyTranspose(system.target, &scratch);
+    benchmark::DoNotOptimize(scratch);
+  });
+  kernels.push_back(multiply);
+
+  // Normal-equation assembly: dense column dot-products vs the sparse
+  // scatter build.
+  KernelTiming gram_build;
+  gram_build.name = "gram_build";
+  gram_build.dense_seconds = TimePerCall([&] {
+    size_t q = dense_v.cols();
+    Matrix gram(q, q);
+    for (size_t i = 0; i < q; ++i) {
+      for (size_t j = i; j < q; ++j) {
+        gram(i, j) = gram(j, i) = dense_v.Column(i).Dot(dense_v.Column(j));
+      }
+    }
+    benchmark::DoNotOptimize(gram);
+  });
+  gram_build.gram_seconds = TimePerCall([&] {
+    GramSystem gram = BuildGramSystem(system.v, system.target);
+    benchmark::DoNotOptimize(gram);
+  });
+  kernels.push_back(gram_build);
+
+  std::printf("%-20s %14s %14s %10s\n", "kernel", "dense (us)", "gram (us)",
+              "speedup");
+  for (const KernelTiming& k : kernels) {
+    std::printf("%-20s %14.2f %14.2f %9.2fx\n", k.name.c_str(),
+                k.dense_seconds * 1e6, k.gram_seconds * 1e6, k.speedup());
+  }
+
+  JsonValue::Array kernel_json;
+  for (const KernelTiming& k : kernels) {
+    JsonValue::Object object;
+    object["name"] = k.name;
+    object["dense_seconds"] = k.dense_seconds;
+    object["gram_seconds"] = k.gram_seconds;
+    object["speedup"] = k.speedup();
+    kernel_json.push_back(JsonValue(std::move(object)));
+  }
+  JsonValue::Object doc;
+  doc["bench"] = "solver_kernels";
+  doc["reviews"] = static_cast<int64_t>(reviews);
+  doc["rows"] = static_cast<int64_t>(system.v.rows());
+  doc["columns"] = static_cast<int64_t>(system.v.cols());
+  doc["nnz"] = static_cast<int64_t>(system.v.nnz());
+  doc["m"] = static_cast<int64_t>(m);
+  doc["nomp_sweep_speedup"] = kernels.front().speedup();
+  doc["kernels"] = JsonValue(std::move(kernel_json));
+
+  size_t slash = out_path.find_last_of('/');
+  if (slash != std::string::npos) {
+    ::mkdir(out_path.substr(0, slash).c_str(), 0755);  // Existing is fine.
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << JsonValue(std::move(doc)).Dump() << "\n";
+  std::printf("[json written to %s]\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace comparesets
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string kernels_out;
+  bool kernels_only = false;
+  std::vector<char*> forwarded;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i] != nullptr ? argv[i] : "";
+    const std::string kOutPrefix = "--kernels_out=";
+    if (arg.rfind(kOutPrefix, 0) == 0) {
+      kernels_out = arg.substr(kOutPrefix.size());
+    } else if (arg == "--kernels_only") {
+      kernels_only = true;
+    } else {
+      forwarded.push_back(argv[i]);
+    }
+  }
+  if (kernels_only && kernels_out.empty()) {
+    kernels_out = "results/solver_kernels.json";
+  }
+  if (!kernels_out.empty()) {
+    int rc = comparesets::RunKernelComparison(kernels_out);
+    if (rc != 0 || kernels_only) return rc;
+  }
+
+  int forwarded_argc = static_cast<int>(forwarded.size());
+  benchmark::Initialize(&forwarded_argc, forwarded.data());
+  if (benchmark::ReportUnrecognizedArguments(forwarded_argc,
+                                             forwarded.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

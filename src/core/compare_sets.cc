@@ -10,15 +10,20 @@ Result<SelectionResult> CompareSetsSelector::Select(
     const ExecControl* control) const {
   SelectionResult out;
   out.selections.reserve(vectors.num_items());
+  SolverOptions solver;
+  if (options.dense_reference_solver) {
+    solver.backend = SolverBackend::kDenseReference;
+  }
   for (size_t i = 0; i < vectors.num_items(); ++i) {
     COMPARESETS_RETURN_NOT_OK(CheckExec(control, "comparesets item loop"));
-    DesignSystem system = BuildCompareSetsSystem(vectors, i, options.lambda);
+    std::shared_ptr<const DesignSystem> system =
+        GetOrBuildCompareSetsSystem(vectors, i, options.lambda);
     auto cost = [&](const Selection& selection) {
       return ItemCost(vectors, i, selection, options.lambda);
     };
     COMPARESETS_ASSIGN_OR_RETURN(
         IntegerRegressionResult item,
-        SolveIntegerRegression(system, options.m, cost, control));
+        SolveIntegerRegression(*system, options.m, cost, control, solver));
     out.selections.push_back(std::move(item.selection));
   }
   out.objective = CompareSetsPlusObjective(vectors, out.selections,

@@ -23,6 +23,11 @@ Result<SelectionResult> CompareSetsPlusSelector::Select(
     phis[i] = vectors.AspectOf(i, state.selections[i]);
   }
 
+  SolverOptions solver;
+  if (options.dense_reference_solver) {
+    solver.backend = SolverBackend::kDenseReference;
+  }
+
   int sweeps = 1 + std::max(0, options.extra_sync_rounds);
   for (int sweep = 0; sweep < sweeps; ++sweep) {
     for (size_t i = 0; i < n; ++i) {
@@ -51,7 +56,7 @@ Result<SelectionResult> CompareSetsPlusSelector::Select(
 
       COMPARESETS_ASSIGN_OR_RETURN(
           IntegerRegressionResult solved,
-          SolveIntegerRegression(system, options.m, cost, control));
+          SolveIntegerRegression(system, options.m, cost, control, solver));
 
       // Keep the incumbent when the heuristic fails to improve on it, so
       // the sweep never degrades the objective (Algorithm 1's min_Δ

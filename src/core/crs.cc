@@ -10,9 +10,13 @@ Result<SelectionResult> CrsSelector::Select(
     const ExecControl* control) const {
   SelectionResult out;
   out.selections.reserve(vectors.num_items());
+  SolverOptions solver;
+  if (options.dense_reference_solver) {
+    solver.backend = SolverBackend::kDenseReference;
+  }
   for (size_t i = 0; i < vectors.num_items(); ++i) {
     COMPARESETS_RETURN_NOT_OK(CheckExec(control, "crs item loop"));
-    DesignSystem system = BuildCrsSystem(vectors, i);
+    std::shared_ptr<const DesignSystem> system = GetOrBuildCrsSystem(vectors, i);
     auto cost = [&](const Selection& selection) {
       // Pure characteristic objective: match the item's own opinion
       // distribution only.
@@ -20,7 +24,7 @@ Result<SelectionResult> CrsSelector::Select(
     };
     COMPARESETS_ASSIGN_OR_RETURN(
         IntegerRegressionResult item,
-        SolveIntegerRegression(system, options.m, cost, control));
+        SolveIntegerRegression(*system, options.m, cost, control, solver));
     out.selections.push_back(std::move(item.selection));
   }
   out.objective = CompareSetsPlusObjective(vectors, out.selections,

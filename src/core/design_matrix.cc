@@ -1,6 +1,7 @@
 #include "core/design_matrix.h"
 
-#include <map>
+#include <bit>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -8,20 +9,65 @@ namespace comparesets {
 
 namespace {
 
-/// Deduplicates raw per-review columns into a DesignSystem. Signature
-/// equality is exact double equality, which is correct here: columns are
-/// built from identical integer indicators scaled by the same constants.
-DesignSystem Deduplicate(std::vector<Vector> columns, Vector target) {
-  // Map column payload -> group index (ordered map gives deterministic
-  // group order independent of hashing).
-  std::map<std::vector<double>, size_t> groups;
+/// Appends `scale * block` to a sparse column at row offset `offset`,
+/// skipping exact zeros (so λ = 0 blocks collapse away, exactly as the
+/// historical dense columns compared equal there).
+void AppendBlock(SparseColumn* column, size_t offset, double scale,
+                 const Vector& block) {
+  for (size_t i = 0; i < block.size(); ++i) {
+    double value = scale * block[i];
+    if (value != 0.0) column->push_back({offset + i, value});
+  }
+}
+
+/// Strict weak order on sparse columns equal to lexicographic order of
+/// their dense payloads — a merge walk over the two nonzero lists where
+/// a missing row compares as 0.0. Keeps the dedup group numbering
+/// bit-identical to the historical std::map<std::vector<double>, …>.
+bool DenseLexLess(const SparseColumn& a, const SparseColumn& b) {
+  size_t ia = 0;
+  size_t ib = 0;
+  while (ia < a.size() || ib < b.size()) {
+    size_t ra = ia < a.size() ? a[ia].row : static_cast<size_t>(-1);
+    size_t rb = ib < b.size() ? b[ib].row : static_cast<size_t>(-1);
+    if (ra == rb) {
+      if (a[ia].value != b[ib].value) return a[ia].value < b[ib].value;
+      ++ia;
+      ++ib;
+    } else if (ra < rb) {
+      // First difference is at row ra, where b is implicitly zero.
+      if (a[ia].value != 0.0) return a[ia].value < 0.0;
+      ++ia;
+    } else {
+      if (b[ib].value != 0.0) return b[ib].value > 0.0;
+      ++ib;
+    }
+  }
+  return false;
+}
+
+/// Deduplicates raw per-review sparse columns into a DesignSystem.
+/// Signature equality is exact double equality, which is correct here:
+/// columns are built from identical integer indicators scaled by the
+/// same constants.
+DesignSystem Deduplicate(size_t rows, std::vector<SparseColumn> columns,
+                         Vector target) {
+  COMPARESETS_CHECK(target.size() == rows) << "design target size mismatch";
+  // Map column payload -> group index (ordered map under the dense-
+  // lexicographic comparator gives deterministic group order independent
+  // of hashing, matching the historical dense dedup exactly).
+  struct ColumnLess {
+    bool operator()(const SparseColumn* a, const SparseColumn* b) const {
+      return DenseLexLess(*a, *b);
+    }
+  };
+  std::map<const SparseColumn*, size_t, ColumnLess> groups;
   DesignSystem out;
   out.target = std::move(target);
 
-  std::vector<const Vector*> representatives;
+  std::vector<const SparseColumn*> representatives;
   for (size_t j = 0; j < columns.size(); ++j) {
-    auto [it, inserted] =
-        groups.emplace(columns[j].data(), representatives.size());
+    auto [it, inserted] = groups.emplace(&columns[j], representatives.size());
     if (inserted) {
       representatives.push_back(&columns[j]);
       out.dup_counts.push_back(0);
@@ -31,13 +77,11 @@ DesignSystem Deduplicate(std::vector<Vector> columns, Vector target) {
     out.group_reviews[it->second].push_back(j);
   }
 
-  size_t rows = out.target.size();
-  out.v = Matrix(rows, representatives.size());
-  for (size_t g = 0; g < representatives.size(); ++g) {
-    COMPARESETS_CHECK(representatives[g]->size() == rows)
-        << "design column size mismatch";
-    out.v.SetColumn(g, *representatives[g]);
+  out.v = SparseMatrix(rows);
+  for (const SparseColumn* representative : representatives) {
+    out.v.AppendColumn(*representative);
   }
+  out.gram = BuildGramSystem(out.v, out.target);
   return out;
 }
 
@@ -45,29 +89,35 @@ DesignSystem Deduplicate(std::vector<Vector> columns, Vector target) {
 
 DesignSystem BuildCrsSystem(const InstanceVectors& vectors, size_t item) {
   COMPARESETS_CHECK(item < vectors.num_items()) << "item out of range";
-  std::vector<Vector> columns;
+  std::vector<SparseColumn> columns;
   size_t reviews = vectors.num_reviews(item);
   columns.reserve(reviews);
   for (size_t j = 0; j < reviews; ++j) {
-    columns.push_back(vectors.opinion_columns[item][j]);
+    SparseColumn column;
+    AppendBlock(&column, 0, 1.0, vectors.opinion_columns[item][j]);
+    columns.push_back(std::move(column));
   }
-  return Deduplicate(std::move(columns), vectors.tau[item]);
+  return Deduplicate(vectors.tau[item].size(), std::move(columns),
+                     vectors.tau[item]);
 }
 
 DesignSystem BuildCompareSetsSystem(const InstanceVectors& vectors,
                                     size_t item, double lambda) {
   COMPARESETS_CHECK(item < vectors.num_items()) << "item out of range";
-  std::vector<Vector> columns;
+  std::vector<SparseColumn> columns;
   size_t reviews = vectors.num_reviews(item);
+  size_t opinion_rows = vectors.tau[item].size();
   columns.reserve(reviews);
   for (size_t j = 0; j < reviews; ++j) {
-    Vector column = vectors.opinion_columns[item][j];
-    column.AppendScaled(lambda, vectors.aspect_columns[item][j]);
+    SparseColumn column;
+    AppendBlock(&column, 0, 1.0, vectors.opinion_columns[item][j]);
+    AppendBlock(&column, opinion_rows, lambda, vectors.aspect_columns[item][j]);
     columns.push_back(std::move(column));
   }
   Vector target = vectors.tau[item];
   target.AppendScaled(lambda, vectors.gamma);
-  return Deduplicate(std::move(columns), std::move(target));
+  size_t rows = target.size();
+  return Deduplicate(rows, std::move(columns), std::move(target));
 }
 
 DesignSystem BuildCompareSetsPlusSystem(
@@ -77,16 +127,21 @@ DesignSystem BuildCompareSetsPlusSystem(
   COMPARESETS_CHECK(other_phis.size() == vectors.num_items() - 1)
       << "expected one φ per other item";
 
-  std::vector<Vector> columns;
+  std::vector<SparseColumn> columns;
   size_t reviews = vectors.num_reviews(item);
+  size_t opinion_rows = vectors.tau[item].size();
+  size_t aspect_rows = vectors.gamma.size();
   columns.reserve(reviews);
   for (size_t j = 0; j < reviews; ++j) {
-    Vector column = vectors.opinion_columns[item][j];
-    column.AppendScaled(lambda, vectors.aspect_columns[item][j]);
+    SparseColumn column;
+    AppendBlock(&column, 0, 1.0, vectors.opinion_columns[item][j]);
+    AppendBlock(&column, opinion_rows, lambda, vectors.aspect_columns[item][j]);
     // One μ-scaled aspect block per other item (identical rows; the
     // corresponding target blocks differ — Algorithm 1 line 4).
+    size_t offset = opinion_rows + aspect_rows;
     for (size_t t = 0; t < other_phis.size(); ++t) {
-      column.AppendScaled(mu, vectors.aspect_columns[item][j]);
+      AppendBlock(&column, offset, mu, vectors.aspect_columns[item][j]);
+      offset += aspect_rows;
     }
     columns.push_back(std::move(column));
   }
@@ -96,7 +151,69 @@ DesignSystem BuildCompareSetsPlusSystem(
   for (const Vector& phi : other_phis) {
     target.AppendScaled(mu, phi);
   }
-  return Deduplicate(std::move(columns), std::move(target));
+  size_t rows = target.size();
+  return Deduplicate(rows, std::move(columns), std::move(target));
+}
+
+std::shared_ptr<const DesignSystem> DesignSystemCache::GetCrs(
+    const InstanceVectors& vectors, size_t item) const {
+  return GetOrBuild(Key{'r', item, 0}, vectors, 0.0);
+}
+
+std::shared_ptr<const DesignSystem> DesignSystemCache::GetCompareSets(
+    const InstanceVectors& vectors, size_t item, double lambda) const {
+  return GetOrBuild(Key{'c', item, std::bit_cast<uint64_t>(lambda)}, vectors,
+                    lambda);
+}
+
+std::shared_ptr<const DesignSystem> DesignSystemCache::GetOrBuild(
+    const Key& key, const InstanceVectors& vectors, double lambda) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) return it->second;
+  }
+  // Build outside the lock: systems are deterministic, so a racing
+  // duplicate build produces an identical value and the first insert
+  // wins below.
+  auto built = std::make_shared<const DesignSystem>(
+      key.kind == 'r' ? BuildCrsSystem(vectors, key.item)
+                      : BuildCompareSetsSystem(vectors, key.item, lambda));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= kMaxEntries) entries_.clear();
+  auto [it, inserted] = entries_.emplace(key, std::move(built));
+  return it->second;
+}
+
+size_t DesignSystemCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+size_t DesignSystemCache::ApproxMemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t bytes = 0;
+  for (const auto& [key, system] : entries_) {
+    bytes += system->ApproxMemoryBytes();
+  }
+  return bytes;
+}
+
+std::shared_ptr<const DesignSystem> GetOrBuildCrsSystem(
+    const InstanceVectors& vectors, size_t item) {
+  if (vectors.system_cache != nullptr) {
+    return vectors.system_cache->GetCrs(vectors, item);
+  }
+  return std::make_shared<const DesignSystem>(BuildCrsSystem(vectors, item));
+}
+
+std::shared_ptr<const DesignSystem> GetOrBuildCompareSetsSystem(
+    const InstanceVectors& vectors, size_t item, double lambda) {
+  if (vectors.system_cache != nullptr) {
+    return vectors.system_cache->GetCompareSets(vectors, item, lambda);
+  }
+  return std::make_shared<const DesignSystem>(
+      BuildCompareSetsSystem(vectors, item, lambda));
 }
 
 }  // namespace comparesets

@@ -11,12 +11,22 @@
 //
 // Identical columns (reviews with the same annotation signature) are
 // deduplicated, keeping multiplicities c_1..c_q (Algorithm 1 line 5).
+// Columns are assembled and deduplicated sparsely — the aspect blocks
+// are 0/1 indicators, so no dense per-review column is ever formed —
+// and every system carries its precomputed GramSystem (G = ṼᵀṼ, Ṽᵀy,
+// ‖y‖²), which the Gram-path solvers run on.
 
 #pragma once
 
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "linalg/gram.h"
 #include "linalg/matrix.h"
+#include "linalg/sparse_matrix.h"
 #include "opinion/vectors.h"
 
 namespace comparesets {
@@ -24,13 +34,21 @@ namespace comparesets {
 /// A deduplicated least-squares system for one item.
 struct DesignSystem {
   /// Deduplicated design matrix Ṽ (rows = target dims, cols = q groups).
-  Matrix v;
+  SparseMatrix v;
   /// Target vector Υ.
   Vector target;
   /// Multiplicity c_g of each deduplicated column group.
   std::vector<int> dup_counts;
   /// Review indices (into Product::reviews) in each group.
   std::vector<std::vector<size_t>> group_reviews;
+  /// Precomputed normal equations of (v, target), built once per system.
+  GramSystem gram;
+
+  /// Approximate heap footprint (for the service cache accounting).
+  size_t ApproxMemoryBytes() const {
+    return v.ApproxMemoryBytes() + gram.ApproxMemoryBytes() +
+           target.size() * sizeof(double) + dup_counts.size() * sizeof(int);
+  }
 };
 
 /// System for the plain CompaReSetS objective on `item` (Eq. 3/4).
@@ -46,5 +64,46 @@ DesignSystem BuildCrsSystem(const InstanceVectors& vectors, size_t item);
 DesignSystem BuildCompareSetsPlusSystem(
     const InstanceVectors& vectors, size_t item, double lambda, double mu,
     const std::vector<Vector>& other_phis);
+
+/// Bounded, thread-safe memo of built design systems for one prepared
+/// instance. Crs and CompaReSetS systems depend only on (item, λ) given
+/// fixed vectors, so the service layer builds each once per cached
+/// instance instead of once per request. (CompaReSetS+ systems embed the
+/// sweep's evolving φ targets and are deliberately not memoized.)
+class DesignSystemCache {
+ public:
+  std::shared_ptr<const DesignSystem> GetCrs(const InstanceVectors& vectors,
+                                             size_t item) const;
+  std::shared_ptr<const DesignSystem> GetCompareSets(
+      const InstanceVectors& vectors, size_t item, double lambda) const;
+
+  size_t size() const;
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  struct Key {
+    char kind;             ///< 'r' = Crs, 'c' = CompaReSetS.
+    size_t item;
+    uint64_t lambda_bits;  ///< bit_cast of λ: exact, hashable, orderable.
+    auto operator<=>(const Key&) const = default;
+  };
+
+  std::shared_ptr<const DesignSystem> GetOrBuild(
+      const Key& key, const InstanceVectors& vectors, double lambda) const;
+
+  /// Safety valve, far above any real working set (items × λ values).
+  static constexpr size_t kMaxEntries = 1024;
+
+  mutable std::mutex mutex_;
+  mutable std::map<Key, std::shared_ptr<const DesignSystem>> entries_;
+};
+
+/// Cache-aware accessors the selectors use: served from
+/// `vectors.system_cache` when the instance came through the service
+/// layer's PreparedInstance, built fresh otherwise.
+std::shared_ptr<const DesignSystem> GetOrBuildCrsSystem(
+    const InstanceVectors& vectors, size_t item);
+std::shared_ptr<const DesignSystem> GetOrBuildCompareSetsSystem(
+    const InstanceVectors& vectors, size_t item, double lambda);
 
 }  // namespace comparesets

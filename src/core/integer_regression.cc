@@ -88,7 +88,7 @@ std::vector<int> RoundToIntegerCounts(const Vector& x,
 
 Result<IntegerRegressionResult> SolveIntegerRegression(
     const DesignSystem& system, size_t m, const TrueCostFn& true_cost,
-    const ExecControl* control) {
+    const ExecControl* control, const SolverOptions& solver) {
   if (m == 0) return Status::InvalidArgument("m must be >= 1");
   if (system.v.cols() == 0) {
     return Status::InvalidArgument("empty design system");
@@ -111,9 +111,16 @@ Result<IntegerRegressionResult> SolveIntegerRegression(
     }
   };
 
+  // The dense reference path densifies Ṽ once, outside the ℓ loop.
+  bool dense = solver.backend == SolverBackend::kDenseReference;
+  Matrix dense_v;
+  if (dense) dense_v = system.v.ToDense();
+
   size_t max_ell = std::min(m, system.v.cols());
   for (size_t ell = 1; ell <= max_ell; ++ell) {
-    auto nomp = SolveNomp(system.v, system.target, ell, control);
+    auto nomp = dense
+                    ? SolveNomp(dense_v, system.target, ell, control)
+                    : SolveNompGram(system.gram, ell, control, solver.workspace);
     if (!nomp.ok()) {
       // Deadline/cancellation must surface; a degenerate system at this
       // ℓ is recoverable — try the other budgets.

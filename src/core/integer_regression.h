@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "core/design_matrix.h"
+#include "linalg/solver_options.h"
 #include "util/cancellation.h"
 #include "util/status.h"
 
@@ -34,8 +35,11 @@ std::vector<int> RoundToIntegerCounts(const Vector& x,
 /// `true_cost` is consulted once per distinct rounded candidate.
 /// `control` is checked at each sparsity budget ℓ and inside the NOMP
 /// relaxation; cancellation/deadline aborts with the matching status.
+/// `solver` picks the numeric backend: the sparse Gram/Cholesky path
+/// (default) or the dense reference stack, which densifies the system
+/// once and runs the original NOMP/NNLS/QR kernels.
 Result<IntegerRegressionResult> SolveIntegerRegression(
     const DesignSystem& system, size_t m, const TrueCostFn& true_cost,
-    const ExecControl* control = nullptr);
+    const ExecControl* control = nullptr, const SolverOptions& solver = {});
 
 }  // namespace comparesets

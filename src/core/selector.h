@@ -28,6 +28,11 @@ struct SelectorOptions {
   /// single pass (0 reproduces the paper; more sweeps is an extension
   /// that can only improve the objective).
   int extra_sync_rounds = 0;
+  /// Run the Integer-Regression relaxations on the legacy dense
+  /// NOMP/NNLS/QR stack instead of the sparse Gram/Cholesky core. The
+  /// reference implementation the equivalence tests compare against;
+  /// selections are identical either way (up to floating-point ties).
+  bool dense_reference_solver = false;
 };
 
 struct SelectionResult {

@@ -345,6 +345,9 @@ Result<Corpus> GenerateCorpus(const SyntheticConfig& config) {
   if (config.avg_reviews_per_product < 2.0) {
     return Status::InvalidArgument("avg_reviews_per_product must be >= 2");
   }
+  if (config.max_reviews_per_product < 1) {
+    return Status::InvalidArgument("max_reviews_per_product must be >= 1");
+  }
   size_t z = vocab->aspects.size();
   if (config.core_aspects_per_cluster + config.extra_aspects_per_product > z) {
     return Status::InvalidArgument("aspect budget exceeds catalog size");
@@ -459,7 +462,8 @@ Result<Corpus> GenerateCorpus(const SyntheticConfig& config) {
         StringPrintf("%s product %zu with premium %s", vocab->name.c_str(),
                      p, vocab->aspects[profile.aspects[0]].c_str());
 
-    int review_count = 2 + std::min(rng.Geometric(geo_p), 160);
+    int review_count =
+        2 + std::min(rng.Geometric(geo_p), config.max_reviews_per_product);
     product.reviews.reserve(static_cast<size_t>(review_count));
     for (int r = 0; r < review_count; ++r) {
       Review review;

@@ -49,6 +49,10 @@ struct SyntheticConfig {
   size_t num_products = 300;
   /// Mean reviews per product (Table 2: 18.64 / 14.06 / 12.10).
   double avg_reviews_per_product = 18.64;
+  /// Tail cap on any single product's review count (the geometric draw
+  /// is truncated here). The default matches the paper-scale regime;
+  /// the solver-scaling benches raise it to stress large single items.
+  int max_reviews_per_product = 160;
   /// Mean also-bought list length (Table 2: 25.57 / 34.33 / 12.03).
   double avg_comparison_products = 25.57;
   /// Products per similarity cluster (also-bought neighborhoods).

@@ -1,0 +1,98 @@
+#include "linalg/cholesky.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace comparesets {
+
+namespace {
+
+/// Relative pivot floor: a candidate pivot² below this fraction of the
+/// largest Gram diagonal is treated as zero (linearly dependent column).
+constexpr double kPivotRelTol = 1e-13;
+
+}  // namespace
+
+void IncrementalCholesky::Clear() {
+  dim_ = 0;
+  max_diag_ = 0.0;
+}
+
+void IncrementalCholesky::Reserve(size_t dim) {
+  if (dim <= cap_) return;
+  size_t new_cap = std::max<size_t>(8, std::max(dim, cap_ * 2));
+  std::vector<double> grown(new_cap * new_cap, 0.0);
+  for (size_t r = 0; r < dim_; ++r) {
+    for (size_t c = 0; c <= r; ++c) grown[r * new_cap + c] = At(r, c);
+  }
+  l_ = std::move(grown);
+  cap_ = new_cap;
+}
+
+bool IncrementalCholesky::Append(const double* cross, double diag) {
+  Reserve(dim_ + 1);
+  max_diag_ = std::max(max_diag_, diag);
+
+  // Forward-substitute L c = cross to get the new row of L, accumulating
+  // its squared norm; the new pivot² is diag − ‖c‖².
+  double* row = &l_[dim_ * cap_];
+  double row_norm2 = 0.0;
+  for (size_t k = 0; k < dim_; ++k) {
+    double s = cross[k];
+    for (size_t t = 0; t < k; ++t) s -= At(k, t) * row[t];
+    row[k] = s / At(k, k);
+    row_norm2 += row[k] * row[k];
+  }
+  double pivot2 = diag - row_norm2;
+  if (pivot2 <= kPivotRelTol * max_diag_ || !(pivot2 > 0.0)) return false;
+  row[dim_] = std::sqrt(pivot2);
+  ++dim_;
+  return true;
+}
+
+void IncrementalCholesky::Remove(size_t pos) {
+  COMPARESETS_CHECK(pos < dim_) << "cholesky remove out of range";
+  // Delete row `pos` by shifting the rows below it up; each shifted row
+  // r keeps its columns 0..r+1, leaving one superdiagonal entry.
+  for (size_t r = pos; r + 1 < dim_; ++r) {
+    for (size_t c = 0; c <= r + 1; ++c) At(r, c) = At(r + 1, c);
+  }
+  --dim_;
+  // Givens sweep: zero the superdiagonal entries (j, j+1) by rotating
+  // column pairs (j, j+1) across rows j..dim_-1, restoring a lower-
+  // triangular factor of the reduced Gram block.
+  for (size_t j = pos; j < dim_; ++j) {
+    double a = At(j, j);
+    double b = At(j, j + 1);
+    if (b == 0.0) continue;
+    double r = std::hypot(a, b);
+    double c = a / r;
+    double s = b / r;
+    for (size_t row = j; row < dim_; ++row) {
+      double x = At(row, j);
+      double y = At(row, j + 1);
+      At(row, j) = c * x + s * y;
+      At(row, j + 1) = c * y - s * x;
+    }
+    At(j, j + 1) = 0.0;  // Exactly, not just to rounding.
+  }
+}
+
+void IncrementalCholesky::Solve(const double* rhs, double* out) const {
+  // Forward: L u = rhs (u written into out).
+  for (size_t r = 0; r < dim_; ++r) {
+    double s = rhs[r];
+    for (size_t c = 0; c < r; ++c) s -= At(r, c) * out[c];
+    out[r] = s / At(r, r);
+  }
+  // Backward: Lᵀ z = u.
+  for (size_t r = dim_; r-- > 0;) {
+    double s = out[r];
+    for (size_t c = r + 1; c < dim_; ++c) s -= At(c, r) * out[c];
+    out[r] = s / At(r, r);
+  }
+}
+
+}  // namespace comparesets

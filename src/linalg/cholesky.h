@@ -1,0 +1,53 @@
+// Incremental Cholesky factorization of a growing/shrinking Gram block.
+//
+// The Lawson–Hanson NNLS inner loop solves G_PP z = (Vᵀy)_P every time
+// the passive set P changes — and P changes by exactly one variable per
+// step. Refactorizing from scratch costs O(k³) per step; this class
+// maintains L with G_PP = L Lᵀ under single-variable appends (one
+// forward substitution, O(k²)) and removals (a row deletion plus a
+// Givens re-triangularization sweep, O(k²)).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace comparesets {
+
+class IncrementalCholesky {
+ public:
+  /// Resets to an empty factor (keeps allocated storage).
+  void Clear();
+
+  /// Number of variables currently in the factor.
+  size_t size() const { return dim_; }
+
+  /// Appends a variable whose Gram cross-terms with the current factor
+  /// variables (in factor order) are `cross[0..size())` and whose Gram
+  /// diagonal (squared norm) is `diag`. Returns false — leaving the
+  /// factor unchanged — when the new pivot is numerically nonpositive,
+  /// i.e. the variable is linearly dependent on the factor.
+  bool Append(const double* cross, double diag);
+
+  /// Removes the variable at factor position `pos` (0-based, in append
+  /// order as adjusted by prior removals).
+  void Remove(size_t pos);
+
+  /// Solves (L Lᵀ) z = rhs; `rhs` and `out` have size() entries in
+  /// factor order. `out` may alias `rhs`.
+  void Solve(const double* rhs, double* out) const;
+
+ private:
+  double At(size_t r, size_t c) const { return l_[r * cap_ + c]; }
+  double& At(size_t r, size_t c) { return l_[r * cap_ + c]; }
+  void Reserve(size_t dim);
+
+  size_t dim_ = 0;
+  size_t cap_ = 0;
+  /// Row-major lower-triangular factor; row r uses columns 0..r.
+  std::vector<double> l_;
+  /// Largest Gram diagonal seen, anchoring the relative pivot tolerance.
+  double max_diag_ = 0.0;
+};
+
+}  // namespace comparesets

@@ -1,0 +1,48 @@
+#include "linalg/gram.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace comparesets {
+
+GramSystem BuildGramSystem(const SparseMatrix& v, const Vector& target) {
+  COMPARESETS_CHECK(target.size() == v.rows()) << "gram target size mismatch";
+  size_t q = v.cols();
+  GramSystem out;
+  out.gram = Matrix(q, q);
+  out.vty = Vector(q);
+  out.target_norm2 = target.Dot(target);
+  out.col_norms.resize(q);
+
+  // Scatter column j into a dense row-sized workspace, dot every earlier
+  // column against it, then clear only the touched rows — O(q · nnz)
+  // total instead of the dense O(q² · rows).
+  std::vector<double> scatter(v.rows(), 0.0);
+  for (size_t j = 0; j < q; ++j) {
+    size_t nnz = v.ColumnNnz(j);
+    const size_t* rows = v.ColumnRows(j);
+    const double* values = v.ColumnValues(j);
+    for (size_t k = 0; k < nnz; ++k) scatter[rows[k]] = values[k];
+
+    for (size_t i = 0; i <= j; ++i) {
+      size_t nnz_i = v.ColumnNnz(i);
+      const size_t* rows_i = v.ColumnRows(i);
+      const double* values_i = v.ColumnValues(i);
+      double sum = 0.0;
+      for (size_t k = 0; k < nnz_i; ++k) sum += values_i[k] * scatter[rows_i[k]];
+      out.gram(i, j) = sum;
+      out.gram(j, i) = sum;
+    }
+
+    double vty = 0.0;
+    for (size_t k = 0; k < nnz; ++k) vty += values[k] * target[rows[k]];
+    out.vty[j] = vty;
+    out.col_norms[j] = std::sqrt(out.gram(j, j));
+
+    for (size_t k = 0; k < nnz; ++k) scatter[rows[k]] = 0.0;
+  }
+  return out;
+}
+
+}  // namespace comparesets

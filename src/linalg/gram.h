@@ -1,0 +1,44 @@
+// Precomputed normal-equation view of a design system.
+//
+// Every quantity the NOMP/NNLS iterations need can be expressed through
+// G = VᵀV, Vᵀy and ‖y‖²: the correlation of column j with the residual
+// is (Vᵀy)_j − (G x)_j, the dual w = Vᵀ(y − Vx) likewise, and
+// ‖Vx − y‖² = ‖y‖² − 2 xᵀVᵀy + xᵀGx. Building G once per DesignSystem
+// (O(q · nnz)) replaces the per-iteration O(rows · k) residual algebra
+// and the per-refit O(rows · k²) QR with O(q·k) scoring and O(k²)
+// Cholesky updates.
+
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/vector.h"
+
+namespace comparesets {
+
+struct GramSystem {
+  /// G = VᵀV (q×q, symmetric, dense — q is the deduplicated group count).
+  Matrix gram;
+  /// Vᵀy.
+  Vector vty;
+  /// ‖y‖₂².
+  double target_norm2 = 0.0;
+  /// √G_jj per column — NOMP's correlation normalizers.
+  std::vector<double> col_norms;
+
+  size_t cols() const { return gram.cols(); }
+
+  /// Approximate heap footprint (entries only, for cache accounting).
+  size_t ApproxMemoryBytes() const {
+    return (gram.rows() * gram.cols() + vty.size() + col_norms.size()) *
+           sizeof(double);
+  }
+};
+
+/// Builds G, Vᵀy, ‖y‖² and the column norms in one O(q · nnz) pass.
+/// `target.size()` must equal `v.rows()`.
+GramSystem BuildGramSystem(const SparseMatrix& v, const Vector& target);
+
+}  // namespace comparesets

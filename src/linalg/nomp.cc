@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/nnls.h"
+#include "linalg/workspace.h"
 
 namespace comparesets {
 
@@ -73,6 +74,96 @@ Result<NompResult> SolveNomp(const Matrix& v, const Vector& target,
   }
   out.support = std::move(live);
   out.residual_norm = residual.NormL2();
+  return out;
+}
+
+Result<NompResult> SolveNompGram(const GramSystem& system, size_t ell,
+                                 const ExecControl* control,
+                                 SolverWorkspace* workspace) {
+  size_t q = system.cols();
+  if (q == 0) {
+    return Status::InvalidArgument("NOMP with empty gram system");
+  }
+  if (system.vty.size() != q) {
+    return Status::InvalidArgument("NOMP gram rhs size mismatch");
+  }
+  if (ell == 0) {
+    return Status::InvalidArgument("NOMP requires ell >= 1");
+  }
+  ell = std::min(ell, q);
+  SolverWorkspace& ws =
+      workspace != nullptr ? *workspace : SolverWorkspace::ThreadLocal();
+
+  NompResult out;
+  out.x = Vector(q, 0.0);
+  std::vector<char>& active = ws.nomp_active;
+  std::vector<double>& corr = ws.nomp_corr;
+  std::vector<double>& vty_sub = ws.nomp_vty_sub;
+  active.assign(q, 0);
+
+  NnlsOptions refit_options;
+  refit_options.control = control;
+
+  for (size_t step = 0; step < ell; ++step) {
+    COMPARESETS_RETURN_NOT_OK(CheckExec(control, "nomp"));
+    // Correlation with the residual, without forming it:
+    // Vᵀ(y − Vx) = Vᵀy − Gx, an O(q·k) sweep over the support rows of G.
+    corr.assign(system.vty.data().begin(), system.vty.data().end());
+    for (size_t s : out.support) {
+      double xs = out.x[s];
+      if (xs == 0.0) continue;
+      for (size_t j = 0; j < q; ++j) corr[j] -= system.gram(s, j) * xs;
+    }
+    double best = 0.0;
+    size_t best_j = q;
+    for (size_t j = 0; j < q; ++j) {
+      if (active[j] || system.col_norms[j] == 0.0) continue;
+      double score = corr[j] / system.col_norms[j];
+      if (score > best + 1e-15) {
+        best = score;
+        best_j = j;
+      }
+    }
+    if (best_j == q) break;  // Nothing helps anymore.
+    active[best_j] = 1;
+    out.support.push_back(best_j);
+
+    // Refit all active coefficients jointly (the "orthogonal" step) on
+    // the support's Gram block — no submatrix is ever materialized.
+    vty_sub.resize(out.support.size());
+    for (size_t t = 0; t < out.support.size(); ++t) {
+      vty_sub[t] = system.vty[out.support[t]];
+    }
+    COMPARESETS_ASSIGN_OR_RETURN(
+        NnlsResult fit,
+        SolveNnlsGramSubset(system.gram, out.support, vty_sub.data(),
+                            system.target_norm2, refit_options, &ws));
+    Vector x(q, 0.0);
+    for (size_t t = 0; t < out.support.size(); ++t) {
+      x[out.support[t]] = fit.x[t];
+    }
+    out.x = std::move(x);
+  }
+
+  // Drop support entries whose refit coefficient collapsed to zero.
+  std::vector<size_t> live;
+  for (size_t j : out.support) {
+    if (out.x[j] > 0.0) live.push_back(j);
+  }
+  out.support = std::move(live);
+
+  // ‖Vx − y‖² = ‖y‖² − 2 xᵀVᵀy + xᵀGx, clamped against cancellation of
+  // nearly equal terms.
+  double xv = 0.0;
+  double xgx = 0.0;
+  for (size_t i : out.support) {
+    xv += out.x[i] * system.vty[i];
+    for (size_t j : out.support) {
+      xgx += out.x[i] * system.gram(i, j) * out.x[j];
+    }
+  }
+  out.residual_norm =
+      std::sqrt(std::max(0.0, system.target_norm2 - 2.0 * xv + xgx));
   return out;
 }
 

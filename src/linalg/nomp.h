@@ -14,12 +14,15 @@
 
 #include <vector>
 
+#include "linalg/gram.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
 #include "util/cancellation.h"
 #include "util/status.h"
 
 namespace comparesets {
+
+struct SolverWorkspace;
 
 struct NompResult {
   /// Full-size coefficient vector (zeros outside the support).
@@ -37,5 +40,16 @@ struct NompResult {
 Result<NompResult> SolveNomp(const Matrix& v, const Vector& target,
                              size_t ell,
                              const ExecControl* control = nullptr);
+
+/// The same pursuit run entirely on a precomputed GramSystem: the
+/// correlation of every column with the residual is Vᵀy − Gx (an O(q·k)
+/// update, independent of the row count), and each refit is a
+/// SolveNnlsGramSubset over the current support with incremental
+/// Cholesky factors. Identical supports/coefficients to SolveNomp up to
+/// floating-point reassociation (enforced by the equivalence tests).
+/// `workspace` (nullptr = thread-local) supplies reusable scratch.
+Result<NompResult> SolveNompGram(const GramSystem& system, size_t ell,
+                                 const ExecControl* control = nullptr,
+                                 SolverWorkspace* workspace = nullptr);
 
 }  // namespace comparesets

@@ -1,0 +1,27 @@
+// Backend selection for the Integer-Regression numeric core.
+
+#pragma once
+
+namespace comparesets {
+
+struct SolverWorkspace;
+
+/// Which NOMP/NNLS implementation the Integer-Regression engine runs.
+enum class SolverBackend {
+  /// Sparse design matrix + precomputed Gram system + incremental
+  /// Cholesky refits. The production path.
+  kGramIncremental,
+  /// The original dense NOMP/NNLS/QR stack, run on the densified design
+  /// matrix. Kept as the reference implementation the equivalence tests
+  /// (and any numeric triage) compare against.
+  kDenseReference,
+};
+
+struct SolverOptions {
+  SolverBackend backend = SolverBackend::kGramIncremental;
+  /// Scratch buffers to reuse across solves; nullptr uses the calling
+  /// thread's SolverWorkspace::ThreadLocal().
+  SolverWorkspace* workspace = nullptr;
+};
+
+}  // namespace comparesets

@@ -1,0 +1,110 @@
+#include "linalg/sparse_matrix.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace comparesets {
+
+SparseMatrix SparseMatrix::FromDense(const Matrix& dense) {
+  SparseMatrix out(dense.rows());
+  SparseColumn column;
+  for (size_t c = 0; c < dense.cols(); ++c) {
+    column.clear();
+    for (size_t r = 0; r < dense.rows(); ++r) {
+      double value = dense(r, c);
+      if (value != 0.0) column.push_back({r, value});
+    }
+    out.AppendColumn(column);
+  }
+  return out;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix out(rows_, cols());
+  for (size_t c = 0; c < cols(); ++c) {
+    for (size_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+      out(row_idx_[k], c) = values_[k];
+    }
+  }
+  return out;
+}
+
+void SparseMatrix::AppendColumn(const SparseColumn& column) {
+  size_t last_row = 0;
+  for (size_t k = 0; k < column.size(); ++k) {
+    COMPARESETS_CHECK(column[k].row < rows_) << "sparse entry row out of range";
+    COMPARESETS_CHECK(k == 0 || column[k].row > last_row)
+        << "sparse column rows must be strictly increasing";
+    last_row = column[k].row;
+    row_idx_.push_back(column[k].row);
+    values_.push_back(column[k].value);
+  }
+  col_ptr_.push_back(values_.size());
+}
+
+double SparseMatrix::operator()(size_t r, size_t c) const {
+  for (size_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+    if (row_idx_[k] == r) return values_[k];
+    if (row_idx_[k] > r) break;  // Rows are sorted.
+  }
+  return 0.0;
+}
+
+Vector SparseMatrix::Column(size_t c) const {
+  Vector out(rows_);
+  for (size_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+    out[row_idx_[k]] = values_[k];
+  }
+  return out;
+}
+
+double SparseMatrix::ColumnDot(size_t c, const Vector& x) const {
+  double sum = 0.0;
+  for (size_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+    sum += values_[k] * x[row_idx_[k]];
+  }
+  return sum;
+}
+
+Vector SparseMatrix::Multiply(const Vector& x) const {
+  COMPARESETS_CHECK(x.size() == cols()) << "sparse multiply size mismatch";
+  Vector out(rows_);
+  for (size_t c = 0; c < cols(); ++c) {
+    double xc = x[c];
+    if (xc == 0.0) continue;
+    for (size_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+      out[row_idx_[k]] += values_[k] * xc;
+    }
+  }
+  return out;
+}
+
+Vector SparseMatrix::MultiplyTranspose(const Vector& x) const {
+  Vector out;
+  MultiplyTranspose(x, &out);
+  return out;
+}
+
+void SparseMatrix::MultiplyTranspose(const Vector& x, Vector* out) const {
+  COMPARESETS_CHECK(x.size() == rows_)
+      << "sparse transpose-multiply size mismatch";
+  out->data().assign(cols(), 0.0);
+  for (size_t c = 0; c < cols(); ++c) {
+    (*out)[c] = ColumnDot(c, x);
+  }
+}
+
+std::vector<double> SparseMatrix::ColumnNorms() const {
+  std::vector<double> norms(cols());
+  for (size_t c = 0; c < cols(); ++c) {
+    double sum = 0.0;
+    for (size_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+      sum += values_[k] * values_[k];
+    }
+    norms[c] = std::sqrt(sum);
+  }
+  return norms;
+}
+
+}  // namespace comparesets

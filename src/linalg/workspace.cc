@@ -1,0 +1,10 @@
+#include "linalg/workspace.h"
+
+namespace comparesets {
+
+SolverWorkspace& SolverWorkspace::ThreadLocal() {
+  thread_local SolverWorkspace workspace;
+  return workspace;
+}
+
+}  // namespace comparesets

@@ -1,0 +1,42 @@
+// Reusable per-thread scratch for the Gram-path solvers.
+//
+// The engine's batch path solves thousands of small systems back to
+// back; allocating correlation buffers, passive-set flags and Cholesky
+// storage per call dominated the small-system profile. A SolverWorkspace
+// owns every scratch buffer SolveNompGram / SolveNnlsGram need; buffers
+// are resized (never shrunk) per call, so a warm workspace allocates
+// nothing. ThreadLocal() gives each pool worker its own instance.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/cholesky.h"
+
+namespace comparesets {
+
+struct SolverWorkspace {
+  // NOMP scratch.
+  std::vector<double> nomp_corr;     ///< Correlation Vᵀy − Gx per column.
+  std::vector<double> nomp_vty_sub;  ///< (Vᵀy)_support in selection order.
+  std::vector<char> nomp_active;     ///< Column already in the support?
+
+  // NNLS scratch.
+  std::vector<double> nnls_x;        ///< Current iterate.
+  std::vector<double> nnls_w;        ///< Dual Vᵀ(y − Vx).
+  std::vector<double> nnls_z;        ///< Passive-set sub-solution.
+  std::vector<double> nnls_rhs;      ///< (Vᵀy)_P in factor order.
+  std::vector<double> nnls_solve;    ///< Cholesky solve output.
+  std::vector<double> nnls_cross;    ///< Gram cross-terms for appends.
+  std::vector<char> nnls_in_passive; ///< Variable in the passive set?
+  std::vector<size_t> nnls_factor;   ///< Passive variables in factor order.
+  std::vector<size_t> nnls_passive;  ///< Passive variables ascending.
+  IncrementalCholesky chol;          ///< Factor of G_PP.
+
+  /// The calling thread's lazily created workspace — what the solvers
+  /// use when the caller passes none.
+  static SolverWorkspace& ThreadLocal();
+};
+
+}  // namespace comparesets

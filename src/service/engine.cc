@@ -58,6 +58,8 @@ std::string ResultKey(const std::string& prepare_key,
   key += std::to_string(request.options.seed);
   key += '\x1f';
   key += std::to_string(request.options.extra_sync_rounds);
+  key += '\x1f';
+  key += request.options.dense_reference_solver ? "dense" : "gram";
   return key;
 }
 
@@ -350,9 +352,22 @@ Result<SelectResponse> SelectionEngine::Select(
 
   Deadline deadline(request.deadline_seconds);
   std::atomic<uint64_t> iterations{0};
-  ExecControl control{&deadline, request.cancel, &iterations};
-  auto fail = [&](Status status) -> Status {
+  std::atomic<uint64_t> nnls_nonconverged{0};
+  ExecControl control{&deadline, request.cancel, &iterations,
+                      &nnls_nonconverged};
+  // Folds the per-request solver tallies into the trace and the
+  // registry; non-convergence is counted even on failed requests.
+  auto record_solver_stats = [&] {
     trace.solver_iterations = iterations.load(std::memory_order_relaxed);
+    trace.nnls_nonconverged =
+        nnls_nonconverged.load(std::memory_order_relaxed);
+    if (trace.nnls_nonconverged > 0) {
+      metrics_.counter("solver.nnls_nonconverged")
+          .Increment(trace.nnls_nonconverged);
+    }
+  };
+  auto fail = [&](Status status) -> Status {
+    record_solver_stats();
     return FinishError(std::move(trace), std::move(status), total);
   };
 
@@ -416,7 +431,7 @@ Result<SelectResponse> SelectionEngine::Select(
                                  control, &trace);
     if (outcome.ok()) {
       trace.status = "ok";
-      trace.solver_iterations = iterations.load(std::memory_order_relaxed);
+      record_solver_stats();
       trace.total_seconds = total.ElapsedSeconds();
       SelectResponse response = std::move(outcome).value();
       response.trace = trace;

@@ -21,6 +21,7 @@ std::string RequestTrace::ToJson() const {
   object["cache_hit"] = cache_hit;
   object["result_cache_hit"] = result_cache_hit;
   object["solver_iterations"] = static_cast<int64_t>(solver_iterations);
+  object["nnls_nonconverged"] = static_cast<int64_t>(nnls_nonconverged);
   object["queue_seconds"] = queue_seconds;
   object["backoff_seconds"] = backoff_seconds;
   object["prepare_seconds"] = prepare_seconds;

@@ -75,6 +75,7 @@ struct RequestTrace {
   bool cache_hit = false;        ///< Prepared vectors served warm.
   bool result_cache_hit = false; ///< Whole response from the memo.
   uint64_t solver_iterations = 0;///< ExecControl checks during the solve.
+  uint64_t nnls_nonconverged = 0;///< NNLS refits that hit their iteration cap.
   double queue_seconds = 0.0;    ///< Admission wait (0 when unthrottled).
   double backoff_seconds = 0.0;  ///< Total retry backoff slept.
   double prepare_seconds = 0.0;

@@ -7,12 +7,15 @@ namespace comparesets {
 std::shared_ptr<const PreparedInstance> PreparedInstance::Create(
     std::shared_ptr<const IndexedCorpus> corpus, ProblemInstance instance,
     const OpinionModel& model) {
-  // Wire in two steps: the bundle's own `instance` must be at its final
-  // address before BuildInstanceVectors captures a pointer to it.
+  // Wire in two steps: the bundle's own `instance` and `systems` must be
+  // at their final addresses before BuildInstanceVectors captures a
+  // pointer to the former and vectors.system_cache points at the latter.
   auto bundle = std::make_shared<PreparedInstance>(PreparedInstance{
       std::move(corpus), std::move(instance),
-      InstanceVectors{model, nullptr, {}, {}, {}, {}}});
+      InstanceVectors{model, nullptr, {}, {}, {}, {}},
+      std::make_unique<DesignSystemCache>()});
   bundle->vectors = BuildInstanceVectors(model, bundle->instance);
+  bundle->vectors.system_cache = bundle->systems.get();
   return bundle;
 }
 
@@ -70,6 +73,9 @@ VectorCacheStats VectorCache::Stats() const {
   stats.entries = lru_.size();
   for (const Entry& entry : lru_) {
     stats.approx_bytes += entry.value->vectors.ApproxMemoryBytes();
+    if (entry.value->systems != nullptr) {
+      stats.approx_bytes += entry.value->systems->ApproxMemoryBytes();
+    }
   }
   return stats;
 }

@@ -18,6 +18,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/design_matrix.h"
 #include "opinion/vectors.h"
 #include "service/indexed_corpus.h"
 
@@ -26,15 +27,21 @@ namespace comparesets {
 /// One cached, fully prepared problem instance. The bundle owns every
 /// layer a selector needs: the corpus snapshot (kept alive across
 /// catalog swaps), the instance (whose Product pointers reach into the
-/// snapshot), and the derived vectors (whose `instance` pointer reaches
-/// into this same bundle). Never moved after wiring — always heap-
-/// allocated behind shared_ptr.
+/// snapshot), the derived vectors (whose `instance` pointer reaches
+/// into this same bundle), and a memo of built design systems (sparse
+/// Ṽ + Gram block, reached through vectors.system_cache). Never moved
+/// after wiring — always heap-allocated behind shared_ptr.
 struct PreparedInstance {
   std::shared_ptr<const IndexedCorpus> corpus;
   ProblemInstance instance;
   InstanceVectors vectors;
+  /// Per-instance design-system memo; selectors fill it lazily through
+  /// GetOrBuild*System. Heap-held so the bundle stays movable while the
+  /// cache's mutex stays put.
+  std::unique_ptr<DesignSystemCache> systems;
 
-  /// Allocates a bundle and wires vectors.instance to the owned copy.
+  /// Allocates a bundle and wires vectors.instance / vectors.system_cache
+  /// to the owned members.
   static std::shared_ptr<const PreparedInstance> Create(
       std::shared_ptr<const IndexedCorpus> corpus, ProblemInstance instance,
       const OpinionModel& model);
@@ -46,7 +53,8 @@ struct VectorCacheStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   size_t entries = 0;
-  size_t approx_bytes = 0;  ///< Sum of cached InstanceVectors footprints.
+  /// Sum of cached footprints: InstanceVectors plus memoized systems.
+  size_t approx_bytes = 0;
 };
 
 class VectorCache {

@@ -45,6 +45,10 @@ struct ExecControl {
   /// boundary — giving the request trace its iteration count. May be
   /// shared across worker threads (atomic).
   std::atomic<uint64_t>* iterations = nullptr;
+  /// Incremented once per NNLS solve that hit its iteration cap before
+  /// dual feasibility (silent non-convergence would otherwise vanish);
+  /// feeds the request trace and the solver.nnls_nonconverged counter.
+  std::atomic<uint64_t>* nnls_nonconverged = nullptr;
 
   /// Counts one iteration, then reports whether work should continue.
   /// `where` names the loop for the error message ("nomp", "nnls", ...).

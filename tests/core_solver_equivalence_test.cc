@@ -1,0 +1,264 @@
+// Randomized property tests pinning the sparse Gram/Cholesky solver
+// path to the legacy dense reference: identical supports and selections,
+// coefficients within 1e-10, on real CRS / CompaReSetS / CompaReSetS+
+// systems. Also covers the non-convergence flag and cancellation landing
+// mid-solve between refits.
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/design_matrix.h"
+#include "core/integer_regression.h"
+#include "core/selector.h"
+#include "eval/runner.h"
+#include "linalg/nnls.h"
+#include "linalg/nomp.h"
+#include "util/cancellation.h"
+#include "util/rng.h"
+
+namespace comparesets {
+namespace {
+
+Workload SmallWorkload() {
+  RunnerConfig config;
+  config.category = "Cellphone";
+  config.num_products = 24;
+  config.max_instances = 6;
+  config.seed = 7;
+  return Workload::BuildSynthetic(config).ValueOrDie();
+}
+
+/// Asserts SolveNomp (dense) and SolveNompGram agree on one system for
+/// every sparsity budget up to `max_ell`.
+void ExpectNompEquivalent(const DesignSystem& system, size_t max_ell,
+                          const char* label) {
+  Matrix dense = system.v.ToDense();
+  for (size_t ell = 1; ell <= max_ell; ++ell) {
+    auto reference = SolveNomp(dense, system.target, ell);
+    auto gram = SolveNompGram(system.gram, ell);
+    ASSERT_TRUE(reference.ok()) << label;
+    ASSERT_TRUE(gram.ok()) << label;
+    EXPECT_EQ(gram.value().support, reference.value().support)
+        << label << " ell=" << ell;
+    ASSERT_EQ(gram.value().x.size(), reference.value().x.size());
+    for (size_t j = 0; j < gram.value().x.size(); ++j) {
+      EXPECT_NEAR(gram.value().x[j], reference.value().x[j], 1e-10)
+          << label << " ell=" << ell << " x[" << j << "]";
+    }
+    // Compare squared residuals: near an exact fit the Gram quadratic
+    // form ‖y‖² − 2xᵀVᵀy + xᵀGx cancels to ~ε·‖y‖², which is √ε ≈ 1e-8
+    // in the *norm* — the squared values still agree to ~1e-15.
+    EXPECT_NEAR(gram.value().residual_norm * gram.value().residual_norm,
+                reference.value().residual_norm *
+                    reference.value().residual_norm,
+                1e-12)
+        << label << " ell=" << ell;
+  }
+}
+
+TEST(SolverEquivalenceTest, NompGramMatchesDenseOnCrsSystems) {
+  Workload workload = SmallWorkload();
+  for (const InstanceVectors& vectors : workload.vectors()) {
+    for (size_t item = 0; item < vectors.num_items(); ++item) {
+      DesignSystem system = BuildCrsSystem(vectors, item);
+      ExpectNompEquivalent(system, 5, "crs");
+    }
+  }
+}
+
+TEST(SolverEquivalenceTest, NompGramMatchesDenseOnCompareSetsSystems) {
+  Workload workload = SmallWorkload();
+  for (const InstanceVectors& vectors : workload.vectors()) {
+    for (size_t item = 0; item < vectors.num_items(); ++item) {
+      for (double lambda : {1.0, 0.5}) {
+        DesignSystem system = BuildCompareSetsSystem(vectors, item, lambda);
+        ExpectNompEquivalent(system, 5, "comparesets");
+      }
+    }
+  }
+}
+
+TEST(SolverEquivalenceTest, NompGramMatchesDenseOnCompareSetsPlusSystems) {
+  Workload workload = SmallWorkload();
+  for (const InstanceVectors& vectors : workload.vectors()) {
+    for (size_t item = 0; item < vectors.num_items(); ++item) {
+      // φ's of the other items' current selections: take a small prefix
+      // selection per item, as the coordinate-descent sweep would.
+      std::vector<Vector> other_phis;
+      for (size_t t = 0; t < vectors.num_items(); ++t) {
+        if (t == item) continue;
+        Selection prefix;
+        for (size_t j = 0; j < std::min<size_t>(3, vectors.num_reviews(t));
+             ++j) {
+          prefix.push_back(j);
+        }
+        other_phis.push_back(vectors.AspectOf(t, prefix));
+      }
+      DesignSystem system =
+          BuildCompareSetsPlusSystem(vectors, item, 1.0, 0.1, other_phis);
+      ExpectNompEquivalent(system, 4, "comparesets+");
+    }
+  }
+}
+
+TEST(SolverEquivalenceTest, NnlsGramMatchesDenseOnRandomProblems) {
+  Rng rng(31);
+  for (int trial = 0; trial < 25; ++trial) {
+    size_t rows = 8 + static_cast<size_t>(trial) % 7;
+    size_t cols = 3 + static_cast<size_t>(trial) % 5;
+    Matrix a(rows, cols);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        if (rng.Bernoulli(0.5)) a(r, c) = rng.UniformDouble(0.0, 2.0);
+      }
+    }
+    Vector b(rows);
+    for (size_t r = 0; r < rows; ++r) b[r] = rng.Normal();
+
+    Matrix gram(cols, cols);
+    for (size_t i = 0; i < cols; ++i) {
+      for (size_t j = 0; j < cols; ++j) {
+        gram(i, j) = a.Column(i).Dot(a.Column(j));
+      }
+    }
+    auto reference = SolveNnls(a, b);
+    auto fast = SolveNnlsGram(gram, a.MultiplyTranspose(b), b.Dot(b));
+    ASSERT_TRUE(reference.ok()) << "trial " << trial;
+    ASSERT_TRUE(fast.ok()) << "trial " << trial;
+    EXPECT_TRUE(reference.value().converged);
+    EXPECT_TRUE(fast.value().converged);
+    ASSERT_EQ(fast.value().x.size(), cols);
+    for (size_t j = 0; j < cols; ++j) {
+      EXPECT_NEAR(fast.value().x[j], reference.value().x[j], 1e-10)
+          << "trial " << trial << " x[" << j << "]";
+    }
+    EXPECT_NEAR(fast.value().residual_norm, reference.value().residual_norm,
+                1e-8)
+        << "trial " << trial;
+  }
+}
+
+TEST(SolverEquivalenceTest, IntegerRegressionBackendsPickIdenticalSelections) {
+  Workload workload = SmallWorkload();
+  TrueCostFn cost = [](const Selection& selection) {
+    double sum = 0.0;  // Any deterministic stand-in objective works here.
+    for (size_t j : selection) sum += 1.0 / (1.0 + static_cast<double>(j));
+    return sum;
+  };
+  SolverOptions dense;
+  dense.backend = SolverBackend::kDenseReference;
+  for (const InstanceVectors& vectors : workload.vectors()) {
+    for (size_t item = 0; item < vectors.num_items(); ++item) {
+      DesignSystem system = BuildCompareSetsSystem(vectors, item, 1.0);
+      auto gram_run = SolveIntegerRegression(system, 3, cost);
+      auto dense_run = SolveIntegerRegression(system, 3, cost, nullptr, dense);
+      ASSERT_TRUE(gram_run.ok());
+      ASSERT_TRUE(dense_run.ok());
+      EXPECT_EQ(gram_run.value().selection, dense_run.value().selection);
+      EXPECT_DOUBLE_EQ(gram_run.value().cost, dense_run.value().cost);
+    }
+  }
+}
+
+TEST(SolverEquivalenceTest, SelectorsMatchAcrossBackends) {
+  Workload workload = SmallWorkload();
+  for (const char* name : {"Crs", "CompaReSetS", "CompaReSetS+"}) {
+    auto selector = MakeSelector(name).ValueOrDie();
+    for (const InstanceVectors& vectors : workload.vectors()) {
+      SelectorOptions options;
+      auto gram_run = selector->Select(vectors, options);
+      options.dense_reference_solver = true;
+      auto dense_run = selector->Select(vectors, options);
+      ASSERT_TRUE(gram_run.ok()) << name;
+      ASSERT_TRUE(dense_run.ok()) << name;
+      EXPECT_EQ(gram_run.value().selections, dense_run.value().selections)
+          << name;
+      EXPECT_DOUBLE_EQ(gram_run.value().objective,
+                       dense_run.value().objective)
+          << name;
+    }
+  }
+}
+
+TEST(SolverEquivalenceTest, BothBackendsFlagAndCountNonConvergence) {
+  // x* = b on the identity needs one outer iteration per variable, so a
+  // cap of 1 must trip on both implementations.
+  Matrix a(3, 3);
+  a(0, 0) = a(1, 1) = a(2, 2) = 1.0;
+  Vector b(3);
+  b[0] = 1.0;
+  b[1] = 2.0;
+  b[2] = 3.0;
+
+  std::atomic<uint64_t> nonconverged{0};
+  ExecControl control;
+  control.nnls_nonconverged = &nonconverged;
+  NnlsOptions options;
+  options.max_iterations = 1;
+  options.control = &control;
+
+  auto dense = SolveNnls(a, b, options);
+  ASSERT_TRUE(dense.ok());
+  EXPECT_FALSE(dense.value().converged);
+  EXPECT_EQ(nonconverged.load(), 1u);
+
+  auto gram = SolveNnlsGram(a, b, b.Dot(b), options);  // AᵀA = I, Aᵀb = b.
+  ASSERT_TRUE(gram.ok());
+  EXPECT_FALSE(gram.value().converged);
+  EXPECT_EQ(nonconverged.load(), 2u);
+
+  options.max_iterations = 0;  // Default cap: both converge and don't count.
+  EXPECT_TRUE(SolveNnls(a, b, options).value().converged);
+  EXPECT_TRUE(SolveNnlsGram(a, b, b.Dot(b), options).value().converged);
+  EXPECT_EQ(nonconverged.load(), 2u);
+}
+
+TEST(SolverEquivalenceTest, CancellationLandsBetweenRefits) {
+  // Cancel from inside the true-cost callback: the token flips after the
+  // ℓ = 1 round has produced a candidate, so the next control check —
+  // inside the ℓ = 2 NOMP/NNLS refit machinery — must abort the solve.
+  Workload workload = SmallWorkload();
+  const InstanceVectors& vectors = workload.vectors().front();
+  DesignSystem system = BuildCompareSetsSystem(vectors, 0, 1.0);
+
+  CancelToken token;
+  std::atomic<uint64_t> iterations{0};
+  ExecControl control;
+  control.cancel = &token;
+  control.iterations = &iterations;
+
+  TrueCostFn cancelling_cost = [&token](const Selection& selection) {
+    token.Cancel();
+    return static_cast<double>(selection.size());
+  };
+  auto result = SolveIntegerRegression(system, 4, cancelling_cost, &control);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_GT(iterations.load(), 0u);
+}
+
+TEST(SolverEquivalenceTest, GramSolversHonorPreCancelledControl) {
+  Workload workload = SmallWorkload();
+  const InstanceVectors& vectors = workload.vectors().front();
+  DesignSystem system = BuildCompareSetsSystem(vectors, 0, 1.0);
+
+  CancelToken token;
+  token.Cancel();
+  ExecControl control;
+  control.cancel = &token;
+
+  EXPECT_EQ(SolveNompGram(system.gram, 3, &control).status().code(),
+            StatusCode::kCancelled);
+  NnlsOptions options;
+  options.control = &control;
+  EXPECT_EQ(SolveNnlsGram(system.gram.gram, system.gram.vty,
+                          system.gram.target_norm2, options)
+                .status()
+                .code(),
+            StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,203 @@
+#include "linalg/cholesky.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "util/rng.h"
+
+namespace comparesets {
+namespace {
+
+/// A well-conditioned Gram matrix G = AᵀA from a random tall A.
+Matrix RandomGram(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(3 * n + 4, n);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) a(r, c) = rng.Normal();
+  }
+  Matrix gram(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      gram(i, j) = a.Column(i).Dot(a.Column(j));
+    }
+  }
+  return gram;
+}
+
+/// Builds the factor over `vars` by appending each variable in order.
+void AppendAll(const Matrix& gram, const std::vector<size_t>& vars,
+               IncrementalCholesky* chol) {
+  std::vector<double> cross;
+  std::vector<size_t> in_factor;
+  for (size_t v : vars) {
+    cross.resize(in_factor.size());
+    for (size_t t = 0; t < in_factor.size(); ++t) {
+      cross[t] = gram(v, in_factor[t]);
+    }
+    ASSERT_TRUE(chol->Append(cross.data(), gram(v, v))) << "var " << v;
+    in_factor.push_back(v);
+  }
+}
+
+/// Reference solve of G[vars, vars] z = rhs via fresh dense Cholesky.
+std::vector<double> ReferenceSolve(const Matrix& gram,
+                                   const std::vector<size_t>& vars,
+                                   const std::vector<double>& rhs) {
+  size_t n = vars.size();
+  // Dense from-scratch Cholesky.
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = gram(vars[i], vars[j]);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  std::vector<double> z(rhs);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < i; ++k) z[i] -= l(i, k) * z[k];
+    z[i] /= l(i, i);
+  }
+  for (size_t i = n; i-- > 0;) {
+    for (size_t k = i + 1; k < n; ++k) z[i] -= l(k, i) * z[k];
+    z[i] /= l(i, i);
+  }
+  return z;
+}
+
+TEST(IncrementalCholeskyTest, AppendAndSolveMatchesReference) {
+  Matrix gram = RandomGram(8, 21);
+  IncrementalCholesky chol;
+  std::vector<size_t> vars = {0, 1, 2, 3, 4, 5, 6, 7};
+  AppendAll(gram, vars, &chol);
+  ASSERT_EQ(chol.size(), 8u);
+
+  Rng rng(22);
+  std::vector<double> rhs(8);
+  for (double& v : rhs) v = rng.Normal();
+  std::vector<double> z(8);
+  chol.Solve(rhs.data(), z.data());
+  std::vector<double> expected = ReferenceSolve(gram, vars, rhs);
+  for (size_t i = 0; i < 8; ++i) EXPECT_NEAR(z[i], expected[i], 1e-9);
+}
+
+TEST(IncrementalCholeskyTest, SolveSupportsAliasedBuffers) {
+  Matrix gram = RandomGram(5, 23);
+  IncrementalCholesky chol;
+  AppendAll(gram, {0, 1, 2, 3, 4}, &chol);
+  Rng rng(24);
+  std::vector<double> rhs(5);
+  for (double& v : rhs) v = rng.Normal();
+  std::vector<double> copy = rhs;
+  std::vector<double> z(5);
+  chol.Solve(copy.data(), z.data());
+  chol.Solve(copy.data(), copy.data());  // In place.
+  for (size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(copy[i], z[i]);
+}
+
+TEST(IncrementalCholeskyTest, RemoveMatchesFactorBuiltFromScratch) {
+  Matrix gram = RandomGram(7, 25);
+  IncrementalCholesky incremental;
+  AppendAll(gram, {0, 1, 2, 3, 4, 5, 6}, &incremental);
+
+  // Remove the middle variable (factor position 3 → variable 3).
+  incremental.Remove(3);
+  ASSERT_EQ(incremental.size(), 6u);
+
+  std::vector<size_t> reduced = {0, 1, 2, 4, 5, 6};
+  Rng rng(26);
+  std::vector<double> rhs(6);
+  for (double& v : rhs) v = rng.Normal();
+  std::vector<double> z(6);
+  incremental.Solve(rhs.data(), z.data());
+  std::vector<double> expected = ReferenceSolve(gram, reduced, rhs);
+  for (size_t i = 0; i < 6; ++i) EXPECT_NEAR(z[i], expected[i], 1e-9);
+}
+
+TEST(IncrementalCholeskyTest, RandomAppendRemoveSequenceStaysConsistent) {
+  // Property test: after any interleaving of appends and removals, the
+  // incremental factor solves exactly like a from-scratch factor of the
+  // surviving variable set — the NNLS passive set's lifecycle.
+  Matrix gram = RandomGram(12, 27);
+  Rng rng(28);
+  for (int trial = 0; trial < 20; ++trial) {
+    IncrementalCholesky chol;
+    std::vector<size_t> live;
+    std::vector<double> cross;
+    size_t next = 0;
+    for (int step = 0; step < 18; ++step) {
+      bool removable = !live.empty();
+      if (next < 12 && (!removable || rng.UniformDouble() < 0.6)) {
+        cross.resize(live.size());
+        for (size_t t = 0; t < live.size(); ++t) {
+          cross[t] = gram(next, live[t]);
+        }
+        ASSERT_TRUE(chol.Append(cross.data(), gram(next, next)));
+        live.push_back(next++);
+      } else if (removable) {
+        size_t pos = static_cast<size_t>(rng.UniformDouble() *
+                                         static_cast<double>(live.size()));
+        pos = std::min(pos, live.size() - 1);
+        chol.Remove(pos);
+        live.erase(live.begin() + static_cast<ptrdiff_t>(pos));
+      }
+      ASSERT_EQ(chol.size(), live.size());
+      if (live.empty()) continue;
+      std::vector<double> rhs(live.size());
+      for (double& v : rhs) v = rng.Normal();
+      std::vector<double> z(live.size());
+      chol.Solve(rhs.data(), z.data());
+      std::vector<double> expected = ReferenceSolve(gram, live, rhs);
+      for (size_t i = 0; i < live.size(); ++i) {
+        ASSERT_NEAR(z[i], expected[i], 1e-8)
+            << "trial " << trial << " step " << step;
+      }
+    }
+  }
+}
+
+TEST(IncrementalCholeskyTest, RejectsLinearlyDependentColumn) {
+  // G for A = [e1, e2, e1+e2]: the third column is dependent.
+  Matrix gram(3, 3);
+  gram(0, 0) = 1.0;
+  gram(1, 1) = 1.0;
+  gram(2, 2) = 2.0;
+  gram(0, 2) = gram(2, 0) = 1.0;
+  gram(1, 2) = gram(2, 1) = 1.0;
+
+  IncrementalCholesky chol;
+  double none = 0.0;
+  ASSERT_TRUE(chol.Append(&none, gram(0, 0)));
+  double cross1[] = {gram(1, 0)};
+  ASSERT_TRUE(chol.Append(cross1, gram(1, 1)));
+  double cross2[] = {gram(2, 0), gram(2, 1)};
+  EXPECT_FALSE(chol.Append(cross2, gram(2, 2)));
+  EXPECT_EQ(chol.size(), 2u);  // Factor unchanged by the rejected append.
+}
+
+TEST(IncrementalCholeskyTest, ClearResetsForReuse) {
+  Matrix gram = RandomGram(4, 29);
+  IncrementalCholesky chol;
+  AppendAll(gram, {0, 1, 2, 3}, &chol);
+  chol.Clear();
+  EXPECT_EQ(chol.size(), 0u);
+  AppendAll(gram, {2, 0}, &chol);
+  EXPECT_EQ(chol.size(), 2u);
+  std::vector<double> rhs = {1.0, -2.0};
+  std::vector<double> z(2);
+  chol.Solve(rhs.data(), z.data());
+  std::vector<double> expected = ReferenceSolve(gram, {2, 0}, rhs);
+  EXPECT_NEAR(z[0], expected[0], 1e-9);
+  EXPECT_NEAR(z[1], expected[1], 1e-9);
+}
+
+}  // namespace
+}  // namespace comparesets
