@@ -3,9 +3,15 @@
 // observations to reproduce: Crs and CompaReSetS are flat and fast;
 // CompaReSetS+ grows linearly in the number of items.
 //
-// Served through SelectionEngine: one engine per item cap, so every
-// (m, algorithm) cell after the first answers from warm cached vectors
-// and the timing isolates the solve itself.
+// Served through SelectionEngine: one engine pair per item cap (serial
+// vs intra-request parallel), so every (m, algorithm) cell after the
+// first answers from warm cached vectors and the timing isolates the
+// solve itself. Requests go through lone `Select` calls — the path that
+// lends the whole pool to one request — so the parallel column measures
+// exactly the single-request speedup the execution model promises
+// (docs/execution-model.md; docs/benchmarks.md for re-baselining).
+//
+//   --threads N   pool size for the parallel column (0 = hardware).
 
 #include "bench_common.h"
 
@@ -14,42 +20,71 @@ using namespace comparesets::bench;
 
 int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
-  BenchArgs args = ParseBenchArgs(argc, argv);
+  FlagParser parser;
+  BenchArgs args = ParseBenchArgs(
+      argc, argv,
+      [](FlagParser* flags) {
+        flags->AddInt("threads", 0,
+                      "pool threads for the parallel column (0 = hardware)");
+      },
+      &parser);
   if (args.help) return 0;
+  size_t threads = static_cast<size_t>(parser.GetInt("threads"));
 
   PrintTitle(
       "Figure 7: Average runtime (ms per instance) vs #comparative items "
-      "(Cellphone)");
+      "(Cellphone), serial vs intra-request parallel");
 
   const size_t kItemCaps[] = {5, 10, 15, 20, 25};
   const std::vector<std::string> kAlgorithms = {
       "Crs", "CompaReSetS", "CompaReSetS+"};
 
-  std::vector<CsvRow> csv = {
-      {"algorithm", "m", "comparative_items", "ms_per_instance"}};
+  std::vector<CsvRow> csv = {{"algorithm", "m", "comparative_items",
+                              "serial_ms_per_instance",
+                              "parallel_ms_per_instance", "speedup"}};
 
   BenchArgs capped = args;
   capped.instances = std::min<size_t>(args.instances, 20);
 
-  // One warm engine per item cap, shared across every (m, algorithm)
-  // cell of that column.
+  // One warm engine pair per item cap, shared across every
+  // (m, algorithm) cell of that column. The pair differs ONLY in
+  // max_intra_request_threads, so the delta is the fan-out itself.
   std::vector<std::shared_ptr<const IndexedCorpus>> corpora;
-  std::vector<std::unique_ptr<SelectionEngine>> engines;
+  std::vector<std::unique_ptr<SelectionEngine>> serial_engines;
+  std::vector<std::unique_ptr<SelectionEngine>> parallel_engines;
   for (size_t cap : kItemCaps) {
     corpora.push_back(BuildEngineCorpus(capped, "Cellphone", cap));
     EngineOptions engine_options;
-    engine_options.threads = 1;  // Serial: this figure measures latency.
+    engine_options.threads = threads;
     engine_options.cache_capacity = corpora.back()->num_instances();
     engine_options.measure_alignment = false;
-    engines.push_back(
+    engine_options.result_capacity = 0;  // Every request must solve.
+    engine_options.max_intra_request_threads = 1;
+    serial_engines.push_back(
+        std::make_unique<SelectionEngine>(corpora.back(), engine_options));
+    engine_options.max_intra_request_threads = 0;  // Whole pool.
+    parallel_engines.push_back(
         std::make_unique<SelectionEngine>(corpora.back(), engine_options));
   }
 
+  // Mean per-request solve seconds over lone Selects, sequentially —
+  // single-request latency, not batch throughput.
+  auto mean_solve_ms = [](SelectionEngine& engine,
+                          const std::vector<SelectRequest>& requests) {
+    double total_seconds = 0.0;
+    for (const SelectRequest& request : requests) {
+      auto response = engine.Select(request);
+      response.status().CheckOK();
+      total_seconds += response.value().solve_seconds;
+    }
+    return 1000.0 * total_seconds / static_cast<double>(requests.size());
+  };
+
   for (size_t m : {3u, 5u, 10u}) {
-    std::printf("\n  m = %zu\n", m);
+    std::printf("\n  m = %zu   (serial ms -> parallel ms [speedup])\n", m);
     std::printf("  %-18s", "Algorithm");
     for (size_t cap : kItemCaps) {
-      std::printf("  n=%-8zu", cap);
+      std::printf("  n=%-18zu", cap);
     }
     std::printf("\n");
 
@@ -61,22 +96,18 @@ int main(int argc, char** argv) {
         options.seed = args.seed;
         std::vector<SelectRequest> requests =
             InstanceRequests(*corpora[c], capped, name, options);
-        std::vector<Result<SelectResponse>> responses =
-            engines[c]->SelectBatch(requests);
 
-        // Like SelectorRun::total_seconds, this sums per-instance solve
-        // time — the serial-cost measure the paper plots — NOT batch
-        // wall-clock (which cache warmth and threading would distort).
-        double total_seconds = 0.0;
-        for (const auto& response : responses) {
-          response.status().CheckOK();
-          total_seconds += response.value().solve_seconds;
-        }
-        double ms = 1000.0 * total_seconds /
-                    static_cast<double>(requests.size());
-        std::printf("  %-10s", FormatDouble(ms, 2).c_str());
-        csv.push_back({name, std::to_string(m),
-                       std::to_string(kItemCaps[c]), FormatDouble(ms, 3)});
+        double serial_ms = mean_solve_ms(*serial_engines[c], requests);
+        double parallel_ms = mean_solve_ms(*parallel_engines[c], requests);
+        double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 1.0;
+
+        std::printf("  %5s->%-5s [%4s]",
+                    FormatDouble(serial_ms, 1).c_str(),
+                    FormatDouble(parallel_ms, 1).c_str(),
+                    FormatDouble(speedup, 2).c_str());
+        csv.push_back({name, std::to_string(m), std::to_string(kItemCaps[c]),
+                       FormatDouble(serial_ms, 3), FormatDouble(parallel_ms, 3),
+                       FormatDouble(speedup, 3)});
       }
       std::printf("\n");
     }

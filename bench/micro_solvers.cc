@@ -10,8 +10,16 @@
 //   micro_solvers --kernels_only [--kernels_out=results/solver_kernels.json]
 //
 // The two paths must produce identical NOMP supports on every budget;
-// the mode fails (non-zero exit) if they diverge. Any other arguments
-// are forwarded to google-benchmark unchanged.
+// the mode fails (non-zero exit) if they diverge.
+//
+// A second comparison mode times one CompaReSetS+ request serially vs
+// with intra-request parallelism at several lane caps, verifies the
+// selections are bit-identical at every cap, and writes the measured
+// speedups as JSON (see docs/benchmarks.md):
+//
+//   micro_solvers --intra_only [--intra_out=results/solver_intra_parallel.json]
+//
+// Any other arguments are forwarded to google-benchmark unchanged.
 
 #include <benchmark/benchmark.h>
 #include <sys/stat.h>
@@ -19,6 +27,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/compare_sets.h"
@@ -35,7 +44,9 @@
 #include "linalg/qr.h"
 #include "text/rouge.h"
 #include "util/jsonl.h"
+#include "util/parallel.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace comparesets {
@@ -457,20 +468,127 @@ int RunKernelComparison(const std::string& out_path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// Intra-request parallelism mode (--intra_only / --intra_out=PATH).
+
+int RunIntraParallelComparison(const std::string& out_path) {
+  // A single large request: many comparative items, so the per-item
+  // fan-out has work to distribute.
+  RunnerConfig runner;
+  runner.category = "Cellphone";
+  runner.num_products = 64;
+  runner.max_instances = 8;
+  runner.seed = 42;
+  Workload workload = Workload::BuildSynthetic(runner).ValueOrDie();
+  size_t best = 0;
+  for (size_t i = 1; i < workload.num_instances(); ++i) {
+    if (workload.vectors()[i].num_items() >
+        workload.vectors()[best].num_items()) {
+      best = i;
+    }
+  }
+  const InstanceVectors& vectors = workload.vectors()[best];
+  size_t items = vectors.num_items();
+
+  CompareSetsPlusSelector selector;
+  SelectorOptions options;
+  options.m = 5;
+  options.extra_sync_rounds = 1;
+
+  size_t hardware = std::thread::hardware_concurrency();
+  ThreadPool pool(hardware > 1 ? hardware - 1 : 1);  // Caller adds a lane.
+  std::printf(
+      "intra workload: instance with %zu items, m = %zu, %zu hardware "
+      "threads (pool workers + caller = %zu lanes max)\n",
+      items, options.m, hardware, pool.num_threads() + 1);
+
+  options.parallel = ParallelContext{&pool, 1};
+  SelectionResult reference = selector.Select(vectors, options).ValueOrDie();
+  double serial_seconds = TimePerCall([&] {
+    auto result = selector.Select(vectors, options);
+    benchmark::DoNotOptimize(result);
+  });
+
+  JsonValue::Array timings;
+  {
+    JsonValue::Object row;
+    row["lanes"] = static_cast<int64_t>(1);
+    row["seconds"] = serial_seconds;
+    row["speedup"] = 1.0;
+    timings.push_back(JsonValue(std::move(row)));
+  }
+  std::printf("%-8s %14s %10s\n", "lanes", "seconds", "speedup");
+  std::printf("%-8zu %14.4f %9.2fx\n", size_t{1}, serial_seconds, 1.0);
+
+  for (size_t lanes : {size_t{2}, size_t{4}, pool.num_threads() + 1}) {
+    if (lanes <= 1 || lanes > pool.num_threads() + 1) continue;
+    options.parallel = ParallelContext{&pool, lanes};
+    SelectionResult parallel = selector.Select(vectors, options).ValueOrDie();
+    if (parallel.selections != reference.selections ||
+        parallel.objective != reference.objective) {
+      std::fprintf(stderr,
+                   "parallel selections diverged from serial at %zu lanes "
+                   "— determinism contract broken\n",
+                   lanes);
+      return 1;
+    }
+    double seconds = TimePerCall([&] {
+      auto result = selector.Select(vectors, options);
+      benchmark::DoNotOptimize(result);
+    });
+    double speedup = seconds > 0.0 ? serial_seconds / seconds : 0.0;
+    std::printf("%-8zu %14.4f %9.2fx\n", lanes, seconds, speedup);
+    JsonValue::Object row;
+    row["lanes"] = static_cast<int64_t>(lanes);
+    row["seconds"] = seconds;
+    row["speedup"] = speedup;
+    timings.push_back(JsonValue(std::move(row)));
+  }
+
+  JsonValue::Object doc;
+  doc["bench"] = "solver_intra_parallel";
+  doc["selector"] = "CompaReSetS+";
+  doc["items"] = static_cast<int64_t>(items);
+  doc["m"] = static_cast<int64_t>(options.m);
+  doc["extra_sync_rounds"] = options.extra_sync_rounds;
+  doc["hardware_concurrency"] = static_cast<int64_t>(hardware);
+  doc["timings"] = JsonValue(std::move(timings));
+
+  size_t slash = out_path.find_last_of('/');
+  if (slash != std::string::npos) {
+    ::mkdir(out_path.substr(0, slash).c_str(), 0755);  // Existing is fine.
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << JsonValue(std::move(doc)).Dump() << "\n";
+  std::printf("[json written to %s]\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace comparesets
 
 int main(int argc, char** argv) {
   std::string kernels_out;
+  std::string intra_out;
   bool kernels_only = false;
+  bool intra_only = false;
   std::vector<char*> forwarded;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i] != nullptr ? argv[i] : "";
     const std::string kOutPrefix = "--kernels_out=";
+    const std::string kIntraPrefix = "--intra_out=";
     if (arg.rfind(kOutPrefix, 0) == 0) {
       kernels_out = arg.substr(kOutPrefix.size());
     } else if (arg == "--kernels_only") {
       kernels_only = true;
+    } else if (arg.rfind(kIntraPrefix, 0) == 0) {
+      intra_out = arg.substr(kIntraPrefix.size());
+    } else if (arg == "--intra_only") {
+      intra_only = true;
     } else {
       forwarded.push_back(argv[i]);
     }
@@ -478,10 +596,18 @@ int main(int argc, char** argv) {
   if (kernels_only && kernels_out.empty()) {
     kernels_out = "results/solver_kernels.json";
   }
+  if (intra_only && intra_out.empty()) {
+    intra_out = "results/solver_intra_parallel.json";
+  }
   if (!kernels_out.empty()) {
     int rc = comparesets::RunKernelComparison(kernels_out);
-    if (rc != 0 || kernels_only) return rc;
+    if (rc != 0 || (kernels_only && intra_out.empty())) return rc;
   }
+  if (!intra_out.empty()) {
+    int rc = comparesets::RunIntraParallelComparison(intra_out);
+    if (rc != 0 || intra_only || kernels_only) return rc;
+  }
+  if (kernels_only) return 0;
 
   int forwarded_argc = static_cast<int>(forwarded.size());
   benchmark::Initialize(&forwarded_argc, forwarded.data());

@@ -29,7 +29,11 @@ ConfigResult RunConfig(const char* name, size_t result_capacity,
                        const std::vector<SelectRequest>& requests, int passes,
                        std::vector<CsvRow>* csv, std::string* metrics_dump) {
   EngineOptions engine_options;
-  engine_options.threads = 1;  // Isolate cache effect from parallelism.
+  // Isolate the cache effect from parallelism: batch fan-out off AND
+  // intra-request fan-out off (a 1-thread engine runs batches inline,
+  // which would otherwise lend the pool to each request in turn).
+  engine_options.threads = 1;
+  engine_options.max_intra_request_threads = 1;
   engine_options.cache_capacity = corpus->num_instances();
   engine_options.result_capacity = result_capacity;
   engine_options.measure_alignment = false;

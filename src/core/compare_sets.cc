@@ -1,29 +1,45 @@
 #include "core/compare_sets.h"
 
+#include <utility>
+
 #include "core/integer_regression.h"
 #include "eval/objective.h"
+#include "util/timer.h"
 
 namespace comparesets {
 
 Result<SelectionResult> CompareSetsSelector::Select(
     const InstanceVectors& vectors, const SelectorOptions& options,
     const ExecControl* control) const {
-  SelectionResult out;
-  out.selections.reserve(vectors.num_items());
   SolverOptions solver;
   if (options.dense_reference_solver) {
     solver.backend = SolverBackend::kDenseReference;
   }
-  for (size_t i = 0; i < vectors.num_items(); ++i) {
-    COMPARESETS_RETURN_NOT_OK(CheckExec(control, "comparesets item loop"));
-    std::shared_ptr<const DesignSystem> system =
-        GetOrBuildCompareSetsSystem(vectors, i, options.lambda);
-    auto cost = [&](const Selection& selection) {
-      return ItemCost(vectors, i, selection, options.lambda);
-    };
-    COMPARESETS_ASSIGN_OR_RETURN(
-        IntegerRegressionResult item,
-        SolveIntegerRegression(*system, options.m, cost, control, solver));
+  // Problem 1 decomposes per item: every product's NOMP/rounding run is
+  // independent of the others', so fan them out over the request's pool.
+  // Each lane builds/fetches its own system (DesignSystemCache locks)
+  // and solves with workspace == nullptr, i.e. its own thread-local
+  // scratch; the index-ordered merge keeps selections bit-identical.
+  Timer timer;
+  COMPARESETS_ASSIGN_OR_RETURN(
+      std::vector<IntegerRegressionResult> items,
+      SolveItemsParallel(
+          vectors.num_items(), options.parallel, control,
+          "comparesets item loop",
+          [&](size_t i) {
+            std::shared_ptr<const DesignSystem> system =
+                GetOrBuildCompareSetsSystem(vectors, i, options.lambda);
+            auto cost = [&](const Selection& selection) {
+              return ItemCost(vectors, i, selection, options.lambda);
+            };
+            return SolveIntegerRegression(*system, options.m, cost, control,
+                                          solver);
+          }));
+  RecordSpan(control, "compare_sets.items", timer.ElapsedSeconds());
+
+  SelectionResult out;
+  out.selections.reserve(items.size());
+  for (IntegerRegressionResult& item : items) {
     out.selections.push_back(std::move(item.selection));
   }
   out.objective = CompareSetsPlusObjective(vectors, out.selections,

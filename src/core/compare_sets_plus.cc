@@ -1,15 +1,21 @@
 #include "core/compare_sets_plus.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "core/compare_sets.h"
 #include "core/integer_regression.h"
 #include "eval/objective.h"
+#include "util/timer.h"
 
 namespace comparesets {
 
 Result<SelectionResult> CompareSetsPlusSelector::Select(
     const InstanceVectors& vectors, const SelectorOptions& options,
     const ExecControl* control) const {
-  // Algorithm 1 input: S_1..S_n from solving CompaReSetS per item.
+  // Algorithm 1 input: S_1..S_n from solving CompaReSetS per item
+  // (itself parallel across items under the same context).
   CompareSetsSelector bootstrap;
   COMPARESETS_ASSIGN_OR_RETURN(SelectionResult state,
                                bootstrap.Select(vectors, options, control));
@@ -28,24 +34,57 @@ Result<SelectionResult> CompareSetsPlusSelector::Select(
     solver.backend = SolverBackend::kDenseReference;
   }
 
+  // Sync rounds are the coupling, so they stay sequential; *within* a
+  // round the n refits are independent because each one is proposed
+  // against a frozen snapshot of the round-start φ blocks (Jacobi
+  // style), then committed sequentially in item order against the live
+  // φs. The snapshot makes the proposals order-free — a parallel round
+  // is bit-identical to a serial one — and the ordered commit keeps the
+  // sweep monotone: a proposal is accepted only if it strictly improves
+  // item i's full coordinate cost under the *current* state.
   int sweeps = 1 + std::max(0, options.extra_sync_rounds);
   for (int sweep = 0; sweep < sweeps; ++sweep) {
+    Timer round_timer;
+    const std::vector<Vector> sweep_phis = phis;
+
+    COMPARESETS_ASSIGN_OR_RETURN(
+        std::vector<IntegerRegressionResult> proposals,
+        SolveItemsParallel(
+            n, options.parallel, control, "comparesets+ sweep",
+            [&](size_t i) {
+              // Target blocks φ(S_1)…φ(S_{i-1}), φ(S_{i+1})…φ(S_n) in
+              // item order, all taken from the round-start snapshot.
+              std::vector<Vector> other_phis;
+              other_phis.reserve(n - 1);
+              for (size_t j = 0; j < n; ++j) {
+                if (j != i) other_phis.push_back(sweep_phis[j]);
+              }
+              DesignSystem system = BuildCompareSetsPlusSystem(
+                  vectors, i, options.lambda, options.mu, other_phis);
+
+              // Item i's full contribution to Eq. 5 holding the others
+              // at their round-start values: own Eq. 3 cost +
+              // μ² Σ_{j≠i} Δ(φ(S̃_i), φ(S_j)).
+              auto cost = [&](const Selection& selection) {
+                Vector phi = vectors.AspectOf(i, selection);
+                double total = ItemCost(vectors, i, selection, options.lambda);
+                for (size_t j = 0; j < n; ++j) {
+                  if (j != i) total += mu2 * SquaredDistance(phi, sweep_phis[j]);
+                }
+                return total;
+              };
+              return SolveIntegerRegression(system, options.m, cost, control,
+                                            solver);
+            }));
+
+    // Ordered commit: re-evaluate each proposal against the live φs and
+    // keep the incumbent unless the proposal strictly improves item i's
+    // coordinate cost — so the round never degrades the objective
+    // (Algorithm 1's min_Δ bookkeeping, extended with the incumbent as
+    // a candidate), even though proposals were made against the
+    // snapshot.
     for (size_t i = 0; i < n; ++i) {
-      COMPARESETS_RETURN_NOT_OK(CheckExec(control, "comparesets+ sweep"));
-      // Target blocks φ(S_1)…φ(S_{i-1}), φ(S_{i+1})…φ(S_n) in item order.
-      std::vector<Vector> other_phis;
-      other_phis.reserve(n - 1);
-      for (size_t j = 0; j < n; ++j) {
-        if (j != i) other_phis.push_back(phis[j]);
-      }
-
-      DesignSystem system = BuildCompareSetsPlusSystem(
-          vectors, i, options.lambda, options.mu, other_phis);
-
-      // Item i's full contribution to Eq. 5 holding the others fixed:
-      // own Eq. 3 cost + μ² Σ_{j≠i} Δ(φ(S̃_i), φ(S_j)). Minimizing this
-      // coordinate-wise minimizes the global objective.
-      auto cost = [&](const Selection& selection) {
+      auto live_cost = [&](const Selection& selection) {
         Vector phi = vectors.AspectOf(i, selection);
         double total = ItemCost(vectors, i, selection, options.lambda);
         for (size_t j = 0; j < n; ++j) {
@@ -53,20 +92,14 @@ Result<SelectionResult> CompareSetsPlusSelector::Select(
         }
         return total;
       };
-
-      COMPARESETS_ASSIGN_OR_RETURN(
-          IntegerRegressionResult solved,
-          SolveIntegerRegression(system, options.m, cost, control, solver));
-
-      // Keep the incumbent when the heuristic fails to improve on it, so
-      // the sweep never degrades the objective (Algorithm 1's min_Δ
-      // bookkeeping, extended with the incumbent as a candidate).
-      double incumbent_cost = cost(state.selections[i]);
-      if (solved.cost < incumbent_cost) {
-        state.selections[i] = std::move(solved.selection);
+      double candidate_cost = live_cost(proposals[i].selection);
+      double incumbent_cost = live_cost(state.selections[i]);
+      if (candidate_cost < incumbent_cost) {
+        state.selections[i] = std::move(proposals[i].selection);
         phis[i] = vectors.AspectOf(i, state.selections[i]);
       }
     }
+    RecordSpan(control, "compare_sets_plus.round", round_timer.ElapsedSeconds());
   }
 
   state.objective = CompareSetsPlusObjective(vectors, state.selections,

@@ -1,30 +1,45 @@
 #include "core/crs.h"
 
+#include <utility>
+
 #include "core/integer_regression.h"
 #include "eval/objective.h"
+#include "util/timer.h"
 
 namespace comparesets {
 
 Result<SelectionResult> CrsSelector::Select(
     const InstanceVectors& vectors, const SelectorOptions& options,
     const ExecControl* control) const {
-  SelectionResult out;
-  out.selections.reserve(vectors.num_items());
   SolverOptions solver;
   if (options.dense_reference_solver) {
     solver.backend = SolverBackend::kDenseReference;
   }
-  for (size_t i = 0; i < vectors.num_items(); ++i) {
-    COMPARESETS_RETURN_NOT_OK(CheckExec(control, "crs item loop"));
-    std::shared_ptr<const DesignSystem> system = GetOrBuildCrsSystem(vectors, i);
-    auto cost = [&](const Selection& selection) {
-      // Pure characteristic objective: match the item's own opinion
-      // distribution only.
-      return SquaredDistance(vectors.tau[i], vectors.OpinionOf(i, selection));
-    };
-    COMPARESETS_ASSIGN_OR_RETURN(
-        IntegerRegressionResult item,
-        SolveIntegerRegression(*system, options.m, cost, control, solver));
+  // Each item's characteristic system is independent — fan the solves
+  // out over the request's pool; the index-ordered merge keeps parallel
+  // selections bit-identical to serial.
+  Timer timer;
+  COMPARESETS_ASSIGN_OR_RETURN(
+      std::vector<IntegerRegressionResult> items,
+      SolveItemsParallel(
+          vectors.num_items(), options.parallel, control, "crs item loop",
+          [&](size_t i) {
+            std::shared_ptr<const DesignSystem> system =
+                GetOrBuildCrsSystem(vectors, i);
+            auto cost = [&](const Selection& selection) {
+              // Pure characteristic objective: match the item's own opinion
+              // distribution only.
+              return SquaredDistance(vectors.tau[i],
+                                     vectors.OpinionOf(i, selection));
+            };
+            return SolveIntegerRegression(*system, options.m, cost, control,
+                                          solver);
+          }));
+  RecordSpan(control, "crs.items", timer.ElapsedSeconds());
+
+  SelectionResult out;
+  out.selections.reserve(items.size());
+  for (IntegerRegressionResult& item : items) {
     out.selections.push_back(std::move(item.selection));
   }
   out.objective = CompareSetsPlusObjective(vectors, out.selections,

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <optional>
 #include <set>
+#include <utility>
 
 #include "linalg/nomp.h"
 #include "util/logging.h"
@@ -154,6 +156,38 @@ Result<IntegerRegressionResult> SolveIntegerRegression(
     best.selection = std::move(fallback);
   }
   return best;
+}
+
+Result<std::vector<IntegerRegressionResult>> SolveItemsParallel(
+    size_t n, const ParallelContext& parallel, const ExecControl* control,
+    const char* where,
+    const std::function<Result<IntegerRegressionResult>(size_t)>& solve_item) {
+  // Every lane writes only its own slot; the index-ordered merge below
+  // makes the outcome independent of scheduling. Each body runs to
+  // completion even if a sibling already failed — skipping would let
+  // the parallel run return a different (higher-index) error than the
+  // serial run on the same instance.
+  std::vector<std::optional<Result<IntegerRegressionResult>>> slots(n);
+  RunParallel(
+      parallel, n,
+      [&](size_t i) {
+        Status exec = CheckExec(control, where);
+        if (!exec.ok()) {
+          slots[i] = exec;
+          return;
+        }
+        slots[i] = solve_item(i);
+      },
+      control);
+
+  std::vector<IntegerRegressionResult> results;
+  results.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    COMPARESETS_CHECK(slots[i].has_value()) << "parallel item slot unset";
+    if (!slots[i]->ok()) return slots[i]->status();
+    results.push_back(std::move(slots[i]->value()));
+  }
+  return results;
 }
 
 }  // namespace comparesets

@@ -7,10 +7,12 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "core/design_matrix.h"
 #include "linalg/solver_options.h"
 #include "util/cancellation.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace comparesets {
@@ -41,5 +43,22 @@ std::vector<int> RoundToIntegerCounts(const Vector& x,
 Result<IntegerRegressionResult> SolveIntegerRegression(
     const DesignSystem& system, size_t m, const TrueCostFn& true_cost,
     const ExecControl* control = nullptr, const SolverOptions& solver = {});
+
+/// Fans `n` independent per-item solves out over `parallel` (serial, in
+/// index order, when the context is empty) and merges the results in
+/// index order. `solve_item(i)` must be self-contained: it builds (or
+/// fetches from a thread-safe cache) item i's system and runs
+/// SolveIntegerRegression with `SolverOptions::workspace == nullptr` so
+/// each lane uses its own SolverWorkspace::ThreadLocal().
+///
+/// Determinism contract: every solve_item(i) runs to completion whether
+/// or not a sibling failed, and the merge returns the *lowest-index*
+/// non-OK status — so a parallel run returns exactly the value (or
+/// exactly the error) the serial run would. `control` is checked before
+/// each item on top of solve_item's own iteration-boundary checks.
+Result<std::vector<IntegerRegressionResult>> SolveItemsParallel(
+    size_t n, const ParallelContext& parallel, const ExecControl* control,
+    const char* where,
+    const std::function<Result<IntegerRegressionResult>(size_t)>& solve_item);
 
 }  // namespace comparesets

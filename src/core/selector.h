@@ -11,6 +11,7 @@
 
 #include "opinion/vectors.h"
 #include "util/cancellation.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace comparesets {
@@ -33,6 +34,13 @@ struct SelectorOptions {
   /// reference implementation the equivalence tests compare against;
   /// selections are identical either way (up to floating-point ties).
   bool dense_reference_solver = false;
+  /// Intra-request parallelism: the pool (if any) the selector may fan
+  /// its independent per-item solves onto, and a lane cap. A *runtime
+  /// control* like the deadline — it changes wall-clock, never the
+  /// selections (parallel is bit-identical to serial; see
+  /// docs/execution-model.md) — so the engine's result memo excludes it
+  /// from the key. Default: empty (serial).
+  ParallelContext parallel;
 };
 
 struct SelectionResult {

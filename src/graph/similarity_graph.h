@@ -12,6 +12,9 @@
 
 #include "eval/objective.h"
 #include "opinion/vectors.h"
+#include "util/cancellation.h"
+#include "util/parallel.h"
+#include "util/status.h"
 
 namespace comparesets {
 
@@ -45,6 +48,18 @@ class SimilarityGraph {
 /// Builds the §3.1 graph from an instance's selections (d_ij shifted by
 /// the max pairwise distance). With fewer than two items the graph is
 /// trivially returned with zero weights.
+///
+/// The O(n²) pairwise distances fan out row-by-row over `parallel`
+/// (rows write disjoint slices; the max-shift reduction is a serial
+/// index-ordered pass, so the graph is bit-identical to a serial
+/// build). `control` is checked at each row boundary; expiry returns
+/// kCancelled / kDeadlineExceeded.
+Result<SimilarityGraph> BuildSimilarityGraph(
+    const InstanceVectors& vectors, const std::vector<Selection>& selections,
+    double lambda, double mu, const ParallelContext& parallel,
+    const ExecControl* control);
+
+/// Serial, uncontrolled build (cannot fail).
 SimilarityGraph BuildSimilarityGraph(const InstanceVectors& vectors,
                                      const std::vector<Selection>& selections,
                                      double lambda, double mu);

@@ -7,6 +7,12 @@
 // (O(q · nnz)) replaces the per-iteration O(rows · k) residual algebra
 // and the per-refit O(rows · k²) QR with O(q·k) scoring and O(k²)
 // Cholesky updates.
+//
+// A GramSystem is immutable after BuildGramSystem returns: solvers only
+// read it, so one instance is safely shared by every lane of a parallel
+// per-product sweep (docs/execution-model.md) and by every cached
+// DesignSystem handed out by service/vector_cache.h. All mutable solver
+// state lives in SolverWorkspace (linalg/workspace.h) instead.
 
 #pragma once
 

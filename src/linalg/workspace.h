@@ -6,6 +6,17 @@
 // owns every scratch buffer SolveNompGram / SolveNnlsGram need; buffers
 // are resized (never shrunk) per call, so a warm workspace allocates
 // nothing. ThreadLocal() gives each pool worker its own instance.
+//
+// Lifetime and threading contract (docs/execution-model.md):
+//  - A workspace is scratch only: every buffer is fully overwritten by
+//    the solve that uses it, so which thread (and therefore which
+//    workspace) a problem lands on can never change the result — this
+//    is one leg of the parallel-equals-serial determinism guarantee.
+//  - ThreadLocal() instances live for the thread's lifetime and stay
+//    warm across requests; they are never shared between threads, so
+//    no synchronization is needed or performed.
+//  - A caller-supplied workspace must not be used from two threads at
+//    once; the parallel solve loops always use ThreadLocal().
 
 #pragma once
 

@@ -40,9 +40,10 @@ std::string ExactDouble(double value) {
 /// Result-memo key: the vector-cache key extended with the selector name
 /// and EVERY SelectorOptions field — a field added to SelectorOptions
 /// must be appended here, or the memo would serve stale responses for
-/// requests differing only in that field. (deadline_seconds / cancel are
-/// runtime controls, not options: they never change a completed solve's
-/// answer, so they are deliberately left out.)
+/// requests differing only in that field. (deadline_seconds / cancel /
+/// options.parallel are runtime controls, not options: they never change
+/// a completed solve's answer — parallel solves are bit-identical to
+/// serial — so they are deliberately left out.)
 std::string ResultKey(const std::string& prepare_key,
                       const SelectRequest& request) {
   std::string key = prepare_key;
@@ -264,7 +265,8 @@ Result<SelectResponse> SelectionEngine::SelectAttempt(
     const SelectRequest& request,
     std::shared_ptr<const IndexedCorpus> corpus,
     const std::string& prepare_key, const std::string& result_key,
-    const ExecControl& control, RequestTrace* trace) const {
+    const ExecControl& control, const ParallelContext& parallel,
+    RequestTrace* trace) const {
   COMPARESETS_RETURN_NOT_OK(StageCheck(control, "prepare"));
 
   Timer prepare_timer;
@@ -289,9 +291,14 @@ Result<SelectResponse> SelectionEngine::SelectAttempt(
   }
 
   const PreparedInstance& bundle = *prepared.value();
+  // The engine decides pool lending, not the caller: the request's
+  // options get the context chosen by the nesting rule (empty inside a
+  // pooled batch, the whole pool for a lone Select).
+  SelectorOptions solve_options = request.options;
+  solve_options.parallel = parallel;
   Timer solve_timer;
   auto solved =
-      selector.value()->Select(bundle.vectors, request.options, &control);
+      selector.value()->Select(bundle.vectors, solve_options, &control);
   double solve_seconds = solve_timer.ElapsedSeconds();
   trace->solve_seconds = solve_seconds;
   if (!solved.ok()) return solved.status();
@@ -342,6 +349,14 @@ Status SelectionEngine::FinishError(RequestTrace trace, Status status,
 
 Result<SelectResponse> SelectionEngine::Select(
     const SelectRequest& request) const {
+  // A lone request gets the whole pool for its internal fan-out,
+  // capped by max_intra_request_threads (docs/execution-model.md).
+  return SelectWithParallel(
+      request, ParallelContext{&pool_, options_.max_intra_request_threads});
+}
+
+Result<SelectResponse> SelectionEngine::SelectWithParallel(
+    const SelectRequest& request, const ParallelContext& parallel) const {
   metrics_.counter("engine.requests").Increment();
   Timer total;
 
@@ -353,17 +368,32 @@ Result<SelectResponse> SelectionEngine::Select(
   Deadline deadline(request.deadline_seconds);
   std::atomic<uint64_t> iterations{0};
   std::atomic<uint64_t> nnls_nonconverged{0};
-  ExecControl control{&deadline, request.cancel, &iterations,
-                      &nnls_nonconverged};
+  std::atomic<uint64_t> parallel_fanouts{0};
+  std::atomic<uint64_t> parallel_tasks{0};
+  SpanSink span_sink;
+  ExecControl control{&deadline,         request.cancel,  &iterations,
+                      &nnls_nonconverged, &parallel_fanouts, &parallel_tasks,
+                      &span_sink};
   // Folds the per-request solver tallies into the trace and the
   // registry; non-convergence is counted even on failed requests.
   auto record_solver_stats = [&] {
     trace.solver_iterations = iterations.load(std::memory_order_relaxed);
     trace.nnls_nonconverged =
         nnls_nonconverged.load(std::memory_order_relaxed);
+    trace.intra_parallel_fanouts =
+        parallel_fanouts.load(std::memory_order_relaxed);
+    trace.intra_parallel_tasks =
+        parallel_tasks.load(std::memory_order_relaxed);
+    trace.spans = span_sink.Take();
     if (trace.nnls_nonconverged > 0) {
       metrics_.counter("solver.nnls_nonconverged")
           .Increment(trace.nnls_nonconverged);
+    }
+    if (trace.intra_parallel_fanouts > 0) {
+      metrics_.counter("solver.intra_parallel_fanouts")
+          .Increment(trace.intra_parallel_fanouts);
+      metrics_.counter("solver.intra_parallel_tasks")
+          .Increment(trace.intra_parallel_tasks);
     }
   };
   auto fail = [&](Status status) -> Status {
@@ -428,7 +458,7 @@ Result<SelectResponse> SelectionEngine::Select(
   for (int attempt = 1;; ++attempt) {
     trace.attempts = attempt;
     auto outcome = SelectAttempt(request, corpus, prepare_key, result_key,
-                                 control, &trace);
+                                 control, parallel, &trace);
     if (outcome.ok()) {
       trace.status = "ok";
       record_solver_stats();
@@ -466,13 +496,20 @@ std::vector<Result<SelectResponse>> SelectionEngine::SelectBatch(
     // ParallelFor lets the caller thread participate, so even a 1-worker
     // pool runs two concurrent lanes. A single-threaded engine promises
     // serial in-order batches (so e.g. a repeated target is guaranteed to
-    // warm-hit the vector cache) — run inline instead.
+    // warm-hit the vector cache) — run inline instead. The requests run
+    // one at a time, so each may still lend the (idle) pool to its
+    // internal fan-out, exactly like a lone Select.
     for (size_t i = 0; i < requests.size(); ++i) {
       slots[i] = Select(requests[i]);
     }
   } else {
-    pool_.ParallelFor(requests.size(),
-                      [&](size_t i) { slots[i] = Select(requests[i]); });
+    // Nesting rule: the batch fan-out owns the pool, so the requests
+    // inside it solve with an empty context (intra-request fan-out from
+    // a pool worker would deadlock-prone re-enter the pool for no
+    // gain — the workers are already busy with sibling requests).
+    pool_.ParallelFor(requests.size(), [&](size_t i) {
+      slots[i] = SelectWithParallel(requests[i], ParallelContext{});
+    });
   }
 
   std::vector<Result<SelectResponse>> responses;

@@ -56,11 +56,18 @@
 namespace comparesets {
 
 struct EngineOptions {
-  /// Worker threads for SelectBatch (0 = hardware concurrency). With
-  /// 1, batches run serially in order on the calling thread, so a
-  /// repeated target later in the batch is guaranteed to warm-hit the
-  /// vector cache.
+  /// Worker threads in the engine's ONE pool (0 = hardware
+  /// concurrency). SelectBatch fans requests out over it; a single
+  /// Select lends it to the request's intra-request fan-out instead
+  /// (docs/execution-model.md). With 1, batches run serially in order
+  /// on the calling thread, so a repeated target later in the batch is
+  /// guaranteed to warm-hit the vector cache.
   size_t threads = 0;
+  /// Cap on the lanes one request's *internal* fan-out may use (the
+  /// per-item solves, CompaReSetS+ round refits, similarity-graph
+  /// rows). 0 = whole pool; 1 = solve serially. Runtime control only:
+  /// responses are bit-identical at every setting.
+  size_t max_intra_request_threads = 0;
   /// Max prepared instances kept warm. Size to the working set: one
   /// entry per (target, comparative set, opinion definition) queried.
   size_t cache_capacity = 256;
@@ -103,7 +110,9 @@ struct SelectRequest {
   std::vector<std::string> comparative_ids;
   /// Selector name, as accepted by MakeSelector.
   std::string selector = "CompaReSetS+";
-  /// m / λ / μ / seed / sync rounds.
+  /// m / λ / μ / seed / sync rounds. The `parallel` member is
+  /// overwritten by the engine — pool lending follows the nesting rule
+  /// (outer batch fan-out wins), never the caller's value.
   SelectorOptions options;
   /// Per-request latency budget, spanning queue wait + prepare + solve
   /// (<= 0: none). Expiry returns kDeadlineExceeded. Runtime control
@@ -155,14 +164,21 @@ class SelectionEngine {
   explicit SelectionEngine(std::shared_ptr<const IndexedCorpus> corpus,
                            EngineOptions options = {});
 
-  /// Answers one request. Unknown selector names, unknown target ids,
-  /// and unknown comparative ids return a Status (no crash paths);
-  /// deadline expiry / cancellation / admission overflow return
-  /// kDeadlineExceeded / kCancelled / kResourceExhausted.
+  /// Answers one request, lending the whole pool (capped by
+  /// max_intra_request_threads) to the request's internal per-item
+  /// fan-out. Unknown selector names, unknown target ids, and unknown
+  /// comparative ids return a Status (no crash paths); deadline expiry
+  /// / cancellation / admission overflow return kDeadlineExceeded /
+  /// kCancelled / kResourceExhausted.
   Result<SelectResponse> Select(const SelectRequest& request) const;
 
   /// Answers a batch concurrently on the internal pool. Responses are
   /// in request order; each request succeeds or fails independently.
+  /// Nesting rule: requests inside a pooled batch solve serially
+  /// internally (the pool is already saturated by the batch fan-out);
+  /// on a single-threaded engine the inline, in-order requests get the
+  /// intra-request context instead. Either way each response is
+  /// bit-identical to what Select would return.
   std::vector<Result<SelectResponse>> SelectBatch(
       const std::vector<SelectRequest>& requests) const;
 
@@ -207,14 +223,22 @@ class SelectionEngine {
   Status Admit(const Deadline& deadline, const CancelToken* cancel) const;
   void Release() const;
 
+  /// Select with an explicit intra-request context — the single place
+  /// the nesting rule is decided: Select passes the pool, a pooled
+  /// SelectBatch passes an empty context.
+  Result<SelectResponse> SelectWithParallel(
+      const SelectRequest& request, const ParallelContext& parallel) const;
+
   /// One try of the prepare → solve → memo pipeline (everything past
   /// admission and the memo lookup). Transient failures bubble up for
-  /// the retry loop in Select.
+  /// the retry loop in SelectWithParallel. `parallel` replaces the
+  /// request options' context before the solve.
   Result<SelectResponse> SelectAttempt(
       const SelectRequest& request,
       std::shared_ptr<const IndexedCorpus> corpus,
       const std::string& prepare_key, const std::string& result_key,
-      const ExecControl& control, RequestTrace* trace) const;
+      const ExecControl& control, const ParallelContext& parallel,
+      RequestTrace* trace) const;
 
   /// Records the trace and error counters of a failed request.
   Status FinishError(RequestTrace trace, Status status,

@@ -22,6 +22,22 @@ std::string RequestTrace::ToJson() const {
   object["result_cache_hit"] = result_cache_hit;
   object["solver_iterations"] = static_cast<int64_t>(solver_iterations);
   object["nnls_nonconverged"] = static_cast<int64_t>(nnls_nonconverged);
+  object["intra_parallel_fanouts"] = static_cast<int64_t>(intra_parallel_fanouts);
+  object["intra_parallel_tasks"] = static_cast<int64_t>(intra_parallel_tasks);
+  if (!spans.empty()) {
+    // Aggregate by name: parallel phases record spans in scheduling
+    // order, and a JSON object keyed by name keeps the line diffable.
+    JsonValue::Object span_object;
+    for (const TraceSpan& span : spans) {
+      auto it = span_object.find(span.name);
+      if (it == span_object.end()) {
+        span_object[span.name] = span.seconds;
+      } else {
+        it->second = JsonValue(it->second.as_number() + span.seconds);
+      }
+    }
+    object["spans"] = JsonValue(std::move(span_object));
+  }
   object["queue_seconds"] = queue_seconds;
   object["backoff_seconds"] = backoff_seconds;
   object["prepare_seconds"] = prepare_seconds;

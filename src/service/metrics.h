@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "util/cancellation.h"
+
 namespace comparesets {
 
 /// Monotonically increasing counter.
@@ -76,6 +78,11 @@ struct RequestTrace {
   bool result_cache_hit = false; ///< Whole response from the memo.
   uint64_t solver_iterations = 0;///< ExecControl checks during the solve.
   uint64_t nnls_nonconverged = 0;///< NNLS refits that hit their iteration cap.
+  uint64_t intra_parallel_fanouts = 0;///< Intra-request fan-outs (> 1 lane).
+  uint64_t intra_parallel_tasks = 0;  ///< Tasks those fan-outs distributed.
+  /// Named solver-phase timings (crs.items, compare_sets_plus.round, ...)
+  /// recorded through the request's SpanSink; repeated phases repeat.
+  std::vector<TraceSpan> spans;
   double queue_seconds = 0.0;    ///< Admission wait (0 when unthrottled).
   double backoff_seconds = 0.0;  ///< Total retry backoff slept.
   double prepare_seconds = 0.0;

@@ -8,6 +8,15 @@
 // a lookup hands out shared ownership, so an entry evicted (or
 // invalidated by a catalog swap) while a request is still computing on
 // it stays alive until that request finishes.
+//
+// Concurrency contract (docs/execution-model.md): the cache itself is
+// mutex-guarded, and a handed-out bundle is safe for any number of
+// concurrent readers — including the lanes of one request's
+// intra-request fan-out. The only mutation behind a bundle is the lazy
+// design-system memo (DesignSystemCache), which takes its own lock and
+// memoizes values that are pure functions of the immutable vectors, so
+// racing lanes at worst build the same system twice and keep one;
+// results are unaffected either way.
 
 #pragma once
 

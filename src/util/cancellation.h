@@ -16,11 +16,47 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/status.h"
 #include "util/timer.h"
 
 namespace comparesets {
+
+/// One named, timed phase of a request (e.g. "crs.items",
+/// "compare_sets_plus.round"). Repeated phases record repeated spans;
+/// consumers aggregate by name.
+struct TraceSpan {
+  std::string name;
+  double seconds = 0.0;
+};
+
+/// Thread-safe collector of TraceSpans for one request. The engine owns
+/// one per request and hands the selectors a pointer through
+/// ExecControl; worker threads may Record() concurrently. Span order is
+/// the order Record() calls complete, which for parallel phases is
+/// nondeterministic — consumers must not depend on it (RequestTrace
+/// serializes spans aggregated by name for this reason).
+class SpanSink {
+ public:
+  void Record(std::string name, double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back(TraceSpan{std::move(name), seconds});
+  }
+
+  /// Moves the collected spans out; the sink is empty afterwards.
+  std::vector<TraceSpan> Take() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::move(spans_);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+};
 
 /// One-shot cancellation flag shared between a requester and the worker
 /// executing its request. Thread-safe; cancelling is idempotent.
@@ -49,11 +85,28 @@ struct ExecControl {
   /// dual feasibility (silent non-convergence would otherwise vanish);
   /// feeds the request trace and the solver.nnls_nonconverged counter.
   std::atomic<uint64_t>* nnls_nonconverged = nullptr;
+  /// Incremented once per intra-request fan-out that actually went
+  /// parallel (util/parallel.h RunParallel with > 1 lane); feeds the
+  /// request trace and the solver.intra_parallel_fanouts counter.
+  std::atomic<uint64_t>* parallel_fanouts = nullptr;
+  /// Incremented by the task count of each such fan-out; feeds the
+  /// request trace and the solver.intra_parallel_tasks counter.
+  std::atomic<uint64_t>* parallel_tasks = nullptr;
+  /// Destination for named phase timings (nullptr = don't record).
+  /// Shared across the request's worker threads; SpanSink locks.
+  SpanSink* spans = nullptr;
 
   /// Counts one iteration, then reports whether work should continue.
   /// `where` names the loop for the error message ("nomp", "nnls", ...).
   Status Check(const char* where) const;
 };
+
+/// Records a span on a possibly-null control / possibly-null sink.
+inline void RecordSpan(const ExecControl* control, const char* name,
+                       double seconds) {
+  if (control == nullptr || control->spans == nullptr) return;
+  control->spans->Record(name, seconds);
+}
 
 /// Check() on a possibly-null control: the pattern every solver uses.
 inline Status CheckExec(const ExecControl* control, const char* where) {

@@ -1,0 +1,38 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/cancellation.h"
+#include "util/thread_pool.h"
+
+namespace comparesets {
+
+size_t ParallelContext::Lanes(size_t n) const {
+  if (pool == nullptr || n <= 1) return std::min<size_t>(n, 1);
+  size_t lanes = pool->num_threads() + 1;  // Workers + the calling thread.
+  if (max_threads > 0) lanes = std::min(lanes, max_threads);
+  return std::max<size_t>(1, std::min(lanes, n));
+}
+
+size_t RunParallel(const ParallelContext& context, size_t n,
+                   const std::function<void(size_t)>& body,
+                   const ExecControl* control) {
+  size_t lanes = context.Lanes(n);
+  if (lanes <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return 1;
+  }
+  if (control != nullptr) {
+    if (control->parallel_fanouts != nullptr) {
+      control->parallel_fanouts->fetch_add(1, std::memory_order_relaxed);
+    }
+    if (control->parallel_tasks != nullptr) {
+      control->parallel_tasks->fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  context.pool->ParallelFor(n, body, lanes);
+  return lanes;
+}
+
+}  // namespace comparesets

@@ -47,10 +47,12 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                             size_t max_lanes) {
   if (n == 0) return;
-  if (n == 1) {
-    body(0);
+  if (n == 1 || max_lanes == 1) {
+    // A single lane runs inline, in index order, with no queue traffic.
+    for (size_t i = 0; i < n; ++i) body(i);
     return;
   }
 
@@ -84,6 +86,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
   // after claiming an index, and all indices are claimed before this
   // call returns (we wait on done == n below).
   size_t helpers = std::min(num_threads(), n - 1);
+  if (max_lanes > 0) helpers = std::min(helpers, max_lanes - 1);
   for (size_t t = 0; t < helpers; ++t) Submit(drain);
   drain();
 

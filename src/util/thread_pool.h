@@ -8,6 +8,11 @@
 //   * ParallelFor(n, fn)  — block until fn(0..n-1) all ran. The calling
 //     thread participates in the loop, so ParallelFor makes progress
 //     even on a fully busy (or 1-thread) pool.
+//
+// Ownership model (docs/execution-model.md): a process typically holds
+// ONE pool per engine, sized to the hardware, and lends it out — batch
+// fan-out and intra-request fan-out (util/parallel.h) share it rather
+// than each spawning threads, so the process never oversubscribes.
 
 #pragma once
 
@@ -21,6 +26,10 @@
 
 namespace comparesets {
 
+/// Fixed-size FIFO worker pool. Thread-safety: every member function is
+/// safe to call from any thread; the destructor must not race live
+/// Submit/ParallelFor calls (join callers before destroying the pool —
+/// the engine does this by owning the pool last-declared).
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (0 = hardware concurrency, min 1).
@@ -32,17 +41,31 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Number of worker threads (constant for the pool's lifetime). A
+  /// ParallelFor caller adds one extra lane on top of this.
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues a task; runs on some worker thread. Tasks must not throw.
+  /// Enqueues a task; runs on some worker thread, FIFO order. Tasks
+  /// must not throw (the pool has no exception channel); report
+  /// failures through state captured by the task.
   void Submit(std::function<void()> task);
 
   /// Runs body(i) for every i in [0, n), distributing indices over the
-  /// workers and the calling thread; returns when all n ran. The body
-  /// must not throw; report failures through captured state (Status).
+  /// workers and the calling thread; returns when all n ran. Indices
+  /// are claimed dynamically (uneven per-index work balances itself);
+  /// completion order is unspecified. The body must not throw; report
+  /// failures through captured per-index state (e.g. a Status slot).
+  ///
+  /// `max_lanes` caps the concurrency, counting the calling thread:
+  /// at most max_lanes − 1 helper tasks are enqueued (0 = no cap, use
+  /// every worker; 1 = run the whole loop inline on the caller).
+  ///
   /// Safe to call from multiple threads concurrently (each call claims
-  /// its own index range), but not reentrantly from inside a body.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+  /// its own index range), but not reentrantly from inside a body —
+  /// nested fan-out must follow the outer-wins rule instead
+  /// (docs/execution-model.md).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                   size_t max_lanes = 0);
 
   /// Resolves a thread-count request: 0 means hardware concurrency and
   /// the result is clamped to [1, max_useful].

@@ -3,7 +3,8 @@
 //   comparesets stats   [--category C | --reviews F --metadata F]
 //   comparesets select  [data flags] [--target ID] [--algorithm A] [--m N]
 //   comparesets narrow  [data flags] [--target ID] [--k N] [--m N]
-//   comparesets serve   [data flags] [--queries F] [--threads N] [--metrics]
+//   comparesets serve   [data flags] [--queries F] [--threads N]
+//                       [--intra_threads N] [--metrics]
 //                       [--deadline_ms D] [--max_in_flight N] [--retries R]
 //                       [--trace_out F]
 //
@@ -219,6 +220,8 @@ int RunServe(const FlagParser& flags) {
 
   EngineOptions engine_options;
   engine_options.threads = static_cast<size_t>(flags.GetInt("threads"));
+  engine_options.max_intra_request_threads =
+      static_cast<size_t>(flags.GetInt("intra_threads"));
   engine_options.cache_capacity =
       static_cast<size_t>(flags.GetInt("cache_capacity"));
   engine_options.max_in_flight =
@@ -344,6 +347,9 @@ int main(int argc, char** argv) {
   flags.AddString("prefix", "corpus", "output path prefix (export)");
   flags.AddString("queries", "", "query file for serve (default: stdin)");
   flags.AddInt("threads", 0, "engine worker threads (0 = hardware)");
+  flags.AddInt("intra_threads", 0,
+               "lane cap for one request's internal fan-out"
+               " (0 = whole pool, 1 = serial solve)");
   flags.AddInt("cache_capacity", 256, "engine vector-cache entries");
   flags.AddBool("metrics", false, "dump engine metrics after serve");
   flags.AddDouble("deadline_ms", 0.0,

@@ -1,0 +1,74 @@
+# Fails on broken relative links in the repo's markdown. Run as:
+#
+#   cmake -P tools/md_link_check.cmake
+#
+# Every `[text](target)` (and image `![alt](target)`) in a tracked *.md
+# file is resolved against that file's directory; a target that is not
+# an existing file or directory fails the check. External schemes
+# (http://, https://, mailto:) and pure in-page anchors (#section) are
+# skipped; a `path#anchor` link is checked for the file part only.
+# Build trees and vendored sources are excluded so only authored docs
+# gate CI (the `docs` job and the `docs_link_check` ctest both run
+# this script).
+cmake_minimum_required(VERSION 3.16)
+
+get_filename_component(repo_root "${CMAKE_CURRENT_LIST_DIR}/.." ABSOLUTE)
+file(GLOB_RECURSE md_files RELATIVE "${repo_root}" "${repo_root}/*.md")
+
+set(errors "")
+set(files_checked 0)
+set(links_checked 0)
+
+foreach(md_file IN LISTS md_files)
+  # Skip anything under a build tree or .git — only authored markdown.
+  if(md_file MATCHES "(^|/)(build[^/]*|\\.git|_deps)/")
+    continue()
+  endif()
+  math(EXPR files_checked "${files_checked} + 1")
+  get_filename_component(md_dir "${repo_root}/${md_file}" DIRECTORY)
+  file(READ "${repo_root}/${md_file}" contents)
+
+  # Matches like "](a.md)" contain unbalanced brackets, which defeats
+  # CMake list splitting of MATCHALL output — so scan iteratively:
+  # match the first link, process it, chop past it, repeat.
+  set(rest "${contents}")
+  while(TRUE)
+    string(REGEX MATCH "\\]\\(([^)\n]+)\\)" link "${rest}")
+    if(link STREQUAL "")
+      break()
+    endif()
+    set(target "${CMAKE_MATCH_1}")
+    string(FIND "${rest}" "${link}" link_pos)
+    string(LENGTH "${link}" link_len)
+    math(EXPR chop_at "${link_pos} + ${link_len}")
+    string(SUBSTRING "${rest}" ${chop_at} -1 rest)
+    # Drop an optional link "title" suffix.
+    string(REGEX REPLACE "[ \t]+\"[^\"]*\"$" "" target "${target}")
+    if(target MATCHES "^[a-zA-Z][a-zA-Z0-9+.-]*:")
+      continue()  # http://, https://, mailto:, ... — external.
+    endif()
+    if(target MATCHES "^#")
+      continue()  # In-page anchor.
+    endif()
+    string(REGEX REPLACE "#[^#]*$" "" target "${target}")
+    if(target STREQUAL "")
+      continue()
+    endif()
+    math(EXPR links_checked "${links_checked} + 1")
+    if(target MATCHES "^/")
+      set(resolved "${repo_root}${target}")
+    else()
+      set(resolved "${md_dir}/${target}")
+    endif()
+    if(NOT EXISTS "${resolved}")
+      string(APPEND errors "  ${md_file}: broken link -> ${target}\n")
+    endif()
+  endwhile()
+endforeach()
+
+if(errors)
+  message(FATAL_ERROR "md_link_check: broken relative links:\n${errors}")
+endif()
+message(STATUS
+    "md_link_check: ${links_checked} relative links OK across "
+    "${files_checked} markdown files")
