@@ -64,41 +64,7 @@ std::string ResultKey(const std::string& prepare_key,
   return key;
 }
 
-/// Failures worth retrying: spurious backend errors (kInternal — notably
-/// injected faults — and kIOError). Bad ids, bad arguments, deadline
-/// expiry and cancellation are final on first occurrence.
-bool IsTransientCode(StatusCode code) {
-  return code == StatusCode::kInternal || code == StatusCode::kIOError;
-}
-
-/// Deadline/cancel check at an engine stage boundary. Unlike
-/// ExecControl::Check this does not tick the solver-iteration counter —
-/// that counter measures work inside the solvers, not engine plumbing.
-Status StageCheck(const ExecControl& control, const char* where) {
-  if (control.cancel != nullptr && control.cancel->cancelled()) {
-    return Status::Cancelled(std::string("request cancelled before ") + where);
-  }
-  if (control.deadline != nullptr && control.deadline->Expired()) {
-    return Status::DeadlineExceeded(std::string("deadline exceeded before ") +
-                                    where);
-  }
-  return Status::OK();
-}
-
 }  // namespace
-
-/// Frees the admission slot taken by a successful Admit (RAII, so every
-/// early return in Select releases exactly once).
-struct SelectionEngine::AdmissionSlot {
-  const SelectionEngine* engine = nullptr;
-
-  AdmissionSlot() = default;
-  AdmissionSlot(const AdmissionSlot&) = delete;
-  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
-  ~AdmissionSlot() {
-    if (engine != nullptr) engine->Release();
-  }
-};
 
 SelectionEngine::SelectionEngine(std::shared_ptr<const IndexedCorpus> corpus,
                                  EngineOptions options)
@@ -106,12 +72,27 @@ SelectionEngine::SelectionEngine(std::shared_ptr<const IndexedCorpus> corpus,
       corpus_(std::move(corpus)),
       cache_(options.cache_capacity),
       pool_(options.threads) {
+  if (options_.pipeline == nullptr) {
+    // Standalone engine: a private pipeline from the engine's own
+    // knobs, behaving exactly like the pre-extraction admission/retry.
+    PipelineOptions pipeline_options;
+    pipeline_options.max_in_flight = options_.max_in_flight;
+    pipeline_options.max_queue = options_.max_queue;
+    pipeline_options.max_attempts = options_.max_attempts;
+    pipeline_options.retry_backoff_seconds = options_.retry_backoff_seconds;
+    options_.pipeline = std::make_shared<RequestPipeline>(pipeline_options);
+  }
   metrics_.SetTraceCapacity(options_.trace_capacity);
 }
 
 std::shared_ptr<const IndexedCorpus> SelectionEngine::corpus() const {
   std::lock_guard<std::mutex> lock(corpus_mutex_);
   return corpus_;
+}
+
+uint64_t SelectionEngine::corpus_epoch() const {
+  std::lock_guard<std::mutex> lock(corpus_mutex_);
+  return corpus_epoch_;
 }
 
 Status SelectionEngine::SwapCorpus(
@@ -171,47 +152,6 @@ void SelectionEngine::ResultStore(const std::string& key,
   result_index_[key] = result_lru_.begin();
 }
 
-Status SelectionEngine::Admit(const Deadline& deadline,
-                              const CancelToken* cancel) const {
-  if (options_.max_in_flight == 0) return Status::OK();
-  std::unique_lock<std::mutex> lock(admission_mutex_);
-  if (in_flight_ < options_.max_in_flight) {
-    ++in_flight_;
-    return Status::OK();
-  }
-  if (queued_ >= options_.max_queue) {
-    return Status::ResourceExhausted(
-        "admission queue full (" + std::to_string(in_flight_) +
-        " in flight, " + std::to_string(queued_) + " queued)");
-  }
-  ++queued_;
-  while (in_flight_ >= options_.max_in_flight) {
-    if (cancel != nullptr && cancel->cancelled()) {
-      --queued_;
-      return Status::Cancelled("request cancelled while queued");
-    }
-    if (deadline.Expired()) {
-      --queued_;
-      return Status::DeadlineExceeded("deadline exceeded while queued");
-    }
-    // Bounded wait: a release notifies, but cancellation and deadlines
-    // have no notification channel, so poll them a few times per tick.
-    double wait = std::clamp(deadline.RemainingSeconds(), 0.0, 0.005);
-    admission_cv_.wait_for(lock, std::chrono::duration<double>(wait));
-  }
-  --queued_;
-  ++in_flight_;
-  return Status::OK();
-}
-
-void SelectionEngine::Release() const {
-  {
-    std::lock_guard<std::mutex> lock(admission_mutex_);
-    --in_flight_;
-  }
-  admission_cv_.notify_one();
-}
-
 Result<std::shared_ptr<const PreparedInstance>> SelectionEngine::Prepare(
     std::shared_ptr<const IndexedCorpus> corpus, const std::string& key,
     const SelectRequest& request, bool* cache_hit) const {
@@ -267,7 +207,7 @@ Result<SelectResponse> SelectionEngine::SelectAttempt(
     const std::string& prepare_key, const std::string& result_key,
     const ExecControl& control, const ParallelContext& parallel,
     RequestTrace* trace) const {
-  COMPARESETS_RETURN_NOT_OK(StageCheck(control, "prepare"));
+  COMPARESETS_RETURN_NOT_OK(CheckLive(control, "prepare"));
 
   Timer prepare_timer;
   bool cache_hit = false;
@@ -284,7 +224,7 @@ Result<SelectResponse> SelectionEngine::SelectAttempt(
   auto selector = MakeSelector(request.selector);
   if (!selector.ok()) return selector.status();
 
-  COMPARESETS_RETURN_NOT_OK(StageCheck(control, "solve"));
+  COMPARESETS_RETURN_NOT_OK(CheckLive(control, "solve"));
   if (options_.fault_injector) {
     COMPARESETS_RETURN_NOT_OK(
         options_.fault_injector->Inject(FaultSite::kSolve));
@@ -362,6 +302,7 @@ Result<SelectResponse> SelectionEngine::SelectWithParallel(
 
   RequestTrace trace;
   trace.request_id = next_request_id_.fetch_add(1) + 1;
+  trace.shard_id = options_.shard_id;
   trace.target_id = request.target_id;
   trace.selector = request.selector;
 
@@ -412,6 +353,7 @@ Result<SelectResponse> SelectionEngine::SelectWithParallel(
     corpus = corpus_;
     epoch = corpus_epoch_;
   }
+  trace.corpus_epoch = epoch;
   std::string prepare_key = CacheKey(epoch, options_.opinion, request);
 
   // An exactly repeated request is answered from the result memo —
@@ -440,52 +382,44 @@ Result<SelectResponse> SelectionEngine::SelectWithParallel(
     metrics_.counter("engine.result_misses").Increment();
   }
 
-  // Admission: take a slot or wait in the bounded queue.
-  AdmissionSlot slot;
-  if (options_.max_in_flight > 0) {
+  // Admission: take a slot or wait in the bounded queue. The pipeline
+  // may be shared across shard engines, in which case the slot budget
+  // spans all of them.
+  RequestPipeline& pipeline = *options_.pipeline;
+  RequestPipeline::Slot slot;
+  if (pipeline.throttled()) {
     Timer queue_timer;
-    Status admitted = Admit(deadline, request.cancel);
+    Status admitted = pipeline.Admit(deadline, request.cancel);
     trace.queue_seconds = queue_timer.ElapsedSeconds();
     metrics_.histogram("engine.queue_seconds").Observe(trace.queue_seconds);
     if (!admitted.ok()) return fail(std::move(admitted));
-    slot.engine = this;
+    slot.Arm(&pipeline);
   }
 
   // Attempt loop: transient failures (injected faults, backend errors)
   // retry with exponential backoff; everything else is final.
-  int max_attempts = std::max(1, options_.max_attempts);
-  double backoff = std::max(0.0, options_.retry_backoff_seconds);
-  for (int attempt = 1;; ++attempt) {
-    trace.attempts = attempt;
-    auto outcome = SelectAttempt(request, corpus, prepare_key, result_key,
-                                 control, parallel, &trace);
-    if (outcome.ok()) {
-      trace.status = "ok";
-      record_solver_stats();
-      trace.total_seconds = total.ElapsedSeconds();
-      SelectResponse response = std::move(outcome).value();
-      response.trace = trace;
-      metrics_.RecordTrace(std::move(trace));
-      metrics_.histogram("engine.request_seconds")
-          .Observe(response.trace.total_seconds);
-      return response;
-    }
-    Status status = outcome.status();
-    if (!IsTransientCode(status.code()) || attempt >= max_attempts) {
-      return fail(std::move(status));
-    }
-    metrics_.counter("engine.retries").Increment();
-    double sleep_seconds =
-        std::min(backoff, std::max(0.0, deadline.RemainingSeconds()));
-    if (sleep_seconds > 0.0) {
-      std::this_thread::sleep_for(
-          std::chrono::duration<double>(sleep_seconds));
-      trace.backoff_seconds += sleep_seconds;
-    }
-    backoff *= 2.0;
-    Status still_live = StageCheck(control, "retry");
-    if (!still_live.ok()) return fail(std::move(still_live));
-  }
+  auto outcome = pipeline.RunWithRetries(
+      control, deadline,
+      [&](int attempt) {
+        trace.attempts = attempt;
+        return SelectAttempt(request, corpus, prepare_key, result_key,
+                             control, parallel, &trace);
+      },
+      [&](double slept_seconds) {
+        metrics_.counter("engine.retries").Increment();
+        trace.backoff_seconds += slept_seconds;
+      });
+  if (!outcome.ok()) return fail(outcome.status());
+
+  trace.status = "ok";
+  record_solver_stats();
+  trace.total_seconds = total.ElapsedSeconds();
+  SelectResponse response = std::move(outcome).value();
+  response.trace = trace;
+  metrics_.RecordTrace(std::move(trace));
+  metrics_.histogram("engine.request_seconds")
+      .Observe(response.trace.total_seconds);
+  return response;
 }
 
 std::vector<Result<SelectResponse>> SelectionEngine::SelectBatch(
@@ -518,7 +452,7 @@ std::vector<Result<SelectResponse>> SelectionEngine::SelectBatch(
   return responses;
 }
 
-std::string SelectionEngine::DumpMetrics() const {
+void SelectionEngine::RefreshGauges() const {
   VectorCacheStats stats = cache_.Stats();
   metrics_.SetGauge("cache.entries", static_cast<double>(stats.entries));
   metrics_.SetGauge("cache.approx_bytes",
@@ -529,7 +463,22 @@ std::string SelectionEngine::DumpMetrics() const {
     metrics_.SetGauge("result_cache.entries",
                       static_cast<double>(result_lru_.size()));
   }
+}
+
+std::string SelectionEngine::DumpMetrics() const {
+  RefreshGauges();
   return metrics_.Dump();
+}
+
+MetricsSnapshot SelectionEngine::SnapshotMetrics() const {
+  RefreshGauges();
+  return metrics_.Snapshot();
+}
+
+std::string SelectionEngine::RenderPrometheus() const {
+  RefreshGauges();
+  return metrics_.RenderPrometheus("shard=\"" +
+                                   std::to_string(options_.shard_id) + "\"");
 }
 
 Result<std::vector<InstanceSolve>> SelectionEngine::SolveInstances(

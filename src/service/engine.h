@@ -16,11 +16,11 @@
 //     a CancelToken; both are threaded as an ExecControl into the
 //     selector/NOMP/NNLS inner loops, so a blowup returns
 //     kDeadlineExceeded / kCancelled instead of hanging a pool worker.
-//   * Admission control — with max_in_flight set, excess requests wait
-//     in a bounded queue; overflow is refused with kResourceExhausted.
-//   * Retry with backoff — transient failures (injected faults, cache
-//     backend errors) are retried up to max_attempts with exponential
-//     backoff, never past the request's deadline.
+//   * Admission control & retry — both live in a RequestPipeline
+//     (service/request_pipeline.h). A standalone engine builds its own
+//     private pipeline from the knobs below; a ShardRouter passes one
+//     shared pipeline to all its shard engines so the admission budget
+//     spans the whole router.
 //   * Fault injection — a deterministic FaultInjector can be installed
 //     at the cache-lookup, solve, and corpus-swap seams so tests force
 //     timeouts, spurious errors, and slow paths reproducibly.
@@ -35,7 +35,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -48,6 +47,7 @@
 #include "service/fault_injector.h"
 #include "service/indexed_corpus.h"
 #include "service/metrics.h"
+#include "service/request_pipeline.h"
 #include "service/vector_cache.h"
 #include "util/cancellation.h"
 #include "util/status.h"
@@ -83,7 +83,8 @@ struct EngineOptions {
   /// O(pairs · text) per request; serving paths may turn it off).
   bool measure_alignment = true;
   /// Admission control: max requests solving at once (0 = unthrottled).
-  /// Excess requests wait in the admission queue.
+  /// Excess requests wait in the admission queue. Ignored when an
+  /// external `pipeline` is supplied — the pipeline's options rule.
   size_t max_in_flight = 0;
   /// Waiting slots beyond max_in_flight. A request arriving when the
   /// queue is full is refused with kResourceExhausted.
@@ -100,6 +101,15 @@ struct EngineOptions {
   /// Deterministic fault injection at the engine's seams (tests /
   /// chaos drills); nullptr = no faults.
   std::shared_ptr<FaultInjector> fault_injector;
+  /// Stable shard id, stamped into every RequestTrace and used as the
+  /// Prometheus `shard` label. 0 for an unsharded engine.
+  size_t shard_id = 0;
+  /// Admission/retry policy shared with other engines. nullptr = the
+  /// engine builds a private RequestPipeline from the four knobs above
+  /// (the standalone behaviour). A ShardRouter installs one pipeline
+  /// across all its shard engines so max_in_flight is a router-wide
+  /// budget, not per-shard.
+  std::shared_ptr<RequestPipeline> pipeline;
 };
 
 struct SelectRequest {
@@ -191,11 +201,24 @@ class SelectionEngine {
   /// Current catalog snapshot.
   std::shared_ptr<const IndexedCorpus> corpus() const;
 
+  /// Epoch of the current snapshot: 0 at construction, +1 per
+  /// SwapCorpus. Shard-local — one shard swapping never moves another
+  /// shard's epoch, which is what keeps the others' caches warm.
+  uint64_t corpus_epoch() const;
+
   const EngineOptions& options() const { return options_; }
   VectorCacheStats CacheStats() const { return cache_.Stats(); }
 
   /// Text dump of counters/gauges/histograms (cache stats refreshed).
   std::string DumpMetrics() const;
+
+  /// Point-in-time copy of the engine's instruments (cache stats
+  /// refreshed) — what a router aggregates into rollups.
+  MetricsSnapshot SnapshotMetrics() const;
+
+  /// Prometheus text exposition of this engine's metrics, labeled
+  /// shard="<shard_id>".
+  std::string RenderPrometheus() const;
 
   /// The per-request trace ring as JSONL, oldest first.
   std::string DumpTraces() const { return metrics_.DumpTracesJsonl(); }
@@ -215,14 +238,6 @@ class SelectionEngine {
       const ExecControl* control = nullptr);
 
  private:
-  /// Releases one admission slot on destruction (RAII).
-  struct AdmissionSlot;
-
-  /// Blocks until the request may run (or fails with
-  /// kResourceExhausted / kDeadlineExceeded / kCancelled).
-  Status Admit(const Deadline& deadline, const CancelToken* cancel) const;
-  void Release() const;
-
   /// Select with an explicit intra-request context — the single place
   /// the nesting rule is decided: Select passes the pool, a pooled
   /// SelectBatch passes an empty context.
@@ -257,6 +272,10 @@ class SelectionEngine {
   void ResultStore(const std::string& key, const SelectResponse& response)
       const;
 
+  /// Publishes cache sizes as gauges (shared by DumpMetrics and
+  /// SnapshotMetrics so both report fresh values).
+  void RefreshGauges() const;
+
   EngineOptions options_;
   mutable std::mutex corpus_mutex_;
   std::shared_ptr<const IndexedCorpus> corpus_;
@@ -275,12 +294,6 @@ class SelectionEngine {
   mutable std::list<ResultEntry> result_lru_;
   mutable std::unordered_map<std::string, std::list<ResultEntry>::iterator>
       result_index_;
-
-  /// Admission control state (only consulted when max_in_flight > 0).
-  mutable std::mutex admission_mutex_;
-  mutable std::condition_variable admission_cv_;
-  mutable size_t in_flight_ = 0;
-  mutable size_t queued_ = 0;
 
   mutable std::atomic<uint64_t> next_request_id_{0};
   mutable MetricsRegistry metrics_;

@@ -14,14 +14,19 @@ const char* FaultSiteName(FaultSite site) {
       return "solve";
     case FaultSite::kCorpusSwap:
       return "corpus_swap";
+    case FaultSite::kRoute:
+      return "route";
+    case FaultSite::kGather:
+      return "gather";
   }
   return "unknown";
 }
 
 FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {
-  const SiteFaults* faults[3] = {&plan_.cache_lookup, &plan_.solve,
-                                 &plan_.corpus_swap};
-  for (int i = 0; i < 3; ++i) {
+  const SiteFaults* faults[5] = {&plan_.cache_lookup, &plan_.solve,
+                                 &plan_.corpus_swap, &plan_.route,
+                                 &plan_.gather};
+  for (int i = 0; i < 5; ++i) {
     sites_[i].faults = *faults[i];
     // One PCG stream per site: the seam index picks the stream, so the
     // dice at one seam are independent of how often the others roll.

@@ -30,6 +30,8 @@ enum class FaultSite {
   kCacheLookup = 0,  ///< VectorCache lookup inside Prepare.
   kSolve,            ///< Just before the selector runs.
   kCorpusSwap,       ///< Inside SwapCorpus, before the snapshot flips.
+  kRoute,            ///< ShardRouter, before resolving the target's shard.
+  kGather,           ///< ShardRouter, before each shard's gather task runs.
 };
 
 /// Stable lowercase name for a fault site ("cache_lookup", ...).
@@ -56,6 +58,8 @@ struct FaultPlan {
   SiteFaults cache_lookup;
   SiteFaults solve;
   SiteFaults corpus_swap;
+  SiteFaults route;
+  SiteFaults gather;
 };
 
 /// Thread-safe injector. Each site draws from its own PCG stream
@@ -87,7 +91,7 @@ class FaultInjector {
 
   FaultPlan plan_;
   std::mutex mutex_;
-  SiteState sites_[3];
+  SiteState sites_[5];
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> delays_{0};
 };

@@ -2,6 +2,15 @@
 
 namespace comparesets {
 
+std::string ShardKeyRange::ToString() const {
+  std::string out = "[";
+  out += begin.empty() ? "-inf" : begin;
+  out += ", ";
+  out += end.empty() ? "+inf" : end;
+  out += ")";
+  return out;
+}
+
 Result<std::shared_ptr<const IndexedCorpus>> IndexedCorpus::Build(
     Corpus corpus, const InstanceOptions& options) {
   std::shared_ptr<IndexedCorpus> indexed(new IndexedCorpus());
@@ -14,6 +23,46 @@ Result<std::shared_ptr<const IndexedCorpus>> IndexedCorpus::Build(
   if (indexed->instances_.empty()) {
     return Status::InvalidArgument(
         "corpus yields no problem instances (too few linked products?)");
+  }
+  indexed->by_target_.reserve(indexed->instances_.size());
+  for (size_t i = 0; i < indexed->instances_.size(); ++i) {
+    indexed->by_target_.emplace(indexed->instances_[i].target().id, i);
+  }
+  return std::shared_ptr<const IndexedCorpus>(std::move(indexed));
+}
+
+Result<std::shared_ptr<const IndexedCorpus>> IndexedCorpus::BuildFromInstances(
+    Corpus corpus,
+    const std::vector<std::vector<std::string>>& instance_item_ids,
+    const ShardSpec& shard) {
+  if (instance_item_ids.empty()) {
+    return Status::InvalidArgument("shard " + shard.range.ToString() +
+                                   " holds no instances");
+  }
+  std::shared_ptr<IndexedCorpus> indexed(new IndexedCorpus());
+  indexed->corpus_ = std::move(corpus);
+  if (!indexed->corpus_.finalized()) indexed->corpus_.Finalize();
+  indexed->shard_ = shard;
+
+  // Re-point each id at this corpus's product storage; the enumeration
+  // itself (which targets, which comparatives, in what order) was fixed
+  // by the caller and is reproduced verbatim.
+  indexed->instances_.reserve(instance_item_ids.size());
+  for (const std::vector<std::string>& item_ids : instance_item_ids) {
+    ProblemInstance instance;
+    instance.items.reserve(item_ids.size());
+    for (const std::string& id : item_ids) {
+      const Product* product = indexed->corpus_.Find(id);
+      if (product == nullptr) {
+        return Status::Internal(
+            "instance references product absent from shard corpus: " + id);
+      }
+      instance.items.push_back(product);
+    }
+    if (instance.items.empty()) {
+      return Status::InvalidArgument("instance with no items");
+    }
+    indexed->instances_.push_back(std::move(instance));
   }
   indexed->by_target_.reserve(indexed->instances_.size());
   for (size_t i = 0; i < indexed->instances_.size(); ++i) {

@@ -21,6 +21,34 @@
 
 namespace comparesets {
 
+/// Half-open lexicographic product-id range [begin, end). An empty
+/// bound is unbounded on that side, so {"", ""} covers the whole key
+/// space — the range of an unsharded snapshot.
+struct ShardKeyRange {
+  std::string begin;  ///< Inclusive; "" = from the start of the key space.
+  std::string end;    ///< Exclusive; "" = to the end of the key space.
+
+  bool Contains(const std::string& id) const {
+    if (!begin.empty() && id < begin) return false;
+    if (!end.empty() && id >= end) return false;
+    return true;
+  }
+
+  /// "[begin, end)" with empty bounds rendered as -inf/+inf.
+  std::string ToString() const;
+};
+
+/// Which slice of a partitioned catalog a snapshot covers. The default
+/// spec describes an unsharded corpus: shard 0 of 1, unbounded range.
+struct ShardSpec {
+  size_t shard_id = 0;
+  size_t num_shards = 1;
+  /// Targets (routing keys) this shard owns. The shard corpus may hold
+  /// *more* products than the range — the closure of products its
+  /// instances reference as comparatives.
+  ShardKeyRange range;
+};
+
 class IndexedCorpus {
  public:
   /// Takes ownership of `corpus` (finalizing it if needed), enumerates
@@ -28,6 +56,18 @@ class IndexedCorpus {
   /// Fails when the corpus yields no instances.
   static Result<std::shared_ptr<const IndexedCorpus>> Build(
       Corpus corpus, const InstanceOptions& options = {});
+
+  /// Builds a snapshot from a pre-enumerated instance list instead of
+  /// re-running BuildInstances: each entry is one instance's item-id
+  /// list (target first), re-resolved against `corpus`'s own product
+  /// storage. This is how CorpusPartitioner guarantees shard instances
+  /// are bit-identical to the full corpus's enumeration — the filter
+  /// ran once, globally, and shards only re-point the ids. Fails when
+  /// the list is empty or references a product absent from `corpus`.
+  static Result<std::shared_ptr<const IndexedCorpus>> BuildFromInstances(
+      Corpus corpus,
+      const std::vector<std::vector<std::string>>& instance_item_ids,
+      const ShardSpec& shard = {});
 
   const Corpus& corpus() const { return corpus_; }
   const std::string& name() const { return corpus_.name(); }
@@ -46,12 +86,17 @@ class IndexedCorpus {
     return corpus_.Find(product_id);
   }
 
+  /// Which slice of a partitioned catalog this snapshot covers
+  /// (the default unbounded spec for an unsharded corpus).
+  const ShardSpec& shard() const { return shard_; }
+
  private:
   IndexedCorpus() = default;
 
   Corpus corpus_;
   std::vector<ProblemInstance> instances_;
   std::unordered_map<std::string, size_t> by_target_;
+  ShardSpec shard_;
 };
 
 }  // namespace comparesets

@@ -14,6 +14,8 @@ std::string RequestTrace::ToJson() const {
   // std::map member order gives stable, diffable key order.
   JsonValue::Object object;
   object["request_id"] = static_cast<int64_t>(request_id);
+  object["shard_id"] = static_cast<int64_t>(shard_id);
+  object["corpus_epoch"] = static_cast<int64_t>(corpus_epoch);
   object["target_id"] = target_id;
   object["selector"] = selector;
   object["status"] = status;
@@ -116,6 +118,140 @@ std::string MetricsRegistry::DumpTracesJsonl() const {
     out += '\n';
   }
   return out;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  // Copy instrument pointers under the lock, then read them unlocked
+  // (counters are atomic; histograms snapshot under their own lock).
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  MetricsSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+    for (const auto& [name, v] : gauges_) snapshot.gauges.emplace_back(name, v);
+  }
+  for (const auto& [name, c] : counters) {
+    snapshot.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, h] : histograms) {
+    snapshot.histograms.emplace_back(name, h->Snapshot());
+  }
+  return snapshot;
+}
+
+namespace {
+
+/// Prometheus metric names admit [a-zA-Z0-9_:] only; the registry's
+/// dotted names map dots (and anything else exotic) to underscores.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// `name{labels}` or bare `name` when the label set is empty.
+std::string Labeled(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+/// Same, with `le` appended to whatever labels are present.
+std::string LabeledLe(const std::string& name, const std::string& labels,
+                      const std::string& le) {
+  std::string inner = labels.empty() ? "" : labels + ",";
+  return name + "{" + inner + "le=\"" + le + "\"}";
+}
+
+/// One rendered metric family: the `# TYPE` header plus every labeled
+/// sample, accumulated across label sets in insertion order.
+struct Family {
+  std::string type;
+  std::string samples;
+};
+
+void RenderInto(std::map<std::string, Family>* families,
+                const std::string& labels, const MetricsSnapshot& snapshot) {
+  char line[256];
+  for (const auto& [name, value] : snapshot.counters) {
+    // The `_total` suffix is the Prometheus counter convention.
+    std::string family = PrometheusName(name) + "_total";
+    Family& slot = (*families)[family];
+    slot.type = "counter";
+    std::snprintf(line, sizeof(line), "%s %llu\n",
+                  Labeled(family, labels).c_str(),
+                  static_cast<unsigned long long>(value));
+    slot.samples += line;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string family = PrometheusName(name);
+    Family& slot = (*families)[family];
+    slot.type = "gauge";
+    std::snprintf(line, sizeof(line), "%s %g\n",
+                  Labeled(family, labels).c_str(), value);
+    slot.samples += line;
+  }
+  for (const auto& [name, s] : snapshot.histograms) {
+    std::string family = PrometheusName(name);
+    Family& slot = (*families)[family];
+    slot.type = "histogram";
+    uint64_t cumulative = 0;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      cumulative += b < static_cast<int>(s.buckets.size()) ? s.buckets[b] : 0;
+      // Bucket b spans [10^(b+kMin), 10^(b+kMin+1)); the last one clamps
+      // everything above, so its upper bound is +Inf.
+      std::string le;
+      if (b == Histogram::kNumBuckets - 1) {
+        le = "+Inf";
+      } else {
+        char bound[32];
+        std::snprintf(bound, sizeof(bound), "%g",
+                      std::pow(10.0, b + Histogram::kMinExponent + 1));
+        le = bound;
+      }
+      std::snprintf(line, sizeof(line), "%s %llu\n",
+                    LabeledLe(family + "_bucket", labels, le).c_str(),
+                    static_cast<unsigned long long>(cumulative));
+      slot.samples += line;
+    }
+    std::snprintf(line, sizeof(line), "%s %g\n",
+                  Labeled(family + "_sum", labels).c_str(), s.sum);
+    slot.samples += line;
+    std::snprintf(line, sizeof(line), "%s %llu\n",
+                  Labeled(family + "_count", labels).c_str(),
+                  static_cast<unsigned long long>(s.count));
+    slot.samples += line;
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus(
+    const std::vector<std::pair<std::string, MetricsSnapshot>>& labeled) {
+  // std::map keys the families by name, so the document is stable no
+  // matter how the label sets interleave their instruments.
+  std::map<std::string, Family> families;
+  for (const auto& [labels, snapshot] : labeled) {
+    RenderInto(&families, labels, snapshot);
+  }
+  std::string out;
+  for (const auto& [name, family] : families) {
+    out += "# TYPE " + name + " " + family.type + "\n";
+    out += family.samples;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus(
+    const std::string& labels) const {
+  return RenderPrometheus({{labels, Snapshot()}});
 }
 
 std::string MetricsRegistry::Dump() const {

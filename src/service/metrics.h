@@ -69,7 +69,14 @@ class Histogram {
 /// queue → prepare → solve → memo. One trace is recorded per request
 /// (success or failure); the serve subcommand dumps the ring as JSONL.
 struct RequestTrace {
-  uint64_t request_id = 0;       ///< Engine-assigned, monotonic.
+  uint64_t request_id = 0;       ///< Engine-assigned, monotonic per shard.
+  /// Which shard engine served the request (0 on an unsharded engine).
+  /// Together with request_id this is unique across a ShardRouter.
+  uint64_t shard_id = 0;
+  /// Epoch of the corpus snapshot the request resolved against; bumped
+  /// by every (per-shard) SwapCorpus, so traces can be correlated with
+  /// catalog swaps in the JSONL stream.
+  uint64_t corpus_epoch = 0;
   std::string target_id;
   std::string selector;
   std::string status = "ok";     ///< StatusCodeName of the outcome.
@@ -91,6 +98,14 @@ struct RequestTrace {
 
   /// One compact JSON object (a JSONL line, sans newline).
   std::string ToJson() const;
+};
+
+/// Point-in-time copy of every instrument in a registry, sorted by
+/// name. The unit routers and exporters aggregate across shards.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
 };
 
 /// Named instrument registry. Lookup interns the instrument on first
@@ -118,6 +133,23 @@ class MetricsRegistry {
 
   /// Human-readable dump, one instrument per line, sorted by name.
   std::string Dump() const;
+
+  /// Copies every instrument's current value, sorted by name.
+  MetricsSnapshot Snapshot() const;
+
+  /// Prometheus text-exposition rendering of this registry. `labels` is
+  /// an optional label set pasted verbatim into every sample's braces
+  /// (e.g. `shard="0"`); metric names are sanitized (dots become
+  /// underscores), counters get the conventional `_total` suffix, and
+  /// histograms render cumulative decade buckets plus `_sum`/`_count`.
+  std::string RenderPrometheus(const std::string& labels = {}) const;
+
+  /// Merges several labeled snapshots into one exposition document: one
+  /// `# TYPE` line per metric family, then one sample per label set
+  /// that has the family. This is how a ShardRouter exports N shard
+  /// registries without repeating family headers.
+  static std::string RenderPrometheus(
+      const std::vector<std::pair<std::string, MetricsSnapshot>>& labeled);
 
  private:
   mutable std::mutex mutex_;

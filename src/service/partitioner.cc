@@ -1,0 +1,107 @@
+#include "service/partitioner.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+namespace comparesets {
+
+Result<std::vector<std::string>> CorpusPartitioner::ComputeBounds(
+    const IndexedCorpus& full, size_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  const size_t n = full.num_instances();
+  if (num_shards > n) {
+    return Status::InvalidArgument(
+        "cannot split " + std::to_string(n) + " instances across " +
+        std::to_string(num_shards) + " shards without an empty shard");
+  }
+
+  // Targets are unique (one instance per target), so the sorted list
+  // has no duplicates and evenly spaced cut points give strictly
+  // increasing bounds.
+  std::vector<std::string> targets;
+  targets.reserve(n);
+  for (const ProblemInstance& instance : full.instances()) {
+    targets.push_back(instance.target().id);
+  }
+  std::sort(targets.begin(), targets.end());
+
+  std::vector<std::string> bounds;
+  bounds.reserve(num_shards);
+  bounds.emplace_back();  // Shard 0 starts at the bottom of the key space.
+  for (size_t s = 1; s < num_shards; ++s) {
+    bounds.push_back(targets[s * n / num_shards]);
+  }
+  return bounds;
+}
+
+Result<std::shared_ptr<const IndexedCorpus>> CorpusPartitioner::ExtractShard(
+    const IndexedCorpus& full, const std::vector<std::string>& bounds,
+    size_t shard_id) {
+  if (bounds.empty() || !bounds[0].empty()) {
+    return Status::InvalidArgument(
+        "bounds must be non-empty and start with the empty string");
+  }
+  if (shard_id >= bounds.size()) {
+    return Status::InvalidArgument(
+        "shard_id " + std::to_string(shard_id) + " out of range for " +
+        std::to_string(bounds.size()) + " shards");
+  }
+  ShardSpec spec;
+  spec.shard_id = shard_id;
+  spec.num_shards = bounds.size();
+  spec.range.begin = bounds[shard_id];
+  spec.range.end =
+      shard_id + 1 < bounds.size() ? bounds[shard_id + 1] : std::string();
+
+  // Slice the full corpus's enumeration and collect the product closure
+  // in one pass (invariants 1 and 2 from the header).
+  std::vector<std::vector<std::string>> instance_item_ids;
+  std::unordered_set<std::string> closure;
+  for (const ProblemInstance& instance : full.instances()) {
+    if (!spec.range.Contains(instance.target().id)) continue;
+    std::vector<std::string> item_ids;
+    item_ids.reserve(instance.items.size());
+    for (const Product* item : instance.items) {
+      item_ids.push_back(item->id);
+      closure.insert(item->id);
+    }
+    instance_item_ids.push_back(std::move(item_ids));
+  }
+
+  // Copy closure products in original corpus order: instance vectors
+  // only depend on per-product content, but stable order keeps shard
+  // corpora diffable and pointer-layout deterministic.
+  Corpus shard_corpus(full.corpus().name());
+  shard_corpus.catalog() = full.corpus().catalog();
+  for (const Product& product : full.corpus().products()) {
+    if (closure.count(product.id) == 0) continue;
+    COMPARESETS_RETURN_NOT_OK(shard_corpus.AddProduct(product));
+  }
+  return IndexedCorpus::BuildFromInstances(std::move(shard_corpus),
+                                           instance_item_ids, spec);
+}
+
+Result<std::vector<std::shared_ptr<const IndexedCorpus>>>
+CorpusPartitioner::Partition(std::shared_ptr<const IndexedCorpus> full,
+                             size_t num_shards) {
+  if (full == nullptr) {
+    return Status::InvalidArgument("Partition requires a corpus");
+  }
+  if (num_shards == 1) {
+    return std::vector<std::shared_ptr<const IndexedCorpus>>{std::move(full)};
+  }
+  COMPARESETS_ASSIGN_OR_RETURN(std::vector<std::string> bounds,
+                               ComputeBounds(*full, num_shards));
+  std::vector<std::shared_ptr<const IndexedCorpus>> shards;
+  shards.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    COMPARESETS_ASSIGN_OR_RETURN(auto shard, ExtractShard(*full, bounds, s));
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+}  // namespace comparesets

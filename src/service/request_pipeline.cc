@@ -1,0 +1,60 @@
+#include "service/request_pipeline.h"
+
+namespace comparesets {
+
+Status CheckLive(const ExecControl& control, const char* where) {
+  if (control.cancel != nullptr && control.cancel->cancelled()) {
+    return Status::Cancelled(std::string("request cancelled before ") + where);
+  }
+  if (control.deadline != nullptr && control.deadline->Expired()) {
+    return Status::DeadlineExceeded(std::string("deadline exceeded before ") +
+                                    where);
+  }
+  return Status::OK();
+}
+
+RequestPipeline::RequestPipeline(PipelineOptions options)
+    : options_(options) {}
+
+Status RequestPipeline::Admit(const Deadline& deadline,
+                              const CancelToken* cancel) {
+  if (options_.max_in_flight == 0) return Status::OK();
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (in_flight_ < options_.max_in_flight) {
+    ++in_flight_;
+    return Status::OK();
+  }
+  if (queued_ >= options_.max_queue) {
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(in_flight_) +
+        " in flight, " + std::to_string(queued_) + " queued)");
+  }
+  ++queued_;
+  while (in_flight_ >= options_.max_in_flight) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      --queued_;
+      return Status::Cancelled("request cancelled while queued");
+    }
+    if (deadline.Expired()) {
+      --queued_;
+      return Status::DeadlineExceeded("deadline exceeded while queued");
+    }
+    // Bounded wait: a release notifies, but cancellation and deadlines
+    // have no notification channel, so poll them a few times per tick.
+    double wait = std::clamp(deadline.RemainingSeconds(), 0.0, 0.005);
+    cv_.wait_for(lock, std::chrono::duration<double>(wait));
+  }
+  --queued_;
+  ++in_flight_;
+  return Status::OK();
+}
+
+void RequestPipeline::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --in_flight_;
+  }
+  cv_.notify_one();
+}
+
+}  // namespace comparesets

@@ -1,0 +1,170 @@
+// ShardRouter: the scatter/gather front of a sharded serving deployment.
+//
+// One router owns N shard engines, each serving a contiguous target-id
+// range of the catalog (CorpusPartitioner). A `Select` routes to the
+// shard owning its target; a `SelectBatch` splits the batch by shard,
+// fans the sub-batches out on the router's own ThreadPool, and
+// reassembles responses in request order. Output is bit-identical to a
+// single SelectionEngine over the unpartitioned corpus — shards hold
+// exact slices of the same instance enumeration, so routing is pure
+// dispatch, never approximation.
+//
+// Operational surface:
+//   * Per-shard SwapCorpus — one shard re-extracts from a new catalog
+//     and swaps while every other shard keeps its snapshot, caches, and
+//     memo (shard-local epochs are the whole point). During a swap the
+//     shard's range answers kUnavailable; the rest keep serving.
+//   * Shard state — a shard marked down (ops drill, fault isolation)
+//     refuses ITS range with kUnavailable; other ranges are untouched.
+//   * Shared admission — all shard engines share one RequestPipeline,
+//     so max_in_flight is a router-wide budget.
+//   * Metrics — the router keeps rollup counters (router.*), can render
+//     a merged Prometheus exposition with `shard` labels, and its text
+//     dump aggregates engine counters across shards.
+//   * Fault injection — seams at the route decision (FaultSite::kRoute)
+//     and at each per-shard gather task (FaultSite::kGather).
+//
+// Threading (docs/execution-model.md): the router's fan-out is a layer
+// ABOVE the engines and owns its own pool, one lane per shard
+// sub-batch. Each shard engine still applies the engine nesting rule to
+// its sub-batch on its own pool, so the two layers never re-enter the
+// same pool.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/engine.h"
+#include "service/partitioner.h"
+
+namespace comparesets {
+
+struct RouterOptions {
+  /// Configuration applied to every shard engine. `shard_id` and
+  /// `pipeline` are overwritten by the router (each engine gets its
+  /// stable shard id and the shared admission pipeline).
+  EngineOptions engine;
+  /// Lanes for the scatter/gather fan-out over shards (0 = hardware
+  /// concurrency). With <= 1, sub-batches run serially in shard order.
+  size_t router_threads = 0;
+  /// Deterministic fault injection at the router's seams (kRoute /
+  /// kGather); nullptr = no faults. Independent of the engine-level
+  /// injector in `engine.fault_injector`.
+  std::shared_ptr<FaultInjector> fault_injector;
+};
+
+/// Serving state of one shard, surfaced per-range by the router.
+enum class ShardState {
+  kServing = 0,  ///< Normal operation.
+  kSwapping,     ///< Mid-SwapShardCorpus; its range answers kUnavailable.
+  kDown,         ///< Marked down; its range answers kUnavailable.
+};
+
+/// Stable lowercase name ("serving", "swapping", "down").
+const char* ShardStateName(ShardState state);
+
+/// Point-in-time status of one shard (the `serve` status surface).
+struct ShardStatus {
+  size_t shard_id = 0;
+  ShardState state = ShardState::kServing;
+  ShardKeyRange range;
+  uint64_t corpus_epoch = 0;
+  size_t num_instances = 0;
+  size_t num_products = 0;
+};
+
+class ShardRouter {
+ public:
+  /// Partitions `corpus` into `num_shards` target-id ranges and builds
+  /// one SelectionEngine per shard. num_shards == 1 serves the input
+  /// snapshot unpartitioned — byte-for-byte today's single engine.
+  static Result<std::unique_ptr<ShardRouter>> Create(
+      std::shared_ptr<const IndexedCorpus> corpus, size_t num_shards,
+      RouterOptions options = {});
+
+  size_t num_shards() const { return engines_.size(); }
+
+  /// Routes to the shard owning request.target_id and delegates. A
+  /// down/swapping shard fails ITS requests with kUnavailable naming
+  /// the affected range; other ranges are unaffected.
+  Result<SelectResponse> Select(const SelectRequest& request) const;
+
+  /// Scatter/gather: splits the batch by shard, runs each sub-batch on
+  /// the owning engine (concurrently across shards when the router
+  /// pool has lanes), reassembles in request order. Requests whose
+  /// shard is unavailable fail individually; the rest proceed. Each
+  /// request's deadline spans the whole gather — time lost before its
+  /// shard dispatches counts against it.
+  std::vector<Result<SelectResponse>> SelectBatch(
+      const std::vector<SelectRequest>& requests) const;
+
+  /// Re-extracts shard `shard_id`'s slice of `full_corpus` (under the
+  /// partition bounds fixed at Create) and swaps it into that shard's
+  /// engine. Only that shard's epoch moves; every other shard keeps
+  /// its snapshot and warm caches. While the swap runs the shard is
+  /// kSwapping (its range answers kUnavailable); on success it returns
+  /// to kServing (also reviving a kDown shard), on failure the prior
+  /// state and snapshot are kept.
+  Status SwapShardCorpus(size_t shard_id,
+                         std::shared_ptr<const IndexedCorpus> full_corpus);
+
+  /// Marks a shard kDown / back to kServing (ops drills, tests).
+  Status SetShardState(size_t shard_id, ShardState state);
+
+  /// The shard whose range contains `target_id` (total: every id maps
+  /// to exactly one shard, known or not).
+  size_t ShardForTarget(const std::string& target_id) const;
+
+  /// Direct access to a shard's engine (tests, status surfaces).
+  const SelectionEngine& shard_engine(size_t shard_id) const {
+    return *engines_[shard_id];
+  }
+
+  /// Partition lower bounds fixed at Create (bounds[0] == "").
+  const std::vector<std::string>& bounds() const { return bounds_; }
+
+  std::vector<ShardStatus> ShardStatuses() const;
+
+  /// Text dump: router counters, then engine instruments aggregated
+  /// across shards (same line format as one engine's dump), then — on
+  /// a multi-shard router — one section per shard.
+  std::string DumpMetrics() const;
+
+  /// Merged Prometheus exposition: router-level metrics unlabeled,
+  /// every shard engine's metrics labeled shard="<id>", one # TYPE
+  /// header per family.
+  std::string RenderPrometheus() const;
+
+  /// All shards' trace rings as JSONL, shard by shard, oldest first
+  /// within each shard. Lines carry shard_id + corpus_epoch.
+  std::string DumpTraces() const;
+
+  /// All shards' retained traces, in the same order as DumpTraces.
+  std::vector<RequestTrace> Traces() const;
+
+ private:
+  ShardRouter(RouterOptions options, std::vector<std::string> bounds);
+
+  /// kUnavailable for a non-serving shard, naming its range; OK else.
+  Status CheckRoutable(size_t shard) const;
+
+  /// The half-open range shard `shard_id` owns, from bounds_.
+  ShardKeyRange RangeOf(size_t shard_id) const;
+
+  RouterOptions options_;
+  std::vector<std::string> bounds_;
+  std::shared_ptr<RequestPipeline> pipeline_;
+  std::vector<std::unique_ptr<SelectionEngine>> engines_;
+  /// Per-shard ShardState, atomics so the hot path reads lock-free.
+  std::unique_ptr<std::atomic<int>[]> states_;
+  /// Serializes swaps and state changes (readers never take it).
+  mutable std::mutex admin_mutex_;
+  mutable MetricsRegistry metrics_;
+  mutable ThreadPool pool_;
+};
+
+}  // namespace comparesets

@@ -33,6 +33,8 @@ const char* StatusCodeName(StatusCode code) {
       return "cancelled";
     case StatusCode::kResourceExhausted:
       return "resource exhausted";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

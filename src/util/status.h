@@ -39,6 +39,11 @@ enum class StatusCode {
   /// The serving layer refused admission: in-flight + queued requests
   /// already fill the configured capacity.
   kResourceExhausted,
+  /// The shard (or backend) that owns the requested key is temporarily
+  /// not serving — down or mid-swap. Unlike kResourceExhausted this is
+  /// about *which* data was asked for, not about load: other key ranges
+  /// keep serving normally.
+  kUnavailable,
 };
 
 /// Returns a stable lowercase name for a status code ("ok", "io error", ...).
@@ -87,6 +92,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

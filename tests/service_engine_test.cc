@@ -528,6 +528,8 @@ TEST(SelectionEngineTest, TracesRecordTheRequestLifecycle) {
   std::vector<RequestTrace> traces = engine.Traces();
   ASSERT_EQ(traces.size(), 3u);
   EXPECT_EQ(traces[0].request_id, 1u);
+  EXPECT_EQ(traces[0].shard_id, 0u);       // Unsharded engine.
+  EXPECT_EQ(traces[0].corpus_epoch, 0u);   // No swap has happened.
   EXPECT_EQ(traces[0].status, "ok");
   EXPECT_FALSE(traces[0].result_cache_hit);
   EXPECT_GT(traces[0].solver_iterations, 0u);
@@ -538,9 +540,37 @@ TEST(SelectionEngineTest, TracesRecordTheRequestLifecycle) {
 
   std::string jsonl = engine.DumpTraces();
   EXPECT_NE(jsonl.find("\"request_id\":1"), std::string::npos) << jsonl;
+  EXPECT_NE(jsonl.find("\"shard_id\":0"), std::string::npos) << jsonl;
+  EXPECT_NE(jsonl.find("\"corpus_epoch\":0"), std::string::npos) << jsonl;
   EXPECT_NE(jsonl.find("\"status\":\"not found\""), std::string::npos);
   // One line per request.
   EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 3);
+}
+
+// corpus_epoch in traces tracks SwapCorpus, so a trace stream can be
+// correlated with catalog swaps; shard_id comes from EngineOptions.
+TEST(SelectionEngineTest, TracesCarryEpochAcrossSwapsAndConfiguredShardId) {
+  auto corpus = MakeCorpus(60);
+  EngineOptions options;
+  options.shard_id = 3;
+  SelectionEngine engine(corpus, options);
+  SelectRequest request = RequestFor(*corpus, 0);
+
+  EXPECT_EQ(engine.corpus_epoch(), 0u);
+  ASSERT_TRUE(engine.Select(request).ok());
+  ASSERT_TRUE(engine.SwapCorpus(MakeCorpus(60, /*seed=*/7)).ok());
+  EXPECT_EQ(engine.corpus_epoch(), 1u);
+  ASSERT_TRUE(engine.Select(request).ok());
+
+  std::vector<RequestTrace> traces = engine.Traces();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].corpus_epoch, 0u);
+  EXPECT_EQ(traces[1].corpus_epoch, 1u);
+  EXPECT_EQ(traces[0].shard_id, 3u);
+  EXPECT_EQ(traces[1].shard_id, 3u);
+  std::string jsonl = engine.DumpTraces();
+  EXPECT_NE(jsonl.find("\"corpus_epoch\":1"), std::string::npos) << jsonl;
+  EXPECT_NE(jsonl.find("\"shard_id\":3"), std::string::npos) << jsonl;
 }
 
 TEST(SelectionEngineTest, TraceRingEvictsOldestAtCapacity) {

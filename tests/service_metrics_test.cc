@@ -1,0 +1,112 @@
+#include "service/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace comparesets {
+namespace {
+
+TEST(MetricsSnapshotTest, CopiesEveryInstrumentSortedByName) {
+  MetricsRegistry registry;
+  registry.counter("engine.requests").Increment(3);
+  registry.counter("engine.errors").Increment();
+  registry.SetGauge("cache.entries", 2.0);
+  registry.histogram("engine.solve_seconds").Observe(0.5);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].first, "engine.errors");  // std::map order.
+  EXPECT_EQ(snapshot.counters[0].second, 1u);
+  EXPECT_EQ(snapshot.counters[1].first, "engine.requests");
+  EXPECT_EQ(snapshot.counters[1].second, 3u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].second, 2.0);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].second.count, 1u);
+  EXPECT_EQ(snapshot.histograms[0].second.sum, 0.5);
+}
+
+// Golden output for the single-registry exposition: sanitized names,
+// `_total` counter suffix, cumulative decade buckets, families sorted.
+TEST(RenderPrometheusTest, GoldenSingleRegistry) {
+  MetricsRegistry registry;
+  registry.counter("engine.requests").Increment(3);
+  registry.SetGauge("cache.entries", 2.0);
+  registry.histogram("engine.solve_seconds").Observe(0.5);
+
+  const std::string expected =
+      "# TYPE cache_entries gauge\n"
+      "cache_entries 2\n"
+      "# TYPE engine_requests_total counter\n"
+      "engine_requests_total 3\n"
+      "# TYPE engine_solve_seconds histogram\n"
+      "engine_solve_seconds_bucket{le=\"1e-05\"} 0\n"
+      "engine_solve_seconds_bucket{le=\"0.0001\"} 0\n"
+      "engine_solve_seconds_bucket{le=\"0.001\"} 0\n"
+      "engine_solve_seconds_bucket{le=\"0.01\"} 0\n"
+      "engine_solve_seconds_bucket{le=\"0.1\"} 0\n"
+      "engine_solve_seconds_bucket{le=\"1\"} 1\n"
+      "engine_solve_seconds_bucket{le=\"10\"} 1\n"
+      "engine_solve_seconds_bucket{le=\"100\"} 1\n"
+      "engine_solve_seconds_bucket{le=\"1000\"} 1\n"
+      "engine_solve_seconds_bucket{le=\"+Inf\"} 1\n"
+      "engine_solve_seconds_sum 0.5\n"
+      "engine_solve_seconds_count 1\n";
+  EXPECT_EQ(registry.RenderPrometheus(), expected);
+}
+
+TEST(RenderPrometheusTest, LabelsArePastedIntoEverySample) {
+  MetricsRegistry registry;
+  registry.counter("router.requests").Increment(7);
+  registry.histogram("engine.queue_seconds").Observe(0.002);
+
+  std::string out = registry.RenderPrometheus("shard=\"4\"");
+  EXPECT_NE(out.find("router_requests_total{shard=\"4\"} 7\n"),
+            std::string::npos)
+      << out;
+  // The le label composes with the shard label on bucket samples.
+  EXPECT_NE(out.find(
+                "engine_queue_seconds_bucket{shard=\"4\",le=\"0.01\"} 1\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("engine_queue_seconds_count{shard=\"4\"} 1\n"),
+            std::string::npos);
+}
+
+// The router's use case: N shard registries merge into one exposition
+// document with one `# TYPE` header per family and one sample per
+// label set — never a repeated header (invalid Prometheus).
+TEST(RenderPrometheusTest, MergedLabeledSnapshotsShareFamilyHeaders) {
+  MetricsRegistry shard0, shard1;
+  shard0.counter("engine.requests").Increment(2);
+  shard1.counter("engine.requests").Increment(5);
+  shard1.counter("engine.errors").Increment();  // Only shard 1 has it.
+
+  std::string out = MetricsRegistry::RenderPrometheus(
+      {{"shard=\"0\"", shard0.Snapshot()}, {"shard=\"1\"", shard1.Snapshot()}});
+  const std::string expected =
+      "# TYPE engine_errors_total counter\n"
+      "engine_errors_total{shard=\"1\"} 1\n"
+      "# TYPE engine_requests_total counter\n"
+      "engine_requests_total{shard=\"0\"} 2\n"
+      "engine_requests_total{shard=\"1\"} 5\n";
+  EXPECT_EQ(out, expected);
+}
+
+TEST(RequestTraceTest, ToJsonCarriesShardIdAndCorpusEpoch) {
+  RequestTrace trace;
+  trace.request_id = 9;
+  trace.shard_id = 2;
+  trace.corpus_epoch = 5;
+  trace.target_id = "p1";
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"shard_id\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"corpus_epoch\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"request_id\":9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace comparesets

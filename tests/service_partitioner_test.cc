@@ -1,0 +1,137 @@
+#include "service/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+
+namespace comparesets {
+namespace {
+
+std::shared_ptr<const IndexedCorpus> MakeCorpus(size_t products,
+                                                uint64_t seed = 42) {
+  auto config = DefaultConfig("Cellphone", products);
+  config.status().CheckOK();
+  config.value().seed = seed;
+  auto corpus = GenerateCorpus(config.value());
+  corpus.status().CheckOK();
+  return IndexedCorpus::Build(std::move(corpus).value()).ValueOrDie();
+}
+
+TEST(ComputeBoundsTest, ProducesSortedBoundsStartingAtKeySpaceOrigin) {
+  auto full = MakeCorpus(60);
+  for (size_t n : {1u, 2u, 4u, 7u}) {
+    auto bounds = CorpusPartitioner::ComputeBounds(*full, n);
+    ASSERT_TRUE(bounds.ok()) << bounds.status();
+    ASSERT_EQ(bounds.value().size(), n);
+    EXPECT_EQ(bounds.value()[0], "");
+    for (size_t s = 1; s < n; ++s) {
+      EXPECT_LT(bounds.value()[s - 1], bounds.value()[s]);
+    }
+  }
+}
+
+TEST(ComputeBoundsTest, RejectsZeroAndOversizedShardCounts) {
+  auto full = MakeCorpus(60);
+  EXPECT_EQ(CorpusPartitioner::ComputeBounds(*full, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  auto too_many = CorpusPartitioner::ComputeBounds(
+      *full, full->num_instances() + 1);
+  EXPECT_EQ(too_many.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionTest, SingleShardReturnsTheOriginalSnapshot) {
+  auto full = MakeCorpus(60);
+  auto shards = CorpusPartitioner::Partition(full, 1);
+  ASSERT_TRUE(shards.ok()) << shards.status();
+  ASSERT_EQ(shards.value().size(), 1u);
+  // No copy at all: the unsharded snapshot IS the one-shard partition.
+  EXPECT_EQ(shards.value()[0].get(), full.get());
+}
+
+TEST(PartitionTest, ShardsCoverEveryInstanceExactlyOnce) {
+  auto full = MakeCorpus(80);
+  for (size_t n : {2u, 4u}) {
+    auto shards = CorpusPartitioner::Partition(full, n);
+    ASSERT_TRUE(shards.ok()) << shards.status();
+    ASSERT_EQ(shards.value().size(), n);
+
+    std::set<std::string> seen;
+    size_t total = 0;
+    for (size_t s = 0; s < n; ++s) {
+      const IndexedCorpus& shard = *shards.value()[s];
+      EXPECT_EQ(shard.shard().shard_id, s);
+      EXPECT_EQ(shard.shard().num_shards, n);
+      total += shard.num_instances();
+      for (const ProblemInstance& instance : shard.instances()) {
+        const std::string& target = instance.target().id;
+        EXPECT_TRUE(shard.shard().range.Contains(target))
+            << target << " outside " << shard.shard().range.ToString();
+        EXPECT_TRUE(seen.insert(target).second)
+            << target << " owned by two shards";
+      }
+    }
+    EXPECT_EQ(total, full->num_instances());
+    for (const ProblemInstance& instance : full->instances()) {
+      EXPECT_EQ(seen.count(instance.target().id), 1u);
+    }
+  }
+}
+
+// The bit-identity invariant: every shard instance carries the exact
+// item-id sequence (and underlying review text) of the full corpus's
+// enumeration — the partitioner re-points ids, it never re-filters.
+TEST(PartitionTest, ShardInstancesMatchTheGlobalEnumeration) {
+  auto full = MakeCorpus(80);
+  auto shards = CorpusPartitioner::Partition(full, 3);
+  ASSERT_TRUE(shards.ok()) << shards.status();
+
+  for (const auto& shard : shards.value()) {
+    for (const ProblemInstance& instance : shard->instances()) {
+      const ProblemInstance* original =
+          full->FindInstance(instance.target().id);
+      ASSERT_NE(original, nullptr);
+      ASSERT_EQ(instance.num_items(), original->num_items());
+      for (size_t i = 0; i < instance.num_items(); ++i) {
+        EXPECT_EQ(instance.items[i]->id, original->items[i]->id);
+        EXPECT_EQ(instance.items[i]->reviews.size(),
+                  original->items[i]->reviews.size());
+        // Shard products are copies; every comparative in the closure
+        // must resolve through the shard's own storage.
+        EXPECT_EQ(shard->FindProduct(instance.items[i]->id),
+                  instance.items[i]);
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, ShardRangesTileTheKeySpace) {
+  auto full = MakeCorpus(60);
+  auto bounds = CorpusPartitioner::ComputeBounds(*full, 4);
+  ASSERT_TRUE(bounds.ok());
+  auto shards = CorpusPartitioner::Partition(full, 4);
+  ASSERT_TRUE(shards.ok());
+  for (size_t s = 0; s < 4; ++s) {
+    const ShardKeyRange& range = shards.value()[s]->shard().range;
+    EXPECT_EQ(range.begin, bounds.value()[s]);
+    EXPECT_EQ(range.end, s + 1 < 4 ? bounds.value()[s + 1] : "");
+  }
+  EXPECT_EQ(shards.value()[0]->shard().range.ToString().substr(0, 6),
+            "[-inf,");
+}
+
+TEST(ExtractShardTest, RejectsMalformedBounds) {
+  auto full = MakeCorpus(60);
+  auto no_origin = CorpusPartitioner::ExtractShard(*full, {"p1", "p2"}, 0);
+  EXPECT_EQ(no_origin.status().code(), StatusCode::kInvalidArgument);
+  auto empty = CorpusPartitioner::ExtractShard(*full, {}, 0);
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -1,0 +1,150 @@
+// The sharding regression oracle: a ShardRouter over N range shards
+// must answer bit-identically to one SelectionEngine over the whole
+// corpus. Shards hold exact slices of the same instance enumeration and
+// every selector is a pure function of (vectors, options), so routing
+// is pure dispatch — any divergence here means the partitioner changed
+// instance content or the router changed request semantics.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "service/router.h"
+
+namespace comparesets {
+namespace {
+
+std::shared_ptr<const IndexedCorpus> MakeCorpus(size_t products,
+                                                uint64_t seed = 42) {
+  auto config = DefaultConfig("Cellphone", products);
+  config.status().CheckOK();
+  config.value().seed = seed;
+  auto corpus = GenerateCorpus(config.value());
+  corpus.status().CheckOK();
+  return IndexedCorpus::Build(std::move(corpus).value()).ValueOrDie();
+}
+
+void ExpectSameRouge(const RougeScore& got, const RougeScore& want) {
+  EXPECT_EQ(got.precision, want.precision);
+  EXPECT_EQ(got.recall, want.recall);
+  EXPECT_EQ(got.f1, want.f1);
+}
+
+void ExpectSameTriple(const RougeTriple& got, const RougeTriple& want) {
+  ExpectSameRouge(got.rouge1, want.rouge1);
+  ExpectSameRouge(got.rouge2, want.rouge2);
+  ExpectSameRouge(got.rougeL, want.rougeL);
+}
+
+/// Bit-for-bit payload equality, plus the cache flags — a router must
+/// not just compute the same answer but hit the same warm paths.
+void ExpectSameResponse(const Result<SelectResponse>& got,
+                        const Result<SelectResponse>& want,
+                        const std::string& where) {
+  ASSERT_EQ(got.ok(), want.ok())
+      << where << ": " << got.status() << " vs " << want.status();
+  if (!want.ok()) {
+    // Full Status equality (code AND message): routing must not leak
+    // into user-visible errors.
+    EXPECT_TRUE(got.status() == want.status())
+        << where << ": " << got.status() << " vs " << want.status();
+    return;
+  }
+  const SelectResponse& g = got.value();
+  const SelectResponse& w = want.value();
+  EXPECT_EQ(g.target_id, w.target_id) << where;
+  EXPECT_EQ(g.item_ids, w.item_ids) << where;
+  EXPECT_EQ(g.selections, w.selections) << where;
+  EXPECT_EQ(g.objective, w.objective) << where;
+  ExpectSameTriple(g.alignment.target_vs_comparative,
+                   w.alignment.target_vs_comparative);
+  ExpectSameTriple(g.alignment.among_items, w.alignment.among_items);
+  EXPECT_EQ(g.alignment.target_pairs, w.alignment.target_pairs) << where;
+  EXPECT_EQ(g.alignment.among_pairs, w.alignment.among_pairs) << where;
+  EXPECT_EQ(g.cache_hit, w.cache_hit) << where;
+  EXPECT_EQ(g.result_cache_hit, w.result_cache_hit) << where;
+}
+
+/// A mixed request stream exercising every response shape: several
+/// selectors, exact repeats (memo hits), explicit comparative sets,
+/// and both failure kinds (unknown target, empty target).
+std::vector<SelectRequest> MixedStream(const IndexedCorpus& corpus) {
+  std::vector<SelectRequest> requests;
+  const std::vector<ProblemInstance>& instances = corpus.instances();
+  const char* selectors[] = {"CompaReSetS", "CompaReSetS+", "CompaReSetSGreedy"};
+  for (size_t i = 0; i < 9 && i < instances.size(); ++i) {
+    SelectRequest request;
+    request.target_id = instances[i].target().id;
+    request.selector = selectors[i % 3];
+    requests.push_back(request);
+  }
+  // Exact repeats of the first three — served whole from the memo, so
+  // the flags must match too.
+  for (size_t i = 0; i < 3; ++i) requests.push_back(requests[i]);
+  // An explicit comparative set drawn from a real instance.
+  SelectRequest explicit_set;
+  explicit_set.target_id = instances[0].target().id;
+  explicit_set.comparative_ids = {instances[0].items[1]->id,
+                                  instances[0].items[2]->id};
+  explicit_set.selector = "CompaReSetS";
+  requests.push_back(explicit_set);
+  // Failures: unknown and empty targets must fail identically.
+  SelectRequest unknown;
+  unknown.target_id = "no-such-product";
+  requests.push_back(unknown);
+  requests.push_back(SelectRequest{});
+  return requests;
+}
+
+class RouterDeterminismTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RouterDeterminismTest, SelectMatchesTheSingleEngine) {
+  auto corpus = MakeCorpus(80);
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  SelectionEngine reference(corpus, engine_options);
+  RouterOptions router_options;
+  router_options.engine = engine_options;
+  router_options.router_threads = 1;
+  auto router = ShardRouter::Create(corpus, GetParam(), router_options);
+  ASSERT_TRUE(router.ok()) << router.status();
+  ASSERT_EQ(router.value()->num_shards(), GetParam());
+
+  for (const SelectRequest& request : MixedStream(*corpus)) {
+    ExpectSameResponse(router.value()->Select(request),
+                       reference.Select(request),
+                       "Select target=" + request.target_id);
+  }
+}
+
+TEST_P(RouterDeterminismTest, SelectBatchMatchesTheSingleEngine) {
+  auto corpus = MakeCorpus(80);
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  SelectionEngine reference(corpus, engine_options);
+  RouterOptions router_options;
+  router_options.engine = engine_options;
+  router_options.router_threads = 1;
+  auto router = ShardRouter::Create(corpus, GetParam(), router_options);
+  ASSERT_TRUE(router.ok()) << router.status();
+
+  std::vector<SelectRequest> requests = MixedStream(*corpus);
+  std::vector<Result<SelectResponse>> want = reference.SelectBatch(requests);
+  std::vector<Result<SelectResponse>> got =
+      router.value()->SelectBatch(requests);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ExpectSameResponse(got[i], want[i],
+                       "batch[" + std::to_string(i) +
+                           "] target=" + requests[i].target_id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, RouterDeterminismTest,
+                         ::testing::Values(1u, 2u, 4u));
+
+}  // namespace
+}  // namespace comparesets

@@ -126,6 +126,42 @@ TEST(CliTest, ServeAnswersBatchFromQueriesFile) {
             std::string::npos);
 }
 
+TEST(CliTest, ServeShardedAnswersTheSameQueries) {
+  std::string path = ::testing::TempDir() + "/comparesets_cli_shardq.txt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("cellphone-P00000\n"
+          "cellphone-P00000 CompaReSetS 2\n"
+          "cellphone-P00001 Crs 2\n",
+          f);
+    fclose(f);
+  }
+  CommandResult result = RunCli(
+      "serve --products 40 --metrics --prometheus --threads 1 --shards 2 "
+      "--queries " + path);
+  std::remove(path.c_str());
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  // The shard map is printed before serving starts.
+  EXPECT_NE(result.output.find("shard 0 [-inf,"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("shard 1 ["), std::string::npos);
+  EXPECT_NE(result.output.find("Answered 3 queries (0 failed) across 2 "
+                               "shards."),
+            std::string::npos)
+      << result.output;
+  // Rollup keeps the single-engine dump format; Prometheus samples
+  // carry per-shard labels.
+  EXPECT_NE(result.output.find("counter engine.requests 3"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("engine_requests_total{shard=\"0\"}"),
+            std::string::npos)
+      << result.output;
+
+  CommandResult bad = RunCli("serve --products 40 --shards 0");
+  EXPECT_EQ(bad.exit_code, 2);
+}
+
 TEST(CliTest, ServeReportsUnknownTargetsWithoutPoisoningBatch) {
   std::string path = ::testing::TempDir() + "/comparesets_cli_badquery.txt";
   {

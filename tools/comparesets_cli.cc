@@ -4,16 +4,17 @@
 //   comparesets select  [data flags] [--target ID] [--algorithm A] [--m N]
 //   comparesets narrow  [data flags] [--target ID] [--k N] [--m N]
 //   comparesets serve   [data flags] [--queries F] [--threads N]
-//                       [--intra_threads N] [--metrics]
-//                       [--deadline_ms D] [--max_in_flight N] [--retries R]
-//                       [--trace_out F]
+//                       [--intra_threads N] [--shards N] [--metrics]
+//                       [--prometheus] [--deadline_ms D]
+//                       [--max_in_flight N] [--retries R] [--trace_out F]
 //
 // Data source: either a synthetic category (--category Cellphone|Toy|
 // Clothing, --products N, --seed S) or Amazon-layout JSONL files
 // (--reviews, --metadata). `select` prints the comparative review sets;
 // `narrow` additionally reduces the comparative list to the core k items
 // via the exact TargetHkS solver. `serve` answers a batch of query lines
-// from one warm SelectionEngine (shared vector cache + thread pool).
+// through a ShardRouter over N range-partitioned shard engines
+// (--shards 1, the default, is byte-for-byte the single warm engine).
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +32,7 @@
 #include "graph/targethks_exact.h"
 #include "opinion/vectors.h"
 #include "service/engine.h"
+#include "service/router.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -218,7 +220,8 @@ int RunServe(const FlagParser& flags) {
   auto indexed = IndexedCorpus::Build(std::move(corpus).value());
   indexed.status().CheckOK();
 
-  EngineOptions engine_options;
+  RouterOptions router_options;
+  EngineOptions& engine_options = router_options.engine;
   engine_options.threads = static_cast<size_t>(flags.GetInt("threads"));
   engine_options.max_intra_request_threads =
       static_cast<size_t>(flags.GetInt("intra_threads"));
@@ -228,7 +231,24 @@ int RunServe(const FlagParser& flags) {
       static_cast<size_t>(flags.GetInt("max_in_flight"));
   engine_options.max_queue = static_cast<size_t>(flags.GetInt("max_queue"));
   engine_options.max_attempts = flags.GetInt("retries") + 1;
-  SelectionEngine engine(indexed.value(), engine_options);
+  router_options.router_threads = engine_options.threads;
+
+  int shards_flag = flags.GetInt("shards");
+  if (shards_flag < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  auto router = ShardRouter::Create(indexed.value(),
+                                    static_cast<size_t>(shards_flag),
+                                    router_options);
+  router.status().CheckOK();
+  if (router.value()->num_shards() > 1) {
+    for (const ShardStatus& status : router.value()->ShardStatuses()) {
+      std::printf("shard %zu %s: %zu instances, %zu products\n",
+                  status.shard_id, status.range.ToString().c_str(),
+                  status.num_instances, status.num_products);
+    }
+  }
   double deadline_seconds = flags.GetDouble("deadline_ms") / 1000.0;
 
   std::vector<SelectRequest> requests;
@@ -262,7 +282,8 @@ int RunServe(const FlagParser& flags) {
     request.deadline_seconds = deadline_seconds;
   }
 
-  std::vector<Result<SelectResponse>> responses = engine.SelectBatch(requests);
+  std::vector<Result<SelectResponse>> responses =
+      router.value()->SelectBatch(requests);
 
   size_t failed = 0;
   for (size_t i = 0; i < responses.size(); ++i) {
@@ -285,15 +306,24 @@ int RunServe(const FlagParser& flags) {
         response.result_cache_hit ? "memo" : response.cache_hit ? "hit" : "miss",
         1000.0 * response.solve_seconds);
   }
-  std::printf("Answered %zu queries (%zu failed) from one engine.\n",
-              responses.size(), failed);
+  if (router.value()->num_shards() == 1) {
+    std::printf("Answered %zu queries (%zu failed) from one engine.\n",
+                responses.size(), failed);
+  } else {
+    std::printf("Answered %zu queries (%zu failed) across %zu shards.\n",
+                responses.size(), failed, router.value()->num_shards());
+  }
   if (flags.GetBool("metrics")) {
-    std::printf("\n%s", engine.DumpMetrics().c_str());
+    std::printf("\n%s", router.value()->DumpMetrics().c_str());
+  }
+  if (flags.GetBool("prometheus")) {
+    std::printf("\n%s", router.value()->RenderPrometheus().c_str());
   }
   const std::string& trace_out = flags.GetString("trace_out");
   if (!trace_out.empty()) {
-    // One JSON object per request, oldest first ("-" = stdout).
-    std::string jsonl = engine.DumpTraces();
+    // One JSON object per request, oldest first ("-" = stdout); lines
+    // carry shard_id + corpus_epoch for correlation with swaps.
+    std::string jsonl = router.value()->DumpTraces();
     if (trace_out == "-") {
       std::printf("%s", jsonl.c_str());
     } else {
@@ -304,8 +334,8 @@ int RunServe(const FlagParser& flags) {
         return 2;
       }
       out << jsonl;
-      std::printf("Wrote %zu request traces to %s.\n", engine.Traces().size(),
-                  trace_out.c_str());
+      std::printf("Wrote %zu request traces to %s.\n",
+                  router.value()->Traces().size(), trace_out.c_str());
     }
   }
   return failed == 0 ? 0 : 1;
@@ -317,8 +347,9 @@ void PrintUsage(const char* program) {
       "  stats   print Table-2-style dataset statistics\n"
       "  select  comparative review-set selection for one target\n"
       "  narrow  select, then reduce to the core k items (TargetHkS)\n"
-      "  serve   answer query lines (stdin or --queries) from one warm\n"
-      "          engine; line format: target [algorithm] [m] [c1,c2,..]\n"
+      "  serve   answer query lines (stdin or --queries) through a router\n"
+      "          over --shards warm engines; line format:\n"
+      "          target [algorithm] [m] [c1,c2,..]\n"
       "  export  write the corpus as Amazon-layout JSONL (--prefix)\n"
       "Run '%s select --help' for flags.\n",
       program, program);
@@ -351,7 +382,12 @@ int main(int argc, char** argv) {
                "lane cap for one request's internal fan-out"
                " (0 = whole pool, 1 = serial solve)");
   flags.AddInt("cache_capacity", 256, "engine vector-cache entries");
+  flags.AddInt("shards", 1,
+               "target-id range shards behind the serve router"
+               " (1 = single engine)");
   flags.AddBool("metrics", false, "dump engine metrics after serve");
+  flags.AddBool("prometheus", false,
+                "dump Prometheus text exposition after serve");
   flags.AddDouble("deadline_ms", 0.0,
                   "per-query deadline in milliseconds (0 = none)");
   flags.AddInt("max_in_flight", 0,
