@@ -20,12 +20,14 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "eval/runner.h"
 #include "service/engine.h"
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/jsonl.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -141,6 +143,19 @@ inline void ExportCsv(const BenchArgs& args, const std::string& filename,
   } else {
     std::printf("[csv written to %s]\n", path.c_str());
   }
+}
+
+/// Hardware thread count of the machine the bench ran on (≥ 1).
+inline int64_t HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int64_t>(n);
+}
+
+/// Stamps the machine context into a bench JSON document. Timing numbers
+/// are meaningless without the thread count they were measured under, so
+/// every JSON-emitting bench calls this on its top-level doc.
+inline void StampMachine(JsonValue::Object* doc) {
+  (*doc)["hw_concurrency"] = HardwareConcurrency();
 }
 
 /// Formats a 0-1 ROUGE F1 the way the paper prints it (x100, 2 dp).

@@ -8,9 +8,15 @@
 // measured ratios as JSON:
 //
 //   micro_solvers --kernels_only [--kernels_out=results/solver_kernels.json]
+//                 [--kernel=scalar|avx2|auto]
 //
 // The two paths must produce identical NOMP supports on every budget;
-// the mode fails (non-zero exit) if they diverge.
+// the mode fails (non-zero exit) if they diverge. The mode also times
+// the Gram-path work under each kernel-dispatch target (scalar, avx2
+// where the CPU has it) and under the cross-request batched entry
+// points, cross-checking that every target and the batched paths return
+// bit-identical results; --kernel=NAME pins the dispatch and restricts
+// the comparison to that target.
 //
 // A second comparison mode times one CompaReSetS+ request serially vs
 // with intra-request parallelism at several lane caps, verifies the
@@ -30,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/compare_sets.h"
 #include "core/compare_sets_plus.h"
 #include "core/design_matrix.h"
@@ -39,6 +46,7 @@
 #include "graph/targethks_exact.h"
 #include "graph/targethks_greedy.h"
 #include "linalg/gram.h"
+#include "linalg/kernels/kernels.h"
 #include "linalg/nnls.h"
 #include "linalg/nomp.h"
 #include "linalg/qr.h"
@@ -309,7 +317,8 @@ Workload KernelWorkload() {
   return Workload::FromCorpus(std::move(corpus), runner).ValueOrDie();
 }
 
-int RunKernelComparison(const std::string& out_path) {
+int RunKernelComparison(const std::string& out_path,
+                        const std::string& kernel_flag) {
   Workload workload = KernelWorkload();
   // Solve the instance whose target item has the most reviews.
   size_t best = 0;
@@ -435,6 +444,173 @@ int RunKernelComparison(const std::string& out_path) {
                 k.dense_seconds * 1e6, k.gram_seconds * 1e6, k.speedup());
   }
 
+  // -------------------------------------------------------------------
+  // Per-dispatch-target rows: the same Gram-path work timed under each
+  // KernelDispatch target, plus the cross-request batched entry points
+  // the engine's batch window runs. --kernel=NAME pins the dispatch and
+  // restricts the per-target rows to it (batched rows run under the
+  // best target left enabled).
+  std::vector<std::string> dispatch_targets;
+  if (kernel_flag == "auto") {
+    dispatch_targets.push_back("scalar");
+    if (Avx2Kernels() != nullptr) dispatch_targets.push_back("avx2");
+  } else {
+    dispatch_targets.push_back(kernel_flag);
+  }
+
+  // A window-sized batch sharing one design matrix: four distinct
+  // targets, each repeated once — the duplicate mix a serving window
+  // coalesces. The shared V lets BuildGramSystemBatch assemble G once
+  // for all eight; the bit-exact repeats memo-hit in SolveNnlsGramBatch.
+  const size_t kBatch = 8;
+  std::vector<Vector> batch_targets;
+  batch_targets.reserve(kBatch);
+  for (size_t k = 0; k < kBatch / 2; ++k) {
+    Vector t = system.target;
+    for (size_t i = 0; i < t.size(); ++i) {
+      t[i] *= 1.0 + 0.05 * static_cast<double>(k);
+    }
+    batch_targets.push_back(std::move(t));
+  }
+  for (size_t k = 0; k < kBatch / 2; ++k) {
+    batch_targets.push_back(batch_targets[k]);  // Bit-exact repeats.
+  }
+  std::vector<GramBuildItem> gram_items;
+  std::vector<Vector> batch_vty(kBatch);
+  std::vector<double> batch_norm2(kBatch);
+  std::vector<NnlsGramProblem> nnls_problems;
+  for (size_t k = 0; k < kBatch; ++k) {
+    gram_items.push_back({&system.v, &batch_targets[k]});
+    system.v.MultiplyTranspose(batch_targets[k], &batch_vty[k]);
+    batch_norm2[k] = batch_targets[k].Dot(batch_targets[k]);
+  }
+  for (size_t k = 0; k < kBatch; ++k) {
+    nnls_problems.push_back({&batch_vty[k], batch_norm2[k]});
+  }
+
+  // Cross-check first, as with dense-vs-gram above: every dispatch
+  // target and both batched entry points must return bit-identical
+  // numbers on this workload before any of them is timed.
+  auto same_vector = [](const Vector& a, const Vector& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  };
+  std::vector<Vector> reference_x;
+  Vector reference_vty;
+  for (size_t t = 0; t < dispatch_targets.size(); ++t) {
+    if (!SetKernelDispatch(dispatch_targets[t].c_str())) {
+      std::fprintf(stderr, "kernel target %s is unavailable on this CPU\n",
+                   dispatch_targets[t].c_str());
+      return 1;
+    }
+    std::vector<GramSystem> batch_grams = BuildGramSystemBatch(gram_items);
+    std::vector<NnlsResult> batch_nnls =
+        SolveNnlsGramBatch(system.gram.gram, nnls_problems).ValueOrDie();
+    for (size_t k = 0; k < kBatch; ++k) {
+      GramSystem solo = BuildGramSystem(*gram_items[k].v, *gram_items[k].target);
+      NnlsResult nnls_solo =
+          SolveNnlsGram(system.gram.gram, batch_vty[k], batch_norm2[k])
+              .ValueOrDie();
+      if (!same_vector(batch_grams[k].vty, solo.vty) ||
+          !same_vector(batch_nnls[k].x, nnls_solo.x)) {
+        std::fprintf(stderr,
+                     "batched result diverged from solo calls under %s at "
+                     "problem %zu — batching is NOT bit-transparent\n",
+                     dispatch_targets[t].c_str(), k);
+        return 1;
+      }
+      if (t == 0) {
+        reference_x.push_back(std::move(nnls_solo.x));
+        if (k == 0) reference_vty = std::move(solo.vty);
+      } else if (!same_vector(batch_nnls[k].x, reference_x[k]) ||
+                 (k == 0 && !same_vector(batch_grams[0].vty, reference_vty))) {
+        std::fprintf(stderr,
+                     "dispatch target %s diverged from %s at problem %zu — "
+                     "targets are NOT bit-identical\n",
+                     dispatch_targets[t].c_str(), dispatch_targets[0].c_str(),
+                     k);
+        return 1;
+      }
+    }
+  }
+
+  struct DispatchTiming {
+    std::string name;
+    std::string target;
+    double seconds = 0.0;  // Per problem, amortized over the batch.
+  };
+  std::vector<DispatchTiming> dispatch;
+  // Best-of-3: scheduler noise on shared machines dwarfs the per-target
+  // deltas at these durations; the minimum is the least-contended run.
+  auto min_time_per_call = [](const std::function<void()>& fn) {
+    double best_seconds = TimePerCall(fn);
+    for (int repeat = 1; repeat < 3; ++repeat) {
+      best_seconds = std::min(best_seconds, TimePerCall(fn));
+    }
+    return best_seconds;
+  };
+  for (const std::string& target : dispatch_targets) {
+    SetKernelDispatch(target.c_str());
+    DispatchTiming gram_row{"gram_build", target};
+    gram_row.seconds = min_time_per_call([&] {
+                         for (const GramBuildItem& item : gram_items) {
+                           GramSystem g = BuildGramSystem(*item.v, *item.target);
+                           benchmark::DoNotOptimize(g);
+                         }
+                       }) /
+                       static_cast<double>(kBatch);
+    dispatch.push_back(gram_row);
+    DispatchTiming nnls_row{"nnls_refit", target};
+    nnls_row.seconds = min_time_per_call([&] {
+                         for (size_t k = 0; k < kBatch; ++k) {
+                           auto result = SolveNnlsGram(
+                               system.gram.gram, batch_vty[k], batch_norm2[k]);
+                           benchmark::DoNotOptimize(result);
+                         }
+                       }) /
+                       static_cast<double>(kBatch);
+    dispatch.push_back(nnls_row);
+  }
+  SetKernelDispatch(dispatch_targets.back().c_str());
+  DispatchTiming gram_batched{"gram_build", "batched"};
+  gram_batched.seconds = min_time_per_call([&] {
+                           std::vector<GramSystem> grams =
+                               BuildGramSystemBatch(gram_items);
+                           benchmark::DoNotOptimize(grams);
+                         }) /
+                         static_cast<double>(kBatch);
+  dispatch.push_back(gram_batched);
+  DispatchTiming nnls_batched{"nnls_refit", "batched"};
+  nnls_batched.seconds = min_time_per_call([&] {
+                           auto results =
+                               SolveNnlsGramBatch(system.gram.gram,
+                                                  nnls_problems);
+                           benchmark::DoNotOptimize(results);
+                         }) /
+                         static_cast<double>(kBatch);
+  dispatch.push_back(nnls_batched);
+  if (kernel_flag == "auto") SetKernelDispatch("auto");
+
+  auto scalar_seconds = [&](const std::string& name) {
+    for (const DispatchTiming& d : dispatch) {
+      if (d.name == name && d.target == "scalar") return d.seconds;
+    }
+    return 0.0;
+  };
+  std::printf("\n%-14s %-10s %16s %12s   (batch of %zu, batched rows under "
+              "%s)\n",
+              "kernel", "target", "us/problem", "vs scalar", kBatch,
+              dispatch_targets.back().c_str());
+  for (const DispatchTiming& d : dispatch) {
+    double base = scalar_seconds(d.name);
+    std::printf("%-14s %-10s %16.2f %11.2fx\n", d.name.c_str(),
+                d.target.c_str(), d.seconds * 1e6,
+                base > 0.0 ? base / d.seconds : 0.0);
+  }
+
   JsonValue::Array kernel_json;
   for (const KernelTiming& k : kernels) {
     JsonValue::Object object;
@@ -444,6 +620,19 @@ int RunKernelComparison(const std::string& out_path) {
     object["speedup"] = k.speedup();
     kernel_json.push_back(JsonValue(std::move(object)));
   }
+  JsonValue::Array dispatch_json;
+  for (const DispatchTiming& d : dispatch) {
+    JsonValue::Object object;
+    object["name"] = d.name;
+    object["target"] = d.target;
+    object["seconds_per_problem"] = d.seconds;
+    double base = scalar_seconds(d.name);
+    if (base > 0.0 && d.seconds > 0.0) {
+      object["speedup_vs_scalar"] = base / d.seconds;
+    }
+    dispatch_json.push_back(JsonValue(std::move(object)));
+  }
+
   JsonValue::Object doc;
   doc["bench"] = "solver_kernels";
   doc["reviews"] = static_cast<int64_t>(reviews);
@@ -453,6 +642,11 @@ int RunKernelComparison(const std::string& out_path) {
   doc["m"] = static_cast<int64_t>(m);
   doc["nomp_sweep_speedup"] = kernels.front().speedup();
   doc["kernels"] = JsonValue(std::move(kernel_json));
+  doc["kernel_flag"] = kernel_flag;
+  doc["batch"] = static_cast<int64_t>(kBatch);
+  doc["batched_rows_target"] = dispatch_targets.back();
+  doc["dispatch"] = JsonValue(std::move(dispatch_json));
+  bench::StampMachine(&doc);
 
   size_t slash = out_path.find_last_of('/');
   if (slash != std::string::npos) {
@@ -552,6 +746,7 @@ int RunIntraParallelComparison(const std::string& out_path) {
   doc["m"] = static_cast<int64_t>(options.m);
   doc["extra_sync_rounds"] = options.extra_sync_rounds;
   doc["hardware_concurrency"] = static_cast<int64_t>(hardware);
+  bench::StampMachine(&doc);
   doc["timings"] = JsonValue(std::move(timings));
 
   size_t slash = out_path.find_last_of('/');
@@ -574,6 +769,7 @@ int RunIntraParallelComparison(const std::string& out_path) {
 int main(int argc, char** argv) {
   std::string kernels_out;
   std::string intra_out;
+  std::string kernel_flag = "auto";
   bool kernels_only = false;
   bool intra_only = false;
   std::vector<char*> forwarded;
@@ -581,10 +777,13 @@ int main(int argc, char** argv) {
     std::string arg = argv[i] != nullptr ? argv[i] : "";
     const std::string kOutPrefix = "--kernels_out=";
     const std::string kIntraPrefix = "--intra_out=";
+    const std::string kKernelPrefix = "--kernel=";
     if (arg.rfind(kOutPrefix, 0) == 0) {
       kernels_out = arg.substr(kOutPrefix.size());
     } else if (arg == "--kernels_only") {
       kernels_only = true;
+    } else if (arg.rfind(kKernelPrefix, 0) == 0) {
+      kernel_flag = arg.substr(kKernelPrefix.size());
     } else if (arg.rfind(kIntraPrefix, 0) == 0) {
       intra_out = arg.substr(kIntraPrefix.size());
     } else if (arg == "--intra_only") {
@@ -593,6 +792,19 @@ int main(int argc, char** argv) {
       forwarded.push_back(argv[i]);
     }
   }
+  if (kernel_flag != "auto" && kernel_flag != "scalar" &&
+      kernel_flag != "avx2") {
+    std::fprintf(stderr, "--kernel= must be scalar, avx2, or auto (got %s)\n",
+                 kernel_flag.c_str());
+    return 2;
+  }
+  // Pin the dispatch up front so every mode (google-benchmark suite
+  // included) runs under the requested target.
+  if (!comparesets::SetKernelDispatch(kernel_flag.c_str())) {
+    std::fprintf(stderr, "kernel target %s is unavailable on this CPU\n",
+                 kernel_flag.c_str());
+    return 2;
+  }
   if (kernels_only && kernels_out.empty()) {
     kernels_out = "results/solver_kernels.json";
   }
@@ -600,7 +812,7 @@ int main(int argc, char** argv) {
     intra_out = "results/solver_intra_parallel.json";
   }
   if (!kernels_out.empty()) {
-    int rc = comparesets::RunKernelComparison(kernels_out);
+    int rc = comparesets::RunKernelComparison(kernels_out, kernel_flag);
     if (rc != 0 || (kernels_only && intra_out.empty())) return rc;
   }
   if (!intra_out.empty()) {

@@ -175,6 +175,7 @@ int main(int argc, char** argv) {
   doc["burst"] = static_cast<int64_t>(requests.size());
   doc["threads"] = static_cast<int64_t>(threads);
   doc["selector"] = flags.GetString("algorithm");
+  StampMachine(&doc);
   doc["scenarios"] = JsonValue(std::move(scenarios));
 
   ::mkdir(args.outdir.c_str(), 0755);

@@ -165,6 +165,7 @@ int main(int argc, char** argv) {
   doc["queries_per_pass"] = static_cast<int64_t>(requests.size());
   doc["selector"] = flags.GetString("algorithm");
   doc["hardware_concurrency"] = static_cast<int64_t>(hardware);
+  StampMachine(&doc);
   doc["responses_identical_across_shard_counts"] = identical;
   doc["note"] = hardware <= 1
                     ? "measured on a single-core machine; shard counts "

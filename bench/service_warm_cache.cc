@@ -1,5 +1,5 @@
 // Serving-layer benchmark: repeated-query latency against one
-// SelectionEngine, cold vs warm. Two configurations are measured:
+// SelectionEngine, cold vs warm. Three configurations are measured:
 //
 //   vector-cache   result memo disabled — warm passes reuse the cached
 //                  InstanceVectors but re-run the selector each time;
@@ -7,9 +7,15 @@
 //   full engine    default serving config — an exactly repeated query
 //                  is answered whole from the result memo (selectors
 //                  are deterministic), so warm passes skip the solve.
+//   batched window full engine plus batch_kernel_window=8 — each batch
+//                  is staged in windows whose Gram builds run as one
+//                  batched kernel pass before the requests execute;
+//                  isolates the cross-request batching win on the cold
+//                  pass (warm passes memo-hit either way).
 //
 //   service_warm_cache [--products N] [--instances N] [--seed S]
-//                      [--passes P] [--algorithm NAME] [--outdir DIR]
+//                      [--passes P] [--algorithm NAME] [--window W]
+//                      [--outdir DIR]
 
 #include "bench_common.h"
 #include "util/timer.h"
@@ -24,7 +30,7 @@ struct ConfigResult {
   double warm_ms = 0.0;
 };
 
-ConfigResult RunConfig(const char* name, size_t result_capacity,
+ConfigResult RunConfig(const char* name, size_t result_capacity, size_t window,
                        const std::shared_ptr<const IndexedCorpus>& corpus,
                        const std::vector<SelectRequest>& requests, int passes,
                        std::vector<CsvRow>* csv, std::string* metrics_dump) {
@@ -36,6 +42,7 @@ ConfigResult RunConfig(const char* name, size_t result_capacity,
   engine_options.max_intra_request_threads = 1;
   engine_options.cache_capacity = corpus->num_instances();
   engine_options.result_capacity = result_capacity;
+  engine_options.batch_kernel_window = window;
   engine_options.measure_alignment = false;
   SelectionEngine engine(corpus, engine_options);
 
@@ -67,7 +74,8 @@ ConfigResult RunConfig(const char* name, size_t result_capacity,
                 "%zu vector hits, %zu memo hits\n",
                 pass, kind, ms, ms / static_cast<double>(requests.size()),
                 vector_hits, memo_hits);
-    csv->push_back({name, std::to_string(pass), kind, FormatDouble(ms, 3),
+    csv->push_back({name, std::to_string(window), std::to_string(pass), kind,
+                    FormatDouble(ms, 3),
                     FormatDouble(ms / static_cast<double>(requests.size()), 4)});
   }
   out.warm_ms = warm_total / static_cast<double>(passes);
@@ -87,6 +95,8 @@ int main(int argc, char** argv) {
       [](FlagParser* f) {
         f->AddInt("passes", 3, "warm passes after the cold pass");
         f->AddString("algorithm", "CompaReSetS+", "selector to serve");
+        f->AddInt("window", 8,
+                  "batch_kernel_window for the batched-window config");
       },
       &flags);
   if (args.help) return 0;
@@ -104,16 +114,21 @@ int main(int argc, char** argv) {
               flags.GetString("algorithm").c_str());
 
   int passes = flags.GetInt("passes");
+  size_t window = static_cast<size_t>(flags.GetInt("window"));
   std::vector<CsvRow> csv = {
-      {"config", "pass", "kind", "ms_total", "ms_per_query"}};
+      {"config", "window", "pass", "kind", "ms_total", "ms_per_query"}};
   std::string vector_metrics;
   std::string full_metrics;
+  std::string windowed_metrics;
   ConfigResult vector_only =
-      RunConfig("vector-cache (result memo off)", 0, corpus, requests, passes,
-                &csv, &vector_metrics);
+      RunConfig("vector-cache (result memo off)", 0, 0, corpus, requests,
+                passes, &csv, &vector_metrics);
   ConfigResult full = RunConfig("full engine (vector cache + result memo)",
-                                requests.size(), corpus, requests, passes,
+                                requests.size(), 0, corpus, requests, passes,
                                 &csv, &full_metrics);
+  ConfigResult windowed = RunConfig("full engine + batched kernel window",
+                                    requests.size(), window, corpus, requests,
+                                    passes, &csv, &windowed_metrics);
 
   std::printf("\nSummary (%d warm passes averaged):\n", passes);
   std::printf("  vector cache only : %8.2f ms cold vs %8.2f ms warm → %.2fx\n",
@@ -121,6 +136,11 @@ int main(int argc, char** argv) {
               vector_only.cold_ms / vector_only.warm_ms);
   std::printf("  full engine       : %8.2f ms cold vs %8.2f ms warm → %.2fx\n",
               full.cold_ms, full.warm_ms, full.cold_ms / full.warm_ms);
+  std::printf("  window=%-11zu : %8.2f ms cold vs %8.2f ms warm → %.2fx "
+              "(cold vs unwindowed cold: %.2fx)\n",
+              window, windowed.cold_ms, windowed.warm_ms,
+              windowed.cold_ms / windowed.warm_ms,
+              full.cold_ms / windowed.cold_ms);
 
   std::printf("\nFull-engine metrics:\n%s", full_metrics.c_str());
   ExportCsv(args, "service_warm_cache.csv", csv);

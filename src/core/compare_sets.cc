@@ -47,4 +47,9 @@ Result<SelectionResult> CompareSetsSelector::Select(
   return out;
 }
 
+void CompareSetsSelector::PrefetchSystems(const InstanceVectors& vectors,
+                                          const SelectorOptions& options) const {
+  PrefetchCompareSetsSystems(vectors, options.lambda);
+}
+
 }  // namespace comparesets

@@ -15,6 +15,8 @@ class CompareSetsSelector : public ReviewSelector {
   Result<SelectionResult> Select(const InstanceVectors& vectors,
                                  const SelectorOptions& options,
                                  const ExecControl* control) const override;
+  void PrefetchSystems(const InstanceVectors& vectors,
+                       const SelectorOptions& options) const override;
 };
 
 }  // namespace comparesets

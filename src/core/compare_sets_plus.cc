@@ -1,10 +1,12 @@
 #include "core/compare_sets_plus.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "core/compare_sets.h"
+#include "core/design_matrix.h"
 #include "core/integer_regression.h"
 #include "eval/objective.h"
 #include "util/timer.h"
@@ -43,6 +45,16 @@ Result<SelectionResult> CompareSetsPlusSelector::Select(
   // sweep monotone: a proposal is accepted only if it strictly improves
   // item i's full coordinate cost under the *current* state.
   int sweeps = 1 + std::max(0, options.extra_sync_rounds);
+
+  // Per-item systems persist across sweeps: the column structure — and
+  // with it the dedup grouping, G, and the column norms — depends only
+  // on (vectors, item, λ, μ); the evolving φs appear solely in the
+  // target. Later sweeps therefore refresh each system's target in
+  // place (RefreshDesignTarget: bit-identical to a rebuild) instead of
+  // re-running dedup and the O(q · nnz) Gram build. Each lane touches
+  // only its own slot, and sweeps are sequential.
+  std::vector<std::unique_ptr<DesignSystem>> systems(n);
+
   for (int sweep = 0; sweep < sweeps; ++sweep) {
     Timer round_timer;
     const std::vector<Vector> sweep_phis = phis;
@@ -59,8 +71,17 @@ Result<SelectionResult> CompareSetsPlusSelector::Select(
               for (size_t j = 0; j < n; ++j) {
                 if (j != i) other_phis.push_back(sweep_phis[j]);
               }
-              DesignSystem system = BuildCompareSetsPlusSystem(
-                  vectors, i, options.lambda, options.mu, other_phis);
+              if (systems[i] == nullptr) {
+                systems[i] = std::make_unique<DesignSystem>(
+                    BuildCompareSetsPlusSystem(vectors, i, options.lambda,
+                                               options.mu, other_phis));
+              } else {
+                RefreshDesignTarget(
+                    systems[i].get(),
+                    BuildCompareSetsPlusTarget(vectors, i, options.lambda,
+                                               options.mu, other_phis));
+              }
+              const DesignSystem& system = *systems[i];
 
               // Item i's full contribution to Eq. 5 holding the others
               // at their round-start values: own Eq. 3 cost +
@@ -105,6 +126,14 @@ Result<SelectionResult> CompareSetsPlusSelector::Select(
   state.objective = CompareSetsPlusObjective(vectors, state.selections,
                                              options.lambda, options.mu);
   return state;
+}
+
+void CompareSetsPlusSelector::PrefetchSystems(
+    const InstanceVectors& vectors, const SelectorOptions& options) const {
+  // The cacheable work is the bootstrap's per-item CompaReSetS systems;
+  // the sweep's own systems embed evolving φ targets and are not
+  // memoized (they persist across sweeps locally instead).
+  PrefetchCompareSetsSystems(vectors, options.lambda);
 }
 
 }  // namespace comparesets

@@ -47,4 +47,10 @@ Result<SelectionResult> CrsSelector::Select(
   return out;
 }
 
+void CrsSelector::PrefetchSystems(const InstanceVectors& vectors,
+                                  const SelectorOptions& options) const {
+  (void)options;  // Crs systems depend on the vectors only.
+  PrefetchCrsSystems(vectors);
+}
+
 }  // namespace comparesets

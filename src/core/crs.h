@@ -17,6 +17,8 @@ class CrsSelector : public ReviewSelector {
   Result<SelectionResult> Select(const InstanceVectors& vectors,
                                  const SelectorOptions& options,
                                  const ExecControl* control) const override;
+  void PrefetchSystems(const InstanceVectors& vectors,
+                       const SelectorOptions& options) const override;
 };
 
 }  // namespace comparesets

@@ -3,6 +3,7 @@
 #include <bit>
 #include <utility>
 
+#include "linalg/kernels/kernels.h"
 #include "util/logging.h"
 
 namespace comparesets {
@@ -49,9 +50,11 @@ bool DenseLexLess(const SparseColumn& a, const SparseColumn& b) {
 /// Deduplicates raw per-review sparse columns into a DesignSystem.
 /// Signature equality is exact double equality, which is correct here:
 /// columns are built from identical integer indicators scaled by the
-/// same constants.
+/// same constants. When `build_gram` is false the caller fills the Gram
+/// itself (the batched prefetch path runs one BuildGramSystemBatch over
+/// many skeletons instead of one build per system).
 DesignSystem Deduplicate(size_t rows, std::vector<SparseColumn> columns,
-                         Vector target) {
+                         Vector target, bool build_gram = true) {
   COMPARESETS_CHECK(target.size() == rows) << "design target size mismatch";
   // Map column payload -> group index (ordered map under the dense-
   // lexicographic comparator gives deterministic group order independent
@@ -81,13 +84,12 @@ DesignSystem Deduplicate(size_t rows, std::vector<SparseColumn> columns,
   for (const SparseColumn* representative : representatives) {
     out.v.AppendColumn(*representative);
   }
-  out.gram = BuildGramSystem(out.v, out.target);
+  if (build_gram) out.gram = BuildGramSystem(out.v, out.target);
   return out;
 }
 
-}  // namespace
-
-DesignSystem BuildCrsSystem(const InstanceVectors& vectors, size_t item) {
+/// BuildCrsSystem minus the Gram (filled by the caller).
+DesignSystem BuildCrsSkeleton(const InstanceVectors& vectors, size_t item) {
   COMPARESETS_CHECK(item < vectors.num_items()) << "item out of range";
   std::vector<SparseColumn> columns;
   size_t reviews = vectors.num_reviews(item);
@@ -98,11 +100,12 @@ DesignSystem BuildCrsSystem(const InstanceVectors& vectors, size_t item) {
     columns.push_back(std::move(column));
   }
   return Deduplicate(vectors.tau[item].size(), std::move(columns),
-                     vectors.tau[item]);
+                     vectors.tau[item], /*build_gram=*/false);
 }
 
-DesignSystem BuildCompareSetsSystem(const InstanceVectors& vectors,
-                                    size_t item, double lambda) {
+/// BuildCompareSetsSystem minus the Gram (filled by the caller).
+DesignSystem BuildCompareSetsSkeleton(const InstanceVectors& vectors,
+                                      size_t item, double lambda) {
   COMPARESETS_CHECK(item < vectors.num_items()) << "item out of range";
   std::vector<SparseColumn> columns;
   size_t reviews = vectors.num_reviews(item);
@@ -117,7 +120,23 @@ DesignSystem BuildCompareSetsSystem(const InstanceVectors& vectors,
   Vector target = vectors.tau[item];
   target.AppendScaled(lambda, vectors.gamma);
   size_t rows = target.size();
-  return Deduplicate(rows, std::move(columns), std::move(target));
+  return Deduplicate(rows, std::move(columns), std::move(target),
+                     /*build_gram=*/false);
+}
+
+}  // namespace
+
+DesignSystem BuildCrsSystem(const InstanceVectors& vectors, size_t item) {
+  DesignSystem out = BuildCrsSkeleton(vectors, item);
+  out.gram = BuildGramSystem(out.v, out.target);
+  return out;
+}
+
+DesignSystem BuildCompareSetsSystem(const InstanceVectors& vectors,
+                                    size_t item, double lambda) {
+  DesignSystem out = BuildCompareSetsSkeleton(vectors, item, lambda);
+  out.gram = BuildGramSystem(out.v, out.target);
+  return out;
 }
 
 DesignSystem BuildCompareSetsPlusSystem(
@@ -146,13 +165,37 @@ DesignSystem BuildCompareSetsPlusSystem(
     columns.push_back(std::move(column));
   }
 
+  Vector target =
+      BuildCompareSetsPlusTarget(vectors, item, lambda, mu, other_phis);
+  size_t rows = target.size();
+  return Deduplicate(rows, std::move(columns), std::move(target));
+}
+
+Vector BuildCompareSetsPlusTarget(const InstanceVectors& vectors, size_t item,
+                                  double lambda, double mu,
+                                  const std::vector<Vector>& other_phis) {
   Vector target = vectors.tau[item];
   target.AppendScaled(lambda, vectors.gamma);
   for (const Vector& phi : other_phis) {
     target.AppendScaled(mu, phi);
   }
-  size_t rows = target.size();
-  return Deduplicate(rows, std::move(columns), std::move(target));
+  return target;
+}
+
+void RefreshDesignTarget(DesignSystem* system, Vector target) {
+  COMPARESETS_CHECK(target.size() == system->target.size())
+      << "refreshed target size mismatch";
+  system->target = std::move(target);
+  const SparseMatrix& v = system->v;
+  GramSystem& gram = system->gram;
+  const KernelDispatch& kernels = Kernels();
+  // Each column of the transposed GEMV runs the same gather reduction a
+  // full rebuild's per-column Ṽᵀy pass runs, so the bits match exactly;
+  // G and the column norms never depended on the target.
+  kernels.sparse_gemv_t(v.ColPtr(), v.RowIdx(), v.Values(), v.cols(),
+                        system->target.raw(), gram.vty.raw());
+  gram.target_norm2 = kernels.dot(system->target.raw(), system->target.raw(),
+                                  system->target.size());
 }
 
 std::shared_ptr<const DesignSystem> DesignSystemCache::GetCrs(
@@ -164,6 +207,54 @@ std::shared_ptr<const DesignSystem> DesignSystemCache::GetCompareSets(
     const InstanceVectors& vectors, size_t item, double lambda) const {
   return GetOrBuild(Key{'c', item, std::bit_cast<uint64_t>(lambda)}, vectors,
                     lambda);
+}
+
+void DesignSystemCache::PrefetchCrs(const InstanceVectors& vectors) const {
+  Prefetch('r', vectors, 0.0);
+}
+
+void DesignSystemCache::PrefetchCompareSets(const InstanceVectors& vectors,
+                                            double lambda) const {
+  Prefetch('c', vectors, lambda);
+}
+
+void DesignSystemCache::Prefetch(char kind, const InstanceVectors& vectors,
+                                 double lambda) const {
+  uint64_t lambda_bits = kind == 'r' ? 0 : std::bit_cast<uint64_t>(lambda);
+  std::vector<size_t> missing;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t item = 0; item < vectors.num_items(); ++item) {
+      if (!entries_.contains(Key{kind, item, lambda_bits})) {
+        missing.push_back(item);
+      }
+    }
+  }
+  if (missing.empty()) return;
+
+  // Skeletons first, then one batched Gram pass over a shared scatter
+  // workspace — all outside the lock; racing on-demand builds of the
+  // same keys produce identical systems and whichever inserts first
+  // wins.
+  std::vector<std::shared_ptr<DesignSystem>> built;
+  built.reserve(missing.size());
+  for (size_t item : missing) {
+    built.push_back(std::make_shared<DesignSystem>(
+        kind == 'r' ? BuildCrsSkeleton(vectors, item)
+                    : BuildCompareSetsSkeleton(vectors, item, lambda)));
+  }
+  std::vector<GramBuildItem> gram_items;
+  gram_items.reserve(built.size());
+  for (const auto& system : built) {
+    gram_items.push_back({&system->v, &system->target});
+  }
+  std::vector<GramSystem> grams = BuildGramSystemBatch(gram_items);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t k = 0; k < built.size(); ++k) {
+    built[k]->gram = std::move(grams[k]);
+    if (entries_.size() >= kMaxEntries) entries_.clear();
+    entries_.emplace(Key{kind, missing[k], lambda_bits}, std::move(built[k]));
+  }
 }
 
 std::shared_ptr<const DesignSystem> DesignSystemCache::GetOrBuild(
@@ -214,6 +305,19 @@ std::shared_ptr<const DesignSystem> GetOrBuildCompareSetsSystem(
   }
   return std::make_shared<const DesignSystem>(
       BuildCompareSetsSystem(vectors, item, lambda));
+}
+
+void PrefetchCrsSystems(const InstanceVectors& vectors) {
+  if (vectors.system_cache != nullptr) {
+    vectors.system_cache->PrefetchCrs(vectors);
+  }
+}
+
+void PrefetchCompareSetsSystems(const InstanceVectors& vectors,
+                                double lambda) {
+  if (vectors.system_cache != nullptr) {
+    vectors.system_cache->PrefetchCompareSets(vectors, lambda);
+  }
 }
 
 }  // namespace comparesets

@@ -65,6 +65,23 @@ DesignSystem BuildCompareSetsPlusSystem(
     const InstanceVectors& vectors, size_t item, double lambda, double mu,
     const std::vector<Vector>& other_phis);
 
+/// Just the target [τ_i ; λΓ ; μφ(S_1) ; … ; μφ(S_n)] (skipping i) of
+/// BuildCompareSetsPlusSystem — assembled by the same operations, so the
+/// bits match the full builder's target exactly.
+Vector BuildCompareSetsPlusTarget(const InstanceVectors& vectors, size_t item,
+                                  double lambda, double mu,
+                                  const std::vector<Vector>& other_phis);
+
+/// Swaps a new target (same size) into an existing system and refreshes
+/// the target-dependent Gram entries (Ṽᵀy in one sparse_gemv_t kernel
+/// pass, ‖y‖² in one kernel dot). The column structure — and with it the
+/// dedup grouping, G, and the column norms — depends only on the
+/// columns, so the result is bit-identical to rebuilding the system
+/// from scratch with the new target. This is how the CompaReSetS+ sweep
+/// carries each item's system across sync rounds: only the φ target
+/// blocks evolve; the Ṽ skeleton and G never change.
+void RefreshDesignTarget(DesignSystem* system, Vector target);
+
 /// Bounded, thread-safe memo of built design systems for one prepared
 /// instance. Crs and CompaReSetS systems depend only on (item, λ) given
 /// fixed vectors, so the service layer builds each once per cached
@@ -76,6 +93,17 @@ class DesignSystemCache {
                                              size_t item) const;
   std::shared_ptr<const DesignSystem> GetCompareSets(
       const InstanceVectors& vectors, size_t item, double lambda) const;
+
+  /// Builds every item's system that is not already cached, in one pass:
+  /// the column skeletons are assembled first, then all the Grams are
+  /// filled by a single BuildGramSystemBatch call over one shared
+  /// scatter workspace. Each inserted system is bit-identical to what
+  /// the per-item getter would have built on demand; already-present
+  /// entries win over prefetched ones. Purely a warm-up for the batch
+  /// window — never required for correctness.
+  void PrefetchCrs(const InstanceVectors& vectors) const;
+  void PrefetchCompareSets(const InstanceVectors& vectors,
+                           double lambda) const;
 
   size_t size() const;
   size_t ApproxMemoryBytes() const;
@@ -91,6 +119,9 @@ class DesignSystemCache {
   std::shared_ptr<const DesignSystem> GetOrBuild(
       const Key& key, const InstanceVectors& vectors, double lambda) const;
 
+  void Prefetch(char kind, const InstanceVectors& vectors,
+                double lambda) const;
+
   /// Safety valve, far above any real working set (items × λ values).
   static constexpr size_t kMaxEntries = 1024;
 
@@ -105,5 +136,12 @@ std::shared_ptr<const DesignSystem> GetOrBuildCrsSystem(
     const InstanceVectors& vectors, size_t item);
 std::shared_ptr<const DesignSystem> GetOrBuildCompareSetsSystem(
     const InstanceVectors& vectors, size_t item, double lambda);
+
+/// Batched warm-up counterparts (selector PrefetchSystems hooks): build
+/// every per-item system into `vectors.system_cache` in one batched
+/// Gram pass. No-ops when the instance carries no cache — uncached
+/// instances build per item exactly as before.
+void PrefetchCrsSystems(const InstanceVectors& vectors);
+void PrefetchCompareSetsSystems(const InstanceVectors& vectors, double lambda);
 
 }  // namespace comparesets

@@ -113,30 +113,9 @@ Result<IntegerRegressionResult> SolveIntegerRegression(
     }
   };
 
-  // The dense reference path densifies Ṽ once, outside the ℓ loop.
-  bool dense = solver.backend == SolverBackend::kDenseReference;
-  Matrix dense_v;
-  if (dense) dense_v = system.v.ToDense();
-
-  size_t max_ell = std::min(m, system.v.cols());
-  for (size_t ell = 1; ell <= max_ell; ++ell) {
-    auto nomp = dense
-                    ? SolveNomp(dense_v, system.target, ell, control)
-                    : SolveNompGram(system.gram, ell, control, solver.workspace);
-    if (!nomp.ok()) {
-      // Deadline/cancellation must surface; a degenerate system at this
-      // ℓ is recoverable — try the other budgets.
-      StatusCode code = nomp.status().code();
-      if (code == StatusCode::kDeadlineExceeded ||
-          code == StatusCode::kCancelled) {
-        return nomp.status();
-      }
-      continue;
-    }
-    const Vector& x = nomp.value().x;
-    if (nomp.value().support.empty()) continue;
-
-    std::vector<int> nu = RoundToIntegerCounts(x, system.dup_counts, m);
+  auto round_and_consider = [&](const NompResult& nomp) {
+    if (nomp.support.empty()) return;
+    std::vector<int> nu = RoundToIntegerCounts(nomp.x, system.dup_counts, m);
     Selection candidate;
     for (size_t g = 0; g < nu.size(); ++g) {
       // ν_g copies of group g: any ν_g members are equivalent (identical
@@ -146,6 +125,48 @@ Result<IntegerRegressionResult> SolveIntegerRegression(
       }
     }
     consider(std::move(candidate));
+  };
+
+  // The dense reference path densifies Ṽ once, outside the ℓ loop.
+  bool dense = solver.backend == SolverBackend::kDenseReference;
+  size_t max_ell = std::min(m, system.v.cols());
+  if (dense) {
+    Matrix dense_v = system.v.ToDense();
+    for (size_t ell = 1; ell <= max_ell; ++ell) {
+      auto nomp = SolveNomp(dense_v, system.target, ell, control);
+      if (!nomp.ok()) {
+        // Deadline/cancellation must surface; a degenerate system at
+        // this ℓ is recoverable — try the other budgets.
+        StatusCode code = nomp.status().code();
+        if (code == StatusCode::kDeadlineExceeded ||
+            code == StatusCode::kCancelled) {
+          return nomp.status();
+        }
+        continue;
+      }
+      round_and_consider(nomp.value());
+    }
+  } else {
+    // The Gram path batches all budgets into one pursuit: the sweep's
+    // per-ℓ snapshots are bit-identical to per-ℓ SolveNompGram calls
+    // (linalg/nomp.h), with O(max_ell) refits instead of O(max_ell²).
+    auto sweep =
+        SolveNompGramSweep(system.gram, max_ell, control, solver.workspace);
+    if (!sweep.ok()) {
+      StatusCode code = sweep.status().code();
+      if (code == StatusCode::kDeadlineExceeded ||
+          code == StatusCode::kCancelled) {
+        return sweep.status();
+      }
+      // Degenerate system: no candidates — the fallback below answers.
+    } else {
+      for (const NompResult& nomp : sweep.value()) {
+        // The per-ℓ path crossed a control boundary per budget; keep
+        // that cadence so cancellation between true-cost calls lands.
+        COMPARESETS_RETURN_NOT_OK(CheckExec(control, "integer_regression"));
+        round_and_consider(nomp);
+      }
+    }
   }
 
   if (!std::isfinite(best.cost)) {

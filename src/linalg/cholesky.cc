@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels/kernels.h"
 #include "util/logging.h"
 
 namespace comparesets {
@@ -35,16 +36,13 @@ bool IncrementalCholesky::Append(const double* cross, double diag) {
   Reserve(dim_ + 1);
   max_diag_ = std::max(max_diag_, diag);
 
-  // Forward-substitute L c = cross to get the new row of L, accumulating
-  // its squared norm; the new pivot² is diag − ‖c‖².
+  // Forward-substitute L c = cross to get the new row of L (a single-RHS
+  // trsm over the existing factor block); the new pivot² is diag − ‖c‖².
+  const KernelDispatch& kernels = Kernels();
   double* row = &l_[dim_ * cap_];
-  double row_norm2 = 0.0;
-  for (size_t k = 0; k < dim_; ++k) {
-    double s = cross[k];
-    for (size_t t = 0; t < k; ++t) s -= At(k, t) * row[t];
-    row[k] = s / At(k, k);
-    row_norm2 += row[k] * row[k];
-  }
+  std::copy(cross, cross + dim_, row);
+  kernels.trsm_forward(l_.data(), cap_, dim_, row, 1);
+  double row_norm2 = kernels.sumsq(row, dim_);
   double pivot2 = diag - row_norm2;
   if (pivot2 <= kPivotRelTol * max_diag_ || !(pivot2 > 0.0)) return false;
   row[dim_] = std::sqrt(pivot2);
@@ -81,18 +79,15 @@ void IncrementalCholesky::Remove(size_t pos) {
 }
 
 void IncrementalCholesky::Solve(const double* rhs, double* out) const {
-  // Forward: L u = rhs (u written into out).
-  for (size_t r = 0; r < dim_; ++r) {
-    double s = rhs[r];
-    for (size_t c = 0; c < r; ++c) s -= At(r, c) * out[c];
-    out[r] = s / At(r, r);
-  }
-  // Backward: Lᵀ z = u.
-  for (size_t r = dim_; r-- > 0;) {
-    double s = out[r];
-    for (size_t c = r + 1; c < dim_; ++c) s -= At(c, r) * out[c];
-    out[r] = s / At(r, r);
-  }
+  if (out != rhs) std::copy(rhs, rhs + dim_, out);
+  SolveMulti(out, 1);
+}
+
+void IncrementalCholesky::SolveMulti(double* b, size_t nrhs) const {
+  // Forward L U = B, then backward Lᵀ Z = U, both in place.
+  const KernelDispatch& kernels = Kernels();
+  kernels.trsm_forward(l_.data(), cap_, dim_, b, nrhs);
+  kernels.trsm_backward(l_.data(), cap_, dim_, b, nrhs);
 }
 
 }  // namespace comparesets

@@ -37,6 +37,12 @@ class IncrementalCholesky {
   /// factor order. `out` may alias `rhs`.
   void Solve(const double* rhs, double* out) const;
 
+  /// Solves (L Lᵀ) Z = B for `nrhs` right-hand sides at once, in place:
+  /// `b` is row-major size()×nrhs. One multi-RHS kernel pass; column k
+  /// of the result is bit-identical to Solve() on column k alone (the
+  /// trsm kernels replay the single-RHS op sequence per column).
+  void SolveMulti(double* b, size_t nrhs) const;
+
  private:
   double At(size_t r, size_t c) const { return l_[r * cap_ + c]; }
   double& At(size_t r, size_t c) { return l_[r * cap_ + c]; }

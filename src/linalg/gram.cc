@@ -1,48 +1,100 @@
 #include "linalg/gram.h"
 
 #include <cmath>
+#include <unordered_map>
 
+#include "linalg/kernels/kernels.h"
+#include "linalg/workspace.h"
 #include "util/logging.h"
 
 namespace comparesets {
 
-GramSystem BuildGramSystem(const SparseMatrix& v, const Vector& target) {
+GramSystem BuildGramSystem(const SparseMatrix& v, const Vector& target,
+                           SolverWorkspace* workspace) {
   COMPARESETS_CHECK(target.size() == v.rows()) << "gram target size mismatch";
+  const KernelDispatch& kernels = Kernels();
+  SolverWorkspace& ws =
+      workspace != nullptr ? *workspace : SolverWorkspace::ThreadLocal();
   size_t q = v.cols();
   GramSystem out;
   out.gram = Matrix(q, q);
   out.vty = Vector(q);
-  out.target_norm2 = target.Dot(target);
+  out.target_norm2 = kernels.dot(target.raw(), target.raw(), target.size());
   out.col_norms.resize(q);
 
   // Scatter column j into a dense row-sized workspace, dot every earlier
   // column against it, then clear only the touched rows — O(q · nnz)
-  // total instead of the dense O(q² · rows).
-  std::vector<double> scatter(v.rows(), 0.0);
+  // total instead of the dense O(q² · rows). The workspace buffer is
+  // all-zero between builds (see workspace.h), so only growth zeroes.
+  if (ws.gram_scatter.size() < v.rows()) ws.gram_scatter.resize(v.rows(), 0.0);
+  double* scatter = ws.gram_scatter.data();
+  ws.gram_col.resize(q);
+  double* col = ws.gram_col.data();
   for (size_t j = 0; j < q; ++j) {
     size_t nnz = v.ColumnNnz(j);
     const size_t* rows = v.ColumnRows(j);
     const double* values = v.ColumnValues(j);
-    for (size_t k = 0; k < nnz; ++k) scatter[rows[k]] = values[k];
+    kernels.scatter_set(values, rows, nnz, scatter);
 
+    kernels.gram_scatter(v.ColPtr(), v.RowIdx(), v.Values(), j, scatter, col);
     for (size_t i = 0; i <= j; ++i) {
-      size_t nnz_i = v.ColumnNnz(i);
-      const size_t* rows_i = v.ColumnRows(i);
-      const double* values_i = v.ColumnValues(i);
-      double sum = 0.0;
-      for (size_t k = 0; k < nnz_i; ++k) sum += values_i[k] * scatter[rows_i[k]];
-      out.gram(i, j) = sum;
-      out.gram(j, i) = sum;
+      out.gram(i, j) = col[i];
+      out.gram(j, i) = col[i];
     }
 
-    double vty = 0.0;
-    for (size_t k = 0; k < nnz; ++k) vty += values[k] * target[rows[k]];
-    out.vty[j] = vty;
+    out.vty[j] = kernels.gather_dot(values, rows, nnz, target.raw());
     out.col_norms[j] = std::sqrt(out.gram(j, j));
 
-    for (size_t k = 0; k < nnz; ++k) scatter[rows[k]] = 0.0;
+    kernels.scatter_clear(rows, nnz, scatter);
   }
   return out;
+}
+
+std::vector<GramSystem> BuildGramSystemBatch(
+    const std::vector<GramBuildItem>& items, SolverWorkspace* workspace) {
+  const KernelDispatch& kernels = Kernels();
+  SolverWorkspace& ws =
+      workspace != nullptr ? *workspace : SolverWorkspace::ThreadLocal();
+  std::vector<GramSystem> out;
+  out.reserve(items.size());
+  // First build per distinct design matrix; later repeats share its G.
+  std::unordered_map<const SparseMatrix*, size_t> first_build;
+  for (const GramBuildItem& item : items) {
+    COMPARESETS_CHECK(item.v != nullptr && item.target != nullptr)
+        << "gram batch item missing matrix or target";
+    auto it = first_build.find(item.v);
+    if (it == first_build.end()) {
+      first_build.emplace(item.v, out.size());
+      out.push_back(BuildGramSystem(*item.v, *item.target, &ws));
+      continue;
+    }
+    const SparseMatrix& v = *item.v;
+    const Vector& target = *item.target;
+    COMPARESETS_CHECK(target.size() == v.rows())
+        << "gram target size mismatch";
+    const GramSystem& head = out[it->second];
+    GramSystem g;
+    g.gram = head.gram;
+    g.col_norms = head.col_norms;
+    g.vty = Vector(v.cols());
+    // Vᵀy for the new target in one kernel pass; each column's gather
+    // reduction is exactly the solo build's, so the bits match.
+    kernels.sparse_gemv_t(v.ColPtr(), v.RowIdx(), v.Values(), v.cols(),
+                          target.raw(), g.vty.raw());
+    g.target_norm2 = kernels.dot(target.raw(), target.raw(), target.size());
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+GramSystem GramSystem::Build(const SparseMatrix& v, const Vector& target,
+                             SolverWorkspace* workspace) {
+  return BuildGramSystem(v, target, workspace);
+}
+
+std::vector<GramSystem> GramSystem::BuildBatch(
+    const std::vector<GramBuildItem>& items, SolverWorkspace* workspace) {
+  return BuildGramSystemBatch(items, workspace);
 }
 
 }  // namespace comparesets

@@ -24,6 +24,17 @@
 
 namespace comparesets {
 
+struct SolverWorkspace;
+struct GramSystem;
+
+/// One (matrix, target) pair of a batched Gram build. Pointers must
+/// outlive the BuildBatch call; repeating the same `v` pointer marks
+/// problems that share a design matrix.
+struct GramBuildItem {
+  const SparseMatrix* v = nullptr;
+  const Vector* target = nullptr;
+};
+
 struct GramSystem {
   /// G = VᵀV (q×q, symmetric, dense — q is the deduplicated group count).
   Matrix gram;
@@ -41,10 +52,31 @@ struct GramSystem {
     return (gram.rows() * gram.cols() + vty.size() + col_norms.size()) *
            sizeof(double);
   }
+
+  /// BuildGramSystem as a named constructor.
+  static GramSystem Build(const SparseMatrix& v, const Vector& target,
+                          SolverWorkspace* workspace = nullptr);
+  /// BuildGramSystemBatch as a named constructor.
+  static std::vector<GramSystem> BuildBatch(
+      const std::vector<GramBuildItem>& items,
+      SolverWorkspace* workspace = nullptr);
 };
 
-/// Builds G, Vᵀy, ‖y‖² and the column norms in one O(q · nnz) pass.
-/// `target.size()` must equal `v.rows()`.
-GramSystem BuildGramSystem(const SparseMatrix& v, const Vector& target);
+/// Builds G, Vᵀy, ‖y‖² and the column norms in one O(q · nnz) pass of
+/// kernel-dispatch gather/scatter ops. `target.size()` must equal
+/// `v.rows()`. `workspace` (nullptr = thread-local) supplies the dense
+/// scatter buffer, so back-to-back builds allocate nothing.
+GramSystem BuildGramSystem(const SparseMatrix& v, const Vector& target,
+                           SolverWorkspace* workspace = nullptr);
+
+/// Builds every item's GramSystem in one pass over a shared workspace.
+/// Items repeating an earlier item's `v` pointer reuse its G and column
+/// norms outright and get their Vᵀy in a single sparse_gemv_t kernel
+/// pass — O(nnz) per extra target instead of O(q · nnz). Results are
+/// bit-identical to calling BuildGramSystem per item (same kernels,
+/// same order, per column).
+std::vector<GramSystem> BuildGramSystemBatch(
+    const std::vector<GramBuildItem>& items,
+    SolverWorkspace* workspace = nullptr);
 
 }  // namespace comparesets

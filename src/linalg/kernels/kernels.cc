@@ -1,0 +1,90 @@
+// Kernel dispatch selection: CPUID once, environment override, and the
+// test/bench hook for switching targets in-process. No floating-point
+// code lives here — the implementations are in kernels_scalar.cc and
+// kernels_avx2.cc, each compiled with its own flags.
+
+#include "linalg/kernels/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace comparesets {
+
+// Defined in kernels_avx2.cc; nullptr when the toolchain lacks AVX2.
+const KernelDispatch* Avx2KernelsCompiled();
+
+namespace {
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+/// The CPUID-selected default: the widest target both the binary and
+/// the CPU support.
+const KernelDispatch& AutoKernels() {
+  const KernelDispatch* avx2 = Avx2Kernels();
+  return avx2 != nullptr ? *avx2 : ScalarKernels();
+}
+
+/// Resolves the COMPARESETS_KERNEL override (if any) on first use.
+const KernelDispatch& ResolveStartupDispatch() {
+  const char* env = std::getenv("COMPARESETS_KERNEL");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) {
+    return AutoKernels();
+  }
+  if (std::strcmp(env, "scalar") == 0) return ScalarKernels();
+  if (std::strcmp(env, "avx2") == 0) {
+    const KernelDispatch* avx2 = Avx2Kernels();
+    if (avx2 != nullptr) return *avx2;
+    COMPARESETS_LOG(kWarning)
+        << "COMPARESETS_KERNEL=avx2 requested but AVX2 is unavailable "
+        << "on this build/CPU; falling back to scalar kernels";
+    return ScalarKernels();
+  }
+  COMPARESETS_LOG(kWarning) << "Unknown COMPARESETS_KERNEL value '" << env
+                            << "' (expected scalar|avx2|auto); using auto";
+  return AutoKernels();
+}
+
+std::atomic<const KernelDispatch*> g_active{nullptr};
+
+}  // namespace
+
+const KernelDispatch& Kernels() {
+  const KernelDispatch* active = g_active.load(std::memory_order_acquire);
+  if (active == nullptr) {
+    // Benign race: every thread resolves to the same pointer.
+    active = &ResolveStartupDispatch();
+    g_active.store(active, std::memory_order_release);
+  }
+  return *active;
+}
+
+const KernelDispatch* Avx2Kernels() {
+  const KernelDispatch* compiled = Avx2KernelsCompiled();
+  if (compiled == nullptr || !CpuHasAvx2()) return nullptr;
+  return compiled;
+}
+
+bool SetKernelDispatch(const char* name) {
+  const KernelDispatch* target = nullptr;
+  if (name != nullptr && std::strcmp(name, "scalar") == 0) {
+    target = &ScalarKernels();
+  } else if (name != nullptr && std::strcmp(name, "avx2") == 0) {
+    target = Avx2Kernels();
+  } else if (name != nullptr && std::strcmp(name, "auto") == 0) {
+    target = &AutoKernels();
+  }
+  if (target == nullptr) return false;
+  g_active.store(target, std::memory_order_release);
+  return true;
+}
+
+}  // namespace comparesets

@@ -1,0 +1,115 @@
+// Runtime-dispatched numeric kernels — the single home for every hot
+// inner loop in linalg/ (the Kaldi matrix-library idiom: one vtable of
+// C function pointers, one portable scalar implementation, optional
+// per-arch SIMD implementations compiled in their own translation units
+// with the matching -m flags, selected once at startup by CPUID).
+//
+// Bit-reproducibility contract
+// ----------------------------
+// Every kernel that reduces (dot, sumsq, squared_distance, gather_dot,
+// and everything built on them) uses the SAME canonical accumulation
+// order in every implementation: four independent partial accumulators
+// over blocks of four elements in index order, combined as
+// (acc0 + acc1) + (acc2 + acc3), followed by a sequential scalar tail.
+// That order is exactly one AVX2 double lane, so the scalar and SIMD
+// targets produce bit-identical results — not merely close ones — and
+// COMPARESETS_KERNEL=scalar|avx2 can never change a selection. Both
+// kernel translation units are compiled with -ffp-contract=off so the
+// compiler cannot fuse multiply-adds in one target and not the other.
+//
+// Elementwise kernels (axpy, scale, scatter/gather moves) perform one
+// rounding per element in index order and are trivially identical.
+// The trsm kernels vectorize across right-hand-side columns: each
+// column sees exactly the single-RHS operation sequence (multiply,
+// subtract, divide — never a reciprocal), so multi-RHS solves match
+// column-by-column solves bitwise.
+//
+// Selection: Kernels() resolves once (thread-safe) to the best target
+// the CPU supports, unless the COMPARESETS_KERNEL environment variable
+// ("scalar", "avx2", or "auto") overrides it. Tests and benches can
+// switch targets in-process with SetKernelDispatch(); production code
+// never should (the dispatch pointer is read without synchronization
+// on the hot path).
+
+#pragma once
+
+#include <cstddef>
+
+namespace comparesets {
+
+struct KernelDispatch {
+  /// Target name ("scalar", "avx2") — recorded in bench output.
+  const char* name;
+
+  /// Σ x[i]·y[i] (canonical 4-lane order; x may alias y).
+  double (*dot)(const double* x, const double* y, size_t n);
+  /// Σ x[i]² — bit-identical to dot(x, x, n).
+  double (*sumsq)(const double* x, size_t n);
+  /// Σ (x[i] − y[i])².
+  double (*squared_distance)(const double* x, const double* y, size_t n);
+
+  /// y[i] += alpha · x[i].
+  void (*axpy)(double alpha, const double* x, double* y, size_t n);
+  /// x[i] *= alpha.
+  void (*scale)(double alpha, double* x, size_t n);
+
+  /// Σ values[k] · dense[rows[k]] — a sparse column dotted against a
+  /// dense vector (canonical 4-lane order over k).
+  double (*gather_dot)(const double* values, const size_t* rows, size_t nnz,
+                       const double* dense);
+  /// y[t] += alpha · src[idx[t]] for t < n — the subset-view axpy the
+  /// NNLS dual update needs.
+  void (*gather_axpy)(double alpha, const double* src, const size_t* idx,
+                      double* y, size_t n);
+  /// dense[rows[k]] += alpha · values[k]. Scattered stores: scalar in
+  /// every target (AVX2 has gathers but no scatters).
+  void (*scatter_add)(double alpha, const double* values, const size_t* rows,
+                      size_t nnz, double* dense);
+  /// dense[rows[k]] = values[k].
+  void (*scatter_set)(const double* values, const size_t* rows, size_t nnz,
+                      double* dense);
+  /// dense[rows[k]] = 0.
+  void (*scatter_clear)(const size_t* rows, size_t nnz, double* dense);
+
+  /// out[c] = ⟨column c, x⟩ for every column of a CSC matrix: y = Aᵀx.
+  /// Each column reduces exactly like gather_dot.
+  void (*sparse_gemv_t)(const size_t* col_ptr, const size_t* row_idx,
+                        const double* values, size_t cols, const double* x,
+                        double* out);
+  /// One step of the Gram scatter build: with column j of a CSC matrix
+  /// already scattered into `scatter`, writes out_col[i] = ⟨column i,
+  /// scatter⟩ for i ≤ j (each a gather_dot).
+  void (*gram_scatter)(const size_t* col_ptr, const size_t* row_idx,
+                       const double* values, size_t j, const double* scatter,
+                       double* out_col);
+  /// out[c] = Σ values[k]² over column c (squared L2 column norms).
+  void (*colnorms_sq)(const size_t* col_ptr, const double* values, size_t cols,
+                      double* out);
+
+  /// In-place forward substitution L·X = B on a row-major lower factor
+  /// (`l`, leading dimension `stride`, order `dim`) with B row-major
+  /// dim×nrhs. Per column: the exact single-RHS op sequence.
+  void (*trsm_forward)(const double* l, size_t stride, size_t dim, double* b,
+                       size_t nrhs);
+  /// In-place backward substitution Lᵀ·X = B (same layout).
+  void (*trsm_backward)(const double* l, size_t stride, size_t dim, double* b,
+                        size_t nrhs);
+};
+
+/// The active dispatch target. First call resolves CPUID + the
+/// COMPARESETS_KERNEL environment override; later calls are a load.
+const KernelDispatch& Kernels();
+
+/// The portable scalar target (always available).
+const KernelDispatch& ScalarKernels();
+
+/// The AVX2 target, or nullptr when the binary or the CPU lacks it.
+const KernelDispatch* Avx2Kernels();
+
+/// Forces the active target by name ("scalar", "avx2", or "auto" for
+/// the CPUID default). Returns false — leaving the dispatch unchanged —
+/// if the named target is unavailable. For tests and benches only: do
+/// not call concurrently with running solvers.
+bool SetKernelDispatch(const char* name);
+
+}  // namespace comparesets

@@ -1,0 +1,254 @@
+// AVX2 kernels. This translation unit is the only one compiled with
+// -mavx2 (plus -ffp-contract=off — GCC would otherwise fuse the
+// mul/add pairs into FMAs and break bit-identity with the scalar
+// target; for the same reason -mfma is never passed). When the
+// toolchain cannot target AVX2 the file degrades to a stub returning
+// nullptr and the dispatcher falls back to scalar.
+//
+// Every reduction follows the canonical 4-lane order from kernels.h:
+// one __m256d accumulator IS the four scalar accumulators, and the
+// horizontal reduce sums lanes as (a0 + a1) + (a2 + a3) — exactly the
+// scalar combine. Tails run the same scalar code, compiled in this TU
+// under the same contraction rules.
+
+#include "linalg/kernels/kernels.h"
+
+namespace comparesets {
+
+// Defined here, consumed by the dispatcher in kernels.cc.
+const KernelDispatch* Avx2KernelsCompiled();
+
+}  // namespace comparesets
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+static_assert(sizeof(size_t) == sizeof(long long),
+              "AVX2 gathers index with 64-bit lanes");
+
+namespace comparesets {
+namespace {
+
+/// (a0 + a1) + (a2 + a3) over the four lanes — the canonical combine.
+inline double ReduceLanes(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  __m128d hi = _mm256_extractf128_pd(v, 1);
+  __m128d lo_sum = _mm_hadd_pd(lo, lo);  // a0 + a1
+  __m128d hi_sum = _mm_hadd_pd(hi, hi);  // a2 + a3
+  return _mm_cvtsd_f64(_mm_add_sd(lo_sum, hi_sum));
+}
+
+double Avx2Dot(const double* x, const double* y, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d vx = _mm256_loadu_pd(x + i);
+    __m256d vy = _mm256_loadu_pd(y + i);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(vx, vy));
+  }
+  double total = ReduceLanes(acc);
+  for (; i < n; ++i) total += x[i] * y[i];
+  return total;
+}
+
+double Avx2Sumsq(const double* x, size_t n) { return Avx2Dot(x, x, n); }
+
+double Avx2SquaredDistance(const double* x, const double* y, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d d = _mm256_sub_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  double total = ReduceLanes(acc);
+  for (; i < n; ++i) {
+    double d = x[i] - y[i];
+    total += d * d;
+  }
+  return total;
+}
+
+void Avx2Axpy(double alpha, const double* x, double* y, size_t n) {
+  __m256d va = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Avx2Scale(double alpha, double* x, size_t n) {
+  __m256d va = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(va, _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+inline __m256d GatherRows(const double* dense, const size_t* rows) {
+  __m256i idx =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows));
+  return _mm256_i64gather_pd(dense, idx, sizeof(double));
+}
+
+double Avx2GatherDot(const double* values, const size_t* rows, size_t nnz,
+                     const double* dense) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t k = 0;
+  for (; k + 4 <= nnz; k += 4) {
+    __m256d vv = _mm256_loadu_pd(values + k);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(vv, GatherRows(dense, rows + k)));
+  }
+  double total = ReduceLanes(acc);
+  for (; k < nnz; ++k) total += values[k] * dense[rows[k]];
+  return total;
+}
+
+void Avx2GatherAxpy(double alpha, const double* src, const size_t* idx,
+                    double* y, size_t n) {
+  __m256d va = _mm256_set1_pd(alpha);
+  size_t t = 0;
+  for (; t + 4 <= n; t += 4) {
+    __m256d prod = _mm256_mul_pd(va, GatherRows(src, idx + t));
+    _mm256_storeu_pd(y + t, _mm256_add_pd(_mm256_loadu_pd(y + t), prod));
+  }
+  for (; t < n; ++t) y[t] += alpha * src[idx[t]];
+}
+
+// Scattered stores have no AVX2 instruction; these stay scalar (and are
+// memory-bound anyway).
+void Avx2ScatterAdd(double alpha, const double* values, const size_t* rows,
+                    size_t nnz, double* dense) {
+  for (size_t k = 0; k < nnz; ++k) dense[rows[k]] += alpha * values[k];
+}
+
+void Avx2ScatterSet(const double* values, const size_t* rows, size_t nnz,
+                    double* dense) {
+  for (size_t k = 0; k < nnz; ++k) dense[rows[k]] = values[k];
+}
+
+void Avx2ScatterClear(const size_t* rows, size_t nnz, double* dense) {
+  for (size_t k = 0; k < nnz; ++k) dense[rows[k]] = 0.0;
+}
+
+void Avx2SparseGemvT(const size_t* col_ptr, const size_t* row_idx,
+                     const double* values, size_t cols, const double* x,
+                     double* out) {
+  for (size_t c = 0; c < cols; ++c) {
+    size_t begin = col_ptr[c];
+    out[c] = Avx2GatherDot(values + begin, row_idx + begin,
+                           col_ptr[c + 1] - begin, x);
+  }
+}
+
+void Avx2GramScatter(const size_t* col_ptr, const size_t* row_idx,
+                     const double* values, size_t j, const double* scatter,
+                     double* out_col) {
+  for (size_t i = 0; i <= j; ++i) {
+    size_t begin = col_ptr[i];
+    out_col[i] = Avx2GatherDot(values + begin, row_idx + begin,
+                               col_ptr[i + 1] - begin, scatter);
+  }
+}
+
+void Avx2ColnormsSq(const size_t* col_ptr, const double* values, size_t cols,
+                    double* out) {
+  for (size_t c = 0; c < cols; ++c) {
+    size_t begin = col_ptr[c];
+    out[c] = Avx2Sumsq(values + begin, col_ptr[c + 1] - begin);
+  }
+}
+
+// The trsm pair vectorizes across right-hand sides: each RHS column k
+// sees the single-RHS op sequence (mul, sub, div) verbatim, so the
+// SIMD result matches nrhs independent scalar solves bit-for-bit.
+void Avx2TrsmForward(const double* l, size_t stride, size_t dim, double* b,
+                     size_t nrhs) {
+  for (size_t r = 0; r < dim; ++r) {
+    double* br = b + r * nrhs;
+    for (size_t c = 0; c < r; ++c) {
+      __m256d vl = _mm256_set1_pd(l[r * stride + c]);
+      const double* bc = b + c * nrhs;
+      size_t k = 0;
+      for (; k + 4 <= nrhs; k += 4) {
+        __m256d prod = _mm256_mul_pd(vl, _mm256_loadu_pd(bc + k));
+        _mm256_storeu_pd(br + k,
+                         _mm256_sub_pd(_mm256_loadu_pd(br + k), prod));
+      }
+      double lrc = l[r * stride + c];
+      for (; k < nrhs; ++k) br[k] -= lrc * bc[k];
+    }
+    __m256d vd = _mm256_set1_pd(l[r * stride + r]);
+    size_t k = 0;
+    for (; k + 4 <= nrhs; k += 4) {
+      _mm256_storeu_pd(br + k, _mm256_div_pd(_mm256_loadu_pd(br + k), vd));
+    }
+    double diag = l[r * stride + r];
+    for (; k < nrhs; ++k) br[k] /= diag;
+  }
+}
+
+void Avx2TrsmBackward(const double* l, size_t stride, size_t dim, double* b,
+                      size_t nrhs) {
+  for (size_t r = dim; r-- > 0;) {
+    double* br = b + r * nrhs;
+    for (size_t c = r + 1; c < dim; ++c) {
+      __m256d vl = _mm256_set1_pd(l[c * stride + r]);
+      const double* bc = b + c * nrhs;
+      size_t k = 0;
+      for (; k + 4 <= nrhs; k += 4) {
+        __m256d prod = _mm256_mul_pd(vl, _mm256_loadu_pd(bc + k));
+        _mm256_storeu_pd(br + k,
+                         _mm256_sub_pd(_mm256_loadu_pd(br + k), prod));
+      }
+      double lcr = l[c * stride + r];
+      for (; k < nrhs; ++k) br[k] -= lcr * bc[k];
+    }
+    __m256d vd = _mm256_set1_pd(l[r * stride + r]);
+    size_t k = 0;
+    for (; k + 4 <= nrhs; k += 4) {
+      _mm256_storeu_pd(br + k, _mm256_div_pd(_mm256_loadu_pd(br + k), vd));
+    }
+    double diag = l[r * stride + r];
+    for (; k < nrhs; ++k) br[k] /= diag;
+  }
+}
+
+}  // namespace
+
+const KernelDispatch* Avx2KernelsCompiled() {
+  static const KernelDispatch kAvx2 = {
+      "avx2",
+      Avx2Dot,
+      Avx2Sumsq,
+      Avx2SquaredDistance,
+      Avx2Axpy,
+      Avx2Scale,
+      Avx2GatherDot,
+      Avx2GatherAxpy,
+      Avx2ScatterAdd,
+      Avx2ScatterSet,
+      Avx2ScatterClear,
+      Avx2SparseGemvT,
+      Avx2GramScatter,
+      Avx2ColnormsSq,
+      Avx2TrsmForward,
+      Avx2TrsmBackward,
+  };
+  return &kAvx2;
+}
+
+}  // namespace comparesets
+
+#else  // !defined(__AVX2__)
+
+namespace comparesets {
+
+const KernelDispatch* Avx2KernelsCompiled() { return nullptr; }
+
+}  // namespace comparesets
+
+#endif  // defined(__AVX2__)

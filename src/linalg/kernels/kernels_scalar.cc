@@ -1,0 +1,176 @@
+// Portable scalar kernels — the reference implementation of the
+// canonical accumulation order documented in kernels.h. This file is
+// compiled with -ffp-contract=off (see src/CMakeLists.txt): a fused
+// multiply-add here, but not in the SIMD target, would silently break
+// the bit-identity contract the dispatch tests pin down.
+//
+// The 4-lane blocked reductions are also simply fast scalar code: the
+// four independent accumulators break the loop-carried addition
+// dependency, so the compiler's auto-vectorizer and the CPU's OoO core
+// can overlap them even in this "scalar" target.
+
+#include "linalg/kernels/kernels.h"
+
+namespace comparesets {
+namespace {
+
+double ScalarDot(const double* x, const double* y, size_t n) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a0 += x[i] * y[i];
+    a1 += x[i + 1] * y[i + 1];
+    a2 += x[i + 2] * y[i + 2];
+    a3 += x[i + 3] * y[i + 3];
+  }
+  double total = (a0 + a1) + (a2 + a3);
+  for (; i < n; ++i) total += x[i] * y[i];
+  return total;
+}
+
+double ScalarSumsq(const double* x, size_t n) { return ScalarDot(x, x, n); }
+
+double ScalarSquaredDistance(const double* x, const double* y, size_t n) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    double d0 = x[i] - y[i];
+    double d1 = x[i + 1] - y[i + 1];
+    double d2 = x[i + 2] - y[i + 2];
+    double d3 = x[i + 3] - y[i + 3];
+    a0 += d0 * d0;
+    a1 += d1 * d1;
+    a2 += d2 * d2;
+    a3 += d3 * d3;
+  }
+  double total = (a0 + a1) + (a2 + a3);
+  for (; i < n; ++i) {
+    double d = x[i] - y[i];
+    total += d * d;
+  }
+  return total;
+}
+
+void ScalarAxpy(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScalarScale(double alpha, double* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+double ScalarGatherDot(const double* values, const size_t* rows, size_t nnz,
+                       const double* dense) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  size_t k = 0;
+  for (; k + 4 <= nnz; k += 4) {
+    a0 += values[k] * dense[rows[k]];
+    a1 += values[k + 1] * dense[rows[k + 1]];
+    a2 += values[k + 2] * dense[rows[k + 2]];
+    a3 += values[k + 3] * dense[rows[k + 3]];
+  }
+  double total = (a0 + a1) + (a2 + a3);
+  for (; k < nnz; ++k) total += values[k] * dense[rows[k]];
+  return total;
+}
+
+void ScalarGatherAxpy(double alpha, const double* src, const size_t* idx,
+                      double* y, size_t n) {
+  for (size_t t = 0; t < n; ++t) y[t] += alpha * src[idx[t]];
+}
+
+void ScalarScatterAdd(double alpha, const double* values, const size_t* rows,
+                      size_t nnz, double* dense) {
+  for (size_t k = 0; k < nnz; ++k) dense[rows[k]] += alpha * values[k];
+}
+
+void ScalarScatterSet(const double* values, const size_t* rows, size_t nnz,
+                      double* dense) {
+  for (size_t k = 0; k < nnz; ++k) dense[rows[k]] = values[k];
+}
+
+void ScalarScatterClear(const size_t* rows, size_t nnz, double* dense) {
+  for (size_t k = 0; k < nnz; ++k) dense[rows[k]] = 0.0;
+}
+
+void ScalarSparseGemvT(const size_t* col_ptr, const size_t* row_idx,
+                       const double* values, size_t cols, const double* x,
+                       double* out) {
+  for (size_t c = 0; c < cols; ++c) {
+    size_t begin = col_ptr[c];
+    out[c] = ScalarGatherDot(values + begin, row_idx + begin,
+                             col_ptr[c + 1] - begin, x);
+  }
+}
+
+void ScalarGramScatter(const size_t* col_ptr, const size_t* row_idx,
+                       const double* values, size_t j, const double* scatter,
+                       double* out_col) {
+  for (size_t i = 0; i <= j; ++i) {
+    size_t begin = col_ptr[i];
+    out_col[i] = ScalarGatherDot(values + begin, row_idx + begin,
+                                 col_ptr[i + 1] - begin, scatter);
+  }
+}
+
+void ScalarColnormsSq(const size_t* col_ptr, const double* values, size_t cols,
+                      double* out) {
+  for (size_t c = 0; c < cols; ++c) {
+    size_t begin = col_ptr[c];
+    out[c] = ScalarSumsq(values + begin, col_ptr[c + 1] - begin);
+  }
+}
+
+void ScalarTrsmForward(const double* l, size_t stride, size_t dim, double* b,
+                       size_t nrhs) {
+  for (size_t r = 0; r < dim; ++r) {
+    double* br = b + r * nrhs;
+    for (size_t c = 0; c < r; ++c) {
+      double lrc = l[r * stride + c];
+      const double* bc = b + c * nrhs;
+      for (size_t k = 0; k < nrhs; ++k) br[k] -= lrc * bc[k];
+    }
+    double diag = l[r * stride + r];
+    for (size_t k = 0; k < nrhs; ++k) br[k] /= diag;
+  }
+}
+
+void ScalarTrsmBackward(const double* l, size_t stride, size_t dim, double* b,
+                        size_t nrhs) {
+  for (size_t r = dim; r-- > 0;) {
+    double* br = b + r * nrhs;
+    for (size_t c = r + 1; c < dim; ++c) {
+      double lcr = l[c * stride + r];
+      const double* bc = b + c * nrhs;
+      for (size_t k = 0; k < nrhs; ++k) br[k] -= lcr * bc[k];
+    }
+    double diag = l[r * stride + r];
+    for (size_t k = 0; k < nrhs; ++k) br[k] /= diag;
+  }
+}
+
+}  // namespace
+
+const KernelDispatch& ScalarKernels() {
+  static const KernelDispatch kScalar = {
+      "scalar",
+      ScalarDot,
+      ScalarSumsq,
+      ScalarSquaredDistance,
+      ScalarAxpy,
+      ScalarScale,
+      ScalarGatherDot,
+      ScalarGatherAxpy,
+      ScalarScatterAdd,
+      ScalarScatterSet,
+      ScalarScatterClear,
+      ScalarSparseGemvT,
+      ScalarGramScatter,
+      ScalarColnormsSq,
+      ScalarTrsmForward,
+      ScalarTrsmBackward,
+  };
+  return kScalar;
+}
+
+}  // namespace comparesets

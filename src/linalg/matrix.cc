@@ -1,5 +1,6 @@
 #include "linalg/matrix.h"
 
+#include "linalg/kernels/kernels.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -28,12 +29,10 @@ void Matrix::SetColumn(size_t c, const Vector& values) {
 Vector Matrix::Multiply(const Vector& x) const {
   COMPARESETS_CHECK(x.size() == cols_)
       << "Multiply shape mismatch: " << cols_ << " vs " << x.size();
+  const KernelDispatch& kernels = Kernels();
   Vector y(rows_);
   for (size_t r = 0; r < rows_; ++r) {
-    double total = 0.0;
-    const double* row = data_.data() + r * cols_;
-    for (size_t c = 0; c < cols_; ++c) total += row[c] * x[c];
-    y[r] = total;
+    y[r] = kernels.dot(RowData(r), x.raw(), cols_);
   }
   return y;
 }
@@ -41,12 +40,12 @@ Vector Matrix::Multiply(const Vector& x) const {
 Vector Matrix::MultiplyTranspose(const Vector& x) const {
   COMPARESETS_CHECK(x.size() == rows_)
       << "MultiplyTranspose shape mismatch: " << rows_ << " vs " << x.size();
+  const KernelDispatch& kernels = Kernels();
   Vector y(cols_);
   for (size_t r = 0; r < rows_; ++r) {
-    const double* row = data_.data() + r * cols_;
     double xr = x[r];
     if (xr == 0.0) continue;
-    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+    kernels.axpy(xr, RowData(r), y.raw(), cols_);
   }
   return y;
 }

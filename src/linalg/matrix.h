@@ -24,6 +24,11 @@ class Matrix {
   double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
   double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
 
+  /// Raw pointer to row r (cols() contiguous entries) — the seam the
+  /// kernel-dispatch layer works through.
+  const double* RowData(size_t r) const { return data_.data() + r * cols_; }
+  double* RowData(size_t r) { return data_.data() + r * cols_; }
+
   /// Copies out column c.
   Vector Column(size_t c) const;
   /// Copies out row r.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <vector>
 
+#include "linalg/kernels/kernels.h"
 #include "linalg/qr.h"
 #include "linalg/workspace.h"
 
@@ -106,15 +108,23 @@ Result<NnlsResult> SolveNnlsGramImpl(const GramView& g, const double* vty,
     return Status::OK();
   };
 
+  const KernelDispatch& kernels = Kernels();
+
   for (;;) {
     COMPARESETS_RETURN_NOT_OK(CheckExec(options.control, "nnls"));
-    // Dual w = Aᵀb − Gx; pick the most positive inactive coordinate.
-    for (size_t j = 0; j < cols; ++j) {
-      double sum = vty[j];
-      for (size_t p = 0; p < cols; ++p) {
-        if (x[p] != 0.0) sum -= g.At(j, p) * x[p];
+    // Dual w = Aᵀb − Gx as one kernel row-axpy per nonzero coordinate:
+    // G is exactly symmetric, so subtracting x[p]·G(p,·) in ascending p
+    // applies the same rounded terms, in the same order per entry, as
+    // the classic per-j inner loop over G(j,·).
+    std::copy(vty, vty + cols, w.begin());
+    for (size_t p = 0; p < cols; ++p) {
+      if (x[p] == 0.0) continue;
+      if (g.vars == nullptr) {
+        kernels.axpy(-x[p], g.gram->RowData(p), w.data(), cols);
+      } else {
+        kernels.gather_axpy(-x[p], g.gram->RowData((*g.vars)[p]),
+                            g.vars->data(), w.data(), cols);
       }
-      w[j] = sum;
     }
     double best = options.tolerance;
     size_t best_j = cols;
@@ -328,6 +338,47 @@ Result<NnlsResult> SolveNnlsGram(const Matrix& gram, const Vector& vty,
       workspace != nullptr ? *workspace : SolverWorkspace::ThreadLocal();
   GramView view{&gram, nullptr, gram.cols()};
   return SolveNnlsGramImpl(view, vty.raw(), b_norm2, options, ws);
+}
+
+Result<std::vector<NnlsResult>> SolveNnlsGramBatch(
+    const Matrix& gram, const std::vector<NnlsGramProblem>& problems,
+    const NnlsOptions& options, SolverWorkspace* workspace) {
+  if (gram.rows() != gram.cols()) {
+    return Status::InvalidArgument("gram matrix must be square");
+  }
+  SolverWorkspace& ws =
+      workspace != nullptr ? *workspace : SolverWorkspace::ThreadLocal();
+  GramView view{&gram, nullptr, gram.cols()};
+  std::vector<NnlsResult> out;
+  out.reserve(problems.size());
+  for (size_t i = 0; i < problems.size(); ++i) {
+    const NnlsGramProblem& problem = problems[i];
+    if (problem.vty == nullptr || problem.vty->size() != gram.cols()) {
+      return Status::InvalidArgument("gram rhs size mismatch");
+    }
+    // Exact-duplicate right-hand sides reuse the earlier trajectory's
+    // result: same (G, vty, ‖b‖²) bits ⇒ same solve, skipped entirely.
+    size_t dup = i;
+    for (size_t p = 0; p < i; ++p) {
+      if (problems[p].vty->size() == problem.vty->size() &&
+          problems[p].b_norm2 == problem.b_norm2 &&
+          std::memcmp(problems[p].vty->raw(), problem.vty->raw(),
+                      problem.vty->size() * sizeof(double)) == 0) {
+        dup = p;
+        break;
+      }
+    }
+    if (dup < i) {
+      out.push_back(out[dup]);
+      continue;
+    }
+    COMPARESETS_ASSIGN_OR_RETURN(
+        NnlsResult solved,
+        SolveNnlsGramImpl(view, problem.vty->raw(), problem.b_norm2, options,
+                          ws));
+    out.push_back(std::move(solved));
+  }
+  return out;
 }
 
 Result<NnlsResult> SolveNnlsGramSubset(const Matrix& gram,

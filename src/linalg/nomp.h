@@ -52,4 +52,21 @@ Result<NompResult> SolveNompGram(const GramSystem& system, size_t ell,
                                  const ExecControl* control = nullptr,
                                  SolverWorkspace* workspace = nullptr);
 
+/// Every budget ℓ = 1..max_ell of SolveNompGram in ONE pursuit. The
+/// greedy state after step s never depends on the budget (the loop body
+/// reads only the support and coefficients), so one pass snapshots the
+/// per-ℓ results as it goes — collapsing the per-budget caller's
+/// O(max_ell²/2) NNLS refits to O(max_ell) — and each snapshot is
+/// bit-identical to SolveNompGram(ℓ) on the same system (pinned by the
+/// equivalence tests). Pursuits that stall early replicate their final
+/// state through the remaining budgets, exactly as the per-ℓ calls
+/// would stall. On a recoverable refit failure at step s the sweep
+/// returns the completed prefix (budgets 1..s) — the budgets a per-ℓ
+/// caller would have skipped error out of the result instead.
+/// Deadline expiry / cancellation surface as status.
+Result<std::vector<NompResult>> SolveNompGramSweep(
+    const GramSystem& system, size_t max_ell,
+    const ExecControl* control = nullptr,
+    SolverWorkspace* workspace = nullptr);
+
 }  // namespace comparesets

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/kernels/kernels.h"
 #include "util/logging.h"
 
 namespace comparesets {
@@ -60,22 +61,19 @@ Vector SparseMatrix::Column(size_t c) const {
 }
 
 double SparseMatrix::ColumnDot(size_t c, const Vector& x) const {
-  double sum = 0.0;
-  for (size_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
-    sum += values_[k] * x[row_idx_[k]];
-  }
-  return sum;
+  return Kernels().gather_dot(ColumnValues(c), ColumnRows(c), ColumnNnz(c),
+                              x.raw());
 }
 
 Vector SparseMatrix::Multiply(const Vector& x) const {
   COMPARESETS_CHECK(x.size() == cols()) << "sparse multiply size mismatch";
+  const KernelDispatch& kernels = Kernels();
   Vector out(rows_);
   for (size_t c = 0; c < cols(); ++c) {
     double xc = x[c];
     if (xc == 0.0) continue;
-    for (size_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
-      out[row_idx_[k]] += values_[k] * xc;
-    }
+    kernels.scatter_add(xc, ColumnValues(c), ColumnRows(c), ColumnNnz(c),
+                        out.raw());
   }
   return out;
 }
@@ -90,20 +88,14 @@ void SparseMatrix::MultiplyTranspose(const Vector& x, Vector* out) const {
   COMPARESETS_CHECK(x.size() == rows_)
       << "sparse transpose-multiply size mismatch";
   out->data().assign(cols(), 0.0);
-  for (size_t c = 0; c < cols(); ++c) {
-    (*out)[c] = ColumnDot(c, x);
-  }
+  Kernels().sparse_gemv_t(col_ptr_.data(), row_idx_.data(), values_.data(),
+                          cols(), x.raw(), out->raw());
 }
 
 std::vector<double> SparseMatrix::ColumnNorms() const {
   std::vector<double> norms(cols());
-  for (size_t c = 0; c < cols(); ++c) {
-    double sum = 0.0;
-    for (size_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
-      sum += values_[k] * values_[k];
-    }
-    norms[c] = std::sqrt(sum);
-  }
+  Kernels().colnorms_sq(col_ptr_.data(), values_.data(), cols(), norms.data());
+  for (double& norm : norms) norm = std::sqrt(norm);
   return norms;
 }
 

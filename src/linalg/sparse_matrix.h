@@ -62,6 +62,12 @@ class SparseMatrix {
   const size_t* ColumnRows(size_t c) const { return &row_idx_[col_ptr_[c]]; }
   const double* ColumnValues(size_t c) const { return &values_[col_ptr_[c]]; }
 
+  /// Raw CSC arrays (cols()+1 / nnz() / nnz() entries) — the seam the
+  /// kernel-dispatch layer works through.
+  const size_t* ColPtr() const { return col_ptr_.data(); }
+  const size_t* RowIdx() const { return row_idx_.data(); }
+  const double* Values() const { return values_.data(); }
+
   /// ⟨column c, x⟩ for a dense x of size rows().
   double ColumnDot(size_t c, const Vector& x) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels/kernels.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -20,7 +21,9 @@ double Vector::NormL1() const {
   return total;
 }
 
-double Vector::NormL2() const { return std::sqrt(Dot(*this)); }
+double Vector::NormL2() const {
+  return std::sqrt(Kernels().sumsq(raw(), size()));
+}
 
 double Vector::NormInf() const {
   double best = 0.0;
@@ -36,20 +39,16 @@ double Vector::Max() const {
 double Vector::Dot(const Vector& other) const {
   COMPARESETS_CHECK(size() == other.size())
       << "Dot size mismatch: " << size() << " vs " << other.size();
-  double total = 0.0;
-  for (size_t i = 0; i < data_.size(); ++i) total += data_[i] * other.data_[i];
-  return total;
+  return Kernels().dot(raw(), other.raw(), size());
 }
 
 void Vector::Axpy(double alpha, const Vector& other) {
   COMPARESETS_CHECK(size() == other.size())
       << "Axpy size mismatch: " << size() << " vs " << other.size();
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  Kernels().axpy(alpha, other.raw(), raw(), size());
 }
 
-void Vector::Scale(double alpha) {
-  for (double& v : data_) v *= alpha;
-}
+void Vector::Scale(double alpha) { Kernels().scale(alpha, raw(), size()); }
 
 Vector Vector::operator+(const Vector& other) const {
   Vector out = *this;
@@ -99,12 +98,7 @@ std::string Vector::ToString(int decimals) const {
 double SquaredDistance(const Vector& x, const Vector& y) {
   COMPARESETS_CHECK(x.size() == y.size())
       << "SquaredDistance size mismatch: " << x.size() << " vs " << y.size();
-  double total = 0.0;
-  for (size_t i = 0; i < x.size(); ++i) {
-    double d = x[i] - y[i];
-    total += d * d;
-  }
-  return total;
+  return Kernels().squared_distance(x.raw(), y.raw(), x.size());
 }
 
 double CosineSimilarity(const Vector& x, const Vector& y) {

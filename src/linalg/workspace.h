@@ -28,6 +28,13 @@
 namespace comparesets {
 
 struct SolverWorkspace {
+  // Gram-build scratch.
+  /// Dense row-sized scatter buffer for BuildGramSystem. Invariant: all
+  /// zero between builds (each build clears exactly the rows it set),
+  /// so a warm buffer never needs re-zeroing.
+  std::vector<double> gram_scatter;
+  std::vector<double> gram_col;  ///< One Gram column during the build.
+
   // NOMP scratch.
   std::vector<double> nomp_corr;     ///< Correlation Vᵀy − Gx per column.
   std::vector<double> nomp_vty_sub;  ///< (Vᵀy)_support in selection order.

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <optional>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 
 #include "opinion/opinion_model.h"
@@ -422,10 +423,111 @@ Result<SelectResponse> SelectionEngine::SelectWithParallel(
   return response;
 }
 
+void SelectionEngine::PrefetchWindow(
+    const std::vector<SelectRequest>& requests, size_t begin,
+    size_t end) const {
+  // Chaos drills want the cold path: a prefetch would consume injected
+  // cache-lookup faults aimed at the requests themselves.
+  if (options_.fault_injector != nullptr) return;
+  std::shared_ptr<const IndexedCorpus> corpus;
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(corpus_mutex_);
+    corpus = corpus_;
+    epoch = corpus_epoch_;
+  }
+  // One warm-up per unique (instance, selector, λ): Prepare stages the
+  // vectors under the same key the request will look up, and the
+  // selector's PrefetchSystems fills the instance's design-system cache
+  // in one batched Gram kernel pass. Requests arriving after a
+  // mid-batch SwapCorpus read a newer epoch and simply miss cold —
+  // never a stale answer.
+  std::unordered_set<std::string> warmed;
+  for (size_t i = begin; i < end; ++i) {
+    const SelectRequest& request = requests[i];
+    if (request.target_id.empty()) continue;
+    std::string prepare_key = CacheKey(epoch, options_.opinion, request);
+    std::string warm_key = prepare_key;
+    warm_key += '\x1f';
+    warm_key += request.selector;
+    warm_key += '\x1f';
+    warm_key += ExactDouble(request.options.lambda);
+    if (!warmed.insert(std::move(warm_key)).second) continue;
+    bool cache_hit = false;
+    auto prepared = Prepare(corpus, prepare_key, request, &cache_hit);
+    if (!prepared.ok()) continue;
+    auto selector = MakeSelector(request.selector);
+    if (!selector.ok()) continue;
+    selector.value()->PrefetchSystems(prepared.value()->vectors,
+                                      request.options);
+    metrics_.counter("engine.batch_prefetches").Increment();
+  }
+}
+
+void SelectionEngine::RunWindow(
+    const std::vector<SelectRequest>& requests, size_t begin, size_t end,
+    std::vector<std::optional<Result<SelectResponse>>>* slots) const {
+  if (pool_.num_threads() <= 1) {
+    // Same inline in-order contract as an unwindowed single-threaded
+    // batch (see SelectBatch).
+    for (size_t i = begin; i < end; ++i) {
+      (*slots)[i] = Select(requests[i]);
+    }
+    return;
+  }
+  // Pooled window: coalesce exact repeats onto their head's lane — the
+  // head solves, its duplicates replay in order behind it and
+  // deterministically memo-hit, instead of racing the head on sibling
+  // lanes (which would nondeterministically re-solve).
+  std::vector<std::vector<size_t>> groups;
+  std::unordered_map<std::string, size_t> group_of;
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(corpus_mutex_);
+    epoch = corpus_epoch_;
+  }
+  for (size_t i = begin; i < end; ++i) {
+    const SelectRequest& request = requests[i];
+    if (options_.result_capacity == 0 || request.target_id.empty()) {
+      groups.push_back({i});
+      continue;
+    }
+    std::string key =
+        ResultKey(CacheKey(epoch, options_.opinion, request), request);
+    auto [it, inserted] = group_of.emplace(std::move(key), groups.size());
+    if (inserted) {
+      groups.push_back({i});
+    } else {
+      groups[it->second].push_back(i);
+    }
+  }
+  pool_.ParallelFor(groups.size(), [&](size_t g) {
+    for (size_t i : groups[g]) {
+      (*slots)[i] = SelectWithParallel(requests[i], ParallelContext{});
+    }
+  });
+}
+
 std::vector<Result<SelectResponse>> SelectionEngine::SelectBatch(
     const std::vector<SelectRequest>& requests) const {
   metrics_.counter("engine.batches").Increment();
   std::vector<std::optional<Result<SelectResponse>>> slots(requests.size());
+  size_t window = options_.batch_kernel_window;
+  if (window >= 2 && requests.size() > 1) {
+    // Windowed batching: stage each window's shared kernel work (unique
+    // prepares + batched Gram builds) before any of its requests
+    // solves. Payloads are bit-identical to the unwindowed path; only
+    // warm-state flags change (prefetched requests report cache_hit).
+    for (size_t begin = 0; begin < requests.size(); begin += window) {
+      size_t end = std::min(begin + window, requests.size());
+      PrefetchWindow(requests, begin, end);
+      RunWindow(requests, begin, end, &slots);
+    }
+    std::vector<Result<SelectResponse>> responses;
+    responses.reserve(slots.size());
+    for (auto& slot : slots) responses.push_back(std::move(*slot));
+    return responses;
+  }
   if (pool_.num_threads() <= 1) {
     // ParallelFor lets the caller thread participate, so even a 1-worker
     // pool runs two concurrent lanes. A single-threaded engine promises

@@ -38,6 +38,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -101,6 +102,18 @@ struct EngineOptions {
   /// Deterministic fault injection at the engine's seams (tests /
   /// chaos drills); nullptr = no faults.
   std::shared_ptr<FaultInjector> fault_injector;
+  /// Cross-request batched-kernel window for SelectBatch (0 or 1 =
+  /// off). Consecutive requests are staged in windows of this size:
+  /// each window snapshots the corpus epoch once, prepares its unique
+  /// instances, and builds their per-item design systems in one batched
+  /// Gram kernel pass (GramSystem::BuildBatch via the selector's
+  /// PrefetchSystems hook) before any request in the window solves;
+  /// exact repeats inside a pooled window coalesce onto one lane so
+  /// they deterministically memo-hit their head. Purely a scheduling /
+  /// locality knob: every response payload is bit-identical to the
+  /// unwindowed path (warm-state flags differ — prefetched requests
+  /// report cache_hit = true).
+  size_t batch_kernel_window = 0;
   /// Stable shard id, stamped into every RequestTrace and used as the
   /// Prometheus `shard` label. 0 for an unsharded engine.
   size_t shard_id = 0;
@@ -258,6 +271,21 @@ class SelectionEngine {
   /// Records the trace and error counters of a failed request.
   Status FinishError(RequestTrace trace, Status status,
                      const Timer& total) const;
+
+  /// Warm-up for one batch window [begin, end): prepares every unique
+  /// (instance, selector, λ) combination once and batch-builds its
+  /// per-item design systems (one Gram kernel pass per combination).
+  /// Failures are silent — the requests themselves surface them.
+  void PrefetchWindow(const std::vector<SelectRequest>& requests, size_t begin,
+                      size_t end) const;
+
+  /// Runs window [begin, end) of a windowed batch: inline in order on a
+  /// single-threaded engine, pooled with exact repeats coalesced onto
+  /// their head's lane otherwise.
+  void RunWindow(const std::vector<SelectRequest>& requests, size_t begin,
+                 size_t end,
+                 std::vector<std::optional<Result<SelectResponse>>>* slots)
+      const;
 
   /// Resolves the request's instance against `corpus` and returns its
   /// prepared bundle, from cache when warm (under `key`, which already

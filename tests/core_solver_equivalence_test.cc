@@ -239,6 +239,157 @@ TEST(SolverEquivalenceTest, CancellationLandsBetweenRefits) {
   EXPECT_GT(iterations.load(), 0u);
 }
 
+/// Exact (bitwise) equality of two GramSystems.
+void ExpectGramBitIdentical(const GramSystem& a, const GramSystem& b,
+                            const char* label) {
+  ASSERT_EQ(a.cols(), b.cols()) << label;
+  for (size_t i = 0; i < a.cols(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(a.gram(i, j), b.gram(i, j))
+          << label << " G(" << i << "," << j << ")";
+    }
+  }
+  EXPECT_EQ(a.vty, b.vty) << label << " vty";
+  EXPECT_EQ(a.target_norm2, b.target_norm2) << label << " ||y||^2";
+  EXPECT_EQ(a.col_norms, b.col_norms) << label << " col_norms";
+}
+
+TEST(SolverEquivalenceTest, NompSweepMatchesPerBudgetCallsBitwise) {
+  // The batched sweep must reproduce each per-ℓ pursuit EXACTLY — same
+  // bits, not just same supports — since the engine's batch window
+  // swaps one for the other behind callers' backs.
+  Workload workload = SmallWorkload();
+  for (const InstanceVectors& vectors : workload.vectors()) {
+    for (size_t item = 0; item < vectors.num_items(); ++item) {
+      DesignSystem system = BuildCompareSetsSystem(vectors, item, 1.0);
+      const size_t max_ell = std::min<size_t>(5, system.gram.cols());
+      auto sweep = SolveNompGramSweep(system.gram, max_ell);
+      ASSERT_TRUE(sweep.ok());
+      ASSERT_EQ(sweep.value().size(), max_ell);
+      for (size_t ell = 1; ell <= max_ell; ++ell) {
+        auto solo = SolveNompGram(system.gram, ell);
+        ASSERT_TRUE(solo.ok()) << "ell=" << ell;
+        const NompResult& snap = sweep.value()[ell - 1];
+        EXPECT_EQ(snap.support, solo.value().support) << "ell=" << ell;
+        EXPECT_EQ(snap.x, solo.value().x) << "ell=" << ell;
+        EXPECT_EQ(snap.residual_norm, solo.value().residual_norm)
+            << "ell=" << ell;
+      }
+    }
+  }
+}
+
+TEST(SolverEquivalenceTest, GramBatchMatchesSoloBuildsBitwise) {
+  Workload workload = SmallWorkload();
+  const InstanceVectors& vectors = workload.vectors().front();
+
+  // Distinct systems per item, plus targets repeated against item 0's
+  // matrix (the shared-V fast path must still match a solo build).
+  std::vector<DesignSystem> skeletons;
+  for (size_t item = 0; item < vectors.num_items(); ++item) {
+    skeletons.push_back(BuildCompareSetsSystem(vectors, item, 0.5));
+  }
+  Vector alt_target = skeletons[0].target;
+  for (size_t i = 0; i < alt_target.size(); ++i) {
+    alt_target[i] += 0.25 * static_cast<double>(i % 3);
+  }
+
+  std::vector<GramBuildItem> items;
+  for (const DesignSystem& s : skeletons) {
+    items.push_back({&s.v, &s.target});
+  }
+  items.push_back({&skeletons[0].v, &alt_target});   // shared-V, new target
+  items.push_back({&skeletons[0].v, &skeletons[0].target});  // exact repeat
+
+  std::vector<GramSystem> batch = BuildGramSystemBatch(items);
+  ASSERT_EQ(batch.size(), items.size());
+  for (size_t k = 0; k < items.size(); ++k) {
+    GramSystem solo = BuildGramSystem(*items[k].v, *items[k].target);
+    ExpectGramBitIdentical(batch[k], solo, "batch item");
+  }
+}
+
+TEST(SolverEquivalenceTest, NnlsGramBatchMatchesSequentialSolvesBitwise) {
+  Workload workload = SmallWorkload();
+  const InstanceVectors& vectors = workload.vectors().front();
+  DesignSystem base = BuildCompareSetsSystem(vectors, 0, 1.0);
+
+  // Several right-hand sides against one Gram: the real targets of a
+  // few items (re-projected through base's matrix), plus an exact
+  // duplicate that must be served by the batch's memo path.
+  std::vector<Vector> vtys;
+  std::vector<double> norms;
+  vtys.push_back(base.gram.vty);
+  norms.push_back(base.gram.target_norm2);
+  for (double shift : {0.5, -0.25, 2.0}) {
+    Vector vty = base.gram.vty;
+    for (size_t j = 0; j < vty.size(); ++j) {
+      vty[j] += shift * static_cast<double>(j + 1) / 7.0;
+    }
+    vtys.push_back(std::move(vty));
+    norms.push_back(base.gram.target_norm2 + shift * shift);
+  }
+  vtys.push_back(vtys[1]);  // Bit-exact duplicate of problem 1.
+  norms.push_back(norms[1]);
+
+  std::vector<NnlsGramProblem> problems;
+  for (size_t k = 0; k < vtys.size(); ++k) {
+    problems.push_back({&vtys[k], norms[k]});
+  }
+  auto batch = SolveNnlsGramBatch(base.gram.gram, problems);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch.value().size(), problems.size());
+  for (size_t k = 0; k < problems.size(); ++k) {
+    auto solo = SolveNnlsGram(base.gram.gram, vtys[k], norms[k]);
+    ASSERT_TRUE(solo.ok()) << "problem " << k;
+    EXPECT_EQ(batch.value()[k].x, solo.value().x) << "problem " << k;
+    EXPECT_EQ(batch.value()[k].residual_norm, solo.value().residual_norm)
+        << "problem " << k;
+    EXPECT_EQ(batch.value()[k].iterations, solo.value().iterations)
+        << "problem " << k;
+    EXPECT_EQ(batch.value()[k].converged, solo.value().converged)
+        << "problem " << k;
+  }
+}
+
+TEST(SolverEquivalenceTest, RefreshDesignTargetMatchesRebuildBitwise) {
+  // The CompaReSetS+ sweep refreshes each item's target in place across
+  // sync rounds; a refreshed system must be indistinguishable — bitwise
+  // — from rebuilding with the new φ blocks.
+  Workload workload = SmallWorkload();
+  for (const InstanceVectors& vectors : workload.vectors()) {
+    if (vectors.num_items() < 2) continue;
+    auto phis_with_prefix = [&](size_t item, size_t take) {
+      std::vector<Vector> phis;
+      for (size_t t = 0; t < vectors.num_items(); ++t) {
+        if (t == item) continue;
+        Selection prefix;
+        for (size_t j = 0; j < std::min<size_t>(take, vectors.num_reviews(t));
+             ++j) {
+          prefix.push_back(j);
+        }
+        phis.push_back(vectors.AspectOf(t, prefix));
+      }
+      return phis;
+    };
+    const size_t item = 0;
+    std::vector<Vector> round0 = phis_with_prefix(item, 2);
+    std::vector<Vector> round1 = phis_with_prefix(item, 3);
+
+    DesignSystem refreshed =
+        BuildCompareSetsPlusSystem(vectors, item, 1.0, 0.1, round0);
+    RefreshDesignTarget(
+        &refreshed, BuildCompareSetsPlusTarget(vectors, item, 1.0, 0.1, round1));
+
+    DesignSystem rebuilt =
+        BuildCompareSetsPlusSystem(vectors, item, 1.0, 0.1, round1);
+    EXPECT_EQ(refreshed.target, rebuilt.target);
+    EXPECT_EQ(refreshed.dup_counts, rebuilt.dup_counts);
+    EXPECT_EQ(refreshed.group_reviews, rebuilt.group_reviews);
+    ExpectGramBitIdentical(refreshed.gram, rebuilt.gram, "refresh");
+  }
+}
+
 TEST(SolverEquivalenceTest, GramSolversHonorPreCancelledControl) {
   Workload workload = SmallWorkload();
   const InstanceVectors& vectors = workload.vectors().front();

@@ -1,0 +1,284 @@
+// Bitwise scalar ≡ AVX2 equivalence for every KernelDispatch entry.
+//
+// The kernel layer's whole contract is that switching dispatch targets
+// can never change a result — not "close", bit-identical (kernels.h,
+// "Bit-reproducibility contract"). These tests compare every kernel's
+// output between ScalarKernels() and Avx2Kernels() with EXPECT_EQ on
+// doubles (exact bits for finite values), over randomized sizes that
+// sweep every remainder-lane count, plus empty and aliased inputs.
+// On hardware without AVX2 the cross-target half skips; the scalar
+// self-consistency half still runs.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "linalg/kernels/kernels.h"
+#include "util/rng.h"
+
+namespace comparesets {
+namespace {
+
+/// Sizes chosen to cover 0, every tail length 1..7 against the 4-wide
+/// vector body, and larger blocks with all remainders.
+const std::vector<size_t> kSizes = {0,  1,  2,  3,  4,  5,  6,  7,
+                                    8,  15, 16, 17, 31, 64, 100, 257};
+
+std::vector<double> RandomValues(Rng& rng, size_t n) {
+  std::vector<double> values(n);
+  for (double& v : values) v = rng.UniformDouble(-10.0, 10.0);
+  return values;
+}
+
+/// Random strictly-increasing row indices into [0, universe).
+std::vector<size_t> RandomRows(Rng& rng, size_t nnz, size_t universe) {
+  std::vector<size_t> rows;
+  rows.reserve(nnz);
+  size_t next = 0;
+  for (size_t k = 0; k < nnz; ++k) {
+    size_t slack = (universe - next) - (nnz - k);
+    next += static_cast<size_t>(rng.UniformInt(0, static_cast<int>(
+                                                      std::min<size_t>(slack, 3))));
+    rows.push_back(next);
+    ++next;
+  }
+  return rows;
+}
+
+/// A random CSC matrix (col_ptr / row_idx / values) with `cols` columns
+/// over `rows` rows, including some empty columns.
+struct RandomCsc {
+  std::vector<size_t> col_ptr;
+  std::vector<size_t> row_idx;
+  std::vector<double> values;
+
+  RandomCsc(Rng& rng, size_t rows, size_t cols) {
+    col_ptr.push_back(0);
+    for (size_t c = 0; c < cols; ++c) {
+      size_t nnz = static_cast<size_t>(rng.UniformInt(0, static_cast<int>(
+                                                             std::min<size_t>(rows, 9))));
+      std::vector<size_t> column_rows = RandomRows(rng, nnz, rows);
+      for (size_t r : column_rows) {
+        row_idx.push_back(r);
+        values.push_back(rng.UniformDouble(-5.0, 5.0));
+      }
+      col_ptr.push_back(row_idx.size());
+    }
+  }
+};
+
+class KernelDispatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    simd_ = Avx2Kernels();
+    if (simd_ == nullptr) {
+      GTEST_SKIP() << "AVX2 target unavailable on this host/build";
+    }
+  }
+
+  const KernelDispatch& scalar_ = ScalarKernels();
+  const KernelDispatch* simd_ = nullptr;
+};
+
+TEST_F(KernelDispatchTest, DotSumsqSquaredDistanceBitIdentical) {
+  Rng rng(7);
+  for (size_t n : kSizes) {
+    std::vector<double> x = RandomValues(rng, n);
+    std::vector<double> y = RandomValues(rng, n);
+    EXPECT_EQ(scalar_.dot(x.data(), y.data(), n),
+              simd_->dot(x.data(), y.data(), n))
+        << "dot, n=" << n;
+    EXPECT_EQ(scalar_.sumsq(x.data(), n), simd_->sumsq(x.data(), n))
+        << "sumsq, n=" << n;
+    EXPECT_EQ(scalar_.squared_distance(x.data(), y.data(), n),
+              simd_->squared_distance(x.data(), y.data(), n))
+        << "squared_distance, n=" << n;
+    // Aliased reduction (x · x) must match sumsq in both targets.
+    EXPECT_EQ(scalar_.dot(x.data(), x.data(), n), scalar_.sumsq(x.data(), n))
+        << "scalar dot(x,x) != sumsq(x), n=" << n;
+    EXPECT_EQ(simd_->dot(x.data(), x.data(), n), simd_->sumsq(x.data(), n))
+        << "avx2 dot(x,x) != sumsq(x), n=" << n;
+  }
+}
+
+TEST_F(KernelDispatchTest, AxpyAndScaleBitIdentical) {
+  Rng rng(11);
+  for (size_t n : kSizes) {
+    std::vector<double> x = RandomValues(rng, n);
+    std::vector<double> y = RandomValues(rng, n);
+    double alpha = rng.UniformDouble(-3.0, 3.0);
+
+    std::vector<double> y_scalar = y;
+    std::vector<double> y_simd = y;
+    scalar_.axpy(alpha, x.data(), y_scalar.data(), n);
+    simd_->axpy(alpha, x.data(), y_simd.data(), n);
+    EXPECT_EQ(y_scalar, y_simd) << "axpy, n=" << n;
+
+    std::vector<double> x_scalar = x;
+    std::vector<double> x_simd = x;
+    scalar_.scale(alpha, x_scalar.data(), n);
+    simd_->scale(alpha, x_simd.data(), n);
+    EXPECT_EQ(x_scalar, x_simd) << "scale, n=" << n;
+  }
+}
+
+TEST_F(KernelDispatchTest, GatherKernelsBitIdentical) {
+  Rng rng(13);
+  const size_t universe = 300;
+  std::vector<double> dense = RandomValues(rng, universe);
+  for (size_t nnz : kSizes) {
+    std::vector<double> values = RandomValues(rng, nnz);
+    std::vector<size_t> rows = RandomRows(rng, nnz, universe);
+    EXPECT_EQ(scalar_.gather_dot(values.data(), rows.data(), nnz, dense.data()),
+              simd_->gather_dot(values.data(), rows.data(), nnz, dense.data()))
+        << "gather_dot, nnz=" << nnz;
+
+    double alpha = rng.UniformDouble(-2.0, 2.0);
+    std::vector<double> y_scalar = RandomValues(rng, nnz);
+    std::vector<double> y_simd = y_scalar;
+    scalar_.gather_axpy(alpha, dense.data(), rows.data(), y_scalar.data(), nnz);
+    simd_->gather_axpy(alpha, dense.data(), rows.data(), y_simd.data(), nnz);
+    EXPECT_EQ(y_scalar, y_simd) << "gather_axpy, nnz=" << nnz;
+
+    std::vector<double> dense_scalar = dense;
+    std::vector<double> dense_simd = dense;
+    scalar_.scatter_add(alpha, values.data(), rows.data(), nnz,
+                        dense_scalar.data());
+    simd_->scatter_add(alpha, values.data(), rows.data(), nnz,
+                       dense_simd.data());
+    EXPECT_EQ(dense_scalar, dense_simd) << "scatter_add, nnz=" << nnz;
+
+    scalar_.scatter_set(values.data(), rows.data(), nnz, dense_scalar.data());
+    simd_->scatter_set(values.data(), rows.data(), nnz, dense_simd.data());
+    EXPECT_EQ(dense_scalar, dense_simd) << "scatter_set, nnz=" << nnz;
+
+    scalar_.scatter_clear(rows.data(), nnz, dense_scalar.data());
+    simd_->scatter_clear(rows.data(), nnz, dense_simd.data());
+    EXPECT_EQ(dense_scalar, dense_simd) << "scatter_clear, nnz=" << nnz;
+  }
+}
+
+TEST_F(KernelDispatchTest, SparseMatrixKernelsBitIdentical) {
+  Rng rng(17);
+  for (size_t cols : {size_t{0}, size_t{1}, size_t{3}, size_t{17}, size_t{40}}) {
+    const size_t rows = 50;
+    RandomCsc csc(rng, rows, cols);
+    std::vector<double> x = RandomValues(rng, rows);
+
+    std::vector<double> out_scalar(cols, -1.0);
+    std::vector<double> out_simd(cols, -2.0);
+    scalar_.sparse_gemv_t(csc.col_ptr.data(), csc.row_idx.data(),
+                          csc.values.data(), cols, x.data(), out_scalar.data());
+    simd_->sparse_gemv_t(csc.col_ptr.data(), csc.row_idx.data(),
+                         csc.values.data(), cols, x.data(), out_simd.data());
+    EXPECT_EQ(out_scalar, out_simd) << "sparse_gemv_t, cols=" << cols;
+
+    scalar_.colnorms_sq(csc.col_ptr.data(), csc.values.data(), cols,
+                        out_scalar.data());
+    simd_->colnorms_sq(csc.col_ptr.data(), csc.values.data(), cols,
+                       out_simd.data());
+    EXPECT_EQ(out_scalar, out_simd) << "colnorms_sq, cols=" << cols;
+
+    // gram_scatter on every pivot column j, with j's column scattered
+    // into a dense buffer first (the Gram build's exact call pattern).
+    std::vector<double> scatter(rows, 0.0);
+    for (size_t j = 0; j < cols; ++j) {
+      size_t nnz = csc.col_ptr[j + 1] - csc.col_ptr[j];
+      scalar_.scatter_set(csc.values.data() + csc.col_ptr[j],
+                          csc.row_idx.data() + csc.col_ptr[j], nnz,
+                          scatter.data());
+      std::vector<double> col_scalar(j + 1, -1.0);
+      std::vector<double> col_simd(j + 1, -2.0);
+      scalar_.gram_scatter(csc.col_ptr.data(), csc.row_idx.data(),
+                           csc.values.data(), j, scatter.data(),
+                           col_scalar.data());
+      simd_->gram_scatter(csc.col_ptr.data(), csc.row_idx.data(),
+                          csc.values.data(), j, scatter.data(),
+                          col_simd.data());
+      EXPECT_EQ(col_scalar, col_simd) << "gram_scatter, j=" << j;
+      scalar_.scatter_clear(csc.row_idx.data() + csc.col_ptr[j], nnz,
+                            scatter.data());
+    }
+  }
+}
+
+TEST_F(KernelDispatchTest, TrsmKernelsBitIdenticalAndMatchSingleRhs) {
+  Rng rng(19);
+  for (size_t dim : {size_t{1}, size_t{2}, size_t{5}, size_t{12}}) {
+    // Well-conditioned lower factor: random with a dominant diagonal.
+    const size_t stride = dim + 3;  // Exercise stride > dim.
+    std::vector<double> l(dim * stride, 0.0);
+    for (size_t r = 0; r < dim; ++r) {
+      for (size_t c = 0; c < r; ++c) l[r * stride + c] = rng.UniformDouble(-1.0, 1.0);
+      l[r * stride + r] = rng.UniformDouble(1.0, 2.0);
+    }
+    for (size_t nrhs : {size_t{1}, size_t{2}, size_t{3}, size_t{4}, size_t{7},
+                        size_t{9}}) {
+      std::vector<double> b = RandomValues(rng, dim * nrhs);
+
+      std::vector<double> fwd_scalar = b;
+      std::vector<double> fwd_simd = b;
+      scalar_.trsm_forward(l.data(), stride, dim, fwd_scalar.data(), nrhs);
+      simd_->trsm_forward(l.data(), stride, dim, fwd_simd.data(), nrhs);
+      EXPECT_EQ(fwd_scalar, fwd_simd)
+          << "trsm_forward, dim=" << dim << " nrhs=" << nrhs;
+
+      std::vector<double> bwd_scalar = b;
+      std::vector<double> bwd_simd = b;
+      scalar_.trsm_backward(l.data(), stride, dim, bwd_scalar.data(), nrhs);
+      simd_->trsm_backward(l.data(), stride, dim, bwd_simd.data(), nrhs);
+      EXPECT_EQ(bwd_scalar, bwd_simd)
+          << "trsm_backward, dim=" << dim << " nrhs=" << nrhs;
+
+      // Multi-RHS must equal nrhs independent single-RHS solves,
+      // column by column, in BOTH targets.
+      for (const KernelDispatch* kernels : {&scalar_, simd_}) {
+        std::vector<double> multi = b;
+        kernels->trsm_forward(l.data(), stride, dim, multi.data(), nrhs);
+        for (size_t k = 0; k < nrhs; ++k) {
+          std::vector<double> single(dim);
+          for (size_t r = 0; r < dim; ++r) single[r] = b[r * nrhs + k];
+          kernels->trsm_forward(l.data(), stride, dim, single.data(), 1);
+          for (size_t r = 0; r < dim; ++r) {
+            EXPECT_EQ(multi[r * nrhs + k], single[r])
+                << kernels->name << " trsm_forward multi-vs-single, dim="
+                << dim << " nrhs=" << nrhs << " col=" << k << " row=" << r;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(KernelDispatchTest, DispatchOverrideSwitchesAndRestores) {
+  const KernelDispatch& before = Kernels();
+  ASSERT_TRUE(SetKernelDispatch("scalar"));
+  EXPECT_STREQ(Kernels().name, "scalar");
+  ASSERT_TRUE(SetKernelDispatch("avx2"));
+  EXPECT_STREQ(Kernels().name, "avx2");
+  EXPECT_FALSE(SetKernelDispatch("no-such-target"));
+  EXPECT_STREQ(Kernels().name, "avx2") << "failed switch must not change it";
+  ASSERT_TRUE(SetKernelDispatch("auto"));
+  (void)before;
+}
+
+// Scalar-only sanity (runs even where AVX2 is unavailable): the scalar
+// kernels agree with a naive re-implementation on the values level.
+TEST(KernelScalarTest, MatchesNaiveReference) {
+  Rng rng(23);
+  const KernelDispatch& scalar = ScalarKernels();
+  for (size_t n : kSizes) {
+    std::vector<double> x = RandomValues(rng, n);
+    std::vector<double> y = RandomValues(rng, n);
+    double naive = 0.0;
+    for (size_t i = 0; i < n; ++i) naive += x[i] * y[i];
+    EXPECT_NEAR(scalar.dot(x.data(), y.data(), n), naive,
+                1e-12 * (1.0 + std::fabs(naive)));
+  }
+  EXPECT_EQ(scalar.dot(nullptr, nullptr, 0), 0.0);
+  EXPECT_EQ(scalar.sumsq(nullptr, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -39,11 +39,15 @@ void ExpectSameTriple(const RougeTriple& got, const RougeTriple& want) {
   ExpectSameRouge(got.rougeL, want.rougeL);
 }
 
-/// Bit-for-bit payload equality, plus the cache flags — a router must
-/// not just compute the same answer but hit the same warm paths.
+/// Bit-for-bit payload equality, plus (by default) the cache flags — a
+/// router must not just compute the same answer but hit the same warm
+/// paths. `check_flags = false` compares payloads only: the windowed
+/// batch path deliberately reports different warm-state flags
+/// (prefetched requests are cache hits) while the payloads stay
+/// bit-identical.
 void ExpectSameResponse(const Result<SelectResponse>& got,
                         const Result<SelectResponse>& want,
-                        const std::string& where) {
+                        const std::string& where, bool check_flags = true) {
   ASSERT_EQ(got.ok(), want.ok())
       << where << ": " << got.status() << " vs " << want.status();
   if (!want.ok()) {
@@ -64,8 +68,10 @@ void ExpectSameResponse(const Result<SelectResponse>& got,
   ExpectSameTriple(g.alignment.among_items, w.alignment.among_items);
   EXPECT_EQ(g.alignment.target_pairs, w.alignment.target_pairs) << where;
   EXPECT_EQ(g.alignment.among_pairs, w.alignment.among_pairs) << where;
-  EXPECT_EQ(g.cache_hit, w.cache_hit) << where;
-  EXPECT_EQ(g.result_cache_hit, w.result_cache_hit) << where;
+  if (check_flags) {
+    EXPECT_EQ(g.cache_hit, w.cache_hit) << where;
+    EXPECT_EQ(g.result_cache_hit, w.result_cache_hit) << where;
+  }
 }
 
 /// A mixed request stream exercising every response shape: several
@@ -143,8 +149,96 @@ TEST_P(RouterDeterminismTest, SelectBatchMatchesTheSingleEngine) {
   }
 }
 
+TEST_P(RouterDeterminismTest, WindowedSelectBatchMatchesWindowedEngine) {
+  // With batch_kernel_window set, engine AND router stage each window's
+  // kernel work (batched Gram builds, prefetched prepares) up front.
+  // Shard sub-batches window independently of the single engine's
+  // stream, yet responses — including the warm-state flags — must still
+  // match: every prefetched request is a cache hit on both sides, and
+  // repeats memo-hit in request order either way.
+  auto corpus = MakeCorpus(80);
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  engine_options.batch_kernel_window = 3;
+  SelectionEngine reference(corpus, engine_options);
+  RouterOptions router_options;
+  router_options.engine = engine_options;
+  router_options.router_threads = 1;
+  auto router = ShardRouter::Create(corpus, GetParam(), router_options);
+  ASSERT_TRUE(router.ok()) << router.status();
+
+  std::vector<SelectRequest> requests = MixedStream(*corpus);
+  std::vector<Result<SelectResponse>> want = reference.SelectBatch(requests);
+  std::vector<Result<SelectResponse>> got =
+      router.value()->SelectBatch(requests);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ExpectSameResponse(got[i], want[i],
+                       "windowed batch[" + std::to_string(i) +
+                           "] target=" + requests[i].target_id);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Shards, RouterDeterminismTest,
                          ::testing::Values(1u, 2u, 4u));
+
+TEST(BatchKernelWindowTest, WindowedBatchPayloadsMatchUnwindowed) {
+  // The window is a scheduling/locality knob only: payloads (and
+  // per-request statuses) are bit-identical to the unwindowed batch.
+  // Warm-state flags differ by design — every valid windowed request is
+  // prepared by its window's prefetch, so it reports cache_hit.
+  auto corpus = MakeCorpus(80);
+  EngineOptions serial_options;
+  serial_options.threads = 1;
+  SelectionEngine reference(corpus, serial_options);
+  EngineOptions windowed_options = serial_options;
+  windowed_options.batch_kernel_window = 3;
+  SelectionEngine windowed(corpus, windowed_options);
+
+  std::vector<SelectRequest> requests = MixedStream(*corpus);
+  std::vector<Result<SelectResponse>> want = reference.SelectBatch(requests);
+  std::vector<Result<SelectResponse>> got = windowed.SelectBatch(requests);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ExpectSameResponse(got[i], want[i],
+                       "windowed-vs-plain[" + std::to_string(i) + "]",
+                       /*check_flags=*/false);
+    if (got[i].ok()) {
+      EXPECT_TRUE(got[i].value().cache_hit)
+          << "windowed request " << i << " should be prefetched";
+    }
+  }
+}
+
+TEST(BatchKernelWindowTest, PooledWindowCoalescesExactRepeats) {
+  // On a pooled engine, exact repeats inside one window run behind
+  // their head on its lane, so they deterministically memo-hit instead
+  // of racing. Payloads still match the serial unwindowed reference.
+  auto corpus = MakeCorpus(80);
+  EngineOptions serial_options;
+  serial_options.threads = 1;
+  SelectionEngine reference(corpus, serial_options);
+  EngineOptions pooled_options;
+  pooled_options.threads = 2;
+  pooled_options.batch_kernel_window = 64;  // One window spans the batch.
+  SelectionEngine pooled(corpus, pooled_options);
+
+  std::vector<SelectRequest> requests = MixedStream(*corpus);
+  std::vector<Result<SelectResponse>> want = reference.SelectBatch(requests);
+  std::vector<Result<SelectResponse>> got = pooled.SelectBatch(requests);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ExpectSameResponse(got[i], want[i],
+                       "pooled-window[" + std::to_string(i) + "]",
+                       /*check_flags=*/false);
+  }
+  // MixedStream indices 9..11 repeat 0..2 exactly — same window here.
+  for (size_t i = 9; i < 12; ++i) {
+    ASSERT_TRUE(got[i].ok());
+    EXPECT_TRUE(got[i].value().result_cache_hit)
+        << "in-window repeat " << i << " must memo-hit its head";
+  }
+}
 
 }  // namespace
 }  // namespace comparesets

@@ -162,6 +162,33 @@ TEST(CliTest, ServeShardedAnswersTheSameQueries) {
   EXPECT_EQ(bad.exit_code, 2);
 }
 
+TEST(CliTest, ServeWindowedBatchPrefetchesColdQueries) {
+  std::string path = ::testing::TempDir() + "/comparesets_cli_windowq.txt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("cellphone-P00000\n"
+          "cellphone-P00001 CompaReSetS 2\n"
+          "cellphone-P00002 Crs 2\n",
+          f);
+    fclose(f);
+  }
+  // --window stages the batch in kernel windows whose design systems are
+  // prefetched via one batched Gram build before the requests execute,
+  // so even cold queries report a warm vector cache. Payloads are
+  // bit-identical with the window on or off (the engine determinism
+  // tests pin that); this exercises the CLI plumbing end to end.
+  CommandResult result = RunCli(
+      "serve --products 40 --threads 1 --window 4 --queries " + path);
+  std::remove(path.c_str());
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("Answered 3 queries (0 failed)"),
+            std::string::npos)
+      << result.output;
+  EXPECT_EQ(result.output.find("cache=miss"), std::string::npos)
+      << result.output;
+}
+
 TEST(CliTest, ServeReportsUnknownTargetsWithoutPoisoningBatch) {
   std::string path = ::testing::TempDir() + "/comparesets_cli_badquery.txt";
   {

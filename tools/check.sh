@@ -3,7 +3,10 @@
 # Release and the Sanitize (ASan + UBSan) configurations. The sanitize
 # pass runs the whole suite — including the thread-pool and
 # SelectionEngine tests — so data races' memory fallout and UB in the
-# concurrent paths fail loudly.
+# concurrent paths fail loudly. It runs ctest twice: once with
+# COMPARESETS_KERNEL=scalar and once with =auto (the best SIMD target
+# the CPU supports), so the kernel-dispatch bit-identity contract is
+# re-proven under both targets on every sweep.
 #
 #   tools/check.sh            # both configurations
 #   tools/check.sh release    # just one
@@ -18,7 +21,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
 run_config() {
-  name="$1"; dir="$2"; shift 2
+  name="$1"; dir="$2"; kernels="$3"; shift 3
   echo "== [$name] configure"
   if ! cmake -B "$dir" -S . "$@"; then
     echo "== check.sh: [$name] configure FAILED" >&2
@@ -29,11 +32,14 @@ run_config() {
     echo "== check.sh: [$name] build FAILED" >&2
     exit 3
   fi
-  echo "== [$name] ctest"
-  if ! ctest --test-dir "$dir" --output-on-failure -j "$JOBS"; then
-    echo "== check.sh: [$name] tests FAILED" >&2
-    exit 4
-  fi
+  for kernel in $kernels; do
+    echo "== [$name] ctest (COMPARESETS_KERNEL=$kernel)"
+    if ! COMPARESETS_KERNEL="$kernel" \
+        ctest --test-dir "$dir" --output-on-failure -j "$JOBS"; then
+      echo "== check.sh: [$name] tests FAILED (COMPARESETS_KERNEL=$kernel)" >&2
+      exit 4
+    fi
+  done
 }
 
 want="${1:-all}"
@@ -46,10 +52,10 @@ case "$want" in
 esac
 
 if [ "$want" = "all" ] || [ "$want" = "release" ]; then
-  run_config release build -DCMAKE_BUILD_TYPE=Release
+  run_config release build auto -DCMAKE_BUILD_TYPE=Release
 fi
 if [ "$want" = "all" ] || [ "$want" = "sanitize" ]; then
-  run_config sanitize build-sanitize \
+  run_config sanitize build-sanitize "scalar auto" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOMPARESETS_SANITIZE=ON
 fi
 echo "== check.sh: all requested configurations green"

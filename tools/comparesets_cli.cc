@@ -4,8 +4,8 @@
 //   comparesets select  [data flags] [--target ID] [--algorithm A] [--m N]
 //   comparesets narrow  [data flags] [--target ID] [--k N] [--m N]
 //   comparesets serve   [data flags] [--queries F] [--threads N]
-//                       [--intra_threads N] [--shards N] [--metrics]
-//                       [--prometheus] [--deadline_ms D]
+//                       [--intra_threads N] [--shards N] [--window N]
+//                       [--metrics] [--prometheus] [--deadline_ms D]
 //                       [--max_in_flight N] [--retries R] [--trace_out F]
 //
 // Data source: either a synthetic category (--category Cellphone|Toy|
@@ -231,6 +231,8 @@ int RunServe(const FlagParser& flags) {
       static_cast<size_t>(flags.GetInt("max_in_flight"));
   engine_options.max_queue = static_cast<size_t>(flags.GetInt("max_queue"));
   engine_options.max_attempts = flags.GetInt("retries") + 1;
+  engine_options.batch_kernel_window =
+      static_cast<size_t>(flags.GetInt("window"));
   router_options.router_threads = engine_options.threads;
 
   int shards_flag = flags.GetInt("shards");
@@ -382,6 +384,9 @@ int main(int argc, char** argv) {
                "lane cap for one request's internal fan-out"
                " (0 = whole pool, 1 = serial solve)");
   flags.AddInt("cache_capacity", 256, "engine vector-cache entries");
+  flags.AddInt("window", 0,
+               "batched-kernel window for serve batches"
+               " (0 = off, N = stage Gram builds N requests at a time)");
   flags.AddInt("shards", 1,
                "target-id range shards behind the serve router"
                " (1 = single engine)");
