@@ -1,0 +1,424 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace comparesets {
+
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Maps an OS send/recv/connect failure to the typed vocabulary.
+Status TransportError(const char* what) {
+  switch (errno) {
+    case ECONNREFUSED:
+    case ECONNRESET:
+    case EPIPE:
+    case ENOENT:     // Unix socket path does not exist (server gone).
+    case ENOTCONN:
+      return Status::Unavailable(ErrnoMessage(what));
+    default:
+      return Status::IOError(ErrnoMessage(what));
+  }
+}
+
+/// Polls `fd` for `events` within the budget. `timeout_seconds <= 0`
+/// waits forever. Returns kTimeout when the budget elapses.
+Status PollFor(int fd, short events, double timeout_seconds,
+               const char* what) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  int timeout_ms = timeout_seconds <= 0.0
+                       ? -1
+                       : std::max(1, static_cast<int>(timeout_seconds * 1e3));
+  for (;;) {
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) {
+      return Status::Timeout(std::string(what) + " timed out");
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(ErrnoMessage(what));
+  }
+}
+
+void SetCloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+Status SetNonBlocking(int fd, bool enabled) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::IOError(ErrnoMessage("fcntl(F_GETFL)"));
+  if (enabled) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return Status::IOError(ErrnoMessage("fcntl(F_SETFL)"));
+  }
+  return Status::OK();
+}
+
+/// Builds the sockaddr for a parsed address. `storage` must outlive the
+/// returned pointer.
+struct SockAddr {
+  union {
+    struct sockaddr_un un;
+    struct sockaddr_in in;
+  } storage;
+  socklen_t len = 0;
+  int family = 0;
+};
+
+Result<SockAddr> ToSockAddr(const ParsedAddress& address) {
+  SockAddr out;
+  std::memset(&out.storage, 0, sizeof(out.storage));
+  if (address.is_unix) {
+    out.family = AF_UNIX;
+    out.storage.un.sun_family = AF_UNIX;
+    std::snprintf(out.storage.un.sun_path, sizeof(out.storage.un.sun_path),
+                  "%s", address.path.c_str());
+    out.len = static_cast<socklen_t>(sizeof(out.storage.un));
+    return out;
+  }
+  out.family = AF_INET;
+  out.storage.in.sin_family = AF_INET;
+  out.storage.in.sin_port = htons(address.port);
+  if (::inet_pton(AF_INET, address.host.c_str(), &out.storage.in.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad IPv4 host '" + address.host +
+                                   "' (use a numeric address)");
+  }
+  out.len = static_cast<socklen_t>(sizeof(out.storage.in));
+  return out;
+}
+
+}  // namespace
+
+Result<ParsedAddress> ParseAddress(const std::string& address) {
+  ParsedAddress parsed;
+  const std::string kUnixPrefix = "unix:";
+  const std::string kTcpPrefix = "tcp:";
+  if (address.rfind(kUnixPrefix, 0) == 0) {
+    parsed.is_unix = true;
+    parsed.path = address.substr(kUnixPrefix.size());
+    if (parsed.path.empty()) {
+      return Status::InvalidArgument("empty unix socket path in '" + address +
+                                     "'");
+    }
+    struct sockaddr_un probe;
+    if (parsed.path.size() >= sizeof(probe.sun_path)) {
+      return Status::InvalidArgument(
+          "unix socket path too long (" + std::to_string(parsed.path.size()) +
+          " bytes, max " + std::to_string(sizeof(probe.sun_path) - 1) + ")");
+    }
+    return parsed;
+  }
+  if (address.rfind(kTcpPrefix, 0) == 0) {
+    std::string rest = address.substr(kTcpPrefix.size());
+    size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= rest.size()) {
+      return Status::InvalidArgument("expected tcp:HOST:PORT in '" + address +
+                                     "'");
+    }
+    parsed.host = rest.substr(0, colon);
+    char* end = nullptr;
+    long port = std::strtol(rest.c_str() + colon + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+      return Status::InvalidArgument("bad tcp port in '" + address + "'");
+    }
+    parsed.port = static_cast<uint16_t>(port);
+    return parsed;
+  }
+  return Status::InvalidArgument(
+      "unsupported address '" + address +
+      "' (expected unix:PATH or tcp:HOST:PORT)");
+}
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Result<Socket> Socket::Connect(const std::string& address,
+                               double timeout_seconds) {
+  COMPARESETS_ASSIGN_OR_RETURN(ParsedAddress parsed, ParseAddress(address));
+  COMPARESETS_ASSIGN_OR_RETURN(SockAddr addr, ToSockAddr(parsed));
+  int fd = ::socket(addr.family, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError(ErrnoMessage("socket"));
+  SetCloexec(fd);
+  Socket sock(fd);
+  Status status = SetNonBlocking(fd, true);
+  if (!status.ok()) return status;
+  Timer connect_timer;
+  for (;;) {
+    int rc = ::connect(
+        fd, reinterpret_cast<const struct sockaddr*>(&addr.storage), addr.len);
+    if (rc == 0) break;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN && addr.family == AF_UNIX) {
+      // Unix sockets report a full listener backlog as EAGAIN with the
+      // connection NOT in progress — polling POLLOUT would "succeed"
+      // on a socket that never connected. Re-issue the connect until
+      // the backlog drains or the budget elapses.
+      if (timeout_seconds > 0.0 &&
+          connect_timer.ElapsedSeconds() >= timeout_seconds) {
+        return Status::Timeout("connect to " + address +
+                               " timed out (listener backlog full)");
+      }
+      struct timespec nap = {0, 1000000};  // 1 ms
+      ::nanosleep(&nap, nullptr);
+      continue;
+    }
+    if (errno != EINPROGRESS) {
+      return TransportError(("connect to " + address).c_str());
+    }
+    Status polled = PollFor(fd, POLLOUT, timeout_seconds,
+                            ("connect to " + address).c_str());
+    if (!polled.ok()) return polled;
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+      return Status::IOError(ErrnoMessage("getsockopt(SO_ERROR)"));
+    }
+    if (err != 0) {
+      errno = err;
+      return TransportError(("connect to " + address).c_str());
+    }
+    break;
+  }
+  COMPARESETS_RETURN_NOT_OK(SetNonBlocking(fd, false));
+  if (addr.family == AF_INET) {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return sock;
+}
+
+Status Socket::SendAll(const void* data, size_t len, double timeout_seconds) {
+  if (fd_ < 0) return Status::IOError("send on closed socket");
+  Timer timer;
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < len) {
+    double remaining = timeout_seconds <= 0.0
+                           ? 0.0
+                           : timeout_seconds - timer.ElapsedSeconds();
+    if (timeout_seconds > 0.0 && remaining <= 0.0) {
+      return Status::Timeout("socket send timed out");
+    }
+    // MSG_NOSIGNAL: a dead peer yields EPIPE, not a process-killing
+    // SIGPIPE — servers and clients both outlive each other's crashes.
+    ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      COMPARESETS_RETURN_NOT_OK(
+          PollFor(fd_, POLLOUT, remaining, "socket send"));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return TransportError("socket send");
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvAll(void* data, size_t len, double timeout_seconds) {
+  if (fd_ < 0) return Status::IOError("recv on closed socket");
+  Timer timer;
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < len) {
+    double remaining = timeout_seconds <= 0.0
+                           ? 0.0
+                           : timeout_seconds - timer.ElapsedSeconds();
+    if (timeout_seconds > 0.0 && remaining <= 0.0) {
+      return Status::Timeout("socket read timed out");
+    }
+    COMPARESETS_RETURN_NOT_OK(PollFor(fd_, POLLIN, remaining, "socket read"));
+    ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return got == 0 ? Status::Unavailable("connection closed")
+                      : Status::Unavailable("connection closed mid-frame");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return TransportError("socket read");
+  }
+  return Status::OK();
+}
+
+Status Socket::SendFrame(uint16_t type, std::string_view payload,
+                         double timeout_seconds) {
+  std::string frame = EncodeFrame(type, payload);
+  return SendAll(frame.data(), frame.size(), timeout_seconds);
+}
+
+Result<NetFrame> Socket::RecvFrame(double timeout_seconds) {
+  Timer timer;
+  char header_bytes[kFrameHeaderBytes];
+  COMPARESETS_RETURN_NOT_OK(
+      RecvAll(header_bytes, sizeof(header_bytes), timeout_seconds));
+  COMPARESETS_ASSIGN_OR_RETURN(
+      FrameHeader header,
+      DecodeFrameHeader(std::string_view(header_bytes, sizeof(header_bytes))));
+  NetFrame frame;
+  frame.type = header.type;
+  frame.payload.resize(header.payload_bytes);
+  if (header.payload_bytes > 0) {
+    double remaining = timeout_seconds <= 0.0
+                           ? 0.0
+                           : timeout_seconds - timer.ElapsedSeconds();
+    if (timeout_seconds > 0.0 && remaining <= 0.0) {
+      return Status::Timeout("socket read timed out");
+    }
+    COMPARESETS_RETURN_NOT_OK(
+        RecvAll(frame.payload.data(), frame.payload.size(), remaining));
+  }
+  return frame;
+}
+
+ListenSocket::~ListenSocket() { Close(); }
+
+ListenSocket::ListenSocket(ListenSocket&& other) noexcept
+    : fd_(other.fd_),
+      bound_address_(std::move(other.bound_address_)),
+      unix_path_(std::move(other.unix_path_)) {
+  other.fd_ = -1;
+  other.unix_path_.clear();
+}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    bound_address_ = std::move(other.bound_address_);
+    unix_path_ = std::move(other.unix_path_);
+    other.fd_ = -1;
+    other.unix_path_.clear();
+  }
+  return *this;
+}
+
+void ListenSocket::Interrupt() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void ListenSocket::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+Result<ListenSocket> ListenSocket::Listen(const std::string& address,
+                                          int backlog) {
+  COMPARESETS_ASSIGN_OR_RETURN(ParsedAddress parsed, ParseAddress(address));
+  COMPARESETS_ASSIGN_OR_RETURN(SockAddr addr, ToSockAddr(parsed));
+  int fd = ::socket(addr.family, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError(ErrnoMessage("socket"));
+  SetCloexec(fd);
+  ListenSocket listener;
+  listener.fd_ = fd;
+  if (parsed.is_unix) {
+    ::unlink(parsed.path.c_str());  // Stale path from a dead server.
+  } else {
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  if (::bind(fd, reinterpret_cast<const struct sockaddr*>(&addr.storage),
+             addr.len) != 0) {
+    return Status::IOError(ErrnoMessage(("bind " + address).c_str()));
+  }
+  if (::listen(fd, backlog) != 0) {
+    return Status::IOError(ErrnoMessage(("listen " + address).c_str()));
+  }
+  if (parsed.is_unix) {
+    listener.unix_path_ = parsed.path;
+    listener.bound_address_ = address;
+  } else {
+    struct sockaddr_in bound;
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                      &bound_len) != 0) {
+      return Status::IOError(ErrnoMessage("getsockname"));
+    }
+    listener.bound_address_ =
+        "tcp:" + parsed.host + ":" + std::to_string(ntohs(bound.sin_port));
+  }
+  return listener;
+}
+
+Result<Socket> ListenSocket::Accept() {
+  if (fd_ < 0) return Status::Unavailable("listener closed");
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      SetCloexec(fd);
+      return Socket(fd);
+    }
+    // ECONNABORTED: the peer connected and hung up before we accepted —
+    // its problem, not the listener's. Treating it as the exit signal
+    // would let one rude client stop the server from accepting anyone.
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    // EBADF / EINVAL after Close(): the accept loop's normal exit.
+    return Status::Unavailable(ErrnoMessage("accept"));
+  }
+}
+
+}  // namespace comparesets

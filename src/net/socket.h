@@ -1,0 +1,144 @@
+// Minimal POSIX socket layer for the shard RPC transport: address
+// parsing ("unix:/path/to.sock" and "tcp:host:port"), RAII stream
+// sockets with timeout-bounded connect/send/recv, and a listener.
+//
+// Everything returns typed Status — no exceptions, no exit paths:
+//   * kUnavailable    — connection refused / reset / peer gone. The
+//     serving-layer meaning ("this shard is not answering right now")
+//     so routers can retry a replica.
+//   * kTimeout        — a configured transport timeout elapsed. The
+//     caller decides whether that maps to a request deadline.
+//   * kIOError        — everything else the OS reports.
+//   * kParseError / kInvalidArgument — malformed frames (RecvFrame
+//     validates headers via net/wire_format.h before reading payloads).
+//
+// Timeout convention: `timeout_seconds <= 0` means wait forever. All
+// waits are poll(2)-based, so a hung peer can never park a thread past
+// its budget — the property the CI integration job's ctest TIMEOUTs
+// assume.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/wire_format.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+/// A parsed transport address.
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string path;  ///< Unix-domain socket path (is_unix).
+  std::string host;  ///< Numeric or loopback host (!is_unix).
+  uint16_t port = 0;
+};
+
+/// Parses "unix:PATH" or "tcp:HOST:PORT". kInvalidArgument on anything
+/// else (including Unix paths too long for sockaddr_un).
+Result<ParsedAddress> ParseAddress(const std::string& address);
+
+/// One received frame: validated header + raw payload bytes.
+struct NetFrame {
+  uint16_t type = 0;
+  std::string payload;
+};
+
+/// Movable RAII wrapper over one connected stream socket.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to `address` within `timeout_seconds` (non-blocking
+  /// connect + poll). Refusals and missing socket files return
+  /// kUnavailable; an elapsed budget returns kTimeout.
+  static Result<Socket> Connect(const std::string& address,
+                                double timeout_seconds);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all `len` bytes or fails; partial progress then an error
+  /// leaves the connection unusable (callers drop it).
+  Status SendAll(const void* data, size_t len, double timeout_seconds);
+
+  /// Reads exactly `len` bytes. A peer close mid-read is kUnavailable
+  /// ("connection closed mid-frame") — distinct from a clean EOF at a
+  /// frame boundary, which RecvFrame reports as kUnavailable with
+  /// "connection closed" so pools know the channel simply went away.
+  Status RecvAll(void* data, size_t len, double timeout_seconds);
+
+  /// Sends one framed message.
+  Status SendFrame(uint16_t type, std::string_view payload,
+                   double timeout_seconds);
+
+  /// Receives one framed message: reads the 12-byte header, validates
+  /// it (magic / version / length cap — typed errors on each), then
+  /// reads the payload. The timeout bounds the WHOLE frame.
+  Result<NetFrame> RecvFrame(double timeout_seconds);
+
+  /// shutdown(2) both directions — unblocks a peer (or our own thread)
+  /// parked in poll/recv. Safe on an invalid socket.
+  void ShutdownBoth();
+
+  /// shutdown(2) the write direction only: the peer sees EOF after the
+  /// bytes already sent, while this side can still read its reply —
+  /// how a client says "that's the whole request" on a stream it then
+  /// drains. Safe on an invalid socket.
+  void ShutdownWrite();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to a Unix or TCP address.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket();
+  ListenSocket(ListenSocket&& other) noexcept;
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  /// Binds + listens. "tcp:HOST:0" binds an ephemeral port;
+  /// bound_address() reports the resolved one. A pre-existing Unix
+  /// socket path is unlinked first (stale file from a dead server).
+  static Result<ListenSocket> Listen(const std::string& address, int backlog);
+
+  /// The canonical address peers should connect to.
+  const std::string& bound_address() const { return bound_address_; }
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Blocks until a connection arrives. After Close() (from another
+  /// thread) returns kUnavailable — the accept loop's exit signal.
+  Result<Socket> Accept();
+
+  /// shutdown(2) on the listening fd WITHOUT closing it: unblocks an
+  /// Accept parked in another thread while leaving the fd value stable
+  /// (no data race on the descriptor). The accept loop then exits and
+  /// the owner Close()s from a single thread.
+  void Interrupt();
+
+  /// Closes the listener (and unlinks a Unix socket path), unblocking
+  /// any Accept in flight. Idempotent.
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string bound_address_;
+  std::string unix_path_;  ///< Unlinked on Close when non-empty.
+};
+
+}  // namespace comparesets

@@ -1,0 +1,178 @@
+#include "net/wire_format.h"
+
+namespace comparesets {
+
+namespace {
+
+void AppendLE16(uint16_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void AppendLE32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t LoadLE16(const unsigned char* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t LoadLE32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void AppendFrameHeader(uint16_t type, uint32_t payload_bytes,
+                       std::string* out) {
+  out->append(reinterpret_cast<const char*>(kFrameMagic), 4);
+  AppendLE16(kWireVersion, out);
+  AppendLE16(type, out);
+  AppendLE32(payload_bytes, out);
+}
+
+std::string EncodeFrame(uint16_t type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrameHeader(type, static_cast<uint32_t>(payload.size()), &out);
+  out.append(payload);
+  return out;
+}
+
+Result<FrameHeader> DecodeFrameHeader(std::string_view data) {
+  if (data.size() < kFrameHeaderBytes) {
+    return Status::ParseError("truncated frame header: " +
+                              std::to_string(data.size()) + " of " +
+                              std::to_string(kFrameHeaderBytes) + " bytes");
+  }
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data.data());
+  if (std::memcmp(p, kFrameMagic, 4) != 0) {
+    return Status::ParseError("bad frame magic");
+  }
+  FrameHeader header;
+  header.version = LoadLE16(p + 4);
+  header.type = LoadLE16(p + 6);
+  header.payload_bytes = LoadLE32(p + 8);
+  if (header.version != kWireVersion) {
+    return Status::InvalidArgument(
+        "wire version mismatch: peer speaks v" +
+        std::to_string(header.version) + ", this build speaks v" +
+        std::to_string(kWireVersion));
+  }
+  if (header.payload_bytes > kMaxFramePayloadBytes) {
+    return Status::ParseError(
+        "oversized frame payload: " + std::to_string(header.payload_bytes) +
+        " bytes (max " + std::to_string(kMaxFramePayloadBytes) + ")");
+  }
+  return header;
+}
+
+void WireWriter::WriteU16(uint16_t v) { AppendLE16(v, &out_); }
+
+void WireWriter::WriteU32(uint32_t v) { AppendLE32(v, &out_); }
+
+void WireWriter::WriteU64(uint64_t v) {
+  AppendLE32(static_cast<uint32_t>(v & 0xffffffffu), &out_);
+  AppendLE32(static_cast<uint32_t>(v >> 32), &out_);
+}
+
+void WireWriter::WriteDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void WireWriter::WriteString(std::string_view s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  out_.append(s);
+}
+
+Status WireReader::Need(size_t n, const char* what) {
+  if (data_.size() - pos_ < n) {
+    return Status::ParseError(std::string("truncated payload reading ") +
+                              what + ": need " + std::to_string(n) +
+                              " bytes, have " +
+                              std::to_string(data_.size() - pos_));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> WireReader::ReadU8() {
+  COMPARESETS_RETURN_NOT_OK(Need(1, "u8"));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint16_t> WireReader::ReadU16() {
+  COMPARESETS_RETURN_NOT_OK(Need(2, "u16"));
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+  pos_ += 2;
+  return LoadLE16(p);
+}
+
+Result<uint32_t> WireReader::ReadU32() {
+  COMPARESETS_RETURN_NOT_OK(Need(4, "u32"));
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+  pos_ += 4;
+  return LoadLE32(p);
+}
+
+Result<uint64_t> WireReader::ReadU64() {
+  COMPARESETS_RETURN_NOT_OK(Need(8, "u64"));
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+  pos_ += 8;
+  return static_cast<uint64_t>(LoadLE32(p)) |
+         (static_cast<uint64_t>(LoadLE32(p + 4)) << 32);
+}
+
+Result<int32_t> WireReader::ReadI32() {
+  COMPARESETS_ASSIGN_OR_RETURN(uint32_t v, ReadU32());
+  return static_cast<int32_t>(v);
+}
+
+Result<bool> WireReader::ReadBool() {
+  COMPARESETS_ASSIGN_OR_RETURN(uint8_t v, ReadU8());
+  if (v > 1) {
+    return Status::ParseError("bad bool byte: " + std::to_string(v));
+  }
+  return v == 1;
+}
+
+Result<double> WireReader::ReadDouble() {
+  COMPARESETS_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> WireReader::ReadString() {
+  COMPARESETS_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+  // A length prefix can never legitimately exceed what the frame cap
+  // admits — reject before Need() so the error names the real problem.
+  if (len > kMaxFramePayloadBytes) {
+    return Status::ParseError("oversized string length: " +
+                              std::to_string(len));
+  }
+  COMPARESETS_RETURN_NOT_OK(Need(len, "string bytes"));
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+Status WireReader::ExpectFullyConsumed(const char* what) const {
+  if (pos_ != data_.size()) {
+    return Status::ParseError(std::string(what) + ": " +
+                              std::to_string(data_.size() - pos_) +
+                              " trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace comparesets

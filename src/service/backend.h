@@ -1,0 +1,110 @@
+// ShardBackend: the transport seam of the sharded serving layer.
+//
+// PR 5's ShardRouter talks to its shards through direct SelectionEngine
+// calls — one process, one address space. The jump to a fleet keeps the
+// routing layer but swaps what a "shard" is: this interface is the
+// contract a router needs from a shard and nothing more (answer one
+// request, answer a sub-batch, report health), so the same
+// RpcShardRouter code serves
+//   * LocalShardBackend — an in-process SelectionEngine (today's path,
+//     byte-for-byte), and
+//   * RpcShardBackend (net/client.h) — a pool of connections to a
+//     shard_server process hosting that engine behind the wire
+//     protocol.
+// The transport oracle (tests/net_transport_oracle_test.cc) holds the
+// two implementations to byte-identical responses.
+//
+// Deadlines cross the seam as data (SelectRequest::deadline_seconds);
+// CancelTokens do not — they are process-local (docs/execution-model.md
+// covers how cancellation degrades to a deadline across a socket).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/engine.h"
+#include "service/indexed_corpus.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+/// Health/readiness of one shard, as a probe answers it. Local backends
+/// synthesize it from the engine; RPC backends decode it off the wire.
+struct ShardHealth {
+  bool ready = false;  ///< Engine built and serving.
+  uint64_t shard_id = 0;
+  std::string state;  ///< ShardStateName-style string ("serving").
+  ShardKeyRange range;
+  uint64_t corpus_epoch = 0;
+  uint64_t num_instances = 0;
+  uint64_t num_products = 0;
+};
+
+/// One shard, behind some transport. Implementations are thread-safe:
+/// a router fans sub-batches out over backends concurrently.
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  /// Answers one request. Transport failures surface as kUnavailable /
+  /// kTimeout / kIOError; application failures are the engine's own
+  /// Status, carried with full code + message fidelity.
+  virtual Result<SelectResponse> Select(const SelectRequest& request) = 0;
+
+  /// Answers a whole sub-batch. Shipping the sub-batch as one unit (one
+  /// frame, for RPC) preserves the engine's batch semantics — kernel
+  /// windowing, in-order memo hits — exactly as the local router does.
+  virtual std::vector<Result<SelectResponse>> SelectBatch(
+      const std::vector<SelectRequest>& requests) = 0;
+
+  /// Health/readiness probe. Cheap; routers poll it at startup
+  /// (WaitReady) and ops surfaces print it.
+  virtual Result<ShardHealth> Probe() = 0;
+
+  /// Transport description for logs/errors ("local:0",
+  /// "rpc:unix:/run/shard0.sock").
+  virtual std::string name() const = 0;
+};
+
+/// In-process backend: wraps one shard's SelectionEngine.
+class LocalShardBackend : public ShardBackend {
+ public:
+  /// `range` is the key range the engine's snapshot covers (from the
+  /// partition bounds); surfaced by Probe.
+  LocalShardBackend(std::shared_ptr<SelectionEngine> engine,
+                    ShardKeyRange range);
+
+  Result<SelectResponse> Select(const SelectRequest& request) override;
+  std::vector<Result<SelectResponse>> SelectBatch(
+      const std::vector<SelectRequest>& requests) override;
+  Result<ShardHealth> Probe() override;
+  std::string name() const override;
+
+  SelectionEngine& engine() { return *engine_; }
+
+ private:
+  std::shared_ptr<SelectionEngine> engine_;
+  ShardKeyRange range_;
+};
+
+/// A partitioned set of local backends plus the bounds that route to
+/// them — everything RpcShardRouter::Create needs for the in-process
+/// transport.
+struct LocalBackendSet {
+  std::vector<std::string> bounds;
+  std::vector<std::unique_ptr<ShardBackend>> backends;
+};
+
+/// Partitions `corpus` into `num_shards` ranges and builds one
+/// LocalShardBackend per shard, mirroring ShardRouter::Create exactly:
+/// same partitioner, same ONE shared RequestPipeline across all shard
+/// engines (admission stays a machine-wide budget), same per-shard
+/// EngineOptions stamping. A router over these backends is therefore
+/// byte-identical to the PR 5 ShardRouter.
+Result<LocalBackendSet> CreateLocalBackends(
+    std::shared_ptr<const IndexedCorpus> corpus, size_t num_shards,
+    EngineOptions engine_options);
+
+}  // namespace comparesets

@@ -18,15 +18,22 @@ const char* FaultSiteName(FaultSite site) {
       return "route";
     case FaultSite::kGather:
       return "gather";
+    case FaultSite::kConnect:
+      return "connect";
+    case FaultSite::kSend:
+      return "send";
+    case FaultSite::kRecv:
+      return "recv";
   }
   return "unknown";
 }
 
 FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {
-  const SiteFaults* faults[5] = {&plan_.cache_lookup, &plan_.solve,
-                                 &plan_.corpus_swap, &plan_.route,
-                                 &plan_.gather};
-  for (int i = 0; i < 5; ++i) {
+  const SiteFaults* faults[8] = {&plan_.cache_lookup, &plan_.solve,
+                                 &plan_.corpus_swap,  &plan_.route,
+                                 &plan_.gather,       &plan_.connect,
+                                 &plan_.send,         &plan_.recv};
+  for (int i = 0; i < 8; ++i) {
     sites_[i].faults = *faults[i];
     // One PCG stream per site: the seam index picks the stream, so the
     // dice at one seam are independent of how often the others roll.

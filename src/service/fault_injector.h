@@ -32,6 +32,9 @@ enum class FaultSite {
   kCorpusSwap,       ///< Inside SwapCorpus, before the snapshot flips.
   kRoute,            ///< ShardRouter, before resolving the target's shard.
   kGather,           ///< ShardRouter, before each shard's gather task runs.
+  kConnect,          ///< RPC client, before (re)connecting to a replica.
+  kSend,             ///< RPC client, before sending a request frame.
+  kRecv,             ///< RPC client, before reading the response frame.
 };
 
 /// Stable lowercase name for a fault site ("cache_lookup", ...).
@@ -60,6 +63,9 @@ struct FaultPlan {
   SiteFaults corpus_swap;
   SiteFaults route;
   SiteFaults gather;
+  SiteFaults connect;
+  SiteFaults send;
+  SiteFaults recv;
 };
 
 /// Thread-safe injector. Each site draws from its own PCG stream
@@ -91,7 +97,7 @@ class FaultInjector {
 
   FaultPlan plan_;
   std::mutex mutex_;
-  SiteState sites_[5];
+  SiteState sites_[8];
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> delays_{0};
 };

@@ -1,0 +1,173 @@
+#include "service/rpc_router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace comparesets {
+
+RpcShardRouter::RpcShardRouter(
+    std::vector<std::string> bounds,
+    std::vector<std::unique_ptr<ShardBackend>> backends,
+    RpcRouterOptions options)
+    : options_(std::move(options)),
+      bounds_(std::move(bounds)),
+      backends_(std::move(backends)),
+      pool_(options_.router_threads) {}
+
+Result<std::unique_ptr<RpcShardRouter>> RpcShardRouter::Create(
+    std::vector<std::string> bounds,
+    std::vector<std::unique_ptr<ShardBackend>> backends,
+    RpcRouterOptions options) {
+  if (backends.empty()) {
+    return Status::InvalidArgument("RpcShardRouter requires backends");
+  }
+  if (bounds.size() != backends.size()) {
+    return Status::InvalidArgument(
+        "RpcShardRouter needs one bound per backend: " +
+        std::to_string(bounds.size()) + " bounds, " +
+        std::to_string(backends.size()) + " backends");
+  }
+  if (bounds[0] != "") {
+    return Status::InvalidArgument("bounds[0] must be the empty string");
+  }
+  if (!std::is_sorted(bounds.begin(), bounds.end())) {
+    return Status::InvalidArgument("bounds must be sorted");
+  }
+  for (const auto& backend : backends) {
+    if (backend == nullptr) {
+      return Status::InvalidArgument("RpcShardRouter backend is null");
+    }
+  }
+  return std::unique_ptr<RpcShardRouter>(new RpcShardRouter(
+      std::move(bounds), std::move(backends), std::move(options)));
+}
+
+size_t RpcShardRouter::ShardForTarget(const std::string& target_id) const {
+  // bounds_[0] == "", so upper_bound never returns begin(): every id
+  // lands in exactly one range (ShardRouter::ShardForTarget verbatim).
+  auto it = std::upper_bound(bounds_.begin(), bounds_.end(), target_id);
+  return static_cast<size_t>(it - bounds_.begin()) - 1;
+}
+
+Result<SelectResponse> RpcShardRouter::Select(
+    const SelectRequest& request) const {
+  if (options_.fault_injector) {
+    Status injected = options_.fault_injector->Inject(FaultSite::kRoute);
+    if (!injected.ok()) return injected;
+  }
+  size_t shard = ShardForTarget(request.target_id);
+  return backends_[shard]->Select(request);
+}
+
+std::vector<Result<SelectResponse>> RpcShardRouter::SelectBatch(
+    const std::vector<SelectRequest>& requests) const {
+  std::vector<std::optional<Result<SelectResponse>>> slots(requests.size());
+
+  // Scatter: route every request up front; router-level refusals land
+  // in their slots, the rest are grouped per shard in original order —
+  // ShardRouter::SelectBatch's structure, backend call for engine call.
+  std::vector<std::vector<size_t>> by_shard(backends_.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (options_.fault_injector) {
+      Status injected = options_.fault_injector->Inject(FaultSite::kRoute);
+      if (!injected.ok()) {
+        slots[i] = injected;
+        continue;
+      }
+    }
+    by_shard[ShardForTarget(requests[i].target_id)].push_back(i);
+  }
+
+  // Gather: one task per shard with work. Time lost before a shard
+  // dispatches is charged against each of its requests' deadlines, and
+  // an expired request is dropped HERE — with the SAME message the
+  // in-process router uses, because the transport oracle compares
+  // Status bytes across transports.
+  Timer gather_timer;
+  auto run_shard = [&](size_t shard) {
+    if (options_.fault_injector) {
+      Status injected = options_.fault_injector->Inject(FaultSite::kGather);
+      if (!injected.ok()) {
+        for (size_t i : by_shard[shard]) slots[i] = injected;
+        return;
+      }
+    }
+    double elapsed = gather_timer.ElapsedSeconds();
+    std::vector<SelectRequest> sub;
+    std::vector<size_t> sub_index;
+    sub.reserve(by_shard[shard].size());
+    sub_index.reserve(by_shard[shard].size());
+    for (size_t i : by_shard[shard]) {
+      if (requests[i].deadline_seconds > 0.0 &&
+          requests[i].deadline_seconds <= elapsed) {
+        slots[i] = Status::DeadlineExceeded(
+            "deadline exceeded before gather dispatch to shard " +
+            std::to_string(shard));
+        continue;
+      }
+      sub.push_back(requests[i]);
+      if (sub.back().deadline_seconds > 0.0) {
+        sub.back().deadline_seconds -= elapsed;
+      }
+      sub_index.push_back(i);
+    }
+    if (sub.empty()) return;
+    std::vector<Result<SelectResponse>> sub_responses =
+        backends_[shard]->SelectBatch(sub);
+    for (size_t j = 0; j < sub_index.size(); ++j) {
+      slots[sub_index[j]] = std::move(sub_responses[j]);
+    }
+  };
+
+  std::vector<size_t> active;
+  for (size_t s = 0; s < by_shard.size(); ++s) {
+    if (!by_shard[s].empty()) active.push_back(s);
+  }
+  if (active.size() <= 1 || pool_.num_threads() <= 1) {
+    for (size_t s : active) run_shard(s);
+  } else {
+    pool_.ParallelFor(active.size(), [&](size_t k) { run_shard(active[k]); });
+  }
+
+  std::vector<Result<SelectResponse>> responses;
+  responses.reserve(slots.size());
+  for (auto& slot : slots) responses.push_back(std::move(*slot));
+  return responses;
+}
+
+std::vector<Result<ShardHealth>> RpcShardRouter::ProbeAll() const {
+  std::vector<Result<ShardHealth>> health;
+  health.reserve(backends_.size());
+  for (const auto& backend : backends_) {
+    health.push_back(backend->Probe());
+  }
+  return health;
+}
+
+Status RpcShardRouter::WaitReady(double timeout_seconds) const {
+  Timer timer;
+  for (size_t s = 0; s < backends_.size(); ++s) {
+    for (;;) {
+      Result<ShardHealth> health = backends_[s]->Probe();
+      if (health.ok() && health.value().ready) break;
+      if (timer.ElapsedSeconds() >= timeout_seconds) {
+        Status last = health.ok()
+                          ? Status::Unavailable("shard not ready, state=" +
+                                                health.value().state)
+                          : health.status();
+        return Status::Timeout("shard " + std::to_string(s) + " (" +
+                               backends_[s]->name() + ") not ready: " +
+                               last.ToString());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace comparesets

@@ -1,0 +1,121 @@
+// Process-level transport oracle: `comparesets serve --transport rpc`
+// (which forks one shard_server child per shard and talks to them over
+// Unix sockets) must print byte-identical output to `--transport local`
+// (the in-process PR 5 router) — same per-query lines, same shard
+// headers, same error text, same summary, same exit code. Only the
+// solve_ms timing token is stripped before comparison; everything else
+// is the deterministic payload.
+//
+// shard_server is resolved by the CLI from its own directory, so this
+// test only needs COMPARESETS_CLI_PATH (both binaries live in
+// build/tools/).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <string>
+
+namespace comparesets {
+namespace {
+
+#ifndef COMPARESETS_CLI_PATH
+#error "COMPARESETS_CLI_PATH must be defined by the build"
+#endif
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+// Unlike tools_cli_test's harness this captures stdout ONLY: the byte
+// contract under comparison is the serve output stream, while stderr
+// carries free-form child status lines ("shard 0/4 ... serving on ...")
+// that are not part of it.
+CommandResult RunCli(const std::string& arguments) {
+  std::string command =
+      std::string(COMPARESETS_CLI_PATH) + " " + arguments + " 2>/dev/null";
+  CommandResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  size_t read_bytes;
+  while ((read_bytes = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), read_bytes);
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+/// Removes every "solve_ms=<digits and dots>" token — the only
+/// nondeterministic bytes in serve output.
+std::string StripTimings(const std::string& text) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t hit = text.find("solve_ms=", pos);
+    if (hit == std::string::npos) {
+      out.append(text, pos, text.size() - pos);
+      break;
+    }
+    out.append(text, pos, hit - pos);
+    size_t end = hit + std::string("solve_ms=").size();
+    while (end < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[end])) ||
+            text[end] == '.')) {
+      ++end;
+    }
+    pos = end;
+  }
+  return out;
+}
+
+std::string WriteQueriesFile() {
+  std::string path = ::testing::TempDir() + "/rpc_cli_queries.txt";
+  FILE* f = fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  fputs("# mixed selectors, a repeat (memo hit), and a failing target\n"
+        "cellphone-P00000\n"
+        "cellphone-P00010 CompaReSetS 2\n"
+        "cellphone-P00025 CompaReSetSGreedy\n"
+        "cellphone-P00000\n"
+        "nosuch-product\n",
+        f);
+  fclose(f);
+  return path;
+}
+
+class RpcCliTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RpcCliTest, RpcTransportOutputMatchesLocal) {
+  const int shards = GetParam();
+  std::string queries = WriteQueriesFile();
+  std::string base = "serve --products 60 --threads 1 --shards " +
+                     std::to_string(shards) + " --queries " + queries;
+
+  CommandResult local = RunCli(base + " --transport local");
+  CommandResult rpc = RunCli(base + " --transport rpc");
+  std::remove(queries.c_str());
+
+  // One query intentionally fails, so both transports exit 1.
+  EXPECT_EQ(local.exit_code, 1) << local.output;
+  EXPECT_EQ(rpc.exit_code, local.exit_code) << rpc.output;
+  EXPECT_EQ(StripTimings(rpc.output), StripTimings(local.output));
+  // Sanity that the comparison is not vacuous: the shared output must
+  // contain real answers, the error line, and (sharded) shard headers.
+  EXPECT_NE(local.output.find("target=cellphone-P00000"), std::string::npos);
+  EXPECT_NE(local.output.find("ERROR not found"), std::string::npos);
+  if (shards > 1) {
+    EXPECT_NE(local.output.find("shard 0 ["), std::string::npos);
+    EXPECT_NE(local.output.find("across " + std::to_string(shards) +
+                                " shards"),
+              std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, RpcCliTest, ::testing::Values(1, 4));
+
+}  // namespace
+}  // namespace comparesets

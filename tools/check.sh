@@ -8,9 +8,19 @@
 # the CPU supports), so the kernel-dispatch bit-identity contract is
 # re-proven under both targets on every sweep.
 #
-#   tools/check.sh            # both configurations
+#   tools/check.sh            # both configurations + both integration legs
 #   tools/check.sh release    # just one
 #   tools/check.sh sanitize
+#   tools/check.sh integration            # RPC serving stack, Release
+#   tools/check.sh integration-sanitize   # same under ASan+UBSan
+#
+# The integration phase builds shard_server + the CLI, spawns a real
+# 4-shard fleet of shard_server processes on Unix sockets, proves
+# `serve --transport rpc` byte-identical to `--transport local` against
+# that externally-launched fleet, then runs the `integration`-labeled
+# ctests (which manage their own servers). The fleet is torn down by an
+# EXIT trap, so a failing leg never leaks processes or socket files.
+# The regular ctest legs run with -LE integration.
 #
 # JOBS=N overrides the build/test parallelism (default: nproc).
 # Each phase failure names the configuration and phase that failed and
@@ -35,18 +45,115 @@ run_config() {
   for kernel in $kernels; do
     echo "== [$name] ctest (COMPARESETS_KERNEL=$kernel)"
     if ! COMPARESETS_KERNEL="$kernel" \
-        ctest --test-dir "$dir" --output-on-failure -j "$JOBS"; then
+        ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+            -LE integration; then
       echo "== check.sh: [$name] tests FAILED (COMPARESETS_KERNEL=$kernel)" >&2
       exit 4
     fi
   done
 }
 
+# The spawned shard fleet's state, shared with the EXIT trap. POSIX sh
+# has no arrays: PIDs live in one space-separated string.
+FLEET_PIDS=""
+FLEET_DIR=""
+
+teardown_fleet() {
+  for pid in $FLEET_PIDS; do
+    kill "$pid" 2>/dev/null || true
+  done
+  for pid in $FLEET_PIDS; do
+    wait "$pid" 2>/dev/null || true
+  done
+  FLEET_PIDS=""
+  if [ -n "$FLEET_DIR" ]; then
+    rm -rf "$FLEET_DIR"
+    FLEET_DIR=""
+  fi
+}
+
+run_integration() {
+  name="$1"; dir="$2"; shift 2
+  echo "== [$name] configure"
+  if ! cmake -B "$dir" -S . "$@"; then
+    echo "== check.sh: [$name] configure FAILED" >&2
+    exit 2
+  fi
+  echo "== [$name] build"
+  if ! cmake --build "$dir" -j "$JOBS"; then
+    echo "== check.sh: [$name] build FAILED" >&2
+    exit 3
+  fi
+
+  FLEET_DIR="${TMPDIR:-/tmp}/comparesets-integration-$$"
+  mkdir -p "$FLEET_DIR"
+  trap teardown_fleet EXIT INT TERM
+
+  shards=4
+  products=60
+  echo "== [$name] spawning $shards shard_server processes"
+  addrs=""
+  i=0
+  while [ "$i" -lt "$shards" ]; do
+    addr="unix:$FLEET_DIR/shard$i.sock"
+    "$dir/tools/shard_server" --listen="$addr" --shards="$shards" \
+        --shard_index="$i" --products="$products" --threads=1 \
+        > "$FLEET_DIR/shard$i.log" 2>&1 &
+    FLEET_PIDS="$FLEET_PIDS $!"
+    if [ -z "$addrs" ]; then addrs="$addr"; else addrs="$addrs,$addr"; fi
+    i=$((i + 1))
+  done
+
+  # Byte-identity against the EXTERNAL fleet: serve the same queries
+  # over both transports and diff everything but the timing token.
+  # (`--connect` makes the CLI use the spawned servers instead of
+  # forking its own; it also waits for their readiness probes.)
+  printf '%s\n' \
+      "cellphone-P00000" \
+      "cellphone-P00010 CompaReSetS 2" \
+      "cellphone-P00025 CompaReSetSGreedy" \
+      "cellphone-P00000" \
+      > "$FLEET_DIR/queries.txt"
+  echo "== [$name] transport oracle: serve --transport local vs rpc"
+  if ! "$dir/tools/comparesets" serve --products="$products" --threads=1 \
+      --shards="$shards" --queries="$FLEET_DIR/queries.txt" \
+      --transport=local > "$FLEET_DIR/local.out"; then
+    echo "== check.sh: [$name] local-transport serve FAILED" >&2
+    exit 4
+  fi
+  if ! "$dir/tools/comparesets" serve --products="$products" --threads=1 \
+      --shards="$shards" --queries="$FLEET_DIR/queries.txt" \
+      --transport=rpc --connect="$addrs" --ready_timeout=120 \
+      > "$FLEET_DIR/rpc.out" 2> "$FLEET_DIR/rpc.err"; then
+    echo "== check.sh: [$name] rpc-transport serve FAILED" >&2
+    cat "$FLEET_DIR/rpc.err" >&2
+    exit 4
+  fi
+  sed 's/solve_ms=[0-9.]*//' "$FLEET_DIR/local.out" > "$FLEET_DIR/local.norm"
+  sed 's/solve_ms=[0-9.]*//' "$FLEET_DIR/rpc.out" > "$FLEET_DIR/rpc.norm"
+  if ! cmp -s "$FLEET_DIR/local.norm" "$FLEET_DIR/rpc.norm"; then
+    echo "== check.sh: [$name] TRANSPORT ORACLE FAILED (rpc != local)" >&2
+    diff "$FLEET_DIR/local.norm" "$FLEET_DIR/rpc.norm" >&2 || true
+    exit 4
+  fi
+  echo "== [$name] transport oracle: byte-identical"
+
+  echo "== [$name] ctest -L integration"
+  if ! ctest --test-dir "$dir" --output-on-failure -L integration; then
+    echo "== check.sh: [$name] integration tests FAILED" >&2
+    exit 4
+  fi
+
+  teardown_fleet
+  trap - EXIT INT TERM
+}
+
 want="${1:-all}"
 case "$want" in
-  all|release|sanitize) ;;
+  all|release|sanitize|integration|integration-sanitize) ;;
   *)
-    echo "usage: tools/check.sh [all|release|sanitize]" >&2
+    echo "usage: tools/check.sh" \
+        "[all|release|sanitize|integration|integration-sanitize]" >&2
     exit 64
     ;;
 esac
@@ -56,6 +163,13 @@ if [ "$want" = "all" ] || [ "$want" = "release" ]; then
 fi
 if [ "$want" = "all" ] || [ "$want" = "sanitize" ]; then
   run_config sanitize build-sanitize "scalar auto" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOMPARESETS_SANITIZE=ON
+fi
+if [ "$want" = "all" ] || [ "$want" = "integration" ]; then
+  run_integration integration build -DCMAKE_BUILD_TYPE=Release
+fi
+if [ "$want" = "all" ] || [ "$want" = "integration-sanitize" ]; then
+  run_integration integration-sanitize build-sanitize \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOMPARESETS_SANITIZE=ON
 fi
 echo "== check.sh: all requested configurations green"

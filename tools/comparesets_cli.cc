@@ -7,6 +7,8 @@
 //                       [--intra_threads N] [--shards N] [--window N]
 //                       [--metrics] [--prometheus] [--deadline_ms D]
 //                       [--max_in_flight N] [--retries R] [--trace_out F]
+//                       [--transport local|rpc] [--shard_server PATH]
+//                       [--connect A1,A2,..] [--ready_timeout S]
 //
 // Data source: either a synthetic category (--category Cellphone|Toy|
 // Clothing, --products N, --seed S) or Amazon-layout JSONL files
@@ -15,7 +17,19 @@
 // via the exact TargetHkS solver. `serve` answers a batch of query lines
 // through a ShardRouter over N range-partitioned shard engines
 // (--shards 1, the default, is byte-for-byte the single warm engine).
+//
+// --transport rpc moves each shard into its own shard_server process:
+// the CLI spawns one child per shard on private Unix sockets (or, with
+// --connect, dials an already-running fleet), waits for every shard's
+// readiness probe, routes the same queries through an RpcShardRouter,
+// and asks each spawned child to shut down when done. Responses are
+// byte-identical to --transport local — the transport-oracle CI job
+// holds the two paths to the same output.
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -30,9 +44,12 @@
 #include "data/synthetic.h"
 #include "eval/alignment.h"
 #include "graph/targethks_exact.h"
+#include "net/client.h"
 #include "opinion/vectors.h"
 #include "service/engine.h"
+#include "service/partitioner.h"
 #include "service/router.h"
+#include "service/rpc_router.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -214,46 +231,10 @@ Result<std::vector<SelectRequest>> ParseQueries(std::istream& in,
   return requests;
 }
 
-int RunServe(const FlagParser& flags) {
-  auto corpus = LoadData(flags);
-  corpus.status().CheckOK();
-  auto indexed = IndexedCorpus::Build(std::move(corpus).value());
-  indexed.status().CheckOK();
-
-  RouterOptions router_options;
-  EngineOptions& engine_options = router_options.engine;
-  engine_options.threads = static_cast<size_t>(flags.GetInt("threads"));
-  engine_options.max_intra_request_threads =
-      static_cast<size_t>(flags.GetInt("intra_threads"));
-  engine_options.cache_capacity =
-      static_cast<size_t>(flags.GetInt("cache_capacity"));
-  engine_options.max_in_flight =
-      static_cast<size_t>(flags.GetInt("max_in_flight"));
-  engine_options.max_queue = static_cast<size_t>(flags.GetInt("max_queue"));
-  engine_options.max_attempts = flags.GetInt("retries") + 1;
-  engine_options.batch_kernel_window =
-      static_cast<size_t>(flags.GetInt("window"));
-  router_options.router_threads = engine_options.threads;
-
-  int shards_flag = flags.GetInt("shards");
-  if (shards_flag < 1) {
-    std::fprintf(stderr, "--shards must be >= 1\n");
-    return 2;
-  }
-  auto router = ShardRouter::Create(indexed.value(),
-                                    static_cast<size_t>(shards_flag),
-                                    router_options);
-  router.status().CheckOK();
-  if (router.value()->num_shards() > 1) {
-    for (const ShardStatus& status : router.value()->ShardStatuses()) {
-      std::printf("shard %zu %s: %zu instances, %zu products\n",
-                  status.shard_id, status.range.ToString().c_str(),
-                  status.num_instances, status.num_products);
-    }
-  }
-  double deadline_seconds = flags.GetDouble("deadline_ms") / 1000.0;
-
-  std::vector<SelectRequest> requests;
+// Reads serve queries (stdin or --queries) and stamps the CLI-level
+// deadline onto each. Returns a shell exit code; 0 = ok.
+int ReadServeRequests(const FlagParser& flags,
+                      std::vector<SelectRequest>* requests) {
   const std::string& queries_path = flags.GetString("queries");
   if (queries_path.empty()) {
     auto parsed = ParseQueries(std::cin, flags);
@@ -261,7 +242,7 @@ int RunServe(const FlagParser& flags) {
       std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
       return 2;
     }
-    requests = std::move(parsed).value();
+    *requests = std::move(parsed).value();
   } else {
     std::ifstream file(queries_path);
     if (!file) {
@@ -274,19 +255,20 @@ int RunServe(const FlagParser& flags) {
       std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
       return 2;
     }
-    requests = std::move(parsed).value();
+    *requests = std::move(parsed).value();
   }
-  if (requests.empty()) {
-    std::printf("No queries.\n");
-    return 0;
-  }
-  for (SelectRequest& request : requests) {
+  double deadline_seconds = flags.GetDouble("deadline_ms") / 1000.0;
+  for (SelectRequest& request : *requests) {
     request.deadline_seconds = deadline_seconds;
   }
+  return 0;
+}
 
-  std::vector<Result<SelectResponse>> responses =
-      router.value()->SelectBatch(requests);
-
+// Prints one line per response (the serve output contract — identical
+// across transports) and the closing summary; returns the failure count.
+size_t PrintServeResponses(const std::vector<SelectRequest>& requests,
+                           const std::vector<Result<SelectResponse>>& responses,
+                           size_t num_shards) {
   size_t failed = 0;
   for (size_t i = 0; i < responses.size(); ++i) {
     if (!responses[i].ok()) {
@@ -308,13 +290,236 @@ int RunServe(const FlagParser& flags) {
         response.result_cache_hit ? "memo" : response.cache_hit ? "hit" : "miss",
         1000.0 * response.solve_seconds);
   }
-  if (router.value()->num_shards() == 1) {
+  if (num_shards == 1) {
     std::printf("Answered %zu queries (%zu failed) from one engine.\n",
                 responses.size(), failed);
   } else {
     std::printf("Answered %zu queries (%zu failed) across %zu shards.\n",
-                responses.size(), failed, router.value()->num_shards());
+                responses.size(), failed, num_shards);
   }
+  return failed;
+}
+
+// Copies the serve-relevant engine flags into EngineOptions (shared by
+// the local router and the spawned shard_server command lines).
+void FillEngineOptions(const FlagParser& flags, EngineOptions* engine_options) {
+  engine_options->threads = static_cast<size_t>(flags.GetInt("threads"));
+  engine_options->max_intra_request_threads =
+      static_cast<size_t>(flags.GetInt("intra_threads"));
+  engine_options->cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache_capacity"));
+  engine_options->max_in_flight =
+      static_cast<size_t>(flags.GetInt("max_in_flight"));
+  engine_options->max_queue = static_cast<size_t>(flags.GetInt("max_queue"));
+  engine_options->max_attempts = flags.GetInt("retries") + 1;
+  engine_options->batch_kernel_window =
+      static_cast<size_t>(flags.GetInt("window"));
+}
+
+// Forks one shard_server child. The child's stdout is rerouted to
+// stderr so the CLI's stdout stays exactly the query-response stream.
+pid_t SpawnShardServer(const std::string& binary, const FlagParser& flags,
+                       int shards, int shard_index,
+                       const std::string& address) {
+  std::vector<std::string> args = {
+      binary,
+      "--listen=" + address,
+      "--shards=" + std::to_string(shards),
+      "--shard_index=" + std::to_string(shard_index),
+      "--category=" + flags.GetString("category"),
+      "--products=" + std::to_string(flags.GetInt("products")),
+      "--seed=" + std::to_string(flags.GetInt("seed")),
+      "--reviews=" + flags.GetString("reviews"),
+      "--metadata=" + flags.GetString("metadata"),
+      "--threads=" + std::to_string(flags.GetInt("threads")),
+      "--intra_threads=" + std::to_string(flags.GetInt("intra_threads")),
+      "--cache_capacity=" + std::to_string(flags.GetInt("cache_capacity")),
+      "--window=" + std::to_string(flags.GetInt("window")),
+      "--max_in_flight=" + std::to_string(flags.GetInt("max_in_flight")),
+      "--max_queue=" + std::to_string(flags.GetInt("max_queue")),
+      "--retries=" + std::to_string(flags.GetInt("retries")),
+  };
+  pid_t pid = fork();
+  if (pid != 0) return pid;
+  dup2(STDERR_FILENO, STDOUT_FILENO);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  execv(binary.c_str(), argv.data());
+  std::fprintf(stderr, "cannot exec shard server '%s'\n", binary.c_str());
+  _exit(127);
+}
+
+// Reaps spawned shard servers: polite shutdown frame first, SIGTERM for
+// any child that does not comply, then waitpid on everyone.
+void TearDownFleet(const std::vector<pid_t>& pids,
+                   const std::vector<std::string>& addresses) {
+  for (size_t i = 0; i < pids.size(); ++i) {
+    Status stopped = RequestServerShutdown(addresses[i], 5.0);
+    if (!stopped.ok()) {
+      std::fprintf(stderr, "shard %zu shutdown handshake failed (%s); "
+                   "sending SIGTERM\n",
+                   i, stopped.ToString().c_str());
+      kill(pids[i], SIGTERM);
+    }
+  }
+  for (pid_t pid : pids) {
+    int wait_status = 0;
+    waitpid(pid, &wait_status, 0);
+  }
+}
+
+int RunServeRpc(const FlagParser& flags, const std::string& program_dir) {
+  int shards_flag = flags.GetInt("shards");
+  if (shards_flag < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  size_t num_shards = static_cast<size_t>(shards_flag);
+
+  // The router side derives the partition bounds from the same data the
+  // servers load — CorpusPartitioner is deterministic, so both sides of
+  // the wire agree on the ranges without shipping the corpus.
+  auto corpus = LoadData(flags);
+  corpus.status().CheckOK();
+  auto indexed = IndexedCorpus::Build(std::move(corpus).value());
+  indexed.status().CheckOK();
+  auto bounds = CorpusPartitioner::ComputeBounds(*indexed.value(), num_shards);
+  bounds.status().CheckOK();
+
+  std::vector<std::string> addresses;
+  std::vector<pid_t> pids;
+  const std::string& connect = flags.GetString("connect");
+  if (!connect.empty()) {
+    addresses = Split(connect, ',');
+    if (addresses.size() != num_shards) {
+      std::fprintf(stderr, "--connect lists %zu addresses for %zu shards\n",
+                   addresses.size(), num_shards);
+      return 2;
+    }
+  } else {
+    std::string binary = flags.GetString("shard_server");
+    if (binary.empty()) binary = program_dir + "shard_server";
+    for (size_t s = 0; s < num_shards; ++s) {
+      addresses.push_back("unix:/tmp/csrp-" + std::to_string(getpid()) + "-" +
+                          std::to_string(s) + ".sock");
+      pids.push_back(SpawnShardServer(binary, flags, shards_flag,
+                                      static_cast<int>(s), addresses[s]));
+    }
+  }
+
+  double ready_timeout = flags.GetDouble("ready_timeout");
+  for (size_t s = 0; s < num_shards; ++s) {
+    Status ready = WaitForServerReady(addresses[s], ready_timeout);
+    if (!ready.ok()) {
+      std::fprintf(stderr, "shard %zu at %s never became ready: %s\n", s,
+                   addresses[s].c_str(), ready.ToString().c_str());
+      if (!pids.empty()) TearDownFleet(pids, addresses);
+      return 2;
+    }
+  }
+
+  std::vector<std::unique_ptr<ShardBackend>> backends;
+  backends.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    RpcBackendOptions backend_options;
+    backend_options.replicas = {addresses[s]};
+    backend_options.shard_id = s;
+    auto backend = RpcShardBackend::Create(std::move(backend_options));
+    backend.status().CheckOK();
+    backends.push_back(std::move(backend).value());
+  }
+  RpcRouterOptions rpc_options;
+  rpc_options.router_threads = static_cast<size_t>(flags.GetInt("threads"));
+  auto router = RpcShardRouter::Create(bounds.value(), std::move(backends),
+                                       rpc_options);
+  router.status().CheckOK();
+
+  if (num_shards > 1) {
+    // Same per-shard header lines the local transport prints, fed from
+    // the remote readiness probes.
+    std::vector<Result<ShardHealth>> health = router.value()->ProbeAll();
+    for (size_t s = 0; s < health.size(); ++s) {
+      health[s].status().CheckOK();
+      std::printf("shard %zu %s: %zu instances, %zu products\n", s,
+                  health[s].value().range.ToString().c_str(),
+                  static_cast<size_t>(health[s].value().num_instances),
+                  static_cast<size_t>(health[s].value().num_products));
+    }
+  }
+
+  std::vector<SelectRequest> requests;
+  int read_rc = ReadServeRequests(flags, &requests);
+  if (read_rc != 0) {
+    if (!pids.empty()) TearDownFleet(pids, addresses);
+    return read_rc;
+  }
+  if (requests.empty()) {
+    std::printf("No queries.\n");
+    if (!pids.empty()) TearDownFleet(pids, addresses);
+    return 0;
+  }
+
+  std::vector<Result<SelectResponse>> responses =
+      router.value()->SelectBatch(requests);
+  size_t failed = PrintServeResponses(requests, responses, num_shards);
+
+  if (flags.GetBool("metrics") || flags.GetBool("prometheus") ||
+      !flags.GetString("trace_out").empty()) {
+    std::fprintf(stderr, "--metrics/--prometheus/--trace_out are not "
+                 "available over --transport rpc (remote registries)\n");
+  }
+  if (!pids.empty()) TearDownFleet(pids, addresses);
+  return failed == 0 ? 0 : 1;
+}
+
+int RunServe(const FlagParser& flags, const std::string& program_dir) {
+  const std::string& transport = flags.GetString("transport");
+  if (transport == "rpc") return RunServeRpc(flags, program_dir);
+  if (transport != "local") {
+    std::fprintf(stderr, "--transport must be local or rpc\n");
+    return 2;
+  }
+
+  auto corpus = LoadData(flags);
+  corpus.status().CheckOK();
+  auto indexed = IndexedCorpus::Build(std::move(corpus).value());
+  indexed.status().CheckOK();
+
+  RouterOptions router_options;
+  FillEngineOptions(flags, &router_options.engine);
+  router_options.router_threads = router_options.engine.threads;
+
+  int shards_flag = flags.GetInt("shards");
+  if (shards_flag < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  auto router = ShardRouter::Create(indexed.value(),
+                                    static_cast<size_t>(shards_flag),
+                                    router_options);
+  router.status().CheckOK();
+  if (router.value()->num_shards() > 1) {
+    for (const ShardStatus& status : router.value()->ShardStatuses()) {
+      std::printf("shard %zu %s: %zu instances, %zu products\n",
+                  status.shard_id, status.range.ToString().c_str(),
+                  status.num_instances, status.num_products);
+    }
+  }
+
+  std::vector<SelectRequest> requests;
+  int read_rc = ReadServeRequests(flags, &requests);
+  if (read_rc != 0) return read_rc;
+  if (requests.empty()) {
+    std::printf("No queries.\n");
+    return 0;
+  }
+
+  std::vector<Result<SelectResponse>> responses =
+      router.value()->SelectBatch(requests);
+  size_t failed = PrintServeResponses(requests, responses,
+                                      router.value()->num_shards());
   if (flags.GetBool("metrics")) {
     std::printf("\n%s", router.value()->DumpMetrics().c_str());
   }
@@ -402,6 +607,17 @@ int main(int argc, char** argv) {
   flags.AddString("trace_out", "",
                   "write per-request JSONL traces here after serve"
                   " (\"-\" = stdout)");
+  flags.AddString("transport", "local",
+                  "serve transport: local (in-process shard engines) or"
+                  " rpc (one shard_server process per shard)");
+  flags.AddString("shard_server", "",
+                  "shard_server binary for --transport rpc"
+                  " (default: next to this binary)");
+  flags.AddString("connect", "",
+                  "comma-separated shard addresses to dial instead of"
+                  " spawning servers (--transport rpc)");
+  flags.AddDouble("ready_timeout", 60.0,
+                  "seconds to wait for every rpc shard's readiness probe");
 
   Status parsed = flags.Parse(argc - 1, argv + 1);
   if (!parsed.ok()) {
@@ -410,10 +626,19 @@ int main(int argc, char** argv) {
   }
   if (flags.help_requested()) return 0;
 
+  // Directory holding this binary — where --transport rpc looks for
+  // shard_server unless --shard_server overrides it.
+  std::string program_dir = "./";
+  std::string program_path = argv[0];
+  size_t last_slash = program_path.find_last_of('/');
+  if (last_slash != std::string::npos) {
+    program_dir = program_path.substr(0, last_slash + 1);
+  }
+
   if (command == "stats") return RunStats(flags);
   if (command == "select") return RunSelect(flags, /*narrow=*/false);
   if (command == "narrow") return RunSelect(flags, /*narrow=*/true);
-  if (command == "serve") return RunServe(flags);
+  if (command == "serve") return RunServe(flags, program_dir);
   if (command == "export") return RunExport(flags);
   PrintUsage(argv[0]);
   return 2;
