@@ -10,6 +10,12 @@
 //                 nobody is refused, queue waits absorb the burst.
 //   overloaded    same in-flight limit, tiny queue — the surplus is
 //                 refused with RESOURCE_EXHAUSTED instead of waiting.
+//   degraded      same in-flight limit and tiny queue, but the engine
+//                 floor is `anytime`: the surplus is answered inline
+//                 with the greedy incumbent (tier anytime) instead of
+//                 being refused. Compare its degraded_rate against the
+//                 overloaded scenario's rejection_rate — same load, no
+//                 turned-away callers.
 //
 //   service_overload [--products N] [--instances N] [--seed S]
 //                    [--threads T] [--max_in_flight M] [--outdir DIR]
@@ -36,11 +42,25 @@ struct ScenarioResult {
   size_t requests = 0;
   size_t succeeded = 0;
   size_t rejected = 0;
+  /// OK responses answered below kExact (the degraded-instead-of-
+  /// rejected ones); included in `succeeded`.
+  size_t degraded = 0;
   double wall_ms = 0.0;
   double queue_p50_ms = 0.0;
   double queue_p99_ms = 0.0;
   double queue_max_ms = 0.0;
   double solve_p50_ms = 0.0;
+
+  double rejection_rate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(rejected) /
+                               static_cast<double>(requests);
+  }
+  double degraded_rate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(degraded) /
+                               static_cast<double>(requests);
+  }
 };
 
 double PercentileMs(std::vector<double> seconds, double p) {
@@ -53,10 +73,12 @@ double PercentileMs(std::vector<double> seconds, double p) {
 
 ScenarioResult RunScenario(const std::string& name, size_t max_in_flight,
                            size_t max_queue, size_t threads,
+                           QualityTier floor,
                            const std::shared_ptr<const IndexedCorpus>& corpus,
                            const std::vector<SelectRequest>& requests) {
   EngineOptions options;
   options.threads = threads;
+  options.min_quality_tier = floor;
   options.cache_capacity = corpus->num_instances();
   // Memo off: every request must really solve, or the burst would
   // collapse into one solve + memo hits and nothing would queue.
@@ -82,6 +104,7 @@ ScenarioResult RunScenario(const std::string& name, size_t max_in_flight,
   for (const auto& response : responses) {
     if (response.ok()) {
       ++out.succeeded;
+      if (response.value().tier != QualityTier::kExact) ++out.degraded;
       queue_seconds.push_back(response.value().trace.queue_seconds);
       solve_seconds.push_back(response.value().trace.solve_seconds);
     } else if (response.status().code() == StatusCode::kResourceExhausted) {
@@ -96,9 +119,11 @@ ScenarioResult RunScenario(const std::string& name, size_t max_in_flight,
   out.solve_p50_ms = PercentileMs(solve_seconds, 0.50);
 
   std::printf(
-      "  %-12s in_flight=%-3zu queue=%-3zu  ok %3zu  rejected %3zu  "
-      "wall %7.1f ms  queue p50 %7.2f ms  p99 %7.2f ms\n",
+      "  %-12s in_flight=%-3zu queue=%-3zu  ok %3zu  rejected %3zu "
+      "(%4.1f%%)  degraded %3zu (%4.1f%%)  wall %7.1f ms  "
+      "queue p50 %7.2f ms  p99 %7.2f ms\n",
       name.c_str(), max_in_flight, max_queue, out.succeeded, out.rejected,
+      100.0 * out.rejection_rate(), out.degraded, 100.0 * out.degraded_rate(),
       out.wall_ms, out.queue_p50_ms, out.queue_p99_ms);
   return out;
 }
@@ -111,6 +136,9 @@ JsonValue ToJson(const ScenarioResult& r) {
   object["requests"] = static_cast<int64_t>(r.requests);
   object["succeeded"] = static_cast<int64_t>(r.succeeded);
   object["rejected"] = static_cast<int64_t>(r.rejected);
+  object["degraded"] = static_cast<int64_t>(r.degraded);
+  object["rejection_rate"] = r.rejection_rate();
+  object["degraded_rate"] = r.degraded_rate();
   object["wall_ms"] = r.wall_ms;
   object["queue_p50_ms"] = r.queue_p50_ms;
   object["queue_p99_ms"] = r.queue_p99_ms;
@@ -151,21 +179,27 @@ int main(int argc, char** argv) {
               flags.GetString("algorithm").c_str());
 
   std::vector<ScenarioResult> results;
-  results.push_back(RunScenario("unthrottled", 0, 0, threads, corpus,
-                                requests));
+  results.push_back(RunScenario("unthrottled", 0, 0, threads,
+                                QualityTier::kExact, corpus, requests));
   results.push_back(RunScenario("queued", limit, requests.size(), threads,
-                                corpus, requests));
-  results.push_back(RunScenario("overloaded", limit, limit, threads, corpus,
-                                requests));
+                                QualityTier::kExact, corpus, requests));
+  results.push_back(RunScenario("overloaded", limit, limit, threads,
+                                QualityTier::kExact, corpus, requests));
+  results.push_back(RunScenario("degraded", limit, limit, threads,
+                                QualityTier::kAnytime, corpus, requests));
 
   const ScenarioResult& queued = results[1];
   const ScenarioResult& overloaded = results[2];
+  const ScenarioResult& degraded = results[3];
   std::printf(
       "\nWith in_flight=%zu, the full-width queue absorbs the burst "
       "(p99 queue wait %.1f ms, zero rejects); shrinking the queue to "
-      "%zu slots refuses %zu of %zu requests instead.\n",
+      "%zu slots refuses %zu of %zu requests (rejection_rate %.2f). "
+      "The anytime floor answers every one of those inline instead: "
+      "rejection_rate %.2f, degraded_rate %.2f.\n",
       limit, queued.queue_p99_ms, overloaded.max_queue, overloaded.rejected,
-      overloaded.requests);
+      overloaded.requests, overloaded.rejection_rate(),
+      degraded.rejection_rate(), degraded.degraded_rate());
 
   JsonValue::Array scenarios;
   for (const ScenarioResult& r : results) scenarios.push_back(ToJson(r));

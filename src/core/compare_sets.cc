@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/integer_regression.h"
+#include "core/review_sampling.h"
 #include "eval/objective.h"
 #include "util/timer.h"
 
@@ -20,20 +21,27 @@ Result<SelectionResult> CompareSetsSelector::Select(
   // Each lane builds/fetches its own system (DesignSystemCache locks)
   // and solves with workspace == nullptr, i.e. its own thread-local
   // scratch; the index-ordered merge keeps selections bit-identical.
+  // Each lane writes only its own sampling slot, so the outcome fold
+  // below is race-free.
+  size_t n = vectors.num_items();
+  std::vector<double> uncovered(n, 0.0);
+  std::vector<char> restricted(n, 0);
   Timer timer;
   COMPARESETS_ASSIGN_OR_RETURN(
       std::vector<IntegerRegressionResult> items,
       SolveItemsParallel(
-          vectors.num_items(), options.parallel, control,
-          "comparesets item loop",
+          n, options.parallel, control, "comparesets item loop",
           [&](size_t i) {
-            std::shared_ptr<const DesignSystem> system =
-                GetOrBuildCompareSetsSystem(vectors, i, options.lambda);
+            RestrictedSystem system = MaybeSampleSystem(
+                GetOrBuildCompareSetsSystem(vectors, i, options.lambda),
+                options, i, vectors.num_reviews(i));
+            uncovered[i] = system.uncovered_mass;
+            restricted[i] = system.restricted ? 1 : 0;
             auto cost = [&](const Selection& selection) {
               return ItemCost(vectors, i, selection, options.lambda);
             };
-            return SolveIntegerRegression(*system, options.m, cost, control,
-                                          solver);
+            return SolveIntegerRegression(*system.system, options.m, cost,
+                                          control, solver);
           }));
   RecordSpan(control, "compare_sets.items", timer.ElapsedSeconds());
 
@@ -44,6 +52,7 @@ Result<SelectionResult> CompareSetsSelector::Select(
   }
   out.objective = CompareSetsPlusObjective(vectors, out.selections,
                                            options.lambda, options.mu);
+  ApplySamplingOutcome(uncovered, restricted, &out);
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include "core/compare_sets.h"
 #include "core/design_matrix.h"
 #include "core/integer_regression.h"
+#include "core/review_sampling.h"
 #include "eval/objective.h"
 #include "util/timer.h"
 
@@ -55,6 +56,14 @@ Result<SelectionResult> CompareSetsPlusSelector::Select(
   // only its own slot, and sweeps are sequential.
   std::vector<std::unique_ptr<DesignSystem>> systems(n);
 
+  // Sampled items restrict their sweep system once, at first build —
+  // the seeded draw depends only on (seed, item, review count), so the
+  // restricted skeleton is the same one every sweep would produce. The
+  // bootstrap above already sampled consistently (same options reached
+  // CompareSetsSelector), and it carries the tier/gap of its items.
+  std::vector<double> uncovered(n, 0.0);
+  std::vector<char> restricted(n, 0);
+
   for (int sweep = 0; sweep < sweeps; ++sweep) {
     Timer round_timer;
     const std::vector<Vector> sweep_phis = phis;
@@ -75,6 +84,11 @@ Result<SelectionResult> CompareSetsPlusSelector::Select(
                 systems[i] = std::make_unique<DesignSystem>(
                     BuildCompareSetsPlusSystem(vectors, i, options.lambda,
                                                options.mu, other_phis));
+                bool item_restricted = false;
+                uncovered[i] = RestrictSystemInPlace(
+                    systems[i].get(), options, i, vectors.num_reviews(i),
+                    &item_restricted);
+                restricted[i] = item_restricted ? 1 : 0;
               } else {
                 RefreshDesignTarget(
                     systems[i].get(),
@@ -125,6 +139,15 @@ Result<SelectionResult> CompareSetsPlusSelector::Select(
 
   state.objective = CompareSetsPlusObjective(vectors, state.selections,
                                              options.lambda, options.mu);
+  // Fold the sweep systems' restriction outcome into the tier/gap the
+  // bootstrap already reported; keep the larger of the two bounds.
+  SelectionResult sweep_outcome;
+  ApplySamplingOutcome(uncovered, restricted, &sweep_outcome);
+  if (sweep_outcome.tier == QualityTier::kSampled) {
+    state.tier = QualityTier::kSampled;
+    state.objective_gap =
+        std::max(state.objective_gap, sweep_outcome.objective_gap);
+  }
   return state;
 }
 

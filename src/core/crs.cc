@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/integer_regression.h"
+#include "core/review_sampling.h"
 #include "eval/objective.h"
 #include "util/timer.h"
 
@@ -17,23 +18,30 @@ Result<SelectionResult> CrsSelector::Select(
   }
   // Each item's characteristic system is independent — fan the solves
   // out over the request's pool; the index-ordered merge keeps parallel
-  // selections bit-identical to serial.
+  // selections bit-identical to serial. Each lane writes only its own
+  // sampling slot, so the outcome fold below is race-free.
+  size_t n = vectors.num_items();
+  std::vector<double> uncovered(n, 0.0);
+  std::vector<char> restricted(n, 0);
   Timer timer;
   COMPARESETS_ASSIGN_OR_RETURN(
       std::vector<IntegerRegressionResult> items,
       SolveItemsParallel(
-          vectors.num_items(), options.parallel, control, "crs item loop",
+          n, options.parallel, control, "crs item loop",
           [&](size_t i) {
-            std::shared_ptr<const DesignSystem> system =
-                GetOrBuildCrsSystem(vectors, i);
+            RestrictedSystem system = MaybeSampleSystem(
+                GetOrBuildCrsSystem(vectors, i), options, i,
+                vectors.num_reviews(i));
+            uncovered[i] = system.uncovered_mass;
+            restricted[i] = system.restricted ? 1 : 0;
             auto cost = [&](const Selection& selection) {
               // Pure characteristic objective: match the item's own opinion
               // distribution only.
               return SquaredDistance(vectors.tau[i],
                                      vectors.OpinionOf(i, selection));
             };
-            return SolveIntegerRegression(*system, options.m, cost, control,
-                                          solver);
+            return SolveIntegerRegression(*system.system, options.m, cost,
+                                          control, solver);
           }));
   RecordSpan(control, "crs.items", timer.ElapsedSeconds());
 
@@ -44,6 +52,7 @@ Result<SelectionResult> CrsSelector::Select(
   }
   out.objective = CompareSetsPlusObjective(vectors, out.selections,
                                            options.lambda, options.mu);
+  ApplySamplingOutcome(uncovered, restricted, &out);
   return out;
 }
 

@@ -1,0 +1,137 @@
+#include "core/review_sampling.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace comparesets {
+
+namespace {
+
+/// Shared restriction core: scans coverage and, when the sample is
+/// lossy, fills *out with the restricted system and returns the
+/// uncovered mass (> 0). Lossless samples return 0 with *out untouched
+/// — the caller keeps the full system (the promotion path).
+double RestrictCore(const DesignSystem& full, const std::vector<size_t>& sample,
+                    size_t m, DesignSystem* out) {
+  size_t q = full.group_reviews.size();
+  std::vector<std::vector<size_t>> sampled_members(q);
+  double total_mass = 0.0;
+  double uncovered = 0.0;
+  bool lossless = true;
+  for (size_t g = 0; g < q; ++g) {
+    for (size_t r : full.group_reviews[g]) {
+      if (std::binary_search(sample.begin(), sample.end(), r)) {
+        sampled_members[g].push_back(r);
+      }
+    }
+    double mass = static_cast<double>(full.dup_counts[g]);
+    total_mass += mass;
+    // A budget <= m can want at most min(c_g, m) copies of group g; a
+    // sample holding that many loses nothing for this group.
+    size_t need = std::min(static_cast<size_t>(full.dup_counts[g]), m);
+    if (sampled_members[g].size() < need) {
+      lossless = false;
+      uncovered += mass;
+    }
+  }
+  if (lossless) return 0.0;
+
+  out->v = SparseMatrix(full.v.rows());
+  out->dup_counts.clear();
+  out->group_reviews.clear();
+  for (size_t g = 0; g < q; ++g) {
+    if (sampled_members[g].empty()) continue;
+    SparseColumn column;
+    size_t nnz = full.v.ColumnNnz(g);
+    const size_t* rows = full.v.ColumnRows(g);
+    const double* values = full.v.ColumnValues(g);
+    column.reserve(nnz);
+    for (size_t k = 0; k < nnz; ++k) {
+      column.push_back(SparseEntry{rows[k], values[k]});
+    }
+    out->v.AppendColumn(column);
+    out->dup_counts.push_back(static_cast<int>(sampled_members[g].size()));
+    out->group_reviews.push_back(std::move(sampled_members[g]));
+  }
+  // Column sampling leaves the row space — and with it the target —
+  // untouched; only the normal equations shrink.
+  out->target = full.target;
+  out->gram = GramSystem::Build(out->v, out->target);
+  return total_mass > 0.0 ? uncovered / total_mass : 0.0;
+}
+
+}  // namespace
+
+bool ShouldSampleItem(const SelectorOptions& options, size_t num_reviews) {
+  return options.min_tier == QualityTier::kSampled &&
+         options.sample_threshold > 0 &&
+         num_reviews > options.sample_threshold && options.sample_size > 0 &&
+         options.sample_size < num_reviews;
+}
+
+std::vector<size_t> SampleReviewIndices(const SelectorOptions& options,
+                                        size_t item, size_t num_reviews) {
+  // Knuth-multiplicative stream separation: one request seed, one
+  // independent draw per item, stable across thread counts.
+  Rng rng(options.seed, item * 2654435761ull + 0x51edu);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(
+      num_reviews, std::min(options.sample_size, num_reviews));
+  std::sort(sample.begin(), sample.end());
+  return sample;
+}
+
+RestrictedSystem RestrictToSample(std::shared_ptr<const DesignSystem> full,
+                                  const std::vector<size_t>& sample,
+                                  size_t m) {
+  DesignSystem restricted;
+  double mass = RestrictCore(*full, sample, m, &restricted);
+  if (mass == 0.0) return RestrictedSystem{std::move(full), 0.0, false};
+  return RestrictedSystem{
+      std::make_shared<const DesignSystem>(std::move(restricted)), mass, true};
+}
+
+RestrictedSystem MaybeSampleSystem(std::shared_ptr<const DesignSystem> full,
+                                   const SelectorOptions& options, size_t item,
+                                   size_t num_reviews) {
+  if (!ShouldSampleItem(options, num_reviews)) {
+    return RestrictedSystem{std::move(full), 0.0, false};
+  }
+  std::vector<size_t> sample =
+      SampleReviewIndices(options, item, num_reviews);
+  return RestrictToSample(std::move(full), sample, options.m);
+}
+
+double RestrictSystemInPlace(DesignSystem* system,
+                             const SelectorOptions& options, size_t item,
+                             size_t num_reviews, bool* restricted) {
+  *restricted = false;
+  if (!ShouldSampleItem(options, num_reviews)) return 0.0;
+  std::vector<size_t> sample =
+      SampleReviewIndices(options, item, num_reviews);
+  DesignSystem out;
+  double mass = RestrictCore(*system, sample, options.m, &out);
+  if (mass == 0.0) return 0.0;
+  *system = std::move(out);
+  *restricted = true;
+  return mass;
+}
+
+void ApplySamplingOutcome(const std::vector<double>& uncovered,
+                          const std::vector<char>& restricted,
+                          SelectionResult* result) {
+  double gap = 0.0;
+  bool any = false;
+  for (size_t i = 0; i < restricted.size(); ++i) {
+    if (!restricted[i]) continue;
+    any = true;
+    gap = std::max(gap, uncovered[i]);
+  }
+  if (any) {
+    result->tier = QualityTier::kSampled;
+    result->objective_gap = gap;
+  }
+}
+
+}  // namespace comparesets

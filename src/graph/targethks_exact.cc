@@ -26,8 +26,9 @@ Status ValidateArguments(const SimilarityGraph& graph, size_t k) {
 /// DFS branch-and-bound state over a fixed candidate ordering.
 class BranchAndBound {
  public:
-  BranchAndBound(const SimilarityGraph& graph, size_t k, double time_limit)
-      : graph_(graph), k_(k), deadline_(time_limit) {
+  BranchAndBound(const SimilarityGraph& graph, size_t k, double time_limit,
+                 const ExecControl* control)
+      : graph_(graph), k_(k), deadline_(time_limit), control_(control) {
     // Candidates are the non-target vertices, ordered by descending
     // (edge to target + total degree weight): strong vertices first makes
     // the incumbent good early and the bound tight.
@@ -46,12 +47,18 @@ class BranchAndBound {
                      [&](size_t a, size_t b) { return score[a] > score[b]; });
   }
 
-  CoreList Run() {
+  Result<CoreList> Run() {
     chosen_ = {0};
-    // Seed the incumbent greedily so pruning bites from the start.
+    // Seed the incumbent greedily so pruning bites from the start: this
+    // IS the anytime floor — from here on every abort path still holds
+    // a feasible k-subset, refined monotonically by the search.
     SeedIncumbent();
     aborted_ = false;
+    cancelled_ = false;
     Dfs(0, 0.0);
+    if (cancelled_) {
+      return Status::Cancelled("targethks branch-and-bound cancelled");
+    }
     best_.proven_optimal = !aborted_;
     std::sort(best_.vertices.begin(), best_.vertices.end());
     return best_;
@@ -132,9 +139,21 @@ class BranchAndBound {
     size_t remaining = order_.size() - first_candidate;
     if (remaining < k_ - chosen_.size()) return;
 
-    if ((++node_count_ & 0xFF) == 0 && deadline_.Expired()) {
-      aborted_ = true;
-      return;
+    if ((++node_count_ & 0xFF) == 0) {
+      if (control_ != nullptr && control_->cancel != nullptr &&
+          control_->cancel->cancelled()) {
+        cancelled_ = true;
+        aborted_ = true;
+        return;
+      }
+      // The request deadline degrades exactly like the solver's own
+      // time limit: stop refining, keep the incumbent.
+      if (deadline_.Expired() ||
+          (control_ != nullptr && control_->deadline != nullptr &&
+           control_->deadline->Expired())) {
+        aborted_ = true;
+        return;
+      }
     }
     if (UpperBound(first_candidate, current_weight) <= best_.weight + 1e-12 &&
         best_.vertices.size() == k_) {
@@ -154,10 +173,12 @@ class BranchAndBound {
   const SimilarityGraph& graph_;
   size_t k_;
   Deadline deadline_;
+  const ExecControl* control_;
   std::vector<size_t> order_;
   std::vector<size_t> chosen_;
   CoreList best_;
   bool aborted_ = false;
+  bool cancelled_ = false;
   uint64_t node_count_ = 0;
 };
 
@@ -175,7 +196,8 @@ Result<CoreList> SolveTargetHksExact(const SimilarityGraph& graph, size_t k,
     double weight = graph.SubsetWeight(all);
     return CoreList{std::move(all), weight, true};
   }
-  BranchAndBound solver(graph, k, options.time_limit_seconds);
+  BranchAndBound solver(graph, k, options.time_limit_seconds,
+                        options.control);
   return solver.Run();
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "graph/similarity_graph.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace comparesets {
@@ -18,6 +19,13 @@ namespace comparesets {
 struct ExactSolverOptions {
   /// Wall-clock budget; <= 0 means unlimited (always proves optimality).
   double time_limit_seconds = 60.0;
+  /// Optional per-request execution control (the serving path's
+  /// deadline + cancellation), checked at the same cadence as the
+  /// solver's own time limit. Request-deadline expiry behaves like the
+  /// time limit — the incumbent is returned with proven_optimal =
+  /// false (the anytime contract) — while cancellation abandons the
+  /// solve with kCancelled: a caller that went away wants no answer.
+  const ExecControl* control = nullptr;
 };
 
 /// Solves max Σ_{i<j∈ρ} w_ij s.t. |ρ| = k, 0 ∈ ρ. Requires 1 <= k <= n.

@@ -23,6 +23,18 @@ Result<uint32_t> ReadCount(WireReader* reader, const char* what) {
   return count;
 }
 
+// QualityTier travels as its u8 value; anything past the last tier is
+// garbage, caught here so a corrupted byte can never smuggle an
+// out-of-range enum into the engine.
+Result<QualityTier> ReadTier(WireReader* reader) {
+  COMPARESETS_ASSIGN_OR_RETURN(uint8_t raw, reader->ReadU8());
+  if (raw > static_cast<uint8_t>(QualityTier::kExact)) {
+    return Status::ParseError("unknown quality tier on the wire: " +
+                              std::to_string(raw));
+  }
+  return static_cast<QualityTier>(raw);
+}
+
 void EncodeSelectorOptionsTo(const SelectorOptions& options,
                              WireWriter* writer) {
   writer->WriteU64(options.m);
@@ -31,6 +43,9 @@ void EncodeSelectorOptionsTo(const SelectorOptions& options,
   writer->WriteU64(options.seed);
   writer->WriteI32(options.extra_sync_rounds);
   writer->WriteBool(options.dense_reference_solver);
+  writer->WriteU8(static_cast<uint8_t>(options.min_tier));
+  writer->WriteU64(options.sample_threshold);
+  writer->WriteU64(options.sample_size);
 }
 
 Status DecodeSelectorOptionsFrom(WireReader* reader,
@@ -43,6 +58,11 @@ Status DecodeSelectorOptionsFrom(WireReader* reader,
   COMPARESETS_ASSIGN_OR_RETURN(options->extra_sync_rounds, reader->ReadI32());
   COMPARESETS_ASSIGN_OR_RETURN(options->dense_reference_solver,
                                reader->ReadBool());
+  COMPARESETS_ASSIGN_OR_RETURN(options->min_tier, ReadTier(reader));
+  COMPARESETS_ASSIGN_OR_RETURN(uint64_t sample_threshold, reader->ReadU64());
+  options->sample_threshold = static_cast<size_t>(sample_threshold);
+  COMPARESETS_ASSIGN_OR_RETURN(uint64_t sample_size, reader->ReadU64());
+  options->sample_size = static_cast<size_t>(sample_size);
   return Status::OK();
 }
 
@@ -79,6 +99,8 @@ void EncodeTraceTo(const RequestTrace& trace, WireWriter* writer) {
   writer->WriteString(trace.target_id);
   writer->WriteString(trace.selector);
   writer->WriteString(trace.status);
+  writer->WriteString(trace.tier);
+  writer->WriteDouble(trace.objective_gap);
   writer->WriteI32(trace.attempts);
   writer->WriteBool(trace.cache_hit);
   writer->WriteBool(trace.result_cache_hit);
@@ -105,6 +127,8 @@ Status DecodeTraceFrom(WireReader* reader, RequestTrace* trace) {
   COMPARESETS_ASSIGN_OR_RETURN(trace->target_id, reader->ReadString());
   COMPARESETS_ASSIGN_OR_RETURN(trace->selector, reader->ReadString());
   COMPARESETS_ASSIGN_OR_RETURN(trace->status, reader->ReadString());
+  COMPARESETS_ASSIGN_OR_RETURN(trace->tier, reader->ReadString());
+  COMPARESETS_ASSIGN_OR_RETURN(trace->objective_gap, reader->ReadDouble());
   COMPARESETS_ASSIGN_OR_RETURN(trace->attempts, reader->ReadI32());
   COMPARESETS_ASSIGN_OR_RETURN(trace->cache_hit, reader->ReadBool());
   COMPARESETS_ASSIGN_OR_RETURN(trace->result_cache_hit, reader->ReadBool());
@@ -181,6 +205,8 @@ void EncodeSelectResponseTo(const SelectResponse& response,
   writer->WriteBool(response.result_cache_hit);
   writer->WriteDouble(response.prepare_seconds);
   writer->WriteDouble(response.solve_seconds);
+  writer->WriteU8(static_cast<uint8_t>(response.tier));
+  writer->WriteDouble(response.objective_gap);
   EncodeTraceTo(response.trace, writer);
 }
 
@@ -225,6 +251,8 @@ Status DecodeSelectResponseFrom(WireReader* reader,
   COMPARESETS_ASSIGN_OR_RETURN(response->prepare_seconds,
                                reader->ReadDouble());
   COMPARESETS_ASSIGN_OR_RETURN(response->solve_seconds, reader->ReadDouble());
+  COMPARESETS_ASSIGN_OR_RETURN(response->tier, ReadTier(reader));
+  COMPARESETS_ASSIGN_OR_RETURN(response->objective_gap, reader->ReadDouble());
   COMPARESETS_RETURN_NOT_OK(DecodeTraceFrom(reader, &response->trace));
   return Status::OK();
 }

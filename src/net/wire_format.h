@@ -38,7 +38,11 @@ namespace comparesets {
 /// Protocol version spoken by this build. Bumped on any incompatible
 /// frame or payload layout change; peers refuse other versions with a
 /// typed error instead of misparsing.
-inline constexpr uint16_t kWireVersion = 1;
+///   v1: initial protocol.
+///   v2: quality tiers — SelectorOptions gained min_tier /
+///       sample_threshold / sample_size, SelectResponse and RequestTrace
+///       gained tier + objective_gap.
+inline constexpr uint16_t kWireVersion = 2;
 
 /// Frame header magic: "CSRP" (CompareSets RPc).
 inline constexpr uint8_t kFrameMagic[4] = {'C', 'S', 'R', 'P'};

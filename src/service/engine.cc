@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/greedy_selector.h"
 #include "opinion/opinion_model.h"
 #include "util/timer.h"
 
@@ -62,6 +63,12 @@ std::string ResultKey(const std::string& prepare_key,
   key += std::to_string(request.options.extra_sync_rounds);
   key += '\x1f';
   key += request.options.dense_reference_solver ? "dense" : "gram";
+  key += '\x1f';
+  key += QualityTierName(request.options.min_tier);
+  key += '\x1f';
+  key += std::to_string(request.options.sample_threshold);
+  key += '\x1f';
+  key += std::to_string(request.options.sample_size);
   return key;
 }
 
@@ -234,12 +241,17 @@ Result<SelectResponse> SelectionEngine::SelectAttempt(
   const PreparedInstance& bundle = *prepared.value();
   // The engine decides pool lending, not the caller: the request's
   // options get the context chosen by the nesting rule (empty inside a
-  // pooled batch, the whole pool for a lone Select).
+  // pooled batch, the whole pool for a lone Select). The degradation
+  // floor combines the request's with the engine-wide policy — either
+  // side may loosen. At the default kExact floor SelectTiered IS
+  // Select: same call, same bits.
   SelectorOptions solve_options = request.options;
   solve_options.parallel = parallel;
+  solve_options.min_tier =
+      LooserTier(request.options.min_tier, options_.min_quality_tier);
   Timer solve_timer;
   auto solved =
-      selector.value()->Select(bundle.vectors, solve_options, &control);
+      selector.value()->SelectTiered(bundle.vectors, solve_options, &control);
   double solve_seconds = solve_timer.ElapsedSeconds();
   trace->solve_seconds = solve_seconds;
   if (!solved.ok()) return solved.status();
@@ -253,6 +265,10 @@ Result<SelectResponse> SelectionEngine::SelectAttempt(
   }
   response.selections = std::move(solved.value().selections);
   response.objective = solved.value().objective;
+  response.tier = solved.value().tier;
+  response.objective_gap = solved.value().objective_gap;
+  trace->tier = QualityTierName(response.tier);
+  trace->objective_gap = response.objective_gap;
   if (options_.measure_alignment) {
     response.alignment =
         MeasureAlignment(bundle.instance, response.selections);
@@ -262,7 +278,71 @@ Result<SelectResponse> SelectionEngine::SelectAttempt(
   response.solve_seconds = solve_seconds;
   // The memoized copy keeps a default trace: a later memo hit gets a
   // fresh trace for ITS lifecycle, never the solving request's.
-  if (options_.result_capacity > 0) ResultStore(result_key, response);
+  // kAnytime answers are never stored: they depend on the deadline, a
+  // runtime control deliberately outside the key — memoizing one would
+  // let a degraded answer shadow the exact one forever. kExact and
+  // kSampled are deterministic functions of the key (the sampling draw
+  // is seeded), so they memoize like before.
+  if (options_.result_capacity > 0 && response.tier != QualityTier::kAnytime) {
+    ResultStore(result_key, response);
+  }
+  return response;
+}
+
+Result<SelectResponse> SelectionEngine::DegradedAttempt(
+    const SelectRequest& request,
+    std::shared_ptr<const IndexedCorpus> corpus,
+    const std::string& prepare_key, const ExecControl& control,
+    const ParallelContext& parallel, RequestTrace* trace) const {
+  COMPARESETS_RETURN_NOT_OK(CheckLive(control, "degraded prepare"));
+
+  Timer prepare_timer;
+  bool cache_hit = false;
+  auto prepared =
+      Prepare(std::move(corpus), prepare_key, request, &cache_hit);
+  double prepare_seconds = prepare_timer.ElapsedSeconds();
+  metrics_.counter(cache_hit ? "engine.cache_hits" : "engine.cache_misses")
+      .Increment();
+  trace->cache_hit = cache_hit;
+  trace->prepare_seconds = prepare_seconds;
+  if (!prepared.ok()) return prepared.status();
+  metrics_.histogram("engine.prepare_seconds").Observe(prepare_seconds);
+
+  COMPARESETS_RETURN_NOT_OK(CheckLive(control, "degraded solve"));
+
+  const PreparedInstance& bundle = *prepared.value();
+  SelectorOptions solve_options = request.options;
+  solve_options.parallel = parallel;
+  // Greedy under the FULL control (deadline and cancel both honored):
+  // degradation buys a cheap answer, not an unbounded one.
+  CompareSetsGreedySelector greedy;
+  Timer solve_timer;
+  auto solved = greedy.Select(bundle.vectors, solve_options, &control);
+  double solve_seconds = solve_timer.ElapsedSeconds();
+  trace->solve_seconds = solve_seconds;
+  if (!solved.ok()) return solved.status();
+  metrics_.histogram("engine.solve_seconds").Observe(solve_seconds);
+
+  SelectResponse response;
+  response.target_id = bundle.instance.target().id;
+  response.item_ids.reserve(bundle.instance.num_items());
+  for (const Product* item : bundle.instance.items) {
+    response.item_ids.push_back(item->id);
+  }
+  response.selections = std::move(solved.value().selections);
+  response.objective = solved.value().objective;
+  response.tier = QualityTier::kAnytime;
+  response.objective_gap = 0.0;
+  trace->tier = QualityTierName(response.tier);
+  trace->objective_gap = response.objective_gap;
+  if (options_.measure_alignment) {
+    response.alignment =
+        MeasureAlignment(bundle.instance, response.selections);
+  }
+  response.cache_hit = cache_hit;
+  response.prepare_seconds = prepare_seconds;
+  response.solve_seconds = solve_seconds;
+  // Deliberately not memoized: this answer reflects load, not the key.
   return response;
 }
 
@@ -373,6 +453,9 @@ Result<SelectResponse> SelectionEngine::SelectWithParallel(
       memoized.solve_seconds = 0.0;
       trace.cache_hit = true;
       trace.result_cache_hit = true;
+      trace.tier = QualityTierName(memoized.tier);
+      trace.objective_gap = memoized.objective_gap;
+      metrics_.counter(std::string("engine.tier_") + trace.tier).Increment();
       trace.total_seconds = total.ElapsedSeconds();
       memoized.trace = trace;
       metrics_.RecordTrace(std::move(trace));
@@ -382,6 +465,20 @@ Result<SelectResponse> SelectionEngine::SelectWithParallel(
     }
     metrics_.counter("engine.result_misses").Increment();
   }
+
+  // Every response — solved, degraded, or memoized — finishes through
+  // the same success bookkeeping: per-tier counter, trace, latency.
+  auto finish_ok = [&](SelectResponse response) -> SelectResponse {
+    trace.status = "ok";
+    record_solver_stats();
+    trace.total_seconds = total.ElapsedSeconds();
+    metrics_.counter(std::string("engine.tier_") + trace.tier).Increment();
+    response.trace = trace;
+    metrics_.RecordTrace(std::move(trace));
+    metrics_.histogram("engine.request_seconds")
+        .Observe(response.trace.total_seconds);
+    return response;
+  };
 
   // Admission: take a slot or wait in the bounded queue. The pipeline
   // may be shared across shard engines, in which case the slot budget
@@ -393,7 +490,27 @@ Result<SelectResponse> SelectionEngine::SelectWithParallel(
     Status admitted = pipeline.Admit(deadline, request.cancel);
     trace.queue_seconds = queue_timer.ElapsedSeconds();
     metrics_.histogram("engine.queue_seconds").Observe(trace.queue_seconds);
-    if (!admitted.ok()) return fail(std::move(admitted));
+    if (!admitted.ok()) {
+      // Overload degradation: a full pipeline used to mean rejection.
+      // When the effective floor admits kAnytime, answer with a greedy
+      // solve instead — run WITHOUT a slot, because the greedy pass is
+      // far cheaper than the exact path the slots were sized for, and
+      // queueing it behind the very overload it is escaping would defeat
+      // the point. Any failure inside the degraded attempt reports the
+      // original rejection, the honest cause.
+      QualityTier floor =
+          LooserTier(request.options.min_tier, options_.min_quality_tier);
+      if (admitted.code() == StatusCode::kResourceExhausted &&
+          floor != QualityTier::kExact) {
+        auto degraded = DegradedAttempt(request, corpus, prepare_key,
+                                        control, parallel, &trace);
+        if (degraded.ok()) {
+          metrics_.counter("engine.degraded").Increment();
+          return finish_ok(std::move(degraded).value());
+        }
+      }
+      return fail(std::move(admitted));
+    }
     slot.Arm(&pipeline);
   }
 
@@ -411,16 +528,7 @@ Result<SelectResponse> SelectionEngine::SelectWithParallel(
         trace.backoff_seconds += slept_seconds;
       });
   if (!outcome.ok()) return fail(outcome.status());
-
-  trace.status = "ok";
-  record_solver_stats();
-  trace.total_seconds = total.ElapsedSeconds();
-  SelectResponse response = std::move(outcome).value();
-  response.trace = trace;
-  metrics_.RecordTrace(std::move(trace));
-  metrics_.histogram("engine.request_seconds")
-      .Observe(response.trace.total_seconds);
-  return response;
+  return finish_ok(std::move(outcome).value());
 }
 
 void SelectionEngine::PrefetchWindow(

@@ -117,6 +117,17 @@ struct EngineOptions {
   /// Stable shard id, stamped into every RequestTrace and used as the
   /// Prometheus `shard` label. 0 for an unsharded engine.
   size_t shard_id = 0;
+  /// Engine-wide degradation floor, combined with each request's
+  /// options.min_tier by LooserTier (either side may loosen, neither
+  /// may tighten the other). With the default kExact the engine
+  /// behaves exactly as before tiers existed: overload rejects with
+  /// kResourceExhausted and deadline expiry is an error. At kAnytime
+  /// or looser, an admission refusal degrades instead of rejecting —
+  /// the request is answered inline with the greedy incumbent (tier
+  /// kAnytime) without taking a solve slot (greedy costs orders less
+  /// than the exact path the slots protect) — and deadline pressure
+  /// inside the solve returns the incumbent via SelectTiered.
+  QualityTier min_quality_tier = QualityTier::kExact;
   /// Admission/retry policy shared with other engines. nullptr = the
   /// engine builds a private RequestPipeline from the four knobs above
   /// (the standalone behaviour). A ShardRouter installs one pipeline
@@ -155,6 +166,12 @@ struct SelectResponse {
   std::vector<Selection> selections;
   /// Eq. 5 objective of the selections under the request's λ, μ.
   double objective = 0.0;
+  /// Quality tier of the answer (core/selector.h). kExact responses
+  /// are bit-identical to the pre-tier engine's output; kAnytime and
+  /// kSampled only occur when the effective floor admitted them.
+  QualityTier tier = QualityTier::kExact;
+  /// The selection's objective-gap bound (0 unless tier is kSampled).
+  double objective_gap = 0.0;
   /// Pairwise-ROUGE alignment (only when EngineOptions.measure_alignment).
   AlignmentScores alignment;
   /// Whether the response was served from warm state — prepared vectors
@@ -271,6 +288,18 @@ class SelectionEngine {
   /// Records the trace and error counters of a failed request.
   Status FinishError(RequestTrace trace, Status status,
                      const Timer& total) const;
+
+  /// The degraded answer an admission refusal falls back to when the
+  /// effective floor admits kAnytime: prepare (cache-served when warm)
+  /// + the greedy incumbent, solved inline WITHOUT a pipeline slot.
+  /// Never memoized — overload answers must not shadow exact ones.
+  Result<SelectResponse> DegradedAttempt(const SelectRequest& request,
+                                         std::shared_ptr<const IndexedCorpus>
+                                             corpus,
+                                         const std::string& prepare_key,
+                                         const ExecControl& control,
+                                         const ParallelContext& parallel,
+                                         RequestTrace* trace) const;
 
   /// Warm-up for one batch window [begin, end): prepares every unique
   /// (instance, selector, λ) combination once and batch-builds its

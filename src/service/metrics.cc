@@ -19,6 +19,8 @@ std::string RequestTrace::ToJson() const {
   object["target_id"] = target_id;
   object["selector"] = selector;
   object["status"] = status;
+  object["tier"] = tier;
+  object["objective_gap"] = objective_gap;
   object["attempts"] = attempts;
   object["cache_hit"] = cache_hit;
   object["result_cache_hit"] = result_cache_hit;

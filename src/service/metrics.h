@@ -80,6 +80,12 @@ struct RequestTrace {
   std::string target_id;
   std::string selector;
   std::string status = "ok";     ///< StatusCodeName of the outcome.
+  /// QualityTierName of the answer ("exact", "anytime", "sampled") —
+  /// what the caller actually got, distinct from `status`: a degraded
+  /// request is still status "ok".
+  std::string tier = "exact";
+  /// The response's objective-gap bound (0 unless tier is "sampled").
+  double objective_gap = 0.0;
   int attempts = 1;              ///< 1 + transient-fault retries.
   bool cache_hit = false;        ///< Prepared vectors served warm.
   bool result_cache_hit = false; ///< Whole response from the memo.

@@ -1,0 +1,117 @@
+#include "service/metrics_http.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace comparesets {
+
+namespace {
+
+/// Bounds one scraper connection end to end; a peer that stalls longer
+/// forfeits its response and the loop moves on.
+constexpr double kIoTimeoutSeconds = 5.0;
+
+/// Longest accepted request line. "GET /metrics HTTP/1.0" is 21 bytes;
+/// anything approaching the cap is garbage.
+constexpr size_t kMaxRequestLineBytes = 4096;
+
+std::string StatusLine(int code) {
+  switch (code) {
+    case 200:
+      return "HTTP/1.0 200 OK";
+    case 404:
+      return "HTTP/1.0 404 Not Found";
+    case 405:
+      return "HTTP/1.0 405 Method Not Allowed";
+    default:
+      return "HTTP/1.0 500 Internal Server Error";
+  }
+}
+
+std::string BuildResponse(int code, const std::string& body) {
+  std::string out = StatusLine(code);
+  out += "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8";
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+Status MetricsHttpServer::Start(int port, Renderer renderer) {
+  if (thread_.joinable()) {
+    return Status::InvalidArgument("metrics server already started");
+  }
+  if (!renderer) {
+    return Status::InvalidArgument("metrics server needs a renderer");
+  }
+  COMPARESETS_ASSIGN_OR_RETURN(
+      listener_,
+      ListenSocket::Listen("tcp:127.0.0.1:" + std::to_string(port), 16));
+  bound_address_ = listener_.bound_address();
+  // bound_address is "tcp:HOST:PORT"; the port is everything after the
+  // last colon.
+  size_t colon = bound_address_.rfind(':');
+  port_ = std::atoi(bound_address_.c_str() + colon + 1);
+  renderer_ = std::move(renderer);
+  stopping_.store(false);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  if (!thread_.joinable()) return;
+  stopping_.store(true);
+  listener_.Interrupt();
+  thread_.join();
+  listener_.Close();
+}
+
+void MetricsHttpServer::Serve() {
+  while (!stopping_.load()) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      // kUnavailable after Interrupt() is the loop's exit signal; any
+      // other accept failure on a loopback listener is equally final.
+      return;
+    }
+    Handle(std::move(accepted).value());
+  }
+}
+
+void MetricsHttpServer::Handle(Socket connection) {
+  // Read byte-wise up to the end of the request line; the handful of
+  // header lines a scraper sends after it are irrelevant (HTTP/1.0,
+  // one response, connection closed), so they are simply not drained.
+  std::string line;
+  while (line.size() < kMaxRequestLineBytes) {
+    char c = 0;
+    if (!connection.RecvAll(&c, 1, kIoTimeoutSeconds).ok()) return;
+    if (c == '\n') break;
+    if (c != '\r') line.push_back(c);
+  }
+
+  int code;
+  std::string body;
+  if (line.compare(0, 4, "GET ") != 0) {
+    code = 405;
+    body = "only GET is supported\n";
+  } else {
+    size_t path_end = line.find(' ', 4);
+    std::string path = line.substr(4, path_end == std::string::npos
+                                          ? std::string::npos
+                                          : path_end - 4);
+    if (path == "/metrics") {
+      code = 200;
+      body = renderer_();
+    } else {
+      code = 404;
+      body = "try /metrics\n";
+    }
+  }
+  std::string response = BuildResponse(code, body);
+  connection.SendAll(response.data(), response.size(), kIoTimeoutSeconds);
+}
+
+}  // namespace comparesets

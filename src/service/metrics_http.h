@@ -1,0 +1,65 @@
+// Minimal HTTP/1.0 exporter for the Prometheus text endpoint: one
+// accept loop on a background thread, answering `GET /metrics` with
+// whatever the injected renderer produces (an engine's or router's
+// RenderPrometheus()). Every other path is 404, every other method 405,
+// and each connection is closed after one response — exactly the
+// subset a Prometheus scraper (or `curl`) needs, with no HTTP library
+// dependency.
+//
+// Per-connection reads and writes are timeout-bounded, so a hung
+// scraper cannot park the serving thread; Stop() interrupts the accept
+// loop and joins, making shutdown deterministic for the CLI tests.
+
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+/// Background thread serving Prometheus text over HTTP/1.0.
+class MetricsHttpServer {
+ public:
+  /// Produces the exposition document for one scrape. Called on the
+  /// serving thread; must be safe to invoke concurrently with request
+  /// traffic (RenderPrometheus snapshots under its own locks).
+  using Renderer = std::function<std::string()>;
+
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer() { Stop(); }
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — see
+  /// bound_address()) and starts the accept loop.
+  Status Start(int port, Renderer renderer);
+
+  /// The bound transport address ("tcp:127.0.0.1:PORT"); valid after a
+  /// successful Start.
+  const std::string& bound_address() const { return bound_address_; }
+
+  /// The bound TCP port; 0 before Start.
+  int port() const { return port_; }
+
+  /// Interrupts the accept loop, joins the thread, closes the
+  /// listener. Idempotent; called by the destructor.
+  void Stop();
+
+ private:
+  void Serve();
+  void Handle(Socket connection);
+
+  ListenSocket listener_;
+  Renderer renderer_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::string bound_address_;
+  int port_ = 0;
+};
+
+}  // namespace comparesets

@@ -42,6 +42,9 @@ class Deadline {
     return limited_ && timer_.ElapsedSeconds() >= budget_seconds_;
   }
 
+  /// Whether this deadline can ever expire (budget was positive).
+  bool limited() const { return limited_; }
+
   double RemainingSeconds() const {
     if (!limited_) return 1e30;
     return budget_seconds_ - timer_.ElapsedSeconds();

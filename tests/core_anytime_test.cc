@@ -1,0 +1,309 @@
+// Quality-tier contract tests for the selection core: the SelectTiered
+// anytime protocol (exact-floor equivalence, deterministic greedy
+// incumbent on deadline expiry, monotonicity against the incumbent) and
+// the review-sampling path (seeded determinism, the reported
+// objective-gap bound, and lossless promotion back to exact).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/greedy_selector.h"
+#include "core/selector.h"
+#include "test_fixtures.h"
+#include "util/cancellation.h"
+#include "util/timer.h"
+
+namespace comparesets {
+namespace {
+
+class AnytimeTest : public ::testing::Test {
+ protected:
+  AnytimeTest()
+      : corpus_(testing::WorkingExampleCorpus()),
+        instance_(testing::WorkingExampleInstance(corpus_)),
+        vectors_(BuildInstanceVectors(OpinionModel::Binary(5), instance_)) {}
+
+  static SelectorOptions Options() {
+    SelectorOptions options;
+    options.m = 3;
+    options.lambda = 1.0;
+    options.mu = 0.1;
+    return options;
+  }
+
+  Corpus corpus_;
+  ProblemInstance instance_;
+  InstanceVectors vectors_;
+};
+
+TEST(QualityTierTest, NamesRoundTrip) {
+  for (QualityTier tier : {QualityTier::kSampled, QualityTier::kAnytime,
+                           QualityTier::kExact}) {
+    auto parsed = ParseQualityTier(QualityTierName(tier));
+    ASSERT_TRUE(parsed.ok()) << QualityTierName(tier);
+    EXPECT_EQ(parsed.value(), tier);
+  }
+  auto bogus = ParseQualityTier("platinum");
+  ASSERT_FALSE(bogus.ok());
+  EXPECT_EQ(bogus.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QualityTierTest, LooserTierPicksTheMoreDegradedFloor) {
+  EXPECT_EQ(LooserTier(QualityTier::kExact, QualityTier::kAnytime),
+            QualityTier::kAnytime);
+  EXPECT_EQ(LooserTier(QualityTier::kSampled, QualityTier::kExact),
+            QualityTier::kSampled);
+  EXPECT_EQ(LooserTier(QualityTier::kExact, QualityTier::kExact),
+            QualityTier::kExact);
+}
+
+TEST_F(AnytimeTest, ExactFloorUnderDeadlineIsPlainSelect) {
+  // With the default kExact floor, SelectTiered must be Select: same
+  // bits, even when the control carries a (generous) deadline.
+  for (const std::string& name : AllSelectorNames()) {
+    auto selector = MakeSelector(name);
+    ASSERT_TRUE(selector.ok()) << name;
+    Deadline deadline(60.0);
+    ExecControl control;
+    control.deadline = &deadline;
+    SelectorOptions options = Options();
+    auto plain = selector.value()->Select(vectors_, options, nullptr);
+    auto tiered = selector.value()->SelectTiered(vectors_, options, &control);
+    ASSERT_TRUE(plain.ok()) << name;
+    ASSERT_TRUE(tiered.ok()) << name;
+    EXPECT_EQ(tiered.value().selections, plain.value().selections) << name;
+    EXPECT_EQ(tiered.value().objective, plain.value().objective) << name;
+    EXPECT_EQ(tiered.value().tier, QualityTier::kExact) << name;
+    EXPECT_EQ(tiered.value().objective_gap, 0.0) << name;
+  }
+}
+
+TEST_F(AnytimeTest, UnlimitedDeadlineWithAnytimeFloorStaysExact) {
+  // The floor only widens what counts as an answer; an unbounded run
+  // still completes exactly.
+  auto selector = MakeSelector("CompaReSetS+");
+  ASSERT_TRUE(selector.ok());
+  SelectorOptions options = Options();
+  options.min_tier = QualityTier::kAnytime;
+  auto plain = selector.value()->Select(vectors_, options, nullptr);
+  auto tiered = selector.value()->SelectTiered(vectors_, options, nullptr);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(tiered.ok());
+  EXPECT_EQ(tiered.value().selections, plain.value().selections);
+  EXPECT_EQ(tiered.value().tier, QualityTier::kExact);
+}
+
+TEST_F(AnytimeTest, ExpiredDeadlineYieldsGreedyIncumbentAsAnytime) {
+  Deadline deadline(1e-9);
+  while (!deadline.Expired()) {
+  }
+  ExecControl control;
+  control.deadline = &deadline;
+  SelectorOptions options = Options();
+
+  // Sanity: under the exact floor an expired deadline is an error.
+  auto selector = MakeSelector("CompaReSetS+");
+  ASSERT_TRUE(selector.ok());
+  auto refused = selector.value()->Select(vectors_, options, &control);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kDeadlineExceeded);
+
+  // With the anytime floor the same call answers with the greedy
+  // incumbent — deterministically: the incumbent solves with the
+  // deadline stripped, so its selections are exactly greedy's.
+  options.min_tier = QualityTier::kAnytime;
+  auto tiered = selector.value()->SelectTiered(vectors_, options, &control);
+  ASSERT_TRUE(tiered.ok()) << tiered.status();
+  EXPECT_EQ(tiered.value().tier, QualityTier::kAnytime);
+  EXPECT_EQ(tiered.value().objective_gap, 0.0);
+
+  CompareSetsGreedySelector greedy;
+  auto incumbent = greedy.Select(vectors_, options, nullptr);
+  ASSERT_TRUE(incumbent.ok());
+  EXPECT_EQ(tiered.value().selections, incumbent.value().selections);
+  EXPECT_EQ(tiered.value().objective, incumbent.value().objective);
+}
+
+TEST_F(AnytimeTest, AnytimeResultNeverWorseThanGreedyIncumbent) {
+  // Monotonicity: whatever SelectTiered returns under the anytime floor
+  // must score at least as well (Eq. 5 minimizes) as the greedy
+  // incumbent it started from.
+  CompareSetsGreedySelector greedy;
+  SelectorOptions options = Options();
+  options.min_tier = QualityTier::kAnytime;
+  auto incumbent = greedy.Select(vectors_, options, nullptr);
+  ASSERT_TRUE(incumbent.ok());
+  for (const std::string& name : AllSelectorNames()) {
+    auto selector = MakeSelector(name);
+    ASSERT_TRUE(selector.ok()) << name;
+    Deadline deadline(60.0);
+    ExecControl control;
+    control.deadline = &deadline;
+    auto tiered = selector.value()->SelectTiered(vectors_, options, &control);
+    ASSERT_TRUE(tiered.ok()) << name;
+    EXPECT_LE(tiered.value().objective, incumbent.value().objective) << name;
+  }
+}
+
+// --- Review sampling -------------------------------------------------------
+
+// Corpus whose target has `num_patterns` dedup groups of
+// `copies_per_pattern` annotation-identical reviews each, plus two
+// small comparative items that never cross a sampling threshold.
+Corpus SamplingCorpus(size_t num_patterns, size_t copies_per_pattern) {
+  Corpus corpus("SamplingFixture");
+  for (size_t a = 0; a < num_patterns; ++a) {
+    corpus.catalog().Intern("aspect" + std::to_string(a));
+  }
+  Product big;
+  big.id = "big";
+  big.also_bought = {"c1", "c2"};
+  size_t r = 0;
+  for (size_t g = 0; g < num_patterns; ++g) {
+    for (size_t c = 0; c < copies_per_pattern; ++c, ++r) {
+      big.reviews.push_back(testing::MakeReview(
+          "b" + std::to_string(r),
+          {{static_cast<AspectId>(g), testing::kPos}}));
+    }
+  }
+  corpus.AddProduct(std::move(big)).CheckOK();
+  for (const char* id : {"c1", "c2"}) {
+    Product item;
+    item.id = id;
+    for (int i = 0; i < 3; ++i) {
+      item.reviews.push_back(testing::MakeReview(
+          std::string(id) + "-r" + std::to_string(i),
+          {{static_cast<AspectId>(i), testing::kPos}}));
+    }
+    corpus.AddProduct(std::move(item)).CheckOK();
+  }
+  corpus.Finalize();
+  return corpus;
+}
+
+// InstanceVectors points back at the instance (and through it, the
+// corpus) — the three must share a lifetime, hence this bundle.
+struct SamplingFixture {
+  explicit SamplingFixture(Corpus built)
+      : corpus(std::move(built)),
+        instance(MakeInstance(corpus)),
+        vectors(BuildInstanceVectors(
+            OpinionModel::Binary(corpus.num_aspects()), instance)) {}
+
+  static ProblemInstance MakeInstance(const Corpus& corpus) {
+    ProblemInstance instance;
+    instance.items = {corpus.Find("big"), corpus.Find("c1"),
+                      corpus.Find("c2")};
+    return instance;
+  }
+
+  Corpus corpus;
+  ProblemInstance instance;
+  InstanceVectors vectors;
+};
+
+// The selectors whose solves go through per-item design systems — the
+// surface review sampling restricts.
+const std::vector<std::string>& SystemSelectors() {
+  static const std::vector<std::string> names = {"Crs", "CompaReSetS",
+                                                 "CompaReSetS+"};
+  return names;
+}
+
+TEST(ReviewSamplingTest, SampledSolveIsDeterministicAndReportsExactGap) {
+  // 20 singleton groups; a 5-review sample covers exactly 5 of them, so
+  // the uncovered mass — and thus the reported gap — is exactly 15/20
+  // regardless of which draw the seed produces.
+  SamplingFixture fx(SamplingCorpus(/*num_patterns=*/20,
+                                    /*copies_per_pattern=*/1));
+  SelectorOptions options;
+  options.m = 3;
+  options.min_tier = QualityTier::kSampled;
+  options.sample_threshold = 10;
+  options.sample_size = 5;
+  for (const std::string& name : SystemSelectors()) {
+    auto selector = MakeSelector(name);
+    ASSERT_TRUE(selector.ok()) << name;
+    auto first = selector.value()->Select(fx.vectors, options);
+    auto second = selector.value()->Select(fx.vectors, options);
+    ASSERT_TRUE(first.ok()) << name << ": " << first.status();
+    ASSERT_TRUE(second.ok()) << name;
+    EXPECT_EQ(first.value().tier, QualityTier::kSampled) << name;
+    EXPECT_EQ(first.value().objective_gap, 0.75) << name;
+    // Same seed, same draw, same answer — bit for bit.
+    EXPECT_EQ(first.value().selections, second.value().selections) << name;
+    EXPECT_EQ(first.value().objective, second.value().objective) << name;
+    EXPECT_EQ(first.value().objective_gap, second.value().objective_gap)
+        << name;
+    // Selections carry REAL review indices of the full item.
+    for (size_t index : first.value().selections[0]) {
+      EXPECT_LT(index, fx.vectors.num_reviews(0)) << name;
+    }
+  }
+}
+
+TEST(ReviewSamplingTest, LosslessSamplePromotesBackToExact) {
+  // 4 groups x 5 copies; an 18-of-20 sample misses at most 2 reviews,
+  // so every group keeps >= 3 sampled members = min(c_g, m) — the
+  // sample is provably lossless and the solve must promote to the FULL
+  // system: tier exact, gap 0, bit-identical to the unsampled run.
+  SamplingFixture fx(SamplingCorpus(/*num_patterns=*/4,
+                                    /*copies_per_pattern=*/5));
+  SelectorOptions sampled;
+  sampled.m = 3;
+  sampled.min_tier = QualityTier::kSampled;
+  sampled.sample_threshold = 10;
+  sampled.sample_size = 18;
+  SelectorOptions unsampled;
+  unsampled.m = 3;
+  for (const std::string& name : SystemSelectors()) {
+    auto selector = MakeSelector(name);
+    ASSERT_TRUE(selector.ok()) << name;
+    auto promoted = selector.value()->Select(fx.vectors, sampled);
+    auto baseline = selector.value()->Select(fx.vectors, unsampled);
+    ASSERT_TRUE(promoted.ok()) << name << ": " << promoted.status();
+    ASSERT_TRUE(baseline.ok()) << name;
+    EXPECT_EQ(promoted.value().tier, QualityTier::kExact) << name;
+    EXPECT_EQ(promoted.value().objective_gap, 0.0) << name;
+    EXPECT_EQ(promoted.value().selections, baseline.value().selections)
+        << name;
+    EXPECT_EQ(promoted.value().objective, baseline.value().objective) << name;
+  }
+}
+
+TEST(ReviewSamplingTest, ExactFloorOrSmallItemsNeverSample) {
+  SamplingFixture fx(SamplingCorpus(/*num_patterns=*/20,
+                                    /*copies_per_pattern=*/1));
+  auto selector = MakeSelector("Crs");
+  ASSERT_TRUE(selector.ok());
+
+  SelectorOptions baseline;
+  baseline.m = 3;
+  auto exact = selector.value()->Select(fx.vectors, baseline);
+  ASSERT_TRUE(exact.ok());
+
+  // Sampling knobs set but the floor forbids the tier: ignored.
+  SelectorOptions floored = baseline;
+  floored.sample_threshold = 10;
+  floored.sample_size = 5;
+  auto unsampled = selector.value()->Select(fx.vectors, floored);
+  ASSERT_TRUE(unsampled.ok());
+  EXPECT_EQ(unsampled.value().tier, QualityTier::kExact);
+  EXPECT_EQ(unsampled.value().selections, exact.value().selections);
+
+  // Floor admits sampling but every item is at/below the threshold.
+  SelectorOptions high_threshold = baseline;
+  high_threshold.min_tier = QualityTier::kSampled;
+  high_threshold.sample_threshold = 20;
+  high_threshold.sample_size = 5;
+  auto below = selector.value()->Select(fx.vectors, high_threshold);
+  ASSERT_TRUE(below.ok());
+  EXPECT_EQ(below.value().tier, QualityTier::kExact);
+  EXPECT_EQ(below.value().selections, exact.value().selections);
+}
+
+}  // namespace
+}  // namespace comparesets

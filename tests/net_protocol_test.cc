@@ -122,6 +122,24 @@ TEST(FrameHeaderTest, VersionMismatchIsInvalidArgument) {
   EXPECT_NE(header.status().message().find("version"), std::string::npos);
 }
 
+TEST(FrameHeaderTest, VersionMismatchNamesBothVersions) {
+  // Negotiation contract: the refusal names the peer's version AND ours,
+  // so an old client's log says exactly which build to upgrade to. A v1
+  // frame is what a pre-tier binary actually sends.
+  std::string frame = EncodeFrame(1, "x");
+  frame[4] = 1;
+  frame[5] = 0;
+  auto header = DecodeFrameHeader(frame);
+  ASSERT_EQ(header.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(header.status().message().find("peer speaks v1"),
+            std::string::npos)
+      << header.status();
+  EXPECT_NE(header.status().message().find(
+                "this build speaks v" + std::to_string(kWireVersion)),
+            std::string::npos)
+      << header.status();
+}
+
 TEST(FrameHeaderTest, OversizedLengthPrefixIsParseError) {
   std::string frame = EncodeFrame(1, "x");
   uint32_t huge = kMaxFramePayloadBytes + 1;
@@ -143,6 +161,9 @@ SelectRequest SampleRequest() {
   request.options.mu = 0.125;
   request.options.seed = 99;
   request.options.extra_sync_rounds = 2;
+  request.options.min_tier = QualityTier::kAnytime;
+  request.options.sample_threshold = 500;
+  request.options.sample_size = 128;
   request.deadline_seconds = 1.5;
   return request;
 }
@@ -160,9 +181,55 @@ TEST(MessageCodecTest, SelectRequestRoundTrip) {
   EXPECT_EQ(got.options.mu, request.options.mu);
   EXPECT_EQ(got.options.seed, request.options.seed);
   EXPECT_EQ(got.options.extra_sync_rounds, request.options.extra_sync_rounds);
+  EXPECT_EQ(got.options.min_tier, request.options.min_tier);
+  EXPECT_EQ(got.options.sample_threshold, request.options.sample_threshold);
+  EXPECT_EQ(got.options.sample_size, request.options.sample_size);
   EXPECT_EQ(got.deadline_seconds, request.deadline_seconds);
   // CancelTokens are process-local and never travel.
   EXPECT_EQ(got.cancel, nullptr);
+}
+
+TEST(MessageCodecTest, UnknownTierByteInRequestIsParseError) {
+  // The min_tier byte sits a fixed distance from the payload's end:
+  // u8 tier, u64 sample_threshold, u64 sample_size, double deadline.
+  std::string payload = EncodeSelectRequest(SampleRequest());
+  size_t tier_at = payload.size() - 8 - 8 - 8 - 1;
+  payload[tier_at] = 7;
+  auto decoded = DecodeSelectRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(decoded.status().message().find("quality tier"),
+            std::string::npos)
+      << decoded.status();
+}
+
+TEST(MessageCodecTest, UnknownTierByteInResponseIsParseError) {
+  // Locate the response's tier byte by differencing two encodings that
+  // differ only in the tier — immune to layout drift elsewhere.
+  SelectResponse response;
+  response.target_id = "cellphone-P00001";
+  response.tier = QualityTier::kExact;
+  std::string exact =
+      EncodeSelectResult(Result<SelectResponse>(response));
+  response.tier = QualityTier::kSampled;
+  std::string sampled =
+      EncodeSelectResult(Result<SelectResponse>(response));
+  ASSERT_EQ(exact.size(), sampled.size());
+  size_t tier_at = exact.size();
+  for (size_t i = 0; i < exact.size(); ++i) {
+    if (exact[i] != sampled[i]) {
+      tier_at = i;
+      break;
+    }
+  }
+  ASSERT_LT(tier_at, exact.size());
+  exact[tier_at] = 7;
+  auto decoded = DecodeSelectResult(exact);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(decoded.status().message().find("quality tier"),
+            std::string::npos)
+      << decoded.status();
 }
 
 TEST(MessageCodecTest, StatusFullFidelityThroughSelectResult) {
@@ -189,9 +256,13 @@ TEST(MessageCodecTest, SelectResponseRoundTripIsBitExact) {
   response.result_cache_hit = false;
   response.prepare_seconds = 0.25;
   response.solve_seconds = 1e-5;
+  response.tier = QualityTier::kSampled;
+  response.objective_gap = 0.03125;
   response.trace.request_id = 17;
   response.trace.shard_id = 3;
   response.trace.target_id = response.target_id;
+  response.trace.tier = "sampled";
+  response.trace.objective_gap = 0.03125;
   response.trace.spans.push_back({"crs.items", 0.001});
 
   auto decoded =
@@ -212,8 +283,12 @@ TEST(MessageCodecTest, SelectResponseRoundTripIsBitExact) {
   EXPECT_EQ(got.result_cache_hit, response.result_cache_hit);
   EXPECT_EQ(got.prepare_seconds, response.prepare_seconds);
   EXPECT_EQ(got.solve_seconds, response.solve_seconds);
+  EXPECT_EQ(got.tier, response.tier);
+  EXPECT_EQ(got.objective_gap, response.objective_gap);
   EXPECT_EQ(got.trace.request_id, response.trace.request_id);
   EXPECT_EQ(got.trace.shard_id, response.trace.shard_id);
+  EXPECT_EQ(got.trace.tier, response.trace.tier);
+  EXPECT_EQ(got.trace.objective_gap, response.trace.objective_gap);
   ASSERT_EQ(got.trace.spans.size(), 1u);
   EXPECT_EQ(got.trace.spans[0].name, "crs.items");
   EXPECT_EQ(got.trace.spans[0].seconds, 0.001);
@@ -332,6 +407,42 @@ TEST(MutatedFrameTest, DecodersNeverCrashAndFailTyped) {
   }
 }
 
+TEST(MutatedFrameTest, ResponsePayloadDecoderNeverCrashesAndFailsTyped) {
+  // Same discipline over the response decoder, with the v2 tier + gap
+  // fields in the encoded bytes: truncations at every prefix and seeded
+  // byte flips must decode to a typed error or a well-formed response.
+  SelectResponse response;
+  response.target_id = "cellphone-P00001";
+  response.item_ids = {"cellphone-P00001", "cellphone-P00002"};
+  response.selections = {{0, 2, 5}, {1}};
+  response.objective = 42.5;
+  response.tier = QualityTier::kSampled;
+  response.objective_gap = 0.25;
+  response.trace.tier = "sampled";
+  response.trace.objective_gap = 0.25;
+  std::string valid = EncodeSelectResult(Result<SelectResponse>(response));
+
+  for (size_t len = 0; len < valid.size(); len += 3) {
+    auto decoded = DecodeSelectResult(valid.substr(0, len));
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kParseError)
+          << "prefix " << len << ": " << decoded.status();
+    }
+  }
+  Rng rng(20260809, 2);
+  for (int i = 0; i < 64; ++i) {
+    std::string mutated = valid;
+    size_t pos = static_cast<size_t>(rng.NextU32() % mutated.size());
+    mutated[pos] = static_cast<char>(
+        mutated[pos] ^ static_cast<char>(1 + rng.NextU32() % 255));
+    auto decoded = DecodeSelectResult(mutated);
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kParseError)
+          << "flip at " << pos << ": " << decoded.status();
+    }
+  }
+}
+
 // --- Mutated frames against a live server ----------------------------------
 
 class LiveServerTest : public ::testing::Test {
@@ -436,6 +547,39 @@ TEST_F(LiveServerTest, VersionMismatchAnswersKErrorWithInvalidArgument) {
   ASSERT_TRUE(DecodeErrorPayload(reply.value().payload, &server_error).ok());
   EXPECT_EQ(server_error.code(), StatusCode::kInvalidArgument);
   EXPECT_NE(server_error.message().find("version"), std::string::npos);
+  // The refusal must name the version THIS server speaks, so the old
+  // peer's operator knows what to upgrade to.
+  EXPECT_NE(server_error.message().find(
+                "this build speaks v" + std::to_string(kWireVersion)),
+            std::string::npos)
+      << server_error;
+  connection.Close();
+}
+
+TEST_F(LiveServerTest, OldWireVersionFrameGetsTypedRefusal) {
+  // A v1 peer (pre-tier build) sends a structurally valid health probe
+  // under its own version; this v2 server must refuse with a typed
+  // error naming both versions instead of misparsing the payload.
+  auto socket = Socket::Connect(server_->bound_address(), 5.0);
+  ASSERT_TRUE(socket.ok()) << socket.status();
+  Socket connection = std::move(socket).value();
+  std::string frame = EncodeFrame(
+      static_cast<uint16_t>(MessageType::kHealthRequest), "");
+  frame[4] = 1;  // Wire version 1.
+  frame[5] = 0;
+  ASSERT_TRUE(connection.SendAll(frame.data(), frame.size(), 5.0).ok());
+  auto reply = connection.RecvFrame(5.0);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply.value().type, static_cast<uint16_t>(MessageType::kError));
+  Status server_error;
+  ASSERT_TRUE(DecodeErrorPayload(reply.value().payload, &server_error).ok());
+  EXPECT_EQ(server_error.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(server_error.message().find("peer speaks v1"), std::string::npos)
+      << server_error;
+  EXPECT_NE(server_error.message().find(
+                "this build speaks v" + std::to_string(kWireVersion)),
+            std::string::npos)
+      << server_error;
   connection.Close();
 }
 

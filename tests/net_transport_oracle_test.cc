@@ -72,6 +72,12 @@ void ExpectSameResponse(const Result<SelectResponse>& got,
   EXPECT_EQ(g.item_ids, w.item_ids) << where;
   EXPECT_EQ(g.selections, w.selections) << where;
   EXPECT_EQ(g.objective, w.objective) << where;
+  // The oracle streams run at the exact floor: the tier must survive
+  // the wire round-trip and match the in-process answer on both sides.
+  EXPECT_EQ(g.tier, w.tier) << where;
+  EXPECT_EQ(g.objective_gap, w.objective_gap) << where;
+  EXPECT_EQ(g.tier, QualityTier::kExact) << where;
+  EXPECT_EQ(g.objective_gap, 0.0) << where;
   ExpectSameTriple(g.alignment.target_vs_comparative,
                    w.alignment.target_vs_comparative);
   ExpectSameTriple(g.alignment.among_items, w.alignment.among_items);

@@ -475,6 +475,77 @@ TEST(SelectionEngineTest, OverloadReturnsResourceExhausted) {
   EXPECT_NE(dump.find("histogram engine.queue_seconds"), std::string::npos);
 }
 
+TEST(SelectionEngineTest, OverloadDegradesToAnytimeWhenFloorAllows) {
+  auto corpus = MakeCorpus(60);
+  // One admission slot, no queue — and the test occupies the slot
+  // out-of-band via the shared pipeline, so EVERY engine request is an
+  // overload, deterministically (no timing, no thread races).
+  PipelineOptions pipeline_options;
+  pipeline_options.max_in_flight = 1;
+  pipeline_options.max_queue = 0;
+  auto pipeline = std::make_shared<RequestPipeline>(pipeline_options);
+  EngineOptions options;
+  options.pipeline = pipeline;
+  SelectionEngine engine(corpus, options);
+
+  Deadline unlimited(0.0);
+  ASSERT_TRUE(pipeline->Admit(unlimited, nullptr).ok());
+
+  // The pre-tier contract: an exact-floor request is refused.
+  SelectRequest request = RequestFor(*corpus, 0);
+  auto refused = engine.Select(request);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+
+  // The same overload with the anytime floor answers with the greedy
+  // incumbent instead of the rejection.
+  request.options.min_tier = QualityTier::kAnytime;
+  auto degraded = engine.Select(request);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_EQ(degraded.value().tier, QualityTier::kAnytime);
+  EXPECT_EQ(degraded.value().objective_gap, 0.0);
+  EXPECT_EQ(degraded.value().trace.tier, "anytime");
+  EXPECT_EQ(degraded.value().trace.status, "ok");
+  std::string dump = engine.DumpMetrics();
+  EXPECT_NE(dump.find("counter engine.degraded"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("counter engine.tier_anytime"), std::string::npos);
+
+  // Degraded answers are never memoized: once the slot frees, the same
+  // request solves exactly — the overload answer must not shadow it.
+  pipeline->Release();
+  auto exact = engine.Select(request);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  EXPECT_FALSE(exact.value().result_cache_hit);
+  EXPECT_EQ(exact.value().tier, QualityTier::kExact);
+
+  // The degraded selections were the greedy selector's, verbatim.
+  SelectRequest greedy_request = RequestFor(*corpus, 0, "CompaReSetSGreedy");
+  auto greedy = engine.Select(greedy_request);
+  ASSERT_TRUE(greedy.ok()) << greedy.status();
+  EXPECT_EQ(degraded.value().selections, greedy.value().selections);
+}
+
+TEST(SelectionEngineTest, EngineWideFloorDegradesExactRequests) {
+  auto corpus = MakeCorpus(60);
+  PipelineOptions pipeline_options;
+  pipeline_options.max_in_flight = 1;
+  pipeline_options.max_queue = 0;
+  auto pipeline = std::make_shared<RequestPipeline>(pipeline_options);
+  EngineOptions options;
+  options.pipeline = pipeline;
+  // Operator-set policy: this engine degrades under load even for
+  // callers that did not opt in (LooserTier of the two floors rules).
+  options.min_quality_tier = QualityTier::kAnytime;
+  SelectionEngine engine(corpus, options);
+
+  Deadline unlimited(0.0);
+  ASSERT_TRUE(pipeline->Admit(unlimited, nullptr).ok());
+  auto degraded = engine.Select(RequestFor(*corpus, 0));
+  pipeline->Release();
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_EQ(degraded.value().tier, QualityTier::kAnytime);
+}
+
 TEST(SelectionEngineTest, QueuedRequestsAdmitAsSlotsFree) {
   auto corpus = MakeCorpus(80);
   EngineOptions options;

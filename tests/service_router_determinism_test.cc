@@ -63,6 +63,12 @@ void ExpectSameResponse(const Result<SelectResponse>& got,
   EXPECT_EQ(g.item_ids, w.item_ids) << where;
   EXPECT_EQ(g.selections, w.selections) << where;
   EXPECT_EQ(g.objective, w.objective) << where;
+  // Exact-floor streams: every answer is full-quality on both sides,
+  // proving the tier refactor left the default path untouched.
+  EXPECT_EQ(g.tier, w.tier) << where;
+  EXPECT_EQ(g.objective_gap, w.objective_gap) << where;
+  EXPECT_EQ(g.tier, QualityTier::kExact) << where;
+  EXPECT_EQ(g.objective_gap, 0.0) << where;
   ExpectSameTriple(g.alignment.target_vs_comparative,
                    w.alignment.target_vs_comparative);
   ExpectSameTriple(g.alignment.among_items, w.alignment.among_items);

@@ -122,8 +122,56 @@ TEST(CliTest, ServeAnswersBatchFromQueriesFile) {
             std::string::npos)
       << result.output;
   EXPECT_NE(result.output.find("cache=hit"), std::string::npos);
+  // No deadline, no overload, no sampling knobs: every answer is
+  // full-quality and says so.
+  EXPECT_NE(result.output.find("tier=exact gap=0.0000"), std::string::npos);
   EXPECT_NE(result.output.find("counter engine.requests 3"),
             std::string::npos);
+}
+
+TEST(CliTest, ServeExportsPrometheusOverHttp) {
+  std::string path = ::testing::TempDir() + "/comparesets_cli_promq.txt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("cellphone-P00000\n", f);
+    fclose(f);
+  }
+  // Port 0 binds an ephemeral port (announced on stdout); after the
+  // batch the CLI scrapes its own exporter over a real TCP socket and
+  // prints the HTTP response, so this asserts the full network path.
+  CommandResult result = RunCli(
+      "serve --products 40 --threads 1 --metrics_port 0 --queries " + path);
+  std::remove(path.c_str());
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("METRICS LISTENING tcp:127.0.0.1:"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("HTTP/1.0 200 OK"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("engine_requests_total"), std::string::npos)
+      << result.output;
+}
+
+TEST(CliTest, ServeDegradeAndTierFlags) {
+  std::string path = ::testing::TempDir() + "/comparesets_cli_tierq.txt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("cellphone-P00000\n", f);
+    fclose(f);
+  }
+  // --degrade loosens the floor, but an unloaded engine still answers
+  // exactly — the floor widens what is acceptable, not what happens.
+  CommandResult result = RunCli(
+      "serve --products 40 --threads 1 --degrade --queries " + path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("tier=exact"), std::string::npos)
+      << result.output;
+
+  CommandResult bad = RunCli("serve --products 40 --min_tier bogus");
+  std::remove(path.c_str());
+  EXPECT_NE(bad.exit_code, 0);
 }
 
 TEST(CliTest, ServeShardedAnswersTheSameQueries) {

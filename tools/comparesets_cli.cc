@@ -9,6 +9,9 @@
 //                       [--max_in_flight N] [--retries R] [--trace_out F]
 //                       [--transport local|rpc] [--shard_server PATH]
 //                       [--connect A1,A2,..] [--ready_timeout S]
+//                       [--min_tier exact|anytime|sampled] [--degrade]
+//                       [--sample_threshold N] [--sample_size N]
+//                       [--metrics_port P]
 //
 // Data source: either a synthetic category (--category Cellphone|Toy|
 // Clothing, --products N, --seed S) or Amazon-layout JSONL files
@@ -39,6 +42,8 @@
 
 #include "core/selector.h"
 #include "data/export.h"
+#include "net/socket.h"
+#include "service/metrics_http.h"
 #include "data/loader.h"
 #include "data/statistics.h"
 #include "data/synthetic.h"
@@ -188,6 +193,17 @@ int RunSelect(const FlagParser& flags, bool narrow) {
   return 0;
 }
 
+// The serve-wide degradation floor: --min_tier, loosened to at least
+// kAnytime by the --degrade shorthand.
+Result<QualityTier> ResolveTierFloor(const FlagParser& flags) {
+  COMPARESETS_ASSIGN_OR_RETURN(QualityTier floor,
+                               ParseQualityTier(flags.GetString("min_tier")));
+  if (flags.GetBool("degrade")) {
+    floor = LooserTier(floor, QualityTier::kAnytime);
+  }
+  return floor;
+}
+
 // One serve query per line: `target_id [algorithm] [m] [comp1,comp2,..]`.
 // Blank lines and lines starting with '#' are skipped; fields after the
 // target id default to the CLI-level --algorithm / --m flags and the
@@ -198,6 +214,10 @@ Result<std::vector<SelectRequest>> ParseQueries(std::istream& in,
   defaults.m = static_cast<size_t>(flags.GetInt("m"));
   defaults.lambda = flags.GetDouble("lambda");
   defaults.mu = flags.GetDouble("mu");
+  COMPARESETS_ASSIGN_OR_RETURN(defaults.min_tier, ResolveTierFloor(flags));
+  defaults.sample_threshold =
+      static_cast<size_t>(flags.GetInt("sample_threshold"));
+  defaults.sample_size = static_cast<size_t>(flags.GetInt("sample_size"));
 
   std::vector<SelectRequest> requests;
   std::string line;
@@ -283,10 +303,13 @@ size_t PrintServeResponses(const std::vector<SelectRequest>& requests,
     for (const Selection& s : response.selections) selected += s.size();
     std::printf(
         "[%zu] target=%s algorithm=%s m=%zu items=%zu reviews=%zu "
-        "objective=%.4f align_RL=%.2f cache=%s solve_ms=%.2f\n",
+        "objective=%.4f tier=%s gap=%.4f align_RL=%.2f cache=%s "
+        "solve_ms=%.2f\n",
         i, response.target_id.c_str(), requests[i].selector.c_str(),
         requests[i].options.m, response.item_ids.size(), selected,
-        response.objective, 100.0 * response.alignment.among_items.rougeL.f1,
+        response.objective, QualityTierName(response.tier),
+        response.objective_gap,
+        100.0 * response.alignment.among_items.rougeL.f1,
         response.result_cache_hit ? "memo" : response.cache_hit ? "hit" : "miss",
         1000.0 * response.solve_seconds);
   }
@@ -314,6 +337,24 @@ void FillEngineOptions(const FlagParser& flags, EngineOptions* engine_options) {
   engine_options->max_attempts = flags.GetInt("retries") + 1;
   engine_options->batch_kernel_window =
       static_cast<size_t>(flags.GetInt("window"));
+  auto floor = ResolveTierFloor(flags);
+  floor.status().CheckOK();
+  engine_options->min_quality_tier = floor.value();
+}
+
+// One HTTP/1.0 scrape of our own metrics endpoint, over a real TCP
+// client socket — proves the exporter end to end (bind, accept thread,
+// request parse, response framing) before serve exits.
+Result<std::string> ScrapeMetricsOnce(const std::string& address) {
+  COMPARESETS_ASSIGN_OR_RETURN(Socket socket, Socket::Connect(address, 5.0));
+  std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  COMPARESETS_RETURN_NOT_OK(
+      socket.SendAll(request.data(), request.size(), 5.0));
+  // Read to EOF (the server closes after one response).
+  std::string body;
+  char c = 0;
+  while (socket.RecvAll(&c, 1, 5.0).ok()) body.push_back(c);
+  return body;
 }
 
 // Forks one shard_server child. The child's stdout is rerouted to
@@ -339,6 +380,12 @@ pid_t SpawnShardServer(const std::string& binary, const FlagParser& flags,
       "--max_queue=" + std::to_string(flags.GetInt("max_queue")),
       "--retries=" + std::to_string(flags.GetInt("retries")),
   };
+  {
+    auto floor = ResolveTierFloor(flags);
+    floor.status().CheckOK();
+    args.push_back(std::string("--min_tier=") +
+                   QualityTierName(floor.value()));
+  }
   pid_t pid = fork();
   if (pid != 0) return pid;
   dup2(STDERR_FILENO, STDOUT_FILENO);
@@ -466,8 +513,10 @@ int RunServeRpc(const FlagParser& flags, const std::string& program_dir) {
   size_t failed = PrintServeResponses(requests, responses, num_shards);
 
   if (flags.GetBool("metrics") || flags.GetBool("prometheus") ||
+      flags.GetInt("metrics_port") >= 0 ||
       !flags.GetString("trace_out").empty()) {
-    std::fprintf(stderr, "--metrics/--prometheus/--trace_out are not "
+    std::fprintf(stderr,
+                 "--metrics/--prometheus/--metrics_port/--trace_out are not "
                  "available over --transport rpc (remote registries)\n");
   }
   if (!pids.empty()) TearDownFleet(pids, addresses);
@@ -508,6 +557,19 @@ int RunServe(const FlagParser& flags, const std::string& program_dir) {
     }
   }
 
+  // The Prometheus endpoint comes up before any query is answered, so
+  // an external scraper can watch a long batch live; the endpoint is
+  // self-scraped once after the batch as an end-to-end check.
+  MetricsHttpServer metrics_http;
+  int metrics_port = flags.GetInt("metrics_port");
+  if (metrics_port >= 0) {
+    ShardRouter* router_ptr = router.value().get();
+    Status started = metrics_http.Start(
+        metrics_port, [router_ptr] { return router_ptr->RenderPrometheus(); });
+    started.CheckOK();
+    std::printf("METRICS LISTENING %s\n", metrics_http.bound_address().c_str());
+  }
+
   std::vector<SelectRequest> requests;
   int read_rc = ReadServeRequests(flags, &requests);
   if (read_rc != 0) return read_rc;
@@ -520,6 +582,12 @@ int RunServe(const FlagParser& flags, const std::string& program_dir) {
       router.value()->SelectBatch(requests);
   size_t failed = PrintServeResponses(requests, responses,
                                       router.value()->num_shards());
+  if (metrics_port >= 0) {
+    auto scraped = ScrapeMetricsOnce(metrics_http.bound_address());
+    scraped.status().CheckOK();
+    std::printf("\n%s", scraped.value().c_str());
+    metrics_http.Stop();
+  }
   if (flags.GetBool("metrics")) {
     std::printf("\n%s", router.value()->DumpMetrics().c_str());
   }
@@ -618,6 +686,19 @@ int main(int argc, char** argv) {
                   " spawning servers (--transport rpc)");
   flags.AddDouble("ready_timeout", 60.0,
                   "seconds to wait for every rpc shard's readiness probe");
+  flags.AddString("min_tier", "exact",
+                  "lowest quality tier serve may answer with"
+                  " (exact|anytime|sampled); anytime returns the greedy"
+                  " incumbent on deadline expiry or overload");
+  flags.AddBool("degrade", false,
+                "shorthand: loosen --min_tier to at least anytime");
+  flags.AddInt("sample_threshold", 0,
+               "review-sample items with more reviews than this when the"
+               " floor admits sampled (0 = never)");
+  flags.AddInt("sample_size", 0, "reviews drawn per sampled item");
+  flags.AddInt("metrics_port", -1,
+               "serve /metrics over HTTP on 127.0.0.1:PORT during the"
+               " batch (0 = ephemeral port, -1 = off)");
 
   Status parsed = flags.Parse(argc - 1, argv + 1);
   if (!parsed.ok()) {

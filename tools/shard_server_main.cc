@@ -112,6 +112,12 @@ int Run(const FlagParser& flags) {
   engine_options.batch_kernel_window =
       static_cast<size_t>(flags.GetInt("window"));
   engine_options.shard_id = static_cast<size_t>(shard_index);
+  auto floor = ParseQualityTier(flags.GetString("min_tier"));
+  if (!floor.ok()) {
+    std::fprintf(stderr, "%s\n", floor.status().ToString().c_str());
+    return 2;
+  }
+  engine_options.min_quality_tier = floor.value();
 
   ShardKeyRange range;
   range.begin = bounds.value()[static_cast<size_t>(shard_index)];
@@ -165,6 +171,9 @@ int main(int argc, char** argv) {
                "admission limit on concurrent solves (0 = unthrottled)");
   flags.AddInt("max_queue", 64, "admission queue slots beyond max_in_flight");
   flags.AddInt("retries", 0, "retries per query on transient failures");
+  flags.AddString("min_tier", "exact",
+                  "engine-wide degradation floor"
+                  " (exact|anytime|sampled)");
 
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
