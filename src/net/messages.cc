@@ -96,6 +96,7 @@ void EncodeTraceTo(const RequestTrace& trace, WireWriter* writer) {
   writer->WriteU64(trace.request_id);
   writer->WriteU64(trace.shard_id);
   writer->WriteU64(trace.corpus_epoch);
+  writer->WriteU64(trace.ingest_records);
   writer->WriteString(trace.target_id);
   writer->WriteString(trace.selector);
   writer->WriteString(trace.status);
@@ -124,6 +125,7 @@ Status DecodeTraceFrom(WireReader* reader, RequestTrace* trace) {
   COMPARESETS_ASSIGN_OR_RETURN(trace->request_id, reader->ReadU64());
   COMPARESETS_ASSIGN_OR_RETURN(trace->shard_id, reader->ReadU64());
   COMPARESETS_ASSIGN_OR_RETURN(trace->corpus_epoch, reader->ReadU64());
+  COMPARESETS_ASSIGN_OR_RETURN(trace->ingest_records, reader->ReadU64());
   COMPARESETS_ASSIGN_OR_RETURN(trace->target_id, reader->ReadString());
   COMPARESETS_ASSIGN_OR_RETURN(trace->selector, reader->ReadString());
   COMPARESETS_ASSIGN_OR_RETURN(trace->status, reader->ReadString());

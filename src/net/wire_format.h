@@ -42,7 +42,9 @@ namespace comparesets {
 ///   v2: quality tiers — SelectorOptions gained min_tier /
 ///       sample_threshold / sample_size, SelectResponse and RequestTrace
 ///       gained tier + objective_gap.
-inline constexpr uint16_t kWireVersion = 2;
+///   v3: streaming ingestion — RequestTrace gained ingest_records (the
+///       shard snapshot's cumulative delta-applied review count).
+inline constexpr uint16_t kWireVersion = 3;
 
 /// Frame header magic: "CSRP" (CompareSets RPc).
 inline constexpr uint8_t kFrameMagic[4] = {'C', 'S', 'R', 'P'};

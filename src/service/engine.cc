@@ -133,6 +133,37 @@ Status SelectionEngine::SwapCorpus(
   return Status::OK();
 }
 
+Status SelectionEngine::ApplyCorpusDelta(
+    std::shared_ptr<const IndexedCorpus> corpus, size_t reviews_added) {
+  if (options_.fault_injector) {
+    Status injected = options_.fault_injector->Inject(FaultSite::kCorpusSwap);
+    if (!injected.ok()) {
+      // Refused before the snapshot flipped — same contract as a failed
+      // SwapCorpus: the engine keeps serving the old snapshot, caches
+      // intact, and the ingestion driver may retry the batch.
+      metrics_.counter("engine.corpus_swap_failures").Increment();
+      return injected;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(corpus_mutex_);
+    corpus_ = std::move(corpus);
+    ++corpus_epoch_;
+  }
+  // Same invalidation discipline as SwapCorpus: the epoch moved, so no
+  // old-epoch entry can match a new key; reclaim the capacity now.
+  cache_.Clear();
+  {
+    std::lock_guard<std::mutex> lock(result_mutex_);
+    result_lru_.clear();
+    result_index_.clear();
+  }
+  ingested_reviews_.fetch_add(reviews_added, std::memory_order_relaxed);
+  metrics_.counter("engine.delta_applies").Increment();
+  metrics_.counter("engine.ingest_reviews_applied").Increment(reviews_added);
+  return Status::OK();
+}
+
 bool SelectionEngine::ResultLookup(const std::string& key,
                                    SelectResponse* out) const {
   std::lock_guard<std::mutex> lock(result_mutex_);
@@ -435,6 +466,7 @@ Result<SelectResponse> SelectionEngine::SelectWithParallel(
     epoch = corpus_epoch_;
   }
   trace.corpus_epoch = epoch;
+  trace.ingest_records = ingested_reviews_.load(std::memory_order_relaxed);
   std::string prepare_key = CacheKey(epoch, options_.opinion, request);
 
   // An exactly repeated request is answered from the result memo —

@@ -228,6 +228,18 @@ class SelectionEngine {
   /// snapshot is left untouched then).
   Status SwapCorpus(std::shared_ptr<const IndexedCorpus> corpus);
 
+  /// Publishes an incrementally built snapshot from the streaming
+  /// ingestion path (service/ingest). Mechanically identical to
+  /// SwapCorpus — same epoch bump, same cache/memo invalidation, same
+  /// fault seam — but additionally accounts `reviews_added` streamed
+  /// reviews into this engine's cumulative ingest counter, which every
+  /// subsequent RequestTrace carries as `ingest_records`. Shard-local:
+  /// applying a delta here never moves another shard's epoch, so the
+  /// other shards keep their warm caches (the same isolation SwapCorpus
+  /// gives shard swaps).
+  Status ApplyCorpusDelta(std::shared_ptr<const IndexedCorpus> corpus,
+                          size_t reviews_added);
+
   /// Current catalog snapshot.
   std::shared_ptr<const IndexedCorpus> corpus() const;
 
@@ -235,6 +247,13 @@ class SelectionEngine {
   /// SwapCorpus. Shard-local — one shard swapping never moves another
   /// shard's epoch, which is what keeps the others' caches warm.
   uint64_t corpus_epoch() const;
+
+  /// Cumulative streamed reviews delta-applied to this engine (sum of
+  /// every ApplyCorpusDelta's reviews_added). 0 on engines that never
+  /// ingest; monotonic, never reset by SwapCorpus.
+  uint64_t ingested_reviews() const {
+    return ingested_reviews_.load(std::memory_order_relaxed);
+  }
 
   const EngineOptions& options() const { return options_; }
   VectorCacheStats CacheStats() const { return cache_.Stats(); }
@@ -339,6 +358,8 @@ class SelectionEngine {
   /// Bumped by SwapCorpus; part of every cache key so an entry built
   /// against an old snapshot can never serve a new one.
   uint64_t corpus_epoch_ = 0;
+  /// Cumulative streamed reviews applied via ApplyCorpusDelta.
+  std::atomic<uint64_t> ingested_reviews_{0};
   mutable VectorCache cache_;
 
   /// Fully solved responses, keyed on the vector-cache key extended

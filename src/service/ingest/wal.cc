@@ -1,0 +1,245 @@
+#include "service/ingest/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/wire_format.h"
+#include "util/crc32.h"
+
+namespace comparesets {
+
+namespace {
+
+Status ErrnoStatus(const char* what, const std::string& path) {
+  return Status::Internal(std::string(what) + " '" + path +
+                          "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+WalRecord MakeWalRecord(const std::string& product_id, const Review& review,
+                        const AspectCatalog& catalog) {
+  WalRecord record;
+  record.product_id = product_id;
+  record.review_id = review.id;
+  record.reviewer_id = review.reviewer_id;
+  record.text = review.text;
+  record.rating = review.rating;
+  record.opinions.reserve(review.opinions.size());
+  for (const OpinionMention& opinion : review.opinions) {
+    WalOpinion wal_opinion;
+    wal_opinion.aspect = catalog.Name(opinion.aspect);
+    wal_opinion.polarity = opinion.polarity;
+    wal_opinion.strength = opinion.strength;
+    record.opinions.push_back(std::move(wal_opinion));
+  }
+  return record;
+}
+
+Review WalRecordToReview(const WalRecord& record, AspectCatalog* catalog) {
+  Review review;
+  review.id = record.review_id;
+  review.reviewer_id = record.reviewer_id;
+  review.text = record.text;
+  review.rating = record.rating;
+  review.opinions.reserve(record.opinions.size());
+  for (const WalOpinion& opinion : record.opinions) {
+    OpinionMention mention;
+    mention.aspect = catalog->Intern(opinion.aspect);
+    mention.polarity = opinion.polarity;
+    mention.strength = opinion.strength;
+    review.opinions.push_back(mention);
+  }
+  return review;
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  WireWriter writer;
+  writer.WriteU16(kWalRecordVersion);
+  writer.WriteString(record.product_id);
+  writer.WriteString(record.review_id);
+  writer.WriteString(record.reviewer_id);
+  writer.WriteString(record.text);
+  writer.WriteDouble(record.rating);
+  writer.WriteU32(static_cast<uint32_t>(record.opinions.size()));
+  for (const WalOpinion& opinion : record.opinions) {
+    writer.WriteString(opinion.aspect);
+    writer.WriteU8(static_cast<uint8_t>(opinion.polarity));
+    writer.WriteDouble(opinion.strength);
+  }
+  return writer.Take();
+}
+
+Result<WalRecord> DecodeWalRecord(std::string_view payload) {
+  WireReader reader(payload);
+  COMPARESETS_ASSIGN_OR_RETURN(uint16_t version, reader.ReadU16());
+  if (version != kWalRecordVersion) {
+    return Status::InvalidArgument(
+        "WAL record speaks format v" + std::to_string(version) +
+        "; this build speaks v" + std::to_string(kWalRecordVersion));
+  }
+  WalRecord record;
+  COMPARESETS_ASSIGN_OR_RETURN(record.product_id, reader.ReadString());
+  COMPARESETS_ASSIGN_OR_RETURN(record.review_id, reader.ReadString());
+  COMPARESETS_ASSIGN_OR_RETURN(record.reviewer_id, reader.ReadString());
+  COMPARESETS_ASSIGN_OR_RETURN(record.text, reader.ReadString());
+  COMPARESETS_ASSIGN_OR_RETURN(record.rating, reader.ReadDouble());
+  COMPARESETS_ASSIGN_OR_RETURN(uint32_t num_opinions, reader.ReadU32());
+  if (num_opinions > payload.size()) {
+    // Each opinion costs at least one payload byte, so a count beyond
+    // the payload size is garbage — refuse before reserving for it.
+    return Status::ParseError("WAL opinion count exceeds payload size");
+  }
+  record.opinions.reserve(num_opinions);
+  for (uint32_t i = 0; i < num_opinions; ++i) {
+    WalOpinion opinion;
+    COMPARESETS_ASSIGN_OR_RETURN(opinion.aspect, reader.ReadString());
+    COMPARESETS_ASSIGN_OR_RETURN(uint8_t polarity, reader.ReadU8());
+    if (polarity > static_cast<uint8_t>(Polarity::kNeutral)) {
+      return Status::InvalidArgument("WAL opinion has polarity " +
+                                     std::to_string(polarity));
+    }
+    opinion.polarity = static_cast<Polarity>(polarity);
+    COMPARESETS_ASSIGN_OR_RETURN(opinion.strength, reader.ReadDouble());
+    record.opinions.push_back(std::move(opinion));
+  }
+  COMPARESETS_RETURN_NOT_OK(reader.ExpectFullyConsumed("WAL record"));
+  return record;
+}
+
+void AppendWalFrame(const WalRecord& record, std::string* out) {
+  std::string payload = EncodeWalRecord(record);
+  WireWriter header;
+  header.WriteU32(static_cast<uint32_t>(payload.size()));
+  header.WriteU32(Crc32(payload));
+  out->append(header.bytes());
+  out->append(payload);
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& path,
+                                  WalWriterOptions options) {
+  WalWriter writer;
+  writer.options_ = options;
+  writer.fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (writer.fd_ < 0) return ErrnoStatus("cannot open WAL", path);
+  return writer;
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : options_(other.options_),
+      fd_(std::exchange(other.fd_, -1)),
+      records_appended_(other.records_appended_),
+      unsynced_records_(other.unsynced_records_) {}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    options_ = other.options_;
+    fd_ = std::exchange(other.fd_, -1);
+    records_appended_ = other.records_appended_;
+    unsynced_records_ = other.unsynced_records_;
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Append(const WalRecord& record) {
+  if (fd_ < 0) return Status::Internal("WAL writer is closed");
+  std::string frame;
+  AppendWalFrame(record, &frame);
+  // O_APPEND writes each frame at the current end; a short write (disk
+  // full) leaves a torn tail that replay drops — the committed prefix
+  // is still every fully written, fsynced record.
+  size_t written = 0;
+  while (written < frame.size()) {
+    ssize_t n = ::write(fd_, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("WAL append failed: ") +
+                              std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  ++records_appended_;
+  ++unsynced_records_;
+  if (options_.fsync_every > 0 && unsynced_records_ >= options_.fsync_every) {
+    return Sync();
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (fd_ < 0) return Status::Internal("WAL writer is closed");
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(std::string("WAL fsync failed: ") +
+                            std::strerror(errno));
+  }
+  unsynced_records_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (fd_ < 0) return Status::OK();
+  Status synced = unsynced_records_ > 0 ? Sync() : Status::OK();
+  if (::close(fd_) != 0 && synced.ok()) {
+    synced = Status::Internal(std::string("WAL close failed: ") +
+                              std::strerror(errno));
+  }
+  fd_ = -1;
+  return synced;
+}
+
+Result<WalReplayResult> ReplayWal(const std::string& path, uint64_t offset) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no WAL at '" + path + "'");
+    return ErrnoStatus("cannot open WAL", path);
+  }
+  // Read the whole suffix into memory: logs are bounded by what the
+  // driver has not yet folded into snapshots, and replay is a startup /
+  // polling path, not a hot one.
+  std::string data;
+  if (offset > 0 && ::lseek(fd, static_cast<off_t>(offset), SEEK_SET) < 0) {
+    ::close(fd);
+    return ErrnoStatus("cannot seek WAL", path);
+  }
+  char buffer[64 * 1024];
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("cannot read WAL", path);
+    }
+    if (n == 0) break;
+    data.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  WalReplayResult result;
+  size_t pos = 0;
+  while (data.size() - pos >= kWalFrameHeaderBytes) {
+    WireReader header(std::string_view(data).substr(pos, kWalFrameHeaderBytes));
+    uint32_t length = header.ReadU32().value();
+    uint32_t crc = header.ReadU32().value();
+    if (length > kMaxWalRecordBytes) break;
+    if (data.size() - pos - kWalFrameHeaderBytes < length) break;
+    std::string_view payload =
+        std::string_view(data).substr(pos + kWalFrameHeaderBytes, length);
+    if (Crc32(payload) != crc) break;
+    Result<WalRecord> record = DecodeWalRecord(payload);
+    if (!record.ok()) break;
+    result.records.push_back(std::move(record).value());
+    pos += kWalFrameHeaderBytes + length;
+  }
+  result.valid_bytes = offset + pos;
+  result.dropped_bytes = data.size() - pos;
+  return result;
+}
+
+}  // namespace comparesets

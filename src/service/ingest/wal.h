@@ -1,0 +1,173 @@
+// Append-only review log (WAL) — the durable front door of streaming
+// ingestion. Producers append one record per arriving review; the
+// ingestion driver tails the log and folds batches of records into
+// per-shard delta snapshots (service/ingest/delta.h).
+//
+// Record framing (all integers little-endian, reusing the
+// net/wire_format codecs):
+//
+//   offset 0  u32  payload byte length (<= kMaxWalRecordBytes)
+//   offset 4  u32  CRC-32 (IEEE) of the payload bytes
+//   offset 8  ...  payload (WalRecord, encoded by EncodeWalRecord)
+//
+// Payload layout (WireWriter encoding rules):
+//   u16     record-format version (kWalRecordVersion)
+//   string  product_id            — which product the review lands on
+//   string  review id
+//   string  reviewer id
+//   string  review text
+//   double  star rating
+//   u32     opinion count, then per opinion:
+//     string  aspect NAME (interned into the corpus catalog at apply
+//             time — records are self-describing, not tied to one
+//             catalog's id assignment)
+//     u8      polarity (Polarity enum value, validated on decode)
+//     double  strength
+//
+// Durability: WalWriter buffers appends in the kernel and fsyncs every
+// `fsync_every` records (and on Sync()/Close()), so the cost of
+// durability is amortized across a batch — the classic group-commit
+// trade: a crash may lose at most the records since the last fsync,
+// never corrupt the committed prefix.
+//
+// Crash recovery: replay reads records until the first frame that does
+// not fully parse — short header, payload running past EOF, CRC
+// mismatch, oversized length, or a payload the decoder rejects — and
+// returns everything before it. That prefix is exactly the committed
+// log: tests/service_ingest_wal_test.cc cuts and corrupts logs at
+// random boundaries and mid-record to pin this contract.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/catalog.h"
+#include "data/review.h"
+#include "util/status.h"
+
+namespace comparesets {
+
+/// Format version written into every record payload. Bumped on any
+/// layout change; replay refuses versions it does not speak (which
+/// truncates the log at the first foreign record, never misparses it).
+inline constexpr uint16_t kWalRecordVersion = 1;
+
+/// Fixed byte size of the per-record frame header (length + CRC).
+inline constexpr size_t kWalFrameHeaderBytes = 8;
+
+/// Hard cap on one record's payload. Far above any real review, far
+/// below anything a corrupted length prefix could use to exhaust
+/// memory during replay.
+inline constexpr uint32_t kMaxWalRecordBytes = 16u * 1024u * 1024u;
+
+/// One opinion mention with its aspect spelled by name, so a record
+/// can be applied to any corpus regardless of catalog id assignment.
+struct WalOpinion {
+  std::string aspect;
+  Polarity polarity = Polarity::kPositive;
+  double strength = 1.0;
+
+  bool operator==(const WalOpinion& other) const {
+    return aspect == other.aspect && polarity == other.polarity &&
+           strength == other.strength;
+  }
+};
+
+/// One appended review: the product it lands on plus the review body.
+struct WalRecord {
+  std::string product_id;
+  std::string review_id;
+  std::string reviewer_id;
+  std::string text;
+  double rating = 0.0;
+  std::vector<WalOpinion> opinions;
+
+  bool operator==(const WalRecord& other) const {
+    return product_id == other.product_id && review_id == other.review_id &&
+           reviewer_id == other.reviewer_id && text == other.text &&
+           rating == other.rating && opinions == other.opinions;
+  }
+};
+
+/// Builds a WalRecord from an annotated Review, spelling aspect ids out
+/// as names via `catalog`.
+WalRecord MakeWalRecord(const std::string& product_id, const Review& review,
+                        const AspectCatalog& catalog);
+
+/// Converts a record back into a Review, interning aspect names into
+/// `catalog` (insertion order = record order, so replaying the same
+/// stream always grows the catalog identically).
+Review WalRecordToReview(const WalRecord& record, AspectCatalog* catalog);
+
+/// Encodes one record payload (no frame header).
+std::string EncodeWalRecord(const WalRecord& record);
+
+/// Decodes one record payload. Typed failures: kParseError for
+/// truncated/garbage bytes or trailing garbage, kInvalidArgument for a
+/// version mismatch or an out-of-range polarity.
+Result<WalRecord> DecodeWalRecord(std::string_view payload);
+
+/// Appends `record` as a framed record (header + payload) to `out`.
+void AppendWalFrame(const WalRecord& record, std::string* out);
+
+/// Append-only log writer over a POSIX fd, fsync-batched.
+struct WalWriterOptions {
+  /// fsync after this many appended records (0 = only on Sync/Close).
+  size_t fsync_every = 32;
+};
+
+class WalWriter {
+ public:
+  /// Opens `path` for appending (created if absent).
+  static Result<WalWriter> Open(const std::string& path,
+                                WalWriterOptions options = {});
+
+  WalWriter() = default;
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// Appends one framed record; fsyncs when the batch quota is reached.
+  Status Append(const WalRecord& record);
+
+  /// Forces everything appended so far to stable storage.
+  Status Sync();
+
+  /// Sync + close. Idempotent; the destructor calls it (ignoring the
+  /// status) if the caller did not.
+  Status Close();
+
+  /// Records appended through this writer.
+  uint64_t records_appended() const { return records_appended_; }
+
+ private:
+  WalWriterOptions options_;
+  int fd_ = -1;
+  uint64_t records_appended_ = 0;
+  size_t unsynced_records_ = 0;
+};
+
+/// Outcome of replaying a log (or a suffix of one, for tailing).
+struct WalReplayResult {
+  /// The committed prefix, in append order.
+  std::vector<WalRecord> records;
+  /// Bytes consumed by complete, valid records. Tailing readers resume
+  /// from here; recovery truncates here.
+  uint64_t valid_bytes = 0;
+  /// Bytes past valid_bytes that did not form a complete valid record —
+  /// a torn tail after a crash, or a write still in flight when read.
+  uint64_t dropped_bytes = 0;
+};
+
+/// Replays `path` from byte `offset`, returning the longest committed
+/// prefix found there (see the recovery contract above). A missing file
+/// is kNotFound; a present-but-empty suffix replays to zero records.
+Result<WalReplayResult> ReplayWal(const std::string& path,
+                                  uint64_t offset = 0);
+
+}  // namespace comparesets

@@ -16,6 +16,7 @@ std::string RequestTrace::ToJson() const {
   object["request_id"] = static_cast<int64_t>(request_id);
   object["shard_id"] = static_cast<int64_t>(shard_id);
   object["corpus_epoch"] = static_cast<int64_t>(corpus_epoch);
+  object["ingest_records"] = static_cast<int64_t>(ingest_records);
   object["target_id"] = target_id;
   object["selector"] = selector;
   object["status"] = status;

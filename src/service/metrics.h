@@ -77,6 +77,11 @@ struct RequestTrace {
   /// by every (per-shard) SwapCorpus, so traces can be correlated with
   /// catalog swaps in the JSONL stream.
   uint64_t corpus_epoch = 0;
+  /// Cumulative streamed reviews delta-applied to this shard's engine
+  /// when the request resolved (service/ingest) — the freshness of the
+  /// snapshot the answer came from, correlatable with ingest batches
+  /// the same way corpus_epoch correlates with swaps.
+  uint64_t ingest_records = 0;
   std::string target_id;
   std::string selector;
   std::string status = "ok";     ///< StatusCodeName of the outcome.

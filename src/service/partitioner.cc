@@ -40,6 +40,23 @@ Result<std::vector<std::string>> CorpusPartitioner::ComputeBounds(
 Result<std::shared_ptr<const IndexedCorpus>> CorpusPartitioner::ExtractShard(
     const IndexedCorpus& full, const std::vector<std::string>& bounds,
     size_t shard_id) {
+  std::vector<std::vector<std::string>> instance_item_ids;
+  instance_item_ids.reserve(full.num_instances());
+  for (const ProblemInstance& instance : full.instances()) {
+    std::vector<std::string> item_ids;
+    item_ids.reserve(instance.items.size());
+    for (const Product* item : instance.items) item_ids.push_back(item->id);
+    instance_item_ids.push_back(std::move(item_ids));
+  }
+  return ExtractShardFromParts(full.corpus(), instance_item_ids, bounds,
+                               shard_id);
+}
+
+Result<std::shared_ptr<const IndexedCorpus>>
+CorpusPartitioner::ExtractShardFromParts(
+    const Corpus& full_corpus,
+    const std::vector<std::vector<std::string>>& instance_item_ids,
+    const std::vector<std::string>& bounds, size_t shard_id) {
   if (bounds.empty() || !bounds[0].empty()) {
     return Status::InvalidArgument(
         "bounds must be non-empty and start with the empty string");
@@ -58,30 +75,25 @@ Result<std::shared_ptr<const IndexedCorpus>> CorpusPartitioner::ExtractShard(
 
   // Slice the full corpus's enumeration and collect the product closure
   // in one pass (invariants 1 and 2 from the header).
-  std::vector<std::vector<std::string>> instance_item_ids;
+  std::vector<std::vector<std::string>> shard_instances;
   std::unordered_set<std::string> closure;
-  for (const ProblemInstance& instance : full.instances()) {
-    if (!spec.range.Contains(instance.target().id)) continue;
-    std::vector<std::string> item_ids;
-    item_ids.reserve(instance.items.size());
-    for (const Product* item : instance.items) {
-      item_ids.push_back(item->id);
-      closure.insert(item->id);
-    }
-    instance_item_ids.push_back(std::move(item_ids));
+  for (const std::vector<std::string>& item_ids : instance_item_ids) {
+    if (item_ids.empty() || !spec.range.Contains(item_ids[0])) continue;
+    for (const std::string& id : item_ids) closure.insert(id);
+    shard_instances.push_back(item_ids);
   }
 
   // Copy closure products in original corpus order: instance vectors
   // only depend on per-product content, but stable order keeps shard
   // corpora diffable and pointer-layout deterministic.
-  Corpus shard_corpus(full.corpus().name());
-  shard_corpus.catalog() = full.corpus().catalog();
-  for (const Product& product : full.corpus().products()) {
+  Corpus shard_corpus(full_corpus.name());
+  shard_corpus.catalog() = full_corpus.catalog();
+  for (const Product& product : full_corpus.products()) {
     if (closure.count(product.id) == 0) continue;
     COMPARESETS_RETURN_NOT_OK(shard_corpus.AddProduct(product));
   }
   return IndexedCorpus::BuildFromInstances(std::move(shard_corpus),
-                                           instance_item_ids, spec);
+                                           shard_instances, spec);
 }
 
 Result<std::vector<std::shared_ptr<const IndexedCorpus>>>

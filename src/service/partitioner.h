@@ -55,6 +55,18 @@ class CorpusPartitioner {
   /// today's engine.
   static Result<std::vector<std::shared_ptr<const IndexedCorpus>>> Partition(
       std::shared_ptr<const IndexedCorpus> full, size_t num_shards);
+
+  /// ExtractShard's core, on raw parts instead of a built IndexedCorpus:
+  /// `instance_item_ids` is the FULL corpus's enumeration as item-id
+  /// lists (target first), in enumeration order. This is the seam the
+  /// incremental ingestion builder (service/ingest/delta.h) shares with
+  /// ExtractShard, so a delta-built shard snapshot is constructed by the
+  /// very same code path a full re-extraction would take — which is what
+  /// makes the delta-vs-rebuild oracle hold by construction.
+  static Result<std::shared_ptr<const IndexedCorpus>> ExtractShardFromParts(
+      const Corpus& full_corpus,
+      const std::vector<std::vector<std::string>>& instance_item_ids,
+      const std::vector<std::string>& bounds, size_t shard_id);
 };
 
 }  // namespace comparesets

@@ -257,6 +257,35 @@ Status ShardRouter::SwapShardCorpus(
   return Status::OK();
 }
 
+Status ShardRouter::ApplyShardDelta(
+    size_t shard_id, std::shared_ptr<const IndexedCorpus> snapshot,
+    size_t reviews_added) {
+  if (shard_id >= engines_.size()) {
+    return Status::InvalidArgument("no shard " + std::to_string(shard_id));
+  }
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("ApplyShardDelta requires a snapshot");
+  }
+  std::lock_guard<std::mutex> lock(admin_mutex_);
+  // Same state machine as SwapShardCorpus: the shard answers
+  // kUnavailable for the (brief) publication window, and a failed apply
+  // keeps the previous state and snapshot.
+  int previous =
+      states_[shard_id].exchange(static_cast<int>(ShardState::kSwapping),
+                                 std::memory_order_acq_rel);
+  Status status =
+      engines_[shard_id]->ApplyCorpusDelta(std::move(snapshot), reviews_added);
+  if (!status.ok()) {
+    states_[shard_id].store(previous, std::memory_order_release);
+    metrics_.counter("router.shard_delta_failures").Increment();
+    return status;
+  }
+  states_[shard_id].store(static_cast<int>(ShardState::kServing),
+                          std::memory_order_release);
+  metrics_.counter("router.shard_deltas").Increment();
+  return Status::OK();
+}
+
 Status ShardRouter::SetShardState(size_t shard_id, ShardState state) {
   if (shard_id >= engines_.size()) {
     return Status::InvalidArgument("no shard " + std::to_string(shard_id));

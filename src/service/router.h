@@ -112,6 +112,19 @@ class ShardRouter {
   Status SwapShardCorpus(size_t shard_id,
                          std::shared_ptr<const IndexedCorpus> full_corpus);
 
+  /// Publishes an incrementally built shard snapshot from the streaming
+  /// ingestion path (service/ingest). Unlike SwapShardCorpus the
+  /// snapshot arrives already extracted — the DeltaCorpusBuilder built
+  /// it under the SAME partition bounds fixed at Create, through the
+  /// same ExtractShardFromParts seam the swap path uses — so this is
+  /// pure publication: the same kSwapping window, the same shard-local
+  /// epoch bump, every other shard's caches stay warm. `reviews_added`
+  /// flows into the engine's cumulative ingest counter (RequestTrace's
+  /// ingest_records).
+  Status ApplyShardDelta(size_t shard_id,
+                         std::shared_ptr<const IndexedCorpus> snapshot,
+                         size_t reviews_added);
+
   /// Marks a shard kDown / back to kServing (ops drills, tests).
   Status SetShardState(size_t shard_id, ShardState state);
 

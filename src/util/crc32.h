@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// guarding every WAL record frame (service/ingest/wal.h). Table-driven,
+// no hardware dependency, deterministic across platforms, so a log
+// written on one machine replays with identical verdicts on any other.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace comparesets {
+
+/// CRC-32 of `data`, optionally continuing from a previous value:
+/// Crc32(b, Crc32(a)) == Crc32(ab). The empty string maps to 0.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace comparesets

@@ -2,11 +2,14 @@
 # Full verification sweep: configure -> build -> ctest under both the
 # Release and the Sanitize (ASan + UBSan) configurations. The sanitize
 # pass runs the whole suite — including the thread-pool and
-# SelectionEngine tests — so data races' memory fallout and UB in the
-# concurrent paths fail loudly. It runs ctest twice: once with
-# COMPARESETS_KERNEL=scalar and once with =auto (the best SIMD target
-# the CPU supports), so the kernel-dispatch bit-identity contract is
-# re-proven under both targets on every sweep.
+# SelectionEngine tests, plus the streaming-ingestion suites
+# (service_ingest_wal_test's crash-recovery property sweeps and
+# service_ingest_delta_test's delta-vs-rebuild oracle) — so data
+# races' memory fallout and UB in the concurrent paths fail loudly.
+# It runs ctest twice: once with COMPARESETS_KERNEL=scalar and once
+# with =auto (the best SIMD target the CPU supports), so the
+# kernel-dispatch bit-identity contract is re-proven under both
+# targets on every sweep.
 #
 #   tools/check.sh            # both configurations + both integration legs
 #   tools/check.sh release    # just one

@@ -11,7 +11,8 @@
 //                       [--connect A1,A2,..] [--ready_timeout S]
 //                       [--min_tier exact|anytime|sampled] [--degrade]
 //                       [--sample_threshold N] [--sample_size N]
-//                       [--metrics_port P]
+//                       [--metrics_port P] [--ingest_log F]
+//                       [--ingest_batch N] [--ingest_interval_ms MS]
 //
 // Data source: either a synthetic category (--category Cellphone|Toy|
 // Clothing, --products N, --seed S) or Amazon-layout JSONL files
@@ -28,6 +29,12 @@
 // and asks each spawned child to shut down when done. Responses are
 // byte-identical to --transport local — the transport-oracle CI job
 // holds the two paths to the same output.
+//
+// --ingest_log tails a review WAL (service/ingest) on the local
+// transport: committed records are drained into per-shard delta
+// snapshots before the batch is answered (and, with
+// --ingest_interval_ms > 0, polled in the background while it runs),
+// so queries see reviews appended after the process started.
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -52,6 +59,7 @@
 #include "net/client.h"
 #include "opinion/vectors.h"
 #include "service/engine.h"
+#include "service/ingest/driver.h"
 #include "service/partitioner.h"
 #include "service/router.h"
 #include "service/rpc_router.h"
@@ -519,6 +527,11 @@ int RunServeRpc(const FlagParser& flags, const std::string& program_dir) {
                  "--metrics/--prometheus/--metrics_port/--trace_out are not "
                  "available over --transport rpc (remote registries)\n");
   }
+  if (!flags.GetString("ingest_log").empty()) {
+    std::fprintf(stderr,
+                 "--ingest_log is not available over --transport rpc (the "
+                 "delta builder lives in the serving process)\n");
+  }
   if (!pids.empty()) TearDownFleet(pids, addresses);
   return failed == 0 ? 0 : 1;
 }
@@ -533,6 +546,12 @@ int RunServe(const FlagParser& flags, const std::string& program_dir) {
 
   auto corpus = LoadData(flags);
   corpus.status().CheckOK();
+  // The ingestion driver's delta builder needs its own copy of the base
+  // corpus (the identical one the router's snapshots are built from) —
+  // take it before the move into the index build.
+  const std::string& ingest_log = flags.GetString("ingest_log");
+  Corpus ingest_base;
+  if (!ingest_log.empty()) ingest_base = corpus.value();
   auto indexed = IndexedCorpus::Build(std::move(corpus).value());
   indexed.status().CheckOK();
 
@@ -570,6 +589,20 @@ int RunServe(const FlagParser& flags, const std::string& program_dir) {
     std::printf("METRICS LISTENING %s\n", metrics_http.bound_address().c_str());
   }
 
+  std::unique_ptr<IngestDriver> ingest;
+  if (!ingest_log.empty()) {
+    IngestDriverOptions ingest_options;
+    ingest_options.wal_path = ingest_log;
+    ingest_options.batch_size =
+        static_cast<size_t>(flags.GetInt("ingest_batch"));
+    ingest_options.interval_ms =
+        static_cast<uint64_t>(flags.GetInt("ingest_interval_ms"));
+    auto driver = IngestDriver::Create(std::move(ingest_base),
+                                       router.value().get(), ingest_options);
+    driver.status().CheckOK();
+    ingest = std::move(driver).value();
+  }
+
   std::vector<SelectRequest> requests;
   int read_rc = ReadServeRequests(flags, &requests);
   if (read_rc != 0) return read_rc;
@@ -578,10 +611,32 @@ int RunServe(const FlagParser& flags, const std::string& program_dir) {
     return 0;
   }
 
+  if (ingest != nullptr) {
+    // Synchronous pre-query drain: everything committed to the WAL
+    // before this point is served to the batch. The background poller
+    // (if enabled) only starts afterwards so the two never overlap.
+    auto drained = ingest->DrainOnce();
+    drained.status().CheckOK();
+    std::printf("INGEST drained %zu records in %zu batches from %s\n",
+                drained.value().records_applied, drained.value().batches,
+                ingest_log.c_str());
+    if (flags.GetInt("ingest_interval_ms") > 0) ingest->Start();
+  }
+
   std::vector<Result<SelectResponse>> responses =
       router.value()->SelectBatch(requests);
   size_t failed = PrintServeResponses(requests, responses,
                                       router.value()->num_shards());
+  if (ingest != nullptr) {
+    ingest->Stop();
+    IngestDrainStats totals = ingest->TotalStats();
+    std::printf(
+        "INGEST total applied=%zu dropped=%zu batches=%zu "
+        "shards_touched=%zu bytes=%llu\n",
+        totals.records_applied, totals.records_dropped, totals.batches,
+        totals.shards_touched,
+        static_cast<unsigned long long>(totals.bytes_consumed));
+  }
   if (metrics_port >= 0) {
     auto scraped = ScrapeMetricsOnce(metrics_http.bound_address());
     scraped.status().CheckOK();
@@ -699,6 +754,14 @@ int main(int argc, char** argv) {
   flags.AddInt("metrics_port", -1,
                "serve /metrics over HTTP on 127.0.0.1:PORT during the"
                " batch (0 = ephemeral port, -1 = off)");
+  flags.AddString("ingest_log", "",
+                  "review WAL to tail into delta corpus snapshots before"
+                  " (and during) the serve batch (--transport local only)");
+  flags.AddInt("ingest_batch", 64,
+               "WAL records folded into one delta batch");
+  flags.AddInt("ingest_interval_ms", 0,
+               "background WAL poll interval while the batch runs"
+               " (0 = drain once before answering)");
 
   Status parsed = flags.Parse(argc - 1, argv + 1);
   if (!parsed.ok()) {
