@@ -1,0 +1,335 @@
+// Serving-layer benchmark: open-loop service workload replay. Unlike
+// service_overload's single closed burst, this bench drives a
+// SelectionEngine the way production traffic arrives — on a CLOCK, not
+// on completion:
+//
+//   * Arrivals follow a Poisson-burst process: exponential inter-burst
+//     gaps at the offered rate, each burst carrying a geometric number
+//     of back-to-back arrivals (bursty, like real query logs).
+//   * Target popularity is Zipfian (s = 1.0) over the instance targets,
+//     so a handful of hot products dominate — the cache-friendly,
+//     contention-heavy shape real catalogs have.
+//   * Traffic is mixed: ~70% lone interactive Selects, ~30% background
+//     batches of 4–8 requests submitted at kBatch priority.
+//
+// The schedule (arrival times, targets, kinds) is precomputed from the
+// seed, so every offered-load step replays the identical trace. Because
+// the loop never waits for responses, queueing delay shows up in the
+// measured latency exactly as a caller would feel it: the sweep locates
+// the saturation knee where p99 departs from the service time.
+//
+//   service_workload [--products N] [--instances N] [--seed S]
+//                    [--threads T] [--max_in_flight M] [--duration_s D]
+//                    [--rates R1,R2,..] [--slo_ms MS] [--outdir DIR]
+//
+// Per offered load, per class: p50/p95/p99 latency, degraded and shed
+// counts. JSON to <outdir>/service_workload.json (StampMachine'd — on
+// a 1-core container the knee sits at a far lower rate than on real
+// serving hardware; see EXPERIMENTS.md).
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "bench_common.h"
+#include "service/slo_controller.h"
+#include "util/jsonl.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace comparesets;
+using namespace comparesets::bench;
+
+namespace {
+
+struct Arrival {
+  double at_seconds = 0.0;
+  bool batch = false;
+  /// Instance indices: one for a lone Select, 4–8 for a batch.
+  std::vector<size_t> targets;
+};
+
+/// Zipfian sampler over [0, n): P(i) ∝ 1/(i+1)^s, via inverse CDF.
+class Zipf {
+ public:
+  Zipf(size_t n, double s) : cdf_(n) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+  size_t Sample(Rng* rng) const {
+    double u = rng->UniformDouble();
+    return static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Precomputes one open-loop trace: Poisson bursts at `rate` arrivals
+/// per second for `duration` seconds, Zipfian targets, 30% batch kind.
+std::vector<Arrival> BuildSchedule(double rate, double duration,
+                                   size_t num_instances, uint64_t seed) {
+  Rng rng(seed, /*stream=*/99);
+  Zipf zipf(num_instances, 1.0);
+  std::vector<Arrival> schedule;
+  double now = 0.0;
+  while (true) {
+    // Exponential inter-burst gap sized so the long-run arrival rate
+    // (bursts × mean burst size) matches the offered rate.
+    const double mean_burst = 2.0;
+    double gap = -std::log(1.0 - rng.UniformDouble()) * mean_burst / rate;
+    now += gap;
+    if (now >= duration) break;
+    // Geometric burst size, mean 2 (p = 1/2): 1 + failures before success.
+    size_t burst = 1;
+    while (rng.Bernoulli(0.5) && burst < 8) ++burst;
+    for (size_t b = 0; b < burst; ++b) {
+      Arrival arrival;
+      arrival.at_seconds = now;
+      arrival.batch = rng.Bernoulli(0.3);
+      size_t width = arrival.batch ? static_cast<size_t>(rng.UniformInt(4, 8))
+                                   : 1;
+      for (size_t i = 0; i < width; ++i) {
+        arrival.targets.push_back(zipf.Sample(&rng));
+      }
+      schedule.push_back(std::move(arrival));
+    }
+  }
+  return schedule;
+}
+
+struct ClassStats {
+  std::vector<double> latencies_s;
+  size_t sent = 0;
+  size_t ok = 0;
+  size_t degraded = 0;
+  size_t shed = 0;  ///< kResourceExhausted refusals.
+};
+
+struct LoadResult {
+  double offered_rate = 0.0;
+  double achieved_rate = 0.0;
+  double wall_s = 0.0;
+  uint64_t slo_sheds = 0;
+  ClassStats interactive;
+  ClassStats batch;
+};
+
+double PercentileMs(std::vector<double> seconds, double p) {
+  if (seconds.empty()) return 0.0;
+  std::sort(seconds.begin(), seconds.end());
+  size_t rank = static_cast<size_t>(p * static_cast<double>(seconds.size()));
+  rank = std::min(rank, seconds.size() - 1);
+  return 1000.0 * seconds[rank];
+}
+
+LoadResult ReplayLoad(const std::vector<Arrival>& schedule, double rate,
+                      const std::shared_ptr<const IndexedCorpus>& corpus,
+                      size_t threads, size_t max_in_flight, double slo_ms) {
+  EngineOptions options;
+  options.threads = threads;
+  options.min_quality_tier = QualityTier::kExact;
+  options.cache_capacity = corpus->num_instances();
+  options.result_capacity = 0;  // Every arrival must really solve.
+  options.measure_alignment = false;
+  options.max_in_flight = max_in_flight;
+  options.max_queue = 64;
+  options.max_batch_queue = 16;  // Batch waits less, sheds first.
+  options.trace_capacity = 0;
+  SelectionEngine engine(corpus, options);
+
+  std::unique_ptr<SloController> slo;
+  if (slo_ms > 0.0) {
+    SloControllerOptions slo_options;
+    slo_options.slo_seconds = slo_ms / 1000.0;
+    slo_options.interval_ms = 20;
+    slo = std::make_unique<SloController>(slo_options, engine.pipeline(),
+                                          std::vector<SelectionEngine*>{
+                                              &engine});
+    slo->Start();
+  }
+
+  LoadResult result;
+  result.offered_rate = rate;
+  std::mutex stats_mutex;
+  std::vector<std::thread> in_flight;
+  in_flight.reserve(schedule.size());
+
+  const auto& instances = corpus->instances();
+  Timer wall;
+  for (const Arrival& arrival : schedule) {
+    // Open loop: wait for the scheduled arrival time, never for any
+    // earlier response.
+    double lead = arrival.at_seconds - wall.ElapsedSeconds();
+    if (lead > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(lead));
+    }
+    in_flight.emplace_back([&, arrival] {
+      std::vector<SelectRequest> requests;
+      requests.reserve(arrival.targets.size());
+      for (size_t target : arrival.targets) {
+        SelectRequest request;
+        request.target_id = instances[target].target().id;
+        request.selector = "CompaReSetS";
+        request.priority = arrival.batch ? RequestPriority::kBatch
+                                         : RequestPriority::kInteractive;
+        requests.push_back(std::move(request));
+      }
+      Timer latency;
+      std::vector<Result<SelectResponse>> responses;
+      if (arrival.batch) {
+        responses = engine.SelectBatch(requests);
+      } else {
+        responses.push_back(engine.Select(requests[0]));
+      }
+      double elapsed = latency.ElapsedSeconds();
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      ClassStats& stats = arrival.batch ? result.batch : result.interactive;
+      // One caller-visible latency per arrival (a batch caller waits
+      // for its whole batch).
+      stats.latencies_s.push_back(elapsed);
+      for (const auto& response : responses) {
+        ++stats.sent;
+        if (response.ok()) {
+          ++stats.ok;
+          if (response.value().tier != QualityTier::kExact) ++stats.degraded;
+        } else if (response.status().code() ==
+                   StatusCode::kResourceExhausted) {
+          ++stats.shed;
+        }
+      }
+    });
+  }
+  for (std::thread& t : in_flight) t.join();
+  result.wall_s = wall.ElapsedSeconds();
+  if (slo != nullptr) {
+    slo->Stop();
+    result.slo_sheds = slo->sheds();
+  }
+  size_t total_sent = result.interactive.sent + result.batch.sent;
+  result.achieved_rate =
+      result.wall_s > 0.0 ? static_cast<double>(total_sent) / result.wall_s
+                          : 0.0;
+  return result;
+}
+
+void PrintClass(const char* name, const ClassStats& stats) {
+  std::printf(
+      "    %-11s sent %4zu  ok %4zu  degraded %3zu  shed %3zu  "
+      "p50 %8.2f ms  p95 %8.2f ms  p99 %8.2f ms\n",
+      name, stats.sent, stats.ok, stats.degraded, stats.shed,
+      PercentileMs(stats.latencies_s, 0.50),
+      PercentileMs(stats.latencies_s, 0.95),
+      PercentileMs(stats.latencies_s, 0.99));
+}
+
+JsonValue ToJson(const LoadResult& r);
+
+JsonValue ClassJson(const ClassStats& stats) {
+  JsonValue::Object object;
+  object["sent"] = static_cast<int64_t>(stats.sent);
+  object["ok"] = static_cast<int64_t>(stats.ok);
+  object["degraded"] = static_cast<int64_t>(stats.degraded);
+  object["shed"] = static_cast<int64_t>(stats.shed);
+  object["p50_ms"] = PercentileMs(stats.latencies_s, 0.50);
+  object["p95_ms"] = PercentileMs(stats.latencies_s, 0.95);
+  object["p99_ms"] = PercentileMs(stats.latencies_s, 0.99);
+  return JsonValue(std::move(object));
+}
+
+JsonValue ToJson(const LoadResult& r) {
+  JsonValue::Object object;
+  object["offered_rate"] = r.offered_rate;
+  object["achieved_rate"] = r.achieved_rate;
+  object["wall_s"] = r.wall_s;
+  object["slo_sheds"] = static_cast<int64_t>(r.slo_sheds);
+  object["interactive"] = ClassJson(r.interactive);
+  object["batch"] = ClassJson(r.batch);
+  return JsonValue(std::move(object));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  FlagParser flags;
+  BenchArgs args = ParseBenchArgs(
+      argc, argv,
+      [](FlagParser* f) {
+        f->AddInt("threads", 4, "engine worker threads");
+        f->AddInt("max_in_flight", 2, "admission limit on solves");
+        f->AddDouble("duration_s", 2.0, "replay length per offered load");
+        f->AddString("rates", "5,10,20,40",
+                     "offered loads to sweep (arrivals/second, comma-"
+                     "separated)");
+        f->AddDouble("slo_ms", 0.0,
+                     "run the SLO shedding loop at this p99 target "
+                     "(0 = off)");
+      },
+      &flags);
+  if (args.help) return 0;
+
+  PrintTitle("Serving layer: open-loop workload replay (latency vs load)");
+
+  std::shared_ptr<const IndexedCorpus> corpus =
+      BuildEngineCorpus(args, "Cellphone");
+  size_t threads = static_cast<size_t>(flags.GetInt("threads"));
+  size_t max_in_flight = static_cast<size_t>(flags.GetInt("max_in_flight"));
+  double duration = flags.GetDouble("duration_s");
+  double slo_ms = flags.GetDouble("slo_ms");
+  size_t num_instances = std::min(corpus->num_instances(), args.instances);
+
+  std::printf(
+      "\n%zu products, %zu targets (Zipf s=1.0), %zu workers, "
+      "in_flight=%zu, %.1fs per load, slo=%.0fms\n\n",
+      corpus->corpus().num_products(), num_instances, threads, max_in_flight,
+      duration, slo_ms);
+
+  std::vector<LoadResult> results;
+  for (const std::string& rate_text : Split(flags.GetString("rates"), ',')) {
+    double rate = std::atof(rate_text.c_str());
+    if (rate <= 0.0) continue;
+    std::vector<Arrival> schedule =
+        BuildSchedule(rate, duration, num_instances, args.seed);
+    LoadResult result = ReplayLoad(schedule, rate, corpus, threads,
+                                   max_in_flight, slo_ms);
+    std::printf("  offered %6.1f/s  achieved %6.1f/s  wall %5.2f s  "
+                "slo_sheds %llu\n",
+                result.offered_rate, result.achieved_rate, result.wall_s,
+                static_cast<unsigned long long>(result.slo_sheds));
+    PrintClass("interactive", result.interactive);
+    PrintClass("batch", result.batch);
+    results.push_back(std::move(result));
+  }
+
+  JsonValue::Array loads;
+  for (const LoadResult& r : results) loads.push_back(ToJson(r));
+  JsonValue::Object doc;
+  doc["bench"] = "service_workload";
+  doc["products"] = static_cast<int64_t>(args.products);
+  doc["targets"] = static_cast<int64_t>(num_instances);
+  doc["threads"] = static_cast<int64_t>(threads);
+  doc["max_in_flight"] = static_cast<int64_t>(max_in_flight);
+  doc["duration_s"] = duration;
+  doc["slo_ms"] = slo_ms;
+  StampMachine(&doc);
+  doc["loads"] = JsonValue(std::move(loads));
+
+  ::mkdir(args.outdir.c_str(), 0755);
+  std::string path = args.outdir + "/service_workload.json";
+  std::ofstream out(path);
+  if (out) {
+    out << JsonValue(std::move(doc)).Dump() << "\n";
+    std::printf("\n[json written to %s]\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+  }
+  return 0;
+}

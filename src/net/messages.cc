@@ -35,6 +35,18 @@ Result<QualityTier> ReadTier(WireReader* reader) {
   return static_cast<QualityTier>(raw);
 }
 
+// RequestPriority travels as its u8 value, range-checked like the
+// quality tier so a corrupted byte cannot smuggle an out-of-range
+// scheduling class into the engine.
+Result<RequestPriority> ReadPriority(WireReader* reader) {
+  COMPARESETS_ASSIGN_OR_RETURN(uint8_t raw, reader->ReadU8());
+  if (raw > static_cast<uint8_t>(RequestPriority::kBatch)) {
+    return Status::ParseError("unknown request priority on the wire: " +
+                              std::to_string(raw));
+  }
+  return static_cast<RequestPriority>(raw);
+}
+
 void EncodeSelectorOptionsTo(const SelectorOptions& options,
                              WireWriter* writer) {
   writer->WriteU64(options.m);
@@ -102,6 +114,7 @@ void EncodeTraceTo(const RequestTrace& trace, WireWriter* writer) {
   writer->WriteString(trace.status);
   writer->WriteString(trace.tier);
   writer->WriteDouble(trace.objective_gap);
+  writer->WriteString(trace.priority);  // v4
   writer->WriteI32(trace.attempts);
   writer->WriteBool(trace.cache_hit);
   writer->WriteBool(trace.result_cache_hit);
@@ -131,6 +144,7 @@ Status DecodeTraceFrom(WireReader* reader, RequestTrace* trace) {
   COMPARESETS_ASSIGN_OR_RETURN(trace->status, reader->ReadString());
   COMPARESETS_ASSIGN_OR_RETURN(trace->tier, reader->ReadString());
   COMPARESETS_ASSIGN_OR_RETURN(trace->objective_gap, reader->ReadDouble());
+  COMPARESETS_ASSIGN_OR_RETURN(trace->priority, reader->ReadString());
   COMPARESETS_ASSIGN_OR_RETURN(trace->attempts, reader->ReadI32());
   COMPARESETS_ASSIGN_OR_RETURN(trace->cache_hit, reader->ReadBool());
   COMPARESETS_ASSIGN_OR_RETURN(trace->result_cache_hit, reader->ReadBool());
@@ -167,6 +181,7 @@ void EncodeSelectRequestTo(const SelectRequest& request, WireWriter* writer) {
   writer->WriteString(request.selector);
   EncodeSelectorOptionsTo(request.options, writer);
   writer->WriteDouble(request.deadline_seconds);
+  writer->WriteU8(static_cast<uint8_t>(request.priority));  // v4
 }
 
 Status DecodeSelectRequestFrom(WireReader* reader, SelectRequest* request) {
@@ -184,6 +199,7 @@ Status DecodeSelectRequestFrom(WireReader* reader, SelectRequest* request) {
       DecodeSelectorOptionsFrom(reader, &request->options));
   COMPARESETS_ASSIGN_OR_RETURN(request->deadline_seconds,
                                reader->ReadDouble());
+  COMPARESETS_ASSIGN_OR_RETURN(request->priority, ReadPriority(reader));
   request->cancel = nullptr;  // Process-local; never on the wire.
   return Status::OK();
 }

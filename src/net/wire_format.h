@@ -44,7 +44,10 @@ namespace comparesets {
 ///       gained tier + objective_gap.
 ///   v3: streaming ingestion — RequestTrace gained ingest_records (the
 ///       shard snapshot's cumulative delta-applied review count).
-inline constexpr uint16_t kWireVersion = 3;
+///   v4: request priority — SelectRequest gained a priority class
+///       (interactive/batch, u8) and RequestTrace gained the effective
+///       priority string.
+inline constexpr uint16_t kWireVersion = 4;
 
 /// Frame header magic: "CSRP" (CompareSets RPc).
 inline constexpr uint8_t kFrameMagic[4] = {'C', 'S', 'R', 'P'};

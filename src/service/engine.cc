@@ -43,9 +43,10 @@ std::string ExactDouble(double value) {
 /// and EVERY SelectorOptions field — a field added to SelectorOptions
 /// must be appended here, or the memo would serve stale responses for
 /// requests differing only in that field. (deadline_seconds / cancel /
-/// options.parallel are runtime controls, not options: they never change
-/// a completed solve's answer — parallel solves are bit-identical to
-/// serial — so they are deliberately left out.)
+/// priority / options.parallel are runtime controls, not options: they
+/// never change a completed solve's answer — parallel solves are
+/// bit-identical to serial, and priority only reorders scheduling — so
+/// they are deliberately left out.)
 std::string ResultKey(const std::string& prepare_key,
                       const SelectRequest& request) {
   std::string key = prepare_key;
@@ -86,11 +87,20 @@ SelectionEngine::SelectionEngine(std::shared_ptr<const IndexedCorpus> corpus,
     PipelineOptions pipeline_options;
     pipeline_options.max_in_flight = options_.max_in_flight;
     pipeline_options.max_queue = options_.max_queue;
+    pipeline_options.max_batch_queue = options_.max_batch_queue;
     pipeline_options.max_attempts = options_.max_attempts;
     pipeline_options.retry_backoff_seconds = options_.retry_backoff_seconds;
     options_.pipeline = std::make_shared<RequestPipeline>(pipeline_options);
   }
+  quality_floor_.store(static_cast<int>(options_.min_quality_tier),
+                       std::memory_order_relaxed);
   metrics_.SetTraceCapacity(options_.trace_capacity);
+}
+
+void SelectionEngine::SetQualityFloor(QualityTier floor, bool slo_driven) {
+  quality_floor_.store(static_cast<int>(floor), std::memory_order_relaxed);
+  slo_shedding_.store(slo_driven, std::memory_order_relaxed);
+  metrics_.SetGauge("engine.slo_shedding", slo_driven ? 1.0 : 0.0);
 }
 
 std::shared_ptr<const IndexedCorpus> SelectionEngine::corpus() const {
@@ -279,7 +289,7 @@ Result<SelectResponse> SelectionEngine::SelectAttempt(
   SelectorOptions solve_options = request.options;
   solve_options.parallel = parallel;
   solve_options.min_tier =
-      LooserTier(request.options.min_tier, options_.min_quality_tier);
+      LooserTier(request.options.min_tier, quality_floor());
   Timer solve_timer;
   auto solved =
       selector.value()->SelectTiered(bundle.vectors, solve_options, &control);
@@ -402,13 +412,18 @@ Status SelectionEngine::FinishError(RequestTrace trace, Status status,
 Result<SelectResponse> SelectionEngine::Select(
     const SelectRequest& request) const {
   // A lone request gets the whole pool for its internal fan-out,
-  // capped by max_intra_request_threads (docs/execution-model.md).
+  // capped by max_intra_request_threads (docs/execution-model.md), and
+  // keeps its own priority class (interactive by default).
   return SelectWithParallel(
-      request, ParallelContext{&pool_, options_.max_intra_request_threads});
+      request,
+      ParallelContext{&pool_, options_.max_intra_request_threads,
+                      request.priority},
+      request.priority);
 }
 
 Result<SelectResponse> SelectionEngine::SelectWithParallel(
-    const SelectRequest& request, const ParallelContext& parallel) const {
+    const SelectRequest& request, const ParallelContext& parallel,
+    RequestPriority priority) const {
   metrics_.counter("engine.requests").Increment();
   Timer total;
 
@@ -417,6 +432,7 @@ Result<SelectResponse> SelectionEngine::SelectWithParallel(
   trace.shard_id = options_.shard_id;
   trace.target_id = request.target_id;
   trace.selector = request.selector;
+  trace.priority = RequestPriorityName(priority);
 
   Deadline deadline(request.deadline_seconds);
   std::atomic<uint64_t> iterations{0};
@@ -519,25 +535,35 @@ Result<SelectResponse> SelectionEngine::SelectWithParallel(
   RequestPipeline::Slot slot;
   if (pipeline.throttled()) {
     Timer queue_timer;
-    Status admitted = pipeline.Admit(deadline, request.cancel);
+    Status admitted = pipeline.Admit(deadline, request.cancel, priority);
     trace.queue_seconds = queue_timer.ElapsedSeconds();
     metrics_.histogram("engine.queue_seconds").Observe(trace.queue_seconds);
     if (!admitted.ok()) {
+      if (admitted.code() == StatusCode::kResourceExhausted &&
+          priority == RequestPriority::kBatch) {
+        // Batch sheds first: count its refusals separately so the SLO
+        // controller's shrinking of the batch budget is observable.
+        metrics_.counter("pipeline.batch_shed").Increment();
+      }
       // Overload degradation: a full pipeline used to mean rejection.
       // When the effective floor admits kAnytime, answer with a greedy
       // solve instead — run WITHOUT a slot, because the greedy pass is
       // far cheaper than the exact path the slots were sized for, and
       // queueing it behind the very overload it is escaping would defeat
       // the point. Any failure inside the degraded attempt reports the
-      // original rejection, the honest cause.
+      // original rejection, the honest cause. The floor is the DYNAMIC
+      // one: the SloController may have loosened it under SLO pressure.
       QualityTier floor =
-          LooserTier(request.options.min_tier, options_.min_quality_tier);
+          LooserTier(request.options.min_tier, quality_floor());
       if (admitted.code() == StatusCode::kResourceExhausted &&
           floor != QualityTier::kExact) {
         auto degraded = DegradedAttempt(request, corpus, prepare_key,
                                         control, parallel, &trace);
         if (degraded.ok()) {
           metrics_.counter("engine.degraded").Increment();
+          if (slo_shedding_.load(std::memory_order_relaxed)) {
+            metrics_.counter("engine.slo_degrades").Increment();
+          }
           return finish_ok(std::move(degraded).value());
         }
       }
@@ -609,9 +635,15 @@ void SelectionEngine::RunWindow(
     std::vector<std::optional<Result<SelectResponse>>>* slots) const {
   if (pool_.num_threads() <= 1) {
     // Same inline in-order contract as an unwindowed single-threaded
-    // batch (see SelectBatch).
+    // batch (see SelectBatch), under the batch-demoted priority.
     for (size_t i = begin; i < end; ++i) {
-      (*slots)[i] = Select(requests[i]);
+      RequestPriority effective =
+          DemotePriority(requests[i].priority, options_.batch_priority);
+      (*slots)[i] = SelectWithParallel(
+          requests[i],
+          ParallelContext{&pool_, options_.max_intra_request_threads,
+                          effective},
+          effective);
     }
     return;
   }
@@ -641,11 +673,17 @@ void SelectionEngine::RunWindow(
       groups[it->second].push_back(i);
     }
   }
-  pool_.ParallelFor(groups.size(), [&](size_t g) {
-    for (size_t i : groups[g]) {
-      (*slots)[i] = SelectWithParallel(requests[i], ParallelContext{});
-    }
-  });
+  pool_.ParallelFor(
+      groups.size(),
+      [&](size_t g) {
+        for (size_t i : groups[g]) {
+          RequestPriority effective =
+              DemotePriority(requests[i].priority, options_.batch_priority);
+          (*slots)[i] = SelectWithParallel(
+              requests[i], ParallelContext{nullptr, 0, effective}, effective);
+        }
+      },
+      0, options_.batch_priority);
 }
 
 std::vector<Result<SelectResponse>> SelectionEngine::SelectBatch(
@@ -674,18 +712,33 @@ std::vector<Result<SelectResponse>> SelectionEngine::SelectBatch(
     // serial in-order batches (so e.g. a repeated target is guaranteed to
     // warm-hit the vector cache) — run inline instead. The requests run
     // one at a time, so each may still lend the (idle) pool to its
-    // internal fan-out, exactly like a lone Select.
+    // internal fan-out, exactly like a lone Select — but under the
+    // batch-demoted priority class.
     for (size_t i = 0; i < requests.size(); ++i) {
-      slots[i] = Select(requests[i]);
+      RequestPriority effective =
+          DemotePriority(requests[i].priority, options_.batch_priority);
+      slots[i] = SelectWithParallel(
+          requests[i],
+          ParallelContext{&pool_, options_.max_intra_request_threads,
+                          effective},
+          effective);
     }
   } else {
     // Nesting rule: the batch fan-out owns the pool, so the requests
     // inside it solve with an empty context (intra-request fan-out from
     // a pool worker would deadlock-prone re-enter the pool for no
-    // gain — the workers are already busy with sibling requests).
-    pool_.ParallelFor(requests.size(), [&](size_t i) {
-      slots[i] = SelectWithParallel(requests[i], ParallelContext{});
-    });
+    // gain — the workers are already busy with sibling requests). The
+    // fan-out tasks themselves run in the batch class, so a concurrent
+    // interactive Select's helpers jump ahead of them in the deques.
+    pool_.ParallelFor(
+        requests.size(),
+        [&](size_t i) {
+          RequestPriority effective =
+              DemotePriority(requests[i].priority, options_.batch_priority);
+          slots[i] = SelectWithParallel(
+              requests[i], ParallelContext{nullptr, 0, effective}, effective);
+        },
+        0, options_.batch_priority);
   }
 
   std::vector<Result<SelectResponse>> responses;

@@ -87,9 +87,20 @@ struct EngineOptions {
   /// Excess requests wait in the admission queue. Ignored when an
   /// external `pipeline` is supplied — the pipeline's options rule.
   size_t max_in_flight = 0;
-  /// Waiting slots beyond max_in_flight. A request arriving when the
-  /// queue is full is refused with kResourceExhausted.
+  /// Waiting slots beyond max_in_flight for interactive requests. A
+  /// request arriving when its class's queue is full is refused with
+  /// kResourceExhausted.
   size_t max_queue = 64;
+  /// Waiting slots for batch-priority requests (0 = same as max_queue).
+  /// Batch sheds first: this budget is separate from the interactive
+  /// one and is the lever the SloController shrinks under SLO pressure.
+  size_t max_batch_queue = 0;
+  /// Scheduling class SelectBatch demotes its sub-requests to (each
+  /// sub-request's effective priority is the more-batch of its own and
+  /// this). kBatch (default) keeps background batches out of the way
+  /// of interactive lone Selects; kInteractive restores the pre-
+  /// priority FIFO behaviour where batches compete head-on.
+  RequestPriority batch_priority = RequestPriority::kBatch;
   /// Attempts per request for *transient* failures (injected faults,
   /// cache backend errors). 1 = no retries. Non-transient failures
   /// (bad ids, deadline, cancellation) are never retried.
@@ -156,6 +167,13 @@ struct SelectRequest {
   /// Cooperative cancellation (nullptr: not cancellable). Checked at
   /// the same iteration boundaries as the deadline; also runtime-only.
   const CancelToken* cancel = nullptr;
+  /// Scheduling class of this request: admission budget, queue
+  /// precedence, and intra-request fan-out class all follow it. A
+  /// SelectBatch demotes its sub-requests by EngineOptions::
+  /// batch_priority (never promotes). Runtime control only — like the
+  /// deadline it is deliberately NOT part of the result-memo key,
+  /// since it never changes what a completed solve returns.
+  RequestPriority priority = RequestPriority::kInteractive;
 };
 
 struct SelectResponse {
@@ -258,6 +276,23 @@ class SelectionEngine {
   const EngineOptions& options() const { return options_; }
   VectorCacheStats CacheStats() const { return cache_.Stats(); }
 
+  /// The engine-wide degradation floor currently in force:
+  /// options().min_quality_tier unless the SLO controller loosened it.
+  QualityTier quality_floor() const {
+    return static_cast<QualityTier>(
+        quality_floor_.load(std::memory_order_relaxed));
+  }
+
+  /// Adjusts the degradation floor at runtime — the SloController's
+  /// shedding lever. `slo_driven` marks whether the new floor is SLO
+  /// pressure (degrades count into `engine.slo_degrades` and the
+  /// `engine.slo_shedding` gauge flips) or a restore of the configured
+  /// policy. Requests already past their floor check are unaffected.
+  void SetQualityFloor(QualityTier floor, bool slo_driven);
+
+  /// The admission pipeline this engine uses (private or shared).
+  RequestPipeline* pipeline() const { return options_.pipeline.get(); }
+
   /// Text dump of counters/gauges/histograms (cache stats refreshed).
   std::string DumpMetrics() const;
 
@@ -289,9 +324,12 @@ class SelectionEngine {
  private:
   /// Select with an explicit intra-request context — the single place
   /// the nesting rule is decided: Select passes the pool, a pooled
-  /// SelectBatch passes an empty context.
+  /// SelectBatch passes an empty context. `priority` is the request's
+  /// EFFECTIVE class (after any batch demotion): it picks the admission
+  /// budget and is stamped into the trace.
   Result<SelectResponse> SelectWithParallel(
-      const SelectRequest& request, const ParallelContext& parallel) const;
+      const SelectRequest& request, const ParallelContext& parallel,
+      RequestPriority priority) const;
 
   /// One try of the prepare → solve → memo pipeline (everything past
   /// admission and the memo lookup). Transient failures bubble up for
@@ -374,6 +412,11 @@ class SelectionEngine {
       result_index_;
 
   mutable std::atomic<uint64_t> next_request_id_{0};
+  /// Degradation floor currently in force (QualityTier as int, so the
+  /// SLO controller can move it without a lock) + whether the current
+  /// value is SLO-driven shedding rather than configured policy.
+  std::atomic<int> quality_floor_{static_cast<int>(QualityTier::kExact)};
+  std::atomic<bool> slo_shedding_{false};
   mutable MetricsRegistry metrics_;
   mutable ThreadPool pool_;
 };

@@ -22,6 +22,7 @@ std::string RequestTrace::ToJson() const {
   object["status"] = status;
   object["tier"] = tier;
   object["objective_gap"] = objective_gap;
+  object["priority"] = priority;
   object["attempts"] = attempts;
   object["cache_hit"] = cache_hit;
   object["result_cache_hit"] = result_cache_hit;

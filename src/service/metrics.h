@@ -91,6 +91,10 @@ struct RequestTrace {
   std::string tier = "exact";
   /// The response's objective-gap bound (0 unless tier is "sampled").
   double objective_gap = 0.0;
+  /// RequestPriorityName of the request's EFFECTIVE scheduling class
+  /// ("interactive" / "batch") — after any batch demotion, so a trace
+  /// shows the class the admission queue and scheduler actually used.
+  std::string priority = "interactive";
   int attempts = 1;              ///< 1 + transient-fault retries.
   bool cache_hit = false;        ///< Prepared vectors served warm.
   bool result_cache_hit = false; ///< Whole response from the memo.

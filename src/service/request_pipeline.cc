@@ -14,29 +14,44 @@ Status CheckLive(const ExecControl& control, const char* where) {
 }
 
 RequestPipeline::RequestPipeline(PipelineOptions options)
-    : options_(options) {}
+    : options_(options) {
+  batch_queue_limit_.store(configured_batch_queue(),
+                           std::memory_order_relaxed);
+}
 
 Status RequestPipeline::Admit(const Deadline& deadline,
-                              const CancelToken* cancel) {
+                              const CancelToken* cancel,
+                              RequestPriority priority) {
   if (options_.max_in_flight == 0) return Status::OK();
+  const bool batch = priority == RequestPriority::kBatch;
+  const size_t cls = static_cast<size_t>(priority);
+  const size_t interactive =
+      static_cast<size_t>(RequestPriority::kInteractive);
   std::unique_lock<std::mutex> lock(mutex_);
-  if (in_flight_ < options_.max_in_flight) {
+  // A batch request never takes a freed slot past a waiting interactive
+  // request — the admission-level mirror of the scheduler's priority
+  // contract.
+  if (in_flight_ < options_.max_in_flight &&
+      (!batch || queued_[interactive] == 0)) {
     ++in_flight_;
     return Status::OK();
   }
-  if (queued_ >= options_.max_queue) {
+  size_t budget = batch ? batch_queue_limit() : options_.max_queue;
+  if (queued_[cls] >= budget) {
     return Status::ResourceExhausted(
-        "admission queue full (" + std::to_string(in_flight_) +
-        " in flight, " + std::to_string(queued_) + " queued)");
+        std::string(batch ? "batch " : "") + "admission queue full (" +
+        std::to_string(in_flight_) + " in flight, " +
+        std::to_string(queued_[cls]) + " queued)");
   }
-  ++queued_;
-  while (in_flight_ >= options_.max_in_flight) {
+  ++queued_[cls];
+  while (in_flight_ >= options_.max_in_flight ||
+         (batch && queued_[interactive] > 0)) {
     if (cancel != nullptr && cancel->cancelled()) {
-      --queued_;
+      --queued_[cls];
       return Status::Cancelled("request cancelled while queued");
     }
     if (deadline.Expired()) {
-      --queued_;
+      --queued_[cls];
       return Status::DeadlineExceeded("deadline exceeded while queued");
     }
     // Bounded wait: a release notifies, but cancellation and deadlines
@@ -44,7 +59,7 @@ Status RequestPipeline::Admit(const Deadline& deadline,
     double wait = std::clamp(deadline.RemainingSeconds(), 0.0, 0.005);
     cv_.wait_for(lock, std::chrono::duration<double>(wait));
   }
-  --queued_;
+  --queued_[cls];
   ++in_flight_;
   return Status::OK();
 }
@@ -54,7 +69,10 @@ void RequestPipeline::Release() {
     std::lock_guard<std::mutex> lock(mutex_);
     --in_flight_;
   }
-  cv_.notify_one();
+  // notify_all, not notify_one: with two waiter classes a single wake
+  // could land on a batch waiter that must keep yielding to a queued
+  // interactive waiter.
+  cv_.notify_all();
 }
 
 }  // namespace comparesets

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -22,6 +23,7 @@
 #include <thread>
 
 #include "util/cancellation.h"
+#include "util/scheduler.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -31,9 +33,16 @@ struct PipelineOptions {
   /// Max requests solving at once (0 = unthrottled). Excess requests
   /// wait in the admission queue.
   size_t max_in_flight = 0;
-  /// Waiting slots beyond max_in_flight. A request arriving when the
-  /// queue is full is refused with kResourceExhausted.
+  /// Waiting slots beyond max_in_flight for INTERACTIVE requests. An
+  /// interactive request arriving when its queue is full is refused
+  /// with kResourceExhausted.
   size_t max_queue = 64;
+  /// Waiting slots for BATCH requests (0 = same as max_queue). Batch
+  /// sheds first: its budget is separate, it is the one the
+  /// SloController shrinks under SLO pressure, and a queued batch
+  /// request never takes a freed slot while an interactive request
+  /// waits.
+  size_t max_batch_queue = 0;
   /// Attempts per request for *transient* failures. 1 = no retries.
   int max_attempts = 1;
   /// First retry backoff; doubles per attempt. Sleeps are clamped to
@@ -58,8 +67,35 @@ class RequestPipeline {
   /// Blocks until the request may run (or fails with
   /// kResourceExhausted / kDeadlineExceeded / kCancelled). Every OK
   /// return must be paired with one Release() — use Slot.
-  Status Admit(const Deadline& deadline, const CancelToken* cancel);
+  ///
+  /// Priority semantics: each class waits against its own queue budget,
+  /// and a batch request neither takes a freed slot nor stops waiting
+  /// while any interactive request is queued — interactive work is
+  /// never queued behind batch work, mirroring the scheduler contract.
+  Status Admit(const Deadline& deadline, const CancelToken* cancel,
+               RequestPriority priority = RequestPriority::kInteractive);
   void Release();
+
+  /// Dynamically caps the batch waiting budget (the SLO controller's
+  /// shedding lever). Applies to requests admitted after the call;
+  /// already-queued batch requests keep waiting. Restore by setting the
+  /// configured budget back (see configured_batch_queue()).
+  void SetBatchQueueLimit(size_t limit) {
+    batch_queue_limit_.store(limit, std::memory_order_relaxed);
+    cv_.notify_all();
+  }
+
+  /// The batch budget currently in force (configured or SLO-shrunk).
+  size_t batch_queue_limit() const {
+    return batch_queue_limit_.load(std::memory_order_relaxed);
+  }
+
+  /// The batch budget the options configured (max_batch_queue, with 0
+  /// meaning "same as max_queue").
+  size_t configured_batch_queue() const {
+    return options_.max_batch_queue > 0 ? options_.max_batch_queue
+                                        : options_.max_queue;
+  }
 
   /// Releases one admission slot on destruction (RAII, so every early
   /// return after a successful Admit releases exactly once).
@@ -121,7 +157,11 @@ class RequestPipeline {
   std::mutex mutex_;
   std::condition_variable cv_;
   size_t in_flight_ = 0;
-  size_t queued_ = 0;
+  /// Waiters per priority class (indexed by RequestPriority).
+  size_t queued_[kNumPriorityClasses] = {0, 0};
+  /// Current batch waiting budget; atomic so the SLO controller can
+  /// shrink it without taking the admission lock.
+  std::atomic<size_t> batch_queue_limit_{0};
 };
 
 }  // namespace comparesets

@@ -61,6 +61,7 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
   PipelineOptions pipeline_options;
   pipeline_options.max_in_flight = router->options_.engine.max_in_flight;
   pipeline_options.max_queue = router->options_.engine.max_queue;
+  pipeline_options.max_batch_queue = router->options_.engine.max_batch_queue;
   pipeline_options.max_attempts = router->options_.engine.max_attempts;
   pipeline_options.retry_backoff_seconds =
       router->options_.engine.retry_backoff_seconds;

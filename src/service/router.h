@@ -137,6 +137,16 @@ class ShardRouter {
     return *engines_[shard_id];
   }
 
+  /// Mutable engine access for runtime policy levers — the
+  /// SloController flips each engine's quality floor through this.
+  SelectionEngine* mutable_shard_engine(size_t shard_id) {
+    return engines_[shard_id].get();
+  }
+
+  /// The admission pipeline shared by every shard engine (the
+  /// SloController's batch-budget lever).
+  RequestPipeline* pipeline() const { return pipeline_.get(); }
+
   /// Partition lower bounds fixed at Create (bounds[0] == "").
   const std::vector<std::string>& bounds() const { return bounds_; }
 

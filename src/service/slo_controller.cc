@@ -1,0 +1,131 @@
+#include "service/slo_controller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace comparesets {
+
+SloController::SloController(SloControllerOptions options,
+                             RequestPipeline* pipeline,
+                             std::vector<SelectionEngine*> engines)
+    : options_(options), pipeline_(pipeline), engines_(std::move(engines)) {}
+
+SloController::~SloController() { Stop(); }
+
+void SloController::ShedLevers() {
+  for (SelectionEngine* engine : engines_) {
+    // Shedding only ever loosens: an engine already configured looser
+    // than shed_floor keeps its own floor.
+    engine->SetQualityFloor(
+        LooserTier(engine->options().min_quality_tier, options_.shed_floor),
+        /*slo_driven=*/true);
+  }
+  if (pipeline_ != nullptr) {
+    pipeline_->SetBatchQueueLimit(options_.shed_batch_queue);
+  }
+}
+
+void SloController::Shed() {
+  ShedLevers();
+  if (!shedding_.exchange(true, std::memory_order_relaxed)) {
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SloController::RestoreLevers() {
+  for (SelectionEngine* engine : engines_) {
+    engine->SetQualityFloor(engine->options().min_quality_tier,
+                            /*slo_driven=*/false);
+  }
+  if (pipeline_ != nullptr) {
+    pipeline_->SetBatchQueueLimit(pipeline_->configured_batch_queue());
+  }
+}
+
+SloSample SloController::TickOnce() {
+  SloSample sample;
+  // Rolling window: the tail of every engine's trace ring (the ring is
+  // already newest-capped, so the tail IS the most recent traffic).
+  std::vector<double> ok_seconds;
+  size_t degraded = 0;
+  size_t rejected = 0;
+  size_t total = 0;
+  for (SelectionEngine* engine : engines_) {
+    std::vector<RequestTrace> traces = engine->Traces();
+    size_t begin = traces.size() > options_.window
+                       ? traces.size() - options_.window
+                       : 0;
+    for (size_t i = begin; i < traces.size(); ++i) {
+      const RequestTrace& trace = traces[i];
+      ++total;
+      if (trace.status == "ok") {
+        ok_seconds.push_back(trace.total_seconds);
+        if (trace.tier != "exact") ++degraded;
+      } else if (trace.status == "resource exhausted") {
+        ++rejected;
+      }
+    }
+  }
+  sample.samples = total;
+  if (total > 0) {
+    sample.degraded_rate =
+        static_cast<double>(degraded) / static_cast<double>(total);
+    sample.rejected_rate =
+        static_cast<double>(rejected) / static_cast<double>(total);
+  }
+  if (!ok_seconds.empty()) {
+    std::sort(ok_seconds.begin(), ok_seconds.end());
+    size_t index = static_cast<size_t>(
+        std::ceil(0.99 * static_cast<double>(ok_seconds.size())));
+    if (index > 0) --index;
+    index = std::min(index, ok_seconds.size() - 1);
+    sample.p99_seconds = ok_seconds[index];
+  }
+
+  if (options_.slo_seconds <= 0.0 || sample.samples < options_.min_samples) {
+    sample.shedding = shedding();
+    return sample;
+  }
+  if (!shedding() && sample.p99_seconds > options_.slo_seconds) {
+    ShedLevers();
+    shedding_.store(true, std::memory_order_relaxed);
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+  } else if (shedding() &&
+             sample.p99_seconds <
+                 options_.recover_ratio * options_.slo_seconds) {
+    RestoreLevers();
+    shedding_.store(false, std::memory_order_relaxed);
+    restores_.fetch_add(1, std::memory_order_relaxed);
+  }
+  sample.shedding = shedding();
+  return sample;
+}
+
+void SloController::Start() {
+  std::lock_guard<std::mutex> lock(poll_mutex_);
+  if (poller_.joinable()) return;
+  stop_requested_ = false;
+  poller_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(poll_mutex_);
+    while (!stop_requested_) {
+      lock.unlock();
+      (void)TickOnce();
+      lock.lock();
+      poll_cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                        [this] { return stop_requested_; });
+    }
+  });
+}
+
+void SloController::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(poll_mutex_);
+    if (!poller_.joinable()) return;
+    stop_requested_ = true;
+  }
+  poll_cv_.notify_all();
+  poller_.join();
+}
+
+}  // namespace comparesets

@@ -1,0 +1,123 @@
+// SloController: burn-rate-driven load shedding for the serving stack.
+//
+// PR 8's degrade path fires only when admission is already full — the
+// queue must overflow before anything gives. This controller closes the
+// SLO loop instead: it computes a rolling p99 of request latency (plus
+// degraded/rejection rates) from the engines' RequestTrace rings, and
+// when the p99 crosses the configured SLO it sheds BY POLICY —
+// loosening every engine's quality floor (so admission refusals degrade
+// to the greedy incumbent instead of rejecting) and shrinking the
+// shared pipeline's batch waiting budget (so background batches are
+// refused before interactive work feels pressure). When the p99 falls
+// back under recover_ratio × SLO, both levers are restored. Hysteresis
+// between the two thresholds keeps the controller from flapping.
+//
+// Threading: TickOnce is the whole unit of work and may be called from
+// any ONE thread at a time. Start/Stop run it on a private polling
+// thread at a fixed interval (the IngestDriver pattern); tests call
+// TickOnce directly for determinism. The levers themselves are atomics
+// on the engine/pipeline side, so ticks never contend with serving.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/selector.h"
+#include "service/engine.h"
+#include "service/request_pipeline.h"
+
+namespace comparesets {
+
+struct SloControllerOptions {
+  /// The latency SLO: target p99 of end-to-end request seconds
+  /// (RequestTrace::total_seconds). 0 disables the controller —
+  /// TickOnce still reports rates but never moves a lever.
+  double slo_seconds = 0.0;
+  /// Restore when p99 < recover_ratio × slo_seconds. Must be < 1: the
+  /// gap between shed and restore thresholds is the hysteresis band.
+  double recover_ratio = 0.8;
+  /// Minimum ok-trace samples before any decision (cold start guard).
+  size_t min_samples = 8;
+  /// Most recent traces considered per engine ring (rolling window).
+  size_t window = 128;
+  /// Quality floor while shedding, combined with each engine's
+  /// configured floor by LooserTier (shedding only ever loosens).
+  QualityTier shed_floor = QualityTier::kAnytime;
+  /// Batch waiting budget while shedding (0 = refuse every batch
+  /// request that cannot take a slot immediately — batch sheds first).
+  size_t shed_batch_queue = 0;
+  /// Poll interval for the background thread started by Start().
+  uint64_t interval_ms = 50;
+};
+
+/// What one TickOnce observed and decided.
+struct SloSample {
+  double p99_seconds = 0.0;   ///< Rolling p99 over ok traces (0 if none).
+  double degraded_rate = 0.0; ///< Fraction of ok traces below "exact".
+  double rejected_rate = 0.0; ///< Fraction of traces resource-exhausted.
+  size_t samples = 0;         ///< Traces the rates were computed over.
+  bool shedding = false;      ///< Controller state AFTER the tick.
+};
+
+class SloController {
+ public:
+  /// Watches `engines` (their trace rings feed the rolling stats; their
+  /// quality floors are the degrade lever) and `pipeline` (the batch-
+  /// budget lever; may be nullptr to run with the floor lever only).
+  /// All pointees must outlive the controller.
+  SloController(SloControllerOptions options, RequestPipeline* pipeline,
+                std::vector<SelectionEngine*> engines);
+
+  ~SloController();
+  SloController(const SloController&) = delete;
+  SloController& operator=(const SloController&) = delete;
+
+  /// One control-loop iteration: pull traces, compute the rolling p99
+  /// and rates, flip or restore the levers per the thresholds.
+  SloSample TickOnce();
+
+  /// Starts the background polling thread (no-op when already running).
+  void Start();
+
+  /// Stops and joins the polling thread (no-op when not running). Safe
+  /// to call repeatedly; also run by the destructor. The levers keep
+  /// their current position — call RestoreLevers() to reset them.
+  void Stop();
+
+  /// Unconditionally sheds NOW: applies both levers and enters the
+  /// shedding state, exactly as if a tick had crossed the SLO. An
+  /// operator override for incidents — the next tick whose p99 is back
+  /// under the recover threshold restores as usual.
+  void Shed();
+
+  /// Unconditionally restores both levers to configured policy.
+  void RestoreLevers();
+
+  bool shedding() const { return shedding_.load(std::memory_order_relaxed); }
+  uint64_t sheds() const { return sheds_.load(std::memory_order_relaxed); }
+  uint64_t restores() const {
+    return restores_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ShedLevers();
+
+  SloControllerOptions options_;
+  RequestPipeline* pipeline_;
+  std::vector<SelectionEngine*> engines_;
+  std::atomic<bool> shedding_{false};
+  std::atomic<uint64_t> sheds_{0};
+  std::atomic<uint64_t> restores_{0};
+
+  std::mutex poll_mutex_;
+  std::condition_variable poll_cv_;
+  bool stop_requested_ = false;
+  std::thread poller_;
+};
+
+}  // namespace comparesets

@@ -31,7 +31,7 @@ size_t RunParallel(const ParallelContext& context, size_t n,
       control->parallel_tasks->fetch_add(n, std::memory_order_relaxed);
     }
   }
-  context.pool->ParallelFor(n, body, lanes);
+  context.pool->ParallelFor(n, body, lanes, context.priority);
   return lanes;
 }
 

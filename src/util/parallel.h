@@ -21,6 +21,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "util/scheduler.h"
+
 namespace comparesets {
 
 class ThreadPool;
@@ -35,6 +37,10 @@ struct ParallelContext {
   /// Cap on concurrent lanes, counting the calling thread (which always
   /// participates). 0 = no cap beyond the pool size; 1 = never fan out.
   size_t max_threads = 0;
+  /// Scheduling class for helper tasks this context fans out. A batch
+  /// request's helpers yield to queued interactive work; like the pool
+  /// pointer, this is a runtime control and never changes the result.
+  RequestPriority priority = RequestPriority::kInteractive;
 
   /// Concurrent lanes a fan-out over `n` tasks would use: at most the
   /// pool's workers + the calling thread, capped by max_threads and n.

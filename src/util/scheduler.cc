@@ -1,0 +1,158 @@
+#include "util/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace comparesets {
+namespace {
+
+// Identifies the scheduler (and worker slot) the current thread belongs
+// to, so Submit can route worker-local fan-out to the worker's own
+// deque without touching the round-robin counter.
+thread_local WorkStealingScheduler* tls_scheduler = nullptr;
+thread_local size_t tls_worker = 0;
+
+}  // namespace
+
+const char* RequestPriorityName(RequestPriority priority) {
+  switch (priority) {
+    case RequestPriority::kInteractive:
+      return "interactive";
+    case RequestPriority::kBatch:
+      return "batch";
+  }
+  return "interactive";
+}
+
+bool ParseRequestPriority(const std::string& text, RequestPriority* out) {
+  if (text == "interactive") {
+    *out = RequestPriority::kInteractive;
+    return true;
+  }
+  if (text == "batch") {
+    *out = RequestPriority::kBatch;
+    return true;
+  }
+  return false;
+}
+
+WorkStealingScheduler::WorkStealingScheduler(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  states_.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    states_.push_back(std::make_unique<WorkerState>());
+  }
+  workers_.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+WorkStealingScheduler::~WorkStealingScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void WorkStealingScheduler::Submit(std::function<void()> task,
+                                   RequestPriority priority) {
+  size_t target;
+  if (tls_scheduler == this) {
+    // Worker-local fan-out stays on the submitting worker's deque: its
+    // siblings steal-half the surplus if it cannot keep up.
+    target = tls_worker;
+  } else {
+    target = next_deque_.fetch_add(1, std::memory_order_relaxed) %
+             states_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(states_[target]->mutex);
+    states_[target]->queues[static_cast<size_t>(priority)].push_back(
+        std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  // Empty critical section orders the pending_ increment against a
+  // worker evaluating the sleep predicate, so the notify cannot be lost.
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  wake_.notify_one();
+}
+
+bool WorkStealingScheduler::PopLocal(size_t id, std::function<void()>* task) {
+  WorkerState& state = *states_[id];
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (size_t cls = 0; cls < kNumPriorityClasses; ++cls) {
+    if (!state.queues[cls].empty()) {
+      *task = std::move(state.queues[cls].front());
+      state.queues[cls].pop_front();
+      pending_.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WorkStealingScheduler::Steal(size_t id, std::function<void()>* task) {
+  size_t n = states_.size();
+  // All interactive deques before any batch deque: a batch task is
+  // stolen only when no interactive task is queued anywhere.
+  for (size_t cls = 0; cls < kNumPriorityClasses; ++cls) {
+    for (size_t step = 1; step < n; ++step) {
+      size_t victim = (id + step) % n;
+      std::deque<std::function<void()>> stolen;
+      {
+        std::lock_guard<std::mutex> lock(states_[victim]->mutex);
+        auto& queue = states_[victim]->queues[cls];
+        if (queue.empty()) continue;
+        size_t take = (queue.size() + 1) / 2;  // Steal-half, at least one.
+        // Take from the victim's back, preserving relative order.
+        stolen.insert(stolen.end(),
+                      std::make_move_iterator(queue.end() - take),
+                      std::make_move_iterator(queue.end()));
+        queue.erase(queue.end() - take, queue.end());
+      }
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      // Run the oldest stolen task; park the rest on our own deque.
+      *task = std::move(stolen.front());
+      stolen.pop_front();
+      pending_.fetch_sub(1, std::memory_order_release);
+      if (!stolen.empty()) {
+        std::lock_guard<std::mutex> lock(states_[id]->mutex);
+        auto& own = states_[id]->queues[cls];
+        for (auto& t : stolen) own.push_back(std::move(t));
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkStealingScheduler::WorkerLoop(size_t id) {
+  tls_scheduler = this;
+  tls_worker = id;
+  for (;;) {
+    std::function<void()> task;
+    if (PopLocal(id, &task) || Steal(id, &task)) {
+      task();
+      task = nullptr;  // Release captures before the next wait.
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    wake_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    // Exit only once the drain is complete: tasks submitted by still-
+    // running tasks keep pending_ above zero until a worker runs them.
+    if (stopping_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+}  // namespace comparesets

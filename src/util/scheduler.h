@@ -1,0 +1,123 @@
+// Priority-aware work-stealing scheduler underpinning util/ThreadPool.
+//
+// Layout: every worker owns a pair of deques (one per priority class),
+// each guarded by its own mutex. External submitters round-robin tasks
+// across the worker deques; a task submitted *from* a worker thread
+// lands on that worker's own deque (cheap, contention-free fan-out for
+// ParallelFor helpers). A worker pops the front of its own deques —
+// interactive before batch — and, when both are empty, steals from its
+// victims' backs, taking half the victim's deque in one lock
+// acquisition (steal-half amortises lock traffic under imbalance).
+//
+// Priority contract: an interactive task is never queued behind batch
+// work. Locally, the interactive deque is always drained before the
+// batch deque; when stealing, a worker scans EVERY victim's interactive
+// deque before it touches any batch deque. So the only way a batch task
+// runs while an interactive task waits is if every worker is already
+// busy executing — there is no queue a batch task can cut ahead in.
+//
+// Determinism: the scheduler moves closures between deques; it never
+// looks inside them. ParallelFor bodies claim indices via an atomic
+// counter and write pre-sized slots merged in index order, so *which*
+// worker runs an index cannot affect the output — bit-identity at every
+// lane count survives stealing by construction (docs/execution-model.md).
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace comparesets {
+
+/// Scheduling class for a task or a request. Doubles as the
+/// request-level priority carried through EngineOptions / the wire
+/// protocol: interactive work (a latency-sensitive lone Select) always
+/// jumps ahead of batch work (background SelectBatch fan-out).
+enum class RequestPriority : uint8_t {
+  kInteractive = 0,
+  kBatch = 1,
+};
+
+inline constexpr size_t kNumPriorityClasses = 2;
+
+/// "interactive" / "batch" — stable names used in traces and flags.
+const char* RequestPriorityName(RequestPriority priority);
+
+/// Parses a priority name; returns false (and leaves *out untouched) on
+/// anything but "interactive" / "batch".
+bool ParseRequestPriority(const std::string& text, RequestPriority* out);
+
+/// The more-batch of two priorities. Used when a request meets a
+/// context that demotes it (a batch fan-out never promotes its
+/// sub-requests to interactive).
+inline RequestPriority DemotePriority(RequestPriority a, RequestPriority b) {
+  return static_cast<uint8_t>(a) >= static_cast<uint8_t>(b) ? a : b;
+}
+
+/// Fixed-size work-stealing worker pool with two priority classes.
+/// Thread-safety: Submit is safe from any thread (including from tasks
+/// running on the scheduler's own workers); the destructor must not
+/// race live Submit calls from *external* threads — tasks already
+/// running may keep submitting, and everything queued before or during
+/// the drain is executed before the workers join.
+class WorkStealingScheduler {
+ public:
+  /// Spawns `num_threads` workers (0 = hardware concurrency, min 1).
+  explicit WorkStealingScheduler(size_t num_threads = 0);
+
+  /// Drains every deque (running all queued tasks), then joins.
+  ~WorkStealingScheduler();
+
+  WorkStealingScheduler(const WorkStealingScheduler&) = delete;
+  WorkStealingScheduler& operator=(const WorkStealingScheduler&) = delete;
+
+  /// Number of worker threads (constant for the scheduler's lifetime).
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task in the given class. From a worker thread the task
+  /// lands on that worker's own deque; from outside, deques are chosen
+  /// round-robin. Tasks must not throw.
+  void Submit(std::function<void()> task,
+              RequestPriority priority = RequestPriority::kInteractive);
+
+  /// Number of successful steal operations (one per steal-half batch,
+  /// however many tasks it moved). Monotone; for tests and diagnostics.
+  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  struct WorkerState {
+    std::mutex mutex;
+    std::deque<std::function<void()>> queues[kNumPriorityClasses];
+  };
+
+  void WorkerLoop(size_t id);
+  /// Pops the front of this worker's own deques, interactive first.
+  bool PopLocal(size_t id, std::function<void()>* task);
+  /// Two-pass steal: every victim's interactive deque, then every
+  /// victim's batch deque. Takes ceil(size/2) tasks off the victim's
+  /// back, keeps the oldest stolen task to run and re-queues the rest
+  /// on this worker's own deque.
+  bool Steal(size_t id, std::function<void()>* task);
+
+  std::atomic<bool> stopping_{false};
+  /// Tasks currently sitting in some deque (not yet popped). Drives
+  /// the sleep predicate and the drain-then-join exit condition.
+  std::atomic<size_t> pending_{0};
+  std::atomic<size_t> next_deque_{0};  // Round-robin for external Submit.
+  std::atomic<uint64_t> steals_{0};
+  std::mutex sleep_mutex_;
+  std::condition_variable wake_;
+  std::vector<std::unique_ptr<WorkerState>> states_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace comparesets

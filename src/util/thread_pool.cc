@@ -2,53 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 namespace comparesets {
 
-ThreadPool::ThreadPool(size_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  workers_.reserve(num_threads);
-  for (size_t t = 0; t < num_threads; ++t) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
-}
-
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
-  }
-  wake_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
-}
-
-void ThreadPool::Submit(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
-  }
-  wake_.notify_one();
-}
-
-void ThreadPool::WorkerLoop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    task();
-  }
-}
-
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
-                             size_t max_lanes) {
+                             size_t max_lanes, RequestPriority priority) {
   if (n == 0) return;
   if (n == 1 || max_lanes == 1) {
     // A single lane runs inline, in index order, with no queue traffic.
@@ -87,7 +49,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
   // call returns (we wait on done == n below).
   size_t helpers = std::min(num_threads(), n - 1);
   if (max_lanes > 0) helpers = std::min(helpers, max_lanes - 1);
-  for (size_t t = 0; t < helpers; ++t) Submit(drain);
+  for (size_t t = 0; t < helpers; ++t) Submit(drain, priority);
   drain();
 
   std::unique_lock<std::mutex> lock(state->mutex);

@@ -171,6 +171,48 @@ TEST_F(ParallelDeterminismTest, SimilarityGraphParallelMatchesSerial) {
   }
 }
 
+// The scheduling class is a runtime control, exactly like the lane cap:
+// a solve fanned out at batch priority over a work-stealing pool must
+// return the same bits as interactive at every lane count. Lane work is
+// claimed by atomic index, merged in index order — which worker (or
+// which steal) ran a lane never reaches the result.
+TEST_F(ParallelDeterminismTest, BitIdenticalAcrossPrioritiesAndLanes) {
+  const RequestPriority priorities[] = {RequestPriority::kInteractive,
+                                        RequestPriority::kBatch};
+  const size_t lane_caps[] = {1, 2, 4};
+  for (const std::string& name :
+       {std::string("Crs"), std::string("CompaReSetS"),
+        std::string("CompaReSetS+")}) {
+    auto selector = MakeSelector(name);
+    ASSERT_TRUE(selector.ok()) << name;
+
+    SelectorOptions reference = BaseOptions();
+    reference.parallel = ParallelContext{&pool_, 1};
+
+    for (size_t k = 0; k < workload_.num_instances(); ++k) {
+      const InstanceVectors& vectors = workload_.vectors()[k];
+      auto want = selector.value()->Select(vectors, reference);
+      ASSERT_TRUE(want.ok()) << name << " instance " << k;
+      for (RequestPriority priority : priorities) {
+        for (size_t lanes : lane_caps) {
+          SelectorOptions options = BaseOptions();
+          options.parallel = ParallelContext{&pool_, lanes, priority};
+          auto got = selector.value()->Select(vectors, options);
+          ASSERT_TRUE(got.ok())
+              << name << " instance " << k << " lanes " << lanes << " "
+              << RequestPriorityName(priority);
+          EXPECT_EQ(got.value().selections, want.value().selections)
+              << name << " instance " << k << " lanes " << lanes << " "
+              << RequestPriorityName(priority);
+          EXPECT_EQ(got.value().objective, want.value().objective)
+              << name << " instance " << k << " lanes " << lanes << " "
+              << RequestPriorityName(priority);
+        }
+      }
+    }
+  }
+}
+
 // Workers check the shared control at their iteration boundaries: a
 // request cancelled before the sweep must come back kCancelled from the
 // parallel path exactly as from the serial one.

@@ -185,15 +185,36 @@ TEST(MessageCodecTest, SelectRequestRoundTrip) {
   EXPECT_EQ(got.options.sample_threshold, request.options.sample_threshold);
   EXPECT_EQ(got.options.sample_size, request.options.sample_size);
   EXPECT_EQ(got.deadline_seconds, request.deadline_seconds);
+  EXPECT_EQ(got.priority, request.priority);
   // CancelTokens are process-local and never travel.
   EXPECT_EQ(got.cancel, nullptr);
 }
 
+TEST(MessageCodecTest, BatchPriorityRoundTrips) {
+  SelectRequest request = SampleRequest();
+  request.priority = RequestPriority::kBatch;
+  auto decoded = DecodeSelectRequest(EncodeSelectRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded.value().priority, RequestPriority::kBatch);
+}
+
+TEST(MessageCodecTest, UnknownPriorityByteInRequestIsParseError) {
+  // v4 appends the priority class as the payload's final byte.
+  std::string payload = EncodeSelectRequest(SampleRequest());
+  payload[payload.size() - 1] = 7;
+  auto decoded = DecodeSelectRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(decoded.status().message().find("priority"), std::string::npos)
+      << decoded.status();
+}
+
 TEST(MessageCodecTest, UnknownTierByteInRequestIsParseError) {
   // The min_tier byte sits a fixed distance from the payload's end:
-  // u8 tier, u64 sample_threshold, u64 sample_size, double deadline.
+  // u8 tier, u64 sample_threshold, u64 sample_size, double deadline,
+  // u8 priority.
   std::string payload = EncodeSelectRequest(SampleRequest());
-  size_t tier_at = payload.size() - 8 - 8 - 8 - 1;
+  size_t tier_at = payload.size() - 1 - 8 - 8 - 8 - 1;
   payload[tier_at] = 7;
   auto decoded = DecodeSelectRequest(payload);
   ASSERT_FALSE(decoded.ok());

@@ -185,6 +185,49 @@ TEST_P(RouterDeterminismTest, WindowedSelectBatchMatchesWindowedEngine) {
   }
 }
 
+TEST_P(RouterDeterminismTest, PriorityClassIsPayloadInvisible) {
+  // The scheduling class is a runtime control like deadline/cancel: it
+  // decides who waits, never what is computed. A stream stamped kBatch
+  // answers bit-identically to the same stream stamped kInteractive —
+  // and to an engine configured not to demote batches at all.
+  auto corpus = MakeCorpus(80);
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  SelectionEngine reference(corpus, engine_options);
+
+  RouterOptions router_options;
+  router_options.engine = engine_options;
+  router_options.router_threads = 1;
+  auto router = ShardRouter::Create(corpus, GetParam(), router_options);
+  ASSERT_TRUE(router.ok()) << router.status();
+
+  RouterOptions fifo_options = router_options;
+  fifo_options.engine.batch_priority = RequestPriority::kInteractive;
+  auto fifo_router = ShardRouter::Create(corpus, GetParam(), fifo_options);
+  ASSERT_TRUE(fifo_router.ok()) << fifo_router.status();
+
+  const RequestPriority priorities[] = {RequestPriority::kInteractive,
+                                        RequestPriority::kBatch};
+  for (RequestPriority priority : priorities) {
+    std::vector<SelectRequest> requests = MixedStream(*corpus);
+    for (SelectRequest& request : requests) request.priority = priority;
+    std::vector<Result<SelectResponse>> want = reference.SelectBatch(requests);
+    std::vector<Result<SelectResponse>> got =
+        router.value()->SelectBatch(requests);
+    std::vector<Result<SelectResponse>> fifo =
+        fifo_router.value()->SelectBatch(requests);
+    ASSERT_EQ(got.size(), want.size());
+    ASSERT_EQ(fifo.size(), want.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const std::string where = std::string(RequestPriorityName(priority)) +
+                                " batch[" + std::to_string(i) +
+                                "] target=" + requests[i].target_id;
+      ExpectSameResponse(got[i], want[i], where);
+      ExpectSameResponse(fifo[i], want[i], "fifo " + where);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Shards, RouterDeterminismTest,
                          ::testing::Values(1u, 2u, 4u));
 

@@ -1,0 +1,365 @@
+// The SLO shedding loop and the priority-split admission pipeline:
+//   * RequestPipeline keeps separate waiting budgets per priority class,
+//     refuses batch work first, and never lets a queued batch request
+//     get ahead of a queued interactive one.
+//   * SelectionEngine stamps the effective priority into traces, counts
+//     batch refusals (`pipeline.batch_shed`), and — when the floor
+//     admits it — degrades refused work instead of rejecting, counting
+//     SLO-driven degrades (`engine.slo_degrades`) separately.
+//   * SloController flips the degrade-floor and batch-budget levers on
+//     p99-vs-SLO crossings with hysteresis, and is inert below
+//     min_samples or with the SLO unset.
+// Tests drive TickOnce directly (no polling thread) for determinism.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "service/engine.h"
+#include "service/request_pipeline.h"
+#include "service/slo_controller.h"
+
+namespace comparesets {
+namespace {
+
+std::shared_ptr<const IndexedCorpus> MakeCorpus(size_t products = 24) {
+  auto config = DefaultConfig("Cellphone", products);
+  config.status().CheckOK();
+  config.value().seed = 7;
+  auto corpus = GenerateCorpus(config.value());
+  corpus.status().CheckOK();
+  return IndexedCorpus::Build(std::move(corpus).value()).ValueOrDie();
+}
+
+uint64_t CounterValue(const SelectionEngine& engine, const std::string& name) {
+  MetricsSnapshot snapshot = engine.SnapshotMetrics();
+  for (const auto& [counter_name, value] : snapshot.counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+TEST(PipelinePriorityTest, BatchRefusedAtZeroBudgetInteractiveStillQueues) {
+  PipelineOptions options;
+  options.max_in_flight = 1;
+  options.max_queue = 4;
+  RequestPipeline pipeline(options);
+  Deadline no_deadline(0.0);
+
+  // Occupy the only slot.
+  ASSERT_TRUE(pipeline.Admit(no_deadline, nullptr).ok());
+
+  // The SLO lever: no batch waiting budget at all — a batch request
+  // that cannot take a slot immediately is refused, not queued.
+  pipeline.SetBatchQueueLimit(0);
+  Status batch = pipeline.Admit(no_deadline, nullptr,
+                                RequestPriority::kBatch);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(batch.message().find("batch"), std::string::npos) << batch;
+
+  // Interactive keeps its own (non-zero) budget: it queues and is
+  // admitted once the slot frees.
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    Status status = pipeline.Admit(no_deadline, nullptr);
+    EXPECT_TRUE(status.ok()) << status;
+    admitted.store(true);
+    pipeline.Release();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(admitted.load());
+  pipeline.Release();
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+}
+
+TEST(PipelinePriorityTest, QueuedBatchNeverOvertakesQueuedInteractive) {
+  PipelineOptions options;
+  options.max_in_flight = 1;
+  options.max_queue = 4;
+  options.max_batch_queue = 4;
+  RequestPipeline pipeline(options);
+  Deadline no_deadline(0.0);
+  ASSERT_TRUE(pipeline.Admit(no_deadline, nullptr).ok());
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<int> order;  // 0 = batch, 1 = interactive
+  std::atomic<int> waiting{0};
+
+  std::thread batch_waiter([&] {
+    waiting.fetch_add(1);
+    Status status =
+        pipeline.Admit(no_deadline, nullptr, RequestPriority::kBatch);
+    ASSERT_TRUE(status.ok()) << status;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(0);
+      cv.notify_all();
+    }
+    pipeline.Release();
+  });
+  // Let the batch request reach its queue first, then add interactive.
+  while (waiting.load() < 1) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::thread interactive_waiter([&] {
+    Status status = pipeline.Admit(no_deadline, nullptr);
+    ASSERT_TRUE(status.ok()) << status;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(1);
+      cv.notify_all();
+    }
+    pipeline.Release();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  pipeline.Release();  // Frees the slot with BOTH classes queued.
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                            [&] { return order.size() == 2u; }));
+  }
+  batch_waiter.join();
+  interactive_waiter.join();
+  // Despite queueing first, batch runs second: a freed slot goes to the
+  // queued interactive request.
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 0);
+}
+
+TEST(EnginePriorityTest, TraceCarriesEffectivePriority) {
+  EngineOptions options;
+  options.threads = 1;
+  SelectionEngine engine(MakeCorpus(), options);
+  const std::string target = engine.corpus()->instances()[0].target().id;
+
+  SelectRequest interactive;
+  interactive.target_id = target;
+  ASSERT_TRUE(engine.Select(interactive).ok());
+
+  SelectRequest batch;
+  batch.target_id = target;
+  batch.priority = RequestPriority::kBatch;
+  ASSERT_TRUE(engine.Select(batch).ok());
+
+  std::vector<RequestTrace> traces = engine.Traces();
+  ASSERT_GE(traces.size(), 2u);
+  EXPECT_EQ(traces[traces.size() - 2].priority, "interactive");
+  EXPECT_EQ(traces[traces.size() - 1].priority, "batch");
+}
+
+TEST(EnginePriorityTest, SelectBatchDemotesSubRequests) {
+  EngineOptions options;
+  options.threads = 1;  // Inline path — order is deterministic.
+  SelectionEngine engine(MakeCorpus(), options);
+  const auto& instances = engine.corpus()->instances();
+
+  std::vector<SelectRequest> requests(2);
+  requests[0].target_id = instances[0].target().id;
+  requests[1].target_id = instances[1].target().id;
+  // Both arrive interactive; the engine's batch_priority (default
+  // kBatch) demotes them for scheduling.
+  for (const auto& response : engine.SelectBatch(requests)) {
+    ASSERT_TRUE(response.ok()) << response.status();
+  }
+  std::vector<RequestTrace> traces = engine.Traces();
+  ASSERT_GE(traces.size(), 2u);
+  EXPECT_EQ(traces[traces.size() - 1].priority, "batch");
+  EXPECT_EQ(traces[traces.size() - 2].priority, "batch");
+
+  // An engine configured not to demote keeps the requests interactive —
+  // the pre-priority FIFO behaviour.
+  EngineOptions fifo_options = options;
+  fifo_options.batch_priority = RequestPriority::kInteractive;
+  SelectionEngine fifo(MakeCorpus(), fifo_options);
+  for (const auto& response : fifo.SelectBatch(requests)) {
+    ASSERT_TRUE(response.ok()) << response.status();
+  }
+  traces = fifo.Traces();
+  ASSERT_GE(traces.size(), 2u);
+  EXPECT_EQ(traces[traces.size() - 1].priority, "interactive");
+}
+
+TEST(EnginePriorityTest, RefusedBatchCountsShedAndDegradesUnderSloFloor) {
+  EngineOptions options;
+  options.threads = 1;
+  options.max_in_flight = 1;
+  SelectionEngine engine(MakeCorpus(), options);
+  const std::string target = engine.corpus()->instances()[0].target().id;
+
+  // Occupy the only slot from outside, then starve the batch budget —
+  // exactly what the SloController's shed does.
+  RequestPipeline* pipeline = engine.pipeline();
+  ASSERT_NE(pipeline, nullptr);
+  Deadline no_deadline(0.0);
+  ASSERT_TRUE(pipeline->Admit(no_deadline, nullptr).ok());
+  pipeline->SetBatchQueueLimit(0);
+
+  SelectRequest request;
+  request.target_id = target;
+  request.priority = RequestPriority::kBatch;
+
+  // Configured floor is exact: the refusal surfaces.
+  auto refused = engine.Select(request);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(CounterValue(engine, "pipeline.batch_shed"), 1u);
+
+  // SLO-driven floor at anytime: the same refusal now degrades to the
+  // greedy incumbent and is counted as an SLO degrade.
+  engine.SetQualityFloor(QualityTier::kAnytime, /*slo_driven=*/true);
+  auto degraded = engine.Select(request);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_EQ(degraded.value().tier, QualityTier::kAnytime);
+  EXPECT_EQ(CounterValue(engine, "pipeline.batch_shed"), 2u);
+  EXPECT_EQ(CounterValue(engine, "engine.slo_degrades"), 1u);
+
+  pipeline->Release();
+  engine.SetQualityFloor(options.min_quality_tier, /*slo_driven=*/false);
+
+  // With the slot free again, batch is admitted normally.
+  auto admitted = engine.Select(request);
+  ASSERT_TRUE(admitted.ok()) << admitted.status();
+  EXPECT_EQ(admitted.value().tier, QualityTier::kExact);
+}
+
+TEST(SloControllerTest, ShedsWhenP99CrossesSloAndMovesBothLevers) {
+  EngineOptions options;
+  options.threads = 1;
+  options.max_in_flight = 1;
+  auto engine =
+      std::make_unique<SelectionEngine>(MakeCorpus(), options);
+  const auto& instances = engine->corpus()->instances();
+
+  // Real traffic: any real solve takes far longer than a 1ns SLO.
+  for (size_t i = 0; i < 8; ++i) {
+    SelectRequest request;
+    request.target_id = instances[i % instances.size()].target().id;
+    ASSERT_TRUE(engine->Select(request).ok());
+  }
+
+  SloControllerOptions slo_options;
+  slo_options.slo_seconds = 1e-9;
+  slo_options.min_samples = 8;
+  SloController controller(slo_options, engine->pipeline(), {engine.get()});
+
+  SloSample sample = controller.TickOnce();
+  EXPECT_GE(sample.samples, 8u);
+  EXPECT_GT(sample.p99_seconds, slo_options.slo_seconds);
+  EXPECT_TRUE(sample.shedding);
+  EXPECT_TRUE(controller.shedding());
+  EXPECT_EQ(controller.sheds(), 1u);
+  EXPECT_EQ(engine->quality_floor(), QualityTier::kAnytime);
+  EXPECT_EQ(engine->pipeline()->batch_queue_limit(), 0u);
+
+  // Already shedding: another over-SLO tick does not re-shed.
+  controller.TickOnce();
+  EXPECT_EQ(controller.sheds(), 1u);
+}
+
+TEST(SloControllerTest, RestoresWithHysteresisOnceP99Recovers) {
+  EngineOptions options;
+  options.threads = 1;
+  options.max_in_flight = 1;
+  auto engine =
+      std::make_unique<SelectionEngine>(MakeCorpus(), options);
+  const auto& instances = engine->corpus()->instances();
+  for (size_t i = 0; i < 8; ++i) {
+    SelectRequest request;
+    request.target_id = instances[i % instances.size()].target().id;
+    ASSERT_TRUE(engine->Select(request).ok());
+  }
+
+  // Generous SLO: real p99 sits far below recover_ratio × slo, so a
+  // manually shed controller restores on its first tick.
+  SloControllerOptions slo_options;
+  slo_options.slo_seconds = 1000.0;
+  slo_options.min_samples = 8;
+  SloController controller(slo_options, engine->pipeline(), {engine.get()});
+
+  controller.Shed();
+  EXPECT_TRUE(controller.shedding());
+  EXPECT_EQ(engine->quality_floor(), QualityTier::kAnytime);
+  EXPECT_EQ(engine->pipeline()->batch_queue_limit(), 0u);
+
+  SloSample sample = controller.TickOnce();
+  EXPECT_FALSE(sample.shedding);
+  EXPECT_FALSE(controller.shedding());
+  EXPECT_EQ(controller.restores(), 1u);
+  EXPECT_EQ(engine->quality_floor(), options.min_quality_tier);
+  EXPECT_EQ(engine->pipeline()->batch_queue_limit(),
+            engine->pipeline()->configured_batch_queue());
+}
+
+TEST(SloControllerTest, InertWithoutSloOrBelowMinSamples) {
+  EngineOptions options;
+  options.threads = 1;
+  options.max_in_flight = 1;
+  auto engine =
+      std::make_unique<SelectionEngine>(MakeCorpus(), options);
+  SelectRequest request;
+  request.target_id = engine->corpus()->instances()[0].target().id;
+  ASSERT_TRUE(engine->Select(request).ok());
+
+  // SLO unset: reports rates, never moves a lever.
+  SloControllerOptions off;
+  off.slo_seconds = 0.0;
+  off.min_samples = 1;
+  SloController disabled(off, engine->pipeline(), {engine.get()});
+  SloSample sample = disabled.TickOnce();
+  EXPECT_GE(sample.samples, 1u);
+  EXPECT_FALSE(sample.shedding);
+  EXPECT_EQ(engine->quality_floor(), options.min_quality_tier);
+
+  // Below min_samples: the 1ns SLO would certainly shed, but the cold-
+  // start guard holds.
+  SloControllerOptions cold;
+  cold.slo_seconds = 1e-9;
+  cold.min_samples = 1000;
+  SloController guarded(cold, engine->pipeline(), {engine.get()});
+  sample = guarded.TickOnce();
+  EXPECT_FALSE(sample.shedding);
+  EXPECT_EQ(guarded.sheds(), 0u);
+  EXPECT_EQ(engine->quality_floor(), options.min_quality_tier);
+}
+
+TEST(SloControllerTest, BackgroundPollerStartsTicksAndStops) {
+  EngineOptions options;
+  options.threads = 1;
+  options.max_in_flight = 1;
+  auto engine =
+      std::make_unique<SelectionEngine>(MakeCorpus(), options);
+  const auto& instances = engine->corpus()->instances();
+  for (size_t i = 0; i < 8; ++i) {
+    SelectRequest request;
+    request.target_id = instances[i % instances.size()].target().id;
+    ASSERT_TRUE(engine->Select(request).ok());
+  }
+
+  SloControllerOptions slo_options;
+  slo_options.slo_seconds = 1e-9;
+  slo_options.min_samples = 8;
+  slo_options.interval_ms = 5;
+  SloController controller(slo_options, engine->pipeline(), {engine.get()});
+  controller.Start();
+  controller.Start();  // Idempotent.
+  for (int i = 0; i < 1000 && controller.sheds() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  controller.Stop();
+  controller.Stop();  // Idempotent.
+  EXPECT_EQ(controller.sheds(), 1u);
+  EXPECT_TRUE(controller.shedding());
+}
+
+}  // namespace
+}  // namespace comparesets

@@ -271,6 +271,63 @@ TEST(CliTest, ServeRejectsMalformedQueryLineCleanly) {
   EXPECT_NE(result.output.find("line 1"), std::string::npos);
 }
 
+TEST(CliTest, ServeRefusesIngestLogOverRpcAtStartup) {
+  // The delta builder lives in the serving process: combining the two
+  // flags must be a startup error (exit 2, kInvalidArgument), never a
+  // silently stale serve. Fails before any shard server is spawned, so
+  // no fleet is needed here.
+  std::string wal = ::testing::TempDir() + "/comparesets_cli_ingest.wal";
+  {
+    FILE* f = fopen(wal.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fclose(f);
+  }
+  CommandResult result = RunCli(
+      "serve --products 40 --transport rpc --ingest_log " + wal);
+  std::remove(wal.c_str());
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("invalid argument"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("--ingest_log is not available over "
+                               "--transport rpc"),
+            std::string::npos)
+      << result.output;
+  // Refused up front: nothing was served.
+  EXPECT_EQ(result.output.find("Answered"), std::string::npos)
+      << result.output;
+}
+
+TEST(CliTest, ServeRejectsBadBatchPriority) {
+  CommandResult result =
+      RunCli("serve --products 40 --batch_priority urgent --queries "
+             "/dev/null");
+  EXPECT_NE(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("--batch_priority"), std::string::npos)
+      << result.output;
+}
+
+TEST(CliTest, ServeSloFlagPrintsControllerSummary) {
+  std::string path = ::testing::TempDir() + "/comparesets_cli_slo.txt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("cellphone-P00000\ncellphone-P00001\n", f);
+    fclose(f);
+  }
+  CommandResult result = RunCli(
+      "serve --products 40 --threads 1 --max_in_flight 1 --slo_ms 5000 "
+      "--queries " + path);
+  std::remove(path.c_str());
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("Answered 2 queries (0 failed)"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("SLO p99="), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("target=5000.00ms"), std::string::npos)
+      << result.output;
+}
+
 TEST(CliTest, HelpListsFlags) {
   CommandResult result = RunCli("select --help");
   EXPECT_EQ(result.exit_code, 0);

@@ -11,11 +11,18 @@
 # kernel-dispatch bit-identity contract is re-proven under both
 # targets on every sweep.
 #
-#   tools/check.sh            # both configurations + both integration legs
+#   tools/check.sh            # all configurations + both integration legs
 #   tools/check.sh release    # just one
 #   tools/check.sh sanitize
+#   tools/check.sh tsan       # ThreadSanitizer, concurrency-heavy suites
 #   tools/check.sh integration            # RPC serving stack, Release
 #   tools/check.sh integration-sanitize   # same under ASan+UBSan
+#
+# The tsan phase builds with -fsanitize=thread and runs only the suites
+# that exercise the work-stealing scheduler, the admission pipeline, and
+# the SLO controller — a data race in the deque hand-off or the lever
+# flips fails loudly there; the full suite under TSan would mostly
+# re-run single-threaded solver math at 10x slowdown for no signal.
 #
 # The integration phase builds shard_server + the CLI, spawns a real
 # 4-shard fleet of shard_server processes on Unix sockets, proves
@@ -54,6 +61,26 @@ run_config() {
       exit 4
     fi
   done
+}
+
+run_tsan() {
+  name="$1"; dir="$2"; shift 2
+  echo "== [$name] configure"
+  if ! cmake -B "$dir" -S . "$@"; then
+    echo "== check.sh: [$name] configure FAILED" >&2
+    exit 2
+  fi
+  echo "== [$name] build"
+  if ! cmake --build "$dir" -j "$JOBS"; then
+    echo "== check.sh: [$name] build FAILED" >&2
+    exit 3
+  fi
+  echo "== [$name] ctest (concurrency suites)"
+  if ! ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+      -R 'util_thread_pool_test|core_parallel_determinism_test|service_engine_test|service_intra_parallel_test|service_router_test|service_router_determinism_test|service_slo_test'; then
+    echo "== check.sh: [$name] tests FAILED" >&2
+    exit 4
+  fi
 }
 
 # The spawned shard fleet's state, shared with the EXIT trap. POSIX sh
@@ -153,10 +180,10 @@ run_integration() {
 
 want="${1:-all}"
 case "$want" in
-  all|release|sanitize|integration|integration-sanitize) ;;
+  all|release|sanitize|tsan|integration|integration-sanitize) ;;
   *)
     echo "usage: tools/check.sh" \
-        "[all|release|sanitize|integration|integration-sanitize]" >&2
+        "[all|release|sanitize|tsan|integration|integration-sanitize]" >&2
     exit 64
     ;;
 esac
@@ -167,6 +194,10 @@ fi
 if [ "$want" = "all" ] || [ "$want" = "sanitize" ]; then
   run_config sanitize build-sanitize "scalar auto" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOMPARESETS_SANITIZE=ON
+fi
+if [ "$want" = "all" ] || [ "$want" = "tsan" ]; then
+  run_tsan tsan build-tsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOMPARESETS_TSAN=ON
 fi
 if [ "$want" = "all" ] || [ "$want" = "integration" ]; then
   run_integration integration build -DCMAKE_BUILD_TYPE=Release

@@ -13,6 +13,8 @@
 //                       [--sample_threshold N] [--sample_size N]
 //                       [--metrics_port P] [--ingest_log F]
 //                       [--ingest_batch N] [--ingest_interval_ms MS]
+//                       [--batch_priority interactive|batch]
+//                       [--max_batch_queue N] [--slo_ms MS]
 //
 // Data source: either a synthetic category (--category Cellphone|Toy|
 // Clothing, --products N, --seed S) or Amazon-layout JSONL files
@@ -63,6 +65,7 @@
 #include "service/partitioner.h"
 #include "service/router.h"
 #include "service/rpc_router.h"
+#include "service/slo_controller.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -342,9 +345,16 @@ void FillEngineOptions(const FlagParser& flags, EngineOptions* engine_options) {
   engine_options->max_in_flight =
       static_cast<size_t>(flags.GetInt("max_in_flight"));
   engine_options->max_queue = static_cast<size_t>(flags.GetInt("max_queue"));
+  engine_options->max_batch_queue =
+      static_cast<size_t>(flags.GetInt("max_batch_queue"));
   engine_options->max_attempts = flags.GetInt("retries") + 1;
   engine_options->batch_kernel_window =
       static_cast<size_t>(flags.GetInt("window"));
+  if (!ParseRequestPriority(flags.GetString("batch_priority"),
+                            &engine_options->batch_priority)) {
+    Status::InvalidArgument("--batch_priority must be interactive or batch")
+        .CheckOK();
+  }
   auto floor = ResolveTierFloor(flags);
   floor.status().CheckOK();
   engine_options->min_quality_tier = floor.value();
@@ -386,6 +396,9 @@ pid_t SpawnShardServer(const std::string& binary, const FlagParser& flags,
       "--window=" + std::to_string(flags.GetInt("window")),
       "--max_in_flight=" + std::to_string(flags.GetInt("max_in_flight")),
       "--max_queue=" + std::to_string(flags.GetInt("max_queue")),
+      "--max_batch_queue=" + std::to_string(flags.GetInt("max_batch_queue")),
+      "--batch_priority=" + flags.GetString("batch_priority"),
+      "--slo_ms=" + std::to_string(flags.GetDouble("slo_ms")),
       "--retries=" + std::to_string(flags.GetInt("retries")),
   };
   {
@@ -426,6 +439,18 @@ void TearDownFleet(const std::vector<pid_t>& pids,
 }
 
 int RunServeRpc(const FlagParser& flags, const std::string& program_dir) {
+  // Refused up front, before any child is spawned or query answered:
+  // the delta builder lives in the serving process, so accepting the
+  // flag here would silently serve the stale base corpus — the exact
+  // failure mode the WAL exists to prevent.
+  if (!flags.GetString("ingest_log").empty()) {
+    Status refused = Status::InvalidArgument(
+        "--ingest_log is not available over --transport rpc (the delta "
+        "builder lives in the serving process); run --transport local, "
+        "or replay the WAL into the corpus files the shard servers load");
+    std::fprintf(stderr, "%s\n", refused.ToString().c_str());
+    return 2;
+  }
   int shards_flag = flags.GetInt("shards");
   if (shards_flag < 1) {
     std::fprintf(stderr, "--shards must be >= 1\n");
@@ -527,16 +552,17 @@ int RunServeRpc(const FlagParser& flags, const std::string& program_dir) {
                  "--metrics/--prometheus/--metrics_port/--trace_out are not "
                  "available over --transport rpc (remote registries)\n");
   }
-  if (!flags.GetString("ingest_log").empty()) {
-    std::fprintf(stderr,
-                 "--ingest_log is not available over --transport rpc (the "
-                 "delta builder lives in the serving process)\n");
-  }
   if (!pids.empty()) TearDownFleet(pids, addresses);
   return failed == 0 ? 0 : 1;
 }
 
 int RunServe(const FlagParser& flags, const std::string& program_dir) {
+  RequestPriority batch_priority = RequestPriority::kBatch;
+  if (!ParseRequestPriority(flags.GetString("batch_priority"),
+                            &batch_priority)) {
+    std::fprintf(stderr, "--batch_priority must be interactive or batch\n");
+    return 2;
+  }
   const std::string& transport = flags.GetString("transport");
   if (transport == "rpc") return RunServeRpc(flags, program_dir);
   if (transport != "local") {
@@ -589,6 +615,23 @@ int RunServe(const FlagParser& flags, const std::string& program_dir) {
     std::printf("METRICS LISTENING %s\n", metrics_http.bound_address().c_str());
   }
 
+  // The SLO control loop polls every shard engine's trace ring and
+  // flips the degrade-floor / batch-budget levers when the rolling p99
+  // crosses --slo_ms. It only observes and writes atomics, so it rides
+  // alongside the batch without perturbing determinism.
+  std::unique_ptr<SloController> slo;
+  double slo_ms = flags.GetDouble("slo_ms");
+  if (slo_ms > 0.0) {
+    SloControllerOptions slo_options;
+    slo_options.slo_seconds = slo_ms / 1000.0;
+    std::vector<SelectionEngine*> engines;
+    for (size_t s = 0; s < router.value()->num_shards(); ++s) {
+      engines.push_back(router.value()->mutable_shard_engine(s));
+    }
+    slo = std::make_unique<SloController>(
+        slo_options, router.value()->pipeline(), std::move(engines));
+  }
+
   std::unique_ptr<IngestDriver> ingest;
   if (!ingest_log.empty()) {
     IngestDriverOptions ingest_options;
@@ -623,10 +666,22 @@ int RunServe(const FlagParser& flags, const std::string& program_dir) {
     if (flags.GetInt("ingest_interval_ms") > 0) ingest->Start();
   }
 
+  if (slo != nullptr) slo->Start();
   std::vector<Result<SelectResponse>> responses =
       router.value()->SelectBatch(requests);
+  if (slo != nullptr) slo->Stop();
   size_t failed = PrintServeResponses(requests, responses,
                                       router.value()->num_shards());
+  if (slo != nullptr) {
+    SloSample final_sample = slo->TickOnce();
+    std::printf(
+        "SLO p99=%.2fms target=%.2fms sheds=%llu restores=%llu "
+        "shedding=%s\n",
+        1000.0 * final_sample.p99_seconds, slo_ms,
+        static_cast<unsigned long long>(slo->sheds()),
+        static_cast<unsigned long long>(slo->restores()),
+        slo->shedding() ? "yes" : "no");
+  }
   if (ingest != nullptr) {
     ingest->Stop();
     IngestDrainStats totals = ingest->TotalStats();
@@ -726,6 +781,18 @@ int main(int argc, char** argv) {
   flags.AddInt("max_in_flight", 0,
                "admission limit on concurrent solves (0 = unthrottled)");
   flags.AddInt("max_queue", 64, "admission queue slots beyond max_in_flight");
+  flags.AddInt("max_batch_queue", 0,
+               "admission queue slots for batch-priority requests"
+               " (0 = same as --max_queue; batch sheds first)");
+  flags.AddString("batch_priority", "batch",
+                  "scheduling class for serve-batch sub-requests"
+                  " (batch = lone Selects cut ahead, interactive ="
+                  " legacy FIFO behaviour)");
+  flags.AddDouble("slo_ms", 0.0,
+                  "latency SLO for the shedding control loop: when the"
+                  " rolling p99 exceeds this, quality floors loosen to"
+                  " anytime and the batch admission budget drops to 0"
+                  " until p99 recovers (0 = off, --transport local)");
   flags.AddInt("retries", 0, "retries per query on transient failures");
   flags.AddString("trace_out", "",
                   "write per-request JSONL traces here after serve"

@@ -28,6 +28,7 @@
 #include "net/server.h"
 #include "service/backend.h"
 #include "service/partitioner.h"
+#include "service/slo_controller.h"
 #include "util/flags.h"
 #include "util/logging.h"
 
@@ -108,6 +109,13 @@ int Run(const FlagParser& flags) {
   engine_options.max_in_flight =
       static_cast<size_t>(flags.GetInt("max_in_flight"));
   engine_options.max_queue = static_cast<size_t>(flags.GetInt("max_queue"));
+  engine_options.max_batch_queue =
+      static_cast<size_t>(flags.GetInt("max_batch_queue"));
+  if (!ParseRequestPriority(flags.GetString("batch_priority"),
+                            &engine_options.batch_priority)) {
+    std::fprintf(stderr, "--batch_priority must be interactive or batch\n");
+    return 2;
+  }
   engine_options.max_attempts = flags.GetInt("retries") + 1;
   engine_options.batch_kernel_window =
       static_cast<size_t>(flags.GetInt("window"));
@@ -126,7 +134,21 @@ int Run(const FlagParser& flags) {
   }
   auto engine = std::make_shared<SelectionEngine>(std::move(shard_corpus),
                                                   std::move(engine_options));
-  auto backend = std::make_unique<LocalShardBackend>(std::move(engine), range);
+
+  // Each shard process runs its own SLO control loop over its own
+  // engine: the trace ring, degrade floor, and batch budget all live
+  // here, so the router side never needs to reach across the wire.
+  std::unique_ptr<SloController> slo;
+  double slo_ms = flags.GetDouble("slo_ms");
+  if (slo_ms > 0.0) {
+    SloControllerOptions slo_options;
+    slo_options.slo_seconds = slo_ms / 1000.0;
+    slo = std::make_unique<SloController>(slo_options, engine->pipeline(),
+                                          std::vector<SelectionEngine*>{
+                                              engine.get()});
+  }
+
+  auto backend = std::make_unique<LocalShardBackend>(engine, range);
 
   ShardServerOptions server_options;
   server_options.address = listen;
@@ -141,7 +163,15 @@ int Run(const FlagParser& flags) {
   std::printf("LISTENING %s\n", server.value()->bound_address().c_str());
   std::fflush(stdout);
 
+  if (slo != nullptr) slo->Start();
   server.value()->WaitForShutdown();
+  if (slo != nullptr) {
+    slo->Stop();
+    std::fprintf(stderr, "shard %d/%d SLO sheds=%llu restores=%llu\n",
+                 shard_index, shards,
+                 static_cast<unsigned long long>(slo->sheds()),
+                 static_cast<unsigned long long>(slo->restores()));
+  }
   std::fprintf(stderr, "shard %d/%d shut down cleanly\n", shard_index, shards);
   return 0;
 }
@@ -170,6 +200,15 @@ int main(int argc, char** argv) {
   flags.AddInt("max_in_flight", 0,
                "admission limit on concurrent solves (0 = unthrottled)");
   flags.AddInt("max_queue", 64, "admission queue slots beyond max_in_flight");
+  flags.AddInt("max_batch_queue", 0,
+               "admission queue slots for batch-priority requests"
+               " (0 = same as --max_queue)");
+  flags.AddString("batch_priority", "batch",
+                  "scheduling class for sub-batch requests"
+                  " (batch|interactive)");
+  flags.AddDouble("slo_ms", 0.0,
+                  "latency SLO for this shard's shedding control loop"
+                  " (0 = off)");
   flags.AddInt("retries", 0, "retries per query on transient failures");
   flags.AddString("min_tier", "exact",
                   "engine-wide degradation floor"
